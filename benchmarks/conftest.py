@@ -1,0 +1,90 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark prints the paper's table/figure rows (captured into the
+pytest-benchmark run output with ``-s`` or via the summary at teardown)
+and times a representative unit of work with the ``benchmark`` fixture.
+
+Scale note: the paper uses k=20 (Fig. 6) and k=50 (case studies) on an
+A100 over hours; these benchmarks default to moderately reduced k /
+training epochs so the full suite completes in minutes.  Scale-sensitive
+outputs (search-space sizes) are reported at the paper's k via the
+analytic extrapolation [1 + (1-beta)k]^n, alongside the directly
+measured value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.sentinel import SentinelGenerator, build_subgraph_database
+
+#: models in the paper's Fig. 6 table
+FIG6_MODELS = [
+    "densenet",
+    "googlenet",
+    "inception",
+    "mnasnet",
+    "resnet",
+    "mobilenet",
+    "bert",
+    "roberta",
+    "xlm",
+]
+
+#: Fig. 4a model set
+FIG4A_MODELS = [
+    "mobilenet", "resnet", "densenet", "googlenet", "resnext",
+    "bert", "roberta", "distilbert",
+]
+
+#: Fig. 4b model set
+FIG4B_MODELS = [
+    "alexnet", "inception", "mobilenet", "resnet", "densenet",
+    "resnext", "bert", "distilbert",
+]
+
+
+@pytest.fixture(scope="session")
+def zoo():
+    """All models used anywhere in the evaluation, built once."""
+    names = sorted(set(FIG6_MODELS + FIG4A_MODELS + FIG4B_MODELS + ["seresnet"]))
+    return {name: build_model(name) for name in names}
+
+
+@pytest.fixture(scope="session")
+def full_database(zoo):
+    """Real-subgraph database over the full zoo (size-8 partitions)."""
+    return build_subgraph_database(list(zoo.values()), target_subgraph_size=8, seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_generator(full_database):
+    """One sentinel generator trained on the full zoo database."""
+    return SentinelGenerator(full_database, strategy="mixed", pool_size=192, seed=0)
+
+
+def geomean(xs) -> float:
+    xs = np.asarray(list(xs), dtype=float)
+    return float(np.exp(np.mean(np.log(xs))))
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Render a fixed-width table to stdout AND persist it to
+    ``benchmarks/results/`` (pytest captures stdout by default; the files
+    are the durable regenerated-figure artifacts)."""
+    import pathlib
+    import re
+
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(header)]
+    lines = [f"=== {title} ==="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    results_dir = pathlib.Path(__file__).resolve().parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:60]
+    (results_dir / f"{slug}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,64 @@
+"""Ablation: the balanced Karger–Stein enhancement (§4.1.1).
+
+The paper enhances raw K-S contraction with multi-trial selection
+because "the resulting n subgraphs may significantly vary in size" —
+large subgraphs leak architecture, tiny ones hurt optimization.  This
+bench quantifies both halves of that claim by comparing 1-trial (raw)
+vs 16-trial (balanced) partitioning: size standard deviation, largest
+subgraph (the confidentiality leak proxy) and resulting Proteus
+slowdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Proteus, ProteusConfig
+from repro.core.partition import karger_stein_partition, partition_sizes_std
+from repro.optimizer import OrtLikeOptimizer
+from repro.runtime import CostModel
+
+from .conftest import geomean, print_table
+
+MODELS = ["resnet", "mobilenet", "googlenet", "bert"]
+
+
+def test_ablation_balanced_partitioning(zoo, benchmark):
+    cm = CostModel()
+    optimizer = OrtLikeOptimizer()
+    rows = []
+    stds = {1: [], 16: []}
+    maxes = {1: [], 16: []}
+    slows = {1: [], 16: []}
+    for name in MODELS:
+        model = zoo[name]
+        n = max(1, model.num_nodes // 8)
+        best = cm.graph_latency(optimizer.optimize(model))
+        for trials in (1, 16):
+            agg_std, agg_max = [], []
+            for seed in range(5):
+                part = karger_stein_partition(model, n, trials=trials, seed=seed)
+                agg_std.append(partition_sizes_std(part.sizes))
+                agg_max.append(max(part.sizes))
+            p = Proteus(ProteusConfig(
+                target_subgraph_size=8, k=0, seed=0, partition_trials=trials))
+            rec = p.run_pipeline(model, optimizer)
+            slow = cm.graph_latency(rec) / best
+            stds[trials].append(float(np.mean(agg_std)))
+            maxes[trials].append(float(np.mean(agg_max)))
+            slows[trials].append(slow)
+            rows.append([name, trials, f"{np.mean(agg_std):.2f}",
+                         f"{np.mean(agg_max):.1f}", f"{slow:.3f}"])
+    print_table(
+        "Ablation — raw (1-trial) vs balanced (16-trial) Karger–Stein",
+        ["model", "trials", "size std", "max size", "slowdown"],
+        rows,
+    )
+    # the enhancement must reduce size disparity and the leak proxy
+    assert np.mean(stds[16]) < np.mean(stds[1])
+    assert np.mean(maxes[16]) <= np.mean(maxes[1])
+    # and not cost performance
+    assert geomean(slows[16]) <= geomean(slows[1]) * 1.05
+
+    model = zoo["resnet"]
+    benchmark(lambda: karger_stein_partition(model, 8, trials=16, seed=0))

@@ -1,0 +1,55 @@
+"""Figure 10 (+ §A.3): average subgraph size vs % performance loss.
+
+Sweeps the partition size over the zoo and reports, per size, the mean
+percentage of speedup lost relative to whole-graph optimization.
+Expected shape (paper): loss shrinks as average subgraph size grows,
+with size 8–16 the sweet spot (<10% loss) and near-zero loss for very
+large subgraphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Proteus, ProteusConfig
+from repro.optimizer import OrtLikeOptimizer
+from repro.runtime import CostModel
+
+from .conftest import geomean, print_table
+
+SWEEP_MODELS = ["mobilenet", "resnet", "googlenet", "bert", "distilbert", "densenet"]
+SIZES = [2, 4, 8, 16, 32, 64]
+
+
+def percent_loss(model, size, cm, optimizer) -> float:
+    best = cm.graph_latency(optimizer.optimize(model))
+    p = Proteus(ProteusConfig(target_subgraph_size=size, k=0, seed=0))
+    recovered = p.run_pipeline(model, optimizer)
+    return (cm.graph_latency(recovered) / best - 1.0) * 100.0
+
+
+def test_fig10_subgraph_size_vs_loss(zoo, benchmark):
+    cm = CostModel()
+    optimizer = OrtLikeOptimizer()
+    rows = []
+    mean_loss_by_size = {}
+    for size in SIZES:
+        losses = [percent_loss(zoo[m], size, cm, optimizer) for m in SWEEP_MODELS]
+        mean_loss_by_size[size] = float(np.mean(losses))
+        rows.append([size, f"{np.mean(losses):6.2f}%", f"{min(losses):6.2f}%",
+                     f"{max(losses):6.2f}%"])
+    print_table(
+        "Fig 10 — average subgraph size vs % speedup lost",
+        ["target size", "mean loss", "min", "max"],
+        rows,
+    )
+    # monotone-ish shape: tiny subgraphs lose clearly more than huge ones
+    assert mean_loss_by_size[2] > mean_loss_by_size[64]
+    assert mean_loss_by_size[64] < 4.0, "very large subgraphs should be near-lossless"
+    assert mean_loss_by_size[8] < 12.0, "the size-8 sweet spot should lose <~10%"
+    # losses are never negative (Proteus can't beat whole-graph optimization)
+    assert all(v >= -1e-6 for v in mean_loss_by_size.values())
+
+    model = zoo["resnet"]
+    p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+    benchmark(lambda: p.partition(model))

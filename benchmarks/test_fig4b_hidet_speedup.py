@@ -1,0 +1,54 @@
+"""Figure 4b: execution time under the Hidet-style optimizer.
+
+Same protocol as Fig. 4a with the second, independent optimizer —
+demonstrating Proteus' optimizer-agnosticism.  Expected shape (paper):
+slowdowns flat across the board, 0.99–1.04, geomean ~1.02.
+"""
+
+from __future__ import annotations
+
+from repro.core import Proteus, ProteusConfig
+from repro.optimizer import HidetLikeOptimizer, hidet_cost_model
+
+from .conftest import FIG4B_MODELS, geomean, print_table
+
+PAPER_SLOWDOWNS = {
+    "alexnet": 1.00, "inception": 1.02, "mobilenet": 0.99, "resnet": 1.04,
+    "densenet": 1.02, "resnext": 1.03, "bert": 1.02, "distilbert": 1.02,
+}
+
+
+def run_fig4b(zoo):
+    cm = hidet_cost_model()
+    optimizer = HidetLikeOptimizer()
+    rows, slowdowns = [], []
+    for name in FIG4B_MODELS:
+        model = zoo[name]
+        best = optimizer.optimize(model)
+        proteus = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+        recovered = proteus.run_pipeline(model, optimizer)
+        unopt_us = cm.graph_latency(model) * 1e6
+        best_us = cm.graph_latency(best) * 1e6
+        prot_us = cm.graph_latency(recovered) * 1e6
+        slow = prot_us / best_us
+        slowdowns.append(slow)
+        rows.append([name, f"{unopt_us:.1f}", f"{best_us:.1f}", f"{prot_us:.1f}",
+                     f"{slow:.3f}", f"{PAPER_SLOWDOWNS[name]:.2f}"])
+    gm = geomean(slowdowns)
+    rows.append(["geomean", "", "", "", f"{gm:.3f}", "1.02"])
+    return rows, slowdowns, gm
+
+
+def test_fig4b_hidet_speedup(zoo, benchmark):
+    rows, slowdowns, gm = run_fig4b(zoo)
+    print_table(
+        "Fig 4b — Hidet-style optimizer (latency in us)",
+        ["model", "unoptimized", "best", "proteus", "slowdown", "paper"],
+        rows,
+    )
+    assert gm < 1.06, "Hidet-style gap should be flatter than ORT's (paper geomean 1.02)"
+    assert max(slowdowns) < 1.10
+
+    model = zoo["resnet"]
+    optimizer = HidetLikeOptimizer()
+    benchmark(lambda: optimizer.optimize(model))

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Play the adversary: try to pick the real subgraphs out of a bucket.
+
+Reproduces the §5.3.2 learning-based attack at demo scale:
+
+* train a GraphSAGE classifier to separate real subgraphs from sentinels
+  (leave-one-out: the protected model's family is excluded from training);
+* attack a protected ResNet: score every bucket candidate, fix the
+  minimum decision boundary gamma that keeps every real subgraph, and
+  count the surviving search space;
+* compare against the random-opcode baseline, which the classifier
+  destroys.
+
+Run:  python examples/adversary_attack.py
+"""
+
+from repro.adversary import (
+    build_leave_one_out,
+    evaluate_classifier,
+    run_attack,
+    search_space_size,
+    train_classifier,
+)
+from repro.models import build_model
+
+PROTECTED = "resnet"
+CORPUS = ["resnet", "mobilenet", "googlenet", "densenet"]
+K = 6
+
+
+def main() -> None:
+    corpus = {name: build_model(name) for name in CORPUS}
+    print(f"protected model: {PROTECTED}; adversary trains on {sorted(set(CORPUS) - {PROTECTED})}")
+
+    for mode in ("random", "proteus"):
+        print(f"\n--- fake source: {mode} ---")
+        data = build_leave_one_out(PROTECTED, corpus, k=K, mode=mode, seed=0)
+        result = train_classifier(data.train, epochs=30, seed=0)
+        metrics = evaluate_classifier(result.model, data.train)
+        print(f"classifier train accuracy: {metrics['accuracy']:.3f}")
+        report = run_attack(
+            result.model, data.protected_reals, data.protected_sentinel_groups, PROTECTED
+        )
+        print(f"n = {report.n} subgraphs, k = {report.k} sentinels each")
+        print(f"minimum usable gamma (keeps all reals): {report.gamma:.3f}")
+        print(f"specificity at gamma: {report.specificity:.3f}")
+        print(f"surviving search space: {report.candidates:.3e} candidate models")
+        print(f"extrapolated to the paper's k=20: "
+              f"{search_space_size(report.n, 20, report.specificity):.3e}")
+
+    print(
+        "\nExpected outcome: the random-opcode baseline collapses to a handful "
+        "of candidates, while Proteus sentinels survive the classifier and the "
+        "search space stays computationally infeasible."
+    )
+
+
+if __name__ == "__main__":
+    main()

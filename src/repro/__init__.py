@@ -1,0 +1,49 @@
+"""repro — a from-scratch reproduction of Proteus (MLSys 2024).
+
+Proteus preserves the confidentiality of a DNN's architecture while an
+independent party performs graph-level performance optimization.  The
+package provides:
+
+* :mod:`repro.ir` — ONNX-flavoured computational-graph IR;
+* :mod:`repro.models` — a model zoo (CNNs, transformers, NAS cells);
+* :mod:`repro.runtime` — numpy reference executor + analytic cost model;
+* :mod:`repro.optimizer` — rule-based graph optimizers (ORT-like, Hidet-like);
+* :mod:`repro.core` — the Proteus mechanism: partitioning, obfuscation,
+  reassembly;
+* :mod:`repro.sentinel` — sentinel-subgraph generation (topology model,
+  importance sampling, CSP operator population);
+* :mod:`repro.adversary` — the learning-based GNN attack and heuristic
+  baselines;
+* :mod:`repro.analysis` — statistics and search-space math used by the
+  evaluation.
+
+Quickstart::
+
+    from repro import Proteus, ProteusConfig, build_model
+    from repro.optimizer import OrtLikeOptimizer
+
+    model = build_model("resnet")
+    proteus = Proteus(ProteusConfig(target_subgraph_size=8, k=5, seed=0))
+    bucket, plan = proteus.obfuscate(model)
+    optimized = proteus.optimize_bucket(bucket, OrtLikeOptimizer())
+    recovered = proteus.deobfuscate(optimized, plan)
+"""
+
+__version__ = "1.0.0"
+
+from .ir import Graph, GraphBuilder, Node  # noqa: F401
+from .core import ObfuscatedBucket, Proteus, ProteusConfig, ReassemblyPlan  # noqa: F401
+from .models import build_model, list_models  # noqa: F401
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "Node",
+    "Proteus",
+    "ProteusConfig",
+    "ObfuscatedBucket",
+    "ReassemblyPlan",
+    "build_model",
+    "list_models",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Adversarial evaluation: the GNN attack (§5.3.2) and heuristics (§5.3.3)."""
+
+from .opgraph import LabeledDataset, opcode_vocabulary, to_opgraph
+from .gnn import GNNClassifier, GraphEncoding, encode_graph
+from .train import AdamState, TrainResult, evaluate_classifier, train_classifier
+from .attack import AttackReport, run_attack, search_space_size
+from .dataset import LeaveOneOutData, build_leave_one_out, subgraphs_of
+from .heuristics import HeuristicExpert, expert_panel, run_survey
+
+__all__ = [
+    "LabeledDataset",
+    "to_opgraph",
+    "opcode_vocabulary",
+    "GNNClassifier",
+    "GraphEncoding",
+    "encode_graph",
+    "train_classifier",
+    "evaluate_classifier",
+    "TrainResult",
+    "AdamState",
+    "AttackReport",
+    "run_attack",
+    "search_space_size",
+    "LeaveOneOutData",
+    "build_leave_one_out",
+    "subgraphs_of",
+    "HeuristicExpert",
+    "expert_panel",
+    "run_survey",
+]

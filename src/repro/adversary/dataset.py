@@ -1,0 +1,96 @@
+"""Dataset construction for adversary experiments (§5.3.2 protocol).
+
+"We task PROTEUS with protecting one model at a time ... we test the
+adversary on the protected model after training the classifier model on
+the remaining models."  This module builds those leave-one-out splits:
+real subgraphs come from partitioning zoo models; fakes come either
+from the full Proteus sentinel pipeline or from the random-opcode
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..sentinel.generator import SentinelGenerator, build_subgraph_database
+from ..sentinel.random_baseline import random_opcode_sentinels
+from ..sentinel.orientation import induce_orientation
+from .opgraph import LabeledDataset, to_opgraph
+
+__all__ = ["LeaveOneOutData", "build_leave_one_out", "subgraphs_of"]
+
+
+def subgraphs_of(model: Graph, target_size: int = 8, seed: int = 0) -> List[Graph]:
+    """Partition one model into its real subgraphs."""
+    return build_subgraph_database([model], target_subgraph_size=target_size, seed=seed)
+
+
+@dataclass
+class LeaveOneOutData:
+    """Everything one Fig. 6 row needs for one protected model."""
+
+    protected_name: str
+    train: LabeledDataset  # real+fake subgraphs of the *other* models
+    protected_reals: List[Graph]  # the protected model's real subgraphs
+    protected_sentinel_groups: List[List]  # k fakes per real subgraph
+
+
+def build_leave_one_out(
+    protected_name: str,
+    corpus: Dict[str, Graph],
+    k: int,
+    mode: str = "proteus",
+    target_size: int = 8,
+    train_fakes_per_real: int = 2,
+    seed: int = 0,
+    generator: Optional[SentinelGenerator] = None,
+) -> LeaveOneOutData:
+    """Build train/attack data for one protected model.
+
+    Parameters
+    ----------
+    mode:
+        ``"proteus"`` — fakes from the full sentinel pipeline;
+        ``"random"`` — fakes with random opcodes (the Fig. 6 baseline).
+    generator:
+        Optional pre-built generator (must be trained without the
+        protected model) to avoid refitting per call.
+    """
+    if protected_name not in corpus:
+        raise KeyError(f"{protected_name!r} not in corpus")
+    if mode not in ("proteus", "random"):
+        raise ValueError(f"mode must be 'proteus' or 'random', got {mode!r}")
+    rng = np.random.default_rng(seed)
+
+    others = {name: g for name, g in corpus.items() if name != protected_name}
+    train_reals: List[Graph] = []
+    for name, g in sorted(others.items()):
+        train_reals.extend(subgraphs_of(g, target_size, seed=seed))
+
+    if generator is None:
+        gen_db = list(train_reals)
+        generator = SentinelGenerator(gen_db, strategy="mixed", seed=seed)
+
+    def make_fakes(real: Graph, count: int) -> List:
+        if mode == "proteus":
+            return generator.generate(real, count, seed=int(rng.integers(0, 2**31)))
+        topos = [induce_orientation(t) for t in generator.pool[:64]]
+        return random_opcode_sentinels(topos, count, seed=int(rng.integers(0, 2**31)))
+
+    train_fakes: List = []
+    for real in train_reals:
+        train_fakes.extend(make_fakes(real, train_fakes_per_real))
+    train = LabeledDataset.from_parts(train_reals, train_fakes)
+
+    protected_reals = subgraphs_of(corpus[protected_name], target_size, seed=seed)
+    groups: List[List] = [make_fakes(real, k) for real in protected_reals]
+    return LeaveOneOutData(
+        protected_name=protected_name,
+        train=train,
+        protected_reals=protected_reals,
+        protected_sentinel_groups=groups,
+    )

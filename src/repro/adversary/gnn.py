@@ -1,0 +1,159 @@
+"""Numpy GraphSAGE classifier (paper Fig. 7) with manual backprop.
+
+Architecture, exactly as the paper describes: operator embedding →
+SAGEConv graph convolutions (learning local-neighbourhood features) →
+mean node reduction into a graph representation → linear head →
+probability that the graph is a sentinel.
+
+SAGEConv (Hamilton et al., 2018) layer::
+
+    h_v' = relu(W_self h_v + W_neigh mean_{u in N(v)} h_u + b)
+
+Neighbourhoods are undirected (both dataflow directions), matching the
+torch-geometric default the artifact uses.  Everything is dense numpy —
+subgraphs have tens of nodes, so dense [n, n] aggregation matrices are
+the vectorized-sane choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["GNNClassifier", "GraphEncoding", "encode_graph"]
+
+
+@dataclass
+class GraphEncoding:
+    """Preprocessed inputs for one graph: opcode ids + aggregation matrix."""
+
+    op_ids: np.ndarray  # [n] int
+    agg: np.ndarray  # [n, n] row-normalized undirected adjacency
+
+
+def encode_graph(g: nx.DiGraph, vocab_index: Dict[str, int]) -> GraphEncoding:
+    """Encode an opcode-annotated DAG for the classifier.
+
+    Unknown opcodes map to a shared OOV id (the last vocab slot).
+    """
+    nodes = list(g.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+    n = len(nodes)
+    oov = len(vocab_index)
+    op_ids = np.array(
+        [vocab_index.get(g.nodes[v]["op_type"], oov) for v in nodes], dtype=np.int64
+    )
+    agg = np.zeros((n, n))
+    for a, b in g.edges():
+        ia, ib = index[a], index[b]
+        agg[ia, ib] = 1.0
+        agg[ib, ia] = 1.0
+    deg = agg.sum(axis=1, keepdims=True)
+    np.divide(agg, deg, out=agg, where=deg > 0)
+    return GraphEncoding(op_ids=op_ids, agg=agg)
+
+
+class GNNClassifier:
+    """Two-layer GraphSAGE + mean reduction + linear head, in numpy."""
+
+    def __init__(
+        self,
+        vocab: Sequence[str],
+        embed_dim: int = 24,
+        hidden_dim: int = 32,
+        n_layers: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if n_layers < 1:
+            raise ValueError("need at least one SAGE layer")
+        self.vocab: Tuple[str, ...] = tuple(vocab)
+        self.vocab_index: Dict[str, int] = {op: i for i, op in enumerate(self.vocab)}
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        self.n_layers = n_layers
+        rng = np.random.default_rng(seed)
+        v = len(self.vocab) + 1  # +1 OOV row
+
+        def glorot(shape):
+            scale = np.sqrt(6.0 / sum(shape))
+            return rng.uniform(-scale, scale, size=shape)
+
+        self.params: Dict[str, np.ndarray] = {"embed": glorot((v, embed_dim))}
+        d_in = embed_dim
+        for layer in range(n_layers):
+            self.params[f"w_self{layer}"] = glorot((d_in, hidden_dim))
+            self.params[f"w_neigh{layer}"] = glorot((d_in, hidden_dim))
+            self.params[f"b{layer}"] = np.zeros(hidden_dim)
+            d_in = hidden_dim
+        self.params["w_out"] = glorot((hidden_dim, 1))
+        self.params["b_out"] = np.zeros(1)
+
+    # -- forward --------------------------------------------------------------
+    def forward(self, enc: GraphEncoding) -> Tuple[float, Dict[str, np.ndarray]]:
+        """Sentinel probability for one graph, plus a backprop cache."""
+        cache: Dict[str, np.ndarray] = {}
+        x = self.params["embed"][enc.op_ids]  # [n, d]
+        cache["x0"] = x
+        for layer in range(self.n_layers):
+            neigh = enc.agg @ x
+            z = (
+                x @ self.params[f"w_self{layer}"]
+                + neigh @ self.params[f"w_neigh{layer}"]
+                + self.params[f"b{layer}"]
+            )
+            h = np.maximum(z, 0.0)
+            cache[f"neigh{layer}"] = neigh
+            cache[f"z{layer}"] = z
+            cache[f"x{layer + 1}"] = h
+            x = h
+        g_repr = x.mean(axis=0)  # mean node reduction
+        logit = float(g_repr @ self.params["w_out"][:, 0] + self.params["b_out"][0])
+        cache["g_repr"] = g_repr
+        cache["logit"] = np.array([logit])
+        prob = 1.0 / (1.0 + np.exp(-logit))
+        return prob, cache
+
+    def predict_proba(self, encodings: Sequence[GraphEncoding]) -> np.ndarray:
+        """Sentinel probabilities for a batch of graphs."""
+        return np.array([self.forward(e)[0] for e in encodings])
+
+    # -- backward ---------------------------------------------------------------
+    def backward(
+        self, enc: GraphEncoding, cache: Dict[str, np.ndarray], prob: float, label: float
+    ) -> Dict[str, np.ndarray]:
+        """Gradients of BCE(prob, label) w.r.t. every parameter."""
+        grads: Dict[str, np.ndarray] = {}
+        n = enc.op_ids.shape[0]
+        dlogit = prob - label  # d BCE / d logit for sigmoid outputs
+        g_repr = cache["g_repr"]
+        grads["w_out"] = (g_repr * dlogit)[:, None]
+        grads["b_out"] = np.array([dlogit])
+        dg = self.params["w_out"][:, 0] * dlogit  # [hidden]
+        dx = np.tile(dg / n, (n, 1))  # gradient through mean reduction
+        for layer in reversed(range(self.n_layers)):
+            z = cache[f"z{layer}"]
+            dz = dx * (z > 0)
+            x_prev = cache[f"x{layer}"]
+            neigh = cache[f"neigh{layer}"]
+            grads[f"w_self{layer}"] = x_prev.T @ dz
+            grads[f"w_neigh{layer}"] = neigh.T @ dz
+            grads[f"b{layer}"] = dz.sum(axis=0)
+            dx_prev = dz @ self.params[f"w_self{layer}"].T
+            dneigh = dz @ self.params[f"w_neigh{layer}"].T
+            dx_prev += enc.agg.T @ dneigh
+            dx = dx_prev
+        dembed = np.zeros_like(self.params["embed"])
+        np.add.at(dembed, enc.op_ids, dx)
+        grads["embed"] = dembed
+        return grads
+
+    # -- persistence helpers for tests -----------------------------------------------
+    def get_params(self) -> Dict[str, np.ndarray]:
+        return {k: v.copy() for k, v in self.params.items()}
+
+    def set_params(self, params: Dict[str, np.ndarray]) -> None:
+        for k in self.params:
+            self.params[k] = params[k].copy()

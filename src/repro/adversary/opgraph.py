@@ -1,0 +1,66 @@
+"""The adversary's view of a subgraph: an opcode-annotated DAG.
+
+The optimizer party (and hence the adversary) sees anonymized graphs —
+operator types, attributes and connectivity, but no meaningful names.
+For classification, the relevant signal is (opcode, topology), which we
+capture as a networkx DiGraph whose nodes carry an ``op_type``
+attribute.  Both real subgraphs and sentinels convert to this format;
+the random-opcode baseline produces it natively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import networkx as nx
+
+from ..ir.graph import Graph
+
+__all__ = ["to_opgraph", "LabeledDataset", "opcode_vocabulary"]
+
+
+def to_opgraph(graph: "Graph | nx.DiGraph") -> nx.DiGraph:
+    """Convert an IR graph (or pass through a DiGraph) to adversary format."""
+    if isinstance(graph, nx.DiGraph):
+        for v in graph.nodes():
+            if "op_type" not in graph.nodes[v]:
+                raise ValueError(f"node {v!r} lacks an op_type attribute")
+        return graph
+    return graph.to_networkx()  # nodes carry op_type already
+
+
+@dataclass
+class LabeledDataset:
+    """Binary-labelled graphs: label 1 = sentinel (fake), 0 = real."""
+
+    graphs: List[nx.DiGraph]
+    labels: List[int]
+
+    def __post_init__(self) -> None:
+        if len(self.graphs) != len(self.labels):
+            raise ValueError("graphs and labels length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    @classmethod
+    def from_parts(
+        cls, reals: Sequence, fakes: Sequence
+    ) -> "LabeledDataset":
+        graphs = [to_opgraph(g) for g in reals] + [to_opgraph(g) for g in fakes]
+        labels = [0] * len(reals) + [1] * len(fakes)
+        return cls(graphs, labels)
+
+    def merged_with(self, other: "LabeledDataset") -> "LabeledDataset":
+        return LabeledDataset(self.graphs + other.graphs, self.labels + other.labels)
+
+
+def opcode_vocabulary(datasets: Sequence[LabeledDataset]) -> Tuple[str, ...]:
+    """Sorted opcode vocabulary over one or more datasets."""
+    ops = set()
+    for ds in datasets:
+        for g in ds.graphs:
+            for v in g.nodes():
+                ops.add(g.nodes[v]["op_type"])
+    return tuple(sorted(ops))

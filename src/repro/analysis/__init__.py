@@ -1,0 +1,14 @@
+"""Evaluation analytics: distribution stats and search-space math."""
+
+from .stats import DistributionComparison, compare_feature_distributions, histogram_overlap
+from .search_space import TradeoffRow, format_sci, optimizer_overhead, recovery_cost
+
+__all__ = [
+    "DistributionComparison",
+    "compare_feature_distributions",
+    "histogram_overlap",
+    "TradeoffRow",
+    "recovery_cost",
+    "optimizer_overhead",
+    "format_sci",
+]

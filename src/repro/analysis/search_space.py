@@ -1,0 +1,59 @@
+"""Search-space arithmetic for the confidentiality tables (Fig. 6/9)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TradeoffRow", "recovery_cost", "optimizer_overhead", "format_sci"]
+
+
+def recovery_cost(n: int, k: int) -> float:
+    """Exhaustive adversary cost O((k+1)^n) — Fig. 9, row 1."""
+    if n < 0 or k < 0:
+        raise ValueError("n and k must be non-negative")
+    return float(k + 1) ** n
+
+
+def optimizer_overhead(k: int) -> int:
+    """Per-subgraph optimizer workload multiplier O(k) — Fig. 9, row 2.
+
+    Each real subgraph drags k sentinels through the optimizer, so the
+    compile effort is (k+1)x the unprotected pipeline's.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return k + 1
+
+
+def format_sci(x: float) -> str:
+    """Format like the paper's tables: '1.23 x 10^21' (or plain if small)."""
+    if x == 0:
+        return "0"
+    if x < 1e4:
+        return f"{x:.3g}"
+    exp = int(math.floor(math.log10(x)))
+    mant = x / 10**exp
+    return f"{mant:.2f}e{exp}"
+
+
+@dataclass
+class TradeoffRow:
+    """One (n, k) operating point of the Fig. 9 tradeoff table."""
+
+    n: int
+    k: int
+
+    @property
+    def recovery(self) -> float:
+        return recovery_cost(self.n, self.k)
+
+    @property
+    def overhead(self) -> int:
+        return optimizer_overhead(self.k)
+
+    def summary(self) -> str:
+        return (
+            f"n={self.n:3d} k={self.k:3d} recovery={format_sci(self.recovery):>10s} "
+            f"optimizer-overhead={self.overhead}x"
+        )

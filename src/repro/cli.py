@@ -1,0 +1,174 @@
+"""Command-line interface for the two-party Proteus workflow.
+
+The paper's artifact exposes the tool "for direct use ... with easy
+integration with compilers"; this CLI is that integration surface over
+the JSON exchange format:
+
+model owner::
+
+    python -m repro obfuscate  model.json  --bucket ship.json --plan secret.json -k 20
+    python -m repro deobfuscate returned.json secret.json -o optimized_model.json
+
+optimizer party::
+
+    python -m repro optimize   ship.json  -o returned.json --optimizer ortlike
+
+utilities::
+
+    python -m repro build resnet -o model.json       # export a zoo model
+    python -m repro profile model.json               # modelled latency report
+    python -m repro render model.json -o model.dot   # graphviz export
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import Proteus, ProteusConfig
+from .core.bucket_io import load_bucket, load_plan, save_bucket, save_plan
+from .ir.dot import graph_to_dot
+from .ir.serialization import load_graph, save_graph
+from .models import build_model, list_models
+from .optimizer import HidetLikeOptimizer, OrtLikeOptimizer
+
+__all__ = ["main"]
+
+
+def _make_optimizer(name: str, kernel_selection: bool):
+    if name == "ortlike":
+        return OrtLikeOptimizer(kernel_selection=kernel_selection)
+    if name == "hidetlike":
+        return HidetLikeOptimizer()
+    raise SystemExit(f"unknown optimizer {name!r} (ortlike | hidetlike)")
+
+
+def _cmd_build(args) -> int:
+    if args.model not in list_models():
+        print(f"unknown model {args.model!r}; available: {', '.join(list_models())}",
+              file=sys.stderr)
+        return 2
+    graph = build_model(args.model)
+    save_graph(graph, args.output)
+    print(f"wrote {args.model} ({graph.num_nodes} ops) to {args.output}")
+    return 0
+
+
+def _cmd_obfuscate(args) -> int:
+    model = load_graph(args.model)
+    config = ProteusConfig(
+        target_subgraph_size=args.subgraph_size,
+        k=args.k,
+        seed=args.seed,
+        sentinel_strategy=args.strategy,
+    )
+    proteus = Proteus(config)
+    bucket, plan = proteus.obfuscate(model)
+    save_bucket(bucket, args.bucket)
+    save_plan(plan, args.plan)
+    print(
+        f"obfuscated {model.name}: {len(bucket)} subgraphs "
+        f"({bucket.n_groups} groups x {bucket.k + 1}); "
+        f"search space {bucket.nominal_search_space():.2e}"
+    )
+    print(f"  ship to optimizer : {args.bucket}")
+    print(f"  keep secret       : {args.plan}")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    bucket = load_bucket(args.bucket)
+    optimizer = _make_optimizer(args.optimizer, args.kernel_selection)
+    optimized = Proteus.optimize_bucket(bucket, optimizer)
+    save_bucket(optimized, args.output)
+    before = sum(e.graph.num_nodes for e in bucket)
+    after = sum(e.graph.num_nodes for e in optimized)
+    print(f"optimized {len(bucket)} subgraphs with {args.optimizer}: "
+          f"{before} -> {after} total ops; wrote {args.output}")
+    return 0
+
+
+def _cmd_deobfuscate(args) -> int:
+    bucket = load_bucket(args.bucket)
+    plan = load_plan(args.plan)
+    recovered = Proteus.deobfuscate(bucket, plan)
+    save_graph(recovered, args.output)
+    print(f"recovered optimized model ({recovered.num_nodes} ops) -> {args.output}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .runtime import profile_graph
+
+    graph = load_graph(args.model)
+    report = profile_graph(graph)
+    print(report.summary())
+    return 0
+
+
+def _cmd_render(args) -> int:
+    graph = load_graph(args.model)
+    dot = graph_to_dot(graph, show_attrs=not args.no_attrs, show_io=args.io)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(dot)
+    print(f"wrote DOT for {graph.name} to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Proteus: model-confidentiality-preserving graph optimization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="export a zoo model to JSON")
+    p.add_argument("model")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser("obfuscate", help="partition + sentinel-hide a model (owner)")
+    p.add_argument("model")
+    p.add_argument("--bucket", required=True, help="output: bucket to ship")
+    p.add_argument("--plan", required=True, help="output: secret reassembly plan")
+    p.add_argument("-k", type=int, default=20, help="sentinels per subgraph")
+    p.add_argument("--subgraph-size", type=int, default=8)
+    p.add_argument("--strategy", default="mixed",
+                   choices=["generate", "perturb", "mixed"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_obfuscate)
+
+    p = sub.add_parser("optimize", help="optimize every bucket entry (optimizer party)")
+    p.add_argument("bucket")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--optimizer", default="ortlike", choices=["ortlike", "hidetlike"])
+    p.add_argument("--kernel-selection", action="store_true")
+    p.set_defaults(fn=_cmd_optimize)
+
+    p = sub.add_parser("deobfuscate", help="reassemble the optimized model (owner)")
+    p.add_argument("bucket")
+    p.add_argument("plan")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_deobfuscate)
+
+    p = sub.add_parser("profile", help="modelled latency report for a model file")
+    p.add_argument("model")
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser("render", help="export a model file as Graphviz DOT")
+    p.add_argument("model")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--no-attrs", action="store_true")
+    p.add_argument("--io", action="store_true")
+    p.set_defaults(fn=_cmd_render)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Proteus core: partitioning, obfuscation, optimization, reassembly."""
+
+from .config import ProteusConfig
+from .partition import Partition, karger_stein_partition, partition_sizes_std
+from .subgraph import SubgraphBoundary, anonymize_subgraph, extract_subgraph
+from .reassembly import reassemble
+from .bucket_io import load_bucket, load_plan, save_bucket, save_plan
+from .proteus import (
+    BucketEntry,
+    GraphOptimizer,
+    ObfuscatedBucket,
+    Proteus,
+    ReassemblyPlan,
+    SentinelSource,
+)
+
+__all__ = [
+    "ProteusConfig",
+    "Partition",
+    "karger_stein_partition",
+    "partition_sizes_std",
+    "SubgraphBoundary",
+    "extract_subgraph",
+    "anonymize_subgraph",
+    "reassemble",
+    "save_bucket",
+    "load_bucket",
+    "save_plan",
+    "load_plan",
+    "Proteus",
+    "ObfuscatedBucket",
+    "ReassemblyPlan",
+    "BucketEntry",
+    "GraphOptimizer",
+    "SentinelSource",
+]

@@ -1,0 +1,111 @@
+"""On-disk exchange format for the two-party workflow.
+
+The bucket is what actually travels to the optimizer party, and the
+plan is the owner's secret that must survive until the optimized bucket
+comes back — so both need durable serialization.  Format: a single JSON
+document reusing the graph serde.  The bucket file contains *only* what
+the threat model allows the optimizer to see (anonymous entries +
+group ids); boundary maps, real ids and the model template live
+exclusively in the plan file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..ir.serialization import graph_from_dict, graph_to_dict
+from .proteus import BucketEntry, ObfuscatedBucket, ReassemblyPlan
+from .subgraph import SubgraphBoundary
+
+__all__ = ["save_bucket", "load_bucket", "save_plan", "load_plan",
+           "bucket_to_dict", "bucket_from_dict", "plan_to_dict", "plan_from_dict"]
+
+_BUCKET_VERSION = 1
+_PLAN_VERSION = 1
+
+
+def bucket_to_dict(bucket: ObfuscatedBucket) -> Dict[str, Any]:
+    return {
+        "format_version": _BUCKET_VERSION,
+        "n_groups": bucket.n_groups,
+        "k": bucket.k,
+        "entries": [
+            {
+                "entry_id": e.entry_id,
+                "group": e.group,
+                "graph": graph_to_dict(e.graph),
+            }
+            for e in bucket
+        ],
+    }
+
+
+def bucket_from_dict(d: Dict[str, Any]) -> ObfuscatedBucket:
+    if d.get("format_version") != _BUCKET_VERSION:
+        raise ValueError(f"unsupported bucket format: {d.get('format_version')!r}")
+    entries = [
+        BucketEntry(e["entry_id"], int(e["group"]), graph_from_dict(e["graph"]))
+        for e in d["entries"]
+    ]
+    return ObfuscatedBucket(entries, n_groups=int(d["n_groups"]), k=int(d["k"]))
+
+
+def plan_to_dict(plan: ReassemblyPlan) -> Dict[str, Any]:
+    return {
+        "format_version": _PLAN_VERSION,
+        "model_template": graph_to_dict(plan.model_template),
+        "real_ids": list(plan.real_ids),
+        "boundaries": [
+            {
+                "index": b.index,
+                "input_values": list(b.input_values),
+                "output_values": list(b.output_values),
+                "anon_inputs": list(b.anon_inputs),
+                "anon_outputs": list(b.anon_outputs),
+            }
+            for b in plan.boundaries
+        ],
+    }
+
+
+def plan_from_dict(d: Dict[str, Any]) -> ReassemblyPlan:
+    if d.get("format_version") != _PLAN_VERSION:
+        raise ValueError(f"unsupported plan format: {d.get('format_version')!r}")
+    boundaries = [
+        SubgraphBoundary(
+            index=int(b["index"]),
+            input_values=list(b["input_values"]),
+            output_values=list(b["output_values"]),
+            anon_inputs=list(b["anon_inputs"]),
+            anon_outputs=list(b["anon_outputs"]),
+        )
+        for b in d["boundaries"]
+    ]
+    return ReassemblyPlan(
+        model_template=graph_from_dict(d["model_template"]),
+        real_ids=list(d["real_ids"]),
+        boundaries=boundaries,
+    )
+
+
+def save_bucket(bucket: ObfuscatedBucket, path: str) -> None:
+    """Write the optimizer-party artifact (safe to ship)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(bucket_to_dict(bucket), fh)
+
+
+def load_bucket(path: str) -> ObfuscatedBucket:
+    with open(path, "r", encoding="utf-8") as fh:
+        return bucket_from_dict(json.load(fh))
+
+
+def save_plan(plan: ReassemblyPlan, path: str) -> None:
+    """Write the model owner's secret (NOT to be shipped)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(plan_to_dict(plan), fh)
+
+
+def load_plan(path: str) -> ReassemblyPlan:
+    with open(path, "r", encoding="utf-8") as fh:
+        return plan_from_dict(json.load(fh))

@@ -1,0 +1,98 @@
+"""Proteus tunable parameters (paper Fig. 8).
+
+The two headline knobs are ``n`` (number of partitions) and ``k``
+(sentinels per protected subgraph); the paper's standard configuration
+sets ``n = floor(N / 8)`` via ``target_subgraph_size = 8`` and
+``k = 20`` (or 50 for the case studies).  The remaining fields control
+the partitioner and the sentinel generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["ProteusConfig"]
+
+
+@dataclass
+class ProteusConfig:
+    """Configuration for the Proteus obfuscation pipeline.
+
+    Parameters
+    ----------
+    n:
+        Number of graph partitions.  If None, derived from
+        ``target_subgraph_size`` as ``max(1, num_nodes // size)``.
+    target_subgraph_size:
+        Average nodes per subgraph when ``n`` is None.  The paper finds
+        8–16 the sweet spot (§5.2).
+    k:
+        Sentinel subgraphs generated per protected subgraph.
+    beta:
+        Width of the uniform feature band in topology sampling
+        (Algorithm 1); larger beta hides the real subgraph in a wider
+        statistical neighbourhood.
+    partition_trials:
+        Karger–Stein restarts; the trial minimizing subgraph-size
+        standard deviation is kept (§4.1.1).
+    sentinel_strategy:
+        ``"generate"`` — GraphRNN-lite + CSP pipeline (§4.1.2);
+        ``"perturb"`` — minor modifications over the real subgraph (the
+        popular-model path); ``"mixed"`` — half and half;
+        ``"random"`` — random opcodes on generated topologies (the
+        Fig. 6 baseline adversaries defeat).
+    max_solver_solutions:
+        Cap on CSP solution enumeration per topology (Algorithm 2).
+    likelihood_percentile:
+        Keep only operator assignments in this top likelihood
+        percentile (Algorithm 2's ``pct``).
+    seed:
+        Master RNG seed for the whole pipeline.
+    """
+
+    n: Optional[int] = None
+    target_subgraph_size: int = 8
+    k: int = 20
+    beta: float = 0.35
+    partition_trials: int = 16
+    sentinel_strategy: str = "mixed"
+    max_solver_solutions: int = 64
+    likelihood_percentile: float = 50.0
+    seed: int = 0
+
+    _STRATEGIES: Tuple[str, ...] = field(
+        default=("generate", "perturb", "mixed", "random"), init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.n is not None and self.n < 1:
+            raise ValueError("n must be >= 1")
+        if self.target_subgraph_size < 1:
+            raise ValueError("target_subgraph_size must be >= 1")
+        if self.k < 0:
+            raise ValueError("k must be >= 0")
+        if not 0.0 < self.beta:
+            raise ValueError("beta must be positive")
+        if self.partition_trials < 1:
+            raise ValueError("partition_trials must be >= 1")
+        if self.sentinel_strategy not in self._STRATEGIES:
+            raise ValueError(
+                f"sentinel_strategy must be one of {self._STRATEGIES}, "
+                f"got {self.sentinel_strategy!r}"
+            )
+        if not 0.0 < self.likelihood_percentile <= 100.0:
+            raise ValueError("likelihood_percentile must be in (0, 100]")
+
+    def partitions_for(self, num_nodes: int) -> int:
+        """Resolve the partition count for a model with ``num_nodes`` ops."""
+        if self.n is not None:
+            return min(self.n, num_nodes)
+        return max(1, num_nodes // self.target_subgraph_size)
+
+    def search_space_size(self, n: Optional[int] = None) -> float:
+        """The nominal recovery cost O((k+1)^n) from Fig. 9."""
+        eff_n = n if n is not None else self.n
+        if eff_n is None:
+            raise ValueError("n unresolved; pass it explicitly")
+        return float(self.k + 1) ** eff_n

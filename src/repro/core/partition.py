@@ -1,0 +1,187 @@
+"""Randomized graph partitioning via Karger–Stein-style edge contraction.
+
+Paper §4.1.1: repeatedly contract a random edge of the (node-level)
+computational graph until ``n`` super-nodes remain; each super-node's
+constituent operator nodes form one subgraph.  Because only existing
+edges are contracted, every subgraph is a connected region of the
+model.  The raw algorithm yields high size disparity, so we run
+multiple independent trials and keep the partition minimizing the
+standard deviation of subgraph sizes ("balanced K-S").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph
+
+__all__ = ["Partition", "karger_stein_partition", "partition_sizes_std"]
+
+
+class _UnionFind:
+    """Path-compressed union-find over node indices."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.size = [1] * n
+        self.n_components = n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.n_components -= 1
+        return True
+
+
+@dataclass
+class Partition:
+    """Result of partitioning: an ordered list of node-name clusters."""
+
+    clusters: List[List[str]]
+
+    @property
+    def n(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def sizes(self) -> List[int]:
+        return [len(c) for c in self.clusters]
+
+    def cluster_of(self) -> Dict[str, int]:
+        """node name -> cluster index."""
+        owner: Dict[str, int] = {}
+        for idx, cluster in enumerate(self.clusters):
+            for name in cluster:
+                owner[name] = idx
+        return owner
+
+    def validate_covers(self, graph: Graph) -> None:
+        """Check the partition is a disjoint cover of the graph's nodes."""
+        all_names = {n.name for n in graph.nodes}
+        seen: set = set()
+        for cluster in self.clusters:
+            for name in cluster:
+                if name in seen:
+                    raise ValueError(f"node {name!r} appears in two clusters")
+                seen.add(name)
+        if seen != all_names:
+            missing = all_names - seen
+            extra = seen - all_names
+            raise ValueError(
+                f"partition does not cover graph: missing={sorted(missing)[:5]}, "
+                f"extra={sorted(extra)[:5]}"
+            )
+
+
+def _dependency_edges(graph: Graph) -> List[Tuple[int, int]]:
+    index = {node.name: i for i, node in enumerate(graph.nodes)}
+    edges: List[Tuple[int, int]] = []
+    for node in graph.nodes:
+        for inp in node.inputs:
+            producer = graph.producer_of(inp)
+            if producer is not None:
+                edges.append((index[producer.name], index[node.name]))
+    return edges
+
+
+def _contract_once(
+    num_nodes: int, edges: Sequence[Tuple[int, int]], n: int, rng: np.random.Generator
+) -> _UnionFind:
+    """One randomized contraction sequence with a size cap.
+
+    Pure Karger contraction produces highly skewed component sizes; we
+    additionally reject contractions that would push a component past
+    ~1.5x the target size, which is the "almost equal sizes" enhancement
+    of §4.1.1.  Capped edges are retried without the cap if we stall.
+    """
+    uf = _UnionFind(num_nodes)
+    cap = max(2, int(np.ceil(num_nodes / n * 1.5)))
+    order = rng.permutation(len(edges))
+    deferred = []
+    for edge_idx in order:
+        if uf.n_components <= n:
+            break
+        a, b = edges[edge_idx]
+        ra, rb = uf.find(a), uf.find(b)
+        if ra == rb:
+            continue
+        if uf.size[ra] + uf.size[rb] > cap:
+            deferred.append((a, b))
+            continue
+        uf.union(a, b)
+    # stalled under the cap (or disconnected graph): finish without it,
+    # preferring the deferred graph edges so components stay connected.
+    for a, b in deferred:
+        if uf.n_components <= n:
+            break
+        uf.union(a, b)
+    while uf.n_components > n:
+        roots = sorted({uf.find(i) for i in range(num_nodes)}, key=lambda r: uf.size[r])
+        uf.union(roots[0], roots[1])
+    return uf
+
+
+def partition_sizes_std(sizes: Sequence[int]) -> float:
+    """Population standard deviation of subgraph sizes (balance metric)."""
+    return float(np.std(np.asarray(sizes, dtype=float)))
+
+
+def karger_stein_partition(
+    graph: Graph,
+    n: int,
+    trials: int = 16,
+    seed: int = 0,
+) -> Partition:
+    """Partition ``graph`` into ``n`` connected clusters of similar size.
+
+    Runs ``trials`` independent contraction sequences and returns the
+    most balanced result (minimum size standard deviation), per §4.1.1.
+
+    Raises
+    ------
+    ValueError
+        If ``n`` is out of range for the graph.
+    """
+    num_nodes = graph.num_nodes
+    if not 1 <= n <= num_nodes:
+        raise ValueError(f"n must be in [1, {num_nodes}], got {n}")
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    edges = _dependency_edges(graph)
+    rng = np.random.default_rng(seed)
+    names = [node.name for node in graph.nodes]
+
+    best_clusters: List[List[str]] = []
+    best_std = float("inf")
+    for _ in range(trials):
+        uf = _contract_once(num_nodes, edges, n, rng)
+        groups: Dict[int, List[str]] = {}
+        for i, name in enumerate(names):
+            groups.setdefault(uf.find(i), []).append(name)
+        clusters = list(groups.values())
+        std = partition_sizes_std([len(c) for c in clusters])
+        if std < best_std:
+            best_std = std
+            best_clusters = clusters
+    # Deterministic ordering: clusters sorted by earliest node position.
+    position = {name: i for i, name in enumerate(names)}
+    best_clusters.sort(key=lambda c: min(position[x] for x in c))
+    part = Partition(best_clusters)
+    part.validate_covers(graph)
+    return part

@@ -1,0 +1,217 @@
+"""The Proteus mechanism: obfuscate → optimize → de-obfuscate.
+
+Top-level API (paper Fig. 1):
+
+1. ``obfuscate(model)`` — partition the protected graph into ``n``
+   subgraphs (§4.1.1), generate ``k`` sentinel subgraphs per real one
+   (§4.1.2), anonymize everything and shuffle it into an
+   :class:`ObfuscatedBucket`.  The owner keeps the
+   :class:`ReassemblyPlan` (which bucket ids are real + boundary maps).
+2. ``optimize_bucket(bucket, optimizer)`` — the *optimizer party* step:
+   run any graph optimizer over every bucket entry indiscriminately.
+3. ``deobfuscate(bucket, plan)`` — extract the optimized real
+   subgraphs and stitch the optimized model back together (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..ir.shape_inference import infer_shapes
+from .config import ProteusConfig
+from .partition import Partition, karger_stein_partition
+from .reassembly import reassemble
+from .subgraph import SubgraphBoundary, anonymize_subgraph, extract_subgraph
+
+__all__ = [
+    "Proteus",
+    "ObfuscatedBucket",
+    "ReassemblyPlan",
+    "BucketEntry",
+    "GraphOptimizer",
+    "SentinelSource",
+]
+
+
+class GraphOptimizer(Protocol):
+    """Anything with ``optimize(graph) -> graph`` (ORT-like, Hidet-like, ...)."""
+
+    def optimize(self, graph: Graph) -> Graph: ...
+
+
+class SentinelSource(Protocol):
+    """Sentinel generator interface (implemented in :mod:`repro.sentinel`)."""
+
+    def generate(self, real: Graph, k: int, seed: int) -> List[Graph]: ...
+
+
+@dataclass
+class BucketEntry:
+    """One anonymized subgraph as shipped to the optimizer party.
+
+    ``group`` identifies which of the ``n`` buckets the entry belongs
+    to — the adversary sees group membership (the paper's search-space
+    arithmetic ``[1 + (1-beta)k]^n`` assumes it) but not which entry is
+    real.
+    """
+
+    entry_id: str
+    group: int
+    graph: Graph
+
+
+class ObfuscatedBucket:
+    """The full set of ``n * (k+1)`` anonymized subgraphs."""
+
+    def __init__(self, entries: Sequence[BucketEntry], n_groups: int, k: int) -> None:
+        self.entries: List[BucketEntry] = list(entries)
+        self.n_groups = n_groups
+        self.k = k
+        self._by_id: Dict[str, BucketEntry] = {e.entry_id: e for e in self.entries}
+        if len(self._by_id) != len(self.entries):
+            raise ValueError("duplicate bucket entry ids")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def get(self, entry_id: str) -> BucketEntry:
+        return self._by_id[entry_id]
+
+    def group_entries(self, group: int) -> List[BucketEntry]:
+        return [e for e in self.entries if e.group == group]
+
+    def nominal_search_space(self) -> float:
+        """O((k+1)^n): candidate models an exhaustive adversary must weigh."""
+        return float(self.k + 1) ** self.n_groups
+
+    def with_graphs(self, graphs: Dict[str, Graph]) -> "ObfuscatedBucket":
+        """A new bucket with each entry's graph replaced by ``graphs[id]``."""
+        entries = [
+            BucketEntry(e.entry_id, e.group, graphs[e.entry_id]) for e in self.entries
+        ]
+        return ObfuscatedBucket(entries, self.n_groups, self.k)
+
+
+@dataclass
+class ReassemblyPlan:
+    """The model owner's secret: which entries are real and how they join."""
+
+    model_template: Graph
+    real_ids: List[str]  # bucket id of the real subgraph, per group in order
+    boundaries: List[SubgraphBoundary] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.real_ids) != len(self.boundaries):
+            raise ValueError("real_ids and boundaries must align")
+
+
+class Proteus:
+    """Proteus obfuscation pipeline (see module docstring)."""
+
+    def __init__(
+        self,
+        config: Optional[ProteusConfig] = None,
+        sentinel_source: Optional[SentinelSource] = None,
+    ) -> None:
+        self.config = config or ProteusConfig()
+        self._sentinel_source = sentinel_source
+
+    # -- step 0: partitioning (exposed for experiments) ----------------------
+    def partition(self, graph: Graph) -> Partition:
+        n = self.config.partitions_for(graph.num_nodes)
+        return karger_stein_partition(
+            graph, n, trials=self.config.partition_trials, seed=self.config.seed
+        )
+
+    # -- sentinel source resolution ------------------------------------------
+    def sentinel_source(self) -> SentinelSource:
+        """The configured sentinel generator (built lazily on first use)."""
+        if self._sentinel_source is None:
+            from ..sentinel import default_sentinel_source
+
+            self._sentinel_source = default_sentinel_source(self.config)
+        return self._sentinel_source
+
+    # -- step 1: obfuscation ----------------------------------------------------
+    def obfuscate(self, graph: Graph) -> Tuple[ObfuscatedBucket, ReassemblyPlan]:
+        """Partition + sentinel-generate + anonymize + shuffle."""
+        infer_shapes(graph)
+        partition = self.partition(graph)
+        k = self.config.k
+        rng = np.random.default_rng(self.config.seed)
+        source = self.sentinel_source() if k > 0 else None
+
+        entries: List[BucketEntry] = []
+        real_ids: List[str] = []
+        boundaries: List[SubgraphBoundary] = []
+        next_id = 0
+
+        def fresh_id() -> str:
+            nonlocal next_id
+            eid = f"g{next_id:05d}"
+            next_id += 1
+            return eid
+
+        for group, cluster in enumerate(partition.clusters):
+            sub, boundary = extract_subgraph(graph, cluster, group)
+            group_graphs: List[Tuple[Graph, bool]] = [(sub, True)]
+            if source is not None:
+                sentinels = source.generate(
+                    sub, k, seed=int(rng.integers(0, 2**31 - 1))
+                )
+                if len(sentinels) != k:
+                    raise RuntimeError(
+                        f"sentinel source returned {len(sentinels)} graphs, wanted {k}"
+                    )
+                group_graphs.extend((s, False) for s in sentinels)
+            order = rng.permutation(len(group_graphs))
+            for pos in order:
+                g, is_real = group_graphs[pos]
+                eid = fresh_id()
+                if is_real:
+                    anon, anon_boundary = anonymize_subgraph(g, boundary, eid)
+                    entries.append(BucketEntry(eid, group, anon))
+                    real_ids.append(eid)
+                    boundaries.append(anon_boundary)
+                else:
+                    # sentinels are born anonymous but get the same rename
+                    # treatment so naming conventions cannot leak realness.
+                    dummy = SubgraphBoundary(group, [], [])
+                    anon, _ = anonymize_subgraph(g, dummy, eid)
+                    entries.append(BucketEntry(eid, group, anon))
+
+        bucket = ObfuscatedBucket(entries, n_groups=partition.n, k=k)
+        plan = ReassemblyPlan(
+            model_template=graph.clone(), real_ids=real_ids, boundaries=boundaries
+        )
+        return bucket, plan
+
+    # -- step 2: optimization (optimizer party) -------------------------------------
+    @staticmethod
+    def optimize_bucket(bucket: ObfuscatedBucket, optimizer: GraphOptimizer) -> ObfuscatedBucket:
+        """Optimize every entry — the optimizer cannot tell real from sentinel."""
+        optimized: Dict[str, Graph] = {}
+        for entry in bucket:
+            optimized[entry.entry_id] = optimizer.optimize(entry.graph)
+        return bucket.with_graphs(optimized)
+
+    # -- step 3: de-obfuscation -----------------------------------------------------------
+    @staticmethod
+    def deobfuscate(bucket: ObfuscatedBucket, plan: ReassemblyPlan) -> Graph:
+        """Extract the real optimized subgraphs and stitch the model."""
+        subs = [bucket.get(eid).graph for eid in plan.real_ids]
+        return reassemble(plan.model_template, subs, plan.boundaries)
+
+    # -- convenience ---------------------------------------------------------------------------
+    def run_pipeline(self, graph: Graph, optimizer: GraphOptimizer) -> Graph:
+        """obfuscate → optimize → deobfuscate in one call."""
+        bucket, plan = self.obfuscate(graph)
+        optimized = self.optimize_bucket(bucket, optimizer)
+        return self.deobfuscate(optimized, plan)

@@ -1,0 +1,104 @@
+"""De-obfuscation: stitch optimized real subgraphs back into the model.
+
+Paper §4.3: the model owner extracts the optimized versions of the
+*real* subgraphs from the returned bucket, maps their anonymized
+boundary names back to the original value names, prefixes all internal
+identifiers to avoid collisions, and reconnects the pieces along the
+recorded boundary edges.  Functional correctness of the result follows
+from per-subgraph functional correctness (composition of equivalent
+functions), which our tests verify through the executor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..ir.graph import Graph, Value
+from ..ir.node import Node
+from ..ir.shape_inference import infer_shapes
+from ..ir.validate import validate_graph
+from .subgraph import SubgraphBoundary
+
+__all__ = ["reassemble"]
+
+
+def reassemble(
+    model_template: Graph,
+    optimized_subgraphs: Sequence[Graph],
+    boundaries: Sequence[SubgraphBoundary],
+) -> Graph:
+    """Rebuild the optimized model from its optimized real subgraphs.
+
+    Parameters
+    ----------
+    model_template:
+        The original protected graph — supplies the model's public
+        interface (input/output names and types).  Its body is ignored.
+    optimized_subgraphs:
+        The optimizer's output for each real subgraph, in partition
+        order (matching ``boundaries``).
+    boundaries:
+        Boundary records produced during obfuscation; when a boundary
+        carries anonymized names, they are translated back.
+    """
+    if len(optimized_subgraphs) != len(boundaries):
+        raise ValueError(
+            f"{len(optimized_subgraphs)} subgraphs but {len(boundaries)} boundaries"
+        )
+    assembled = Graph(
+        f"{model_template.name}_optimized",
+        inputs=list(model_template.inputs),
+        outputs=list(model_template.outputs),
+    )
+    for sub, boundary in zip(optimized_subgraphs, boundaries):
+        _splice(assembled, sub, boundary)
+    infer_shapes(assembled)
+    validate_graph(assembled)
+    assembled.toposort_inplace()
+    return assembled
+
+
+def _splice(assembled: Graph, sub: Graph, boundary: SubgraphBoundary) -> None:
+    """Copy one optimized subgraph into the assembled model."""
+    anon_map = boundary.anon_to_original()
+    missing = [a for a in boundary.anon_inputs + boundary.anon_outputs if a in anon_map and a not in sub.all_value_names()]
+    if missing:
+        raise ValueError(
+            f"subgraph {sub.name!r} lost boundary values during optimization: {missing}"
+        )
+
+    prefix = f"sg{boundary.index}/"
+
+    def rename(value: str) -> str:
+        # boundary values translate back to original model names;
+        # everything internal gets a collision-proof prefix.
+        if value in anon_map:
+            return anon_map[value]
+        return prefix + value
+
+    for name, arr in sub.initializers.items():
+        assembled.add_initializer(rename(name), arr)
+    for node in sub.topological_order():
+        assembled.add_node(
+            Node(
+                prefix + node.name,
+                node.op_type,
+                [rename(x) for x in node.inputs],
+                [rename(x) for x in node.outputs],
+                dict(node.attrs),
+            )
+        )
+
+
+def stitch_boundaries_consistent(boundaries: Sequence[SubgraphBoundary]) -> Dict[str, List[int]]:
+    """Diagnostic: map each boundary value to the subgraphs touching it.
+
+    A healthy obfuscation has every non-model-interface boundary value
+    produced by exactly one subgraph; this helper surfaces violations
+    when debugging custom partitioners.
+    """
+    producers: Dict[str, List[int]] = {}
+    for b in boundaries:
+        for out in b.output_values:
+            producers.setdefault(out, []).append(b.index)
+    return producers

@@ -1,0 +1,154 @@
+"""Subgraph extraction with boundary tracking, plus anonymization.
+
+``extract_subgraph`` lifts one partition cluster into a standalone,
+valid :class:`Graph`: values produced outside the cluster become typed
+subgraph inputs, values consumed outside (or model outputs) become
+subgraph outputs, and referenced initializers are copied in.
+
+``anonymize_subgraph`` then strips every identifier the model owner's
+naming could leak (node names like ``layer4_conv2``), producing the
+neutral names actually shipped to the optimizer party; the returned
+name maps stay with the owner inside the ReassemblyPlan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from ..ir.graph import Graph, Value
+from ..ir.node import Node
+from ..ir.shape_inference import infer_shapes
+from ..ir.validate import validate_graph
+
+__all__ = ["SubgraphBoundary", "extract_subgraph", "anonymize_subgraph"]
+
+
+@dataclass
+class SubgraphBoundary:
+    """Where a subgraph connects to the rest of the model.
+
+    ``input_values`` / ``output_values`` are the *original* (model-side)
+    value names; ``anon_inputs`` / ``anon_outputs`` are the anonymized
+    names visible to the optimizer party, in the same order.
+    """
+
+    index: int
+    input_values: List[str]
+    output_values: List[str]
+    anon_inputs: List[str] = field(default_factory=list)
+    anon_outputs: List[str] = field(default_factory=list)
+
+    def anon_to_original(self) -> Dict[str, str]:
+        mapping = dict(zip(self.anon_inputs, self.input_values))
+        mapping.update(zip(self.anon_outputs, self.output_values))
+        return mapping
+
+
+def extract_subgraph(graph: Graph, cluster: Sequence[str], index: int) -> "tuple[Graph, SubgraphBoundary]":
+    """Extract the nodes in ``cluster`` as a standalone graph.
+
+    The parent graph must be shape-inferred (``graph.value_types``
+    populated) so boundary inputs get types.
+    """
+    if not graph.value_types:
+        infer_shapes(graph)
+    members: Set[str] = set(cluster)
+    nodes = [node.clone() for node in graph.topological_order() if node.name in members]
+    if len(nodes) != len(members):
+        missing = members - {n.name for n in nodes}
+        raise ValueError(f"cluster references unknown nodes: {sorted(missing)[:5]}")
+
+    produced: Set[str] = set()
+    for node in nodes:
+        produced.update(node.outputs)
+
+    inputs: List[str] = []
+    initializers: Dict[str, "object"] = {}
+    seen_inputs: Set[str] = set()
+    for node in nodes:
+        for inp in node.inputs:
+            if inp in produced or inp in seen_inputs or inp in initializers:
+                continue
+            if graph.is_initializer(inp):
+                initializers[inp] = graph.initializers[inp]
+            else:
+                inputs.append(inp)
+                seen_inputs.add(inp)
+
+    outputs: List[str] = []
+    model_outputs = set(graph.output_names)
+    for node in nodes:
+        for out in node.outputs:
+            consumed_outside = any(
+                c.name not in members for c in graph.consumers_of(out)
+            )
+            if consumed_outside or out in model_outputs:
+                outputs.append(out)
+
+    sub = Graph(
+        f"{graph.name}_sg{index}",
+        inputs=[Value(name, graph.value_types[name]) for name in inputs],
+        outputs=[Value(name, graph.value_types.get(name)) for name in outputs],
+        nodes=nodes,
+        initializers=dict(initializers),
+    )
+    infer_shapes(sub)
+    sub.outputs = [Value(v.name, sub.value_types[v.name]) for v in sub.outputs]
+    validate_graph(sub)
+    boundary = SubgraphBoundary(index=index, input_values=list(inputs), output_values=list(outputs))
+    return sub, boundary
+
+
+def anonymize_subgraph(
+    sub: Graph, boundary: SubgraphBoundary, new_name: str
+) -> "tuple[Graph, SubgraphBoundary]":
+    """Rename every node/value/initializer to neutral identifiers.
+
+    Returns a renamed clone plus an updated boundary carrying the
+    anonymized input/output names.  Attribute contents are untouched —
+    operator attributes (kernel shapes etc.) are architecture, which is
+    exactly what the sentinels are meant to hide among, not names.
+    """
+    value_map: Dict[str, str] = {}
+    counter = 0
+    for v in sub.inputs:
+        value_map[v.name] = f"in{len(value_map)}"
+    for name in sub.initializers:
+        value_map.setdefault(name, f"c{counter}")
+        counter += 1
+    body_counter = 0
+    for node in sub.topological_order():
+        for out in node.outputs:
+            if out not in value_map:
+                value_map[out] = f"t{body_counter}"
+                body_counter += 1
+
+    nodes = []
+    for i, node in enumerate(sub.topological_order()):
+        nodes.append(
+            Node(
+                f"op{i}",
+                node.op_type,
+                [value_map[x] for x in node.inputs],
+                [value_map[x] for x in node.outputs],
+                dict(node.attrs),
+            )
+        )
+    anon = Graph(
+        new_name,
+        inputs=[Value(value_map[v.name], v.type) for v in sub.inputs],
+        outputs=[Value(value_map[v.name], v.type) for v in sub.outputs],
+        nodes=nodes,
+        initializers={value_map[k]: v for k, v in sub.initializers.items()},
+    )
+    infer_shapes(anon)
+    validate_graph(anon)
+    new_boundary = SubgraphBoundary(
+        index=boundary.index,
+        input_values=list(boundary.input_values),
+        output_values=list(boundary.output_values),
+        anon_inputs=[value_map[x] for x in boundary.input_values],
+        anon_outputs=[value_map[x] for x in boundary.output_values],
+    )
+    return anon, new_boundary

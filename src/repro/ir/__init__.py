@@ -1,0 +1,45 @@
+"""Computational-graph IR: the ONNX-flavoured substrate Proteus operates on."""
+
+from .dtypes import DataType, TensorType, f32, from_numpy_dtype, i64, numpy_dtype
+from .node import Node
+from .graph import Graph, GraphError, Value
+from .ops import MODEL_OPCODES, OPSET, SENTINEL_OPCODES, OpSpec, is_registered, op_spec
+from .shape_inference import (
+    ShapeInferenceError,
+    broadcast_shapes,
+    infer_node_types,
+    infer_shapes,
+)
+from .builder import GraphBuilder
+from .validate import ValidationError, validate_graph
+from .serialization import graph_from_dict, graph_to_dict, load_graph, save_graph
+
+__all__ = [
+    "DataType",
+    "TensorType",
+    "f32",
+    "i64",
+    "numpy_dtype",
+    "from_numpy_dtype",
+    "Node",
+    "Graph",
+    "GraphError",
+    "Value",
+    "OpSpec",
+    "OPSET",
+    "MODEL_OPCODES",
+    "SENTINEL_OPCODES",
+    "op_spec",
+    "is_registered",
+    "ShapeInferenceError",
+    "infer_shapes",
+    "infer_node_types",
+    "broadcast_shapes",
+    "GraphBuilder",
+    "ValidationError",
+    "validate_graph",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+]

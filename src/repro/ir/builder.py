@@ -1,0 +1,354 @@
+"""Fluent graph construction API used by the model zoo and tests.
+
+A :class:`GraphBuilder` tracks fresh value/node names, registers weights
+as initializers (randomly initialized from a seeded RNG so graphs are
+reproducible and executable), and exposes one convenience method per
+common operator.  ``build()`` finalizes the graph, runs shape inference
+and validation, and returns an immutable-by-convention :class:`Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .dtypes import DataType, TensorType, numpy_dtype
+from .graph import Graph, Value
+from .node import Node
+from .shape_inference import infer_shapes
+from .validate import validate_graph
+
+__all__ = ["GraphBuilder"]
+
+ShapeLike = Sequence[int]
+
+
+class GraphBuilder:
+    """Incrementally build a valid computational graph."""
+
+    def __init__(self, name: str, seed: int = 0) -> None:
+        self.graph = Graph(name)
+        self.rng = np.random.default_rng(seed)
+        self._counters: Dict[str, int] = {}
+
+    # -- naming --------------------------------------------------------------
+    def _fresh(self, base: str) -> str:
+        idx = self._counters.get(base, 0)
+        self._counters[base] = idx + 1
+        return f"{base}_{idx}"
+
+    # -- interface -----------------------------------------------------------
+    def input(self, name: str, shape: ShapeLike, dtype: DataType = DataType.FLOAT32) -> str:
+        self.graph.inputs.append(Value(name, TensorType(dtype, tuple(shape))))
+        self.graph.value_types[name] = TensorType(dtype, tuple(shape))
+        return name
+
+    def mark_output(self, *names: str) -> None:
+        for name in names:
+            self.graph.outputs.append(Value(name, self.graph.value_types.get(name)))
+
+    def weight(
+        self,
+        shape: ShapeLike,
+        name: Optional[str] = None,
+        dtype: DataType = DataType.FLOAT32,
+        scale: float = 0.05,
+    ) -> str:
+        """Register a random-normal weight initializer and return its name."""
+        wname = name or self._fresh("w")
+        arr = (self.rng.standard_normal(tuple(shape)) * scale).astype(numpy_dtype(dtype))
+        self.graph.add_initializer(wname, arr)
+        return wname
+
+    def constant(self, array: np.ndarray, name: Optional[str] = None) -> str:
+        """Register an explicit constant initializer."""
+        cname = name or self._fresh("const")
+        self.graph.add_initializer(cname, np.asarray(array))
+        return cname
+
+    # -- generic op ------------------------------------------------------------
+    def op(
+        self,
+        op_type: str,
+        inputs: Sequence[str],
+        attrs: Optional[Dict[str, Any]] = None,
+        name: Optional[str] = None,
+        n_outputs: int = 1,
+    ) -> Union[str, Tuple[str, ...]]:
+        node_name = name or self._fresh(op_type.lower())
+        outputs = [f"{node_name}_out" if i == 0 else f"{node_name}_out{i}" for i in range(n_outputs)]
+        self.graph.add_node(Node(node_name, op_type, list(inputs), outputs, attrs))
+        return outputs[0] if n_outputs == 1 else tuple(outputs)
+
+    # -- conv / pool -----------------------------------------------------------
+    def conv(
+        self,
+        x: str,
+        out_channels: int,
+        kernel: Union[int, Tuple[int, int]] = 3,
+        stride: Union[int, Tuple[int, int]] = 1,
+        pad: Optional[int] = None,
+        group: int = 1,
+        bias: bool = True,
+        in_channels: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        """2-D convolution; infers ``in_channels`` from the current type map."""
+        if in_channels is None:
+            t = self.graph.value_types.get(x)
+            if t is None or t.rank != 4:
+                raise ValueError(
+                    f"cannot infer in_channels for conv over {x!r}; pass it explicitly"
+                )
+            in_channels = t.shape[1]
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        if pad is None:
+            pad = kh // 2  # "same" padding for odd kernels at stride 1
+        w = self.weight((out_channels, in_channels // group, kh, kw))
+        ins = [x, w]
+        if bias:
+            ins.append(self.weight((out_channels,)))
+        out = self.op(
+            "Conv",
+            ins,
+            attrs={
+                "kernel_shape": (kh, kw),
+                "strides": (stride, stride) if isinstance(stride, int) else tuple(stride),
+                "pads": int(pad),
+                "group": int(group),
+            },
+            name=name,
+        )
+        self._record_type(out)
+        return out
+
+    def maxpool(self, x: str, kernel: int = 2, stride: Optional[int] = None, pad: int = 0) -> str:
+        out = self.op(
+            "MaxPool",
+            [x],
+            attrs={
+                "kernel_shape": (kernel, kernel),
+                "strides": (stride or kernel, stride or kernel),
+                "pads": pad,
+            },
+        )
+        self._record_type(out)
+        return out
+
+    def avgpool(self, x: str, kernel: int = 2, stride: Optional[int] = None, pad: int = 0) -> str:
+        out = self.op(
+            "AveragePool",
+            [x],
+            attrs={
+                "kernel_shape": (kernel, kernel),
+                "strides": (stride or kernel, stride or kernel),
+                "pads": pad,
+            },
+        )
+        self._record_type(out)
+        return out
+
+    def global_avgpool(self, x: str) -> str:
+        out = self.op("GlobalAveragePool", [x])
+        self._record_type(out)
+        return out
+
+    # -- normalization -----------------------------------------------------------
+    def batchnorm(self, x: str, channels: Optional[int] = None, eps: float = 1e-5) -> str:
+        if channels is None:
+            t = self.graph.value_types.get(x)
+            if t is None or t.rank < 2:
+                raise ValueError(f"cannot infer channels for batchnorm over {x!r}")
+            channels = t.shape[1]
+        scale = self.constant(np.ones(channels, dtype=np.float32), self._fresh("bn_scale"))
+        bias = self.constant(np.zeros(channels, dtype=np.float32), self._fresh("bn_bias"))
+        mean = self.constant(
+            (self.rng.standard_normal(channels) * 0.01).astype(np.float32),
+            self._fresh("bn_mean"),
+        )
+        var = self.constant(
+            (np.abs(self.rng.standard_normal(channels)) * 0.1 + 1.0).astype(np.float32),
+            self._fresh("bn_var"),
+        )
+        out = self.op("BatchNormalization", [x, scale, bias, mean, var], attrs={"epsilon": eps})
+        self._record_type(out)
+        return out
+
+    def layernorm(self, x: str, dim: int, eps: float = 1e-5) -> str:
+        scale = self.constant(np.ones(dim, dtype=np.float32), self._fresh("ln_scale"))
+        bias = self.constant(np.zeros(dim, dtype=np.float32), self._fresh("ln_bias"))
+        out = self.op("LayerNormalization", [x, scale, bias], attrs={"axis": -1, "epsilon": eps})
+        self._record_type(out)
+        return out
+
+    # -- activations ---------------------------------------------------------------
+    def relu(self, x: str) -> str:
+        return self._unary("Relu", x)
+
+    def sigmoid(self, x: str) -> str:
+        return self._unary("Sigmoid", x)
+
+    def hardsigmoid(self, x: str) -> str:
+        return self._unary("HardSigmoid", x)
+
+    def hardswish(self, x: str) -> str:
+        return self._unary("HardSwish", x)
+
+    def tanh(self, x: str) -> str:
+        return self._unary("Tanh", x)
+
+    def erf(self, x: str) -> str:
+        return self._unary("Erf", x)
+
+    def clip(self, x: str, lo: float = 0.0, hi: float = 6.0) -> str:
+        out = self.op("Clip", [x], attrs={"min": float(lo), "max": float(hi)})
+        self._record_type(out)
+        return out
+
+    def softmax(self, x: str, axis: int = -1) -> str:
+        out = self.op("Softmax", [x], attrs={"axis": axis})
+        self._record_type(out)
+        return out
+
+    def _unary(self, op_type: str, x: str) -> str:
+        out = self.op(op_type, [x])
+        self._record_type(out)
+        return out
+
+    # -- elementwise math -----------------------------------------------------------
+    def add(self, a: str, b: str) -> str:
+        return self._binary("Add", a, b)
+
+    def sub(self, a: str, b: str) -> str:
+        return self._binary("Sub", a, b)
+
+    def mul(self, a: str, b: str) -> str:
+        return self._binary("Mul", a, b)
+
+    def div(self, a: str, b: str) -> str:
+        return self._binary("Div", a, b)
+
+    def pow(self, a: str, b: str) -> str:
+        return self._binary("Pow", a, b)
+
+    def sqrt(self, x: str) -> str:
+        return self._unary("Sqrt", x)
+
+    def _binary(self, op_type: str, a: str, b: str) -> str:
+        out = self.op(op_type, [a, b])
+        self._record_type(out)
+        return out
+
+    def scalar(self, value: float) -> str:
+        """Register a float32 scalar constant."""
+        return self.constant(np.asarray(value, dtype=np.float32))
+
+    # -- matrix ops --------------------------------------------------------------------
+    def matmul(self, a: str, b: str) -> str:
+        out = self.op("MatMul", [a, b])
+        self._record_type(out)
+        return out
+
+    def linear(self, x: str, in_dim: int, out_dim: int, bias: bool = True) -> str:
+        """MatMul(x, W) [+ Add bias] — the pre-fusion form ONNX exporters emit."""
+        w = self.weight((in_dim, out_dim))
+        out = self.matmul(x, w)
+        if bias:
+            b = self.weight((out_dim,))
+            out = self.add(out, b)
+        return out
+
+    def gemm(self, a: str, in_dim: int, out_dim: int, bias: bool = True) -> str:
+        w = self.weight((in_dim, out_dim))
+        ins = [a, w]
+        if bias:
+            ins.append(self.weight((out_dim,)))
+        out = self.op("Gemm", ins, attrs={"alpha": 1.0, "beta": 1.0, "transA": 0, "transB": 0})
+        self._record_type(out)
+        return out
+
+    # -- shape ops ----------------------------------------------------------------------
+    def reshape(self, x: str, shape: ShapeLike) -> str:
+        out = self.op("Reshape", [x], attrs={"shape": tuple(int(d) for d in shape)})
+        self._record_type(out)
+        return out
+
+    def transpose(self, x: str, perm: ShapeLike) -> str:
+        out = self.op("Transpose", [x], attrs={"perm": tuple(int(p) for p in perm)})
+        self._record_type(out)
+        return out
+
+    def flatten(self, x: str, axis: int = 1) -> str:
+        out = self.op("Flatten", [x], attrs={"axis": axis})
+        self._record_type(out)
+        return out
+
+    def concat(self, xs: Sequence[str], axis: int) -> str:
+        out = self.op("Concat", list(xs), attrs={"axis": axis})
+        self._record_type(out)
+        return out
+
+    def gather(self, data: str, indices: str, axis: int = 0) -> str:
+        out = self.op("Gather", [data, indices], attrs={"axis": axis})
+        self._record_type(out)
+        return out
+
+    def reduce_mean(self, x: str, axes: Sequence[int], keepdims: bool = True) -> str:
+        out = self.op(
+            "ReduceMean",
+            [x],
+            attrs={"axes": tuple(int(a) for a in axes), "keepdims": int(keepdims)},
+        )
+        self._record_type(out)
+        return out
+
+    def identity(self, x: str) -> str:
+        return self._unary("Identity", x)
+
+    def dropout(self, x: str, ratio: float = 0.1) -> str:
+        out = self.op("Dropout", [x], attrs={"ratio": float(ratio)})
+        self._record_type(out)
+        return out
+
+    # -- incremental typing ----------------------------------------------------------------
+    def _record_type(self, value: str) -> None:
+        """Incrementally type the newly produced value.
+
+        Keeps ``conv``/``batchnorm`` channel inference working while the
+        graph is under construction; full inference reruns at ``build()``.
+        """
+        node = self.graph.producer_of(value)
+        if node is None:
+            return
+        from .shape_inference import infer_node_types
+
+        try:
+            ins = [self.graph.value_types[i] for i in node.inputs]
+        except KeyError:
+            return
+        outs = infer_node_types(node, ins)
+        for out_name, out_type in zip(node.outputs, outs):
+            self.graph.value_types[out_name] = out_type
+
+    def type_of(self, value: str) -> TensorType:
+        return self.graph.value_types[value]
+
+    def shape_of(self, value: str) -> Tuple[int, ...]:
+        return self.graph.value_types[value].shape
+
+    # -- finalization ---------------------------------------------------------------------------
+    def build(self, outputs: Optional[Sequence[str]] = None) -> Graph:
+        """Finalize: set outputs, shape-infer, validate, return the graph."""
+        if outputs is not None:
+            self.graph.outputs = []
+            self.mark_output(*outputs)
+        if not self.graph.outputs:
+            raise ValueError("graph has no outputs; pass them to build()")
+        infer_shapes(self.graph)
+        self.graph.outputs = [
+            Value(v.name, self.graph.value_types[v.name]) for v in self.graph.outputs
+        ]
+        validate_graph(self.graph)
+        self.graph.toposort_inplace()
+        return self.graph

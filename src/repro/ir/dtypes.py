@@ -1,0 +1,112 @@
+"""Data types and tensor type descriptors for the computational-graph IR.
+
+The IR mirrors the ONNX tensor model: every edge in a graph carries a
+:class:`TensorType` (element dtype + static shape).  Shapes are fully
+static — the reproduction fixes batch size at graph-build time, which is
+what the Proteus paper does as well (ONNX models exported with a fixed
+batch of 1 for latency measurement).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["DataType", "TensorType", "numpy_dtype", "from_numpy_dtype"]
+
+
+class DataType(enum.Enum):
+    """Element types supported by the IR (a pragmatic subset of ONNX's)."""
+
+    FLOAT32 = "float32"
+    FLOAT64 = "float64"
+    INT64 = "int64"
+    INT32 = "int32"
+    BOOL = "bool"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataType.{self.name}"
+
+
+_NUMPY_OF = {
+    DataType.FLOAT32: np.dtype(np.float32),
+    DataType.FLOAT64: np.dtype(np.float64),
+    DataType.INT64: np.dtype(np.int64),
+    DataType.INT32: np.dtype(np.int32),
+    DataType.BOOL: np.dtype(np.bool_),
+}
+
+_OF_NUMPY = {v: k for k, v in _NUMPY_OF.items()}
+
+
+def numpy_dtype(dtype: DataType) -> np.dtype:
+    """Return the numpy dtype corresponding to an IR :class:`DataType`."""
+    return _NUMPY_OF[dtype]
+
+
+def from_numpy_dtype(dtype: "np.dtype | type") -> DataType:
+    """Return the IR :class:`DataType` for a numpy dtype.
+
+    Raises
+    ------
+    ValueError
+        If the numpy dtype has no IR equivalent.
+    """
+    npdt = np.dtype(dtype)
+    try:
+        return _OF_NUMPY[npdt]
+    except KeyError as exc:
+        raise ValueError(f"unsupported numpy dtype for IR tensors: {npdt}") from exc
+
+
+@dataclass(frozen=True)
+class TensorType:
+    """Static type of a tensor value: element dtype plus shape.
+
+    ``shape`` is a tuple of non-negative ints.  A rank-0 tensor (scalar)
+    has ``shape == ()``.
+    """
+
+    dtype: DataType
+    shape: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
+        for dim in self.shape:
+            if dim < 0:
+                raise ValueError(f"negative dimension in shape {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def num_bytes(self) -> int:
+        return self.num_elements * numpy_dtype(self.dtype).itemsize
+
+    def with_shape(self, shape: Tuple[int, ...]) -> "TensorType":
+        return TensorType(self.dtype, tuple(shape))
+
+    def __str__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape) or "scalar"
+        return f"{self.dtype.value}[{dims}]"
+
+
+def f32(*shape: int) -> TensorType:
+    """Shorthand constructor used pervasively in tests and model builders."""
+    return TensorType(DataType.FLOAT32, tuple(shape))
+
+
+def i64(*shape: int) -> TensorType:
+    """Shorthand for an int64 tensor type."""
+    return TensorType(DataType.INT64, tuple(shape))

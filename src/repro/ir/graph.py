@@ -1,0 +1,316 @@
+"""The computational graph: a DAG of operator nodes over named values.
+
+Mirrors the ONNX ``GraphProto`` model:
+
+* ``inputs`` / ``outputs`` — the graph's public interface (typed values);
+* ``initializers`` — named constant tensors (weights, biases, tables);
+* ``nodes`` — operator applications connected by value names;
+* ``value_types`` — the (inferred) type of every value in the graph.
+
+Node-level connectivity is derived from value names: node *B* depends on
+node *A* iff some output of *A* is an input of *B*.  Producer/consumer
+indices are cached and invalidated on mutation, so passes can freely
+interleave queries and rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .dtypes import TensorType, from_numpy_dtype
+from .node import Node
+
+__all__ = ["Value", "Graph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised on structurally invalid graphs or invalid mutations."""
+
+
+@dataclass(frozen=True)
+class Value:
+    """A named, typed edge endpoint in the graph interface."""
+
+    name: str
+    type: Optional[TensorType] = None
+
+
+class Graph:
+    """A directed acyclic computational graph."""
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Optional[Sequence[Value]] = None,
+        outputs: Optional[Sequence[Value]] = None,
+        nodes: Optional[Sequence[Node]] = None,
+        initializers: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        self.name = name
+        self.inputs: List[Value] = list(inputs or [])
+        self.outputs: List[Value] = list(outputs or [])
+        self.nodes: List[Node] = list(nodes or [])
+        self.initializers: Dict[str, np.ndarray] = dict(initializers or {})
+        self.value_types: Dict[str, TensorType] = {}
+        for v in self.inputs:
+            if v.type is not None:
+                self.value_types[v.name] = v.type
+        for name_, arr in self.initializers.items():
+            self.value_types[name_] = TensorType(from_numpy_dtype(arr.dtype), arr.shape)
+        self._dirty = True
+        self._producer: Dict[str, Node] = {}
+        self._consumers: Dict[str, List[Node]] = {}
+
+    # -- indices -----------------------------------------------------------
+    def _rebuild_indices(self) -> None:
+        producer: Dict[str, Node] = {}
+        consumers: Dict[str, List[Node]] = {}
+        for node in self.nodes:
+            for out in node.outputs:
+                if out in producer:
+                    raise GraphError(
+                        f"value {out!r} produced by both "
+                        f"{producer[out].name!r} and {node.name!r}"
+                    )
+                producer[out] = node
+            for inp in node.inputs:
+                consumers.setdefault(inp, []).append(node)
+        self._producer = producer
+        self._consumers = consumers
+        self._dirty = False
+
+    def _invalidate(self) -> None:
+        self._dirty = True
+
+    def producer_of(self, value: str) -> Optional[Node]:
+        """Node producing ``value``, or None for graph inputs/initializers."""
+        if self._dirty:
+            self._rebuild_indices()
+        return self._producer.get(value)
+
+    def consumers_of(self, value: str) -> List[Node]:
+        """Nodes consuming ``value`` (possibly multiple uses per node)."""
+        if self._dirty:
+            self._rebuild_indices()
+        return list(self._consumers.get(value, ()))
+
+    def predecessors(self, node: Node) -> List[Node]:
+        """Distinct producer nodes feeding ``node``, in input order."""
+        seen: Set[str] = set()
+        preds: List[Node] = []
+        for inp in node.inputs:
+            p = self.producer_of(inp)
+            if p is not None and p.name not in seen:
+                seen.add(p.name)
+                preds.append(p)
+        return preds
+
+    def successors(self, node: Node) -> List[Node]:
+        """Distinct consumer nodes fed by ``node``."""
+        seen: Set[str] = set()
+        succs: List[Node] = []
+        for out in node.outputs:
+            for c in self.consumers_of(out):
+                if c.name not in seen:
+                    seen.add(c.name)
+                    succs.append(c)
+        return succs
+
+    # -- membership helpers --------------------------------------------------
+    @property
+    def input_names(self) -> List[str]:
+        return [v.name for v in self.inputs]
+
+    @property
+    def output_names(self) -> List[str]:
+        return [v.name for v in self.outputs]
+
+    def is_initializer(self, value: str) -> bool:
+        return value in self.initializers
+
+    def is_graph_input(self, value: str) -> bool:
+        return any(v.name == value for v in self.inputs)
+
+    def is_graph_output(self, value: str) -> bool:
+        return any(v.name == value for v in self.outputs)
+
+    def node_by_name(self, name: str) -> Node:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r} in graph {self.name!r}")
+
+    def has_node(self, name: str) -> bool:
+        return any(n.name == name for n in self.nodes)
+
+    def all_value_names(self) -> Set[str]:
+        names: Set[str] = set(self.initializers)
+        names.update(v.name for v in self.inputs)
+        for node in self.nodes:
+            names.update(node.inputs)
+            names.update(node.outputs)
+        return names
+
+    # -- mutation ------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        if self.has_node(node.name):
+            raise GraphError(f"duplicate node name {node.name!r}")
+        self.nodes.append(node)
+        self._invalidate()
+        return node
+
+    def remove_node(self, node: Node) -> None:
+        try:
+            self.nodes.remove(node)
+        except ValueError as exc:
+            raise GraphError(f"node {node.name!r} not in graph") from exc
+        self._invalidate()
+
+    def remove_nodes(self, nodes: Iterable[Node]) -> None:
+        doomed = {id(n) for n in nodes}
+        self.nodes = [n for n in self.nodes if id(n) not in doomed]
+        self._invalidate()
+
+    def add_initializer(self, name: str, array: np.ndarray) -> None:
+        if name in self.initializers:
+            raise GraphError(f"duplicate initializer {name!r}")
+        self.initializers[name] = array
+        self.value_types[name] = TensorType(from_numpy_dtype(array.dtype), array.shape)
+        self._invalidate()
+
+    def remove_initializer(self, name: str) -> None:
+        self.initializers.pop(name, None)
+        self.value_types.pop(name, None)
+        self._invalidate()
+
+    def replace_all_uses(self, old: str, new: str) -> int:
+        """Rewire every consumer of ``old`` (and graph outputs) to ``new``."""
+        count = 0
+        for node in self.nodes:
+            count += node.replace_input(old, new)
+        for i, out in enumerate(self.outputs):
+            if out.name == old:
+                self.outputs[i] = Value(new, out.type)
+                count += 1
+        self._invalidate()
+        return count
+
+    def fresh_value_name(self, base: str) -> str:
+        """Return a value name not yet used in the graph."""
+        existing = self.all_value_names()
+        if base not in existing:
+            return base
+        i = 1
+        while f"{base}_{i}" in existing:
+            i += 1
+        return f"{base}_{i}"
+
+    def fresh_node_name(self, base: str) -> str:
+        existing = {n.name for n in self.nodes}
+        if base not in existing:
+            return base
+        i = 1
+        while f"{base}_{i}" in existing:
+            i += 1
+        return f"{base}_{i}"
+
+    # -- ordering ------------------------------------------------------------
+    def topological_order(self) -> List[Node]:
+        """Kahn's algorithm over node-level dependencies.
+
+        Raises :class:`GraphError` if the graph contains a cycle.
+        """
+        if self._dirty:
+            self._rebuild_indices()
+        indegree: Dict[str, int] = {}
+        dependents: Dict[str, List[Node]] = {}
+        by_name = {n.name: n for n in self.nodes}
+        for node in self.nodes:
+            deps: Set[str] = set()
+            for inp in node.inputs:
+                p = self._producer.get(inp)
+                if p is not None:
+                    deps.add(p.name)
+            indegree[node.name] = len(deps)
+            for d in deps:
+                dependents.setdefault(d, []).append(node)
+        ready = [n for n in self.nodes if indegree[n.name] == 0]
+        order: List[Node] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for dep in dependents.get(node.name, ()):
+                indegree[dep.name] -= 1
+                if indegree[dep.name] == 0:
+                    ready.append(dep)
+        if len(order) != len(self.nodes):
+            cyclic = sorted(set(by_name) - {n.name for n in order})
+            raise GraphError(f"graph {self.name!r} has a cycle involving {cyclic[:5]}")
+        return order
+
+    def toposort_inplace(self) -> None:
+        """Reorder ``self.nodes`` topologically."""
+        self.nodes = self.topological_order()
+        self._invalidate()
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_order()
+            return True
+        except GraphError:
+            return False
+
+    # -- conversions -----------------------------------------------------------
+    def to_networkx(self):
+        """Node-level dependency DAG as a ``networkx.DiGraph``.
+
+        Graph nodes are node *names*; each nx node stores ``op_type``.
+        """
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for node in self.nodes:
+            g.add_node(node.name, op_type=node.op_type)
+        for node in self.nodes:
+            for inp in node.inputs:
+                p = self.producer_of(inp)
+                if p is not None:
+                    g.add_edge(p.name, node.name)
+        return g
+
+    def clone(self, name: Optional[str] = None) -> "Graph":
+        g = Graph(
+            name or self.name,
+            inputs=list(self.inputs),
+            outputs=list(self.outputs),
+            nodes=[n.clone() for n in self.nodes],
+            initializers={k: v for k, v in self.initializers.items()},
+        )
+        g.value_types = dict(self.value_types)
+        return g
+
+    # -- stats -------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def opcode_histogram(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for node in self.nodes:
+            hist[node.op_type] = hist.get(node.op_type, 0) + 1
+        return hist
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph({self.name!r}, nodes={len(self.nodes)}, "
+            f"inputs={self.input_names}, outputs={self.output_names})"
+        )

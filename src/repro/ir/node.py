@@ -1,0 +1,99 @@
+"""Graph nodes: a single operator application.
+
+A :class:`Node` names an operator (``op_type``), the values it consumes
+and produces (by name — the graph owns the name→type mapping), and a
+dictionary of static attributes (kernel shapes, axes, epsilons, ...).
+Nodes are deliberately *not* frozen: optimization passes rewire inputs
+in place, mirroring how ONNX GraphSurgeon / ORT graph transformers work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Node"]
+
+_ALLOWED_ATTR_TYPES = (int, float, str, bool, tuple, list)
+
+
+class Node:
+    """One operator application inside a :class:`~repro.ir.graph.Graph`."""
+
+    __slots__ = ("name", "op_type", "inputs", "outputs", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        op_type: str,
+        inputs: List[str],
+        outputs: List[str],
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not name:
+            raise ValueError("node name must be non-empty")
+        if not op_type:
+            raise ValueError("op_type must be non-empty")
+        if not outputs:
+            raise ValueError(f"node {name!r} must produce at least one output")
+        self.name = name
+        self.op_type = op_type
+        self.inputs: List[str] = list(inputs)
+        self.outputs: List[str] = list(outputs)
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        for key, val in self.attrs.items():
+            if not isinstance(val, _ALLOWED_ATTR_TYPES):
+                raise TypeError(
+                    f"attribute {key!r} of node {name!r} has unsupported type "
+                    f"{type(val).__name__}"
+                )
+            if isinstance(val, list):
+                self.attrs[key] = tuple(val)
+
+    # -- attribute helpers -------------------------------------------------
+    def attr(self, key: str, default: Any = None) -> Any:
+        """Return attribute ``key`` or ``default`` when absent."""
+        return self.attrs.get(key, default)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        if isinstance(value, list):
+            value = tuple(value)
+        self.attrs[key] = value
+
+    # -- rewiring helpers used by optimization passes ----------------------
+    def replace_input(self, old: str, new: str) -> int:
+        """Replace every use of value ``old`` with ``new``; return #replaced."""
+        count = 0
+        for i, v in enumerate(self.inputs):
+            if v == old:
+                self.inputs[i] = new
+                count += 1
+        return count
+
+    def clone(self, name: Optional[str] = None) -> "Node":
+        """Deep-enough copy (attrs dict copied; values are immutable)."""
+        return Node(
+            name or self.name,
+            self.op_type,
+            list(self.inputs),
+            list(self.outputs),
+            dict(self.attrs),
+        )
+
+    def __repr__(self) -> str:
+        ins = ", ".join(self.inputs)
+        outs = ", ".join(self.outputs)
+        return f"{outs} = {self.op_type}[{self.name}]({ins})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.op_type == other.op_type
+            and self.inputs == other.inputs
+            and self.outputs == other.outputs
+            and self.attrs == other.attrs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.op_type))

@@ -1,0 +1,267 @@
+"""Operator registry: the IR "opset".
+
+Each opcode gets an :class:`OpSpec` describing input arity, output count,
+recognised attributes (with defaults), and coarse semantic tags used by
+the cost model, the sentinel constraint generator and the adversary's
+opcode embedding.  The opcode names and attribute conventions follow
+ONNX so that graphs read like ONNX graphs (the representation Proteus
+operates on).
+
+Attribute conventions (simplified relative to ONNX, documented in
+DESIGN.md):
+
+* ``pads`` is a single symmetric int applied to every spatial edge;
+* ``Reshape`` carries its target shape as attribute ``shape`` rather
+  than as a second input tensor;
+* inference-mode only: ``Dropout`` is an identity, ``BatchNormalization``
+  always uses running statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["OpSpec", "OPSET", "op_spec", "register_op", "is_registered"]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one operator type."""
+
+    name: str
+    min_inputs: int
+    max_inputs: int  # -1 == variadic (unbounded)
+    num_outputs: int = 1
+    attributes: Dict[str, Any] = field(default_factory=dict)  # name -> default
+    required_attrs: Tuple[str, ...] = ()
+    tags: Tuple[str, ...] = ()
+
+    def accepts_arity(self, n_inputs: int) -> bool:
+        if n_inputs < self.min_inputs:
+            return False
+        return self.max_inputs < 0 or n_inputs <= self.max_inputs
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+
+OPSET: Dict[str, OpSpec] = {}
+
+
+def register_op(spec: OpSpec) -> OpSpec:
+    """Register an operator spec; rejects duplicates."""
+    if spec.name in OPSET:
+        raise ValueError(f"duplicate operator registration: {spec.name}")
+    OPSET[spec.name] = spec
+    return spec
+
+
+def op_spec(op_type: str) -> OpSpec:
+    """Look up the spec for ``op_type``; raises ``KeyError`` if unknown."""
+    try:
+        return OPSET[op_type]
+    except KeyError as exc:
+        raise KeyError(f"unknown operator type: {op_type!r}") from exc
+
+
+def is_registered(op_type: str) -> bool:
+    return op_type in OPSET
+
+
+def _op(
+    name: str,
+    min_inputs: int,
+    max_inputs: Optional[int] = None,
+    num_outputs: int = 1,
+    attributes: Optional[Dict[str, Any]] = None,
+    required_attrs: Tuple[str, ...] = (),
+    tags: Tuple[str, ...] = (),
+) -> None:
+    register_op(
+        OpSpec(
+            name=name,
+            min_inputs=min_inputs,
+            max_inputs=min_inputs if max_inputs is None else max_inputs,
+            num_outputs=num_outputs,
+            attributes=dict(attributes or {}),
+            required_attrs=required_attrs,
+            tags=tags,
+        )
+    )
+
+
+# --------------------------------------------------------------------------
+# Tensor-program operators.  Tags:
+#   elementwise  - shape-preserving pointwise op
+#   unary/binary - arity class for the sentinel CSP
+#   activation   - nonlinearity (fusable into producers)
+#   conv/pool    - spatial ops with kernel attributes
+#   reduction    - reduces one or more axes
+#   shape        - data-movement / metadata only (zero flops)
+#   fused        - produced only by optimizers, never by model builders
+#   normalization
+# --------------------------------------------------------------------------
+
+# Convolution & pooling -----------------------------------------------------
+_op(
+    "Conv",
+    2,
+    3,
+    attributes={"kernel_shape": (3, 3), "strides": (1, 1), "pads": 0, "group": 1},
+    required_attrs=("kernel_shape",),
+    tags=("conv",),
+)
+_op(
+    "MaxPool",
+    1,
+    attributes={"kernel_shape": (2, 2), "strides": (2, 2), "pads": 0},
+    required_attrs=("kernel_shape",),
+    tags=("pool",),
+)
+_op(
+    "AveragePool",
+    1,
+    attributes={"kernel_shape": (2, 2), "strides": (2, 2), "pads": 0},
+    required_attrs=("kernel_shape",),
+    tags=("pool",),
+)
+_op("GlobalAveragePool", 1, tags=("pool", "reduction"))
+
+# Normalization --------------------------------------------------------------
+_op(
+    "BatchNormalization",
+    5,
+    attributes={"epsilon": 1e-5},
+    tags=("normalization", "elementwise"),
+)
+_op(
+    "LayerNormalization",
+    3,
+    attributes={"axis": -1, "epsilon": 1e-5},
+    tags=("normalization",),
+)
+
+# Activations ----------------------------------------------------------------
+_op("Relu", 1, tags=("elementwise", "unary", "activation"))
+_op("LeakyRelu", 1, attributes={"alpha": 0.01}, tags=("elementwise", "unary", "activation"))
+_op("Sigmoid", 1, tags=("elementwise", "unary", "activation"))
+_op(
+    "HardSigmoid",
+    1,
+    attributes={"alpha": 0.2, "beta": 0.5},
+    tags=("elementwise", "unary", "activation"),
+)
+_op("HardSwish", 1, tags=("elementwise", "unary", "activation"))
+_op("Tanh", 1, tags=("elementwise", "unary", "activation"))
+_op("Erf", 1, tags=("elementwise", "unary"))
+_op("Gelu", 1, tags=("elementwise", "unary", "activation", "fused"))
+_op("Softmax", 1, attributes={"axis": -1}, tags=("unary",))
+_op("Clip", 1, attributes={"min": 0.0, "max": 6.0}, tags=("elementwise", "unary", "activation"))
+
+# Elementwise math -----------------------------------------------------------
+_op("Add", 2, tags=("elementwise", "binary", "broadcast"))
+_op("Sub", 2, tags=("elementwise", "binary", "broadcast"))
+_op("Mul", 2, tags=("elementwise", "binary", "broadcast"))
+_op("Div", 2, tags=("elementwise", "binary", "broadcast"))
+_op("Pow", 2, tags=("elementwise", "binary", "broadcast"))
+_op("Sqrt", 1, tags=("elementwise", "unary"))
+_op("Exp", 1, tags=("elementwise", "unary"))
+_op("Log", 1, tags=("elementwise", "unary"))
+_op("Neg", 1, tags=("elementwise", "unary"))
+_op("Abs", 1, tags=("elementwise", "unary"))
+
+# Matrix ops -----------------------------------------------------------------
+_op("MatMul", 2, tags=("matmul",))
+_op(
+    "Gemm",
+    2,
+    3,
+    attributes={"alpha": 1.0, "beta": 1.0, "transA": 0, "transB": 0},
+    tags=("matmul",),
+)
+
+# Reductions -----------------------------------------------------------------
+_op("ReduceMean", 1, attributes={"axes": (-1,), "keepdims": 1}, tags=("reduction", "unary"))
+_op("ReduceSum", 1, attributes={"axes": (-1,), "keepdims": 1}, tags=("reduction", "unary"))
+
+# Shape / data movement -------------------------------------------------------
+_op("Reshape", 1, attributes={"shape": ()}, required_attrs=("shape",), tags=("shape", "unary"))
+_op("Transpose", 1, attributes={"perm": ()}, tags=("shape", "unary"))
+_op("Flatten", 1, attributes={"axis": 1}, tags=("shape", "unary"))
+_op("Unsqueeze", 1, attributes={"axes": (0,)}, required_attrs=("axes",), tags=("shape", "unary"))
+_op("Squeeze", 1, attributes={"axes": ()}, tags=("shape", "unary"))
+_op("Concat", 2, -1, attributes={"axis": 0}, required_attrs=("axis",), tags=("shape",))
+_op("Slice", 1, attributes={"starts": (), "ends": (), "axes": ()}, tags=("shape", "unary"))
+_op("Identity", 1, tags=("shape", "unary", "elementwise"))
+_op("Cast", 1, attributes={"to": "float32"}, tags=("shape", "unary", "elementwise"))
+_op("Dropout", 1, attributes={"ratio": 0.5}, tags=("shape", "unary", "elementwise"))
+_op("Gather", 2, attributes={"axis": 0}, tags=("shape",))
+
+# Fused operators (emitted by optimizers only) --------------------------------
+_op(
+    "FusedConv",
+    2,
+    3,
+    attributes={
+        "kernel_shape": (3, 3),
+        "strides": (1, 1),
+        "pads": 0,
+        "group": 1,
+        "activation": "Relu",
+    },
+    required_attrs=("kernel_shape",),
+    tags=("conv", "fused"),
+)
+_op(
+    "FusedGemm",
+    2,
+    3,
+    attributes={"alpha": 1.0, "beta": 1.0, "transA": 0, "transB": 0, "activation": "Relu"},
+    tags=("matmul", "fused"),
+)
+_op(
+    "FusedMatMul",
+    2,
+    3,
+    attributes={"activation": ""},
+    tags=("matmul", "fused"),
+)
+_op(
+    "SkipLayerNormalization",
+    4,
+    5,
+    attributes={"epsilon": 1e-5},
+    tags=("normalization", "fused"),
+)
+_op(
+    "FusedConvAdd",
+    3,
+    4,
+    attributes={
+        "kernel_shape": (3, 3),
+        "strides": (1, 1),
+        "pads": 0,
+        "group": 1,
+        "activation": "",
+    },
+    required_attrs=("kernel_shape",),
+    tags=("conv", "fused"),
+)
+
+
+#: Opcodes that model builders may emit (i.e. everything except fused ops).
+MODEL_OPCODES: Tuple[str, ...] = tuple(
+    sorted(name for name, spec in OPSET.items() if "fused" not in spec.tags)
+)
+
+#: Opcodes eligible as CSP domain values during sentinel operator population.
+#: Excludes fused ops and pure-plumbing ops whose presence would look odd in
+#: a sentinel (Cast, Identity, Dropout remain legal but low-likelihood).
+SENTINEL_OPCODES: Tuple[str, ...] = tuple(
+    sorted(
+        name
+        for name, spec in OPSET.items()
+        if "fused" not in spec.tags and name not in ("Cast", "Identity", "Constant")
+    )
+)

@@ -1,0 +1,120 @@
+"""JSON (de)serialization of IR graphs.
+
+The on-disk format is a human-readable stand-in for ONNX protobuf: a
+single JSON document with inputs/outputs/nodes/initializers.  Weights
+are stored as nested lists (fine at reproduction scale; the paper's
+models are exchanged as ONNX files, ours as ``.json``).
+
+Round-tripping is exact for structure and bit-exact for float32 weights
+(values pass through ``float`` which is IEEE-754 double, a superset).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from .dtypes import DataType, TensorType, from_numpy_dtype, numpy_dtype
+from .graph import Graph, Value
+from .node import Node
+
+__all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph"]
+
+_FORMAT_VERSION = 1
+
+
+def _value_to_dict(v: Value) -> Dict[str, Any]:
+    d: Dict[str, Any] = {"name": v.name}
+    if v.type is not None:
+        d["dtype"] = v.type.dtype.value
+        d["shape"] = list(v.type.shape)
+    return d
+
+
+def _value_from_dict(d: Dict[str, Any]) -> Value:
+    if "dtype" in d:
+        return Value(d["name"], TensorType(DataType(d["dtype"]), tuple(d["shape"])))
+    return Value(d["name"])
+
+
+def _attr_to_json(val: Any) -> Any:
+    if isinstance(val, tuple):
+        return {"__tuple__": [_attr_to_json(v) for v in val]}
+    return val
+
+
+def _attr_from_json(val: Any) -> Any:
+    if isinstance(val, dict) and "__tuple__" in val:
+        return tuple(_attr_from_json(v) for v in val["__tuple__"])
+    return val
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    """Serialize a graph to a JSON-compatible dict."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "inputs": [_value_to_dict(v) for v in graph.inputs],
+        "outputs": [_value_to_dict(v) for v in graph.outputs],
+        "nodes": [
+            {
+                "name": n.name,
+                "op_type": n.op_type,
+                "inputs": list(n.inputs),
+                "outputs": list(n.outputs),
+                "attrs": {k: _attr_to_json(v) for k, v in n.attrs.items()},
+            }
+            for n in graph.nodes
+        ],
+        "initializers": {
+            name: {
+                "dtype": from_numpy_dtype(arr.dtype).value,
+                "shape": list(arr.shape),
+                "data": arr.ravel().tolist(),
+            }
+            for name, arr in graph.initializers.items()
+        },
+    }
+
+
+def graph_from_dict(d: Dict[str, Any]) -> Graph:
+    """Deserialize a graph written by :func:`graph_to_dict`."""
+    version = d.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version: {version!r}")
+    initializers = {}
+    for name, spec in d.get("initializers", {}).items():
+        dtype = numpy_dtype(DataType(spec["dtype"]))
+        initializers[name] = np.asarray(spec["data"], dtype=dtype).reshape(spec["shape"])
+    nodes = [
+        Node(
+            nd["name"],
+            nd["op_type"],
+            list(nd["inputs"]),
+            list(nd["outputs"]),
+            {k: _attr_from_json(v) for k, v in nd.get("attrs", {}).items()},
+        )
+        for nd in d.get("nodes", [])
+    ]
+    graph = Graph(
+        d["name"],
+        inputs=[_value_from_dict(v) for v in d.get("inputs", [])],
+        outputs=[_value_from_dict(v) for v in d.get("outputs", [])],
+        nodes=nodes,
+        initializers=initializers,
+    )
+    return graph
+
+
+def save_graph(graph: Graph, path: str) -> None:
+    """Write ``graph`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(graph_to_dict(graph), fh)
+
+
+def load_graph(path: str) -> Graph:
+    """Load a graph previously written by :func:`save_graph`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return graph_from_dict(json.load(fh))

@@ -1,0 +1,476 @@
+"""Static shape/type inference over IR graphs.
+
+``infer_shapes(graph)`` walks the graph in topological order and computes
+the :class:`TensorType` of every value, storing results into
+``graph.value_types``.  Each opcode registers a handler via
+``@shape_handler("OpType")``; a handler receives the node plus the input
+types and returns the list of output types.
+
+Inference doubles as a *syntactic validity* check: the sentinel
+generator's CSP constraints are derived from exactly these rules, so a
+sentinel graph is syntactically correct iff it shape-infers cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .dtypes import DataType, TensorType
+from .graph import Graph
+from .node import Node
+from .ops import op_spec
+
+__all__ = ["ShapeInferenceError", "infer_shapes", "infer_node_types", "broadcast_shapes"]
+
+
+class ShapeInferenceError(ValueError):
+    """Raised when a node's inputs are incompatible with its operator."""
+
+
+_HANDLERS: Dict[str, Callable[[Node, Sequence[TensorType]], List[TensorType]]] = {}
+
+
+def shape_handler(*op_types: str):
+    def deco(fn):
+        for op in op_types:
+            _HANDLERS[op] = fn
+        return fn
+
+    return deco
+
+
+def broadcast_shapes(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Numpy-style broadcast of two static shapes."""
+    out: List[int] = []
+    ra, rb = len(a), len(b)
+    for i in range(max(ra, rb)):
+        da = a[ra - 1 - i] if i < ra else 1
+        db = b[rb - 1 - i] if i < rb else 1
+        if da == db or da == 1 or db == 1:
+            out.append(max(da, db))
+        else:
+            raise ShapeInferenceError(f"cannot broadcast shapes {a} and {b}")
+    return tuple(reversed(out))
+
+
+def _pair(val) -> Tuple[int, int]:
+    """Normalize an int-or-pair attribute to a 2-tuple."""
+    if isinstance(val, (tuple, list)):
+        if len(val) == 1:
+            return (int(val[0]), int(val[0]))
+        return (int(val[0]), int(val[1]))
+    return (int(val), int(val))
+
+
+def _spatial_out(size: int, kernel: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeInferenceError(
+            f"non-positive spatial output: size={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def _normalize_axis(axis: int, rank: int) -> int:
+    if axis < 0:
+        axis += rank
+    if not 0 <= axis < rank:
+        raise ShapeInferenceError(f"axis {axis} out of range for rank {rank}")
+    return axis
+
+
+# --------------------------------------------------------------------------
+# Handlers
+# --------------------------------------------------------------------------
+
+
+@shape_handler(
+    "Relu", "LeakyRelu", "Sigmoid", "HardSigmoid", "HardSwish", "Tanh", "Erf",
+    "Gelu", "Sqrt", "Exp", "Log", "Neg", "Abs", "Identity", "Dropout", "Clip",
+    "Cast", "Softmax",
+)
+def _infer_unary(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    if node.op_type == "Softmax":
+        _normalize_axis(int(node.attr("axis", -1)), max(ins[0].rank, 1))
+    return [ins[0]]
+
+
+@shape_handler("Add", "Sub", "Mul", "Div", "Pow")
+def _infer_binary(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    if ins[0].dtype != ins[1].dtype:
+        raise ShapeInferenceError(
+            f"{node.op_type} dtype mismatch: {ins[0].dtype} vs {ins[1].dtype}"
+        )
+    return [TensorType(ins[0].dtype, broadcast_shapes(ins[0].shape, ins[1].shape))]
+
+
+@shape_handler("Conv", "FusedConv", "FusedConvAdd")
+def _infer_conv(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    x, w = ins[0], ins[1]
+    if x.rank != 4 or w.rank != 4:
+        raise ShapeInferenceError(
+            f"{node.op_type} expects 4-D input and weight, got {x.shape} / {w.shape}"
+        )
+    n, c, h, wd = x.shape
+    m, cg, kh, kw = w.shape
+    group = int(node.attr("group", 1))
+    if c != cg * group:
+        raise ShapeInferenceError(
+            f"{node.op_type} channel mismatch: input C={c}, weight expects "
+            f"{cg}*group({group})={cg * group}"
+        )
+    if m % group != 0:
+        raise ShapeInferenceError(f"output channels {m} not divisible by group {group}")
+    ks = _pair(node.attr("kernel_shape"))
+    if ks != (kh, kw):
+        raise ShapeInferenceError(
+            f"kernel_shape attribute {ks} disagrees with weight spatial dims {(kh, kw)}"
+        )
+    sh, sw = _pair(node.attr("strides", (1, 1)))
+    pad = int(node.attr("pads", 0))
+    oh = _spatial_out(h, kh, sh, pad)
+    ow = _spatial_out(wd, kw, sw, pad)
+    # FusedConvAdd carries the residual operand after (X, W, [B]); it must
+    # match the conv output shape exactly.
+    spec = op_spec(node.op_type)
+    if node.op_type == "FusedConvAdd":
+        residual = ins[-1]
+        if residual.shape != (n, m, oh, ow):
+            raise ShapeInferenceError(
+                f"FusedConvAdd residual shape {residual.shape} != conv output "
+                f"{(n, m, oh, ow)}"
+            )
+        bias_idx = 2 if len(ins) == 4 else None
+    else:
+        bias_idx = 2 if len(ins) == 3 else None
+    if bias_idx is not None:
+        b = ins[bias_idx]
+        if b.shape != (m,):
+            raise ShapeInferenceError(f"conv bias shape {b.shape} != ({m},)")
+    del spec
+    return [TensorType(x.dtype, (n, m, oh, ow))]
+
+
+@shape_handler("MaxPool", "AveragePool")
+def _infer_pool(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    x = ins[0]
+    if x.rank != 4:
+        raise ShapeInferenceError(f"{node.op_type} expects 4-D input, got {x.shape}")
+    n, c, h, w = x.shape
+    kh, kw = _pair(node.attr("kernel_shape"))
+    sh, sw = _pair(node.attr("strides", (kh, kw)))
+    pad = int(node.attr("pads", 0))
+    return [TensorType(x.dtype, (n, c, _spatial_out(h, kh, sh, pad), _spatial_out(w, kw, sw, pad)))]
+
+
+@shape_handler("GlobalAveragePool")
+def _infer_gap(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    x = ins[0]
+    if x.rank != 4:
+        raise ShapeInferenceError(f"GlobalAveragePool expects 4-D input, got {x.shape}")
+    n, c = x.shape[:2]
+    return [TensorType(x.dtype, (n, c, 1, 1))]
+
+
+@shape_handler("BatchNormalization")
+def _infer_bn(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    x = ins[0]
+    if x.rank < 2:
+        raise ShapeInferenceError("BatchNormalization expects rank >= 2 input")
+    c = x.shape[1]
+    for i, t in enumerate(ins[1:5], start=1):
+        if t.shape != (c,):
+            raise ShapeInferenceError(
+                f"BatchNormalization param #{i} shape {t.shape} != ({c},)"
+            )
+    return [x]
+
+
+@shape_handler("LayerNormalization")
+def _infer_ln(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    x = ins[0]
+    axis = _normalize_axis(int(node.attr("axis", -1)), x.rank)
+    norm_shape = x.shape[axis:]
+    for i, t in enumerate(ins[1:3], start=1):
+        if t.shape != norm_shape:
+            raise ShapeInferenceError(
+                f"LayerNormalization param #{i} shape {t.shape} != {norm_shape}"
+            )
+    return [x]
+
+
+@shape_handler("SkipLayerNormalization")
+def _infer_skip_ln(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    x, skip = ins[0], ins[1]
+    if x.shape != skip.shape:
+        raise ShapeInferenceError(
+            f"SkipLayerNormalization input/skip shape mismatch: {x.shape} vs {skip.shape}"
+        )
+    norm_shape = x.shape[-1:]
+    for i, t in enumerate(ins[2:4], start=2):
+        if t.shape != norm_shape:
+            raise ShapeInferenceError(
+                f"SkipLayerNormalization param #{i} shape {t.shape} != {norm_shape}"
+            )
+    return [x]
+
+
+@shape_handler("MatMul")
+def _infer_matmul(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    a, b = ins
+    if a.rank == 0 or b.rank == 0:
+        raise ShapeInferenceError("MatMul operands must have rank >= 1")
+    if a.rank == 1 or b.rank == 1:
+        raise ShapeInferenceError("rank-1 MatMul unsupported in this IR")
+    if a.shape[-1] != b.shape[-2]:
+        raise ShapeInferenceError(
+            f"MatMul inner-dim mismatch: {a.shape} @ {b.shape}"
+        )
+    batch = broadcast_shapes(a.shape[:-2], b.shape[:-2])
+    return [TensorType(a.dtype, batch + (a.shape[-2], b.shape[-1]))]
+
+
+@shape_handler("FusedMatMul")
+def _infer_fused_matmul(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    a, b = ins[0], ins[1]
+    if a.rank < 2 or b.rank < 2:
+        raise ShapeInferenceError("FusedMatMul operands must have rank >= 2")
+    if a.shape[-1] != b.shape[-2]:
+        raise ShapeInferenceError(f"FusedMatMul inner-dim mismatch: {a.shape} @ {b.shape}")
+    batch = broadcast_shapes(a.shape[:-2], b.shape[:-2])
+    out = TensorType(a.dtype, batch + (a.shape[-2], b.shape[-1]))
+    if len(ins) == 3:
+        broadcast_shapes(ins[2].shape, out.shape)
+    return [out]
+
+
+@shape_handler("Gemm", "FusedGemm")
+def _infer_gemm(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    a, b = ins[0], ins[1]
+    if a.rank != 2 or b.rank != 2:
+        raise ShapeInferenceError(f"Gemm expects 2-D operands, got {a.shape} / {b.shape}")
+    am, ak = (a.shape[1], a.shape[0]) if node.attr("transA", 0) else a.shape
+    bk, bn = (b.shape[1], b.shape[0]) if node.attr("transB", 0) else b.shape
+    if ak != bk:
+        raise ShapeInferenceError(f"Gemm inner-dim mismatch: K={ak} vs {bk}")
+    if len(ins) == 3:
+        broadcast_shapes(ins[2].shape, (am, bn))
+    return [TensorType(a.dtype, (am, bn))]
+
+
+@shape_handler("ReduceMean", "ReduceSum")
+def _infer_reduce(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    x = ins[0]
+    axes = [_normalize_axis(int(a), x.rank) for a in node.attr("axes", (-1,))]
+    keep = bool(node.attr("keepdims", 1))
+    shape: List[int] = []
+    for i, d in enumerate(x.shape):
+        if i in axes:
+            if keep:
+                shape.append(1)
+        else:
+            shape.append(d)
+    return [TensorType(x.dtype, tuple(shape))]
+
+
+@shape_handler("Reshape")
+def _infer_reshape(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    x = ins[0]
+    target = list(node.attr("shape", ()))
+    if not target:
+        raise ShapeInferenceError("Reshape requires a non-empty target shape")
+    known = 1
+    neg = -1
+    for i, d in enumerate(target):
+        d = int(d)
+        if d == -1:
+            if neg >= 0:
+                raise ShapeInferenceError("Reshape allows at most one -1 dim")
+            neg = i
+        elif d == 0:
+            if i >= x.rank:
+                raise ShapeInferenceError("Reshape dim 0 refers past input rank")
+            target[i] = x.shape[i]
+            known *= target[i]
+        else:
+            target[i] = d
+            known *= d
+    if neg >= 0:
+        if known == 0 or x.num_elements % known != 0:
+            raise ShapeInferenceError(
+                f"Reshape cannot infer -1: {x.num_elements} not divisible by {known}"
+            )
+        target[neg] = x.num_elements // known
+    out = TensorType(x.dtype, tuple(int(d) for d in target))
+    if out.num_elements != x.num_elements:
+        raise ShapeInferenceError(
+            f"Reshape element-count mismatch: {x.shape} -> {tuple(target)}"
+        )
+    return [out]
+
+
+@shape_handler("Transpose")
+def _infer_transpose(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    x = ins[0]
+    perm = node.attr("perm", ()) or tuple(reversed(range(x.rank)))
+    if sorted(perm) != list(range(x.rank)):
+        raise ShapeInferenceError(f"invalid Transpose perm {perm} for rank {x.rank}")
+    return [TensorType(x.dtype, tuple(x.shape[p] for p in perm))]
+
+
+@shape_handler("Flatten")
+def _infer_flatten(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    x = ins[0]
+    axis = int(node.attr("axis", 1))
+    if axis < 0:
+        axis += x.rank
+    if not 0 <= axis <= x.rank:
+        raise ShapeInferenceError(f"Flatten axis {axis} out of range for {x.shape}")
+    head = 1
+    for d in x.shape[:axis]:
+        head *= d
+    tail = 1
+    for d in x.shape[axis:]:
+        tail *= d
+    return [TensorType(x.dtype, (head, tail))]
+
+
+@shape_handler("Unsqueeze")
+def _infer_unsqueeze(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    x = ins[0]
+    axes = sorted(int(a) if int(a) >= 0 else int(a) + x.rank + len(node.attr("axes"))
+                  for a in node.attr("axes"))
+    shape = list(x.shape)
+    for a in axes:
+        if not 0 <= a <= len(shape):
+            raise ShapeInferenceError(f"Unsqueeze axis {a} out of range")
+        shape.insert(a, 1)
+    return [TensorType(x.dtype, tuple(shape))]
+
+
+@shape_handler("Squeeze")
+def _infer_squeeze(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    x = ins[0]
+    axes = node.attr("axes", ())
+    if axes:
+        norm = {_normalize_axis(int(a), x.rank) for a in axes}
+        for a in norm:
+            if x.shape[a] != 1:
+                raise ShapeInferenceError(f"cannot squeeze non-unit dim {a} of {x.shape}")
+        shape = tuple(d for i, d in enumerate(x.shape) if i not in norm)
+    else:
+        shape = tuple(d for d in x.shape if d != 1)
+    return [TensorType(x.dtype, shape)]
+
+
+@shape_handler("Concat")
+def _infer_concat(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    if not ins:
+        raise ShapeInferenceError("Concat requires at least one input")
+    axis = _normalize_axis(int(node.attr("axis", 0)), ins[0].rank)
+    base = ins[0]
+    total = 0
+    for t in ins:
+        if t.rank != base.rank:
+            raise ShapeInferenceError("Concat rank mismatch")
+        for i in range(base.rank):
+            if i != axis and t.shape[i] != base.shape[i]:
+                raise ShapeInferenceError(
+                    f"Concat non-axis dim mismatch at {i}: {t.shape} vs {base.shape}"
+                )
+        total += t.shape[axis]
+    shape = list(base.shape)
+    shape[axis] = total
+    return [TensorType(base.dtype, tuple(shape))]
+
+
+@shape_handler("Slice")
+def _infer_slice(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    x = ins[0]
+    starts = node.attr("starts", ())
+    ends = node.attr("ends", ())
+    axes = node.attr("axes", ()) or tuple(range(len(starts)))
+    if not (len(starts) == len(ends) == len(axes)):
+        raise ShapeInferenceError("Slice starts/ends/axes length mismatch")
+    shape = list(x.shape)
+    for s, e, a in zip(starts, ends, axes):
+        a = _normalize_axis(int(a), x.rank)
+        dim = x.shape[a]
+        s = max(0, int(s) + dim if int(s) < 0 else int(s))
+        e = min(dim, int(e) + dim if int(e) < 0 else int(e))
+        if e < s:
+            raise ShapeInferenceError(f"empty Slice on axis {a}")
+        shape[a] = e - s
+    return [TensorType(x.dtype, tuple(shape))]
+
+
+@shape_handler("Gather")
+def _infer_gather(node: Node, ins: Sequence[TensorType]) -> List[TensorType]:
+    data, indices = ins
+    axis = _normalize_axis(int(node.attr("axis", 0)), data.rank)
+    shape = data.shape[:axis] + indices.shape + data.shape[axis + 1:]
+    return [TensorType(data.dtype, shape)]
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def infer_node_types(node: Node, input_types: Sequence[TensorType]) -> List[TensorType]:
+    """Infer output types of a single node given its input types."""
+    spec = op_spec(node.op_type)
+    if not spec.accepts_arity(len(input_types)):
+        raise ShapeInferenceError(
+            f"{node.op_type} (node {node.name!r}) got {len(input_types)} inputs, "
+            f"expects [{spec.min_inputs}, "
+            f"{'inf' if spec.max_inputs < 0 else spec.max_inputs}]"
+        )
+    for key in spec.required_attrs:
+        if key not in node.attrs:
+            raise ShapeInferenceError(
+                f"{node.op_type} (node {node.name!r}) missing required attr {key!r}"
+            )
+    handler = _HANDLERS.get(node.op_type)
+    if handler is None:
+        raise ShapeInferenceError(f"no shape handler for operator {node.op_type!r}")
+    out = handler(node, input_types)
+    if len(out) != spec.num_outputs:
+        raise ShapeInferenceError(
+            f"{node.op_type} handler returned {len(out)} types, spec says "
+            f"{spec.num_outputs}"
+        )
+    return out
+
+
+def infer_shapes(graph: Graph) -> Dict[str, TensorType]:
+    """Infer and record types for every value in ``graph``.
+
+    Returns the full value-name → type mapping (also stored on the graph).
+    """
+    types: Dict[str, TensorType] = {}
+    for v in graph.inputs:
+        if v.type is None:
+            raise ShapeInferenceError(f"graph input {v.name!r} lacks a type")
+        types[v.name] = v.type
+    for name, arr in graph.initializers.items():
+        from .dtypes import from_numpy_dtype
+
+        types[name] = TensorType(from_numpy_dtype(arr.dtype), arr.shape)
+    for node in graph.topological_order():
+        ins: List[TensorType] = []
+        for inp in node.inputs:
+            if inp not in types:
+                raise ShapeInferenceError(
+                    f"node {node.name!r} consumes undefined value {inp!r}"
+                )
+            ins.append(types[inp])
+        outs = infer_node_types(node, ins)
+        for out_name, out_type in zip(node.outputs, outs):
+            types[out_name] = out_type
+    for v in graph.outputs:
+        if v.name not in types:
+            raise ShapeInferenceError(f"graph output {v.name!r} is never produced")
+    graph.value_types = types
+    return types

@@ -1,0 +1,117 @@
+"""Structural validation of IR graphs.
+
+``validate_graph`` checks the invariants every well-formed graph must
+satisfy.  It is run by ``GraphBuilder.build``, after every optimizer
+pipeline, and after Proteus reassembly — any pass or stitch that breaks
+an invariant fails loudly rather than producing silently-wrong graphs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .graph import Graph, GraphError
+from .ops import is_registered, op_spec
+
+__all__ = ["validate_graph", "ValidationError"]
+
+
+class ValidationError(GraphError):
+    """Raised when a graph violates a structural invariant."""
+
+
+def validate_graph(graph: Graph) -> None:
+    """Raise :class:`ValidationError` on the first violated invariant.
+
+    Invariants:
+
+    1. every node's op_type is registered and its arity is legal;
+    2. node names and value names are unique in their namespaces;
+    3. every consumed value is a graph input, an initializer, or the
+       output of exactly one node (single static assignment);
+    4. the node dependency relation is acyclic;
+    5. every graph output is actually produced;
+    6. required attributes are present.
+    """
+    # 1 & 6 — opcodes, arity, attributes
+    for node in graph.nodes:
+        if not is_registered(node.op_type):
+            raise ValidationError(f"node {node.name!r}: unknown op {node.op_type!r}")
+        spec = op_spec(node.op_type)
+        if not spec.accepts_arity(len(node.inputs)):
+            raise ValidationError(
+                f"node {node.name!r} ({node.op_type}): arity {len(node.inputs)} "
+                f"outside [{spec.min_inputs}, "
+                f"{'inf' if spec.max_inputs < 0 else spec.max_inputs}]"
+            )
+        if len(node.outputs) != spec.num_outputs:
+            raise ValidationError(
+                f"node {node.name!r} ({node.op_type}): {len(node.outputs)} outputs, "
+                f"spec requires {spec.num_outputs}"
+            )
+        for key in spec.required_attrs:
+            if key not in node.attrs:
+                raise ValidationError(
+                    f"node {node.name!r} ({node.op_type}): missing attr {key!r}"
+                )
+
+    # 2 — uniqueness
+    node_names: Set[str] = set()
+    for node in graph.nodes:
+        if node.name in node_names:
+            raise ValidationError(f"duplicate node name {node.name!r}")
+        node_names.add(node.name)
+
+    produced: Set[str] = set()
+    for node in graph.nodes:
+        for out in node.outputs:
+            if out in produced:
+                raise ValidationError(f"value {out!r} produced more than once")
+            produced.add(out)
+
+    sources: Set[str] = set(graph.initializers) | {v.name for v in graph.inputs}
+    clash = produced & sources
+    if clash:
+        raise ValidationError(
+            f"values produced by nodes shadow graph inputs/initializers: "
+            f"{sorted(clash)[:5]}"
+        )
+    input_names = [v.name for v in graph.inputs]
+    if len(set(input_names)) != len(input_names):
+        raise ValidationError("duplicate graph input names")
+
+    # 3 — definedness
+    defined = produced | sources
+    for node in graph.nodes:
+        for inp in node.inputs:
+            if inp not in defined:
+                raise ValidationError(
+                    f"node {node.name!r} consumes undefined value {inp!r}"
+                )
+
+    # 4 — acyclicity
+    try:
+        graph.topological_order()
+    except GraphError as exc:
+        raise ValidationError(str(exc)) from exc
+
+    # 5 — outputs produced
+    for v in graph.outputs:
+        if v.name not in defined:
+            raise ValidationError(f"graph output {v.name!r} is never produced")
+
+
+def dead_value_names(graph: Graph) -> List[str]:
+    """Values that no node consumes and that are not graph outputs.
+
+    Useful to diagnose leftover intermediates after aggressive rewrites.
+    """
+    used: Set[str] = {v.name for v in graph.outputs}
+    for node in graph.nodes:
+        used.update(node.inputs)
+    dead = []
+    for node in graph.nodes:
+        for out in node.outputs:
+            if out not in used:
+                dead.append(out)
+    return dead

@@ -1,0 +1,49 @@
+"""Model zoo: CNN, transformer and NAS-cell graph builders."""
+
+from .alexnet import build_alexnet
+from .densenet import build_densenet
+from .googlenet import build_googlenet
+from .inception import build_inception
+from .mnasnet import build_mnasnet
+from .mobilenet import build_mobilenet
+from .nats import NATS_OPS, build_nats_model, parse_arch, sample_nats_arch
+from .resnet import build_resnet
+from .resnext import build_resnext
+from .seresnet import build_seresnet
+from .squeezenet import build_squeezenet
+from .vgg import build_vgg
+from .transformers import build_bert, build_distilbert, build_roberta, build_xlm
+from .zoo import (
+    CNN_MODELS,
+    MODEL_REGISTRY,
+    TRANSFORMER_MODELS,
+    build_model,
+    list_models,
+)
+
+__all__ = [
+    "build_alexnet",
+    "build_densenet",
+    "build_googlenet",
+    "build_inception",
+    "build_mnasnet",
+    "build_mobilenet",
+    "build_nats_model",
+    "sample_nats_arch",
+    "parse_arch",
+    "NATS_OPS",
+    "build_resnet",
+    "build_resnext",
+    "build_seresnet",
+    "build_squeezenet",
+    "build_vgg",
+    "build_bert",
+    "build_roberta",
+    "build_distilbert",
+    "build_xlm",
+    "MODEL_REGISTRY",
+    "CNN_MODELS",
+    "TRANSFORMER_MODELS",
+    "build_model",
+    "list_models",
+]

@@ -1,0 +1,41 @@
+"""AlexNet: the classic conv stack + large fully-connected tail.
+
+AlexNet exports without batch norm — Conv+Relu pairs and MatMul+Add
+classifier layers — giving the optimizers a different fusion profile
+than the BN-era CNNs (relevant for the Fig. 4b Hidet comparison, where
+alexnet shows ~1.00x Proteus slowdown).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+
+__all__ = ["build_alexnet"]
+
+
+def build_alexnet(
+    input_size: int = 64,
+    num_classes: int = 100,
+    seed: int = 0,
+    name: str = "alexnet",
+) -> Graph:
+    """Build an AlexNet-style graph (narrowed feature extractor + MLP)."""
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("input", (1, 3, input_size, input_size))
+    h = b.relu(b.conv(x, 16, kernel=11, stride=4, pad=2))
+    h = b.maxpool(h, kernel=3, stride=2)
+    h = b.relu(b.conv(h, 48, kernel=5, pad=2))
+    h = b.maxpool(h, kernel=3, stride=2)
+    h = b.relu(b.conv(h, 96, kernel=3, pad=1))
+    h = b.relu(b.conv(h, 64, kernel=3, pad=1))
+    h = b.relu(b.conv(h, 64, kernel=3, pad=1))
+    h = b.maxpool(h, kernel=3, stride=2, pad=1)
+    h = b.flatten(h)
+    flat = b.shape_of(h)[1]
+    h = b.dropout(h, 0.5)
+    h = b.relu(b.linear(h, flat, 256))
+    h = b.dropout(h, 0.5)
+    h = b.relu(b.linear(h, 256, 256))
+    logits = b.linear(h, 256, num_classes)
+    return b.build([logits])

@@ -1,0 +1,173 @@
+"""Shared building blocks for the model zoo.
+
+Every builder here appends nodes to a :class:`~repro.ir.builder.GraphBuilder`
+and returns the output value name, mirroring how ``torch.nn`` modules
+compose.  Blocks emit the *pre-optimization* operator sequences that ONNX
+exporters produce (e.g. separate Conv → BatchNormalization → Relu nodes,
+MatMul + Add instead of Gemm, decomposed Gelu), so the optimizers have
+realistic fusion opportunities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..ir.builder import GraphBuilder
+
+__all__ = [
+    "conv_bn_relu",
+    "conv_bn",
+    "se_block",
+    "inverted_residual",
+    "classifier_head",
+    "decomposed_gelu",
+    "embedding",
+    "attention_block",
+    "ffn_block",
+    "transformer_encoder_layer",
+]
+
+
+def conv_bn(
+    b: GraphBuilder,
+    x: str,
+    out_channels: int,
+    kernel: int = 3,
+    stride: int = 1,
+    pad: Optional[int] = None,
+    group: int = 1,
+) -> str:
+    """Conv (bias-free, as exporters emit before BN) followed by BN."""
+    h = b.conv(x, out_channels, kernel=kernel, stride=stride, pad=pad, group=group, bias=False)
+    return b.batchnorm(h)
+
+
+def conv_bn_relu(
+    b: GraphBuilder,
+    x: str,
+    out_channels: int,
+    kernel: int = 3,
+    stride: int = 1,
+    pad: Optional[int] = None,
+    group: int = 1,
+) -> str:
+    return b.relu(conv_bn(b, x, out_channels, kernel=kernel, stride=stride, pad=pad, group=group))
+
+
+def se_block(b: GraphBuilder, x: str, channels: int, reduction: int = 4, hard: bool = False) -> str:
+    """Squeeze-and-excitation: GAP → 1x1 conv → Relu → 1x1 conv → sigmoid → Mul.
+
+    ``hard=True`` uses HardSigmoid (the MNASNet/MobileNetV3 idiom); the
+    SEResNet case study (§6.2) uses the plain Sigmoid variant.
+    """
+    squeezed = max(channels // reduction, 4)
+    s = b.global_avgpool(x)
+    s = b.conv(s, squeezed, kernel=1, pad=0)
+    s = b.relu(s)
+    s = b.conv(s, channels, kernel=1, pad=0)
+    s = b.hardsigmoid(s) if hard else b.sigmoid(s)
+    return b.mul(x, s)
+
+
+def inverted_residual(
+    b: GraphBuilder,
+    x: str,
+    in_channels: int,
+    out_channels: int,
+    stride: int = 1,
+    expand: int = 4,
+    use_se: bool = False,
+    activation: str = "relu6",
+) -> str:
+    """MobileNetV2/MNASNet inverted residual (expand → depthwise → project)."""
+    hidden = in_channels * expand
+
+    def act(v: str) -> str:
+        if activation == "relu6":
+            return b.clip(v, 0.0, 6.0)
+        if activation == "hardswish":
+            return b.hardswish(v)
+        return b.relu(v)
+
+    h = x
+    if expand != 1:
+        h = act(conv_bn(b, h, hidden, kernel=1, pad=0))
+    h = act(conv_bn(b, h, hidden, kernel=3, stride=stride, group=hidden))
+    if use_se:
+        h = se_block(b, h, hidden, hard=True)
+    h = conv_bn(b, h, out_channels, kernel=1, pad=0)
+    if stride == 1 and in_channels == out_channels:
+        h = b.add(h, x)
+    return h
+
+
+def classifier_head(b: GraphBuilder, x: str, channels: int, num_classes: int = 100) -> str:
+    """GlobalAveragePool → Flatten → Gemm (the standard CNN tail)."""
+    h = b.global_avgpool(x)
+    h = b.flatten(h)
+    return b.gemm(h, channels, num_classes)
+
+
+# -- transformer pieces -----------------------------------------------------
+
+
+def decomposed_gelu(b: GraphBuilder, x: str) -> str:
+    """Gelu in the exact form torch→ONNX export emits (Div, Erf, Add, Mul, Mul).
+
+    The ORT-like optimizer's GeluFusion pass recognizes this pattern.
+    """
+    inner = b.div(x, b.scalar(math.sqrt(2.0)))
+    inner = b.erf(inner)
+    inner = b.add(inner, b.scalar(1.0))
+    out = b.mul(x, inner)
+    return b.mul(out, b.scalar(0.5))
+
+
+def embedding(b: GraphBuilder, ids: str, vocab: int, hidden: int) -> str:
+    """Token-embedding lookup: Gather over a [vocab, hidden] table."""
+    table = b.weight((vocab, hidden), scale=0.02)
+    return b.gather(table, ids, axis=0)
+
+
+def attention_block(b: GraphBuilder, x: str, seq: int, hidden: int, heads: int) -> str:
+    """Multi-head self-attention (pre-fusion ONNX form), residual NOT applied."""
+    head_dim = hidden // heads
+    q = b.linear(x, hidden, hidden)
+    k = b.linear(x, hidden, hidden)
+    v = b.linear(x, hidden, hidden)
+    # [1, seq, hidden] -> [1, heads, seq, head_dim]
+    q = b.transpose(b.reshape(q, (1, seq, heads, head_dim)), (0, 2, 1, 3))
+    k = b.transpose(b.reshape(k, (1, seq, heads, head_dim)), (0, 2, 3, 1))
+    v = b.transpose(b.reshape(v, (1, seq, heads, head_dim)), (0, 2, 1, 3))
+    scores = b.matmul(q, k)
+    scores = b.div(scores, b.scalar(math.sqrt(head_dim)))
+    probs = b.softmax(scores, axis=-1)
+    ctx = b.matmul(probs, v)
+    ctx = b.reshape(b.transpose(ctx, (0, 2, 1, 3)), (1, seq, hidden))
+    return b.linear(ctx, hidden, hidden)
+
+
+def ffn_block(b: GraphBuilder, x: str, hidden: int, ffn_dim: int, gelu: bool = True) -> str:
+    """Position-wise feed-forward, residual NOT applied."""
+    h = b.linear(x, hidden, ffn_dim)
+    h = decomposed_gelu(b, h) if gelu else b.relu(h)
+    return b.linear(h, ffn_dim, hidden)
+
+
+def transformer_encoder_layer(
+    b: GraphBuilder,
+    x: str,
+    seq: int,
+    hidden: int,
+    heads: int,
+    ffn_dim: int,
+    gelu: bool = True,
+) -> str:
+    """Post-LN encoder layer: Attn → Add → LN → FFN → Add → LN."""
+    attn = attention_block(b, x, seq, hidden, heads)
+    h = b.layernorm(b.add(attn, x), hidden)
+    ffn = ffn_block(b, h, hidden, ffn_dim, gelu=gelu)
+    return b.layernorm(b.add(ffn, h), hidden)

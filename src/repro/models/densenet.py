@@ -1,0 +1,59 @@
+"""DenseNet: dense blocks where every layer Concat-appends its features.
+
+Dense connectivity produces the Concat-heavy, high-fan-in topologies the
+paper calls out (densenet has the largest n in Fig. 6); the builder
+keeps the BN→Relu→Conv pre-activation ordering of the original network.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import classifier_head, conv_bn_relu
+
+__all__ = ["build_densenet"]
+
+
+def _dense_layer(b: GraphBuilder, x: str, growth: int) -> str:
+    h = b.batchnorm(x)
+    h = b.relu(h)
+    h = b.conv(h, 4 * growth, kernel=1, pad=0, bias=False)
+    h = b.batchnorm(h)
+    h = b.relu(h)
+    h = b.conv(h, growth, kernel=3, pad=1, bias=False)
+    return b.concat([x, h], axis=1)
+
+
+def _transition(b: GraphBuilder, x: str, out_ch: int) -> str:
+    h = b.batchnorm(x)
+    h = b.relu(h)
+    h = b.conv(h, out_ch, kernel=1, pad=0, bias=False)
+    return b.avgpool(h, kernel=2, stride=2)
+
+
+def build_densenet(
+    block_layers: Sequence[int] = (4, 6, 6),
+    growth: int = 8,
+    input_size: int = 64,
+    num_classes: int = 100,
+    seed: int = 0,
+    name: str = "densenet",
+) -> Graph:
+    """Build a DenseNet-style graph (DenseNet-121 layout, narrowed)."""
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("input", (1, 3, input_size, input_size))
+    ch = 2 * growth
+    h = conv_bn_relu(b, x, ch, kernel=7, stride=2, pad=3)
+    h = b.maxpool(h, kernel=3, stride=2, pad=1)
+    for i, n_layers in enumerate(block_layers):
+        for _ in range(n_layers):
+            h = _dense_layer(b, h, growth)
+            ch += growth
+        if i + 1 < len(block_layers):
+            ch = ch // 2
+            h = _transition(b, h, ch)
+    h = b.relu(b.batchnorm(h))
+    logits = classifier_head(b, h, ch, num_classes)
+    return b.build([logits])

@@ -1,0 +1,57 @@
+"""GoogLeNet (Inception v1): parallel-branch inception modules.
+
+Inception modules produce the distinctive diamond-shaped fan-out/Concat
+topology that distinguishes googlenet subgraphs in the Fig. 6 table.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import classifier_head, conv_bn_relu
+
+__all__ = ["build_googlenet"]
+
+
+def _inception(
+    b: GraphBuilder,
+    x: str,
+    c1: int,
+    c3r: int,
+    c3: int,
+    c5r: int,
+    c5: int,
+    pool_proj: int,
+) -> str:
+    branch1 = conv_bn_relu(b, x, c1, kernel=1, pad=0)
+    branch3 = conv_bn_relu(b, x, c3r, kernel=1, pad=0)
+    branch3 = conv_bn_relu(b, branch3, c3, kernel=3, pad=1)
+    branch5 = conv_bn_relu(b, x, c5r, kernel=1, pad=0)
+    branch5 = conv_bn_relu(b, branch5, c5, kernel=3, pad=1)  # v1 uses 5x5; 3x3 per BN-Inception
+    pool = b.maxpool(x, kernel=3, stride=1, pad=1)
+    pool = conv_bn_relu(b, pool, pool_proj, kernel=1, pad=0)
+    return b.concat([branch1, branch3, branch5, pool], axis=1)
+
+
+def build_googlenet(
+    input_size: int = 64,
+    num_classes: int = 100,
+    seed: int = 0,
+    name: str = "googlenet",
+) -> Graph:
+    """Build a GoogLeNet-style graph (stem + 5 inception modules, narrowed)."""
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("input", (1, 3, input_size, input_size))
+    h = conv_bn_relu(b, x, 16, kernel=7, stride=2, pad=3)
+    h = b.maxpool(h, kernel=3, stride=2, pad=1)
+    h = conv_bn_relu(b, h, 16, kernel=1, pad=0)
+    h = conv_bn_relu(b, h, 48, kernel=3, pad=1)
+    h = b.maxpool(h, kernel=3, stride=2, pad=1)
+    h = _inception(b, h, 16, 24, 32, 4, 8, 8)  # -> 64
+    h = _inception(b, h, 32, 32, 48, 8, 24, 16)  # -> 120
+    h = b.maxpool(h, kernel=3, stride=2, pad=1)
+    h = _inception(b, h, 48, 24, 52, 4, 12, 16)  # -> 128
+    h = _inception(b, h, 40, 28, 56, 6, 16, 16)  # -> 128
+    h = _inception(b, h, 64, 40, 80, 8, 32, 32)  # -> 208
+    logits = classifier_head(b, h, 208, num_classes)
+    return b.build([logits])

@@ -1,0 +1,57 @@
+"""Inception v3-style network: factorized convolutions, mixed modules."""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import classifier_head, conv_bn_relu
+
+__all__ = ["build_inception"]
+
+
+def _mixed_a(b: GraphBuilder, x: str, pool_ch: int) -> str:
+    """35x35-style module: 1x1 / 5x5 / double-3x3 / pool branches."""
+    b1 = conv_bn_relu(b, x, 16, kernel=1, pad=0)
+    b2 = conv_bn_relu(b, x, 12, kernel=1, pad=0)
+    b2 = conv_bn_relu(b, b2, 16, kernel=5, pad=2)
+    b3 = conv_bn_relu(b, x, 16, kernel=1, pad=0)
+    b3 = conv_bn_relu(b, b3, 24, kernel=3, pad=1)
+    b3 = conv_bn_relu(b, b3, 24, kernel=3, pad=1)
+    b4 = b.avgpool(x, kernel=3, stride=1, pad=1)
+    b4 = conv_bn_relu(b, b4, pool_ch, kernel=1, pad=0)
+    return b.concat([b1, b2, b3, b4], axis=1)
+
+
+def _reduction(b: GraphBuilder, x: str, ch3: int) -> str:
+    """Grid-size reduction: strided 3x3 / strided double-3x3 / maxpool."""
+    b1 = conv_bn_relu(b, x, ch3, kernel=3, stride=2, pad=0)
+    b2 = conv_bn_relu(b, x, 16, kernel=1, pad=0)
+    b2 = conv_bn_relu(b, b2, 24, kernel=3, pad=1)
+    b2 = conv_bn_relu(b, b2, 24, kernel=3, stride=2, pad=0)
+    b3 = b.maxpool(x, kernel=3, stride=2)
+    return b.concat([b1, b2, b3], axis=1)
+
+
+def build_inception(
+    input_size: int = 64,
+    num_classes: int = 100,
+    seed: int = 0,
+    name: str = "inception",
+) -> Graph:
+    """Build an Inception-v3-style graph (stem + 3 mixed + reduction + 2 mixed)."""
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("input", (1, 3, input_size, input_size))
+    h = conv_bn_relu(b, x, 8, kernel=3, stride=2, pad=0)
+    h = conv_bn_relu(b, h, 8, kernel=3, pad=0)
+    h = conv_bn_relu(b, h, 16, kernel=3, pad=1)
+    h = b.maxpool(h, kernel=3, stride=2)
+    h = conv_bn_relu(b, h, 20, kernel=1, pad=0)
+    h = conv_bn_relu(b, h, 48, kernel=3, pad=0)
+    h = _mixed_a(b, h, 8)   # -> 64
+    h = _mixed_a(b, h, 16)  # -> 72
+    h = _mixed_a(b, h, 16)  # -> 72
+    h = _reduction(b, h, 48)  # -> 144
+    h = _mixed_a(b, h, 16)  # -> 72
+    h = _mixed_a(b, h, 16)  # -> 72
+    logits = classifier_head(b, h, 72, num_classes)
+    return b.build([logits])

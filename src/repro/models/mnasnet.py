@@ -1,0 +1,51 @@
+"""MNASNet: mobile inverted-bottleneck blocks, some with SE gates."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import classifier_head, conv_bn, conv_bn_relu, inverted_residual
+
+__all__ = ["build_mnasnet"]
+
+# (expand, out_channels, repeats, stride, use_se) — MnasNet-A1 layout, narrowed.
+_A1_STAGES: Tuple[Tuple[int, int, int, int, bool], ...] = (
+    (1, 8, 1, 1, False),
+    (4, 12, 2, 2, False),
+    (3, 16, 2, 2, True),
+    (4, 24, 3, 2, False),
+    (4, 48, 2, 1, True),
+    (4, 96, 2, 2, True),
+)
+
+
+def build_mnasnet(
+    stages: Sequence[Tuple[int, int, int, int, bool]] = _A1_STAGES,
+    input_size: int = 64,
+    num_classes: int = 100,
+    seed: int = 0,
+    name: str = "mnasnet",
+) -> Graph:
+    """Build an MNASNet-A1-style graph."""
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("input", (1, 3, input_size, input_size))
+    h = conv_bn_relu(b, x, 8, kernel=3, stride=2)
+    in_ch = 8
+    for expand, out_ch, repeats, stride, use_se in stages:
+        for i in range(repeats):
+            h = inverted_residual(
+                b,
+                h,
+                in_ch,
+                out_ch,
+                stride=stride if i == 0 else 1,
+                expand=expand,
+                use_se=use_se,
+                activation="relu",
+            )
+            in_ch = out_ch
+    h = b.relu(conv_bn(b, h, 160, kernel=1, pad=0))
+    logits = classifier_head(b, h, 160, num_classes)
+    return b.build([logits])

@@ -1,0 +1,56 @@
+"""MobileNetV2: inverted residual blocks with depthwise convolutions.
+
+Depthwise convs appear as grouped Conv with ``group == channels``, the
+same encoding torchvision's ONNX export uses — important because the
+sentinel constraint solver must learn/enforce realistic group values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import classifier_head, conv_bn, conv_bn_relu, inverted_residual
+
+__all__ = ["build_mobilenet"]
+
+# (expand, out_channels, repeats, stride) per stage — v2 layout, narrowed.
+_V2_STAGES: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 8, 1, 1),
+    (4, 12, 2, 2),
+    (4, 16, 2, 2),
+    (4, 32, 3, 2),
+    (4, 48, 2, 1),
+    (4, 80, 2, 2),
+    (4, 160, 1, 1),
+)
+
+
+def build_mobilenet(
+    stages: Sequence[Tuple[int, int, int, int]] = _V2_STAGES,
+    input_size: int = 64,
+    num_classes: int = 100,
+    seed: int = 0,
+    name: str = "mobilenet",
+) -> Graph:
+    """Build a MobileNetV2-style graph."""
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("input", (1, 3, input_size, input_size))
+    h = b.clip(conv_bn(b, x, 8, kernel=3, stride=2), 0.0, 6.0)
+    in_ch = 8
+    for expand, out_ch, repeats, stride in stages:
+        for i in range(repeats):
+            h = inverted_residual(
+                b,
+                h,
+                in_ch,
+                out_ch,
+                stride=stride if i == 0 else 1,
+                expand=expand,
+                activation="relu6",
+            )
+            in_ch = out_ch
+    h = b.clip(conv_bn(b, h, 320, kernel=1, pad=0), 0.0, 6.0)
+    logits = classifier_head(b, h, 320, num_classes)
+    return b.build([logits])

@@ -1,0 +1,135 @@
+"""NATS-Bench-style cell search space (Dong et al., 2021).
+
+Used by the §6.1 case study: the "exotic" model is sampled from a NAS
+topology search space.  NATS-Bench cells are DAGs over 4 nodes where
+every edge carries one of five candidate operations::
+
+    none | skip_connect | nor_conv_1x1 | nor_conv_3x3 | avg_pool_3x3
+
+A network stacks cells with residual reduction blocks in between, which
+is what we build here.  ``sample_nats_arch`` draws a uniform random
+architecture string like the NATS-Bench API would return.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import classifier_head, conv_bn, conv_bn_relu
+
+__all__ = ["NATS_OPS", "sample_nats_arch", "build_nats_model", "parse_arch"]
+
+NATS_OPS: Tuple[str, ...] = (
+    "none",
+    "skip_connect",
+    "nor_conv_1x1",
+    "nor_conv_3x3",
+    "avg_pool_3x3",
+)
+
+#: edges of the 4-node NATS cell: (dst, src) pairs, dst computed from all srcs.
+_CELL_EDGES: Tuple[Tuple[int, int], ...] = ((1, 0), (2, 0), (2, 1), (3, 0), (3, 1), (3, 2))
+
+
+def sample_nats_arch(seed: int = 0) -> str:
+    """Uniformly sample an architecture string, e.g.
+    ``|nor_conv_3x3~0|+|skip_connect~0|none~1|+|avg_pool_3x3~0|nor_conv_1x1~1|skip_connect~2|``.
+    """
+    rng = np.random.default_rng(seed)
+    ops = [NATS_OPS[i] for i in rng.integers(0, len(NATS_OPS), size=len(_CELL_EDGES))]
+    groups: List[List[str]] = [[], [], []]
+    for (dst, src), op in zip(_CELL_EDGES, ops):
+        groups[dst - 1].append(f"{op}~{src}")
+    return "+".join("|" + "|".join(g) + "|" for g in groups)
+
+
+def parse_arch(arch: str) -> List[List[Tuple[str, int]]]:
+    """Parse an architecture string into per-node (op, src) lists."""
+    nodes: List[List[Tuple[str, int]]] = []
+    for group in arch.split("+"):
+        entries = [e for e in group.strip("|").split("|") if e]
+        parsed = []
+        for entry in entries:
+            op, _, src = entry.partition("~")
+            if op not in NATS_OPS:
+                raise ValueError(f"unknown NATS op {op!r} in {arch!r}")
+            parsed.append((op, int(src)))
+        nodes.append(parsed)
+    if len(nodes) != 3:
+        raise ValueError(f"NATS arch must have 3 computed nodes, got {len(nodes)}")
+    return nodes
+
+
+def _apply_op(b: GraphBuilder, x: str, op: str, channels: int) -> "str | None":
+    if op == "none":
+        return None
+    if op == "skip_connect":
+        return x
+    if op == "nor_conv_1x1":
+        return conv_bn_relu(b, x, channels, kernel=1, pad=0)
+    if op == "nor_conv_3x3":
+        return conv_bn_relu(b, x, channels, kernel=3, pad=1)
+    if op == "avg_pool_3x3":
+        return b.avgpool(x, kernel=3, stride=1, pad=1)
+    raise ValueError(f"unknown NATS op {op!r}")
+
+
+def _cell(b: GraphBuilder, x: str, arch_nodes: Sequence[Sequence[Tuple[str, int]]], channels: int) -> str:
+    feats: List[str] = [x]
+    for incoming in arch_nodes:
+        parts = []
+        for op, src in incoming:
+            applied = _apply_op(b, feats[src], op, channels)
+            if applied is not None:
+                parts.append(applied)
+        if not parts:
+            # all-'none' fan-in: NATS semantics give a zero tensor; encode as
+            # input * 0 so the graph stays connected and executable.
+            parts.append(b.mul(feats[0], b.scalar(0.0)))
+        acc = parts[0]
+        for p in parts[1:]:
+            acc = b.add(acc, p)
+        feats.append(acc)
+    return feats[-1]
+
+
+def _reduction_block(b: GraphBuilder, x: str, in_ch: int, out_ch: int) -> str:
+    h = conv_bn_relu(b, x, out_ch, kernel=3, stride=2)
+    h = conv_bn(b, h, out_ch, kernel=3, stride=1)
+    shortcut = b.avgpool(x, kernel=2, stride=2)
+    shortcut = conv_bn(b, shortcut, out_ch, kernel=1, pad=0)
+    return b.relu(b.add(h, shortcut))
+
+
+def build_nats_model(
+    arch: "str | None" = None,
+    cells_per_stage: int = 2,
+    widths: Sequence[int] = (16, 32, 64),
+    input_size: int = 32,
+    num_classes: int = 10,
+    seed: int = 0,
+    name: str = "nats",
+) -> Graph:
+    """Build a NATS-Bench-style network from an architecture string.
+
+    If ``arch`` is None, a random architecture is sampled with ``seed``.
+    """
+    arch = arch or sample_nats_arch(seed)
+    arch_nodes = parse_arch(arch)
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("input", (1, 3, input_size, input_size))
+    h = conv_bn(b, x, widths[0], kernel=3, pad=1)
+    ch = widths[0]
+    for stage, width in enumerate(widths):
+        if stage > 0:
+            h = _reduction_block(b, h, ch, width)
+            ch = width
+        for _ in range(cells_per_stage):
+            h = _cell(b, h, arch_nodes, ch)
+    h = b.relu(b.batchnorm(h))
+    logits = classifier_head(b, h, ch, num_classes)
+    return b.build([logits])

@@ -1,0 +1,51 @@
+"""ResNeXt: ResNet bottlenecks with grouped (cardinality) convolutions."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import classifier_head, conv_bn, conv_bn_relu
+
+__all__ = ["build_resnext"]
+
+
+def _resnext_block(
+    b: GraphBuilder, x: str, in_ch: int, out_ch: int, stride: int, cardinality: int
+) -> str:
+    mid = out_ch // 2
+    h = conv_bn_relu(b, x, mid, kernel=1, pad=0)
+    h = conv_bn_relu(b, h, mid, kernel=3, stride=stride, group=cardinality)
+    h = conv_bn(b, h, out_ch, kernel=1, pad=0)
+    if stride != 1 or in_ch != out_ch:
+        shortcut = conv_bn(b, x, out_ch, kernel=1, stride=stride, pad=0)
+    else:
+        shortcut = x
+    return b.relu(b.add(h, shortcut))
+
+
+def build_resnext(
+    stage_blocks: Sequence[int] = (2, 2, 2),
+    widths: Sequence[int] = (32, 64, 128),
+    cardinality: int = 8,
+    input_size: int = 64,
+    num_classes: int = 100,
+    seed: int = 0,
+    name: str = "resnext",
+) -> Graph:
+    """Build a ResNeXt-style graph (bottlenecks with grouped 3x3 convs)."""
+    if len(stage_blocks) != len(widths):
+        raise ValueError("stage_blocks and widths must have equal length")
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("input", (1, 3, input_size, input_size))
+    h = conv_bn_relu(b, x, 16, kernel=7, stride=2, pad=3)
+    h = b.maxpool(h, kernel=3, stride=2, pad=1)
+    in_ch = 16
+    for stage, (n_blocks, out_ch) in enumerate(zip(stage_blocks, widths)):
+        for block in range(n_blocks):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            h = _resnext_block(b, h, in_ch, out_ch, stride, cardinality)
+            in_ch = out_ch
+    logits = classifier_head(b, h, in_ch, num_classes)
+    return b.build([logits])

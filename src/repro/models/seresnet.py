@@ -1,0 +1,52 @@
+"""SEResNet (Hu et al., Squeeze-and-Excitation networks).
+
+This is the §6.2 case-study model: identical to ResNet except every
+residual block gains a squeeze-excitation gate (GlobalAveragePool →
+1x1 Conv → Relu → 1x1 Conv → Sigmoid → Mul) before the skip Add.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import classifier_head, conv_bn, conv_bn_relu, se_block
+
+__all__ = ["build_seresnet"]
+
+
+def _se_basic_block(b: GraphBuilder, x: str, in_ch: int, out_ch: int, stride: int) -> str:
+    h = conv_bn_relu(b, x, out_ch, kernel=3, stride=stride)
+    h = conv_bn(b, h, out_ch, kernel=3, stride=1)
+    h = se_block(b, h, out_ch, reduction=4, hard=False)
+    if stride != 1 or in_ch != out_ch:
+        shortcut = conv_bn(b, x, out_ch, kernel=1, stride=stride, pad=0)
+    else:
+        shortcut = x
+    return b.relu(b.add(h, shortcut))
+
+
+def build_seresnet(
+    stage_blocks: Sequence[int] = (2, 2, 2, 2),
+    widths: Sequence[int] = (16, 32, 64, 128),
+    input_size: int = 64,
+    num_classes: int = 100,
+    seed: int = 0,
+    name: str = "seresnet",
+) -> Graph:
+    """Build an SEResNet graph (ResNet + squeeze-excitation gates)."""
+    if len(stage_blocks) != len(widths):
+        raise ValueError("stage_blocks and widths must have equal length")
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("input", (1, 3, input_size, input_size))
+    h = conv_bn_relu(b, x, widths[0], kernel=7, stride=2, pad=3)
+    h = b.maxpool(h, kernel=3, stride=2, pad=1)
+    in_ch = widths[0]
+    for stage, (n_blocks, out_ch) in enumerate(zip(stage_blocks, widths)):
+        for block in range(n_blocks):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            h = _se_basic_block(b, h, in_ch, out_ch, stride)
+            in_ch = out_ch
+    logits = classifier_head(b, h, in_ch, num_classes)
+    return b.build([logits])

@@ -1,0 +1,54 @@
+"""SqueezeNet: fire modules (squeeze 1x1 → expand 1x1 ‖ 3x3 → Concat).
+
+Fire modules add a two-way-fan-out/Concat motif distinct from both the
+inception 4-branch diamonds and the residual Adds — more structural
+diversity for sentinel training and the adversary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import classifier_head
+
+__all__ = ["build_squeezenet"]
+
+# (squeeze, expand1x1, expand3x3) per fire module, narrowed from 1.1
+_FIRES: Tuple[Tuple[int, int, int], ...] = (
+    (4, 16, 16),
+    (4, 16, 16),
+    (8, 32, 32),
+    (8, 32, 32),
+    (12, 48, 48),
+    (12, 48, 48),
+)
+
+
+def _fire(b: GraphBuilder, x: str, squeeze: int, e1: int, e3: int) -> str:
+    s = b.relu(b.conv(x, squeeze, kernel=1, pad=0))
+    left = b.relu(b.conv(s, e1, kernel=1, pad=0))
+    right = b.relu(b.conv(s, e3, kernel=3, pad=1))
+    return b.concat([left, right], axis=1)
+
+
+def build_squeezenet(
+    fires: Sequence[Tuple[int, int, int]] = _FIRES,
+    input_size: int = 64,
+    num_classes: int = 100,
+    seed: int = 0,
+    name: str = "squeezenet",
+) -> Graph:
+    """Build a SqueezeNet-1.1-style graph."""
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("input", (1, 3, input_size, input_size))
+    h = b.relu(b.conv(x, 16, kernel=3, stride=2, pad=1))
+    h = b.maxpool(h, kernel=3, stride=2, pad=1)
+    for i, (squeeze, e1, e3) in enumerate(fires):
+        h = _fire(b, h, squeeze, e1, e3)
+        if i in (1, 3):
+            h = b.maxpool(h, kernel=3, stride=2, pad=1)
+    out_ch = fires[-1][1] + fires[-1][2]
+    logits = classifier_head(b, h, out_ch, num_classes)
+    return b.build([logits])

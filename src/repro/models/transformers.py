@@ -1,0 +1,125 @@
+"""BERT-family encoder models (bert, roberta, distilbert, xlm).
+
+Emitted in the pre-fusion form HuggingFace→ONNX export produces:
+Gather embeddings, MatMul+Add projections, Reshape/Transpose head
+splits, Div-scaled attention Softmax, decomposed Gelu, and
+Add→LayerNormalization residual joins.  The four variants differ in
+depth, width and embedding composition exactly enough to give the
+adversary distinguishable-yet-related graph families, as in the paper.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.dtypes import DataType
+from ..ir.graph import Graph
+from .common import embedding, transformer_encoder_layer
+
+__all__ = ["build_bert", "build_roberta", "build_distilbert", "build_xlm"]
+
+
+def _encoder(
+    name: str,
+    layers: int,
+    hidden: int,
+    heads: int,
+    ffn_dim: int,
+    seq: int,
+    vocab: int,
+    seed: int,
+    token_type_embeddings: bool = True,
+    final_pooler: bool = True,
+) -> Graph:
+    b = GraphBuilder(name, seed=seed)
+    ids = b.input("input_ids", (seq,), DataType.INT64)
+    tok = embedding(b, ids, vocab, hidden)
+    tok = b.reshape(tok, (1, seq, hidden))
+    pos_table = b.weight((1, seq, hidden), scale=0.02)
+    h = b.add(tok, pos_table)
+    if token_type_embeddings:
+        type_table = b.weight((1, seq, hidden), scale=0.02)
+        h = b.add(h, type_table)
+    h = b.layernorm(h, hidden)
+    for _ in range(layers):
+        h = transformer_encoder_layer(b, h, seq, hidden, heads, ffn_dim, gelu=True)
+    if final_pooler:
+        # CLS pooler: take position 0, dense + tanh.
+        cls = b.op("Slice", [h], attrs={"starts": (0,), "ends": (1,), "axes": (1,)})
+        b._record_type(cls)
+        cls = b.reshape(cls, (1, hidden))
+        pooled = b.gemm(cls, hidden, hidden)
+        out = b.tanh(pooled)
+    else:
+        out = h
+    return b.build([out])
+
+
+def build_bert(
+    layers: int = 4,
+    hidden: int = 64,
+    heads: int = 4,
+    ffn_dim: int = 256,
+    seq: int = 32,
+    vocab: int = 1000,
+    seed: int = 0,
+    name: str = "bert",
+) -> Graph:
+    """BERT-base layout (scaled down): token+position+type embeddings, pooler."""
+    return _encoder(name, layers, hidden, heads, ffn_dim, seq, vocab, seed)
+
+
+def build_roberta(
+    layers: int = 4,
+    hidden: int = 64,
+    heads: int = 4,
+    ffn_dim: int = 256,
+    seq: int = 32,
+    vocab: int = 1200,
+    seed: int = 1,
+    name: str = "roberta",
+) -> Graph:
+    """RoBERTa: BERT without token-type embeddings."""
+    return _encoder(
+        name, layers, hidden, heads, ffn_dim, seq, vocab, seed, token_type_embeddings=False
+    )
+
+
+def build_distilbert(
+    layers: int = 2,
+    hidden: int = 64,
+    heads: int = 4,
+    ffn_dim: int = 256,
+    seq: int = 32,
+    vocab: int = 1000,
+    seed: int = 2,
+    name: str = "distilbert",
+) -> Graph:
+    """DistilBERT: half-depth BERT, no token-type embeddings, no pooler."""
+    return _encoder(
+        name,
+        layers,
+        hidden,
+        heads,
+        ffn_dim,
+        seq,
+        vocab,
+        seed,
+        token_type_embeddings=False,
+        final_pooler=False,
+    )
+
+
+def build_xlm(
+    layers: int = 6,
+    hidden: int = 64,
+    heads: int = 4,
+    ffn_dim: int = 256,
+    seq: int = 32,
+    vocab: int = 2000,
+    seed: int = 3,
+    name: str = "xlm",
+) -> Graph:
+    """XLM: deeper encoder with language (token-type) embeddings."""
+    return _encoder(
+        name, layers, hidden, heads, ffn_dim, seq, vocab, seed, final_pooler=False
+    )

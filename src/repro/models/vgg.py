@@ -1,0 +1,43 @@
+"""VGG: plain deep conv stacks — the chain-topology extreme of the zoo.
+
+VGG has no branches at all (the opposite pole from DenseNet), which
+stresses the partitioner and gives the topology model pure-chain
+training signal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+
+__all__ = ["build_vgg"]
+
+
+def build_vgg(
+    stage_convs: Sequence[int] = (1, 1, 2, 2, 2),
+    widths: Sequence[int] = (8, 16, 32, 48, 48),
+    input_size: int = 64,
+    num_classes: int = 100,
+    seed: int = 0,
+    name: str = "vgg",
+) -> Graph:
+    """Build a VGG-11-style graph (narrowed)."""
+    if len(stage_convs) != len(widths):
+        raise ValueError("stage_convs and widths must have equal length")
+    b = GraphBuilder(name, seed=seed)
+    x = b.input("input", (1, 3, input_size, input_size))
+    h = x
+    for n_convs, width in zip(stage_convs, widths):
+        for _ in range(n_convs):
+            h = b.relu(b.conv(h, width, kernel=3, pad=1))
+        h = b.maxpool(h, kernel=2, stride=2)
+    h = b.flatten(h)
+    flat = b.shape_of(h)[1]
+    h = b.relu(b.linear(h, flat, 256))
+    h = b.dropout(h, 0.5)
+    h = b.relu(b.linear(h, 256, 256))
+    h = b.dropout(h, 0.5)
+    logits = b.linear(h, 256, num_classes)
+    return b.build([logits])

@@ -1,0 +1,85 @@
+"""Model registry: name → builder, as torchvision/HF hub stand-in.
+
+``build_model(name)`` returns a freshly built IR graph.  Builders accept
+keyword overrides (depth, width, input size) for sweep experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..ir.graph import Graph
+from .alexnet import build_alexnet
+from .densenet import build_densenet
+from .googlenet import build_googlenet
+from .inception import build_inception
+from .mnasnet import build_mnasnet
+from .mobilenet import build_mobilenet
+from .nats import build_nats_model
+from .resnet import build_resnet
+from .resnext import build_resnext
+from .seresnet import build_seresnet
+from .squeezenet import build_squeezenet
+from .vgg import build_vgg
+from .transformers import build_bert, build_distilbert, build_roberta, build_xlm
+
+__all__ = ["MODEL_REGISTRY", "build_model", "list_models", "CNN_MODELS", "TRANSFORMER_MODELS"]
+
+MODEL_REGISTRY: Dict[str, Callable[..., Graph]] = {
+    "alexnet": build_alexnet,
+    "densenet": build_densenet,
+    "googlenet": build_googlenet,
+    "inception": build_inception,
+    "mnasnet": build_mnasnet,
+    "mobilenet": build_mobilenet,
+    "resnet": build_resnet,
+    "resnext": build_resnext,
+    "seresnet": build_seresnet,
+    "squeezenet": build_squeezenet,
+    "vgg": build_vgg,
+    "bert": build_bert,
+    "roberta": build_roberta,
+    "distilbert": build_distilbert,
+    "xlm": build_xlm,
+    "nats": build_nats_model,
+}
+
+#: the CNN subset (image classifiers), as grouped in the paper's figures.
+CNN_MODELS: List[str] = [
+    "alexnet",
+    "densenet",
+    "googlenet",
+    "inception",
+    "mnasnet",
+    "mobilenet",
+    "resnet",
+    "resnext",
+    "seresnet",
+    "squeezenet",
+    "vgg",
+]
+
+#: the BERT-like language-model subset.
+TRANSFORMER_MODELS: List[str] = ["bert", "roberta", "distilbert", "xlm"]
+
+
+def build_model(name: str, **kwargs) -> Graph:
+    """Build a model by registry name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not registered (message lists available models).
+    """
+    try:
+        builder = MODEL_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(sorted(MODEL_REGISTRY))}"
+        ) from exc
+    return builder(**kwargs)
+
+
+def list_models() -> List[str]:
+    """All registered model names, sorted."""
+    return sorted(MODEL_REGISTRY)

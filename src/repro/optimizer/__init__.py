@@ -1,0 +1,24 @@
+"""Graph optimizers: the "optimizer party" substrate.
+
+Two independent optimizer products are provided, mirroring the paper's
+use of ONNXRuntime and Hidet: :class:`OrtLikeOptimizer` (levelled
+basic/extended pipelines) and :class:`HidetLikeOptimizer` (a different
+pass profile + leaner runtime).  Both consume and produce IR graphs and
+guarantee functional equivalence (tested through the numpy executor).
+"""
+
+from .pass_base import GraphPass, PassManager, PassReport
+from .ortlike import OPTIMIZATION_LEVELS, OrtLikeOptimizer
+from .hidetlike import HidetLikeOptimizer, hidet_cost_model
+from . import passes
+
+__all__ = [
+    "GraphPass",
+    "PassManager",
+    "PassReport",
+    "OrtLikeOptimizer",
+    "OPTIMIZATION_LEVELS",
+    "HidetLikeOptimizer",
+    "hidet_cost_model",
+    "passes",
+]

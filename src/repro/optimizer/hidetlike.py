@@ -1,0 +1,79 @@
+"""The Hidet-like optimizer: a second, independent optimizer product.
+
+The paper uses Hidet (Ding et al., 2023) alongside ONNXRuntime to show
+Proteus is *optimizer-agnostic* (Fig. 4b).  Hidet's graph-level passes
+differ from ORT's: it resolves operators and fuses prologues/epilogues
+around matmul/conv "anchor" operators but does not implement ORT's
+transformer contrib fusions (SkipLayerNorm) or residual-add fusion.
+We model that profile: a different pass set + a leaner runtime in the
+cost model (smaller launch overheads after Hidet's kernel generation),
+which yields the flatter speedup profile Fig. 4b shows.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.graph import Graph
+from ..runtime.cost_model import CostModel
+from .pass_base import GraphPass, PassManager
+from .passes import (
+    CommonSubexpressionElimination,
+    ConstantFolding,
+    ConvActivationFusion,
+    ConvBatchNormFusion,
+    DeadCodeElimination,
+    GeluFusion,
+    GemmActivationFusion,
+    IdentityElimination,
+    MatMulAddFusion,
+    ReshapeFusion,
+    TransposeFusion,
+    UnusedInitializerPruning,
+)
+
+__all__ = ["HidetLikeOptimizer", "hidet_cost_model"]
+
+
+def hidet_cost_model() -> CostModel:
+    """Cost model for the Hidet-like runtime: cheaper launches.
+
+    Hidet generates standalone CUDA kernels with lower per-op dispatch
+    cost than a general-purpose runtime, which compresses the gap
+    between unoptimized and optimized graphs — the effect visible in
+    Fig. 4b where speedups are small across the board.
+    """
+    return CostModel(launch_overhead=0.1e-6, zero_cost_overhead=0.02e-6)
+
+
+def _hidet_passes() -> List[GraphPass]:
+    return [
+        IdentityElimination(),
+        ConstantFolding(),
+        CommonSubexpressionElimination(),
+        ReshapeFusion(),
+        TransposeFusion(),
+        ConvBatchNormFusion(),
+        ConvActivationFusion(),
+        GeluFusion(),
+        MatMulAddFusion(),
+        GemmActivationFusion(),
+        DeadCodeElimination(),
+        UnusedInitializerPruning(),
+    ]
+
+
+class HidetLikeOptimizer:
+    """Graph optimizer modelling Hidet's pass profile."""
+
+    name = "hidetlike"
+
+    def __init__(self, max_rounds: int = 4) -> None:
+        self._manager = PassManager(_hidet_passes(), max_rounds=max_rounds)
+
+    def optimize(self, graph: Graph) -> Graph:
+        """Return an optimized copy of ``graph`` (functionally equivalent)."""
+        return self._manager.optimize(graph)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "HidetLikeOptimizer()"

@@ -1,0 +1,111 @@
+"""The ORT-like optimizer: levelled pipelines mirroring ONNXRuntime.
+
+ONNXRuntime exposes graph-optimization *levels* (disabled / basic /
+extended); this optimizer reproduces that interface over our passes:
+
+* ``basic`` — semantics-preserving cleanups (identity & dropout
+  elimination, constant folding, CSE, reshape/transpose fusion);
+* ``extended`` — adds the operator fusions (Conv+BN, Conv+Add,
+  Conv/Gemm activation epilogues, MatMul+Add, Gelu, SkipLayerNorm).
+
+``OrtLikeOptimizer().optimize(graph)`` returns a new, validated graph.
+The "Best Attainable" baseline in Fig. 4a is this optimizer applied to
+the whole model; the Proteus bar applies it per subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.graph import Graph
+from .pass_base import GraphPass, PassManager
+from .passes import (
+    CommonSubexpressionElimination,
+    ConstantFolding,
+    ConvActivationFusion,
+    ConvAddFusion,
+    ConvBatchNormFusion,
+    DeadCodeElimination,
+    GeluFusion,
+    GemmActivationFusion,
+    IdentityElimination,
+    MatMulAddFusion,
+    ReshapeFusion,
+    SkipLayerNormFusion,
+    TransposeFusion,
+    UnusedInitializerPruning,
+)
+
+__all__ = ["OrtLikeOptimizer", "OPTIMIZATION_LEVELS"]
+
+OPTIMIZATION_LEVELS = ("none", "basic", "extended")
+
+
+def _basic_passes() -> List[GraphPass]:
+    return [
+        IdentityElimination(),
+        ConstantFolding(),
+        CommonSubexpressionElimination(),
+        ReshapeFusion(),
+        TransposeFusion(),
+        DeadCodeElimination(),
+        UnusedInitializerPruning(),
+    ]
+
+
+def _extended_passes() -> List[GraphPass]:
+    return [
+        IdentityElimination(),
+        ConstantFolding(),
+        CommonSubexpressionElimination(),
+        ReshapeFusion(),
+        TransposeFusion(),
+        ConvBatchNormFusion(),
+        ConvAddFusion(),
+        ConvActivationFusion(),
+        GeluFusion(),
+        MatMulAddFusion(),
+        GemmActivationFusion(),
+        SkipLayerNormFusion(),
+        DeadCodeElimination(),
+        UnusedInitializerPruning(),
+    ]
+
+
+class OrtLikeOptimizer:
+    """Rule-based graph optimizer with ONNXRuntime-style levels.
+
+    ``kernel_selection=True`` additionally runs the Winograd algorithm
+    selector — the normally-beneficial, occasionally-backfiring
+    optimization exercised by the §6.1 NAS case study.
+    """
+
+    name = "ortlike"
+
+    def __init__(
+        self, level: str = "extended", max_rounds: int = 4, kernel_selection: bool = False
+    ) -> None:
+        if level not in OPTIMIZATION_LEVELS:
+            raise ValueError(f"level must be one of {OPTIMIZATION_LEVELS}, got {level!r}")
+        self.level = level
+        self.kernel_selection = kernel_selection
+        if level == "none":
+            self._manager = None
+        elif level == "basic":
+            self._manager = PassManager(_basic_passes(), max_rounds=max_rounds)
+        else:
+            passes = _extended_passes()
+            if kernel_selection:
+                from .passes.kernel_selection import WinogradConvSelection
+
+                passes.append(WinogradConvSelection())
+            self._manager = PassManager(passes, max_rounds=max_rounds)
+
+    def optimize(self, graph: Graph) -> Graph:
+        """Return an optimized copy of ``graph`` (functionally equivalent)."""
+        if self._manager is None:
+            return graph.clone()
+        return self._manager.optimize(graph)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OrtLikeOptimizer(level={self.level!r})"

@@ -1,0 +1,95 @@
+"""Optimization-pass framework: GraphPass + PassManager.
+
+Passes mutate a graph in place and report whether they changed anything;
+the :class:`PassManager` drives pipelines to a fixpoint, refreshing shape
+information between passes and validating the result.  This mirrors the
+levelled graph-transformer architecture of ONNXRuntime that the paper's
+optimizer party uses.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.graph import Graph
+from ..ir.shape_inference import infer_shapes
+from ..ir.validate import validate_graph
+
+__all__ = ["GraphPass", "PassManager", "PassReport"]
+
+
+class GraphPass(abc.ABC):
+    """Base class for graph-rewriting passes."""
+
+    #: human-readable pass name (defaults to the class name).
+    name: str = ""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if not cls.name:
+            cls.name = cls.__name__
+
+    @abc.abstractmethod
+    def run(self, graph: Graph) -> bool:
+        """Rewrite ``graph`` in place; return True iff anything changed."""
+
+    # -- shared rewrite helpers -------------------------------------------
+    @staticmethod
+    def single_consumer(graph: Graph, value: str) -> bool:
+        """True when ``value`` feeds exactly one node and is not a graph output."""
+        return len(graph.consumers_of(value)) == 1 and not graph.is_graph_output(value)
+
+    @staticmethod
+    def is_constant(graph: Graph, value: str) -> bool:
+        return graph.is_initializer(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<pass {self.name}>"
+
+
+@dataclass
+class PassReport:
+    """What the manager did: per-pass application counts over all rounds."""
+
+    applications: Dict[str, int] = field(default_factory=dict)
+    rounds: int = 0
+
+    def record(self, pass_name: str) -> None:
+        self.applications[pass_name] = self.applications.get(pass_name, 0) + 1
+
+    def summary(self) -> str:
+        parts = [f"{k}x{v}" for k, v in sorted(self.applications.items())]
+        return f"{self.rounds} rounds: {', '.join(parts) or 'no changes'}"
+
+
+class PassManager:
+    """Runs a pass pipeline to fixpoint (bounded rounds) and validates."""
+
+    def __init__(self, passes: Sequence[GraphPass], max_rounds: int = 4) -> None:
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        self.passes: List[GraphPass] = list(passes)
+        self.max_rounds = max_rounds
+
+    def optimize(self, graph: Graph, in_place: bool = False) -> Graph:
+        """Optimize ``graph``; returns the optimized graph (a clone unless
+        ``in_place``).  The result is validated and fully shape-inferred."""
+        g = graph if in_place else graph.clone()
+        report = PassReport()
+        for round_idx in range(self.max_rounds):
+            report.rounds = round_idx + 1
+            changed = False
+            for p in self.passes:
+                infer_shapes(g)  # keep types fresh for shape-dependent passes
+                if p.run(g):
+                    changed = True
+                    report.record(p.name)
+            if not changed:
+                break
+        infer_shapes(g)
+        validate_graph(g)
+        g.toposort_inplace()
+        self.last_report: Optional[PassReport] = report
+        return g

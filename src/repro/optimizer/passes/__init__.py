@@ -1,0 +1,32 @@
+"""Individual graph-optimization passes."""
+
+from .cleanup import (
+    CommonSubexpressionElimination,
+    DeadCodeElimination,
+    IdentityElimination,
+    UnusedInitializerPruning,
+)
+from .constant_folding import ConstantFolding
+from .kernel_selection import WinogradConvSelection
+from .conv_fusion import ConvActivationFusion, ConvAddFusion, ConvBatchNormFusion
+from .matmul_fusion import GemmActivationFusion, MatMulAddFusion
+from .shape_fusion import ReshapeFusion, TransposeFusion
+from .transformer_fusion import GeluFusion, SkipLayerNormFusion
+
+__all__ = [
+    "IdentityElimination",
+    "DeadCodeElimination",
+    "CommonSubexpressionElimination",
+    "UnusedInitializerPruning",
+    "ConstantFolding",
+    "WinogradConvSelection",
+    "ConvBatchNormFusion",
+    "ConvAddFusion",
+    "ConvActivationFusion",
+    "MatMulAddFusion",
+    "GemmActivationFusion",
+    "ReshapeFusion",
+    "TransposeFusion",
+    "GeluFusion",
+    "SkipLayerNormFusion",
+]

@@ -1,0 +1,111 @@
+"""Cleanup passes: identity elimination, DCE, CSE, initializer pruning.
+
+These correspond to ONNXRuntime's *basic* (level-1) graph optimizations
+— semantics-preserving rewrites that remove redundant nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ...ir.graph import Graph
+from ..pass_base import GraphPass
+
+__all__ = [
+    "IdentityElimination",
+    "DeadCodeElimination",
+    "CommonSubexpressionElimination",
+    "UnusedInitializerPruning",
+]
+
+#: ops that are the identity function at inference time.
+_IDENTITY_OPS = ("Identity", "Dropout", "Cast")
+
+
+class IdentityElimination(GraphPass):
+    """Remove inference-time no-ops (Identity, Dropout, Cast).
+
+    A node is only removed when its output is not a graph output, so the
+    graph's public interface (output names) stays stable.
+    """
+
+    def run(self, graph: Graph) -> bool:
+        changed = False
+        for node in list(graph.nodes):
+            if node.op_type not in _IDENTITY_OPS:
+                continue
+            out = node.outputs[0]
+            if graph.is_graph_output(out):
+                continue
+            graph.remove_node(node)
+            graph.replace_all_uses(out, node.inputs[0])
+            changed = True
+        return changed
+
+
+class DeadCodeElimination(GraphPass):
+    """Remove nodes none of whose outputs are consumed or graph outputs."""
+
+    def run(self, graph: Graph) -> bool:
+        changed = False
+        while True:
+            used: Set[str] = {v.name for v in graph.outputs}
+            for node in graph.nodes:
+                used.update(node.inputs)
+            dead = [
+                node
+                for node in graph.nodes
+                if not any(out in used for out in node.outputs)
+            ]
+            if not dead:
+                return changed
+            graph.remove_nodes(dead)
+            changed = True
+
+
+class CommonSubexpressionElimination(GraphPass):
+    """Merge structurally identical nodes (same op, inputs, attributes).
+
+    All IR kernels are deterministic, so equal expressions compute equal
+    values; the later duplicate's uses are redirected to the earlier one.
+    """
+
+    @staticmethod
+    def _key(node) -> Tuple:
+        return (
+            node.op_type,
+            tuple(node.inputs),
+            tuple(sorted(node.attrs.items())),
+        )
+
+    def run(self, graph: Graph) -> bool:
+        changed = False
+        seen: Dict[Tuple, List[str]] = {}
+        for node in graph.topological_order():
+            key = self._key(node)
+            if key in seen:
+                canonical = seen[key]
+                # keep a node alive if it produces a graph output; just
+                # rewire the duplicate's uses onto the canonical outputs.
+                if any(graph.is_graph_output(o) for o in node.outputs):
+                    continue
+                graph.remove_node(node)
+                for old, new in zip(node.outputs, canonical):
+                    graph.replace_all_uses(old, new)
+                changed = True
+            else:
+                seen[key] = list(node.outputs)
+        return changed
+
+
+class UnusedInitializerPruning(GraphPass):
+    """Drop initializers no node references (shrinks serialized graphs)."""
+
+    def run(self, graph: Graph) -> bool:
+        used: Set[str] = {v.name for v in graph.outputs}
+        for node in graph.nodes:
+            used.update(node.inputs)
+        doomed = [name for name in graph.initializers if name not in used]
+        for name in doomed:
+            graph.remove_initializer(name)
+        return bool(doomed)

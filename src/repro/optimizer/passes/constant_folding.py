@@ -1,0 +1,47 @@
+"""Constant folding: evaluate nodes whose inputs are all constants.
+
+One of the named ONNXRuntime basic optimizations (§2.1 of the paper).
+Folded results become initializers; dead producers are cleaned up by
+DCE/initializer pruning afterwards.
+"""
+
+from __future__ import annotations
+
+from ...ir.graph import Graph
+from ...runtime.kernels import kernel_for
+from ..pass_base import GraphPass
+
+__all__ = ["ConstantFolding"]
+
+
+class ConstantFolding(GraphPass):
+    """Evaluate constant subexpressions at compile time.
+
+    ``max_elements`` guards against materializing giant constants (e.g.
+    folding a broadcasted op into a tensor larger than its inputs).
+    """
+
+    def __init__(self, max_elements: int = 4_000_000) -> None:
+        self.max_elements = max_elements
+
+    def run(self, graph: Graph) -> bool:
+        changed = False
+        for node in graph.topological_order():
+            if not node.inputs:
+                continue
+            if not all(graph.is_initializer(i) for i in node.inputs):
+                continue
+            if any(graph.is_graph_output(o) for o in node.outputs):
+                continue
+            try:
+                ins = [graph.initializers[i] for i in node.inputs]
+                outs = kernel_for(node.op_type)(node, ins)
+            except Exception:
+                continue  # unfoldable (missing kernel, bad values): leave as-is
+            if sum(o.size for o in outs) > self.max_elements:
+                continue
+            graph.remove_node(node)
+            for name, arr in zip(node.outputs, outs):
+                graph.add_initializer(name, arr)
+            changed = True
+        return changed

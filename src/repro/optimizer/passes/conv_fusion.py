@@ -1,0 +1,166 @@
+"""Convolution fusions: Conv+BN folding, Conv+residual-Add, Conv+activation.
+
+These are the optimizations whose loss across partition boundaries
+drives the Proteus slowdown in Fig. 4 (e.g. "if a conv operator is
+followed by an add operator ... partitioned into different subgraphs,
+then fusion cannot be done between them").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir.graph import Graph
+from ...ir.node import Node
+from ..pass_base import GraphPass
+
+__all__ = ["ConvBatchNormFusion", "ConvAddFusion", "ConvActivationFusion"]
+
+#: activations fusable into conv/gemm epilogues (ORT's FusedConv set).
+_FUSABLE_ACTIVATIONS = ("Relu", "LeakyRelu", "Sigmoid", "Tanh", "HardSigmoid", "HardSwish")
+
+
+class ConvBatchNormFusion(GraphPass):
+    """Fold BatchNormalization (inference statistics) into conv weights.
+
+    Requires constant conv weights and BN parameters; rewrites
+    ``BN(Conv(x, W, b))`` into ``Conv(x, W', b')`` with
+
+        W' = W * (scale / sqrt(var + eps))       (per output channel)
+        b' = (b - mean) * scale / sqrt(var+eps) + bias
+    """
+
+    def run(self, graph: Graph) -> bool:
+        changed = False
+        for conv in list(graph.nodes):
+            if conv.op_type != "Conv":
+                continue
+            out = conv.outputs[0]
+            if not self.single_consumer(graph, out):
+                continue
+            (bn,) = graph.consumers_of(out)
+            if bn.op_type != "BatchNormalization":
+                continue
+            w_name = conv.inputs[1]
+            if not graph.is_initializer(w_name):
+                continue
+            if not all(graph.is_initializer(i) for i in bn.inputs[1:5]):
+                continue
+            w = graph.initializers[w_name]
+            scale, bias, mean, var = (graph.initializers[i] for i in bn.inputs[1:5])
+            eps = float(bn.attr("epsilon", 1e-5))
+            inv_std = scale / np.sqrt(var + eps)
+            new_w = (w * inv_std[:, None, None, None]).astype(w.dtype)
+            old_b = (
+                graph.initializers[conv.inputs[2]]
+                if len(conv.inputs) == 3 and graph.is_initializer(conv.inputs[2])
+                else np.zeros(w.shape[0], dtype=w.dtype)
+            )
+            new_b = ((old_b - mean) * inv_std + bias).astype(w.dtype)
+            new_w_name = graph.fresh_value_name(f"{w_name}_bnfold")
+            new_b_name = graph.fresh_value_name(f"{conv.name}_bias_bnfold")
+            graph.add_initializer(new_w_name, new_w)
+            graph.add_initializer(new_b_name, new_b)
+            conv.inputs = [conv.inputs[0], new_w_name, new_b_name]
+            conv.outputs = list(bn.outputs)
+            graph.remove_node(bn)
+            graph._invalidate()
+            changed = True
+        return changed
+
+
+class ConvAddFusion(GraphPass):
+    """Fuse a residual Add into the conv that feeds it (FusedConvAdd).
+
+    Matches ``Add(Conv(x), residual)`` where the conv has a single use
+    and the residual is a non-constant value; the fused op computes the
+    conv, adds the residual, and leaves the activation slot empty for
+    :class:`ConvActivationFusion` to fill.
+    """
+
+    def run(self, graph: Graph) -> bool:
+        changed = False
+        for add in list(graph.nodes):
+            if add.op_type != "Add":
+                continue
+            conv = None
+            residual = None
+            for i in (0, 1):
+                producer = graph.producer_of(add.inputs[i])
+                if (
+                    producer is not None
+                    and producer.op_type == "Conv"
+                    and self.single_consumer(graph, add.inputs[i])
+                ):
+                    conv = producer
+                    residual = add.inputs[1 - i]
+                    break
+            if conv is None or residual is None:
+                continue
+            if graph.is_initializer(residual):
+                continue  # constant adds are bias-like, not residuals
+            fused = Node(
+                graph.fresh_node_name(f"{conv.name}_addfused"),
+                "FusedConvAdd",
+                list(conv.inputs) + [residual],
+                list(add.outputs),
+                dict(conv.attrs, activation=""),
+            )
+            graph.remove_node(conv)
+            graph.remove_node(add)
+            graph.add_node(fused)
+            changed = True
+        return changed
+
+
+class ConvActivationFusion(GraphPass):
+    """Fuse an elementwise activation into the preceding conv.
+
+    ``Conv → act`` becomes ``FusedConv[activation=act]``;
+    ``FusedConvAdd → act`` fills the fused node's activation slot.
+    Clip is fused only in its relu6 form (min=0, max=6), matching the
+    mobile-net idiom the fused kernel implements.
+    """
+
+    def run(self, graph: Graph) -> bool:
+        changed = False
+        for conv in list(graph.nodes):
+            if conv.op_type == "Conv":
+                pass
+            elif conv.op_type == "FusedConvAdd" and not conv.attr("activation"):
+                pass
+            else:
+                continue
+            out = conv.outputs[0]
+            if not self.single_consumer(graph, out):
+                continue
+            (act,) = graph.consumers_of(out)
+            if act.op_type in _FUSABLE_ACTIVATIONS:
+                ok = True
+            elif act.op_type == "Clip":
+                ok = (
+                    float(act.attr("min", 0.0)) == 0.0
+                    and float(act.attr("max", 6.0)) == 6.0
+                )
+            else:
+                ok = False
+            if not ok:
+                continue
+            if conv.op_type == "Conv":
+                fused = Node(
+                    graph.fresh_node_name(f"{conv.name}_actfused"),
+                    "FusedConv",
+                    list(conv.inputs),
+                    list(act.outputs),
+                    dict(conv.attrs, activation=act.op_type),
+                )
+                graph.remove_node(conv)
+                graph.remove_node(act)
+                graph.add_node(fused)
+            else:  # FusedConvAdd: fill activation in place
+                conv.set_attr("activation", act.op_type)
+                conv.outputs = list(act.outputs)
+                graph.remove_node(act)
+                graph._invalidate()
+            changed = True
+        return changed

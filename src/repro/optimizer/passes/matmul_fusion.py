@@ -1,0 +1,114 @@
+"""MatMul/Gemm fusions: bias-add folding and activation epilogues.
+
+``MatMul + Add(bias)`` is what ONNX exporters emit for every dense
+layer; ORT's MatMulAddFusion turns the 2-D case into Gemm and the
+batched case into a fused contrib op (our ``FusedMatMul``).
+"""
+
+from __future__ import annotations
+
+from ...ir.graph import Graph
+from ...ir.node import Node
+from ..pass_base import GraphPass
+
+__all__ = ["MatMulAddFusion", "GemmActivationFusion"]
+
+_FUSABLE_ACTIVATIONS = ("Relu", "Tanh", "Sigmoid", "Gelu", "LeakyRelu")
+
+
+class MatMulAddFusion(GraphPass):
+    """Fuse ``Add(MatMul(a, W), b)`` with constant ``b`` into Gemm/FusedMatMul.
+
+    2-D operands with a 1-D bias produce a ``Gemm`` (the ONNX-canonical
+    form); higher-rank activations produce a ``FusedMatMul``.
+    """
+
+    def run(self, graph: Graph) -> bool:
+        changed = False
+        for add in list(graph.nodes):
+            if add.op_type != "Add":
+                continue
+            matmul = None
+            bias = None
+            for i in (0, 1):
+                producer = graph.producer_of(add.inputs[i])
+                if (
+                    producer is not None
+                    and producer.op_type == "MatMul"
+                    and self.single_consumer(graph, add.inputs[i])
+                    and graph.is_initializer(add.inputs[1 - i])
+                ):
+                    matmul = producer
+                    bias = add.inputs[1 - i]
+                    break
+            if matmul is None or bias is None:
+                continue
+            a_type = graph.value_types.get(matmul.inputs[0])
+            b_type = graph.value_types.get(matmul.inputs[1])
+            bias_type = graph.value_types.get(bias)
+            if a_type is None or b_type is None or bias_type is None:
+                continue
+            if a_type.rank == 2 and b_type.rank == 2 and bias_type.rank == 1:
+                fused = Node(
+                    graph.fresh_node_name(f"{matmul.name}_gemm"),
+                    "Gemm",
+                    [matmul.inputs[0], matmul.inputs[1], bias],
+                    list(add.outputs),
+                    {"alpha": 1.0, "beta": 1.0, "transA": 0, "transB": 0},
+                )
+            else:
+                fused = Node(
+                    graph.fresh_node_name(f"{matmul.name}_fusedmm"),
+                    "FusedMatMul",
+                    [matmul.inputs[0], matmul.inputs[1], bias],
+                    list(add.outputs),
+                    {"activation": ""},
+                )
+            graph.remove_node(matmul)
+            graph.remove_node(add)
+            graph.add_node(fused)
+            changed = True
+        return changed
+
+
+class GemmActivationFusion(GraphPass):
+    """Fuse activations into Gemm / FusedMatMul epilogues.
+
+    ``Gemm → act`` becomes FusedGemm; a ``FusedMatMul`` with an empty
+    activation slot absorbs the activation in place.  Run after
+    GeluFusion so ``Gelu`` epilogues (BERT FFNs) fuse too.
+    """
+
+    def run(self, graph: Graph) -> bool:
+        changed = False
+        for mm in list(graph.nodes):
+            if mm.op_type == "Gemm":
+                pass
+            elif mm.op_type == "FusedMatMul" and not mm.attr("activation"):
+                pass
+            else:
+                continue
+            out = mm.outputs[0]
+            if not self.single_consumer(graph, out):
+                continue
+            (act,) = graph.consumers_of(out)
+            if act.op_type not in _FUSABLE_ACTIVATIONS:
+                continue
+            if mm.op_type == "Gemm":
+                fused = Node(
+                    graph.fresh_node_name(f"{mm.name}_actfused"),
+                    "FusedGemm",
+                    list(mm.inputs),
+                    list(act.outputs),
+                    dict(mm.attrs, activation=act.op_type),
+                )
+                graph.remove_node(mm)
+                graph.remove_node(act)
+                graph.add_node(fused)
+            else:
+                mm.set_attr("activation", act.op_type)
+                mm.outputs = list(act.outputs)
+                graph.remove_node(act)
+                graph._invalidate()
+            changed = True
+        return changed

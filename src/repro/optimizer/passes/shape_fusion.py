@@ -1,0 +1,96 @@
+"""Data-movement fusions: Reshape chains and Transpose composition.
+
+"Reshape Fusion" is one of the ONNXRuntime optimizations the paper
+names explicitly (§2.1).
+"""
+
+from __future__ import annotations
+
+from ...ir.graph import Graph
+from ...ir.node import Node
+from ..pass_base import GraphPass
+
+__all__ = ["ReshapeFusion", "TransposeFusion"]
+
+_RESHAPE_LIKE = ("Reshape", "Flatten", "Squeeze", "Unsqueeze")
+
+
+class ReshapeFusion(GraphPass):
+    """Collapse chains of reshape-like ops into one Reshape.
+
+    Any ``Reshape/Flatten/Squeeze/Unsqueeze`` whose producer is also
+    reshape-like (and single-use) is replaced by a direct Reshape from
+    the chain's origin to the final statically-known shape.
+    """
+
+    def run(self, graph: Graph) -> bool:
+        changed = False
+        for node in list(graph.nodes):
+            if node.op_type not in _RESHAPE_LIKE or not graph.has_node(node.name):
+                continue
+            producer = graph.producer_of(node.inputs[0])
+            if producer is None or producer.op_type not in _RESHAPE_LIKE:
+                continue
+            if not self.single_consumer(graph, producer.outputs[0]):
+                continue
+            out_type = graph.value_types.get(node.outputs[0])
+            if out_type is None or not out_type.shape:
+                continue
+            fused = Node(
+                graph.fresh_node_name(f"{node.name}_reshapefused"),
+                "Reshape",
+                [producer.inputs[0]],
+                list(node.outputs),
+                {"shape": tuple(out_type.shape)},
+            )
+            graph.remove_node(producer)
+            graph.remove_node(node)
+            graph.add_node(fused)
+            changed = True
+        return changed
+
+
+class TransposeFusion(GraphPass):
+    """Compose back-to-back Transposes; drop identity permutations."""
+
+    def run(self, graph: Graph) -> bool:
+        changed = False
+        for node in list(graph.nodes):
+            if node.op_type != "Transpose" or not graph.has_node(node.name):
+                continue
+            in_type = graph.value_types.get(node.inputs[0])
+            rank = in_type.rank if in_type is not None else None
+            perm = tuple(node.attr("perm", ()))
+            if rank is not None and not perm:
+                perm = tuple(reversed(range(rank)))
+            # identity transpose -> remove
+            if perm and perm == tuple(range(len(perm))):
+                if graph.is_graph_output(node.outputs[0]):
+                    continue
+                graph.remove_node(node)
+                graph.replace_all_uses(node.outputs[0], node.inputs[0])
+                changed = True
+                continue
+            producer = graph.producer_of(node.inputs[0])
+            if (
+                producer is None
+                or producer.op_type != "Transpose"
+                or not self.single_consumer(graph, producer.outputs[0])
+            ):
+                continue
+            inner = tuple(producer.attr("perm", ()))
+            if not inner or not perm:
+                continue
+            composed = tuple(inner[p] for p in perm)
+            fused = Node(
+                graph.fresh_node_name(f"{node.name}_transposed"),
+                "Transpose",
+                [producer.inputs[0]],
+                list(node.outputs),
+                {"perm": composed},
+            )
+            graph.remove_node(producer)
+            graph.remove_node(node)
+            graph.add_node(fused)
+            changed = True
+        return changed

@@ -1,0 +1,121 @@
+"""Transformer-specific fusions: GeluFusion and SkipLayerNormalization.
+
+Both are named ONNXRuntime transformer optimizations.  GeluFusion
+pattern-matches the five-node decomposition that exporters emit::
+
+    y = Mul(Mul(x, Add(Erf(Div(x, sqrt(2))), 1)), 0.5)
+
+and SkipLayerNormFusion absorbs the residual Add feeding a
+LayerNormalization.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...ir.graph import Graph
+from ...ir.node import Node
+from ..pass_base import GraphPass
+
+__all__ = ["GeluFusion", "SkipLayerNormFusion"]
+
+
+def _scalar_value(graph: Graph, name: str):
+    """The float value of a scalar (or single-element) initializer, else None."""
+    arr = graph.initializers.get(name)
+    if arr is None or arr.size != 1:
+        return None
+    return float(arr.reshape(()))
+
+
+class GeluFusion(GraphPass):
+    """Replace the decomposed erf-Gelu pattern with a single Gelu node."""
+
+    def run(self, graph: Graph) -> bool:
+        changed = False
+        for div in list(graph.nodes):
+            if div.op_type != "Div" or not graph.has_node(div.name):
+                continue
+            x = div.inputs[0]
+            denom = _scalar_value(graph, div.inputs[1])
+            if denom is None or not math.isclose(denom, math.sqrt(2.0), rel_tol=1e-4):
+                continue
+            if not self.single_consumer(graph, div.outputs[0]):
+                continue
+            (erf,) = graph.consumers_of(div.outputs[0])
+            if erf.op_type != "Erf" or not self.single_consumer(graph, erf.outputs[0]):
+                continue
+            (add,) = graph.consumers_of(erf.outputs[0])
+            if add.op_type != "Add":
+                continue
+            other = [i for i in add.inputs if i != erf.outputs[0]]
+            if len(other) != 1:
+                continue
+            one = _scalar_value(graph, other[0])
+            if one is None or not math.isclose(one, 1.0, rel_tol=1e-6):
+                continue
+            if not self.single_consumer(graph, add.outputs[0]):
+                continue
+            (mul1,) = graph.consumers_of(add.outputs[0])
+            if mul1.op_type != "Mul" or x not in mul1.inputs:
+                continue
+            if not self.single_consumer(graph, mul1.outputs[0]):
+                continue
+            (mul2,) = graph.consumers_of(mul1.outputs[0])
+            if mul2.op_type != "Mul":
+                continue
+            half_in = [i for i in mul2.inputs if i != mul1.outputs[0]]
+            if len(half_in) != 1:
+                continue
+            half = _scalar_value(graph, half_in[0])
+            if half is None or not math.isclose(half, 0.5, rel_tol=1e-6):
+                continue
+            gelu = Node(
+                graph.fresh_node_name(f"{div.name}_gelu"),
+                "Gelu",
+                [x],
+                list(mul2.outputs),
+            )
+            graph.remove_nodes([div, erf, add, mul1, mul2])
+            graph.add_node(gelu)
+            changed = True
+        return changed
+
+
+class SkipLayerNormFusion(GraphPass):
+    """Fuse ``LayerNormalization(Add(x, skip))`` into SkipLayerNormalization.
+
+    Only the last-axis (axis == -1 / rank-1) LayerNorm qualifies, which
+    is the transformer residual-join shape.
+    """
+
+    def run(self, graph: Graph) -> bool:
+        changed = False
+        for ln in list(graph.nodes):
+            if ln.op_type != "LayerNormalization":
+                continue
+            x_type = graph.value_types.get(ln.inputs[0])
+            axis = int(ln.attr("axis", -1))
+            if x_type is not None and axis not in (-1, x_type.rank - 1):
+                continue
+            add = graph.producer_of(ln.inputs[0])
+            if add is None or add.op_type != "Add":
+                continue
+            if not self.single_consumer(graph, add.outputs[0]):
+                continue
+            if any(graph.is_initializer(i) for i in add.inputs):
+                continue  # bias adds are not residual skips
+            fused = Node(
+                graph.fresh_node_name(f"{ln.name}_skipln"),
+                "SkipLayerNormalization",
+                [add.inputs[0], add.inputs[1], ln.inputs[1], ln.inputs[2]],
+                list(ln.outputs),
+                {"epsilon": float(ln.attr("epsilon", 1e-5))},
+            )
+            graph.remove_node(add)
+            graph.remove_node(ln)
+            graph.add_node(fused)
+            changed = True
+        return changed

@@ -1,0 +1,24 @@
+"""Runtime substrate: numpy executor + analytic A100-style cost model."""
+
+from .kernels import KERNELS, KernelError, kernel_for
+from .executor import ExecutionError, Executor, graphs_equivalent, random_inputs, run_graph
+from .cost_model import CostModel, OpCost, node_bytes, node_flops
+from .profiler import LatencyReport, profile_graph, speedup
+
+__all__ = [
+    "KERNELS",
+    "KernelError",
+    "kernel_for",
+    "Executor",
+    "ExecutionError",
+    "run_graph",
+    "random_inputs",
+    "graphs_equivalent",
+    "CostModel",
+    "OpCost",
+    "node_flops",
+    "node_bytes",
+    "LatencyReport",
+    "profile_graph",
+    "speedup",
+]

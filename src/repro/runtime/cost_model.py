@@ -1,0 +1,221 @@
+"""Analytic latency model standing in for A100 wall-clock measurement.
+
+The paper measures inference latency on an NVIDIA A100; offline we model
+each operator's latency with the standard roofline decomposition::
+
+    latency(op) = launch_overhead + max(flops / peak_flops,
+                                        bytes_moved / memory_bandwidth)
+
+which captures exactly the effects graph-level optimization exploits:
+
+* **fusion** removes kernel-launch overheads and the memory round-trip
+  of intermediate tensors (a fused Conv+BN+Relu reads the input once and
+  writes the output once);
+* **elimination** (identity/dropout removal, constant folding) removes
+  whole terms from the sum.
+
+Constants are calibrated so the compute/traffic/launch *ratio* at this
+reproduction's (reduced) tensor sizes matches what full-size models see
+on an A100: convolutions compute-bound, elementwise ops bandwidth-bound,
+launch overhead a visible-but-minor tax.  (Using raw A100 peak numbers
+with our small tensors would make launches dominate and wildly overstate
+fusion benefit.)  Only *relative* numbers are meaningful — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+from ..ir.dtypes import TensorType
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..ir.ops import op_spec
+from ..ir.shape_inference import infer_shapes
+
+__all__ = ["CostModel", "OpCost", "node_flops", "node_bytes"]
+
+
+def _pair(val) -> Tuple[int, int]:
+    if isinstance(val, (tuple, list)):
+        if len(val) == 1:
+            return (int(val[0]), int(val[0]))
+        return (int(val[0]), int(val[1]))
+    return (int(val), int(val))
+
+
+#: ops that an engine implements as views / metadata updates: no kernel.
+_ZERO_COST_OPS = frozenset(
+    {"Reshape", "Flatten", "Squeeze", "Unsqueeze", "Identity", "Dropout", "Cast"}
+)
+
+#: multiplier on element count for transcendental-heavy pointwise ops.
+_ELEMENTWISE_FLOP_FACTOR: Dict[str, float] = {
+    "Relu": 1.0,
+    "LeakyRelu": 2.0,
+    "Clip": 2.0,
+    "Add": 1.0,
+    "Sub": 1.0,
+    "Mul": 1.0,
+    "Div": 4.0,
+    "Neg": 1.0,
+    "Abs": 1.0,
+    "Sqrt": 4.0,
+    "Exp": 8.0,
+    "Log": 8.0,
+    "Pow": 10.0,
+    "Sigmoid": 10.0,
+    "HardSigmoid": 3.0,
+    "HardSwish": 4.0,
+    "Tanh": 10.0,
+    "Erf": 12.0,
+    "Gelu": 14.0,
+}
+
+
+def node_flops(node: Node, in_types: Sequence[TensorType], out_types: Sequence[TensorType]) -> float:
+    """Floating-point operation count of one node."""
+    op = node.op_type
+    out = out_types[0]
+    if op in _ZERO_COST_OPS:
+        return 0.0
+    if op in ("Conv", "FusedConv", "FusedConvAdd"):
+        w = in_types[1]
+        m, cg, kh, kw = w.shape
+        macs = out.num_elements * cg * kh * kw
+        flops = 2.0 * macs
+        if op == "FusedConvAdd":
+            flops += out.num_elements
+        if str(node.attr("activation", "")):
+            flops += out.num_elements * _ELEMENTWISE_FLOP_FACTOR.get(
+                str(node.attr("activation")), 1.0
+            )
+        return flops
+    if op in ("MatMul", "FusedMatMul"):
+        a = in_types[0]
+        k = a.shape[-1]
+        flops = 2.0 * out.num_elements * k
+        if op == "FusedMatMul":
+            if len(in_types) == 3:
+                flops += out.num_elements
+            if str(node.attr("activation", "")):
+                flops += out.num_elements * _ELEMENTWISE_FLOP_FACTOR.get(
+                    str(node.attr("activation")), 1.0
+                )
+        return flops
+    if op in ("Gemm", "FusedGemm"):
+        a = in_types[0]
+        k = a.shape[0] if node.attr("transA", 0) else a.shape[1]
+        flops = 2.0 * out.num_elements * k
+        if len(in_types) == 3:
+            flops += out.num_elements
+        if op == "FusedGemm" and str(node.attr("activation", "")):
+            flops += out.num_elements * _ELEMENTWISE_FLOP_FACTOR.get(
+                str(node.attr("activation")), 1.0
+            )
+        return flops
+    if op in ("MaxPool", "AveragePool"):
+        kh, kw = _pair(node.attr("kernel_shape"))
+        return float(out.num_elements * kh * kw)
+    if op == "GlobalAveragePool":
+        return float(in_types[0].num_elements)
+    if op == "BatchNormalization":
+        return 2.0 * out.num_elements  # folded scale+shift at inference
+    if op in ("LayerNormalization", "SkipLayerNormalization"):
+        base = 8.0 * out.num_elements
+        if op == "SkipLayerNormalization":
+            base += out.num_elements  # the skip add
+        return base
+    if op == "Softmax":
+        return 10.0 * out.num_elements
+    if op in ("ReduceMean", "ReduceSum"):
+        return float(in_types[0].num_elements)
+    if op in ("Concat", "Transpose", "Slice", "Gather"):
+        return 0.0  # pure data movement; costed via bytes
+    factor = _ELEMENTWISE_FLOP_FACTOR.get(op)
+    if factor is not None:
+        return factor * out.num_elements
+    raise ValueError(f"no flop rule for operator {op!r}")
+
+
+def node_bytes(node: Node, in_types: Sequence[TensorType], out_types: Sequence[TensorType]) -> float:
+    """Bytes moved to/from memory by one node (roofline traffic)."""
+    if node.op_type in _ZERO_COST_OPS:
+        return 0.0
+    total = float(sum(t.num_bytes for t in in_types))
+    total += float(sum(t.num_bytes for t in out_types))
+    return total
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Latency breakdown of one node, in seconds."""
+
+    node_name: str
+    op_type: str
+    flops: float
+    bytes_moved: float
+    latency: float
+
+
+@dataclass
+class CostModel:
+    """Roofline latency model with tunable hardware constants.
+
+    ``overhead_scale`` exists so a second "compiler" (the Hidet-like
+    optimizer) can model a leaner runtime with cheaper launches.
+    """
+
+    peak_flops: float = 0.3e12  # FLOP/s delivered at reproduction tensor sizes
+    memory_bandwidth: float = 0.9e12  # B/s effective
+    launch_overhead: float = 0.3e-6  # s per kernel
+    zero_cost_overhead: float = 0.03e-6  # s for view-only ops
+    flop_efficiency: Dict[str, float] = field(default_factory=dict)
+
+    def node_cost(
+        self,
+        node: Node,
+        in_types: Sequence[TensorType],
+        out_types: Sequence[TensorType],
+    ) -> OpCost:
+        op_spec(node.op_type)  # raises for unknown ops
+        flops = node_flops(node, in_types, out_types)
+        bytes_moved = node_bytes(node, in_types, out_types)
+        if node.op_type in _ZERO_COST_OPS:
+            overhead = self.zero_cost_overhead
+        else:
+            overhead = self.launch_overhead
+        eff = self.flop_efficiency.get(node.op_type, 1.0)
+        if node.attr("algo") == "winograd":
+            from ..optimizer.passes.kernel_selection import winograd_efficiency
+
+            eff *= winograd_efficiency(node, in_types)
+        compute_time = flops / (self.peak_flops * eff) if flops else 0.0
+        memory_time = bytes_moved / self.memory_bandwidth if bytes_moved else 0.0
+        return OpCost(
+            node_name=node.name,
+            op_type=node.op_type,
+            flops=flops,
+            bytes_moved=bytes_moved,
+            latency=overhead + max(compute_time, memory_time),
+        )
+
+    def graph_latency(self, graph: Graph) -> float:
+        """Sum of per-node latencies (sequential-stream execution model)."""
+        return sum(c.latency for c in self.graph_costs(graph))
+
+    def graph_costs(self, graph: Graph) -> list:
+        """Per-node :class:`OpCost` list for ``graph`` (topological order)."""
+        types = graph.value_types
+        needed = set()
+        for node in graph.nodes:
+            needed.update(node.inputs)
+            needed.update(node.outputs)
+        if not needed.issubset(types):
+            types = infer_shapes(graph)
+        costs = []
+        for node in graph.topological_order():
+            ins = [types[i] for i in node.inputs]
+            outs = [types[o] for o in node.outputs]
+            costs.append(self.node_cost(node, ins, outs))
+        return costs

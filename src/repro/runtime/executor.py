@@ -1,0 +1,152 @@
+"""Reference executor: interprets an IR graph with numpy kernels.
+
+The executor is the ground truth for functional correctness.  Proteus'
+de-obfuscation step (§4.3) relies on subgraph-wise optimization being
+functionally correct; every optimizer test and every reassembly test in
+this repo checks equivalence through :class:`Executor` on random inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..ir.dtypes import numpy_dtype
+from ..ir.graph import Graph
+from .kernels import kernel_for
+
+__all__ = ["Executor", "ExecutionError", "run_graph", "random_inputs"]
+
+
+class ExecutionError(RuntimeError):
+    """Raised when graph execution fails (missing feeds, kernel errors)."""
+
+
+class Executor:
+    """Interprets a graph in topological order.
+
+    Parameters
+    ----------
+    graph:
+        The graph to execute.  Must validate (executor assumes SSA + DAG).
+    check_shapes:
+        If true (default), verify every produced tensor matches the
+        statically inferred type — catches kernel/shape-rule drift.
+    """
+
+    def __init__(self, graph: Graph, check_shapes: bool = True) -> None:
+        self.graph = graph
+        self.check_shapes = check_shapes
+        self._order = graph.topological_order()
+        if check_shapes and not graph.value_types:
+            from ..ir.shape_inference import infer_shapes
+
+            infer_shapes(graph)
+
+    def run(
+        self,
+        feeds: Mapping[str, np.ndarray],
+        fetch: Optional[Sequence[str]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Execute the graph.
+
+        Parameters
+        ----------
+        feeds:
+            Mapping from graph input name to numpy array.
+        fetch:
+            Value names to return; defaults to the graph outputs.
+
+        Returns
+        -------
+        dict mapping each fetched name to its computed array.
+        """
+        env: Dict[str, np.ndarray] = dict(self.graph.initializers)
+        for v in self.graph.inputs:
+            if v.name not in feeds:
+                raise ExecutionError(f"missing feed for graph input {v.name!r}")
+            arr = np.asarray(feeds[v.name])
+            if v.type is not None and tuple(arr.shape) != v.type.shape:
+                raise ExecutionError(
+                    f"feed {v.name!r} has shape {arr.shape}, expected {v.type.shape}"
+                )
+            env[v.name] = arr
+        for node in self._order:
+            try:
+                ins = [env[i] for i in node.inputs]
+            except KeyError as exc:
+                raise ExecutionError(
+                    f"node {node.name!r} consumes unavailable value {exc}"
+                ) from exc
+            outs = kernel_for(node.op_type)(node, ins)
+            for name, arr in zip(node.outputs, outs):
+                if self.check_shapes:
+                    expected = self.graph.value_types.get(name)
+                    if expected is not None and tuple(arr.shape) != expected.shape:
+                        raise ExecutionError(
+                            f"node {node.name!r} ({node.op_type}) produced shape "
+                            f"{arr.shape} for {name!r}, inference said {expected.shape}"
+                        )
+                env[name] = arr
+        wanted = list(fetch) if fetch is not None else self.graph.output_names
+        missing = [w for w in wanted if w not in env]
+        if missing:
+            raise ExecutionError(f"fetched values never produced: {missing}")
+        return {w: env[w] for w in wanted}
+
+
+def random_inputs(graph: Graph, seed: int = 0) -> Dict[str, np.ndarray]:
+    """Seeded random feeds matching the graph's input signature.
+
+    Integer inputs (token ids) are sampled small and non-negative so
+    Gather-based embeddings stay in range.
+    """
+    rng = np.random.default_rng(seed)
+    feeds: Dict[str, np.ndarray] = {}
+    for v in graph.inputs:
+        if v.type is None:
+            raise ExecutionError(f"graph input {v.name!r} lacks a type")
+        npdt = numpy_dtype(v.type.dtype)
+        if np.issubdtype(npdt, np.integer):
+            feeds[v.name] = rng.integers(0, 16, size=v.type.shape).astype(npdt)
+        elif npdt == np.bool_:
+            feeds[v.name] = rng.integers(0, 2, size=v.type.shape).astype(np.bool_)
+        else:
+            feeds[v.name] = rng.standard_normal(v.type.shape).astype(npdt)
+    return feeds
+
+
+def run_graph(
+    graph: Graph,
+    feeds: Optional[Mapping[str, np.ndarray]] = None,
+    seed: int = 0,
+) -> Dict[str, np.ndarray]:
+    """One-shot convenience: execute ``graph`` (random feeds by default)."""
+    return Executor(graph).run(feeds if feeds is not None else random_inputs(graph, seed))
+
+
+def graphs_equivalent(
+    a: Graph,
+    b: Graph,
+    n_trials: int = 2,
+    rtol: float = 1e-4,
+    atol: float = 1e-5,
+    seed: int = 0,
+) -> bool:
+    """Check that two graphs compute the same outputs on random inputs.
+
+    The graphs must share input names/shapes and output names.  Used to
+    certify optimizer passes and Proteus reassembly (functional
+    equivalence "up to numerical differences", §4.3).
+    """
+    if set(a.output_names) != set(b.output_names):
+        return False
+    for trial in range(n_trials):
+        feeds = random_inputs(a, seed=seed + trial)
+        out_a = Executor(a).run(feeds)
+        out_b = Executor(b).run(feeds)
+        for name in a.output_names:
+            if not np.allclose(out_a[name], out_b[name], rtol=rtol, atol=atol):
+                return False
+    return True

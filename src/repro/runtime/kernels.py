@@ -1,0 +1,460 @@
+"""Numpy reference kernels for every IR operator.
+
+Each kernel is a function ``(node, inputs) -> list[np.ndarray]`` registered
+under its opcode.  Kernels are written in the vectorized numpy idiom (no
+Python loops over tensor elements): convolution and pooling go through
+``sliding_window_view`` + ``einsum``, everything else is direct ufunc math.
+
+These kernels define the *semantics* of the IR.  The optimizer's
+correctness tests check that every rewritten graph computes the same
+function as the original through this executor, which is the guarantee
+Proteus relies on for reassembly (§4.3 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import special
+
+from ..ir.node import Node
+
+__all__ = ["KERNELS", "kernel_for", "KernelError"]
+
+
+class KernelError(RuntimeError):
+    """Raised when a kernel cannot execute a node."""
+
+
+KERNELS: Dict[str, Callable[[Node, Sequence[np.ndarray]], List[np.ndarray]]] = {}
+
+
+def kernel(*op_types: str):
+    def deco(fn):
+        for op in op_types:
+            KERNELS[op] = fn
+        return fn
+
+    return deco
+
+
+def kernel_for(op_type: str) -> Callable[[Node, Sequence[np.ndarray]], List[np.ndarray]]:
+    try:
+        return KERNELS[op_type]
+    except KeyError as exc:
+        raise KernelError(f"no kernel registered for {op_type!r}") from exc
+
+
+def _pair(val) -> Tuple[int, int]:
+    if isinstance(val, (tuple, list)):
+        if len(val) == 1:
+            return (int(val[0]), int(val[0]))
+        return (int(val[0]), int(val[1]))
+    return (int(val), int(val))
+
+
+# -- spatial helpers ---------------------------------------------------------
+
+
+def _window_view(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """Strided sliding windows: [N, C, OH, OW, kh, kw]."""
+    win = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    return win[:, :, ::sh, ::sw, :, :]
+
+
+def _conv2d(
+    x: np.ndarray,
+    w: np.ndarray,
+    bias: "np.ndarray | None",
+    strides: Tuple[int, int],
+    pad: int,
+    group: int,
+) -> np.ndarray:
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    m, cg, kh, kw = w.shape
+    sh, sw = strides
+    win = _window_view(x, kh, kw, sh, sw)  # [N, C, OH, OW, kh, kw]
+    n, c, oh, ow = win.shape[:4]
+    if group == 1:
+        out = np.einsum("nchwkl,mckl->nmhw", win, w, optimize=True)
+    else:
+        mg = m // group
+        win_g = win.reshape(n, group, cg, oh, ow, kh, kw)
+        w_g = w.reshape(group, mg, cg, kh, kw)
+        out = np.einsum("ngchwkl,gmckl->ngmhw", win_g, w_g, optimize=True)
+        out = out.reshape(n, m, oh, ow)
+    if bias is not None:
+        out = out + bias[None, :, None, None]
+    return out.astype(x.dtype, copy=False)
+
+
+def _apply_activation(x: np.ndarray, activation: str) -> np.ndarray:
+    """Dispatch an activation by name (used by fused kernels)."""
+    if not activation:
+        return x
+    act_node = Node("_act", activation, ["x"], ["y"])
+    return kernel_for(activation)(act_node, [x])[0]
+
+
+# -- conv / pool ----------------------------------------------------------------
+
+
+@kernel("Conv")
+def _k_conv(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    bias = ins[2] if len(ins) == 3 else None
+    return [
+        _conv2d(
+            ins[0],
+            ins[1],
+            bias,
+            _pair(node.attr("strides", (1, 1))),
+            int(node.attr("pads", 0)),
+            int(node.attr("group", 1)),
+        )
+    ]
+
+
+@kernel("FusedConv")
+def _k_fused_conv(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    bias = ins[2] if len(ins) == 3 else None
+    out = _conv2d(
+        ins[0],
+        ins[1],
+        bias,
+        _pair(node.attr("strides", (1, 1))),
+        int(node.attr("pads", 0)),
+        int(node.attr("group", 1)),
+    )
+    return [_apply_activation(out, str(node.attr("activation", "")))]
+
+
+@kernel("FusedConvAdd")
+def _k_fused_conv_add(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    bias = ins[2] if len(ins) == 4 else None
+    residual = ins[-1]
+    out = _conv2d(
+        ins[0],
+        ins[1],
+        bias,
+        _pair(node.attr("strides", (1, 1))),
+        int(node.attr("pads", 0)),
+        int(node.attr("group", 1)),
+    )
+    out = out + residual
+    return [_apply_activation(out, str(node.attr("activation", "")))]
+
+
+@kernel("MaxPool")
+def _k_maxpool(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    x = ins[0]
+    pad = int(node.attr("pads", 0))
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), constant_values=-np.inf)
+    kh, kw = _pair(node.attr("kernel_shape"))
+    sh, sw = _pair(node.attr("strides", (kh, kw)))
+    win = _window_view(x, kh, kw, sh, sw)
+    return [win.max(axis=(-1, -2)).astype(ins[0].dtype, copy=False)]
+
+
+@kernel("AveragePool")
+def _k_avgpool(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    x = ins[0]
+    pad = int(node.attr("pads", 0))
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    kh, kw = _pair(node.attr("kernel_shape"))
+    sh, sw = _pair(node.attr("strides", (kh, kw)))
+    win = _window_view(x, kh, kw, sh, sw)
+    return [win.mean(axis=(-1, -2)).astype(ins[0].dtype, copy=False)]
+
+
+@kernel("GlobalAveragePool")
+def _k_gap(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [ins[0].mean(axis=(2, 3), keepdims=True).astype(ins[0].dtype, copy=False)]
+
+
+# -- normalization -----------------------------------------------------------------
+
+
+@kernel("BatchNormalization")
+def _k_bn(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    x, scale, bias, mean, var = ins
+    eps = float(node.attr("epsilon", 1e-5))
+    bc = (1, -1) + (1,) * (x.ndim - 2)
+    inv = (scale / np.sqrt(var + eps)).reshape(bc)
+    return [(x * inv + (bias - mean * scale / np.sqrt(var + eps)).reshape(bc)).astype(x.dtype, copy=False)]
+
+
+@kernel("LayerNormalization")
+def _k_ln(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    x, scale, bias = ins
+    axis = int(node.attr("axis", -1))
+    if axis < 0:
+        axis += x.ndim
+    axes = tuple(range(axis, x.ndim))
+    eps = float(node.attr("epsilon", 1e-5))
+    mean = x.mean(axis=axes, keepdims=True)
+    var = x.var(axis=axes, keepdims=True)
+    return [((x - mean) / np.sqrt(var + eps) * scale + bias).astype(x.dtype, copy=False)]
+
+
+@kernel("SkipLayerNormalization")
+def _k_skip_ln(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    x, skip, scale, bias = ins[0], ins[1], ins[2], ins[3]
+    h = x + skip
+    if len(ins) == 5:  # optional residual bias
+        h = h + ins[4]
+    eps = float(node.attr("epsilon", 1e-5))
+    mean = h.mean(axis=-1, keepdims=True)
+    var = h.var(axis=-1, keepdims=True)
+    return [((h - mean) / np.sqrt(var + eps) * scale + bias).astype(x.dtype, copy=False)]
+
+
+# -- activations -----------------------------------------------------------------------
+
+
+@kernel("Relu")
+def _k_relu(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [np.maximum(ins[0], 0)]
+
+
+@kernel("LeakyRelu")
+def _k_leaky(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    alpha = float(node.attr("alpha", 0.01))
+    x = ins[0]
+    return [np.where(x >= 0, x, alpha * x).astype(x.dtype, copy=False)]
+
+
+@kernel("Sigmoid")
+def _k_sigmoid(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [special.expit(ins[0]).astype(ins[0].dtype, copy=False)]
+
+
+@kernel("HardSigmoid")
+def _k_hardsigmoid(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    alpha = float(node.attr("alpha", 0.2))
+    beta = float(node.attr("beta", 0.5))
+    return [np.clip(alpha * ins[0] + beta, 0.0, 1.0).astype(ins[0].dtype, copy=False)]
+
+
+@kernel("HardSwish")
+def _k_hardswish(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    x = ins[0]
+    return [(x * np.clip(x / 6.0 + 0.5, 0.0, 1.0)).astype(x.dtype, copy=False)]
+
+
+@kernel("Tanh")
+def _k_tanh(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [np.tanh(ins[0]).astype(ins[0].dtype, copy=False)]
+
+
+@kernel("Erf")
+def _k_erf(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [special.erf(ins[0]).astype(ins[0].dtype, copy=False)]
+
+
+@kernel("Gelu")
+def _k_gelu(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    x = ins[0]
+    return [(0.5 * x * (1.0 + special.erf(x / math.sqrt(2.0)))).astype(x.dtype, copy=False)]
+
+
+@kernel("Softmax")
+def _k_softmax(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    x = ins[0]
+    axis = int(node.attr("axis", -1))
+    z = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return [(e / e.sum(axis=axis, keepdims=True)).astype(x.dtype, copy=False)]
+
+
+@kernel("Clip")
+def _k_clip(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [
+        np.clip(ins[0], float(node.attr("min", 0.0)), float(node.attr("max", 6.0)))
+    ]
+
+
+# -- elementwise math --------------------------------------------------------------------
+
+
+@kernel("Add")
+def _k_add(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [ins[0] + ins[1]]
+
+
+@kernel("Sub")
+def _k_sub(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [ins[0] - ins[1]]
+
+
+@kernel("Mul")
+def _k_mul(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [ins[0] * ins[1]]
+
+
+@kernel("Div")
+def _k_div(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [ins[0] / ins[1]]
+
+
+@kernel("Pow")
+def _k_pow(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [np.power(ins[0], ins[1])]
+
+
+@kernel("Sqrt")
+def _k_sqrt(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [np.sqrt(ins[0])]
+
+
+@kernel("Exp")
+def _k_exp(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [np.exp(ins[0])]
+
+
+@kernel("Log")
+def _k_log(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [np.log(ins[0])]
+
+
+@kernel("Neg")
+def _k_neg(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [-ins[0]]
+
+
+@kernel("Abs")
+def _k_abs(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [np.abs(ins[0])]
+
+
+# -- matrix ops ---------------------------------------------------------------------------
+
+
+@kernel("MatMul")
+def _k_matmul(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [np.matmul(ins[0], ins[1])]
+
+
+@kernel("Gemm")
+def _k_gemm(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    a, b = ins[0], ins[1]
+    if node.attr("transA", 0):
+        a = a.T
+    if node.attr("transB", 0):
+        b = b.T
+    out = float(node.attr("alpha", 1.0)) * (a @ b)
+    if len(ins) == 3:
+        out = out + float(node.attr("beta", 1.0)) * ins[2]
+    return [out.astype(ins[0].dtype, copy=False)]
+
+
+@kernel("FusedMatMul")
+def _k_fused_matmul(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    out = np.matmul(ins[0], ins[1])
+    if len(ins) == 3:
+        out = out + ins[2]
+    return [_apply_activation(out.astype(ins[0].dtype, copy=False),
+                              str(node.attr("activation", "")))]
+
+
+@kernel("FusedGemm")
+def _k_fused_gemm(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    out = _k_gemm(node, ins)[0]
+    return [_apply_activation(out, str(node.attr("activation", "")))]
+
+
+# -- reductions ------------------------------------------------------------------------------
+
+
+@kernel("ReduceMean")
+def _k_reduce_mean(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    axes = tuple(int(a) for a in node.attr("axes", (-1,)))
+    keep = bool(node.attr("keepdims", 1))
+    return [ins[0].mean(axis=axes, keepdims=keep).astype(ins[0].dtype, copy=False)]
+
+
+@kernel("ReduceSum")
+def _k_reduce_sum(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    axes = tuple(int(a) for a in node.attr("axes", (-1,)))
+    keep = bool(node.attr("keepdims", 1))
+    return [ins[0].sum(axis=axes, keepdims=keep).astype(ins[0].dtype, copy=False)]
+
+
+# -- shape / data movement ----------------------------------------------------------------------
+
+
+@kernel("Reshape")
+def _k_reshape(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    x = ins[0]
+    target = list(int(d) for d in node.attr("shape"))
+    for i, d in enumerate(target):
+        if d == 0:
+            target[i] = x.shape[i]
+    return [x.reshape(target)]
+
+
+@kernel("Transpose")
+def _k_transpose(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    perm = node.attr("perm", ()) or tuple(reversed(range(ins[0].ndim)))
+    return [np.transpose(ins[0], perm)]
+
+
+@kernel("Flatten")
+def _k_flatten(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    x = ins[0]
+    axis = int(node.attr("axis", 1))
+    if axis < 0:
+        axis += x.ndim
+    head = int(np.prod(x.shape[:axis])) if axis > 0 else 1
+    return [x.reshape(head, -1)]
+
+
+@kernel("Unsqueeze")
+def _k_unsqueeze(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    x = ins[0]
+    for a in sorted(int(a) for a in node.attr("axes")):
+        x = np.expand_dims(x, a)
+    return [x]
+
+
+@kernel("Squeeze")
+def _k_squeeze(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    x = ins[0]
+    axes = node.attr("axes", ())
+    if axes:
+        return [np.squeeze(x, axis=tuple(int(a) for a in axes))]
+    return [np.squeeze(x)]
+
+
+@kernel("Concat")
+def _k_concat(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [np.concatenate(list(ins), axis=int(node.attr("axis", 0)))]
+
+
+@kernel("Slice")
+def _k_slice(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    x = ins[0]
+    starts = node.attr("starts", ())
+    ends = node.attr("ends", ())
+    axes = node.attr("axes", ()) or tuple(range(len(starts)))
+    slicer: List[slice] = [slice(None)] * x.ndim
+    for s, e, a in zip(starts, ends, axes):
+        slicer[int(a)] = slice(int(s), int(e))
+    return [x[tuple(slicer)]]
+
+
+@kernel("Gather")
+def _k_gather(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    data, indices = ins
+    return [np.take(data, indices.astype(np.int64), axis=int(node.attr("axis", 0)))]
+
+
+@kernel("Identity", "Dropout", "Cast")
+def _k_identity(node: Node, ins: Sequence[np.ndarray]) -> List[np.ndarray]:
+    # Dropout is identity at inference; Cast is identity because the IR is
+    # float32-centric (Cast exists so real exporter idioms parse).
+    return [ins[0]]

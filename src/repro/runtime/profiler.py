@@ -1,0 +1,66 @@
+"""Latency profiling reports over the analytic cost model.
+
+Mirrors the role of the ONNXRuntime profiling tool in the paper's
+methodology (§5.1): given a graph, produce per-op and aggregate latency,
+plus speedup comparisons between graph variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..ir.graph import Graph
+from .cost_model import CostModel, OpCost
+
+__all__ = ["LatencyReport", "profile_graph", "speedup"]
+
+
+@dataclass
+class LatencyReport:
+    """Aggregate + per-op latency for one graph."""
+
+    graph_name: str
+    total_latency: float
+    per_op: List[OpCost]
+
+    @property
+    def total_ns(self) -> float:
+        return self.total_latency * 1e9
+
+    @property
+    def total_us(self) -> float:
+        return self.total_latency * 1e6
+
+    def by_op_type(self) -> Dict[str, float]:
+        """Latency aggregated per opcode, descending."""
+        agg: Dict[str, float] = {}
+        for c in self.per_op:
+            agg[c.op_type] = agg.get(c.op_type, 0.0) + c.latency
+        return dict(sorted(agg.items(), key=lambda kv: -kv[1]))
+
+    def hotspots(self, top: int = 5) -> List[OpCost]:
+        return sorted(self.per_op, key=lambda c: -c.latency)[:top]
+
+    def summary(self) -> str:
+        lines = [f"{self.graph_name}: {self.total_us:.1f} us over {len(self.per_op)} ops"]
+        for op, lat in list(self.by_op_type().items())[:8]:
+            lines.append(f"  {op:<24s} {lat * 1e6:8.1f} us")
+        return "\n".join(lines)
+
+
+def profile_graph(graph: Graph, cost_model: Optional[CostModel] = None) -> LatencyReport:
+    """Profile ``graph`` under ``cost_model`` (default constants if None)."""
+    cm = cost_model or CostModel()
+    costs = cm.graph_costs(graph)
+    return LatencyReport(graph.name, sum(c.latency for c in costs), costs)
+
+
+def speedup(baseline: Graph, optimized: Graph, cost_model: Optional[CostModel] = None) -> float:
+    """latency(baseline) / latency(optimized) — >1 means optimized wins."""
+    cm = cost_model or CostModel()
+    base = cm.graph_latency(baseline)
+    opt = cm.graph_latency(optimized)
+    if opt <= 0:
+        raise ValueError("optimized graph has non-positive latency")
+    return base / opt

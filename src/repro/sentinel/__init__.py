@@ -1,0 +1,48 @@
+"""Sentinel-subgraph generation (paper §4.1.2)."""
+
+from .features import FEATURE_NAMES, GraphFeatures, as_undirected, feature_matrix, graph_features
+from .orientation import diameter_endpoints, induce_orientation
+from .graphrnn import GraphRNNLite, bfs_adjacency_sequences
+from .density import FeatureDensity
+from .topology_sampler import SampledTopology, TopologySampler
+from .opseq_model import START, OpSequenceModel
+from .constraints import BINARY_OPS, SOURCE_SHAPES, UNARY_OPS, NodeChoice, candidate_choices
+from .csp import CSPBudgetExhausted, CSPSolver
+from .operator_population import PopulatedGraph, assign_operators, materialize_assignment
+from .perturbation import PerturbationError, perturb_subgraph
+from .random_baseline import random_opcode_graph, random_opcode_sentinels
+from .generator import SentinelGenerator, build_subgraph_database, default_sentinel_source
+
+__all__ = [
+    "GraphFeatures",
+    "FEATURE_NAMES",
+    "graph_features",
+    "feature_matrix",
+    "as_undirected",
+    "induce_orientation",
+    "diameter_endpoints",
+    "GraphRNNLite",
+    "bfs_adjacency_sequences",
+    "FeatureDensity",
+    "TopologySampler",
+    "SampledTopology",
+    "OpSequenceModel",
+    "START",
+    "NodeChoice",
+    "candidate_choices",
+    "UNARY_OPS",
+    "BINARY_OPS",
+    "SOURCE_SHAPES",
+    "CSPSolver",
+    "CSPBudgetExhausted",
+    "assign_operators",
+    "materialize_assignment",
+    "PopulatedGraph",
+    "perturb_subgraph",
+    "PerturbationError",
+    "random_opcode_graph",
+    "random_opcode_sentinels",
+    "SentinelGenerator",
+    "build_subgraph_database",
+    "default_sentinel_source",
+]

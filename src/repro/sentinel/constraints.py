@@ -1,0 +1,265 @@
+"""Syntactic constraints for operator population (the Z3 rule set).
+
+This module is the GENERATERULESET of Algorithm 2: for each topology
+node it proposes candidate operator choices — opcode + attributes +
+parameter (weight) shapes — that are *syntactically valid* given the
+node's dataflow in-degree and its parents' tensor types.  Validity is
+certified by running the IR's own shape inference on each candidate, so
+the constraint system is exactly as strict as the compiler front-end.
+
+A :class:`NodeChoice` is a fully concrete decision: executing it needs
+no further information beyond the parents' values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.dtypes import TensorType
+from ..ir.node import Node
+from ..ir.shape_inference import ShapeInferenceError, infer_node_types
+
+__all__ = ["NodeChoice", "candidate_choices", "UNARY_OPS", "BINARY_OPS", "SOURCE_SHAPES"]
+
+#: opcodes assignable to nodes with one dataflow input (possibly plus
+#: synthesized parameter initializers).
+UNARY_OPS: Tuple[str, ...] = (
+    "Conv",
+    "MaxPool",
+    "AveragePool",
+    "GlobalAveragePool",
+    "BatchNormalization",
+    "LayerNormalization",
+    "Relu",
+    "LeakyRelu",
+    "Sigmoid",
+    "HardSigmoid",
+    "HardSwish",
+    "Tanh",
+    "Erf",
+    "Clip",
+    "Softmax",
+    "Sqrt",
+    "Exp",
+    "Neg",
+    "Abs",
+    "ReduceMean",
+    "ReduceSum",
+    "MatMul",
+    "Gemm",
+    "Add",
+    "Mul",
+    "Sub",
+    "Div",
+    "Pow",
+    "Flatten",
+    "Reshape",
+    "Transpose",
+)
+
+#: opcodes assignable to nodes with two dataflow inputs.
+BINARY_OPS: Tuple[str, ...] = ("Add", "Mul", "Sub", "Div", "Concat", "MatMul")
+
+#: realistic source (subgraph-input) shapes by rank class.
+SOURCE_SHAPES: Dict[str, Tuple[Tuple[int, ...], ...]] = {
+    "4d": ((1, 16, 32, 32), (1, 32, 16, 16), (1, 64, 8, 8), (1, 96, 8, 8), (1, 128, 4, 4)),
+    "3d": ((1, 32, 64), (1, 32, 128), (1, 16, 64)),
+    "2d": ((1, 128), (1, 256)),
+}
+
+
+@dataclass
+class NodeChoice:
+    """One concrete operator decision for a topology node."""
+
+    op_type: str
+    attrs: Dict[str, object]
+    param_shapes: Tuple[Tuple[int, ...], ...]  # synthesized initializer shapes
+    param_position: int  # index where params splice into the input list
+    out_type: TensorType
+    logprob: float = 0.0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def input_types(self, parent_types: Sequence[TensorType]) -> List[TensorType]:
+        """Full input-type list (parents + params) in node order."""
+        types = list(parent_types)
+        params = [TensorType(self.out_type.dtype, s) for s in self.param_shapes]
+        return types[: self.param_position] + params + types[self.param_position :]
+
+
+def _validated(
+    op_type: str,
+    attrs: Dict[str, object],
+    parent_types: Sequence[TensorType],
+    param_shapes: Sequence[Tuple[int, ...]] = (),
+    param_position: Optional[int] = None,
+) -> Optional[NodeChoice]:
+    """Run shape inference on a candidate; None when syntactically invalid."""
+    pos = len(parent_types) if param_position is None else param_position
+    choice = NodeChoice(
+        op_type=op_type,
+        attrs=dict(attrs),
+        param_shapes=tuple(tuple(s) for s in param_shapes),
+        param_position=pos,
+        out_type=parent_types[0],  # placeholder, replaced below
+    )
+    probe = Node(
+        "_probe",
+        op_type,
+        [f"i{k}" for k in range(len(parent_types) + len(param_shapes))],
+        ["_o"],
+        attrs,
+    )
+    try:
+        out = infer_node_types(probe, choice.input_types(parent_types))
+    except (ShapeInferenceError, KeyError, ValueError):
+        return None
+    choice.out_type = out[0]
+    return choice
+
+
+def _channel_options(c: int, rng: np.random.Generator) -> List[int]:
+    opts = sorted({max(1, c // 2), c, min(512, 2 * c)})
+    rng.shuffle(opts)
+    return opts
+
+
+def _unary_candidates(
+    op: str, x: TensorType, rng: np.random.Generator
+) -> List[NodeChoice]:
+    """Candidate attribute/parameter configurations for a unary op."""
+    out: List[NodeChoice] = []
+
+    def add(attrs: Dict[str, object], params: Sequence[Tuple[int, ...]] = ()) -> None:
+        c = _validated(op, attrs, [x], params)
+        if c is not None:
+            out.append(c)
+
+    if op == "Conv":
+        if x.rank == 4:
+            cin = x.shape[1]
+            for m in _channel_options(cin, rng)[:2]:
+                k = int(rng.choice([1, 3, 3, 5]))
+                stride = int(rng.choice([1, 1, 2]))
+                add(
+                    {"kernel_shape": (k, k), "strides": (stride, stride), "pads": k // 2, "group": 1},
+                    [(m, cin, k, k), (m,)],
+                )
+            # depthwise variant
+            k = 3
+            add(
+                {"kernel_shape": (k, k), "strides": (1, 1), "pads": 1, "group": cin},
+                [(cin, 1, k, k), (cin,)],
+            )
+    elif op in ("MaxPool", "AveragePool"):
+        if x.rank == 4:
+            k = int(rng.choice([2, 3, 3]))
+            stride = int(rng.choice([1, 2]))
+            add({"kernel_shape": (k, k), "strides": (stride, stride), "pads": k // 2})
+    elif op == "GlobalAveragePool":
+        add({})
+    elif op == "BatchNormalization":
+        if x.rank >= 2:
+            c = x.shape[1]
+            add({"epsilon": 1e-5}, [(c,), (c,), (c,), (c,)])
+    elif op == "LayerNormalization":
+        if x.rank >= 1 and x.shape:
+            d = x.shape[-1]
+            add({"axis": -1, "epsilon": 1e-5}, [(d,), (d,)])
+    elif op in ("Relu", "LeakyRelu", "Sigmoid", "HardSigmoid", "HardSwish", "Tanh",
+                "Erf", "Sqrt", "Exp", "Neg", "Abs"):
+        add({})
+    elif op == "Clip":
+        add({"min": 0.0, "max": 6.0})
+    elif op == "Softmax":
+        add({"axis": -1})
+    elif op in ("ReduceMean", "ReduceSum"):
+        if x.rank >= 2:
+            axes = (2, 3) if x.rank == 4 else (-1,)
+            add({"axes": axes, "keepdims": 1})
+    elif op == "MatMul":
+        if x.rank >= 2:
+            k_dim = x.shape[-1]
+            for n in _channel_options(k_dim, rng)[:2]:
+                add({}, [(k_dim, n)])
+    elif op == "Gemm":
+        if x.rank == 2:
+            k_dim = x.shape[1]
+            for n in _channel_options(k_dim, rng)[:2]:
+                add(
+                    {"alpha": 1.0, "beta": 1.0, "transA": 0, "transB": 0},
+                    [(k_dim, n), (n,)],
+                )
+    elif op in ("Add", "Mul", "Sub", "Div", "Pow"):
+        # parameterized elementwise: bias / scale / scalar constant
+        if op == "Pow":
+            add({}, [()])
+        elif x.rank == 4:
+            add({}, [(x.shape[1], 1, 1)])
+        elif x.rank >= 1 and x.shape:
+            add({}, [(x.shape[-1],)])
+        add({}, [()])
+    elif op == "Flatten":
+        if x.rank > 2:
+            add({"axis": 1})
+    elif op == "Reshape":
+        if x.rank == 4 and x.shape[2] == x.shape[3] and x.shape[1] > 1:
+            # channel split: [N, C, H, W] -> [N, C/2, 2, H, W] style merge
+            add({"shape": (x.shape[0], -1, x.shape[2] * x.shape[3])})
+        elif x.rank == 3:
+            add({"shape": (x.shape[0], -1)})
+    elif op == "Transpose":
+        if x.rank == 3:
+            add({"perm": (0, 2, 1)})
+        elif x.rank == 4:
+            add({"perm": (0, 1, 3, 2)})
+    return out
+
+
+def _binary_candidates(
+    op: str, parent_types: Sequence[TensorType], rng: np.random.Generator
+) -> List[NodeChoice]:
+    out: List[NodeChoice] = []
+    attrs: Dict[str, object]
+    if op == "Concat":
+        for axis in (1, -1):
+            c = _validated("Concat", {"axis": axis}, parent_types)
+            if c is not None:
+                out.append(c)
+                break
+    else:
+        attrs = {}
+        c = _validated(op, attrs, parent_types)
+        if c is not None:
+            out.append(c)
+    return out
+
+
+def candidate_choices(
+    parent_types: Sequence[TensorType],
+    rng: np.random.Generator,
+    allowed_unary: Sequence[str] = UNARY_OPS,
+    allowed_binary: Sequence[str] = BINARY_OPS,
+) -> List[NodeChoice]:
+    """All syntactically valid choices for a node with the given parents.
+
+    Non-float parents (int64 token ids) admit no tensor-math candidates:
+    sentinel bodies are float dataflow, like the real subgraph bodies
+    they imitate.
+    """
+    from ..ir.dtypes import DataType
+
+    if any(t.dtype not in (DataType.FLOAT32, DataType.FLOAT64) for t in parent_types):
+        return []
+    choices: List[NodeChoice] = []
+    if len(parent_types) == 1:
+        for op in allowed_unary:
+            choices.extend(_unary_candidates(op, parent_types[0], rng))
+    else:
+        for op in allowed_binary:
+            if op == "Concat" or len(parent_types) == 2:
+                choices.extend(_binary_candidates(op, parent_types, rng))
+    return choices

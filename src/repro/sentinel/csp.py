@@ -1,0 +1,119 @@
+"""A small finite-domain constraint solver (the offline stand-in for Z3).
+
+Algorithm 2 uses an SMT solver purely as an *enumerator*: "repeatedly
+query the solver to find syntactically valid operator assignments ...
+exclude the solution from being returned in a subsequent iteration".
+This module provides exactly that contract for finite domains:
+
+* variables are assigned in a fixed order (for operator population:
+  topological order, so parents are decided before children);
+* domains may be **dynamic** — computed from the partial assignment,
+  which is how shape constraints stay arc-consistent by construction;
+* :meth:`CSPSolver.solutions` lazily enumerates distinct complete
+  assignments via depth-first search with backtracking, which subsumes
+  Z3's add-blocking-clause loop;
+* an expansion budget bounds worst-case search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence
+
+__all__ = ["CSPSolver", "CSPBudgetExhausted"]
+
+Assignment = Dict[Hashable, object]
+DomainFn = Callable[[Hashable, Assignment], Sequence[object]]
+ConstraintFn = Callable[[Hashable, object, Assignment], bool]
+
+
+class CSPBudgetExhausted(RuntimeError):
+    """Raised when the search's node-expansion budget runs out."""
+
+
+@dataclass
+class _Stats:
+    expansions: int = 0
+    backtracks: int = 0
+    solutions: int = 0
+
+
+class CSPSolver:
+    """Backtracking enumerator over dynamically domained variables.
+
+    Parameters
+    ----------
+    variables:
+        Assignment order.  For graph problems use topological order so
+        dynamic domains can depend on already-assigned predecessors.
+    domain_fn:
+        ``domain_fn(var, partial_assignment)`` returns candidate values
+        for ``var``.  Returning an empty sequence triggers backtracking.
+    constraints:
+        Optional extra checks ``(var, value, partial_assignment) -> bool``
+        applied to each candidate (dynamic domains usually encode all
+        constraints already).
+    budget:
+        Maximum node expansions for one enumeration run.
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[Hashable],
+        domain_fn: DomainFn,
+        constraints: Optional[Sequence[ConstraintFn]] = None,
+        budget: int = 20_000,
+    ) -> None:
+        if not variables:
+            raise ValueError("need at least one variable")
+        self.variables = list(variables)
+        self.domain_fn = domain_fn
+        self.constraints = list(constraints or ())
+        self.budget = budget
+        self.stats = _Stats()
+
+    def _consistent(self, var: Hashable, value: object, assignment: Assignment) -> bool:
+        return all(c(var, value, assignment) for c in self.constraints)
+
+    def solutions(self, max_solutions: Optional[int] = None) -> Iterator[Assignment]:
+        """Lazily yield complete assignments (each a fresh dict).
+
+        Stops after ``max_solutions`` (None = exhaust the space) or when
+        the expansion budget is hit (yielding whatever was found first —
+        the budget is a soft cap, not an error, mirroring a solver
+        timeout in Algorithm 2's loop condition).
+        """
+        self.stats = _Stats()
+        assignment: Assignment = {}
+        yield from self._search(0, assignment, max_solutions)
+
+    def _search(
+        self, depth: int, assignment: Assignment, max_solutions: Optional[int]
+    ) -> Iterator[Assignment]:
+        if max_solutions is not None and self.stats.solutions >= max_solutions:
+            return
+        if depth == len(self.variables):
+            self.stats.solutions += 1
+            yield dict(assignment)
+            return
+        if self.stats.expansions >= self.budget:
+            return
+        var = self.variables[depth]
+        for value in self.domain_fn(var, assignment):
+            if self.stats.expansions >= self.budget:
+                return
+            self.stats.expansions += 1
+            if not self._consistent(var, value, assignment):
+                continue
+            assignment[var] = value
+            yield from self._search(depth + 1, assignment, max_solutions)
+            del assignment[var]
+            if max_solutions is not None and self.stats.solutions >= max_solutions:
+                return
+        self.stats.backtracks += 1
+
+    def first_solution(self) -> Optional[Assignment]:
+        """Convenience: the first solution or None."""
+        for sol in self.solutions(max_solutions=1):
+            return sol
+        return None

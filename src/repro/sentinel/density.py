@@ -1,0 +1,61 @@
+"""Feature-space density estimation (the ESTIMATEDENSITY of Algorithm 1).
+
+Importance sampling in Algorithm 1 needs the density ``p(x)`` of the
+generated-topology pool D in graph-feature space so that in-band samples
+can be reweighted by ``1/p`` into a uniform distribution.  We use a
+Gaussian KDE with per-dimension standardization; degenerate dimensions
+(zero variance — e.g. all candidate graphs share a clustering
+coefficient of 0) are dropped from the estimate rather than crashing
+the factorization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["FeatureDensity"]
+
+
+class FeatureDensity:
+    """Gaussian KDE over graph-feature vectors with robust fallbacks."""
+
+    def __init__(self, samples: np.ndarray, bw_method: Optional[float] = None) -> None:
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2 or samples.shape[0] < 2:
+            raise ValueError("need an [N>=2, D] sample matrix")
+        self.mean = samples.mean(axis=0)
+        self.std = samples.std(axis=0)
+        self.active = self.std > 1e-9
+        self._n_active = int(self.active.sum())
+        if self._n_active == 0:
+            self._kde = None  # all mass at one point: uniform over it
+        else:
+            z = (samples[:, self.active] - self.mean[self.active]) / self.std[self.active]
+            try:
+                self._kde = stats.gaussian_kde(z.T, bw_method=bw_method)
+            except np.linalg.LinAlgError:
+                # nearly collinear features: fall back to a product of 1-D KDEs
+                self._kde = [stats.gaussian_kde(z[:, j]) for j in range(z.shape[1])]
+
+    def __call__(self, x: np.ndarray) -> float:
+        """Density at one feature vector (in original, unstandardized units)."""
+        x = np.asarray(x, dtype=float)
+        if self._kde is None:
+            return 1.0
+        z = (x[self.active] - self.mean[self.active]) / self.std[self.active]
+        if isinstance(self._kde, list):
+            dens = 1.0
+            for j, kde in enumerate(self._kde):
+                dens *= float(kde(z[j])[0])
+            return max(dens, 1e-12)
+        return max(float(self._kde(z.reshape(-1, 1))[0]), 1e-12)
+
+    def standardize(self, x: np.ndarray) -> np.ndarray:
+        """Feature vector in per-dimension std units (degenerate dims = 0)."""
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        out[self.active] = (x[self.active] - self.mean[self.active]) / self.std[self.active]
+        return out

@@ -1,0 +1,85 @@
+"""Graph-statistic features used throughout sentinel generation.
+
+The four statistics of §4.1.2 / Fig. 5: average degree, clustering
+coefficient, diameter, and graph size.  Computed on the *undirected*
+view of the node-level dependency graph (matching how GraphRNN sees
+topologies) so real and generated graphs are featurized identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Union
+
+import networkx as nx
+import numpy as np
+
+from ..ir.graph import Graph
+
+__all__ = ["GraphFeatures", "FEATURE_NAMES", "graph_features", "feature_matrix", "as_undirected"]
+
+FEATURE_NAMES = ("average_degree", "clustering_coefficient", "diameter", "num_nodes")
+
+GraphLike = Union[Graph, nx.Graph, nx.DiGraph]
+
+
+def as_undirected(graph: GraphLike) -> nx.Graph:
+    """Undirected topology view of an IR graph or a networkx graph."""
+    if isinstance(graph, Graph):
+        g = graph.to_networkx().to_undirected()
+    elif isinstance(graph, nx.DiGraph):
+        g = graph.to_undirected()
+    elif isinstance(graph, nx.Graph):
+        g = graph.copy()
+    else:
+        raise TypeError(f"cannot featurize {type(graph).__name__}")
+    g.remove_edges_from(nx.selfloop_edges(g))
+    return g
+
+
+@dataclass(frozen=True)
+class GraphFeatures:
+    """The Fig. 5 feature vector for one graph."""
+
+    average_degree: float
+    clustering_coefficient: float
+    diameter: float
+    num_nodes: float
+
+    def as_array(self) -> np.ndarray:
+        return np.array(
+            [self.average_degree, self.clustering_coefficient, self.diameter, self.num_nodes],
+            dtype=float,
+        )
+
+
+def graph_features(graph: GraphLike) -> GraphFeatures:
+    """Compute the four Fig. 5 statistics.
+
+    Disconnected graphs use the diameter of their largest connected
+    component (generated topologies are connected by construction, but
+    partitioned real subgraphs occasionally are not).
+    """
+    g = as_undirected(graph)
+    n = g.number_of_nodes()
+    if n == 0:
+        return GraphFeatures(0.0, 0.0, 0.0, 0.0)
+    avg_degree = 2.0 * g.number_of_edges() / n
+    clustering = nx.average_clustering(g) if n > 1 else 0.0
+    if n == 1:
+        diam = 0.0
+    elif nx.is_connected(g):
+        diam = float(nx.diameter(g))
+    else:
+        largest = max(nx.connected_components(g), key=len)
+        sub = g.subgraph(largest)
+        diam = float(nx.diameter(sub)) if len(largest) > 1 else 0.0
+    return GraphFeatures(avg_degree, clustering, diam, float(n))
+
+
+def feature_matrix(graphs: Iterable[GraphLike]) -> np.ndarray:
+    """Stack features of many graphs into an [N, 4] array."""
+    rows: List[np.ndarray] = [graph_features(g).as_array() for g in graphs]
+    if not rows:
+        return np.zeros((0, len(FEATURE_NAMES)))
+    return np.vstack(rows)

@@ -1,0 +1,200 @@
+"""The orchestrating sentinel generator (paper Fig. 1, step 2).
+
+``SentinelGenerator`` wires the whole §4.1.2 pipeline together:
+
+* a **subgraph database** of real subgraphs, built by partitioning a
+  corpus of real models (the paper's "Model Subgraph Database");
+* a **GraphRNN-lite** topology model fit on the database's topologies,
+  used to pre-generate a pool of realistic undirected topologies;
+* the **Algorithm 1 sampler** that picks pool topologies statistically
+  similar to each protected subgraph;
+* the **Algorithm 2 populator** (CSP + likelihood model) that fills
+  sampled topologies with syntactically correct, semantically likely
+  operators;
+* the **perturbation** path for popular-model lookalikes.
+
+``generate(real, k, seed)`` is the interface the Proteus core consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph
+from .graphrnn import GraphRNNLite
+from .operator_population import assign_operators
+from .opseq_model import OpSequenceModel
+from .perturbation import PerturbationError, perturb_subgraph
+from .topology_sampler import TopologySampler
+
+__all__ = ["SentinelGenerator", "build_subgraph_database", "default_sentinel_source"]
+
+
+def build_subgraph_database(
+    corpus: Sequence[Graph],
+    target_subgraph_size: int = 8,
+    seed: int = 0,
+    trials: int = 4,
+) -> List[Graph]:
+    """Partition corpus models into the real-subgraph training database."""
+    from ..core.partition import karger_stein_partition
+    from ..core.subgraph import extract_subgraph
+    from ..ir.shape_inference import infer_shapes
+
+    database: List[Graph] = []
+    for model in corpus:
+        infer_shapes(model)
+        n = max(1, model.num_nodes // target_subgraph_size)
+        partition = karger_stein_partition(model, n, trials=trials, seed=seed)
+        for idx, cluster in enumerate(partition.clusters):
+            sub, _ = extract_subgraph(model, cluster, idx)
+            database.append(sub)
+    return database
+
+
+class SentinelGenerator:
+    """Generates sentinel subgraphs for protected subgraphs.
+
+    Parameters
+    ----------
+    database:
+        Real subgraphs used to train the topology and likelihood models.
+        For leave-one-out evaluation, exclude the protected model's
+        subgraphs here.
+    strategy:
+        ``"generate"`` (Alg. 1 + Alg. 2), ``"perturb"``, or ``"mixed"``.
+    beta:
+        Feature-band width for Algorithm 1.
+    pool_size:
+        Number of GraphRNN-lite topologies pre-generated for sampling.
+    """
+
+    def __init__(
+        self,
+        database: Sequence[Graph],
+        strategy: str = "mixed",
+        beta: float = 0.35,
+        pool_size: int = 192,
+        max_solutions: int = 16,
+        likelihood_percentile: float = 50.0,
+        seed: int = 0,
+    ) -> None:
+        if strategy not in ("generate", "perturb", "mixed"):
+            raise ValueError(f"unsupported strategy {strategy!r}")
+        if not database:
+            raise ValueError("sentinel generator needs a non-empty subgraph database")
+        self.database = list(database)
+        self.strategy = strategy
+        self.beta = beta
+        self.max_solutions = max_solutions
+        self.likelihood_percentile = likelihood_percentile
+
+        self.topology_model = GraphRNNLite().fit(self.database, seed=seed)
+        self.pool = self.topology_model.sample_many(pool_size, seed=seed + 1)
+        self.sampler = TopologySampler(self.pool)
+        vocab = sorted({n.op_type for g in self.database for n in g.nodes})
+        self.seq_model = OpSequenceModel(vocab).fit(self.database)
+
+    # -- public API --------------------------------------------------------
+    def generate(self, real: Graph, k: int, seed: int = 0) -> List[Graph]:
+        """Produce ``k`` sentinel graphs for the protected subgraph ``real``."""
+        if k <= 0:
+            return []
+        rng = np.random.default_rng(seed)
+        if self.strategy == "perturb":
+            n_generated = 0
+        elif self.strategy == "generate":
+            n_generated = k
+        else:
+            n_generated = k - k // 2
+        sentinels: List[Graph] = []
+        if n_generated > 0:
+            sentinels.extend(self._generated(real, n_generated, rng))
+        while len(sentinels) < k:
+            try:
+                sentinels.append(
+                    perturb_subgraph(real, rng, name=f"sentinel_p{len(sentinels)}")
+                )
+            except PerturbationError:
+                # fall back to the generative path for stubborn subgraphs
+                extra = self._generated(real, 1, rng)
+                if not extra:
+                    raise
+                sentinels.extend(extra)
+        return sentinels[:k]
+
+    # -- internals -----------------------------------------------------------
+    def _generated(self, real: Graph, count: int, rng: np.random.Generator) -> List[Graph]:
+        """Algorithm 1 + Algorithm 2 sentinels, with perturbation fallback."""
+        from ..ir.dtypes import DataType
+
+        hints = [
+            v.type
+            for v in real.inputs
+            if v.type is not None
+            and v.type.dtype in (DataType.FLOAT32, DataType.FLOAT64)
+            and v.type.shape
+        ]
+        topologies = self.sampler.sample_at_least(real, self.beta, rng, count * 2)
+        out: List[Graph] = []
+        for topo in topologies:
+            if len(out) >= count:
+                break
+            populated = assign_operators(
+                topo.dag,
+                self.seq_model,
+                rng,
+                input_type_hints=hints or None,
+                pct=self.likelihood_percentile,
+                max_solutions=self.max_solutions,
+            )
+            if not populated:
+                continue
+            pick = populated[int(rng.integers(0, len(populated)))]
+            pick.graph.name = f"sentinel_g{len(out)}"
+            out.append(pick.graph)
+        while len(out) < count:
+            try:
+                out.append(perturb_subgraph(real, rng, name=f"sentinel_f{len(out)}"))
+            except PerturbationError:
+                break
+        return out
+
+
+# -- default source used by repro.core.Proteus ------------------------------
+
+_DEFAULT_CACHE: Dict[Tuple[int, str, float, int], SentinelGenerator] = {}
+
+
+def default_sentinel_source(config) -> SentinelGenerator:
+    """Build (and cache) a generator trained on the bundled model zoo.
+
+    The cache key covers every config field that affects the trained
+    models, so distinct configurations get distinct generators.
+    """
+    key = (
+        config.target_subgraph_size,
+        config.sentinel_strategy if config.sentinel_strategy != "random" else "mixed",
+        config.beta,
+        config.seed,
+    )
+    if key in _DEFAULT_CACHE:
+        return _DEFAULT_CACHE[key]
+    from ..models.zoo import CNN_MODELS, TRANSFORMER_MODELS, build_model
+
+    corpus = [build_model(m) for m in CNN_MODELS + TRANSFORMER_MODELS]
+    database = build_subgraph_database(
+        corpus, target_subgraph_size=config.target_subgraph_size, seed=config.seed
+    )
+    gen = SentinelGenerator(
+        database,
+        strategy=key[1],
+        beta=config.beta,
+        max_solutions=config.max_solver_solutions,
+        likelihood_percentile=config.likelihood_percentile,
+        seed=config.seed,
+    )
+    _DEFAULT_CACHE[key] = gen
+    return gen

@@ -1,0 +1,164 @@
+"""GraphRNN-lite: an autoregressive graph topology generator in numpy.
+
+The paper uses GraphRNN (You et al., 2018) to learn realistic DL-graph
+topologies.  GraphRNN's essential mechanism is: order nodes by BFS,
+then autoregressively emit each new node's adjacency vector to the
+previous ``M`` nodes.  We reproduce that mechanism with a tabular
+conditional model instead of an RNN (torch is unavailable offline —
+see DESIGN.md):
+
+* the **first** connection of each new node is drawn from an empirical
+  offset distribution (offset 1 = previous node, 2 = one before, ...),
+  conditioned on a coarse position bucket (early/mid/late in the BFS);
+* **additional** connections are independent Bernoullis per offset with
+  empirically estimated rates (these create the skip/residual edges and
+  the occasional high-fan-in join);
+* graph **size** is sampled from the training size distribution.
+
+DL computational graphs are dominated by exactly these statistics
+(chain edges + sparse skips), which is why the tabular model's samples
+match real topologies distributionally (verified in the Fig. 5 bench).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from .features import as_undirected
+
+__all__ = ["GraphRNNLite", "bfs_adjacency_sequences"]
+
+_POSITION_BUCKETS = 3
+
+
+def _position_bucket(i: int, n: int) -> int:
+    """Coarse BFS-position bucket (early / mid / late)."""
+    if n <= 1:
+        return 0
+    frac = i / (n - 1)
+    return min(_POSITION_BUCKETS - 1, int(frac * _POSITION_BUCKETS))
+
+
+def bfs_adjacency_sequences(
+    g: nx.Graph, window: int, rng: np.random.Generator
+) -> List[np.ndarray]:
+    """BFS-ordered adjacency vectors: one length-``window`` 0/1 row per node.
+
+    Row ``i`` marks which of the previous ``window`` nodes (offset 1 =
+    immediately previous) node ``i`` connects to.  Matches GraphRNN's
+    sequence encoding with a random BFS start for augmentation.
+    """
+    nodes = list(g.nodes())
+    if not nodes:
+        return []
+    start = nodes[int(rng.integers(0, len(nodes)))]
+    order: List = []
+    for comp in nx.connected_components(g):
+        comp_start = start if start in comp else next(iter(comp))
+        order.extend(nx.bfs_tree(g.subgraph(comp), comp_start).nodes())
+    index = {node: i for i, node in enumerate(order)}
+    rows: List[np.ndarray] = []
+    for i, node in enumerate(order):
+        row = np.zeros(window, dtype=np.int8)
+        for nbr in g.neighbors(node):
+            j = index[nbr]
+            if j < i and i - j <= window:
+                row[i - j - 1] = 1
+        rows.append(row)
+    return rows
+
+
+class GraphRNNLite:
+    """Tabular autoregressive topology model (see module docstring)."""
+
+    def __init__(self, window: int = 12, smoothing: float = 0.5) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.smoothing = smoothing
+        self._fitted = False
+
+    # -- training --------------------------------------------------------------
+    def fit(self, graphs: Iterable, seed: int = 0) -> "GraphRNNLite":
+        """Estimate the model from real topologies (IR graphs or nx graphs)."""
+        rng = np.random.default_rng(seed)
+        first_counts = np.full((_POSITION_BUCKETS, self.window), self.smoothing)
+        extra_counts = np.full(self.window, self.smoothing)
+        extra_trials = np.full(self.window, 2.0 * self.smoothing)
+        sizes: List[int] = []
+        n_graphs = 0
+        for graph in graphs:
+            g = as_undirected(graph)
+            if g.number_of_nodes() < 2:
+                continue
+            n_graphs += 1
+            sizes.append(g.number_of_nodes())
+            rows = bfs_adjacency_sequences(g, self.window, rng)
+            n = len(rows)
+            for i, row in enumerate(rows[1:], start=1):
+                bucket = _position_bucket(i, n)
+                nz = np.flatnonzero(row)
+                if nz.size == 0:
+                    continue
+                first = nz[0]
+                first_counts[bucket, first] += 1
+                eligible = min(i, self.window)
+                extra_trials[:eligible] += 1
+                extra_counts[nz[1:]] += 1
+        if n_graphs == 0:
+            raise ValueError("no usable training graphs (need >= 2 nodes each)")
+        self.first_probs = first_counts / first_counts.sum(axis=1, keepdims=True)
+        self.extra_rates = np.clip(extra_counts / extra_trials, 0.0, 0.5)
+        self.sizes = np.asarray(sizes, dtype=int)
+        self._fitted = True
+        return self
+
+    # -- sampling ----------------------------------------------------------------
+    def sample_size(self, rng: np.random.Generator) -> int:
+        """Draw a graph size from the (jittered) empirical distribution."""
+        self._check_fitted()
+        base = int(rng.choice(self.sizes))
+        jitter = int(rng.integers(-2, 3))
+        return max(2, base + jitter)
+
+    def sample(self, rng: np.random.Generator, n_nodes: Optional[int] = None) -> nx.Graph:
+        """Generate one undirected topology autoregressively."""
+        self._check_fitted()
+        n = n_nodes if n_nodes is not None else self.sample_size(rng)
+        if n < 1:
+            raise ValueError("n_nodes must be >= 1")
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for i in range(1, n):
+            bucket = _position_bucket(i, n)
+            eligible = min(i, self.window)
+            probs = self.first_probs[bucket, :eligible].copy()
+            total = probs.sum()
+            if total <= 0:
+                first = 0
+            else:
+                first = int(rng.choice(eligible, p=probs / total))
+            g.add_edge(i, i - 1 - first)
+            extra = rng.random(eligible) < self.extra_rates[:eligible]
+            for offset in np.flatnonzero(extra):
+                if offset != first:
+                    g.add_edge(i, i - 1 - int(offset))
+        return g
+
+    def sample_many(
+        self, count: int, seed: int = 0, sizes: Optional[Sequence[int]] = None
+    ) -> List[nx.Graph]:
+        """Generate a pool of ``count`` topologies (the sampler's D set)."""
+        rng = np.random.default_rng(seed)
+        out: List[nx.Graph] = []
+        for i in range(count):
+            n = sizes[i % len(sizes)] if sizes else None
+            out.append(self.sample(rng, n_nodes=n))
+        return out
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("GraphRNNLite must be fit() before sampling")

@@ -1,0 +1,208 @@
+"""Algorithm 2: ASSIGNOPERATORS — populate a topology with DL operators.
+
+Given a sentinel topology (a DAG from Algorithm 1), enumerate
+syntactically valid operator assignments with the CSP solver (the Z3
+stand-in), score each complete assignment with the operator-sequence
+likelihood model, and keep the top percentile — "operator assignments
+that are both syntactically valid and semantically likely".
+
+The returned assignments are *materialized*: each is a complete,
+shape-inferred, executable IR graph with freshly synthesized weights.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..ir.dtypes import DataType, TensorType, numpy_dtype
+from ..ir.graph import Graph, Value
+from ..ir.node import Node
+from ..ir.shape_inference import infer_shapes
+from ..ir.validate import validate_graph
+from .constraints import SOURCE_SHAPES, NodeChoice, candidate_choices
+from .csp import CSPSolver
+from .opseq_model import OpSequenceModel
+
+__all__ = ["PopulatedGraph", "assign_operators", "materialize_assignment"]
+
+#: branching cap: candidates kept per node after likelihood ordering.
+_MAX_BRANCH = 6
+
+
+@dataclass
+class PopulatedGraph:
+    """A materialized operator assignment with its semantic likelihood."""
+
+    graph: Graph
+    logprob: float
+
+
+def _topo_nodes(dag: nx.DiGraph) -> List:
+    return list(nx.topological_sort(dag))
+
+
+def _source_types(
+    dag: nx.DiGraph,
+    rng: np.random.Generator,
+    hints: Optional[Sequence[TensorType]],
+) -> Dict[object, TensorType]:
+    """Pick an input tensor type for every in-degree-0 node.
+
+    Types come from the protected subgraph's own input signature when
+    available (the statistically honest choice), falling back to the
+    realistic shape pool.  Later sources reuse the first source's type
+    with high probability so downstream merges are satisfiable.
+    """
+    sources = [v for v in dag.nodes() if dag.in_degree(v) == 0]
+    out: Dict[object, TensorType] = {}
+    pool: List[TensorType] = list(hints or [])
+    if not pool:
+        rank_key = rng.choice(list(SOURCE_SHAPES))
+        shapes = SOURCE_SHAPES[rank_key]
+        pool = [TensorType(DataType.FLOAT32, shapes[int(rng.integers(0, len(shapes)))])]
+    primary = pool[int(rng.integers(0, len(pool)))]
+    for i, s in enumerate(sources):
+        if i == 0 or rng.random() < 0.8:
+            out[s] = primary
+        else:
+            out[s] = pool[int(rng.integers(0, len(pool)))]
+    return out
+
+
+def assign_operators(
+    dag: nx.DiGraph,
+    seq_model: OpSequenceModel,
+    rng: np.random.Generator,
+    input_type_hints: Optional[Sequence[TensorType]] = None,
+    pct: float = 50.0,
+    max_solutions: int = 32,
+    budget: int = 8_000,
+    temperature: float = 0.6,
+) -> List[PopulatedGraph]:
+    """Enumerate, score and materialize operator assignments for ``dag``.
+
+    Parameters mirror Algorithm 2's ``(G, pct, max_solns)`` with the
+    solver budget and likelihood temperature exposed for tuning.
+    Returns the top-``pct`` assignments by likelihood, best first; an
+    empty list means the topology is unsatisfiable within budget.
+    """
+    if dag.number_of_nodes() == 0:
+        return []
+    order = _topo_nodes(dag)
+    position = {v: i for i, v in enumerate(order)}
+    src_types = _source_types(dag, rng, input_type_hints)
+
+    def parents_of(v) -> List:
+        return sorted(dag.predecessors(v), key=position.__getitem__)
+
+    def domain(var, assignment) -> List[NodeChoice]:
+        parents = parents_of(var)
+        if parents:
+            parent_types = [assignment[p].out_type for p in parents]
+            parent_ops = [assignment[p].op_type for p in parents]
+        else:
+            parent_types = [src_types[var]]
+            parent_ops = []
+        cands = candidate_choices(parent_types, rng)
+        # likelihood-guided value ordering with Gumbel noise for diversity
+        scored: List[Tuple[float, NodeChoice]] = []
+        for c in cands:
+            if parent_ops:
+                lp = float(
+                    np.mean([seq_model.edge_logprob(p, c.op_type) for p in parent_ops])
+                )
+            else:
+                lp = seq_model.source_logprob(c.op_type)
+            c.logprob = lp
+            gumbel = -math.log(-math.log(max(rng.random(), 1e-12)))
+            scored.append((lp + temperature * gumbel, c))
+        scored.sort(key=lambda t: -t[0])
+        return [c for _, c in scored[:_MAX_BRANCH]]
+
+    solver = CSPSolver(order, domain, budget=budget)
+    edges = [(a, b) for a, b in dag.edges()]
+    sources = [v for v in order if dag.in_degree(v) == 0]
+
+    solutions: List[Tuple[float, Dict]] = []
+    for assignment in solver.solutions(max_solutions=max_solutions):
+        ops = {v: assignment[v].op_type for v in order}
+        lp = seq_model.assignment_logprob(edges, ops, sources)
+        solutions.append((lp, assignment))
+    if not solutions:
+        return []
+    solutions.sort(key=lambda t: -t[0])
+    keep = max(1, int(math.ceil(len(solutions) * pct / 100.0)))
+    out: List[PopulatedGraph] = []
+    for lp, assignment in solutions[:keep]:
+        graph = materialize_assignment(dag, assignment, src_types, rng)
+        out.append(PopulatedGraph(graph=graph, logprob=lp))
+    return out
+
+
+def materialize_assignment(
+    dag: nx.DiGraph,
+    assignment: Dict,
+    src_types: Dict[object, TensorType],
+    rng: np.random.Generator,
+    name: str = "sentinel",
+) -> Graph:
+    """Build the concrete IR graph for one operator assignment."""
+    order = _topo_nodes(dag)
+    position = {v: i for i, v in enumerate(order)}
+    value_of: Dict[object, str] = {}
+    inputs: List[Value] = []
+    nodes: List[Node] = []
+    initializers: Dict[str, np.ndarray] = {}
+
+    for i, v in enumerate(order):
+        choice: NodeChoice = assignment[v]
+        parents = sorted(dag.predecessors(v), key=position.__getitem__)
+        if parents:
+            data_inputs = [value_of[p] for p in parents]
+        else:
+            in_name = f"in{len(inputs)}"
+            inputs.append(Value(in_name, src_types[v]))
+            data_inputs = [in_name]
+        param_names: List[str] = []
+        for j, shape in enumerate(choice.param_shapes):
+            pname = f"w{i}_{j}"
+            dtype = numpy_dtype(choice.out_type.dtype)
+            if choice.op_type == "Pow":
+                # non-integer exponents NaN on negative bases; real graphs
+                # overwhelmingly use x^2
+                arr = np.asarray(2.0, dtype=dtype)
+            elif shape == ():
+                arr = np.asarray(abs(rng.standard_normal()) + 0.5, dtype=dtype)
+            else:
+                arr = (rng.standard_normal(shape) * 0.05).astype(dtype)
+                if choice.op_type == "BatchNormalization" and j == 3:
+                    arr = np.abs(arr) + 0.5  # variance must be positive
+                if choice.op_type == "Div":
+                    arr = np.abs(arr) + 0.5  # avoid division blowups
+            initializers[pname] = arr
+            param_names.append(pname)
+        all_inputs = (
+            data_inputs[: choice.param_position]
+            + param_names
+            + data_inputs[choice.param_position :]
+        )
+        nodes.append(Node(f"op{i}", choice.op_type, all_inputs, [f"t{i}"], choice.attrs))
+        value_of[v] = f"t{i}"
+
+    sinks = [v for v in order if dag.out_degree(v) == 0]
+    graph = Graph(
+        name,
+        inputs=inputs,
+        outputs=[Value(value_of[s]) for s in sinks],
+        nodes=nodes,
+        initializers=initializers,
+    )
+    infer_shapes(graph)
+    graph.outputs = [Value(v.name, graph.value_types[v.name]) for v in graph.outputs]
+    validate_graph(graph)
+    return graph

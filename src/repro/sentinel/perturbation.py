@@ -1,0 +1,155 @@
+"""Perturbation-based sentinels: minor modifications over a real subgraph.
+
+Paper §4.1.2 ("Minor Modifications over Popular Models"): when the
+protected model resembles a well-known architecture, Proteus also
+builds sentinels by adding/removing nodes in the real topology and
+re-populating only the perturbed region, preserving the opcodes of
+unperturbed nodes.  Each perturbed graph is re-validated through shape
+inference, so the output is always a syntactically correct sentinel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..ir.graph import Graph, Value
+from ..ir.node import Node
+from ..ir.shape_inference import infer_shapes
+from ..ir.validate import validate_graph
+
+__all__ = ["perturb_subgraph", "PerturbationError"]
+
+
+class PerturbationError(RuntimeError):
+    """Raised when no valid perturbation could be produced."""
+
+
+_ACTIVATIONS = ("Relu", "LeakyRelu", "Sigmoid", "Tanh", "HardSwish", "HardSigmoid", "Erf")
+
+#: shape-preserving unary ops insertable on any float edge.
+_INSERTABLE_ANYRANK = ("Relu", "Tanh", "Sigmoid", "Abs", "Neg", "Erf", "HardSwish")
+
+
+def _insert_unary(graph: Graph, rng: np.random.Generator) -> bool:
+    """Insert a shape-preserving op on a random internal edge."""
+    candidates = []
+    for node in graph.nodes:
+        for inp in node.inputs:
+            if graph.is_initializer(inp):
+                continue
+            t = graph.value_types.get(inp)
+            if t is None or t.dtype.value not in ("float32", "float64"):
+                continue
+            candidates.append((node, inp))
+    if not candidates:
+        return False
+    consumer, value = candidates[int(rng.integers(0, len(candidates)))]
+    t = graph.value_types[value]
+    options: List[str] = list(_INSERTABLE_ANYRANK)
+    new_name = graph.fresh_node_name("pert_ins")
+    out_name = graph.fresh_value_name(f"{new_name}_out")
+    op = options[int(rng.integers(0, len(options)))]
+    new_node = Node(new_name, op, [value], [out_name])
+    if t.rank == 4 and rng.random() < 0.5:
+        # occasionally insert a same-channel conv for structural (not just
+        # pointwise) perturbation
+        c = t.shape[1]
+        w_name = graph.fresh_value_name(f"{new_name}_w")
+        graph.add_initializer(
+            w_name, (np.random.default_rng(int(rng.integers(0, 2**31))).standard_normal((c, c, 3, 3)) * 0.05).astype(np.float32)
+        )
+        new_node = Node(
+            new_name,
+            "Conv",
+            [value, w_name],
+            [out_name],
+            {"kernel_shape": (3, 3), "strides": (1, 1), "pads": 1, "group": 1},
+        )
+    graph.add_node(new_node)
+    consumer.replace_input(value, out_name)
+    graph._invalidate()
+    return True
+
+
+def _delete_unary(graph: Graph, rng: np.random.Generator) -> bool:
+    """Remove a unary shape-preserving node, rewiring its consumers."""
+    removable = []
+    for node in graph.nodes:
+        if len(node.outputs) != 1 or graph.is_graph_output(node.outputs[0]):
+            continue
+        data_inputs = [i for i in node.inputs if not graph.is_initializer(i)]
+        if len(data_inputs) != 1:
+            continue
+        in_t = graph.value_types.get(data_inputs[0])
+        out_t = graph.value_types.get(node.outputs[0])
+        if in_t is None or out_t is None or in_t.shape != out_t.shape:
+            continue
+        removable.append((node, data_inputs[0]))
+    if not removable:
+        return False
+    node, data_in = removable[int(rng.integers(0, len(removable)))]
+    graph.remove_node(node)
+    graph.replace_all_uses(node.outputs[0], data_in)
+    return True
+
+
+def _swap_activation(graph: Graph, rng: np.random.Generator) -> bool:
+    """Replace one activation opcode with a different one."""
+    acts = [n for n in graph.nodes if n.op_type in _ACTIVATIONS]
+    if not acts:
+        return False
+    node = acts[int(rng.integers(0, len(acts)))]
+    others = [a for a in _ACTIVATIONS if a != node.op_type]
+    node.op_type = others[int(rng.integers(0, len(others)))]
+    node.attrs = {}
+    graph._invalidate()
+    return True
+
+
+_PERTURBATIONS = (_insert_unary, _delete_unary, _swap_activation)
+
+
+def perturb_subgraph(
+    real: Graph,
+    rng: np.random.Generator,
+    n_edits: Optional[int] = None,
+    max_attempts: int = 8,
+    name: str = "sentinel_perturbed",
+) -> Graph:
+    """Produce one perturbation-based sentinel from a real subgraph.
+
+    Applies 1–3 random structural edits and re-validates; retries with a
+    fresh clone when an edit sequence produces an invalid graph.
+    """
+    for _ in range(max_attempts):
+        g = real.clone()
+        g.name = name
+        if not g.value_types:
+            infer_shapes(g)
+        edits = n_edits if n_edits is not None else int(rng.integers(1, 4))
+        applied = 0
+        for _ in range(edits * 3):
+            if applied >= edits:
+                break
+            fn = _PERTURBATIONS[int(rng.integers(0, len(_PERTURBATIONS)))]
+            try:
+                if fn(g, rng):
+                    applied += 1
+                    infer_shapes(g)
+            except Exception:
+                break
+        if applied == 0:
+            continue
+        try:
+            infer_shapes(g)
+            g.outputs = [Value(v.name, g.value_types[v.name]) for v in g.outputs]
+            validate_graph(g)
+            return g
+        except Exception:
+            continue
+    raise PerturbationError(
+        f"could not produce a valid perturbation of {real.name!r} "
+        f"in {max_attempts} attempts"
+    )

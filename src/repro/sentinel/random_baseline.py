@@ -1,0 +1,48 @@
+"""The random-opcode baseline of Fig. 6.
+
+"Random opcodes on PROTEUS-generated topologies": take sampled
+topologies and assign operators uniformly at random, respecting only
+dataflow arity (not shapes, not semantics).  This is the straw
+obfuscator the learning-based adversary defeats — specificity near 1.0,
+search space collapsing to single digits — demonstrating that sentinel
+*quality* (Algorithm 2) is what provides the protection.
+
+Random-opcode graphs generally are not executable (shapes disagree), so
+they are represented as opcode-annotated DAGs (the adversary's input
+format) rather than IR graphs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import networkx as nx
+import numpy as np
+
+from .constraints import BINARY_OPS, UNARY_OPS
+
+__all__ = ["random_opcode_graph", "random_opcode_sentinels"]
+
+
+def random_opcode_graph(dag: nx.DiGraph, rng: np.random.Generator) -> nx.DiGraph:
+    """Annotate a topology with uniformly random (arity-legal) opcodes."""
+    out = nx.DiGraph()
+    out.add_nodes_from(dag.nodes())
+    out.add_edges_from(dag.edges())
+    for v in out.nodes():
+        indeg = out.in_degree(v)
+        pool: Sequence[str] = UNARY_OPS if indeg <= 1 else BINARY_OPS
+        out.nodes[v]["op_type"] = pool[int(rng.integers(0, len(pool)))]
+    return out
+
+
+def random_opcode_sentinels(
+    topologies: Sequence[nx.DiGraph], k: int, seed: int = 0
+) -> List[nx.DiGraph]:
+    """Generate ``k`` random-opcode sentinels from a topology pool."""
+    rng = np.random.default_rng(seed)
+    out: List[nx.DiGraph] = []
+    for i in range(k):
+        topo = topologies[int(rng.integers(0, len(topologies)))]
+        out.append(random_opcode_graph(topo, rng))
+    return out

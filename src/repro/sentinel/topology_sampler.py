@@ -1,0 +1,132 @@
+"""Algorithm 1: sample sentinel topologies statistically similar to a
+protected subgraph.
+
+Given the protected subgraph ``G`` and a pool ``D`` of generated
+topologies, the sampler:
+
+1. estimates the pool's density ``p(x)`` in graph-feature space;
+2. places a uniform band of width ``beta`` (in standardized feature
+   units) around ``G``'s features, at a *random offset*
+   ``alpha ~ U[0, beta]^d`` so that ``G`` is not detectably centered;
+3. accepts pool topologies whose features fall inside the band, with
+   importance weight ``1/p(x)`` so accepted samples are uniform over
+   the band rather than following ``D``'s density.
+
+Accepted topologies are returned as DAGs (via Algorithm 3 orientation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from .density import FeatureDensity
+from .features import feature_matrix, graph_features
+from .orientation import induce_orientation
+
+__all__ = ["TopologySampler", "SampledTopology"]
+
+
+@dataclass
+class SampledTopology:
+    """One accepted sentinel topology with its sampling metadata."""
+
+    dag: nx.DiGraph
+    features: np.ndarray
+    weight: float  # importance weight 1/p(x)
+
+
+class TopologySampler:
+    """SAMPLETOPOLOGIES (Algorithm 1) over a fixed pool of topologies."""
+
+    def __init__(self, pool: Sequence[nx.Graph]) -> None:
+        if len(pool) < 2:
+            raise ValueError("topology pool must contain at least 2 graphs")
+        self.pool = list(pool)
+        self._features = feature_matrix(self.pool)
+        self.density = FeatureDensity(self._features)
+        # pool is immutable: precompute per-topology density/standardized
+        # coordinates once (sample() is called per protected subgraph).
+        self._pool_density = np.array([self.density(f) for f in self._features])
+        self._pool_z = np.vstack([self.density.standardize(f) for f in self._features])
+
+    def sample(
+        self,
+        protected,
+        beta: float,
+        rng: np.random.Generator,
+        max_results: Optional[int] = None,
+    ) -> List[SampledTopology]:
+        """Return pool topologies statistically indistinguishable from
+        ``protected`` (an IR graph or nx graph), oriented into DAGs."""
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        x_g = self.density.standardize(graph_features(protected).as_array())
+        # Band [l, r] of width beta containing x_g at a random position.
+        alpha = rng.uniform(0.0, beta, size=x_g.shape)
+        lo = x_g - alpha
+        hi = lo + beta
+
+        accepted: List[SampledTopology] = []
+        densities = self._pool_density
+        z = self._pool_z
+        in_band = np.all((z >= lo - 1e-12) & (z <= hi + 1e-12), axis=1)
+        idxs = np.flatnonzero(in_band)
+        if idxs.size == 0:
+            return []
+        # Importance sampling: accept index i with prob proportional to
+        # 1/p(x_i), normalized so the largest weight is accepted surely.
+        weights = 1.0 / densities[idxs]
+        probs = weights / weights.max()
+        order = rng.permutation(idxs.size)
+        for j in order:
+            if max_results is not None and len(accepted) >= max_results:
+                break
+            if rng.random() <= probs[j]:
+                i = int(idxs[j])
+                dag = induce_orientation(self.pool[i])
+                accepted.append(
+                    SampledTopology(dag=dag, features=self._features[i], weight=float(weights[j]))
+                )
+        return accepted
+
+    def sample_at_least(
+        self,
+        protected,
+        beta: float,
+        rng: np.random.Generator,
+        count: int,
+        max_widenings: int = 4,
+    ) -> List[SampledTopology]:
+        """Sample until at least ``count`` topologies are found, widening
+        the band (doubling beta) when the pool is locally sparse.
+
+        Widening trades some statistical tightness for availability —
+        the alternative (duplicating topologies) is strictly worse for
+        confidentiality.  Resamples with replacement only as a last
+        resort.
+        """
+        results: List[SampledTopology] = []
+        width = beta
+        for _ in range(max_widenings + 1):
+            results = self.sample(protected, width, rng, max_results=None)
+            if len(results) >= count:
+                return results[:count]
+            width *= 2.0
+        while len(results) < count and results:
+            results.append(results[int(rng.integers(0, len(results)))])
+        if not results:
+            # pathological pool: orient arbitrary pool members
+            for i in rng.permutation(len(self.pool))[:count]:
+                g = self.pool[int(i)]
+                results.append(
+                    SampledTopology(
+                        dag=induce_orientation(g),
+                        features=graph_features(g).as_array(),
+                        weight=1.0,
+                    )
+                )
+        return results[:count]

@@ -1,0 +1,98 @@
+"""Tests for leave-one-out dataset construction."""
+
+import pytest
+
+from repro.adversary.dataset import build_leave_one_out, subgraphs_of
+from repro.adversary.opgraph import LabeledDataset, opcode_vocabulary, to_opgraph
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return {
+        "resnet": build_model("resnet", stage_blocks=(1, 1), widths=(8, 16)),
+        "mobilenet": build_model("mobilenet", stages=((1, 8, 1, 1), (4, 12, 2, 2))),
+        "googlenet": build_model("googlenet"),
+    }
+
+
+class TestSubgraphsOf:
+    def test_covers_model(self, tiny_corpus):
+        model = tiny_corpus["resnet"]
+        subs = subgraphs_of(model, target_size=8)
+        assert sum(s.num_nodes for s in subs) == model.num_nodes
+
+
+class TestLeaveOneOut:
+    def test_protected_model_excluded_from_training(self, tiny_corpus, sentinel_generator):
+        data = build_leave_one_out(
+            "resnet", tiny_corpus, k=2, mode="proteus",
+            generator=sentinel_generator, seed=0,
+        )
+        protected_nodes = tiny_corpus["resnet"].num_nodes
+        train_real_nodes = sum(
+            g.number_of_nodes() for g, l in zip(data.train.graphs, data.train.labels) if l == 0
+        )
+        other_nodes = sum(g.num_nodes for n, g in tiny_corpus.items() if n != "resnet")
+        assert train_real_nodes == other_nodes
+        assert sum(s.num_nodes for s in data.protected_reals) == protected_nodes
+
+    def test_group_sizes(self, tiny_corpus, sentinel_generator):
+        data = build_leave_one_out(
+            "resnet", tiny_corpus, k=3, mode="proteus",
+            generator=sentinel_generator, seed=0,
+        )
+        assert all(len(g) == 3 for g in data.protected_sentinel_groups)
+        assert len(data.protected_sentinel_groups) == len(data.protected_reals)
+
+    def test_random_mode(self, tiny_corpus, sentinel_generator):
+        data = build_leave_one_out(
+            "resnet", tiny_corpus, k=2, mode="random",
+            generator=sentinel_generator, seed=0,
+        )
+        import networkx as nx
+        for group in data.protected_sentinel_groups:
+            for g in group:
+                assert isinstance(g, nx.DiGraph)
+                assert all("op_type" in g.nodes[v] for v in g.nodes())
+
+    def test_unknown_protected(self, tiny_corpus):
+        with pytest.raises(KeyError):
+            build_leave_one_out("vgg", tiny_corpus, k=2)
+
+    def test_bad_mode(self, tiny_corpus):
+        with pytest.raises(ValueError, match="mode"):
+            build_leave_one_out("resnet", tiny_corpus, k=2, mode="quantum")
+
+
+class TestOpgraphHelpers:
+    def test_labeled_dataset_validates(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            LabeledDataset([], [1])
+
+    def test_from_parts_labels(self, tiny_corpus):
+        subs = subgraphs_of(tiny_corpus["googlenet"])
+        assert len(subs) >= 4
+        ds = LabeledDataset.from_parts(subs[:2], subs[2:4])
+        assert ds.labels == [0, 0, 1, 1]
+
+    def test_merged(self, tiny_corpus):
+        subs = subgraphs_of(tiny_corpus["resnet"])
+        a = LabeledDataset.from_parts(subs[:1], [])
+        b = LabeledDataset.from_parts([], subs[1:2])
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+
+    def test_vocabulary(self, tiny_corpus):
+        subs = subgraphs_of(tiny_corpus["resnet"])
+        ds = LabeledDataset.from_parts(subs, [])
+        vocab = opcode_vocabulary([ds])
+        assert "Conv" in vocab
+        assert vocab == tuple(sorted(vocab))
+
+    def test_to_opgraph_requires_op_type(self):
+        import networkx as nx
+        g = nx.DiGraph()
+        g.add_node(0)
+        with pytest.raises(ValueError, match="op_type"):
+            to_opgraph(g)

@@ -1,0 +1,114 @@
+"""Tests for the numpy GraphSAGE classifier, including a numerical
+gradient check certifying the manual backprop."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.adversary.gnn import GNNClassifier, encode_graph
+from repro.adversary.opgraph import to_opgraph
+
+
+def tiny_graph():
+    g = nx.DiGraph()
+    g.add_node(0, op_type="Conv")
+    g.add_node(1, op_type="Relu")
+    g.add_node(2, op_type="Add")
+    g.add_edges_from([(0, 1), (1, 2), (0, 2)])
+    return g
+
+
+VOCAB = ("Add", "Conv", "Relu", "Sigmoid")
+
+
+class TestEncoding:
+    def test_opcode_ids(self):
+        enc = encode_graph(tiny_graph(), {op: i for i, op in enumerate(VOCAB)})
+        assert enc.op_ids.tolist() == [1, 2, 0]
+
+    def test_oov_maps_to_last(self):
+        g = tiny_graph()
+        g.nodes[0]["op_type"] = "Exotic"
+        enc = encode_graph(g, {op: i for i, op in enumerate(VOCAB)})
+        assert enc.op_ids[0] == len(VOCAB)
+
+    def test_aggregation_rows_normalized(self):
+        enc = encode_graph(tiny_graph(), {op: i for i, op in enumerate(VOCAB)})
+        sums = enc.agg.sum(axis=1)
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_ir_graph_via_opgraph(self, conv_chain):
+        og = to_opgraph(conv_chain)
+        enc = encode_graph(og, {"Conv": 0})
+        assert len(enc.op_ids) == conv_chain.num_nodes
+
+
+class TestForward:
+    def test_probability_range(self):
+        model = GNNClassifier(VOCAB, seed=0)
+        enc = encode_graph(tiny_graph(), model.vocab_index)
+        prob, _ = model.forward(enc)
+        assert 0.0 < prob < 1.0
+
+    def test_deterministic(self):
+        model = GNNClassifier(VOCAB, seed=0)
+        enc = encode_graph(tiny_graph(), model.vocab_index)
+        assert model.forward(enc)[0] == model.forward(enc)[0]
+
+    def test_depends_on_opcodes(self):
+        model = GNNClassifier(VOCAB, seed=0)
+        g2 = tiny_graph()
+        g2.nodes[0]["op_type"] = "Sigmoid"
+        p1 = model.forward(encode_graph(tiny_graph(), model.vocab_index))[0]
+        p2 = model.forward(encode_graph(g2, model.vocab_index))[0]
+        assert p1 != p2
+
+    def test_predict_proba_batch(self):
+        model = GNNClassifier(VOCAB, seed=0)
+        encs = [encode_graph(tiny_graph(), model.vocab_index)] * 3
+        probs = model.predict_proba(encs)
+        assert probs.shape == (3,)
+
+    def test_layer_count_validated(self):
+        with pytest.raises(ValueError, match="layer"):
+            GNNClassifier(VOCAB, n_layers=0)
+
+
+class TestBackward:
+    def test_gradient_check(self):
+        """Finite-difference check of every parameter's gradient."""
+        model = GNNClassifier(VOCAB, embed_dim=5, hidden_dim=6, seed=1)
+        enc = encode_graph(tiny_graph(), model.vocab_index)
+        label = 1.0
+
+        def loss():
+            p, _ = model.forward(enc)
+            p = min(max(p, 1e-9), 1 - 1e-9)
+            return -(label * np.log(p) + (1 - label) * np.log(1 - p))
+
+        prob, cache = model.forward(enc)
+        grads = model.backward(enc, cache, prob, label)
+        eps = 1e-6
+        for key in model.params:
+            g_analytic = grads[key]
+            flat = model.params[key].ravel()
+            # sample a few coordinates per tensor
+            idxs = np.linspace(0, flat.size - 1, min(5, flat.size)).astype(int)
+            for i in idxs:
+                orig = flat[i]
+                flat[i] = orig + eps
+                up = loss()
+                flat[i] = orig - eps
+                down = loss()
+                flat[i] = orig
+                numeric = (up - down) / (2 * eps)
+                assert g_analytic.ravel()[i] == pytest.approx(numeric, rel=1e-3, abs=1e-6), key
+
+    def test_get_set_params_roundtrip(self):
+        model = GNNClassifier(VOCAB, seed=0)
+        snapshot = model.get_params()
+        enc = encode_graph(tiny_graph(), model.vocab_index)
+        p_before = model.forward(enc)[0]
+        model.params["w_out"] += 1.0
+        model.set_params(snapshot)
+        assert model.forward(enc)[0] == p_before

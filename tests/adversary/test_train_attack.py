@@ -1,0 +1,138 @@
+"""Tests for adversary training, the attack protocol, and heuristics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    LabeledDataset,
+    expert_panel,
+    run_attack,
+    run_survey,
+    search_space_size,
+    train_classifier,
+    evaluate_classifier,
+)
+from repro.adversary.attack import AttackReport
+
+
+def separable_dataset(n=30, seed=0):
+    """Reals = chains of Conv/Relu; fakes = chains of Softmax/Sigmoid."""
+    rng = np.random.default_rng(seed)
+    reals, fakes = [], []
+    for i in range(n):
+        g = nx.DiGraph()
+        ops = ["Conv", "Relu"] * 3
+        for j, op in enumerate(ops):
+            g.add_node(j, op_type=op)
+            if j:
+                g.add_edge(j - 1, j)
+        reals.append(g)
+        f = nx.DiGraph()
+        for j, op in enumerate(["Softmax", "Sigmoid"] * 3):
+            f.add_node(j, op_type=op)
+            if j:
+                f.add_edge(j - 1, j)
+        fakes.append(f)
+    return LabeledDataset.from_parts(reals, fakes)
+
+
+class TestTraining:
+    def test_learns_separable_data(self):
+        ds = separable_dataset()
+        result = train_classifier(ds, epochs=30, seed=0)
+        metrics = evaluate_classifier(result.model, ds)
+        assert metrics["accuracy"] > 0.95
+
+    def test_loss_decreases(self):
+        ds = separable_dataset()
+        result = train_classifier(ds, epochs=30, seed=0)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_small_dataset_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            train_classifier(LabeledDataset([], []))
+
+    def test_deterministic(self):
+        ds = separable_dataset()
+        a = train_classifier(ds, epochs=5, seed=1)
+        b = train_classifier(ds, epochs=5, seed=1)
+        assert a.losses == b.losses
+
+
+class TestSearchSpace:
+    def test_formula(self):
+        assert search_space_size(10, 20, 1.0) == 1.0
+        assert search_space_size(10, 20, 0.0) == pytest.approx(21.0**10)
+        assert search_space_size(2, 10, 0.5) == pytest.approx(6.0**2)
+
+    def test_specificity_range(self):
+        with pytest.raises(ValueError):
+            search_space_size(2, 5, 1.5)
+
+
+class TestAttack:
+    def test_attack_on_separable(self):
+        ds = separable_dataset()
+        result = train_classifier(ds, epochs=30, seed=0)
+        reals = [g for g, l in zip(ds.graphs, ds.labels) if l == 0][:4]
+        fakes = [g for g, l in zip(ds.graphs, ds.labels) if l == 1]
+        groups = [fakes[:5] for _ in reals]
+        rep = run_attack(result.model, reals, groups, "sep")
+        assert rep.sensitivity == 1.0
+        assert rep.specificity > 0.9  # easily separable: most fakes eliminated
+        assert rep.candidates < 10
+
+    def test_attack_gamma_keeps_reals(self):
+        ds = separable_dataset()
+        result = train_classifier(ds, epochs=10, seed=0)
+        reals = [g for g, l in zip(ds.graphs, ds.labels) if l == 0][:3]
+        groups = [[g for g, l in zip(ds.graphs, ds.labels) if l == 1][:4]] * 3
+        rep = run_attack(result.model, reals, groups)
+        assert all(s < rep.gamma for s in rep.real_scores)
+
+    def test_group_shape_validation(self, conv_chain):
+        from repro.adversary.gnn import GNNClassifier
+        model = GNNClassifier(("Conv",))
+        with pytest.raises(ValueError, match="per real subgraph"):
+            run_attack(model, [conv_chain], [])
+        with pytest.raises(ValueError, match="ragged"):
+            run_attack(model, [conv_chain, conv_chain],
+                       [[conv_chain], [conv_chain, conv_chain]])
+
+    def test_report_log10(self):
+        rep = AttackReport("m", 10, 20, 0.5, 1.0, 0.0, 21.0**10, [], [])
+        assert rep.log10_candidates == pytest.approx(10 * np.log10(21.0))
+        assert "m:" in rep.summary()
+
+
+class TestHeuristics:
+    def test_panel_size(self, subgraph_database):
+        panel = expert_panel(subgraph_database, n_experts=13, seed=0)
+        assert len(panel) == 13
+
+    def test_survey_on_trivially_fake_graphs(self, subgraph_database, rng):
+        """Sanity: heuristics beat chance on *random-opcode* fakes."""
+        from repro.sentinel.random_baseline import random_opcode_graph
+        panel = expert_panel(subgraph_database, n_experts=8, seed=0)
+        reals = subgraph_database[:10]
+        fakes = [random_opcode_graph(g.to_networkx(), rng) for g in reals]
+        graphs = list(reals) + fakes
+        labels = [0] * len(reals) + [1] * len(fakes)
+        res = run_survey(panel, graphs, labels)
+        assert res["mean_accuracy"] > 0.5
+
+    def test_survey_validates_lengths(self, subgraph_database):
+        panel = expert_panel(subgraph_database, n_experts=2)
+        with pytest.raises(ValueError, match="mismatch"):
+            run_survey(panel, subgraph_database[:3], [0])
+
+    def test_survey_near_chance_on_proteus(self, sentinel_generator, subgraph_database):
+        """The §A.8 survey result: experts ~50% on Proteus sentinels."""
+        reals = subgraph_database[:8]
+        fakes = []
+        for i, r in enumerate(reals):
+            fakes.extend(sentinel_generator.generate(r, k=1, seed=100 + i))
+        panel = expert_panel(subgraph_database, n_experts=13, seed=1)
+        res = run_survey(panel, list(reals) + fakes, [0] * 8 + [1] * 8)
+        assert 0.25 <= res["mean_accuracy"] <= 0.75

@@ -1,0 +1,77 @@
+"""Tests for distribution stats and search-space math."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TradeoffRow,
+    compare_feature_distributions,
+    format_sci,
+    histogram_overlap,
+    optimizer_overhead,
+    recovery_cost,
+)
+
+
+class TestHistogramOverlap:
+    def test_identical_full_overlap(self):
+        a = np.random.default_rng(0).standard_normal(200)
+        assert histogram_overlap(a, a) == pytest.approx(1.0)
+
+    def test_disjoint_zero_overlap(self):
+        assert histogram_overlap(np.zeros(50), np.ones(50) * 10) < 0.1
+
+    def test_degenerate_range(self):
+        assert histogram_overlap(np.ones(5), np.ones(5)) == 1.0
+
+
+class TestCompareDistributions:
+    def test_same_family_high_overlap(self):
+        rng = np.random.default_rng(0)
+        graphs_a = [nx.path_graph(int(n)) for n in rng.integers(5, 15, 30)]
+        graphs_b = [nx.path_graph(int(n)) for n in rng.integers(5, 15, 30)]
+        cmp = compare_feature_distributions(graphs_a, graphs_b)
+        assert set(cmp) == {"average_degree", "clustering_coefficient", "diameter", "num_nodes"}
+        assert cmp["num_nodes"].p_value > 0.01
+
+    def test_different_family_detected(self):
+        chains = [nx.path_graph(10) for _ in range(20)]
+        cliques = [nx.complete_graph(10) for _ in range(20)]
+        cmp = compare_feature_distributions(chains, cliques)
+        assert cmp["average_degree"].ks_statistic == 1.0
+
+    def test_needs_two_each(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            compare_feature_distributions([nx.path_graph(3)], [nx.path_graph(3)] * 5)
+
+    def test_summary_string(self):
+        cmp = compare_feature_distributions([nx.path_graph(5)] * 3, [nx.path_graph(6)] * 3)
+        assert "KS=" in cmp["num_nodes"].summary()
+
+
+class TestSearchSpaceMath:
+    def test_recovery_cost(self):
+        assert recovery_cost(10, 20) == 21.0**10
+        assert recovery_cost(0, 20) == 1.0
+
+    def test_recovery_validates(self):
+        with pytest.raises(ValueError):
+            recovery_cost(-1, 2)
+
+    def test_overhead(self):
+        assert optimizer_overhead(20) == 21
+        with pytest.raises(ValueError):
+            optimizer_overhead(-2)
+
+    def test_format_sci(self):
+        assert format_sci(0) == "0"
+        assert format_sci(42.0) == "42"
+        out = format_sci(1.23e21)
+        assert "e21" in out
+
+    def test_tradeoff_row(self):
+        row = TradeoffRow(n=10, k=20)
+        assert row.recovery == 21.0**10
+        assert row.overhead == 21
+        assert "n= 10" in row.summary()

@@ -1,0 +1,82 @@
+"""Shared fixtures: small graphs, zoo models, and a sentinel generator.
+
+Expensive artifacts (models, the trained sentinel generator) are
+session-scoped so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.models import build_model
+from repro.sentinel import SentinelGenerator, build_subgraph_database
+
+
+def make_conv_chain(seed: int = 0, channels: int = 8, size: int = 16):
+    """Conv→BN→Relu→Conv→BN→Add(residual)→Relu→GAP→Flatten→Gemm."""
+    b = GraphBuilder("conv_chain", seed=seed)
+    x = b.input("x", (1, 3, size, size))
+    h = b.conv(x, channels, kernel=3, bias=False)
+    h = b.batchnorm(h)
+    skip = b.relu(h)
+    h = b.conv(skip, channels, kernel=3, bias=False)
+    h = b.batchnorm(h)
+    h = b.add(h, skip)
+    h = b.relu(h)
+    h = b.global_avgpool(h)
+    h = b.flatten(h)
+    h = b.gemm(h, channels, 10)
+    return b.build([h])
+
+
+def make_mlp(seed: int = 0, in_dim: int = 12, hidden: int = 16):
+    """MatMul+Add → Relu → MatMul+Add (pre-fusion dense stack)."""
+    b = GraphBuilder("mlp", seed=seed)
+    x = b.input("x", (1, in_dim))
+    h = b.linear(x, in_dim, hidden)
+    h = b.relu(h)
+    h = b.linear(h, hidden, 4)
+    return b.build([h])
+
+
+@pytest.fixture
+def conv_chain():
+    return make_conv_chain()
+
+
+@pytest.fixture
+def mlp():
+    return make_mlp()
+
+
+@pytest.fixture(scope="session")
+def resnet_model():
+    return build_model("resnet")
+
+
+@pytest.fixture(scope="session")
+def bert_model():
+    return build_model("bert")
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """Three small models used as a sentinel-training corpus."""
+    return [build_model(m) for m in ["resnet", "mobilenet", "googlenet"]]
+
+
+@pytest.fixture(scope="session")
+def subgraph_database(small_corpus):
+    return build_subgraph_database(small_corpus, target_subgraph_size=8, seed=0)
+
+
+@pytest.fixture(scope="session")
+def sentinel_generator(subgraph_database):
+    return SentinelGenerator(subgraph_database, strategy="mixed", pool_size=96, seed=0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

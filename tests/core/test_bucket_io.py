@@ -1,0 +1,97 @@
+"""Tests for bucket/plan serialization (the two-party exchange)."""
+
+import json
+
+import pytest
+
+from repro.core import Proteus, ProteusConfig
+from repro.core.bucket_io import (
+    bucket_from_dict,
+    bucket_to_dict,
+    load_bucket,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_bucket,
+    save_plan,
+)
+from repro.models import build_model
+from repro.optimizer import OrtLikeOptimizer
+from repro.runtime import graphs_equivalent
+
+
+@pytest.fixture(scope="module")
+def small_pipeline():
+    g = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+    p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+    bucket, plan = p.obfuscate(g)
+    return g, p, bucket, plan
+
+
+class TestBucketRoundTrip:
+    def test_structure(self, small_pipeline):
+        _, _, bucket, _ = small_pipeline
+        back = bucket_from_dict(bucket_to_dict(bucket))
+        assert len(back) == len(bucket)
+        assert back.n_groups == bucket.n_groups
+        assert back.k == bucket.k
+        for e in bucket:
+            assert back.get(e.entry_id).group == e.group
+
+    def test_version_check(self, small_pipeline):
+        _, _, bucket, _ = small_pipeline
+        d = bucket_to_dict(bucket)
+        d["format_version"] = 99
+        with pytest.raises(ValueError, match="format"):
+            bucket_from_dict(d)
+
+    def test_file_roundtrip(self, small_pipeline, tmp_path):
+        _, _, bucket, _ = small_pipeline
+        path = str(tmp_path / "bucket.json")
+        save_bucket(bucket, path)
+        back = load_bucket(path)
+        assert len(back) == len(bucket)
+
+    def test_bucket_leaks_no_secrets(self, small_pipeline):
+        """The shipped artifact must not contain original model names."""
+        g, _, bucket, plan = small_pipeline
+        payload = json.dumps(bucket_to_dict(bucket))
+        for node in g.nodes:
+            assert f'"{node.name}"' not in payload
+        for b in plan.boundaries:
+            for orig in b.input_values + b.output_values:
+                assert f'"{orig}"' not in payload
+
+
+class TestPlanRoundTrip:
+    def test_structure(self, small_pipeline):
+        _, _, _, plan = small_pipeline
+        back = plan_from_dict(plan_to_dict(plan))
+        assert back.real_ids == plan.real_ids
+        assert len(back.boundaries) == len(plan.boundaries)
+        assert back.boundaries[0].anon_to_original() == plan.boundaries[0].anon_to_original()
+
+    def test_version_check(self, small_pipeline):
+        _, _, _, plan = small_pipeline
+        d = plan_to_dict(plan)
+        d["format_version"] = 99
+        with pytest.raises(ValueError, match="format"):
+            plan_from_dict(d)
+
+    def test_full_two_party_exchange(self, small_pipeline, tmp_path):
+        """Owner saves both; optimizer loads bucket, optimizes, saves;
+        owner reloads everything and recovers the optimized model."""
+        g, p, bucket, plan = small_pipeline
+        save_bucket(bucket, str(tmp_path / "ship.json"))
+        save_plan(plan, str(tmp_path / "secret.json"))
+
+        # optimizer party
+        received = load_bucket(str(tmp_path / "ship.json"))
+        optimized = Proteus.optimize_bucket(received, OrtLikeOptimizer())
+        save_bucket(optimized, str(tmp_path / "return.json"))
+
+        # owner party
+        returned = load_bucket(str(tmp_path / "return.json"))
+        secret = load_plan(str(tmp_path / "secret.json"))
+        recovered = Proteus.deobfuscate(returned, secret)
+        assert graphs_equivalent(g, recovered, n_trials=1)

@@ -1,0 +1,53 @@
+"""Tests for ProteusConfig."""
+
+import pytest
+
+from repro.core import ProteusConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = ProteusConfig()
+        assert cfg.k == 20
+        assert cfg.target_subgraph_size == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0},
+            {"target_subgraph_size": 0},
+            {"k": -1},
+            {"beta": 0.0},
+            {"partition_trials": 0},
+            {"sentinel_strategy": "bogus"},
+            {"likelihood_percentile": 0.0},
+            {"likelihood_percentile": 101.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ProteusConfig(**kwargs)
+
+
+class TestDerived:
+    def test_partitions_from_target_size(self):
+        cfg = ProteusConfig(target_subgraph_size=8)
+        assert cfg.partitions_for(80) == 10
+        assert cfg.partitions_for(7) == 1  # never zero
+
+    def test_explicit_n_wins(self):
+        cfg = ProteusConfig(n=5)
+        assert cfg.partitions_for(1000) == 5
+
+    def test_explicit_n_capped_by_nodes(self):
+        cfg = ProteusConfig(n=50)
+        assert cfg.partitions_for(10) == 10
+
+    def test_search_space_size(self):
+        cfg = ProteusConfig(n=10, k=20)
+        assert cfg.search_space_size() == 21.0**10
+
+    def test_search_space_needs_n(self):
+        with pytest.raises(ValueError, match="unresolved"):
+            ProteusConfig().search_space_size()
+        assert ProteusConfig(k=20).search_space_size(n=3) == 21.0**3

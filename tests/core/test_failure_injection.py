@@ -1,0 +1,96 @@
+"""Failure-injection tests: the pipeline must fail loudly, not corrupt.
+
+A malicious or buggy optimizer party can return graphs that violate the
+contract (renamed boundary values, dropped outputs, semantically wrong
+rewrites).  De-obfuscation must detect interface violations, and the
+owner's equivalence check must catch semantic ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Proteus, ProteusConfig
+from repro.ir.graph import Graph, Value
+from repro.ir.node import Node
+from repro.models import build_model
+from repro.runtime import graphs_equivalent
+
+
+@pytest.fixture()
+def pipeline():
+    g = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+    p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+    bucket, plan = p.obfuscate(g)
+    return g, p, bucket, plan
+
+
+class _OutputRenamingOptimizer:
+    """Contract violation: renames every subgraph output."""
+
+    def optimize(self, graph: Graph) -> Graph:
+        out = graph.clone()
+        for i, v in enumerate(list(out.outputs)):
+            new = f"renamed_{i}"
+            producer = out.producer_of(v.name)
+            if producer is not None:
+                producer.outputs = [new if o == v.name else o for o in producer.outputs]
+            out.replace_all_uses(v.name, new)
+            out.outputs[i] = Value(new, v.type)
+        out._invalidate()
+        return out
+
+
+class _WeightCorruptingOptimizer:
+    """Semantic violation: perturbs one weight (structure intact)."""
+
+    def optimize(self, graph: Graph) -> Graph:
+        out = graph.clone()
+        for name in out.initializers:
+            arr = out.initializers[name]
+            if arr.size > 1 and np.issubdtype(arr.dtype, np.floating):
+                out.initializers[name] = arr + 0.1
+                break
+        return out
+
+
+class _Identity:
+    def optimize(self, graph: Graph) -> Graph:
+        return graph.clone()
+
+
+class TestInterfaceViolations:
+    def test_renamed_outputs_detected(self, pipeline):
+        g, p, bucket, plan = pipeline
+        broken = p.optimize_bucket(bucket, _OutputRenamingOptimizer())
+        with pytest.raises(ValueError, match="lost boundary values"):
+            p.deobfuscate(broken, plan)
+
+    def test_missing_entry_detected(self, pipeline):
+        g, p, bucket, plan = pipeline
+        from repro.core import ObfuscatedBucket
+        truncated = ObfuscatedBucket(list(bucket)[1:], bucket.n_groups, bucket.k)
+        with pytest.raises(KeyError):
+            p.deobfuscate(truncated, plan)
+
+
+class TestSemanticViolations:
+    def test_weight_corruption_caught_by_equivalence(self, pipeline):
+        g, p, bucket, plan = pipeline
+        corrupted = p.optimize_bucket(bucket, _WeightCorruptingOptimizer())
+        recovered = p.deobfuscate(corrupted, plan)  # stitches fine...
+        assert not graphs_equivalent(g, recovered, n_trials=1)  # ...but differs
+
+    def test_identity_optimizer_is_safe(self, pipeline):
+        g, p, bucket, plan = pipeline
+        recovered = p.deobfuscate(p.optimize_bucket(bucket, _Identity()), plan)
+        assert graphs_equivalent(g, recovered, n_trials=1)
+
+
+class TestPlanBucketMismatch:
+    def test_wrong_plan_fails(self, pipeline):
+        g, p, bucket, plan = pipeline
+        other = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16), seed=3)
+        p2 = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=9))
+        _, other_plan = p2.obfuscate(other)
+        with pytest.raises(Exception):
+            p.deobfuscate(bucket, other_plan)

@@ -1,0 +1,87 @@
+"""Tests for Karger–Stein partitioning."""
+
+import networkx as nx
+import pytest
+
+from repro.core.partition import Partition, karger_stein_partition, partition_sizes_std
+from repro.models import build_model
+
+
+class TestPartitionBasics:
+    def test_covers_all_nodes(self, resnet_model):
+        p = karger_stein_partition(resnet_model, 8, seed=0)
+        p.validate_covers(resnet_model)
+        assert sum(p.sizes) == resnet_model.num_nodes
+
+    def test_exact_cluster_count(self, resnet_model):
+        for n in (1, 4, 16):
+            p = karger_stein_partition(resnet_model, n, seed=0)
+            assert p.n == n
+
+    def test_n_bounds(self, resnet_model):
+        with pytest.raises(ValueError, match="n must be"):
+            karger_stein_partition(resnet_model, 0)
+        with pytest.raises(ValueError, match="n must be"):
+            karger_stein_partition(resnet_model, resnet_model.num_nodes + 1)
+
+    def test_trials_bound(self, resnet_model):
+        with pytest.raises(ValueError, match="trials"):
+            karger_stein_partition(resnet_model, 4, trials=0)
+
+    def test_n_equals_num_nodes(self, conv_chain):
+        p = karger_stein_partition(conv_chain, conv_chain.num_nodes, seed=0)
+        assert all(s == 1 for s in p.sizes)
+
+    def test_deterministic_by_seed(self, resnet_model):
+        a = karger_stein_partition(resnet_model, 8, seed=3)
+        b = karger_stein_partition(resnet_model, 8, seed=3)
+        assert a.clusters == b.clusters
+
+    def test_seeds_differ(self, resnet_model):
+        a = karger_stein_partition(resnet_model, 8, seed=1)
+        b = karger_stein_partition(resnet_model, 8, seed=2)
+        assert a.clusters != b.clusters
+
+
+class TestBalance:
+    def test_balanced_sizes(self, resnet_model):
+        """The multi-trial + cap enhancement should keep sizes near target."""
+        n = resnet_model.num_nodes // 8
+        p = karger_stein_partition(resnet_model, n, trials=16, seed=0)
+        target = resnet_model.num_nodes / n
+        assert max(p.sizes) <= 2 * target
+
+    def test_more_trials_no_worse(self, resnet_model):
+        few = karger_stein_partition(resnet_model, 8, trials=1, seed=5)
+        many = karger_stein_partition(resnet_model, 8, trials=24, seed=5)
+        assert partition_sizes_std(many.sizes) <= partition_sizes_std(few.sizes)
+
+
+class TestConnectivity:
+    def test_clusters_connected(self, resnet_model):
+        """Contraction only merges adjacent nodes -> connected subgraphs."""
+        p = karger_stein_partition(resnet_model, 8, seed=0)
+        und = resnet_model.to_networkx().to_undirected()
+        for cluster in p.clusters:
+            assert nx.is_connected(und.subgraph(cluster))
+
+
+class TestPartitionHelpers:
+    def test_cluster_of(self, conv_chain):
+        p = karger_stein_partition(conv_chain, 3, seed=0)
+        owner = p.cluster_of()
+        assert set(owner) == {n.name for n in conv_chain.nodes}
+
+    def test_validate_catches_duplicates(self, conv_chain):
+        name = conv_chain.nodes[0].name
+        p = Partition([[name], [name]])
+        with pytest.raises(ValueError, match="two clusters"):
+            p.validate_covers(conv_chain)
+
+    def test_validate_catches_missing(self, conv_chain):
+        p = Partition([[conv_chain.nodes[0].name]])
+        with pytest.raises(ValueError, match="does not cover"):
+            p.validate_covers(conv_chain)
+
+    def test_std_zero_for_equal(self):
+        assert partition_sizes_std([4, 4, 4]) == 0.0

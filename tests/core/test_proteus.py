@@ -1,0 +1,132 @@
+"""End-to-end tests for the Proteus pipeline (obfuscate/optimize/deobfuscate)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ObfuscatedBucket, Proteus, ProteusConfig
+from repro.core.proteus import BucketEntry
+from repro.models import build_model
+from repro.optimizer import HidetLikeOptimizer, OrtLikeOptimizer
+from repro.runtime import graphs_equivalent
+
+
+@pytest.fixture(scope="module")
+def pipeline_no_sentinels():
+    """Obfuscation with k=0 for fast structural tests."""
+    g = build_model("resnet")
+    p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+    bucket, plan = p.obfuscate(g)
+    return g, p, bucket, plan
+
+
+class TestObfuscation:
+    def test_bucket_size(self, pipeline_no_sentinels):
+        g, p, bucket, plan = pipeline_no_sentinels
+        assert len(bucket) == bucket.n_groups  # k=0: one entry per group
+        assert bucket.k == 0
+
+    def test_real_ids_recorded_per_group(self, pipeline_no_sentinels):
+        _, _, bucket, plan = pipeline_no_sentinels
+        assert len(plan.real_ids) == bucket.n_groups
+        groups = [bucket.get(eid).group for eid in plan.real_ids]
+        assert groups == sorted(groups)
+
+    def test_entries_anonymized(self, pipeline_no_sentinels):
+        _, _, bucket, _ = pipeline_no_sentinels
+        for entry in bucket:
+            for node in entry.graph.nodes:
+                assert node.name.startswith("op")
+
+    def test_with_sentinels(self, sentinel_generator):
+        g = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+        p = Proteus(
+            ProteusConfig(target_subgraph_size=8, k=2, seed=0),
+            sentinel_source=sentinel_generator,
+        )
+        bucket, plan = p.obfuscate(g)
+        assert len(bucket) == bucket.n_groups * 3
+        for group in range(bucket.n_groups):
+            assert len(bucket.group_entries(group)) == 3
+        # exactly one real per group
+        real_by_group = {bucket.get(eid).group for eid in plan.real_ids}
+        assert real_by_group == set(range(bucket.n_groups))
+
+    def test_nominal_search_space(self, sentinel_generator):
+        g = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+        p = Proteus(
+            ProteusConfig(target_subgraph_size=8, k=2, seed=0),
+            sentinel_source=sentinel_generator,
+        )
+        bucket, _ = p.obfuscate(g)
+        assert bucket.nominal_search_space() == 3.0**bucket.n_groups
+
+
+class TestBucket:
+    def test_duplicate_ids_rejected(self, conv_chain):
+        e = BucketEntry("a", 0, conv_chain)
+        with pytest.raises(ValueError, match="duplicate"):
+            ObfuscatedBucket([e, e], 1, 0)
+
+    def test_get_and_iter(self, pipeline_no_sentinels):
+        _, _, bucket, _ = pipeline_no_sentinels
+        ids = [e.entry_id for e in bucket]
+        assert bucket.get(ids[0]).entry_id == ids[0]
+        assert len(ids) == len(set(ids))
+
+
+class TestRoundTrip:
+    def test_equivalence_ort(self, pipeline_no_sentinels):
+        g, p, bucket, plan = pipeline_no_sentinels
+        optimized = p.optimize_bucket(bucket, OrtLikeOptimizer())
+        rec = p.deobfuscate(optimized, plan)
+        assert graphs_equivalent(g, rec, n_trials=1)
+
+    def test_equivalence_hidet(self, pipeline_no_sentinels):
+        g, p, bucket, plan = pipeline_no_sentinels
+        optimized = p.optimize_bucket(bucket, HidetLikeOptimizer())
+        rec = p.deobfuscate(optimized, plan)
+        assert graphs_equivalent(g, rec, n_trials=1)
+
+    def test_unoptimized_roundtrip(self, pipeline_no_sentinels):
+        """Deobfuscating without optimizing must also reproduce the model."""
+        g, p, bucket, plan = pipeline_no_sentinels
+        rec = p.deobfuscate(bucket, plan)
+        assert graphs_equivalent(g, rec, n_trials=1)
+
+    def test_run_pipeline_convenience(self):
+        g = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+        p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+        rec = p.run_pipeline(g, OrtLikeOptimizer())
+        assert graphs_equivalent(g, rec, n_trials=1)
+
+    @pytest.mark.parametrize("name", ["mobilenet", "bert", "densenet", "nats"])
+    def test_roundtrip_across_zoo(self, name):
+        g = build_model(name)
+        p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=1))
+        rec = p.run_pipeline(g, OrtLikeOptimizer())
+        assert graphs_equivalent(g, rec, n_trials=1)
+
+    def test_full_pipeline_with_sentinels(self, sentinel_generator):
+        g = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+        p = Proteus(
+            ProteusConfig(target_subgraph_size=8, k=2, seed=0),
+            sentinel_source=sentinel_generator,
+        )
+        bucket, plan = p.obfuscate(g)
+        optimized = p.optimize_bucket(bucket, OrtLikeOptimizer())
+        rec = p.deobfuscate(optimized, plan)
+        assert graphs_equivalent(g, rec, n_trials=1)
+
+
+class TestPlanIntegrity:
+    def test_plan_alignment_checked(self, pipeline_no_sentinels):
+        from repro.core import ReassemblyPlan
+        g, _, _, plan = pipeline_no_sentinels
+        with pytest.raises(ValueError, match="align"):
+            ReassemblyPlan(g, plan.real_ids[:-1], plan.boundaries)
+
+    def test_partition_respects_config_n(self):
+        g = build_model("resnet")
+        p = Proteus(ProteusConfig(n=5, k=0, seed=0))
+        part = p.partition(g)
+        assert part.n == 5

@@ -1,0 +1,56 @@
+"""Tests for reassembly invariants beyond the happy path."""
+
+import pytest
+
+from repro.core import Proteus, ProteusConfig, reassemble
+from repro.core.reassembly import stitch_boundaries_consistent
+from repro.models import build_model
+from repro.optimizer import OrtLikeOptimizer
+from repro.runtime import CostModel, graphs_equivalent
+
+
+class TestReassembly:
+    def test_length_mismatch_rejected(self, conv_chain):
+        with pytest.raises(ValueError, match="boundaries"):
+            reassemble(conv_chain, [conv_chain], [])
+
+    def test_slowdown_vs_whole_graph_optimization(self):
+        """Partitioned optimization loses some fusions but stays close
+        (the Fig. 4 claim): latency(best) <= latency(proteus) <= latency(unopt)."""
+        g = build_model("resnet")
+        p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+        rec = p.run_pipeline(g, OrtLikeOptimizer())
+        whole = OrtLikeOptimizer().optimize(g)
+        cm = CostModel()
+        unopt, best, proteus = (cm.graph_latency(x) for x in (g, whole, rec))
+        assert best <= proteus <= unopt
+        assert proteus / best < 1.35  # within reasonable shape of the paper's 10%
+
+    def test_reassembled_graph_has_prefixed_nodes(self):
+        g = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+        p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+        bucket, plan = p.obfuscate(g)
+        rec = p.deobfuscate(bucket, plan)
+        assert all(n.name.startswith("sg") for n in rec.nodes)
+
+    def test_boundary_producers_unique(self):
+        g = build_model("resnet")
+        p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+        _, plan = p.obfuscate(g)
+        producers = stitch_boundaries_consistent(plan.boundaries)
+        assert all(len(v) == 1 for v in producers.values())
+
+    def test_interface_preserved(self):
+        g = build_model("mobilenet")
+        p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+        rec = p.run_pipeline(g, OrtLikeOptimizer())
+        assert rec.input_names == g.input_names
+        assert rec.output_names == g.output_names
+
+    def test_double_optimization_still_equivalent(self):
+        """Optimizing the reassembled model again must be safe."""
+        g = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+        p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+        rec = p.run_pipeline(g, OrtLikeOptimizer())
+        rec2 = OrtLikeOptimizer().optimize(rec)
+        assert graphs_equivalent(g, rec2, n_trials=1)

@@ -1,0 +1,104 @@
+"""Tests for subgraph extraction and anonymization."""
+
+import pytest
+
+from repro.core.partition import karger_stein_partition
+from repro.core.subgraph import anonymize_subgraph, extract_subgraph
+from repro.ir.shape_inference import infer_shapes
+from repro.ir.validate import validate_graph
+from repro.runtime import Executor, random_inputs
+
+
+class TestExtraction:
+    def test_subgraphs_valid(self, resnet_model):
+        infer_shapes(resnet_model)
+        p = karger_stein_partition(resnet_model, 8, seed=0)
+        for i, cluster in enumerate(p.clusters):
+            sub, boundary = extract_subgraph(resnet_model, cluster, i)
+            validate_graph(sub)
+            assert boundary.index == i
+
+    def test_boundary_values_match_interface(self, resnet_model):
+        infer_shapes(resnet_model)
+        p = karger_stein_partition(resnet_model, 6, seed=1)
+        sub, boundary = extract_subgraph(resnet_model, p.clusters[2], 2)
+        assert sub.input_names == boundary.input_values
+        assert sub.output_names == boundary.output_values
+
+    def test_initializers_copied(self, resnet_model):
+        infer_shapes(resnet_model)
+        p = karger_stein_partition(resnet_model, 4, seed=0)
+        sub, _ = extract_subgraph(resnet_model, p.clusters[0], 0)
+        for node in sub.nodes:
+            for inp in node.inputs:
+                assert (
+                    inp in sub.initializers
+                    or sub.is_graph_input(inp)
+                    or sub.producer_of(inp) is not None
+                )
+
+    def test_subgraph_executes(self, resnet_model):
+        infer_shapes(resnet_model)
+        p = karger_stein_partition(resnet_model, 8, seed=0)
+        sub, _ = extract_subgraph(resnet_model, p.clusters[1], 1)
+        out = Executor(sub).run(random_inputs(sub))
+        assert set(out) == set(sub.output_names)
+
+    def test_unknown_cluster_node(self, conv_chain):
+        infer_shapes(conv_chain)
+        with pytest.raises(ValueError, match="unknown nodes"):
+            extract_subgraph(conv_chain, ["ghost_node"], 0)
+
+    def test_model_outputs_become_subgraph_outputs(self, conv_chain):
+        infer_shapes(conv_chain)
+        cluster = [n.name for n in conv_chain.nodes]  # whole model
+        sub, boundary = extract_subgraph(conv_chain, cluster, 0)
+        assert set(conv_chain.output_names) <= set(boundary.output_values)
+
+
+class TestAnonymization:
+    def extract_one(self, model, seed=0):
+        infer_shapes(model)
+        p = karger_stein_partition(model, 6, seed=seed)
+        return extract_subgraph(model, p.clusters[1], 1)
+
+    def test_no_original_names_leak(self, resnet_model):
+        sub, boundary = self.extract_one(resnet_model)
+        anon, _ = anonymize_subgraph(sub, boundary, "g00001")
+        original_names = sub.all_value_names() | {n.name for n in sub.nodes}
+        anon_names = anon.all_value_names() | {n.name for n in anon.nodes}
+        assert not (original_names & anon_names)
+
+    def test_structure_preserved(self, resnet_model):
+        import networkx as nx
+        sub, boundary = self.extract_one(resnet_model)
+        anon, _ = anonymize_subgraph(sub, boundary, "g00001")
+        assert anon.opcode_histogram() == sub.opcode_histogram()
+        assert len(anon.initializers) == len(sub.initializers)
+        assert nx.is_isomorphic(
+            sub.to_networkx(),
+            anon.to_networkx(),
+            node_match=lambda a, b: a["op_type"] == b["op_type"],
+        )
+
+    def test_boundary_mapping_roundtrips(self, resnet_model):
+        sub, boundary = self.extract_one(resnet_model)
+        anon, anon_boundary = anonymize_subgraph(sub, boundary, "g00001")
+        mapping = anon_boundary.anon_to_original()
+        assert sorted(mapping.values()) == sorted(
+            boundary.input_values + boundary.output_values
+        )
+        assert set(anon_boundary.anon_inputs) <= {v.name for v in anon.inputs}
+
+    def test_anonymized_executes_same(self, resnet_model):
+        import numpy as np
+        sub, boundary = self.extract_one(resnet_model)
+        anon, anon_boundary = anonymize_subgraph(sub, boundary, "g00001")
+        feeds = random_inputs(sub, seed=2)
+        anon_feeds = {
+            a: feeds[o] for a, o in zip(anon_boundary.anon_inputs, boundary.input_values)
+        }
+        out = Executor(sub).run(feeds)
+        anon_out = Executor(anon).run(anon_feeds)
+        for a, o in zip(anon_boundary.anon_outputs, boundary.output_values):
+            np.testing.assert_allclose(anon_out[a], out[o], rtol=1e-5)

@@ -1,0 +1,111 @@
+"""Tests for the GraphBuilder fluent API."""
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.ir.dtypes import DataType
+
+
+class TestBuilderBasics:
+    def test_build_validates_and_types_outputs(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4))
+        y = b.relu(x)
+        g = b.build([y])
+        assert g.outputs[0].type is not None
+        assert g.outputs[0].type.shape == (1, 4)
+
+    def test_weight_reproducible_by_seed(self):
+        g1 = GraphBuilder("a", seed=7)
+        g2 = GraphBuilder("b", seed=7)
+        w1 = g1.weight((3, 3))
+        w2 = g2.weight((3, 3))
+        np.testing.assert_array_equal(g1.graph.initializers[w1], g2.graph.initializers[w2])
+
+    def test_constant(self):
+        b = GraphBuilder("t", seed=0)
+        c = b.constant(np.arange(4, dtype=np.float32))
+        assert b.graph.initializers[c].tolist() == [0, 1, 2, 3]
+
+    def test_conv_infers_channels(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 6, 8, 8))
+        h = b.conv(x, 12, kernel=3)
+        assert b.shape_of(h) == (1, 12, 8, 8)
+
+    def test_conv_requires_type_info(self):
+        b = GraphBuilder("t", seed=0)
+        with pytest.raises(ValueError, match="in_channels"):
+            b.conv("nonexistent", 8)
+
+    def test_linear_emits_matmul_add(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4))
+        b.linear(x, 4, 8)
+        ops = [n.op_type for n in b.graph.nodes]
+        assert ops == ["MatMul", "Add"]
+
+    def test_gemm_shape(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (2, 6))
+        h = b.gemm(x, 6, 3)
+        assert b.shape_of(h) == (2, 3)
+
+    def test_int_input(self):
+        b = GraphBuilder("t", seed=0)
+        ids = b.input("ids", (5,), DataType.INT64)
+        assert b.type_of(ids).dtype is DataType.INT64
+
+
+class TestBuilderOps:
+    def test_pool_chain(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 16, 16))
+        h = b.maxpool(x, 2)
+        h = b.avgpool(h, 2)
+        h = b.global_avgpool(h)
+        assert b.shape_of(h) == (1, 4, 1, 1)
+
+    def test_batchnorm_params_registered(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 8, 4, 4))
+        b.batchnorm(x)
+        assert len(b.graph.initializers) == 4
+
+    def test_layernorm(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 16))
+        h = b.layernorm(x, 16)
+        assert b.shape_of(h) == (1, 4, 16)
+
+    def test_concat(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        y = b.relu(x)
+        z = b.concat([x, y], axis=1)
+        assert b.shape_of(z) == (1, 8, 8, 8)
+
+    def test_reshape_transpose(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 8, 4))
+        h = b.transpose(x, (0, 2, 1))
+        h = b.reshape(h, (1, 32))
+        assert b.shape_of(h) == (1, 32)
+
+    def test_scalar_helper(self):
+        b = GraphBuilder("t", seed=0)
+        s = b.scalar(0.5)
+        assert float(b.graph.initializers[s]) == 0.5
+
+    def test_multiple_outputs(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4))
+        y1 = b.relu(x)
+        y2 = b.tanh(x)
+        g = b.build([y1, y2])
+        assert len(g.outputs) == 2
+
+    def test_build_toposorts(self, conv_chain):
+        names_in_order = [n.name for n in conv_chain.nodes]
+        assert names_in_order == [n.name for n in conv_chain.topological_order()]

@@ -1,0 +1,48 @@
+"""Tests for DOT export."""
+
+from repro.ir.dot import graph_to_dot
+
+
+class TestDotExport:
+    def test_contains_every_op(self, conv_chain):
+        dot = graph_to_dot(conv_chain)
+        for node in conv_chain.nodes:
+            assert node.op_type in dot
+
+    def test_valid_braces(self, conv_chain):
+        dot = graph_to_dot(conv_chain)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_edge_count(self, conv_chain):
+        dot = graph_to_dot(conv_chain, show_io=False)
+        n_edges = dot.count(" -> ")
+        expected = sum(
+            1
+            for node in conv_chain.nodes
+            for inp in node.inputs
+            if conv_chain.producer_of(inp) is not None
+        )
+        assert n_edges == expected
+
+    def test_attrs_shown(self, conv_chain):
+        dot = graph_to_dot(conv_chain, show_attrs=True)
+        assert "kernel_shape" in dot
+
+    def test_attrs_hidden(self, conv_chain):
+        dot = graph_to_dot(conv_chain, show_attrs=False)
+        assert "kernel_shape" not in dot
+
+    def test_io_nodes(self, conv_chain):
+        dot = graph_to_dot(conv_chain, show_io=True)
+        assert "ellipse" in dot
+        assert conv_chain.input_names[0] in dot
+
+    def test_title(self, conv_chain):
+        dot = graph_to_dot(conv_chain, title="real or fake?")
+        assert "real or fake?" in dot
+
+    def test_sentinel_renders(self, sentinel_generator, subgraph_database):
+        s = sentinel_generator.generate(subgraph_database[3], 1, seed=0)[0]
+        dot = graph_to_dot(s)
+        assert "digraph" in dot

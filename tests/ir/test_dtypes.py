@@ -1,0 +1,63 @@
+"""Tests for repro.ir.dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.ir.dtypes import DataType, TensorType, f32, from_numpy_dtype, i64, numpy_dtype
+
+
+class TestDataType:
+    def test_roundtrip_all_dtypes(self):
+        for dt in DataType:
+            assert from_numpy_dtype(numpy_dtype(dt)) is dt
+
+    def test_unsupported_numpy_dtype_raises(self):
+        with pytest.raises(ValueError, match="unsupported numpy dtype"):
+            from_numpy_dtype(np.complex128)
+
+    def test_float32_mapping(self):
+        assert numpy_dtype(DataType.FLOAT32) == np.dtype(np.float32)
+
+
+class TestTensorType:
+    def test_basic_properties(self):
+        t = TensorType(DataType.FLOAT32, (2, 3, 4))
+        assert t.rank == 3
+        assert t.num_elements == 24
+        assert t.num_bytes == 96
+
+    def test_scalar(self):
+        t = TensorType(DataType.FLOAT32, ())
+        assert t.rank == 0
+        assert t.num_elements == 1
+        assert t.num_bytes == 4
+
+    def test_int64_bytes(self):
+        assert TensorType(DataType.INT64, (5,)).num_bytes == 40
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError, match="negative dimension"):
+            TensorType(DataType.FLOAT32, (2, -1))
+
+    def test_shape_normalized_to_int_tuple(self):
+        t = TensorType(DataType.FLOAT32, [np.int64(2), np.int64(3)])
+        assert t.shape == (2, 3)
+        assert all(isinstance(d, int) for d in t.shape)
+
+    def test_with_shape(self):
+        t = f32(2, 3).with_shape((6,))
+        assert t.shape == (6,)
+        assert t.dtype is DataType.FLOAT32
+
+    def test_equality_and_hash(self):
+        assert f32(1, 2) == f32(1, 2)
+        assert hash(f32(1, 2)) == hash(f32(1, 2))
+        assert f32(1, 2) != f32(2, 1)
+
+    def test_str(self):
+        assert str(f32(1, 3)) == "float32[1x3]"
+        assert "scalar" in str(f32())
+
+    def test_shorthands(self):
+        assert f32(4).dtype is DataType.FLOAT32
+        assert i64(4).dtype is DataType.INT64

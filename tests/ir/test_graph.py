@@ -1,0 +1,179 @@
+"""Tests for the Graph container: indices, mutation, ordering."""
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.ir.dtypes import f32
+from repro.ir.graph import Graph, GraphError, Value
+from repro.ir.node import Node
+
+
+def diamond_graph():
+    """x -> a -> (b, c) -> d"""
+    return Graph(
+        "diamond",
+        inputs=[Value("x", f32(1, 4))],
+        outputs=[Value("d_out")],
+        nodes=[
+            Node("a", "Relu", ["x"], ["a_out"]),
+            Node("b", "Sigmoid", ["a_out"], ["b_out"]),
+            Node("c", "Tanh", ["a_out"], ["c_out"]),
+            Node("d", "Add", ["b_out", "c_out"], ["d_out"]),
+        ],
+    )
+
+
+class TestIndices:
+    def test_producer(self):
+        g = diamond_graph()
+        assert g.producer_of("a_out").name == "a"
+        assert g.producer_of("x") is None
+
+    def test_consumers(self):
+        g = diamond_graph()
+        assert {n.name for n in g.consumers_of("a_out")} == {"b", "c"}
+        assert g.consumers_of("d_out") == []
+
+    def test_predecessors_successors(self):
+        g = diamond_graph()
+        d = g.node_by_name("d")
+        assert {n.name for n in g.predecessors(d)} == {"b", "c"}
+        a = g.node_by_name("a")
+        assert {n.name for n in g.successors(a)} == {"b", "c"}
+
+    def test_duplicate_producer_rejected(self):
+        g = Graph(
+            "bad",
+            nodes=[
+                Node("a", "Relu", ["x"], ["y"]),
+                Node("b", "Tanh", ["x"], ["y"]),
+            ],
+        )
+        with pytest.raises(GraphError, match="produced by both"):
+            g.producer_of("y")
+
+
+class TestMembership:
+    def test_initializer_and_input_flags(self):
+        g = diamond_graph()
+        g.add_initializer("w", np.zeros(3, dtype=np.float32))
+        assert g.is_initializer("w")
+        assert g.is_graph_input("x")
+        assert g.is_graph_output("d_out")
+        assert not g.is_graph_output("a_out")
+
+    def test_node_by_name_missing(self):
+        with pytest.raises(KeyError):
+            diamond_graph().node_by_name("zzz")
+
+    def test_all_value_names(self):
+        g = diamond_graph()
+        names = g.all_value_names()
+        assert {"x", "a_out", "b_out", "c_out", "d_out"} <= names
+
+
+class TestMutation:
+    def test_add_duplicate_node_rejected(self):
+        g = diamond_graph()
+        with pytest.raises(GraphError, match="duplicate node"):
+            g.add_node(Node("a", "Relu", ["x"], ["zz"]))
+
+    def test_remove_node(self):
+        g = diamond_graph()
+        g.remove_node(g.node_by_name("d"))
+        assert not g.has_node("d")
+
+    def test_remove_missing_node_rejected(self):
+        g = diamond_graph()
+        with pytest.raises(GraphError, match="not in graph"):
+            g.remove_node(Node("ghost", "Relu", ["x"], ["q"]))
+
+    def test_duplicate_initializer_rejected(self):
+        g = diamond_graph()
+        g.add_initializer("w", np.zeros(2, dtype=np.float32))
+        with pytest.raises(GraphError, match="duplicate initializer"):
+            g.add_initializer("w", np.zeros(2, dtype=np.float32))
+
+    def test_replace_all_uses_rewires_consumers_and_outputs(self):
+        g = diamond_graph()
+        count = g.replace_all_uses("a_out", "x")
+        assert count == 2
+        assert g.node_by_name("b").inputs == ["x"]
+        count = g.replace_all_uses("d_out", "c_out")
+        assert g.output_names == ["c_out"]
+        assert count == 1
+
+    def test_fresh_names(self):
+        g = diamond_graph()
+        assert g.fresh_value_name("a_out") != "a_out"
+        assert g.fresh_node_name("a") != "a"
+        assert g.fresh_node_name("unique") == "unique"
+
+
+class TestOrdering:
+    def test_topological_order(self):
+        g = diamond_graph()
+        order = [n.name for n in g.topological_order()]
+        assert order.index("a") < order.index("b")
+        assert order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")
+
+    def test_cycle_detected(self):
+        g = Graph(
+            "cyc",
+            nodes=[
+                Node("a", "Relu", ["b_out"], ["a_out"]),
+                Node("b", "Relu", ["a_out"], ["b_out"]),
+            ],
+        )
+        with pytest.raises(GraphError, match="cycle"):
+            g.topological_order()
+        assert not g.is_acyclic()
+
+    def test_toposort_inplace(self):
+        g = diamond_graph()
+        g.nodes.reverse()
+        g._invalidate()
+        g.toposort_inplace()
+        order = [n.name for n in g.nodes]
+        assert order.index("a") == 0
+
+
+class TestConversions:
+    def test_to_networkx(self):
+        nxg = diamond_graph().to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.has_edge("a", "b")
+        assert nxg.nodes["a"]["op_type"] == "Relu"
+
+    def test_clone_independent(self):
+        g = diamond_graph()
+        c = g.clone()
+        c.node_by_name("a").op_type = "Tanh"
+        c.remove_node(c.node_by_name("d"))
+        assert g.node_by_name("a").op_type == "Relu"
+        assert g.has_node("d")
+
+    def test_opcode_histogram(self):
+        hist = diamond_graph().opcode_histogram()
+        assert hist == {"Relu": 1, "Sigmoid": 1, "Tanh": 1, "Add": 1}
+
+    def test_len_iter(self):
+        g = diamond_graph()
+        assert len(g) == 4
+        assert len(list(g)) == 4
+
+
+class TestBuilderIntegration:
+    def test_builder_records_types(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        h = b.conv(x, 8)
+        assert b.shape_of(h) == (1, 8, 8, 8)
+
+    def test_builder_requires_outputs(self):
+        b = GraphBuilder("t", seed=0)
+        b.input("x", (1, 4))
+        with pytest.raises(ValueError, match="outputs"):
+            b.build()

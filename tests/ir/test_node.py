@@ -1,0 +1,72 @@
+"""Tests for repro.ir.node."""
+
+import pytest
+
+from repro.ir.node import Node
+
+
+class TestNodeConstruction:
+    def test_basic(self):
+        n = Node("n0", "Relu", ["x"], ["y"])
+        assert n.name == "n0"
+        assert n.op_type == "Relu"
+        assert n.inputs == ["x"]
+        assert n.outputs == ["y"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            Node("", "Relu", ["x"], ["y"])
+
+    def test_empty_op_type_rejected(self):
+        with pytest.raises(ValueError, match="op_type"):
+            Node("n", "", ["x"], ["y"])
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(ValueError, match="output"):
+            Node("n", "Relu", ["x"], [])
+
+    def test_list_attrs_become_tuples(self):
+        n = Node("n", "Conv", ["x", "w"], ["y"], {"kernel_shape": [3, 3]})
+        assert n.attrs["kernel_shape"] == (3, 3)
+
+    def test_bad_attr_type_rejected(self):
+        with pytest.raises(TypeError, match="unsupported type"):
+            Node("n", "Relu", ["x"], ["y"], {"bad": object()})
+
+
+class TestNodeHelpers:
+    def test_attr_default(self):
+        n = Node("n", "Conv", ["x", "w"], ["y"], {"pads": 1})
+        assert n.attr("pads") == 1
+        assert n.attr("missing", 7) == 7
+
+    def test_set_attr_tuples(self):
+        n = Node("n", "Relu", ["x"], ["y"])
+        n.set_attr("axes", [1, 2])
+        assert n.attrs["axes"] == (1, 2)
+
+    def test_replace_input_counts(self):
+        n = Node("n", "Add", ["a", "a"], ["y"])
+        assert n.replace_input("a", "b") == 2
+        assert n.inputs == ["b", "b"]
+        assert n.replace_input("zzz", "q") == 0
+
+    def test_clone_is_independent(self):
+        n = Node("n", "Conv", ["x", "w"], ["y"], {"pads": 1})
+        c = n.clone()
+        c.inputs[0] = "other"
+        c.attrs["pads"] = 9
+        assert n.inputs[0] == "x"
+        assert n.attrs["pads"] == 1
+
+    def test_clone_rename(self):
+        assert Node("n", "Relu", ["x"], ["y"]).clone("m").name == "m"
+
+    def test_equality(self):
+        a = Node("n", "Relu", ["x"], ["y"])
+        b = Node("n", "Relu", ["x"], ["y"])
+        assert a == b
+        assert a != Node("n", "Relu", ["x2"], ["y"])
+
+    def test_repr_contains_op(self):
+        assert "Relu" in repr(Node("n", "Relu", ["x"], ["y"]))

@@ -1,0 +1,73 @@
+"""Tests for the operator registry."""
+
+import pytest
+
+from repro.ir.ops import (
+    MODEL_OPCODES,
+    OPSET,
+    SENTINEL_OPCODES,
+    OpSpec,
+    is_registered,
+    op_spec,
+    register_op,
+)
+
+
+class TestRegistry:
+    def test_core_ops_registered(self):
+        for op in ["Conv", "MatMul", "Relu", "Add", "Softmax", "BatchNormalization",
+                    "Concat", "Reshape", "Gemm", "LayerNormalization"]:
+            assert is_registered(op)
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError, match="unknown operator"):
+            op_spec("NotAnOp")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            register_op(OpSpec("Conv", 2, 3))
+
+    def test_fused_ops_not_in_model_opcodes(self):
+        for op in ["FusedConv", "FusedGemm", "SkipLayerNormalization", "FusedMatMul"]:
+            assert is_registered(op)
+            assert op not in MODEL_OPCODES
+
+    def test_sentinel_opcodes_exclude_plumbing(self):
+        assert "Identity" not in SENTINEL_OPCODES
+        assert "Cast" not in SENTINEL_OPCODES
+        assert "Conv" in SENTINEL_OPCODES
+
+
+class TestArity:
+    def test_fixed_arity(self):
+        spec = op_spec("Relu")
+        assert spec.accepts_arity(1)
+        assert not spec.accepts_arity(2)
+        assert not spec.accepts_arity(0)
+
+    def test_optional_input(self):
+        spec = op_spec("Conv")
+        assert spec.accepts_arity(2)
+        assert spec.accepts_arity(3)
+        assert not spec.accepts_arity(4)
+
+    def test_variadic(self):
+        spec = op_spec("Concat")
+        assert spec.max_inputs == -1
+        assert spec.accepts_arity(2)
+        assert spec.accepts_arity(17)
+        assert not spec.accepts_arity(1)
+
+
+class TestTags:
+    def test_conv_tag(self):
+        assert op_spec("Conv").has_tag("conv")
+
+    def test_elementwise_tags(self):
+        assert op_spec("Add").has_tag("elementwise")
+        assert op_spec("Relu").has_tag("activation")
+        assert not op_spec("Conv").has_tag("elementwise")
+
+    def test_required_attrs(self):
+        assert "kernel_shape" in op_spec("Conv").required_attrs
+        assert "axis" in op_spec("Concat").required_attrs

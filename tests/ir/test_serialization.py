@@ -1,0 +1,52 @@
+"""Tests for graph JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.ir.serialization import graph_from_dict, graph_to_dict, load_graph, save_graph
+from repro.runtime import Executor, random_inputs
+
+from ..conftest import make_conv_chain
+
+
+class TestRoundTrip:
+    def test_structure_roundtrip(self, conv_chain):
+        d = graph_to_dict(conv_chain)
+        back = graph_from_dict(d)
+        assert back.name == conv_chain.name
+        assert [n.op_type for n in back.nodes] == [n.op_type for n in conv_chain.nodes]
+        assert back.input_names == conv_chain.input_names
+        assert back.output_names == conv_chain.output_names
+
+    def test_attrs_preserve_tuples(self, conv_chain):
+        back = graph_from_dict(graph_to_dict(conv_chain))
+        conv = next(n for n in back.nodes if n.op_type == "Conv")
+        assert conv.attrs["kernel_shape"] == (3, 3)
+        assert isinstance(conv.attrs["kernel_shape"], tuple)
+
+    def test_weights_bitexact(self, conv_chain):
+        back = graph_from_dict(graph_to_dict(conv_chain))
+        for name, arr in conv_chain.initializers.items():
+            np.testing.assert_array_equal(back.initializers[name], arr)
+            assert back.initializers[name].dtype == arr.dtype
+
+    def test_execution_identical(self):
+        g = make_conv_chain()
+        back = graph_from_dict(graph_to_dict(g))
+        feeds = random_inputs(g, seed=3)
+        out_a = Executor(g).run(feeds)
+        out_b = Executor(back).run(feeds)
+        for k in out_a:
+            np.testing.assert_array_equal(out_a[k], out_b[k])
+
+    def test_file_roundtrip(self, conv_chain, tmp_path):
+        path = str(tmp_path / "g.json")
+        save_graph(conv_chain, path)
+        back = load_graph(path)
+        assert len(back.nodes) == len(conv_chain.nodes)
+
+    def test_version_check(self, conv_chain):
+        d = graph_to_dict(conv_chain)
+        d["format_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            graph_from_dict(d)

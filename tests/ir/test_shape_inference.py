@@ -1,0 +1,235 @@
+"""Tests for static shape inference — one class per operator family."""
+
+import pytest
+
+from repro.ir.dtypes import DataType, TensorType, f32
+from repro.ir.node import Node
+from repro.ir.shape_inference import (
+    ShapeInferenceError,
+    broadcast_shapes,
+    infer_node_types,
+)
+
+
+def infer(op, in_types, attrs=None, n_out=1):
+    node = Node("t", op, [f"i{k}" for k in range(len(in_types))],
+                [f"o{k}" for k in range(n_out)], attrs)
+    return infer_node_types(node, in_types)
+
+
+class TestBroadcast:
+    def test_equal(self):
+        assert broadcast_shapes((2, 3), (2, 3)) == (2, 3)
+
+    def test_ones_expand(self):
+        assert broadcast_shapes((2, 1, 4), (3, 1)) == (2, 3, 4)
+
+    def test_scalar(self):
+        assert broadcast_shapes((), (5, 2)) == (5, 2)
+
+    def test_incompatible(self):
+        with pytest.raises(ShapeInferenceError, match="broadcast"):
+            broadcast_shapes((2, 3), (2, 4))
+
+
+class TestElementwise:
+    def test_unary_preserves(self):
+        assert infer("Relu", [f32(1, 8, 4, 4)])[0].shape == (1, 8, 4, 4)
+
+    def test_binary_broadcasts(self):
+        assert infer("Add", [f32(1, 8, 4, 4), f32(8, 1, 1)])[0].shape == (1, 8, 4, 4)
+
+    def test_binary_dtype_mismatch(self):
+        with pytest.raises(ShapeInferenceError, match="dtype"):
+            infer("Add", [f32(2), TensorType(DataType.INT64, (2,))])
+
+    def test_softmax_axis_validation(self):
+        with pytest.raises(ShapeInferenceError, match="axis"):
+            infer("Softmax", [f32(2, 3)], {"axis": 5})
+
+
+class TestConv:
+    W = f32(16, 8, 3, 3)
+
+    def test_same_padding(self):
+        out = infer("Conv", [f32(1, 8, 32, 32), self.W],
+                    {"kernel_shape": (3, 3), "strides": (1, 1), "pads": 1})
+        assert out[0].shape == (1, 16, 32, 32)
+
+    def test_stride2(self):
+        out = infer("Conv", [f32(1, 8, 32, 32), self.W],
+                    {"kernel_shape": (3, 3), "strides": (2, 2), "pads": 1})
+        assert out[0].shape == (1, 16, 16, 16)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ShapeInferenceError, match="channel mismatch"):
+            infer("Conv", [f32(1, 4, 8, 8), self.W], {"kernel_shape": (3, 3), "pads": 1})
+
+    def test_kernel_attr_disagrees_with_weight(self):
+        with pytest.raises(ShapeInferenceError, match="disagrees"):
+            infer("Conv", [f32(1, 8, 8, 8), self.W], {"kernel_shape": (5, 5), "pads": 2})
+
+    def test_grouped_conv(self):
+        w = f32(8, 1, 3, 3)
+        out = infer("Conv", [f32(1, 8, 8, 8), w],
+                    {"kernel_shape": (3, 3), "pads": 1, "group": 8})
+        assert out[0].shape == (1, 8, 8, 8)
+
+    def test_bias_shape_checked(self):
+        with pytest.raises(ShapeInferenceError, match="bias"):
+            infer("Conv", [f32(1, 8, 8, 8), self.W, f32(4)],
+                  {"kernel_shape": (3, 3), "pads": 1})
+
+    def test_too_small_spatial(self):
+        with pytest.raises(ShapeInferenceError, match="non-positive"):
+            infer("Conv", [f32(1, 8, 2, 2), self.W], {"kernel_shape": (3, 3), "pads": 0})
+
+    def test_missing_required_attr(self):
+        with pytest.raises(ShapeInferenceError, match="missing required attr"):
+            infer("Conv", [f32(1, 8, 8, 8), self.W])
+
+    def test_fused_conv_add_residual_shape(self):
+        out = infer("FusedConvAdd", [f32(1, 8, 8, 8), self.W, f32(1, 16, 8, 8)],
+                    {"kernel_shape": (3, 3), "pads": 1, "activation": "Relu"})
+        assert out[0].shape == (1, 16, 8, 8)
+
+    def test_fused_conv_add_bad_residual(self):
+        with pytest.raises(ShapeInferenceError, match="residual"):
+            infer("FusedConvAdd", [f32(1, 8, 8, 8), self.W, f32(1, 16, 4, 4)],
+                  {"kernel_shape": (3, 3), "pads": 1})
+
+
+class TestPool:
+    def test_maxpool(self):
+        out = infer("MaxPool", [f32(1, 8, 16, 16)],
+                    {"kernel_shape": (2, 2), "strides": (2, 2)})
+        assert out[0].shape == (1, 8, 8, 8)
+
+    def test_global_avgpool(self):
+        assert infer("GlobalAveragePool", [f32(1, 8, 7, 9)])[0].shape == (1, 8, 1, 1)
+
+    def test_pool_requires_4d(self):
+        with pytest.raises(ShapeInferenceError, match="4-D"):
+            infer("MaxPool", [f32(8, 16)], {"kernel_shape": (2, 2)})
+
+
+class TestNormalization:
+    def test_batchnorm(self):
+        c = f32(8)
+        out = infer("BatchNormalization", [f32(1, 8, 4, 4), c, c, c, c])
+        assert out[0].shape == (1, 8, 4, 4)
+
+    def test_batchnorm_param_shape(self):
+        with pytest.raises(ShapeInferenceError, match="param"):
+            infer("BatchNormalization", [f32(1, 8, 4, 4), f32(4), f32(8), f32(8), f32(8)])
+
+    def test_layernorm(self):
+        out = infer("LayerNormalization", [f32(1, 8, 16), f32(16), f32(16)], {"axis": -1})
+        assert out[0].shape == (1, 8, 16)
+
+    def test_skip_layernorm_shape_mismatch(self):
+        with pytest.raises(ShapeInferenceError, match="mismatch"):
+            infer("SkipLayerNormalization",
+                  [f32(1, 4, 8), f32(1, 5, 8), f32(8), f32(8)])
+
+
+class TestMatMul:
+    def test_2d(self):
+        assert infer("MatMul", [f32(3, 4), f32(4, 5)])[0].shape == (3, 5)
+
+    def test_batched_broadcast(self):
+        out = infer("MatMul", [f32(2, 1, 3, 4), f32(5, 4, 6)])
+        assert out[0].shape == (2, 5, 3, 6)
+
+    def test_inner_mismatch(self):
+        with pytest.raises(ShapeInferenceError, match="inner-dim"):
+            infer("MatMul", [f32(3, 4), f32(5, 6)])
+
+    def test_gemm_transB(self):
+        out = infer("Gemm", [f32(2, 4), f32(8, 4)], {"transB": 1})
+        assert out[0].shape == (2, 8)
+
+    def test_gemm_rank_check(self):
+        with pytest.raises(ShapeInferenceError, match="2-D"):
+            infer("Gemm", [f32(1, 2, 4), f32(4, 8)])
+
+    def test_fused_matmul_with_bias(self):
+        out = infer("FusedMatMul", [f32(1, 8, 16), f32(16, 32), f32(32)],
+                    {"activation": "Relu"})
+        assert out[0].shape == (1, 8, 32)
+
+
+class TestShapeOps:
+    def test_reshape_minus_one(self):
+        out = infer("Reshape", [f32(1, 8, 4, 4)], {"shape": (1, -1)})
+        assert out[0].shape == (1, 128)
+
+    def test_reshape_zero_copies_dim(self):
+        out = infer("Reshape", [f32(2, 8, 4)], {"shape": (0, -1)})
+        assert out[0].shape == (2, 32)
+
+    def test_reshape_element_mismatch(self):
+        with pytest.raises(ShapeInferenceError):
+            infer("Reshape", [f32(2, 3)], {"shape": (4, 2)})
+
+    def test_reshape_two_minus_ones(self):
+        with pytest.raises(ShapeInferenceError, match="-1"):
+            infer("Reshape", [f32(4, 4)], {"shape": (-1, -1)})
+
+    def test_transpose(self):
+        out = infer("Transpose", [f32(1, 2, 3, 4)], {"perm": (0, 2, 1, 3)})
+        assert out[0].shape == (1, 3, 2, 4)
+
+    def test_transpose_bad_perm(self):
+        with pytest.raises(ShapeInferenceError, match="perm"):
+            infer("Transpose", [f32(2, 3)], {"perm": (0, 0)})
+
+    def test_flatten(self):
+        assert infer("Flatten", [f32(2, 3, 4)], {"axis": 1})[0].shape == (2, 12)
+
+    def test_concat(self):
+        out = infer("Concat", [f32(1, 4, 8, 8), f32(1, 6, 8, 8)], {"axis": 1})
+        assert out[0].shape == (1, 10, 8, 8)
+
+    def test_concat_mismatch(self):
+        with pytest.raises(ShapeInferenceError, match="non-axis"):
+            infer("Concat", [f32(1, 4, 8, 8), f32(1, 6, 4, 4)], {"axis": 1})
+
+    def test_squeeze_unsqueeze_roundtrip(self):
+        up = infer("Unsqueeze", [f32(3, 4)], {"axes": (0,)})[0]
+        down = infer("Squeeze", [up], {"axes": (0,)})[0]
+        assert down.shape == (3, 4)
+
+    def test_squeeze_non_unit(self):
+        with pytest.raises(ShapeInferenceError, match="non-unit"):
+            infer("Squeeze", [f32(3, 4)], {"axes": (0,)})
+
+    def test_slice(self):
+        out = infer("Slice", [f32(1, 10, 4)], {"starts": (2,), "ends": (5,), "axes": (1,)})
+        assert out[0].shape == (1, 3, 4)
+
+    def test_gather(self):
+        out = infer("Gather", [f32(100, 16), TensorType(DataType.INT64, (7,))], {"axis": 0})
+        assert out[0].shape == (7, 16)
+
+
+class TestReduce:
+    def test_reduce_mean_keepdims(self):
+        out = infer("ReduceMean", [f32(1, 8, 4, 4)], {"axes": (2, 3), "keepdims": 1})
+        assert out[0].shape == (1, 8, 1, 1)
+
+    def test_reduce_sum_no_keepdims(self):
+        out = infer("ReduceSum", [f32(2, 3, 4)], {"axes": (-1,), "keepdims": 0})
+        assert out[0].shape == (2, 3)
+
+
+class TestArity:
+    def test_arity_violation(self):
+        with pytest.raises(ShapeInferenceError, match="inputs"):
+            infer("Relu", [f32(2), f32(2)])
+
+    def test_unknown_value_in_graph(self, conv_chain):
+        from repro.ir.shape_inference import infer_shapes
+        conv_chain.nodes[0].inputs[0] = "ghost_value"
+        with pytest.raises(ShapeInferenceError, match="undefined"):
+            infer_shapes(conv_chain)

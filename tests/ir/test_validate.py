@@ -1,0 +1,105 @@
+"""Tests for structural validation."""
+
+import numpy as np
+import pytest
+
+from repro.ir.dtypes import f32
+from repro.ir.graph import Graph, Value
+from repro.ir.node import Node
+from repro.ir.validate import ValidationError, dead_value_names, validate_graph
+
+
+def valid_graph():
+    return Graph(
+        "v",
+        inputs=[Value("x", f32(1, 4))],
+        outputs=[Value("y")],
+        nodes=[Node("a", "Relu", ["x"], ["y"])],
+    )
+
+
+class TestValidate:
+    def test_valid_graph_passes(self):
+        validate_graph(valid_graph())
+
+    def test_unknown_op(self):
+        g = valid_graph()
+        g.nodes[0].op_type = "Quux"
+        with pytest.raises(ValidationError, match="unknown op"):
+            validate_graph(g)
+
+    def test_bad_arity(self):
+        g = valid_graph()
+        g.nodes[0].inputs.append("x")
+        with pytest.raises(ValidationError, match="arity"):
+            validate_graph(g)
+
+    def test_missing_required_attr(self):
+        g = valid_graph()
+        g.add_initializer("w", np.zeros((4, 4, 3, 3), dtype=np.float32))
+        g.add_node(Node("c", "Conv", ["x", "w"], ["c_out"]))
+        with pytest.raises(ValidationError, match="missing attr"):
+            validate_graph(g)
+
+    def test_duplicate_node_names(self):
+        g = valid_graph()
+        g.nodes.append(Node("a", "Tanh", ["x"], ["z"]))
+        g._invalidate()
+        with pytest.raises(ValidationError, match="duplicate node name"):
+            validate_graph(g)
+
+    def test_value_produced_twice(self):
+        g = valid_graph()
+        g.nodes.append(Node("b", "Tanh", ["x"], ["y"]))
+        g._invalidate()
+        with pytest.raises(ValidationError, match="more than once"):
+            validate_graph(g)
+
+    def test_shadowed_input(self):
+        g = valid_graph()
+        g.nodes.append(Node("b", "Tanh", ["y"], ["x"]))
+        g._invalidate()
+        with pytest.raises(ValidationError, match="shadow"):
+            validate_graph(g)
+
+    def test_undefined_value(self):
+        g = valid_graph()
+        g.nodes[0].inputs[0] = "ghost"
+        with pytest.raises(ValidationError, match="undefined"):
+            validate_graph(g)
+
+    def test_cycle(self):
+        g = Graph(
+            "c",
+            inputs=[Value("x", f32(2))],
+            outputs=[Value("a_out")],
+            nodes=[
+                Node("a", "Add", ["x", "b_out"], ["a_out"]),
+                Node("b", "Relu", ["a_out"], ["b_out"]),
+            ],
+        )
+        with pytest.raises(ValidationError):
+            validate_graph(g)
+
+    def test_unproduced_output(self):
+        g = valid_graph()
+        g.outputs.append(Value("nowhere"))
+        with pytest.raises(ValidationError, match="never produced"):
+            validate_graph(g)
+
+    def test_wrong_output_count(self):
+        g = valid_graph()
+        g.nodes[0].outputs.append("extra")
+        with pytest.raises(ValidationError, match="outputs"):
+            validate_graph(g)
+
+
+class TestDeadValues:
+    def test_detects_dead(self):
+        g = valid_graph()
+        g.nodes.append(Node("b", "Tanh", ["x"], ["dead"]))
+        g._invalidate()
+        assert dead_value_names(g) == ["dead"]
+
+    def test_clean_graph_no_dead(self):
+        assert dead_value_names(valid_graph()) == []

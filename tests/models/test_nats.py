@@ -1,0 +1,65 @@
+"""Tests for the NATS-Bench cell sampler."""
+
+import pytest
+
+from repro.ir.validate import validate_graph
+from repro.models.nats import NATS_OPS, build_nats_model, parse_arch, sample_nats_arch
+from repro.runtime import run_graph
+
+
+class TestArchStrings:
+    def test_sample_parses(self):
+        for seed in range(10):
+            arch = sample_nats_arch(seed)
+            nodes = parse_arch(arch)
+            assert len(nodes) == 3
+            assert [len(g) for g in nodes] == [1, 2, 3]
+
+    def test_sample_deterministic(self):
+        assert sample_nats_arch(3) == sample_nats_arch(3)
+
+    def test_samples_differ(self):
+        archs = {sample_nats_arch(s) for s in range(20)}
+        assert len(archs) > 10
+
+    def test_parse_rejects_bad_op(self):
+        with pytest.raises(ValueError, match="unknown NATS op"):
+            parse_arch("|bogus~0|+|none~0|none~1|+|none~0|none~1|none~2|")
+
+    def test_parse_rejects_wrong_nodes(self):
+        with pytest.raises(ValueError, match="3 computed nodes"):
+            parse_arch("|none~0|")
+
+    def test_all_ops_reachable(self):
+        seen = set()
+        for seed in range(60):
+            for group in parse_arch(sample_nats_arch(seed)):
+                seen.update(op for op, _ in group)
+        assert seen == set(NATS_OPS)
+
+
+class TestNATSModel:
+    def test_builds_and_validates(self):
+        g = build_nats_model(seed=0)
+        validate_graph(g)
+
+    def test_executes(self):
+        out = run_graph(build_nats_model(seed=1))
+        (arr,) = out.values()
+        assert arr.shape == (1, 10)
+
+    def test_all_none_cell_still_connected(self):
+        arch = "|none~0|+|none~0|none~1|+|none~0|none~1|none~2|"
+        g = build_nats_model(arch=arch, seed=0)
+        validate_graph(g)
+        run_graph(g)
+
+    def test_skip_only_cell(self):
+        arch = "|skip_connect~0|+|skip_connect~0|none~1|+|skip_connect~0|none~1|skip_connect~2|"
+        g = build_nats_model(arch=arch, seed=0)
+        validate_graph(g)
+
+    def test_arch_changes_graph(self):
+        a = build_nats_model(arch="|nor_conv_3x3~0|+|none~0|none~1|+|none~0|none~1|skip_connect~2|")
+        b = build_nats_model(arch="|avg_pool_3x3~0|+|none~0|none~1|+|none~0|none~1|skip_connect~2|")
+        assert [n.op_type for n in a.nodes] != [n.op_type for n in b.nodes]

@@ -1,0 +1,64 @@
+"""Tests for the VGG and SqueezeNet families."""
+
+import pytest
+
+from repro.ir.validate import validate_graph
+from repro.models import build_model
+from repro.optimizer import OrtLikeOptimizer
+from repro.runtime import graphs_equivalent, run_graph
+
+
+class TestVGG:
+    def test_builds_and_runs(self):
+        g = build_model("vgg")
+        validate_graph(g)
+        (out,) = run_graph(g).values()
+        assert out.shape == (1, 100)
+
+    def test_pure_chain_topology(self):
+        """VGG has no fan-out: every value feeds at most one node."""
+        g = build_model("vgg")
+        for node in g.nodes:
+            for out in node.outputs:
+                assert len(g.consumers_of(out)) <= 1
+
+    def test_no_batchnorm_no_add(self):
+        hist = build_model("vgg").opcode_histogram()
+        assert "BatchNormalization" not in hist
+        assert hist["Conv"] >= 8
+
+    def test_optimizer_equivalence(self):
+        g = build_model("vgg")
+        assert graphs_equivalent(g, OrtLikeOptimizer().optimize(g), n_trials=1)
+
+
+class TestSqueezeNet:
+    def test_builds_and_runs(self):
+        g = build_model("squeezenet")
+        validate_graph(g)
+        (out,) = run_graph(g).values()
+        assert out.shape == (1, 100)
+
+    def test_fire_module_concats(self):
+        hist = build_model("squeezenet").opcode_histogram()
+        assert hist["Concat"] == 6  # one per fire module
+
+    def test_squeeze_fanout(self):
+        """Each fire's squeeze output feeds both expand branches."""
+        g = build_model("squeezenet")
+        fanout2 = sum(
+            1 for node in g.nodes for out in node.outputs
+            if len(g.consumers_of(out)) == 2
+        )
+        assert fanout2 >= 6
+
+    def test_optimizer_equivalence(self):
+        g = build_model("squeezenet")
+        assert graphs_equivalent(g, OrtLikeOptimizer().optimize(g), n_trials=1)
+
+    def test_proteus_roundtrip(self):
+        from repro.core import Proteus, ProteusConfig
+        g = build_model("squeezenet")
+        p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+        rec = p.run_pipeline(g, OrtLikeOptimizer())
+        assert graphs_equivalent(g, rec, n_trials=1)

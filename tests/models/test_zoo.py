@@ -1,0 +1,112 @@
+"""Tests for the model registry and structural sanity of every model."""
+
+import pytest
+
+from repro.ir.validate import validate_graph
+from repro.models import (
+    CNN_MODELS,
+    TRANSFORMER_MODELS,
+    build_model,
+    list_models,
+)
+
+
+class TestRegistry:
+    def test_list_models_sorted_and_complete(self):
+        names = list_models()
+        assert names == sorted(names)
+        assert set(CNN_MODELS) <= set(names)
+        assert set(TRANSFORMER_MODELS) <= set(names)
+        assert "nats" in names
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="available"):
+            build_model("vgg99")
+
+    def test_kwargs_forwarded(self):
+        small = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+        big = build_model("resnet")
+        assert small.num_nodes < big.num_nodes
+
+
+@pytest.mark.parametrize("name", CNN_MODELS + TRANSFORMER_MODELS + ["nats"])
+class TestEveryModel:
+    def test_validates(self, name):
+        g = build_model(name)
+        validate_graph(g)
+
+    def test_single_input_single_output(self, name):
+        g = build_model(name)
+        assert len(g.inputs) == 1
+        assert len(g.outputs) == 1
+
+    def test_node_count_realistic(self, name):
+        # Proteus partitions at size ~8; models must have enough nodes for
+        # the paper's n values to make sense.
+        g = build_model(name)
+        assert 20 <= g.num_nodes <= 400
+
+    def test_deterministic_build(self, name):
+        a = build_model(name)
+        b = build_model(name)
+        assert [n.op_type for n in a.nodes] == [n.op_type for n in b.nodes]
+
+
+class TestArchitectureSignatures:
+    """Spot-check each family's architectural fingerprint."""
+
+    def test_resnet_has_residual_adds(self):
+        assert build_model("resnet").opcode_histogram()["Add"] >= 8
+
+    def test_densenet_concat_heavy(self):
+        hist = build_model("densenet").opcode_histogram()
+        assert hist["Concat"] >= 10
+
+    def test_googlenet_branches(self):
+        hist = build_model("googlenet").opcode_histogram()
+        assert hist["Concat"] >= 5
+        assert hist["MaxPool"] >= 5
+
+    def test_mobilenet_depthwise(self):
+        g = build_model("mobilenet")
+        depthwise = [n for n in g.nodes if n.op_type == "Conv" and n.attr("group", 1) > 1]
+        assert len(depthwise) >= 10
+
+    def test_mnasnet_has_se_blocks(self):
+        hist = build_model("mnasnet").opcode_histogram()
+        assert hist.get("HardSigmoid", 0) >= 3
+        assert hist.get("Mul", 0) >= 3
+
+    def test_seresnet_has_sigmoid_gates(self):
+        hist = build_model("seresnet").opcode_histogram()
+        assert hist.get("Sigmoid", 0) == 8  # one per block
+        assert hist.get("GlobalAveragePool", 0) >= 8
+
+    def test_alexnet_no_batchnorm(self):
+        assert "BatchNormalization" not in build_model("alexnet").opcode_histogram()
+
+    def test_resnext_grouped_convs(self):
+        g = build_model("resnext")
+        grouped = [n for n in g.nodes if n.op_type == "Conv" and n.attr("group", 1) == 8]
+        assert len(grouped) >= 6
+
+
+class TestTransformers:
+    def test_bert_components(self):
+        hist = build_model("bert").opcode_histogram()
+        assert hist["Softmax"] == 4  # one per layer
+        assert hist["LayerNormalization"] == 9  # embeddings + 2/layer
+        assert hist["Erf"] == 4  # decomposed gelu per layer
+        assert hist["Gather"] == 1
+
+    def test_distilbert_shallower_than_bert(self):
+        assert build_model("distilbert").num_nodes < build_model("bert").num_nodes
+
+    def test_xlm_deepest(self):
+        assert build_model("xlm").num_nodes > build_model("bert").num_nodes
+
+    def test_roberta_no_token_type(self):
+        # roberta drops the token-type embedding add: one fewer Add than bert
+        bert_adds = build_model("bert").opcode_histogram()["Add"]
+        roberta_adds = build_model("roberta").opcode_histogram()["Add"]
+        assert roberta_adds == bert_adds - 1

@@ -1,0 +1,105 @@
+"""Tests for cleanup passes (identity, DCE, CSE, initializer pruning)."""
+
+import numpy as np
+
+from repro.ir import GraphBuilder
+from repro.optimizer.passes import (
+    CommonSubexpressionElimination,
+    DeadCodeElimination,
+    IdentityElimination,
+    UnusedInitializerPruning,
+)
+from repro.runtime import graphs_equivalent
+
+
+class TestIdentityElimination:
+    def test_removes_dropout_identity(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4))
+        h = b.identity(x)
+        h = b.dropout(h)
+        h = b.relu(h)
+        g = b.build([h])
+        before = g.clone()
+        assert IdentityElimination().run(g)
+        assert g.num_nodes == 1
+        assert graphs_equivalent(before, g)
+
+    def test_keeps_identity_producing_graph_output(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4))
+        h = b.identity(x)
+        g = b.build([h])
+        assert not IdentityElimination().run(g)
+        assert g.num_nodes == 1
+
+    def test_idempotent(self, conv_chain):
+        p = IdentityElimination()
+        p.run(conv_chain)
+        assert not p.run(conv_chain)
+
+
+class TestDCE:
+    def test_removes_dead_chain(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4))
+        live = b.relu(x)
+        dead = b.tanh(x)
+        b.sigmoid(dead)  # dead consumer of dead value
+        g = b.build([live])
+        assert DeadCodeElimination().run(g)
+        assert g.num_nodes == 1
+        assert g.nodes[0].op_type == "Relu"
+
+    def test_keeps_live_nodes(self, conv_chain):
+        n = conv_chain.num_nodes
+        DeadCodeElimination().run(conv_chain)
+        assert conv_chain.num_nodes == n
+
+
+class TestCSE:
+    def test_merges_duplicates(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4))
+        a = b.relu(x)
+        c = b.relu(x)  # duplicate of a
+        out = b.add(a, c)
+        g = b.build([out])
+        before = g.clone()
+        assert CommonSubexpressionElimination().run(g)
+        relus = [n for n in g.nodes if n.op_type == "Relu"]
+        assert len(relus) == 1
+        DeadCodeElimination().run(g)
+        assert graphs_equivalent(before, g)
+
+    def test_respects_attrs(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4))
+        a = b.softmax(x, axis=-1)
+        c = b.softmax(x, axis=0)  # different axis: NOT a duplicate
+        out = b.add(a, c)
+        g = b.build([out])
+        assert not CommonSubexpressionElimination().run(g)
+
+    def test_keeps_graph_output_duplicate(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4))
+        a = b.relu(x)
+        c = b.relu(x)
+        g = b.build([a, c])
+        # the duplicate produces a graph output, must not be removed
+        CommonSubexpressionElimination().run(g)
+        assert {v.name for v in g.outputs} <= g.all_value_names()
+        assert g.num_nodes == 2
+
+
+class TestInitializerPruning:
+    def test_prunes_unused(self, conv_chain):
+        conv_chain.add_initializer("orphan", np.zeros(3, dtype=np.float32))
+        assert UnusedInitializerPruning().run(conv_chain)
+        assert "orphan" not in conv_chain.initializers
+
+    def test_keeps_used(self, conv_chain):
+        used_before = set(conv_chain.initializers)
+        UnusedInitializerPruning().run(conv_chain)
+        assert set(conv_chain.initializers) == used_before

@@ -1,0 +1,64 @@
+"""Tests for constant folding."""
+
+import numpy as np
+
+from repro.ir import GraphBuilder
+from repro.optimizer.passes import ConstantFolding, DeadCodeElimination
+from repro.runtime import graphs_equivalent
+
+
+class TestConstantFolding:
+    def test_folds_constant_subexpression(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4))
+        c1 = b.constant(np.ones(4, dtype=np.float32))
+        c2 = b.constant(np.full(4, 2.0, dtype=np.float32))
+        s = b.add(c1, c2)  # constant: should fold
+        out = b.add(x, s)
+        g = b.build([out])
+        before = g.clone()
+        assert ConstantFolding().run(g)
+        assert g.num_nodes == 1
+        assert graphs_equivalent(before, g)
+
+    def test_does_not_fold_runtime_values(self, conv_chain):
+        # conv chain consumes the graph input everywhere: nothing to fold
+        assert not ConstantFolding().run(conv_chain)
+
+    def test_respects_size_guard(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4))
+        c = b.constant(np.ones((64, 64), dtype=np.float32))
+        big = b.add(c, c)
+        flat = b.op("Reshape", [big], attrs={"shape": (4096,)})
+        b._record_type(flat)
+        red = b.op("ReduceSum", [flat], attrs={"axes": (0,), "keepdims": 0})
+        b._record_type(red)
+        out = b.add(x, red)
+        g = b.build([out])
+        assert not ConstantFolding(max_elements=10).run(g)
+        assert ConstantFolding(max_elements=10**6).run(g)
+
+    def test_never_folds_graph_outputs(self):
+        b = GraphBuilder("t", seed=0)
+        b.input("x", (1, 4))
+        c = b.constant(np.ones(4, dtype=np.float32))
+        out = b.relu(c)
+        g = b.build([out])
+        assert not ConstantFolding().run(g)
+
+    def test_chain_folds_fully(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4))
+        c = b.constant(np.full(4, -2.0, dtype=np.float32))
+        h = b.relu(c)
+        h = b.add(h, b.scalar(1.0))
+        out = b.mul(x, h)
+        g = b.build([out])
+        before = g.clone()
+        p = ConstantFolding()
+        while p.run(g):
+            pass
+        DeadCodeElimination().run(g)
+        assert g.num_nodes == 1
+        assert graphs_equivalent(before, g)

@@ -1,0 +1,277 @@
+"""Tests for fusion passes: conv, matmul, transformer, shape fusions.
+
+Every fusion test checks both the structural rewrite AND functional
+equivalence through the executor — the property Proteus reassembly
+depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.ir.shape_inference import infer_shapes
+from repro.models.common import decomposed_gelu
+from repro.optimizer.passes import (
+    ConvActivationFusion,
+    ConvAddFusion,
+    ConvBatchNormFusion,
+    DeadCodeElimination,
+    GeluFusion,
+    GemmActivationFusion,
+    MatMulAddFusion,
+    ReshapeFusion,
+    SkipLayerNormFusion,
+    TransposeFusion,
+    UnusedInitializerPruning,
+)
+from repro.runtime import graphs_equivalent
+
+
+def run_pass(graph, *passes):
+    infer_shapes(graph)
+    changed = False
+    for p in passes:
+        changed |= p.run(graph)
+        infer_shapes(graph)
+    return changed
+
+
+class TestConvBNFusion:
+    def build(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        h = b.conv(x, 8, bias=False)
+        h = b.batchnorm(h)
+        return b.build([h])
+
+    def test_fuses_and_equivalent(self):
+        g = self.build()
+        before = g.clone()
+        assert run_pass(g, ConvBatchNormFusion())
+        assert [n.op_type for n in g.nodes] == ["Conv"]
+        assert graphs_equivalent(before, g)
+
+    def test_fused_conv_gains_bias(self):
+        g = self.build()
+        run_pass(g, ConvBatchNormFusion())
+        assert len(g.nodes[0].inputs) == 3
+
+    def test_requires_single_consumer(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        conv = b.conv(x, 4, bias=False)
+        bn = b.batchnorm(conv)
+        other = b.relu(conv)  # second consumer of the conv output
+        g = b.build([bn, other])
+        assert not run_pass(g, ConvBatchNormFusion())
+
+    def test_with_existing_bias(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        h = b.conv(x, 8, bias=True)
+        h = b.batchnorm(h)
+        g = b.build([h])
+        before = g.clone()
+        assert run_pass(g, ConvBatchNormFusion())
+        assert graphs_equivalent(before, g)
+
+
+class TestConvActivationFusion:
+    @pytest.mark.parametrize("act", ["relu", "sigmoid", "tanh", "hardswish"])
+    def test_fuses_activations(self, act):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        h = b.conv(x, 8)
+        h = getattr(b, act)(h)
+        g = b.build([h])
+        before = g.clone()
+        assert run_pass(g, ConvActivationFusion())
+        assert [n.op_type for n in g.nodes] == ["FusedConv"]
+        assert graphs_equivalent(before, g)
+
+    def test_fuses_relu6_clip(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        h = b.clip(b.conv(x, 8), 0.0, 6.0)
+        g = b.build([h])
+        before = g.clone()
+        assert run_pass(g, ConvActivationFusion())
+        assert g.nodes[0].attr("activation") == "Clip"
+        assert graphs_equivalent(before, g)
+
+    def test_skips_general_clip(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        h = b.clip(b.conv(x, 8), -1.0, 1.0)
+        g = b.build([h])
+        assert not run_pass(g, ConvActivationFusion())
+
+    def test_skips_softmax(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        h = b.softmax(b.conv(x, 8))
+        g = b.build([h])
+        assert not run_pass(g, ConvActivationFusion())
+
+
+class TestConvAddFusion:
+    def build_residual(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        skip = b.relu(x)
+        h = b.conv(skip, 4)
+        h = b.add(h, skip)
+        h = b.relu(h)
+        return b.build([h])
+
+    def test_fuses_residual_and_activation(self):
+        g = self.build_residual()
+        before = g.clone()
+        assert run_pass(g, ConvAddFusion(), ConvActivationFusion())
+        ops = [n.op_type for n in g.topological_order()]
+        assert "FusedConvAdd" in ops
+        fused = next(n for n in g.nodes if n.op_type == "FusedConvAdd")
+        assert fused.attr("activation") == "Relu"
+        assert graphs_equivalent(before, g)
+
+    def test_skips_constant_add(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        h = b.conv(x, 4)
+        h = b.add(h, b.constant(np.ones((1, 4, 8, 8), dtype=np.float32)))
+        g = b.build([h])
+        assert not run_pass(g, ConvAddFusion())
+
+
+class TestMatMulFusion:
+    def test_2d_becomes_gemm(self, mlp):
+        before = mlp.clone()
+        assert run_pass(mlp, MatMulAddFusion())
+        ops = [n.op_type for n in mlp.nodes]
+        assert ops.count("Gemm") == 2
+        assert "MatMul" not in ops
+        assert graphs_equivalent(before, mlp)
+
+    def test_3d_becomes_fused_matmul(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 6, 8))
+        h = b.linear(x, 8, 16)
+        g = b.build([h])
+        before = g.clone()
+        assert run_pass(g, MatMulAddFusion())
+        assert [n.op_type for n in g.nodes] == ["FusedMatMul"]
+        assert graphs_equivalent(before, g)
+
+    def test_activation_epilogue(self, mlp):
+        before = mlp.clone()
+        run_pass(mlp, MatMulAddFusion(), GemmActivationFusion())
+        ops = [n.op_type for n in mlp.topological_order()]
+        assert "FusedGemm" in ops
+        assert "Relu" not in ops
+        assert graphs_equivalent(before, mlp)
+
+    def test_skips_nonconstant_bias(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 8))
+        y = b.input("y", (1, 4))
+        w = b.weight((8, 4))
+        h = b.matmul(x, w)
+        h = b.add(h, y)  # runtime bias: not fusable
+        g = b.build([h])
+        assert not run_pass(g, MatMulAddFusion())
+
+
+class TestGeluFusion:
+    def test_fuses_decomposed_gelu(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 8))
+        h = decomposed_gelu(b, x)
+        g = b.build([h])
+        before = g.clone()
+        assert run_pass(g, GeluFusion(), DeadCodeElimination(), UnusedInitializerPruning())
+        assert [n.op_type for n in g.nodes] == ["Gelu"]
+        assert graphs_equivalent(before, g)
+
+    def test_requires_correct_constants(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 8))
+        inner = b.div(x, b.scalar(3.0))  # wrong: not sqrt(2)
+        inner = b.erf(inner)
+        inner = b.add(inner, b.scalar(1.0))
+        out = b.mul(x, inner)
+        out = b.mul(out, b.scalar(0.5))
+        g = b.build([out])
+        assert not run_pass(g, GeluFusion())
+
+
+class TestSkipLayerNormFusion:
+    def test_fuses_residual_ln(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8))
+        y = b.tanh(x)
+        h = b.add(x, y)
+        h = b.layernorm(h, 8)
+        g = b.build([h])
+        before = g.clone()
+        assert run_pass(g, SkipLayerNormFusion())
+        assert "SkipLayerNormalization" in [n.op_type for n in g.nodes]
+        assert graphs_equivalent(before, g)
+
+    def test_skips_bias_add(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8))
+        h = b.add(x, b.weight((8,)))  # constant add = bias, not a skip
+        h = b.layernorm(h, 8)
+        g = b.build([h])
+        assert not run_pass(g, SkipLayerNormFusion())
+
+
+class TestShapeFusion:
+    def test_reshape_chain_collapses(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 2, 3, 4))
+        h = b.reshape(x, (1, 6, 4))
+        h = b.reshape(h, (1, 24))
+        h = b.relu(h)
+        g = b.build([h])
+        before = g.clone()
+        assert run_pass(g, ReshapeFusion())
+        reshapes = [n for n in g.nodes if n.op_type == "Reshape"]
+        assert len(reshapes) == 1
+        assert graphs_equivalent(before, g)
+
+    def test_flatten_after_reshape(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 2, 3, 4))
+        h = b.reshape(x, (1, 6, 4))
+        h = b.flatten(h)
+        g = b.build([h])
+        before = g.clone()
+        assert run_pass(g, ReshapeFusion())
+        assert [n.op_type for n in g.nodes] == ["Reshape"]
+        assert graphs_equivalent(before, g)
+
+    def test_transpose_composition(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (2, 3, 4))
+        h = b.transpose(x, (1, 0, 2))
+        h = b.transpose(h, (0, 2, 1))
+        h = b.relu(h)
+        g = b.build([h])
+        before = g.clone()
+        assert run_pass(g, TransposeFusion())
+        transposes = [n for n in g.nodes if n.op_type == "Transpose"]
+        assert len(transposes) == 1
+        assert graphs_equivalent(before, g)
+
+    def test_transpose_cancellation(self):
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (2, 3, 4))
+        h = b.transpose(x, (1, 0, 2))
+        h = b.transpose(h, (1, 0, 2))  # cancels
+        h = b.relu(h)
+        g = b.build([h])
+        before = g.clone()
+        run_pass(g, TransposeFusion(), TransposeFusion(), DeadCodeElimination())
+        assert [n.op_type for n in g.topological_order() if n.op_type == "Transpose"] == []
+        assert graphs_equivalent(before, g)

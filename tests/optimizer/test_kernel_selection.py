@@ -1,0 +1,85 @@
+"""Tests for the Winograd kernel-selection pass (§6.1 mechanism)."""
+
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.models import build_model
+from repro.optimizer import OrtLikeOptimizer
+from repro.optimizer.passes import WinogradConvSelection
+from repro.runtime import CostModel, graphs_equivalent
+
+
+def conv_graph(channels, kernel=3, stride=1, group=1):
+    b = GraphBuilder("t", seed=0)
+    x = b.input("x", (1, channels, 16, 16))
+    h = b.conv(x, channels, kernel=kernel, stride=stride, group=group)
+    return b.build([h])
+
+
+class TestSelection:
+    def test_tags_eligible_convs(self):
+        g = conv_graph(64)
+        assert WinogradConvSelection().run(g)
+        assert g.nodes[-1].attr("algo") == "winograd"
+
+    def test_skips_1x1(self):
+        g = conv_graph(64, kernel=1)
+        assert not WinogradConvSelection().run(g)
+
+    def test_skips_strided(self):
+        g = conv_graph(64, stride=2)
+        assert not WinogradConvSelection().run(g)
+
+    def test_skips_grouped(self):
+        g = conv_graph(64, group=64)
+        assert not WinogradConvSelection().run(g)
+
+    def test_idempotent(self):
+        g = conv_graph(64)
+        p = WinogradConvSelection()
+        assert p.run(g)
+        assert not p.run(g)
+
+
+class TestCostEffect:
+    def test_wide_conv_speeds_up(self):
+        g = conv_graph(64)
+        tagged = g.clone()
+        WinogradConvSelection().run(tagged)
+        cm = CostModel()
+        assert cm.graph_latency(tagged) < cm.graph_latency(g)
+
+    def test_narrow_conv_slows_down(self):
+        g = conv_graph(8)
+        tagged = g.clone()
+        WinogradConvSelection().run(tagged)
+        cm = CostModel()
+        assert cm.graph_latency(tagged) > cm.graph_latency(g)
+
+    def test_semantics_unchanged(self):
+        g = conv_graph(16)
+        tagged = g.clone()
+        WinogradConvSelection().run(tagged)
+        assert graphs_equivalent(g, tagged)
+
+
+class TestCaseStudyShape:
+    def test_nats_slowdown_preserved_by_proteus(self):
+        """The §6.1 result: direct and Proteus slowdowns within a few %."""
+        from repro.core import Proteus, ProteusConfig
+        model = build_model("nats", widths=(16, 16, 16), seed=7)
+        optimizer = OrtLikeOptimizer(kernel_selection=True)
+        cm = CostModel()
+        base = cm.graph_latency(model)
+        direct = cm.graph_latency(optimizer.optimize(model)) / base
+        p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+        prot = cm.graph_latency(p.run_pipeline(model, optimizer)) / base
+        assert direct > 1.5  # the optimizer hurts the exotic model
+        assert abs(prot / direct - 1) < 0.05
+
+    def test_zoo_models_still_benefit(self):
+        """Kernel selection must remain net-beneficial for wide CNNs."""
+        cm = CostModel()
+        g = build_model("resnext")
+        opt = OrtLikeOptimizer(kernel_selection=True).optimize(g)
+        assert cm.graph_latency(opt) < cm.graph_latency(g)

@@ -1,0 +1,85 @@
+"""Tests for the optimizer products (ORT-like, Hidet-like) end to end."""
+
+import pytest
+
+from repro.models import build_model, list_models
+from repro.optimizer import (
+    HidetLikeOptimizer,
+    OrtLikeOptimizer,
+    PassManager,
+    hidet_cost_model,
+)
+from repro.optimizer.passes import IdentityElimination
+from repro.runtime import CostModel, graphs_equivalent
+
+
+class TestOrtLike:
+    def test_levels_validated(self):
+        with pytest.raises(ValueError, match="level"):
+            OrtLikeOptimizer(level="turbo")
+
+    def test_none_level_is_clone(self, conv_chain):
+        out = OrtLikeOptimizer(level="none").optimize(conv_chain)
+        assert out is not conv_chain
+        assert out.num_nodes == conv_chain.num_nodes
+
+    def test_basic_weaker_than_extended(self, resnet_model):
+        basic = OrtLikeOptimizer(level="basic").optimize(resnet_model)
+        extended = OrtLikeOptimizer(level="extended").optimize(resnet_model)
+        assert extended.num_nodes < basic.num_nodes <= resnet_model.num_nodes
+
+    def test_preserves_interface(self, resnet_model):
+        out = OrtLikeOptimizer().optimize(resnet_model)
+        assert out.input_names == resnet_model.input_names
+        assert out.output_names == resnet_model.output_names
+
+    def test_does_not_mutate_input(self, conv_chain):
+        n = conv_chain.num_nodes
+        OrtLikeOptimizer().optimize(conv_chain)
+        assert conv_chain.num_nodes == n
+
+    @pytest.mark.parametrize("name", ["resnet", "mobilenet", "bert", "alexnet", "nats"])
+    def test_equivalence_across_zoo(self, name):
+        g = build_model(name)
+        opt = OrtLikeOptimizer().optimize(g)
+        assert graphs_equivalent(g, opt, n_trials=1)
+
+    def test_speedup_positive_everywhere(self):
+        cm = CostModel()
+        for name in ["resnet", "mobilenet", "densenet", "bert"]:
+            g = build_model(name)
+            opt = OrtLikeOptimizer().optimize(g)
+            assert cm.graph_latency(opt) < cm.graph_latency(g)
+
+
+class TestHidetLike:
+    def test_equivalence(self, resnet_model):
+        opt = HidetLikeOptimizer().optimize(resnet_model)
+        assert graphs_equivalent(resnet_model, opt, n_trials=1)
+
+    def test_no_skip_layernorm(self, bert_model):
+        # Hidet's pass set lacks the ORT transformer contrib fusions
+        out = HidetLikeOptimizer().optimize(bert_model)
+        assert "SkipLayerNormalization" not in out.opcode_histogram()
+        ort_out = OrtLikeOptimizer().optimize(bert_model)
+        assert "SkipLayerNormalization" in ort_out.opcode_histogram()
+
+    def test_hidet_cost_model_leaner(self):
+        assert hidet_cost_model().launch_overhead < CostModel().launch_overhead
+
+
+class TestPassManager:
+    def test_reaches_fixpoint(self, conv_chain):
+        pm = PassManager([IdentityElimination()], max_rounds=4)
+        pm.optimize(conv_chain)
+        assert pm.last_report.rounds <= 2  # no identities: 1 round, no change
+
+    def test_max_rounds_validated(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            PassManager([], max_rounds=0)
+
+    def test_report_summary(self, resnet_model):
+        opt = OrtLikeOptimizer()
+        opt.optimize(resnet_model)
+        summary = opt._manager.last_report.summary()
+        assert "rounds" in summary

@@ -1,0 +1,80 @@
+"""Tests for the analytic cost model."""
+
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.ir.dtypes import f32
+from repro.ir.node import Node
+from repro.runtime.cost_model import CostModel, node_bytes, node_flops
+
+
+def flops(op, in_types, out_types, attrs=None):
+    n = Node("t", op, [f"i{k}" for k in range(len(in_types))], ["o"], attrs)
+    return node_flops(n, in_types, out_types)
+
+
+class TestFlops:
+    def test_conv_flops(self):
+        # [1,8,16,16] -> [1,16,16,16] with 3x3: 2 * out_elems * cg * kh * kw
+        got = flops("Conv", [f32(1, 8, 16, 16), f32(16, 8, 3, 3)], [f32(1, 16, 16, 16)],
+                    {"kernel_shape": (3, 3)})
+        assert got == 2.0 * (16 * 16 * 16) * 8 * 9
+
+    def test_matmul_flops(self):
+        got = flops("MatMul", [f32(4, 8), f32(8, 3)], [f32(4, 3)])
+        assert got == 2.0 * 12 * 8
+
+    def test_elementwise_scales_with_elems(self):
+        assert flops("Relu", [f32(10)], [f32(10)]) == 10
+        assert flops("Sigmoid", [f32(10)], [f32(10)]) > flops("Relu", [f32(10)], [f32(10)])
+
+    def test_view_ops_free(self):
+        assert flops("Reshape", [f32(2, 8)], [f32(16)], {"shape": (16,)}) == 0.0
+        assert node_bytes(Node("t", "Reshape", ["i"], ["o"], {"shape": (16,)}),
+                          [f32(2, 8)], [f32(16)]) == 0.0
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError, match="no flop rule"):
+            flops("Quux", [f32(2)], [f32(2)])
+
+    def test_fused_conv_costs_more_than_plain(self):
+        plain = flops("Conv", [f32(1, 8, 8, 8), f32(8, 8, 3, 3)], [f32(1, 8, 8, 8)],
+                      {"kernel_shape": (3, 3)})
+        fused = flops("FusedConv", [f32(1, 8, 8, 8), f32(8, 8, 3, 3)], [f32(1, 8, 8, 8)],
+                      {"kernel_shape": (3, 3), "activation": "Relu"})
+        assert fused > plain
+
+
+class TestCostModel:
+    def test_latency_positive_and_additive(self, conv_chain):
+        cm = CostModel()
+        costs = cm.graph_costs(conv_chain)
+        assert all(c.latency > 0 for c in costs)
+        assert cm.graph_latency(conv_chain) == pytest.approx(sum(c.latency for c in costs))
+
+    def test_fusion_reduces_latency(self, conv_chain):
+        from repro.optimizer import OrtLikeOptimizer
+        cm = CostModel()
+        opt = OrtLikeOptimizer().optimize(conv_chain)
+        assert cm.graph_latency(opt) < cm.graph_latency(conv_chain)
+
+    def test_launch_overhead_floor(self):
+        b = GraphBuilder("tiny", seed=0)
+        x = b.input("x", (1,))
+        g = b.build([b.relu(x)])
+        cm = CostModel(launch_overhead=5e-6)
+        assert cm.graph_latency(g) >= 5e-6
+
+    def test_flop_efficiency_scales(self, conv_chain):
+        slow = CostModel(flop_efficiency={"Conv": 0.5})
+        fast = CostModel()
+        assert slow.graph_latency(conv_chain) > fast.graph_latency(conv_chain)
+
+    def test_bandwidth_bound_elementwise(self):
+        b = GraphBuilder("ew", seed=0)
+        x = b.input("x", (1, 64, 64, 64))
+        g = b.build([b.relu(x)])
+        cm = CostModel()
+        (cost,) = cm.graph_costs(g)
+        mem_time = cost.bytes_moved / cm.memory_bandwidth
+        assert cost.latency == pytest.approx(cm.launch_overhead + mem_time)

@@ -1,0 +1,88 @@
+"""Tests for the graph executor."""
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.runtime import ExecutionError, Executor, graphs_equivalent, random_inputs, run_graph
+
+
+class TestExecutor:
+    def test_runs_conv_chain(self, conv_chain):
+        out = run_graph(conv_chain)
+        assert list(out.values())[0].shape == (1, 10)
+
+    def test_missing_feed(self, conv_chain):
+        with pytest.raises(ExecutionError, match="missing feed"):
+            Executor(conv_chain).run({})
+
+    def test_wrong_feed_shape(self, conv_chain):
+        with pytest.raises(ExecutionError, match="shape"):
+            Executor(conv_chain).run({"x": np.zeros((1, 3, 4, 4), dtype=np.float32)})
+
+    def test_fetch_intermediate(self, conv_chain):
+        feeds = random_inputs(conv_chain)
+        some_value = conv_chain.nodes[0].outputs[0]
+        out = Executor(conv_chain).run(feeds, fetch=[some_value])
+        assert some_value in out
+
+    def test_fetch_unknown(self, conv_chain):
+        with pytest.raises(ExecutionError, match="never produced"):
+            Executor(conv_chain).run(random_inputs(conv_chain), fetch=["ghost"])
+
+    def test_deterministic(self, conv_chain):
+        feeds = random_inputs(conv_chain, seed=5)
+        a = Executor(conv_chain).run(feeds)
+        b = Executor(conv_chain).run(feeds)
+        for k in a:
+            np.testing.assert_array_equal(a[k], b[k])
+
+    def test_shape_check_catches_drift(self, conv_chain):
+        # corrupt the recorded type of one intermediate value
+        from repro.ir.dtypes import TensorType
+        name = conv_chain.nodes[0].outputs[0]
+        old = conv_chain.value_types[name]
+        conv_chain.value_types[name] = TensorType(old.dtype, (9, 9, 9, 9))
+        try:
+            with pytest.raises(ExecutionError, match="produced shape"):
+                Executor(conv_chain).run(random_inputs(conv_chain))
+        finally:
+            conv_chain.value_types[name] = old
+
+
+class TestRandomInputs:
+    def test_int_inputs_bounded(self, bert_model):
+        feeds = random_inputs(bert_model)
+        ids = feeds["input_ids"]
+        assert ids.dtype == np.int64
+        assert ids.min() >= 0
+
+    def test_seeded(self, conv_chain):
+        a = random_inputs(conv_chain, seed=1)
+        b = random_inputs(conv_chain, seed=1)
+        np.testing.assert_array_equal(a["x"], b["x"])
+
+
+class TestEquivalence:
+    def test_identical_graphs_equivalent(self, conv_chain):
+        assert graphs_equivalent(conv_chain, conv_chain.clone())
+
+    def test_different_weights_not_equivalent(self):
+        from ..conftest import make_conv_chain
+        assert not graphs_equivalent(make_conv_chain(seed=0), make_conv_chain(seed=1))
+
+    def test_different_outputs_not_equivalent(self, conv_chain, mlp):
+        assert not graphs_equivalent(conv_chain, mlp)
+
+
+class TestModelExecution:
+    def test_bert_runs(self, bert_model):
+        out = run_graph(bert_model)
+        (arr,) = out.values()
+        assert np.isfinite(arr).all()
+
+    def test_resnet_runs(self, resnet_model):
+        out = run_graph(resnet_model)
+        (arr,) = out.values()
+        assert arr.shape == (1, 100)
+        assert np.isfinite(arr).all()

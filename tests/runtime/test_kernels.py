@@ -1,0 +1,244 @@
+"""Tests for the numpy kernel library (semantics per operator)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.ir.node import Node
+from repro.runtime.kernels import KernelError, kernel_for
+
+
+def run(op, ins, attrs=None):
+    node = Node("t", op, [f"i{k}" for k in range(len(ins))], ["o"], attrs)
+    return kernel_for(op)(node, [np.asarray(x) for x in ins])[0]
+
+
+class TestConvKernels:
+    def test_conv_identity_kernel(self):
+        x = np.random.default_rng(0).standard_normal((1, 2, 5, 5)).astype(np.float32)
+        w = np.zeros((2, 2, 1, 1), dtype=np.float32)
+        w[0, 0, 0, 0] = 1.0
+        w[1, 1, 0, 0] = 1.0
+        out = run("Conv", [x, w], {"kernel_shape": (1, 1), "strides": (1, 1), "pads": 0, "group": 1})
+        np.testing.assert_allclose(out, x, rtol=1e-6)
+
+    def test_conv_matches_manual_3x3(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 3, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        out = run("Conv", [x, w], {"kernel_shape": (3, 3), "strides": (1, 1), "pads": 1, "group": 1})
+        # manual computation at one location
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = (xp[0, :, 2:5, 3:6] * w[1]).sum()
+        np.testing.assert_allclose(out[0, 1, 2, 3], expected, rtol=1e-4)
+
+    def test_conv_stride_and_bias(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        b = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        out = run("Conv", [x, w, b], {"kernel_shape": (3, 3), "strides": (2, 2), "pads": 1, "group": 1})
+        assert out.shape == (1, 3, 4, 4)
+        out_nb = run("Conv", [x, w], {"kernel_shape": (3, 3), "strides": (2, 2), "pads": 1, "group": 1})
+        np.testing.assert_allclose(out - out_nb, np.broadcast_to(b[None, :, None, None], out.shape), rtol=1e-5)
+
+    def test_depthwise_group_conv(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((1, 4, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((4, 1, 3, 3)).astype(np.float32)
+        out = run("Conv", [x, w], {"kernel_shape": (3, 3), "strides": (1, 1), "pads": 1, "group": 4})
+        # channel c depends only on input channel c
+        x2 = x.copy()
+        x2[0, 0] = 0.0
+        out2 = run("Conv", [x2, w], {"kernel_shape": (3, 3), "strides": (1, 1), "pads": 1, "group": 4})
+        np.testing.assert_allclose(out[0, 1:], out2[0, 1:], rtol=1e-6)
+        assert not np.allclose(out[0, 0], out2[0, 0])
+
+    def test_fused_conv_applies_activation(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        w = rng.standard_normal((2, 2, 1, 1)).astype(np.float32)
+        attrs = {"kernel_shape": (1, 1), "strides": (1, 1), "pads": 0, "group": 1}
+        plain = run("Conv", [x, w], attrs)
+        fused = run("FusedConv", [x, w], dict(attrs, activation="Relu"))
+        np.testing.assert_allclose(fused, np.maximum(plain, 0), rtol=1e-6)
+
+    def test_fused_conv_add(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        w = rng.standard_normal((2, 2, 1, 1)).astype(np.float32)
+        res = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        attrs = {"kernel_shape": (1, 1), "strides": (1, 1), "pads": 0, "group": 1}
+        plain = run("Conv", [x, w], attrs)
+        fused = run("FusedConvAdd", [x, w, res], dict(attrs, activation="Relu"))
+        np.testing.assert_allclose(fused, np.maximum(plain + res, 0), rtol=1e-5)
+
+
+class TestPoolKernels:
+    def test_maxpool(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = run("MaxPool", [x], {"kernel_shape": (2, 2), "strides": (2, 2), "pads": 0})
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_padding_uses_neg_inf(self):
+        x = -np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = run("MaxPool", [x], {"kernel_shape": (3, 3), "strides": (1, 1), "pads": 1})
+        assert out.max() == -1.0  # padding must not contribute zeros
+
+    def test_avgpool(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = run("AveragePool", [x], {"kernel_shape": (2, 2), "strides": (2, 2), "pads": 0})
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_global_avgpool(self):
+        x = np.ones((1, 3, 5, 7), dtype=np.float32) * np.array([1, 2, 3], dtype=np.float32)[None, :, None, None]
+        out = run("GlobalAveragePool", [x])
+        np.testing.assert_allclose(out.ravel(), [1, 2, 3])
+
+
+class TestNormKernels:
+    def test_batchnorm_matches_formula(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((1, 3, 4, 4)).astype(np.float32)
+        scale = np.array([1.0, 2.0, 0.5], dtype=np.float32)
+        bias = np.array([0.0, 1.0, -1.0], dtype=np.float32)
+        mean = np.array([0.1, -0.2, 0.3], dtype=np.float32)
+        var = np.array([1.0, 0.5, 2.0], dtype=np.float32)
+        out = run("BatchNormalization", [x, scale, bias, mean, var], {"epsilon": 1e-5})
+        bc = lambda a: a[None, :, None, None]
+        expected = (x - bc(mean)) / np.sqrt(bc(var) + 1e-5) * bc(scale) + bc(bias)
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+    def test_layernorm_zero_mean_unit_var(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((2, 5, 16)).astype(np.float32)
+        out = run("LayerNormalization", [x, np.ones(16, np.float32), np.zeros(16, np.float32)],
+                  {"axis": -1, "epsilon": 1e-5})
+        np.testing.assert_allclose(out.mean(-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(-1), 1.0, atol=1e-2)
+
+    def test_skip_layernorm_equals_add_then_ln(self):
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        skip = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        scale = rng.standard_normal(8).astype(np.float32)
+        bias = rng.standard_normal(8).astype(np.float32)
+        fused = run("SkipLayerNormalization", [x, skip, scale, bias], {"epsilon": 1e-5})
+        plain = run("LayerNormalization", [x + skip, scale, bias], {"axis": -1, "epsilon": 1e-5})
+        np.testing.assert_allclose(fused, plain, rtol=1e-5, atol=1e-6)
+
+
+class TestActivationKernels:
+    X = np.linspace(-3, 3, 13).astype(np.float32)
+
+    def test_relu(self):
+        np.testing.assert_array_equal(run("Relu", [self.X]), np.maximum(self.X, 0))
+
+    def test_leaky_relu(self):
+        out = run("LeakyRelu", [self.X], {"alpha": 0.1})
+        np.testing.assert_allclose(out, np.where(self.X >= 0, self.X, 0.1 * self.X), rtol=1e-6)
+
+    def test_sigmoid(self):
+        np.testing.assert_allclose(run("Sigmoid", [self.X]), special.expit(self.X), rtol=1e-6)
+
+    def test_hardsigmoid_saturates(self):
+        out = run("HardSigmoid", [np.array([-10.0, 0.0, 10.0], dtype=np.float32)],
+                  {"alpha": 0.2, "beta": 0.5})
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_hardswish(self):
+        x = np.array([-4.0, 0.0, 4.0], dtype=np.float32)
+        np.testing.assert_allclose(run("HardSwish", [x]), [0.0, 0.0, 4.0])
+
+    def test_gelu_matches_erf_form(self):
+        expected = 0.5 * self.X * (1 + special.erf(self.X / math.sqrt(2)))
+        np.testing.assert_allclose(run("Gelu", [self.X]), expected, rtol=1e-5)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(9).standard_normal((3, 7)).astype(np.float32)
+        out = run("Softmax", [x], {"axis": -1})
+        np.testing.assert_allclose(out.sum(-1), 1.0, rtol=1e-5)
+
+    def test_softmax_stability_large_values(self):
+        out = run("Softmax", [np.array([1000.0, 1000.0], dtype=np.float32)], {"axis": -1})
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_clip(self):
+        out = run("Clip", [self.X], {"min": 0.0, "max": 1.0})
+        assert out.min() >= 0 and out.max() <= 1
+
+
+class TestMatKernels:
+    def test_gemm_alpha_beta_trans(self):
+        rng = np.random.default_rng(10)
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((5, 4)).astype(np.float32)
+        c = rng.standard_normal((3, 5)).astype(np.float32)
+        out = run("Gemm", [a, b, c], {"alpha": 2.0, "beta": 0.5, "transA": 0, "transB": 1})
+        np.testing.assert_allclose(out, 2.0 * (a @ b.T) + 0.5 * c, rtol=1e-5)
+
+    def test_fused_matmul_bias_activation(self):
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal((1, 3, 4)).astype(np.float32)
+        w = rng.standard_normal((4, 6)).astype(np.float32)
+        b = rng.standard_normal(6).astype(np.float32)
+        out = run("FusedMatMul", [a, w, b], {"activation": "Relu"})
+        np.testing.assert_allclose(out, np.maximum(a @ w + b, 0), rtol=1e-5)
+
+    def test_batched_matmul(self):
+        rng = np.random.default_rng(12)
+        a = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        b = rng.standard_normal((2, 4, 5)).astype(np.float32)
+        np.testing.assert_allclose(run("MatMul", [a, b]), a @ b, rtol=1e-6)
+
+
+class TestShapeKernels:
+    def test_reshape_with_zero(self):
+        x = np.arange(24).reshape(2, 3, 4)
+        out = run("Reshape", [x], {"shape": (0, -1)})
+        assert out.shape == (2, 12)
+
+    def test_transpose_default_reverses(self):
+        x = np.zeros((2, 3, 4))
+        assert run("Transpose", [x], {}).shape == (4, 3, 2)
+
+    def test_concat(self):
+        a, b = np.ones((1, 2)), np.zeros((1, 3))
+        out = run("Concat", [a, b], {"axis": 1})
+        assert out.shape == (1, 5)
+
+    def test_slice(self):
+        x = np.arange(10).reshape(1, 10)
+        out = run("Slice", [x], {"starts": (2,), "ends": (5,), "axes": (1,)})
+        np.testing.assert_array_equal(out, [[2, 3, 4]])
+
+    def test_gather_rows(self):
+        table = np.arange(12, dtype=np.float32).reshape(4, 3)
+        idx = np.array([2, 0], dtype=np.int64)
+        out = run("Gather", [table, idx], {"axis": 0})
+        np.testing.assert_array_equal(out, table[[2, 0]])
+
+    def test_identity_dropout_cast_passthrough(self):
+        x = np.arange(4.0)
+        for op in ("Identity", "Dropout", "Cast"):
+            np.testing.assert_array_equal(run(op, [x]), x)
+
+
+class TestReduceKernels:
+    def test_reduce_mean(self):
+        x = np.arange(8, dtype=np.float32).reshape(2, 4)
+        out = run("ReduceMean", [x], {"axes": (-1,), "keepdims": 1})
+        np.testing.assert_allclose(out, [[1.5], [5.5]])
+
+    def test_reduce_sum_no_keepdims(self):
+        x = np.ones((2, 3), dtype=np.float32)
+        out = run("ReduceSum", [x], {"axes": (0,), "keepdims": 0})
+        np.testing.assert_allclose(out, [2, 2, 2])
+
+
+class TestErrors:
+    def test_unknown_kernel(self):
+        with pytest.raises(KernelError, match="no kernel"):
+            kernel_for("Quux")

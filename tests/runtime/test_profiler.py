@@ -1,0 +1,42 @@
+"""Tests for the latency profiler."""
+
+import pytest
+
+from repro.optimizer import OrtLikeOptimizer
+from repro.runtime import profile_graph, speedup
+from repro.runtime.cost_model import CostModel
+
+
+class TestProfile:
+    def test_report_totals_consistent(self, conv_chain):
+        rep = profile_graph(conv_chain)
+        assert rep.total_latency == pytest.approx(sum(c.latency for c in rep.per_op))
+        assert rep.total_ns == pytest.approx(rep.total_latency * 1e9)
+        assert rep.total_us == pytest.approx(rep.total_latency * 1e6)
+
+    def test_by_op_type_sums_to_total(self, conv_chain):
+        rep = profile_graph(conv_chain)
+        assert sum(rep.by_op_type().values()) == pytest.approx(rep.total_latency)
+
+    def test_hotspots_sorted(self, conv_chain):
+        hs = profile_graph(conv_chain).hotspots(3)
+        assert len(hs) == 3
+        assert hs[0].latency >= hs[1].latency >= hs[2].latency
+
+    def test_summary_mentions_graph(self, conv_chain):
+        assert conv_chain.name in profile_graph(conv_chain).summary()
+
+
+class TestSpeedup:
+    def test_optimizer_speedup_gt_one(self, conv_chain):
+        opt = OrtLikeOptimizer().optimize(conv_chain)
+        assert speedup(conv_chain, opt) > 1.0
+
+    def test_self_speedup_is_one(self, conv_chain):
+        assert speedup(conv_chain, conv_chain) == pytest.approx(1.0)
+
+    def test_custom_cost_model(self, conv_chain):
+        opt = OrtLikeOptimizer().optimize(conv_chain)
+        cm = CostModel(launch_overhead=10e-6)
+        # huge launch overhead exaggerates fusion benefit
+        assert speedup(conv_chain, opt, cm) > speedup(conv_chain, opt)

@@ -1,0 +1,37 @@
+"""Zoo-wide functional-equivalence sweep: both optimizers, all models.
+
+This is the load-bearing guarantee of §4.3 (reassembly correctness
+follows from per-subgraph optimizer correctness), certified model by
+model through the executor.
+"""
+
+import pytest
+
+from repro.models import build_model, list_models
+from repro.optimizer import HidetLikeOptimizer, OrtLikeOptimizer
+from repro.runtime import graphs_equivalent
+
+ALL_MODELS = list_models()
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_ort_equivalence(name):
+    g = build_model(name)
+    assert graphs_equivalent(g, OrtLikeOptimizer().optimize(g), n_trials=1)
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_hidet_equivalence(name):
+    g = build_model(name)
+    assert graphs_equivalent(g, HidetLikeOptimizer().optimize(g), n_trials=1)
+
+
+@pytest.mark.parametrize("name", ["seresnet", "xlm", "inception", "mnasnet", "resnext", "alexnet"])
+def test_proteus_roundtrip_remaining_models(name):
+    """Complements tests/core/test_proteus.py's roundtrip set so every
+    zoo family has an end-to-end partition-optimize-reassemble check."""
+    from repro.core import Proteus, ProteusConfig
+    g = build_model(name)
+    p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=2))
+    rec = p.run_pipeline(g, OrtLikeOptimizer())
+    assert graphs_equivalent(g, rec, n_trials=1)

@@ -1,0 +1,90 @@
+"""Tests for syntactic constraint generation (candidate choices)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.dtypes import f32
+from repro.sentinel.constraints import BINARY_OPS, UNARY_OPS, candidate_choices
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestUnaryCandidates:
+    def test_4d_input_gets_conv_choices(self, rng):
+        choices = candidate_choices([f32(1, 16, 16, 16)], rng)
+        ops = {c.op_type for c in choices}
+        assert "Conv" in ops
+        assert "MaxPool" in ops
+        assert "BatchNormalization" in ops
+
+    def test_2d_input_no_conv(self, rng):
+        choices = candidate_choices([f32(4, 16)], rng)
+        ops = {c.op_type for c in choices}
+        assert "Conv" not in ops
+        assert "MaxPool" not in ops
+        assert "Gemm" in ops
+
+    def test_3d_input_matmul_but_not_gemm(self, rng):
+        choices = candidate_choices([f32(1, 8, 16)], rng)
+        ops = {c.op_type for c in choices}
+        assert "MatMul" in ops
+        assert "Gemm" not in ops
+        assert "LayerNormalization" in ops
+
+    def test_all_choices_shape_infer(self, rng):
+        """Every candidate must already be syntactically valid."""
+        for t in [f32(1, 8, 8, 8), f32(1, 8, 16), f32(4, 16)]:
+            for c in candidate_choices([t], rng):
+                assert c.out_type is not None
+                assert c.out_type.shape  # non-degenerate
+
+    def test_conv_candidates_carry_weights(self, rng):
+        choices = [c for c in candidate_choices([f32(1, 8, 8, 8)], rng) if c.op_type == "Conv"]
+        assert choices
+        for c in choices:
+            assert len(c.param_shapes) == 2  # weight + bias
+            assert c.param_shapes[0][2] == c.attrs["kernel_shape"][0]
+
+    def test_depthwise_variant_present(self, rng):
+        choices = [c for c in candidate_choices([f32(1, 8, 8, 8)], rng) if c.op_type == "Conv"]
+        assert any(c.attrs.get("group") == 8 for c in choices)
+
+    def test_small_spatial_output_never_degenerate(self, rng):
+        # 1x1 spatial input: padding keeps 3x3 kernels legal, but every
+        # surviving candidate must still produce a positive spatial output
+        choices = [c for c in candidate_choices([f32(1, 8, 1, 1)], rng) if c.op_type == "Conv"]
+        assert choices
+        for c in choices:
+            assert c.out_type.shape[2] >= 1 and c.out_type.shape[3] >= 1
+
+
+class TestBinaryCandidates:
+    def test_equal_shapes_get_add(self, rng):
+        choices = candidate_choices([f32(1, 8, 4, 4), f32(1, 8, 4, 4)], rng)
+        ops = {c.op_type for c in choices}
+        assert "Add" in ops and "Mul" in ops and "Concat" in ops
+
+    def test_incompatible_shapes_filtered(self, rng):
+        choices = candidate_choices([f32(1, 8, 4, 4), f32(1, 7, 3, 3)], rng)
+        assert all(c.op_type not in ("Add", "Mul", "Sub", "Div") for c in choices)
+
+    def test_concat_on_channel_mismatch(self, rng):
+        choices = candidate_choices([f32(1, 8, 4, 4), f32(1, 4, 4, 4)], rng)
+        ops = {c.op_type for c in choices}
+        assert "Concat" in ops
+
+    def test_input_types_splices_params(self, rng):
+        c = next(c for c in candidate_choices([f32(1, 8, 8, 8)], rng) if c.op_type == "Conv")
+        full = c.input_types([f32(1, 8, 8, 8)])
+        assert len(full) == 3
+        assert full[1].shape == c.param_shapes[0]
+
+
+class TestOpTables:
+    def test_tables_disjoint_sanity(self):
+        assert "Conv" in UNARY_OPS
+        assert "Concat" in BINARY_OPS
+        assert "Identity" not in UNARY_OPS

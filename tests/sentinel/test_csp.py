@@ -1,0 +1,72 @@
+"""Tests for the finite-domain CSP enumerator."""
+
+import pytest
+
+from repro.sentinel.csp import CSPSolver
+
+
+class TestCSPSolver:
+    def test_simple_enumeration(self):
+        solver = CSPSolver(["a", "b"], lambda v, asn: [0, 1])
+        sols = list(solver.solutions())
+        assert len(sols) == 4
+        assert {(s["a"], s["b"]) for s in sols} == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_max_solutions(self):
+        solver = CSPSolver(["a", "b", "c"], lambda v, asn: [0, 1])
+        assert len(list(solver.solutions(max_solutions=3))) == 3
+
+    def test_dynamic_domains(self):
+        # b must exceed a
+        def domain(var, asn):
+            if var == "a":
+                return [0, 1, 2]
+            return [x for x in [0, 1, 2] if x > asn["a"]]
+
+        sols = list(CSPSolver(["a", "b"], domain).solutions())
+        assert all(s["b"] > s["a"] for s in sols)
+        assert len(sols) == 3
+
+    def test_constraints_filter(self):
+        solver = CSPSolver(
+            ["a", "b"],
+            lambda v, asn: [0, 1, 2],
+            constraints=[lambda v, val, asn: val != 1],
+        )
+        sols = list(solver.solutions())
+        assert all(1 not in s.values() for s in sols)
+        assert len(sols) == 4
+
+    def test_unsatisfiable(self):
+        def domain(var, asn):
+            return [] if var == "b" else [0]
+
+        assert list(CSPSolver(["a", "b"], domain).solutions()) == []
+
+    def test_budget_soft_stops(self):
+        solver = CSPSolver(list("abcdefgh"), lambda v, asn: [0, 1], budget=10)
+        sols = list(solver.solutions())
+        assert solver.stats.expansions <= 10
+        assert len(sols) < 2**8
+
+    def test_solutions_are_copies(self):
+        solver = CSPSolver(["a"], lambda v, asn: [0, 1])
+        s1, s2 = list(solver.solutions())
+        s1["a"] = 99
+        assert s2["a"] != 99
+
+    def test_first_solution(self):
+        solver = CSPSolver(["a"], lambda v, asn: [7])
+        assert solver.first_solution() == {"a": 7}
+        solver2 = CSPSolver(["a"], lambda v, asn: [])
+        assert solver2.first_solution() is None
+
+    def test_no_variables_rejected(self):
+        with pytest.raises(ValueError, match="variable"):
+            CSPSolver([], lambda v, asn: [0])
+
+    def test_stats_counting(self):
+        solver = CSPSolver(["a", "b"], lambda v, asn: [0, 1])
+        list(solver.solutions())
+        assert solver.stats.solutions == 4
+        assert solver.stats.expansions >= 4

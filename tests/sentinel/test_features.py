@@ -1,0 +1,79 @@
+"""Tests for graph feature extraction."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.sentinel.features import (
+    FEATURE_NAMES,
+    as_undirected,
+    feature_matrix,
+    graph_features,
+)
+
+
+class TestFeatures:
+    def test_path_graph(self):
+        g = nx.path_graph(5)
+        f = graph_features(g)
+        assert f.num_nodes == 5
+        assert f.diameter == 4
+        assert f.average_degree == pytest.approx(2 * 4 / 5)
+        assert f.clustering_coefficient == 0.0
+
+    def test_triangle_clustering(self):
+        f = graph_features(nx.complete_graph(3))
+        assert f.clustering_coefficient == 1.0
+        assert f.diameter == 1
+
+    def test_ir_graph_accepted(self, conv_chain):
+        f = graph_features(conv_chain)
+        assert f.num_nodes == conv_chain.num_nodes
+
+    def test_digraph_accepted(self):
+        g = nx.DiGraph([(0, 1), (1, 2)])
+        assert graph_features(g).num_nodes == 3
+
+    def test_disconnected_uses_largest_component(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (1, 2), (10, 11)])
+        assert graph_features(g).diameter == 2
+
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(0)
+        f = graph_features(g)
+        assert f.num_nodes == 1
+        assert f.diameter == 0
+
+    def test_empty_graph(self):
+        assert graph_features(nx.Graph()).num_nodes == 0
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            graph_features([1, 2, 3])
+
+    def test_self_loops_ignored(self):
+        g = nx.Graph([(0, 0), (0, 1)])
+        assert graph_features(g).average_degree == 1.0
+
+    def test_as_array_order_matches_names(self):
+        f = graph_features(nx.path_graph(4))
+        arr = f.as_array()
+        assert len(arr) == len(FEATURE_NAMES)
+        assert arr[3] == 4  # num_nodes last
+
+
+class TestFeatureMatrix:
+    def test_shape(self):
+        m = feature_matrix([nx.path_graph(3), nx.path_graph(5)])
+        assert m.shape == (2, 4)
+        assert m[0, 3] == 3 and m[1, 3] == 5
+
+    def test_empty(self):
+        assert feature_matrix([]).shape == (0, 4)
+
+    def test_undirected_view_strips_direction(self, conv_chain):
+        und = as_undirected(conv_chain)
+        assert not und.is_directed()
+        assert und.number_of_nodes() == conv_chain.num_nodes

@@ -1,0 +1,100 @@
+"""Tests for the orchestrating SentinelGenerator."""
+
+import numpy as np
+import pytest
+
+from repro.ir.validate import validate_graph
+from repro.sentinel.generator import SentinelGenerator, build_subgraph_database
+from repro.sentinel.random_baseline import random_opcode_graph, random_opcode_sentinels
+from repro.sentinel.orientation import induce_orientation
+
+
+class TestDatabase:
+    def test_database_covers_corpus(self, small_corpus, subgraph_database):
+        total_nodes = sum(g.num_nodes for g in small_corpus)
+        assert sum(g.num_nodes for g in subgraph_database) == total_nodes
+
+    def test_database_subgraphs_valid(self, subgraph_database):
+        for g in subgraph_database[:10]:
+            validate_graph(g)
+
+
+class TestGenerator:
+    def test_strategy_validation(self, subgraph_database):
+        with pytest.raises(ValueError, match="strategy"):
+            SentinelGenerator(subgraph_database, strategy="bogus")
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SentinelGenerator([])
+
+    def test_generate_count_and_validity(self, sentinel_generator, subgraph_database):
+        real = subgraph_database[5]
+        sentinels = sentinel_generator.generate(real, k=5, seed=1)
+        assert len(sentinels) == 5
+        for s in sentinels:
+            validate_graph(s)
+
+    def test_k_zero(self, sentinel_generator, subgraph_database):
+        assert sentinel_generator.generate(subgraph_database[0], k=0) == []
+
+    def test_deterministic_by_seed(self, sentinel_generator, subgraph_database):
+        real = subgraph_database[5]
+        a = sentinel_generator.generate(real, k=3, seed=9)
+        b = sentinel_generator.generate(real, k=3, seed=9)
+        assert [g.opcode_histogram() for g in a] == [g.opcode_histogram() for g in b]
+
+    def test_sentinels_not_copies_of_real(self, sentinel_generator, subgraph_database):
+        import networkx as nx
+        real = subgraph_database[5]
+        sentinels = sentinel_generator.generate(real, k=5, seed=2)
+        real_nx = real.to_networkx()
+        identical = sum(
+            1 for s in sentinels
+            if nx.is_isomorphic(
+                s.to_networkx(), real_nx,
+                node_match=lambda a, b: a["op_type"] == b["op_type"])
+        )
+        assert identical <= 1  # perturbations guarantee structural change
+
+    def test_perturb_strategy(self, subgraph_database):
+        gen = SentinelGenerator(subgraph_database, strategy="perturb", pool_size=48, seed=0)
+        real = subgraph_database[5]
+        sentinels = gen.generate(real, k=3, seed=0)
+        assert len(sentinels) == 3
+
+    def test_generate_strategy(self, subgraph_database):
+        gen = SentinelGenerator(subgraph_database, strategy="generate", pool_size=48, seed=0)
+        real = subgraph_database[5]
+        sentinels = gen.generate(real, k=3, seed=0)
+        assert len(sentinels) == 3
+
+
+class TestDefaultSource:
+    def test_cached(self):
+        from repro.core import ProteusConfig
+        from repro.sentinel.generator import default_sentinel_source
+        cfg = ProteusConfig(target_subgraph_size=8, seed=0)
+        a = default_sentinel_source(cfg)
+        b = default_sentinel_source(cfg)
+        assert a is b
+
+
+class TestRandomBaseline:
+    def test_opcodes_assigned(self, sentinel_generator, rng):
+        topo = induce_orientation(sentinel_generator.pool[0])
+        g = random_opcode_graph(topo, rng)
+        assert all("op_type" in g.nodes[v] for v in g.nodes())
+
+    def test_binary_nodes_get_binary_ops(self, sentinel_generator, rng):
+        from repro.sentinel.constraints import BINARY_OPS
+        topo = induce_orientation(sentinel_generator.pool[1])
+        g = random_opcode_graph(topo, rng)
+        for v in g.nodes():
+            if g.in_degree(v) >= 2:
+                assert g.nodes[v]["op_type"] in BINARY_OPS
+
+    def test_sentinel_count(self, sentinel_generator):
+        topos = [induce_orientation(t) for t in sentinel_generator.pool[:8]]
+        fakes = random_opcode_sentinels(topos, k=7, seed=0)
+        assert len(fakes) == 7

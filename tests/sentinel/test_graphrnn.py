@@ -1,0 +1,76 @@
+"""Tests for the GraphRNN-lite topology model."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.sentinel.features import feature_matrix
+from repro.sentinel.graphrnn import GraphRNNLite, bfs_adjacency_sequences
+
+
+class TestSequences:
+    def test_path_graph_rows(self, rng):
+        rows = bfs_adjacency_sequences(nx.path_graph(5), window=4, rng=rng)
+        assert len(rows) == 5
+        # every non-root node connects to its predecessor (offset 0)
+        for row in rows[1:]:
+            assert row[0] == 1
+
+    def test_window_truncates(self, rng):
+        g = nx.star_graph(6)  # hub connects to everything
+        rows = bfs_adjacency_sequences(g, window=2, rng=rng)
+        assert all(len(r) == 2 for r in rows)
+
+    def test_empty_graph(self, rng):
+        assert bfs_adjacency_sequences(nx.Graph(), window=3, rng=rng) == []
+
+
+class TestModel:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            GraphRNNLite().sample(np.random.default_rng(0))
+
+    def test_fit_rejects_trivial_corpus(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError, match="usable"):
+            GraphRNNLite().fit([g])
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            GraphRNNLite(window=0)
+
+    def test_samples_connected(self, subgraph_database):
+        model = GraphRNNLite().fit(subgraph_database, seed=0)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            g = model.sample(rng)
+            assert nx.is_connected(g)
+            assert g.number_of_nodes() >= 2
+
+    def test_sample_fixed_size(self, subgraph_database):
+        model = GraphRNNLite().fit(subgraph_database, seed=0)
+        g = model.sample(np.random.default_rng(0), n_nodes=9)
+        assert g.number_of_nodes() == 9
+
+    def test_sample_many_deterministic(self, subgraph_database):
+        model = GraphRNNLite().fit(subgraph_database, seed=0)
+        a = model.sample_many(5, seed=3)
+        b = model.sample_many(5, seed=3)
+        assert all(set(x.edges()) == set(y.edges()) for x, y in zip(a, b))
+
+    def test_sizes_track_training_distribution(self, subgraph_database):
+        model = GraphRNNLite().fit(subgraph_database, seed=0)
+        train_sizes = [g.num_nodes for g in subgraph_database]
+        samples = model.sample_many(60, seed=5)
+        gen_sizes = [g.number_of_nodes() for g in samples]
+        assert abs(np.mean(gen_sizes) - np.mean(train_sizes)) < 4
+
+    def test_degree_statistics_close_to_training(self, subgraph_database):
+        """The Fig. 5 property at unit-test scale: generated average degree
+        within a reasonable band of the real subgraphs'."""
+        model = GraphRNNLite().fit(subgraph_database, seed=0)
+        samples = model.sample_many(80, seed=7)
+        real = feature_matrix(subgraph_database)[:, 0]
+        gen = feature_matrix(samples)[:, 0]
+        assert abs(real.mean() - gen.mean()) < 0.35

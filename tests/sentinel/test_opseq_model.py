@@ -1,0 +1,58 @@
+"""Tests for the operator-sequence likelihood model."""
+
+import math
+
+import pytest
+
+from repro.sentinel.opseq_model import START, OpSequenceModel
+
+
+class TestOpSequenceModel:
+    @pytest.fixture(scope="class")
+    def model(self, subgraph_database):
+        vocab = sorted({n.op_type for g in subgraph_database for n in g.nodes})
+        return OpSequenceModel(vocab).fit(subgraph_database)
+
+    def test_vocab_required(self):
+        with pytest.raises(ValueError, match="vocabulary"):
+            OpSequenceModel([])
+
+    def test_probabilities_normalized(self, model):
+        for ctx in ["Conv", "Relu", START]:
+            total = sum(
+                math.exp(model.edge_logprob(ctx, op)) for op in model.vocabulary
+            )
+            assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_common_transition_likelier_than_rare(self, model):
+        # Conv -> BatchNormalization is the dominant CNN idiom
+        assert model.edge_logprob("Conv", "BatchNormalization") > model.edge_logprob(
+            "Conv", "Softmax"
+        )
+
+    def test_unseen_context_backed_off(self, model):
+        lp = model.edge_logprob("NeverSeenOp", "Conv")
+        assert math.isfinite(lp)
+        assert lp == pytest.approx(-math.log(len(model.vocabulary)), rel=0.01)
+
+    def test_graph_logprob_prefers_real(self, model, subgraph_database, rng):
+        """Real subgraphs should be likelier than opcode-shuffled ones."""
+        from repro.sentinel.random_baseline import random_opcode_graph
+        real = subgraph_database[2]
+        real_lp = model.graph_logprob(real)
+        shuffled = random_opcode_graph(real.to_networkx(), rng)
+        edges = list(shuffled.edges())
+        ops = {v: shuffled.nodes[v]["op_type"] for v in shuffled.nodes()}
+        sources = [v for v in shuffled.nodes() if shuffled.in_degree(v) == 0]
+        rand_lp = model.assignment_logprob(edges, ops, sources)
+        assert real_lp > rand_lp
+
+    def test_successor_distribution_sorted(self, model):
+        dist = model.successor_distribution("Conv")
+        probs = [p for _, p in dist]
+        assert probs == sorted(probs, reverse=True)
+        assert dist[0][0] in ("BatchNormalization", "Relu")
+
+    def test_assignment_logprob_averages(self, model):
+        lp1 = model.assignment_logprob([(0, 1)], {0: "Conv", 1: "Relu"}, [0])
+        assert math.isfinite(lp1)

@@ -1,0 +1,68 @@
+"""Tests for Algorithm 3 (induce orientation)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.sentinel.graphrnn import GraphRNNLite
+from repro.sentinel.orientation import diameter_endpoints, induce_orientation
+
+
+class TestDiameterEndpoints:
+    def test_path_endpoints(self):
+        u, v = diameter_endpoints(nx.path_graph(6))
+        assert {u, v} == {0, 5}
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            diameter_endpoints(nx.Graph())
+
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(7)
+        assert diameter_endpoints(g) == (7, 7)
+
+
+class TestInduceOrientation:
+    @pytest.mark.parametrize("maker", [
+        lambda: nx.path_graph(8),
+        lambda: nx.cycle_graph(7),
+        lambda: nx.random_regular_graph(3, 12, seed=1),
+        lambda: nx.barbell_graph(4, 2),
+    ])
+    def test_always_acyclic(self, maker):
+        g = maker()
+        dag = induce_orientation(g)
+        assert nx.is_directed_acyclic_graph(dag)
+
+    def test_edge_set_preserved(self):
+        g = nx.cycle_graph(9)
+        dag = induce_orientation(g)
+        assert dag.number_of_edges() == g.number_of_edges()
+        for a, b in g.edges():
+            assert dag.has_edge(a, b) or dag.has_edge(b, a)
+
+    def test_node_attributes_preserved(self):
+        g = nx.path_graph(3)
+        g.nodes[1]["op_type"] = "Conv"
+        dag = induce_orientation(g)
+        assert dag.nodes[1]["op_type"] == "Conv"
+
+    def test_disconnected_graph(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (1, 2), (5, 6)])
+        dag = induce_orientation(g)
+        assert nx.is_directed_acyclic_graph(dag)
+        assert dag.number_of_edges() == 3
+
+    def test_generated_topologies_orient(self, subgraph_database):
+        model = GraphRNNLite().fit(subgraph_database, seed=0)
+        for g in model.sample_many(20, seed=2):
+            dag = induce_orientation(g)
+            assert nx.is_directed_acyclic_graph(dag)
+
+    def test_deterministic(self):
+        g = nx.random_regular_graph(3, 10, seed=3)
+        a = induce_orientation(g)
+        b = induce_orientation(g)
+        assert set(a.edges()) == set(b.edges())

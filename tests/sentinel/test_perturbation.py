@@ -1,0 +1,59 @@
+"""Tests for perturbation-based sentinels."""
+
+import numpy as np
+import pytest
+
+from repro.ir.validate import validate_graph
+from repro.runtime import Executor, random_inputs
+from repro.sentinel.perturbation import perturb_subgraph
+
+
+class TestPerturbation:
+    def test_valid_output(self, subgraph_database, rng):
+        real = subgraph_database[3]
+        p = perturb_subgraph(real, rng)
+        validate_graph(p)
+
+    def test_differs_from_original(self, subgraph_database, rng):
+        real = subgraph_database[3]
+        p = perturb_subgraph(real, rng)
+        same_ops = [n.op_type for n in p.topological_order()] == [
+            n.op_type for n in real.topological_order()
+        ]
+        same_count = p.num_nodes == real.num_nodes
+        assert not (same_ops and same_count)
+
+    def test_original_untouched(self, subgraph_database, rng):
+        real = subgraph_database[3]
+        ops_before = [n.op_type for n in real.nodes]
+        perturb_subgraph(real, rng)
+        assert [n.op_type for n in real.nodes] == ops_before
+
+    def test_interface_preserved(self, subgraph_database, rng):
+        real = subgraph_database[2]
+        p = perturb_subgraph(real, rng)
+        assert p.input_names == real.input_names
+        assert p.output_names == real.output_names
+
+    def test_executes(self, subgraph_database, rng):
+        real = subgraph_database[4]
+        p = perturb_subgraph(real, rng)
+        out = Executor(p).run(random_inputs(p))
+        assert set(out) == set(p.output_names)
+
+    def test_multiple_seeds_diverse(self, subgraph_database):
+        real = subgraph_database[3]
+        signatures = set()
+        for seed in range(6):
+            p = perturb_subgraph(real, np.random.default_rng(seed))
+            signatures.add(tuple(sorted(p.opcode_histogram().items())))
+        assert len(signatures) >= 3
+
+    def test_explicit_edit_count(self, subgraph_database, rng):
+        real = subgraph_database[3]
+        p = perturb_subgraph(real, rng, n_edits=1)
+        validate_graph(p)
+
+    def test_name_assigned(self, subgraph_database, rng):
+        p = perturb_subgraph(subgraph_database[3], rng, name="mysentinel")
+        assert p.name == "mysentinel"

@@ -1,0 +1,104 @@
+"""Tests for Algorithm 2 (operator population) and materialization."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.ir.validate import validate_graph
+from repro.runtime import Executor, random_inputs
+from repro.sentinel.operator_population import assign_operators
+from repro.sentinel.opseq_model import OpSequenceModel
+
+
+@pytest.fixture(scope="module")
+def seq_model():
+    from repro.models import build_model
+    from repro.sentinel.generator import build_subgraph_database
+    db = build_subgraph_database([build_model("resnet"), build_model("bert")], seed=0)
+    vocab = sorted({n.op_type for g in db for n in g.nodes})
+    return OpSequenceModel(vocab).fit(db)
+
+
+def chain_dag(n):
+    g = nx.DiGraph()
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def diamond_dag():
+    g = nx.DiGraph()
+    g.add_edges_from([(0, 1), (0, 2), (1, 3), (2, 3)])
+    return g
+
+
+class TestAssignOperators:
+    def test_chain_populates(self, seq_model, rng):
+        results = assign_operators(chain_dag(6), seq_model, rng, max_solutions=8)
+        assert results
+        for r in results:
+            validate_graph(r.graph)
+            assert r.graph.num_nodes == 6
+
+    def test_diamond_with_merge(self, seq_model, rng):
+        results = assign_operators(diamond_dag(), seq_model, rng, max_solutions=8)
+        assert results
+        g = results[0].graph
+        merge = [n for n in g.nodes if len([i for i in n.inputs if not g.is_initializer(i)]) == 2]
+        assert merge  # the join node hosts a binary op
+
+    def test_results_sorted_by_likelihood(self, seq_model, rng):
+        results = assign_operators(chain_dag(5), seq_model, rng, max_solutions=16, pct=100.0)
+        lps = [r.logprob for r in results]
+        assert lps == sorted(lps, reverse=True)
+
+    def test_percentile_filters(self, seq_model, rng):
+        all_r = assign_operators(chain_dag(4), seq_model,
+                                 np.random.default_rng(0), max_solutions=16, pct=100.0)
+        top_r = assign_operators(chain_dag(4), seq_model,
+                                 np.random.default_rng(0), max_solutions=16, pct=25.0)
+        assert len(top_r) <= max(1, len(all_r) // 2)
+
+    def test_empty_dag(self, seq_model, rng):
+        assert assign_operators(nx.DiGraph(), seq_model, rng) == []
+
+    def test_materialized_graph_executes(self, seq_model, rng):
+        results = assign_operators(chain_dag(7), seq_model, rng, max_solutions=4)
+        g = results[0].graph
+        out = Executor(g).run(random_inputs(g))
+        assert out
+
+    def test_input_hints_respected(self, seq_model, rng):
+        from repro.ir.dtypes import f32
+        hints = [f32(1, 24, 10, 10)]
+        results = assign_operators(chain_dag(4), seq_model, rng,
+                                   input_type_hints=hints, max_solutions=4)
+        assert results
+        assert results[0].graph.inputs[0].type.shape == (1, 24, 10, 10)
+
+    def test_single_node_dag(self, seq_model, rng):
+        g = nx.DiGraph()
+        g.add_node(0)
+        results = assign_operators(g, seq_model, rng, max_solutions=4)
+        assert results
+        assert results[0].graph.num_nodes == 1
+
+    def test_semantic_quality(self, seq_model):
+        """Populated chains should prefer realistic sequences: across many
+        samples, Conv should be followed by BN/Relu more often than by
+        exotic ops."""
+        follows = {"realistic": 0, "other": 0}
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            results = assign_operators(chain_dag(8), seq_model, rng, max_solutions=4)
+            for r in results[:1]:
+                g = r.graph
+                for node in g.nodes:
+                    if node.op_type != "Conv":
+                        continue
+                    for c in g.consumers_of(node.outputs[0]):
+                        if c.op_type in ("BatchNormalization", "Relu", "Add", "Clip"):
+                            follows["realistic"] += 1
+                        else:
+                            follows["other"] += 1
+        assert follows["realistic"] >= follows["other"]

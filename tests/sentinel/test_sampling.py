@@ -1,0 +1,90 @@
+"""Tests for density estimation and Algorithm 1 topology sampling."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.sentinel.density import FeatureDensity
+from repro.sentinel.features import feature_matrix, graph_features
+from repro.sentinel.topology_sampler import TopologySampler
+
+
+class TestFeatureDensity:
+    def test_density_positive(self):
+        rng = np.random.default_rng(0)
+        samples = rng.standard_normal((50, 3))
+        d = FeatureDensity(samples)
+        assert d(np.zeros(3)) > 0
+
+    def test_higher_near_mass(self):
+        rng = np.random.default_rng(1)
+        samples = rng.standard_normal((100, 2))
+        d = FeatureDensity(samples)
+        assert d(np.zeros(2)) > d(np.array([8.0, 8.0]))
+
+    def test_degenerate_dimension_handled(self):
+        rng = np.random.default_rng(2)
+        samples = np.column_stack([rng.standard_normal(40), np.full(40, 3.0)])
+        d = FeatureDensity(samples)  # must not crash on zero-variance dim
+        assert d(np.array([0.0, 3.0])) > 0
+
+    def test_all_degenerate(self):
+        samples = np.full((10, 2), 5.0)
+        d = FeatureDensity(samples)
+        assert d(np.array([5.0, 5.0])) == 1.0
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="N>=2"):
+            FeatureDensity(np.zeros((1, 3)))
+
+    def test_standardize(self):
+        rng = np.random.default_rng(3)
+        samples = rng.standard_normal((60, 2)) * np.array([2.0, 5.0]) + 1.0
+        d = FeatureDensity(samples)
+        z = d.standardize(samples.mean(axis=0))
+        np.testing.assert_allclose(z, 0.0, atol=1e-9)
+
+
+class TestTopologySampler:
+    @pytest.fixture(scope="class")
+    def sampler(self, subgraph_database):
+        from repro.sentinel.graphrnn import GraphRNNLite
+        model = GraphRNNLite().fit(subgraph_database, seed=0)
+        return TopologySampler(model.sample_many(150, seed=1))
+
+    def test_pool_size_validation(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            TopologySampler([nx.path_graph(3)])
+
+    def test_beta_validation(self, sampler, subgraph_database, rng):
+        with pytest.raises(ValueError, match="beta"):
+            sampler.sample(subgraph_database[0], beta=0.0, rng=rng)
+
+    def test_samples_are_dags(self, sampler, subgraph_database, rng):
+        results = sampler.sample(subgraph_database[2], beta=0.8, rng=rng)
+        for r in results:
+            assert nx.is_directed_acyclic_graph(r.dag)
+
+    def test_samples_near_protected_features(self, sampler, subgraph_database, rng):
+        protected = subgraph_database[2]
+        results = sampler.sample(protected, beta=0.6, rng=rng)
+        if not results:
+            pytest.skip("band empty at this seed")
+        x = sampler.density.standardize(graph_features(protected).as_array())
+        for r in results:
+            z = sampler.density.standardize(r.features)
+            # in-band: within beta of the protected graph on every axis
+            assert np.all(np.abs(z - x) <= 0.6 + 1e-9)
+
+    def test_weights_are_inverse_density(self, sampler, subgraph_database, rng):
+        results = sampler.sample(subgraph_database[2], beta=1.0, rng=rng)
+        for r in results:
+            assert r.weight == pytest.approx(1.0 / sampler.density(r.features), rel=1e-6)
+
+    def test_sample_at_least_reaches_count(self, sampler, subgraph_database, rng):
+        got = sampler.sample_at_least(subgraph_database[0], beta=0.3, rng=rng, count=10)
+        assert len(got) == 10
+
+    def test_max_results_respected(self, sampler, subgraph_database, rng):
+        got = sampler.sample(subgraph_database[0], beta=2.0, rng=rng, max_results=3)
+        assert len(got) <= 3

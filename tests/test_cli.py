@@ -1,0 +1,69 @@
+"""Tests for the CLI: the full two-party workflow through files."""
+
+import pytest
+
+from repro.cli import main
+from repro.ir.serialization import load_graph
+from repro.runtime import graphs_equivalent
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    path = str(tmp_path / "model.json")
+    assert main(["build", "resnet", "-o", path]) == 0
+    return path
+
+
+class TestBuild:
+    def test_build_writes_model(self, model_file):
+        g = load_graph(model_file)
+        assert g.num_nodes > 20
+
+    def test_unknown_model(self, tmp_path):
+        rc = main(["build", "nope", "-o", str(tmp_path / "x.json")])
+        assert rc == 2
+
+
+class TestWorkflow:
+    def test_full_two_party_flow(self, model_file, tmp_path, capsys):
+        bucket = str(tmp_path / "ship.json")
+        plan = str(tmp_path / "secret.json")
+        # k=0 keeps the CLI test fast; sentinel-full paths are covered by
+        # core/sentinel tests
+        assert main([
+            "obfuscate", model_file, "--bucket", bucket, "--plan", plan,
+            "-k", "0", "--seed", "1",
+        ]) == 0
+        returned = str(tmp_path / "returned.json")
+        assert main(["optimize", bucket, "-o", returned, "--optimizer", "ortlike"]) == 0
+        recovered = str(tmp_path / "model_opt.json")
+        assert main(["deobfuscate", returned, plan, "-o", recovered]) == 0
+        original = load_graph(model_file)
+        optimized = load_graph(recovered)
+        assert graphs_equivalent(original, optimized, n_trials=1)
+        out = capsys.readouterr().out
+        assert "search space" in out
+
+    def test_hidet_optimizer_choice(self, model_file, tmp_path):
+        bucket = str(tmp_path / "b.json")
+        plan = str(tmp_path / "p.json")
+        main(["obfuscate", model_file, "--bucket", bucket, "--plan", plan, "-k", "0"])
+        assert main(["optimize", bucket, "-o", str(tmp_path / "r.json"),
+                     "--optimizer", "hidetlike"]) == 0
+
+
+class TestUtilities:
+    def test_profile(self, model_file, capsys):
+        assert main(["profile", model_file]) == 0
+        assert "us over" in capsys.readouterr().out
+
+    def test_render(self, model_file, tmp_path):
+        out = str(tmp_path / "g.dot")
+        assert main(["render", model_file, "-o", out]) == 0
+        text = open(out).read()
+        assert text.startswith("digraph")
+        assert "Conv" in text
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

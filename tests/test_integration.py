@@ -1,0 +1,105 @@
+"""End-to-end integration tests spanning every subsystem.
+
+These exercise the complete paper workflow at reduced scale:
+obfuscate → optimize → deobfuscate with real sentinels, plus the
+adversary loop and the public API surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Proteus, ProteusConfig, build_model
+from repro.adversary import (
+    evaluate_classifier,
+    run_attack,
+    train_classifier,
+)
+from repro.adversary.opgraph import LabeledDataset
+from repro.optimizer import HidetLikeOptimizer, OrtLikeOptimizer
+from repro.runtime import CostModel, graphs_equivalent, profile_graph
+
+
+class TestPublicAPI:
+    def test_top_level_imports(self):
+        import repro
+        assert repro.__version__
+        for name in ["Proteus", "ProteusConfig", "build_model", "list_models",
+                     "Graph", "GraphBuilder", "ObfuscatedBucket", "ReassemblyPlan"]:
+            assert hasattr(repro, name)
+
+    def test_quickstart_snippet(self, sentinel_generator):
+        """The README quickstart must actually run."""
+        model = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+        proteus = Proteus(
+            ProteusConfig(target_subgraph_size=8, k=2, seed=0),
+            sentinel_source=sentinel_generator,
+        )
+        bucket, plan = proteus.obfuscate(model)
+        optimized = proteus.optimize_bucket(bucket, OrtLikeOptimizer())
+        recovered = proteus.deobfuscate(optimized, plan)
+        assert graphs_equivalent(model, recovered, n_trials=1)
+
+
+class TestPaperWorkflow:
+    def test_performance_triangle(self, sentinel_generator):
+        """unopt >= proteus >= best for both optimizers (Fig. 4 shape)."""
+        g = build_model("mobilenet")
+        cm = CostModel()
+        for optimizer in (OrtLikeOptimizer(), HidetLikeOptimizer()):
+            p = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+            rec = p.run_pipeline(g, optimizer)
+            best = optimizer.optimize(g)
+            assert cm.graph_latency(best) <= cm.graph_latency(rec) <= cm.graph_latency(g)
+
+    def test_sentinels_optimizable_by_both_optimizers(self, sentinel_generator, subgraph_database):
+        """The optimizer party must be able to process sentinels blindly."""
+        real = subgraph_database[5]
+        sentinels = sentinel_generator.generate(real, k=4, seed=3)
+        for s in sentinels:
+            for opt in (OrtLikeOptimizer(), HidetLikeOptimizer()):
+                out = opt.optimize(s)
+                assert out.num_nodes <= s.num_nodes
+
+    def test_obfuscation_hides_group_reality(self, sentinel_generator):
+        """Within a bucket group, entry ids must not encode realness."""
+        g = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+        p = Proteus(
+            ProteusConfig(target_subgraph_size=8, k=2, seed=0),
+            sentinel_source=sentinel_generator,
+        )
+        bucket, plan = p.obfuscate(g)
+        real_positions = []
+        for group in range(bucket.n_groups):
+            entries = bucket.group_entries(group)
+            ids = [e.entry_id for e in entries]
+            real_id = plan.real_ids[group]
+            real_positions.append(ids.index(real_id))
+        assert len(set(real_positions)) > 1  # shuffled, not always first
+
+    def test_adversary_loop_small(self, sentinel_generator, subgraph_database):
+        """Train on real-vs-sentinel, attack held-out subgraphs: the search
+        space must remain much larger than the random baseline's."""
+        reals = subgraph_database
+        train_reals = reals[: len(reals) // 2]
+        attack_reals = reals[len(reals) // 2:][:4]
+        train_fakes = []
+        for i, r in enumerate(train_reals):
+            train_fakes.extend(sentinel_generator.generate(r, k=1, seed=50 + i))
+        ds = LabeledDataset.from_parts(train_reals, train_fakes)
+        result = train_classifier(ds, epochs=25, seed=0)
+        groups = [
+            sentinel_generator.generate(r, k=4, seed=200 + i)
+            for i, r in enumerate(attack_reals)
+        ]
+        rep = run_attack(result.model, attack_reals, groups, "heldout")
+        assert rep.sensitivity == 1.0
+        assert rep.candidates >= 1.0
+
+
+class TestProfilingIntegration:
+    def test_profile_every_zoo_model(self):
+        from repro.models import list_models
+        for name in list_models():
+            rep = profile_graph(build_model(name))
+            assert rep.total_latency > 0
+            assert len(rep.per_op) > 0

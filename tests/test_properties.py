@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the load-bearing algebraic properties:
+* shape inference agrees with kernel execution for arbitrary shapes;
+* orientation always yields a DAG with the same edge set;
+* partitioning is always a disjoint cover for any (n, seed);
+* optimizer pipelines preserve functional behaviour on random graphs;
+* serialization round-trips arbitrary builder graphs.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import karger_stein_partition
+from repro.ir import GraphBuilder
+from repro.ir.serialization import graph_from_dict, graph_to_dict
+from repro.ir.shape_inference import broadcast_shapes, ShapeInferenceError
+from repro.optimizer import OrtLikeOptimizer
+from repro.runtime import Executor, graphs_equivalent, random_inputs
+from repro.sentinel.orientation import induce_orientation
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- strategy: random small CNN-ish graphs ----------------------------------
+
+@st.composite
+def cnn_graphs(draw):
+    seed = draw(st.integers(0, 10_000))
+    channels = draw(st.integers(2, 6))
+    size = draw(st.sampled_from([8, 12, 16]))
+    depth = draw(st.integers(1, 4))
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder(f"prop_{seed}", seed=seed)
+    x = b.input("x", (1, 3, size, size))
+    h = b.conv(x, channels, kernel=3)
+    for _ in range(depth):
+        op = rng.integers(0, 5)
+        if op == 0:
+            h = b.relu(b.batchnorm(h))
+        elif op == 1:
+            skip = h
+            h = b.conv(h, channels, kernel=3)
+            h = b.add(h, skip)
+        elif op == 2:
+            h = b.sigmoid(h)
+        elif op == 3:
+            h = b.conv(h, channels, kernel=1, pad=0)
+            h = b.relu(h)
+        else:
+            h = b.mul(h, b.scalar(float(rng.uniform(0.5, 2.0))))
+    h = b.global_avgpool(h)
+    h = b.flatten(h)
+    h = b.linear(h, channels, 4)
+    return b.build([h])
+
+
+class TestBroadcastProperties:
+    @_settings
+    @given(
+        st.lists(st.integers(1, 5), min_size=0, max_size=4),
+        st.lists(st.integers(1, 5), min_size=0, max_size=4),
+    )
+    def test_broadcast_matches_numpy(self, a, b):
+        a, b = tuple(a), tuple(b)
+        try:
+            expected = np.broadcast_shapes(a, b)
+            ours = broadcast_shapes(a, b)
+            assert ours == tuple(expected)
+        except ValueError:
+            with pytest.raises(ShapeInferenceError):
+                broadcast_shapes(a, b)
+
+    @_settings
+    @given(st.lists(st.integers(1, 6), min_size=1, max_size=4))
+    def test_broadcast_identity(self, shape):
+        s = tuple(shape)
+        assert broadcast_shapes(s, s) == s
+
+
+class TestGraphProperties:
+    @_settings
+    @given(cnn_graphs())
+    def test_shape_inference_matches_execution(self, graph):
+        out = Executor(graph).run(random_inputs(graph))
+        for name, arr in out.items():
+            assert arr.shape == graph.value_types[name].shape
+
+    @_settings
+    @given(cnn_graphs())
+    def test_optimizer_preserves_function(self, graph):
+        opt = OrtLikeOptimizer().optimize(graph)
+        assert graphs_equivalent(graph, opt, n_trials=1)
+        assert opt.num_nodes <= graph.num_nodes
+
+    @_settings
+    @given(cnn_graphs())
+    def test_serialization_roundtrip(self, graph):
+        back = graph_from_dict(graph_to_dict(graph))
+        assert graphs_equivalent(graph, back, n_trials=1)
+
+    @_settings
+    @given(cnn_graphs(), st.integers(1, 6), st.integers(0, 100))
+    def test_partition_is_disjoint_cover(self, graph, n, seed):
+        n = min(n, graph.num_nodes)
+        p = karger_stein_partition(graph, n, trials=4, seed=seed)
+        p.validate_covers(graph)
+        assert p.n == n
+
+
+class TestOrientationProperties:
+    @_settings
+    @given(
+        st.integers(3, 20),
+        st.floats(0.1, 0.5),
+        st.integers(0, 1000),
+    )
+    def test_orientation_dag_and_edges(self, n, p, seed):
+        g = nx.gnp_random_graph(n, p, seed=seed)
+        dag = induce_orientation(g)
+        assert nx.is_directed_acyclic_graph(dag)
+        assert dag.number_of_edges() == g.number_of_edges()
+        for a, b in g.edges():
+            assert dag.has_edge(a, b) != dag.has_edge(b, a)
+
+
+class TestSearchSpaceProperties:
+    @_settings
+    @given(st.integers(1, 30), st.integers(0, 50), st.floats(0.0, 1.0))
+    def test_search_space_monotone_in_specificity(self, n, k, beta):
+        from repro.adversary import search_space_size
+        lo = search_space_size(n, k, min(1.0, beta + 0.1)) if beta <= 0.9 else 1.0
+        hi = search_space_size(n, k, beta)
+        assert hi >= lo >= 1.0
+        assert math.isfinite(math.log10(hi)) or hi == 0

@@ -1,0 +1,74 @@
+"""Property-based tests over transformer-style (MatMul/LN/Gelu) graphs.
+
+Complements ``test_properties.py``'s CNN strategy: the optimizer's
+transformer fusions (GeluFusion, SkipLayerNorm, MatMulAdd) must preserve
+semantics on arbitrary stacked encoder-ish graphs, not just the zoo's.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ir import GraphBuilder
+from repro.models.common import decomposed_gelu
+from repro.optimizer import HidetLikeOptimizer, OrtLikeOptimizer
+from repro.runtime import graphs_equivalent
+
+_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def transformer_graphs(draw):
+    seed = draw(st.integers(0, 10_000))
+    hidden = draw(st.sampled_from([8, 16, 32]))
+    seq = draw(st.sampled_from([4, 8]))
+    depth = draw(st.integers(1, 3))
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder(f"tprop_{seed}", seed=seed)
+    x = b.input("x", (1, seq, hidden))
+    h = x
+    for _ in range(depth):
+        kind = rng.integers(0, 4)
+        if kind == 0:  # dense + gelu
+            h = b.linear(h, hidden, hidden)
+            h = decomposed_gelu(b, h)
+        elif kind == 1:  # residual + layernorm (SkipLayerNorm fodder)
+            inner = b.linear(h, hidden, hidden)
+            h = b.layernorm(b.add(inner, h), hidden)
+        elif kind == 2:  # softmax attention-ish scaling
+            h = b.div(h, b.scalar(float(np.sqrt(hidden))))
+            h = b.softmax(h, axis=-1)
+        else:  # reshape/transpose round trip
+            h = b.transpose(h, (0, 2, 1))
+            h = b.transpose(h, (0, 2, 1))
+    h = b.reshape(h, (1, seq * hidden))
+    h = b.gemm(h, seq * hidden, 4)
+    return b.build([h])
+
+
+class TestTransformerProperties:
+    @_settings
+    @given(transformer_graphs())
+    def test_ort_preserves_function(self, graph):
+        opt = OrtLikeOptimizer().optimize(graph)
+        assert graphs_equivalent(graph, opt, n_trials=1)
+        assert opt.num_nodes <= graph.num_nodes
+
+    @_settings
+    @given(transformer_graphs())
+    def test_hidet_preserves_function(self, graph):
+        opt = HidetLikeOptimizer().optimize(graph)
+        assert graphs_equivalent(graph, opt, n_trials=1)
+
+    @_settings
+    @given(transformer_graphs())
+    def test_proteus_roundtrip(self, graph):
+        from repro.core import Proteus, ProteusConfig
+        p = Proteus(ProteusConfig(target_subgraph_size=6, k=0, seed=0))
+        rec = p.run_pipeline(graph, OrtLikeOptimizer())
+        assert graphs_equivalent(graph, rec, n_trials=1)
