@@ -1,0 +1,1 @@
+"""Paper-reproduction benchmark package (enables .conftest imports)."""

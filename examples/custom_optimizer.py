@@ -4,13 +4,24 @@
 The optimizer party only needs to expose ``optimize(graph) -> graph``
 preserving functional correctness (§4.2).  This example implements a
 tiny custom optimizer — one bespoke pass plus a couple of stock ones —
-and runs the full Proteus pipeline with it, demonstrating goal 2 of the
+registers it under a string name, and runs the full two-party workflow
+with it addressed purely by that name, demonstrating goal 2 of the
 paper ("Agnosticity and Independence of Performance Optimizations").
+
+Once registered, the backend is equally reachable from the CLI:
+``repro optimize ship.json -o out.json --optimizer double-relu``.
 
 Run:  python examples/custom_optimizer.py
 """
 
-from repro import Proteus, ProteusConfig, build_model
+from repro import (
+    ModelOwner,
+    OptimizerService,
+    ProteusConfig,
+    build_model,
+    list_optimizers,
+    register_optimizer,
+)
 from repro.ir.graph import Graph
 from repro.optimizer import GraphPass, PassManager
 from repro.optimizer.passes import DeadCodeElimination, IdentityElimination
@@ -40,8 +51,9 @@ class DoubleReluElimination(GraphPass):
         return changed
 
 
+@register_optimizer("double-relu")
 class MyOptimizer:
-    """A minimal third-party optimizer product."""
+    """A minimal third-party optimizer product, registered by name."""
 
     def __init__(self) -> None:
         self._manager = PassManager(
@@ -53,9 +65,14 @@ class MyOptimizer:
 
 
 def main() -> None:
+    print(f"registered optimizers: {', '.join(list_optimizers())}")
+
     model = build_model("mobilenet")
-    proteus = Proteus(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
-    recovered = proteus.run_pipeline(model, MyOptimizer())
+    owner = ModelOwner(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+    result = owner.obfuscate(model)
+    # the backend is resolved through the registry — a string is enough
+    receipt = OptimizerService("double-relu").optimize(result.bucket)
+    recovered = owner.reassemble(receipt)
 
     assert graphs_equivalent(model, recovered)
     cm = CostModel()

@@ -1,19 +1,22 @@
 #!/usr/bin/env python
 """Quickstart: protect a model, have it optimized, recover it.
 
-Walks the full Proteus workflow (paper Fig. 1) on a ResNet:
+Walks the full two-party Proteus workflow (paper Fig. 1) on a ResNet,
+one client per party:
 
-1. the *model owner* obfuscates the protected graph into an anonymous
-   bucket of real + sentinel subgraphs;
-2. the *optimizer party* optimizes every bucket entry blindly;
-3. the owner de-obfuscates: extracts the optimized real subgraphs and
-   reassembles the optimized model;
+1. the *model owner* (:class:`ModelOwner`) obfuscates the protected
+   graph into an anonymous bucket of real + sentinel subgraphs and keeps
+   the reassembly plan to itself;
+2. the *optimizer party* (:class:`OptimizerService`) optimizes every
+   bucket entry blindly — entries are independent, so they fan out
+   across a worker pool;
+3. the owner reassembles the optimized model from the returned receipt;
 4. we verify functional equivalence and report the latency impact.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Proteus, ProteusConfig, build_model
+from repro import ModelOwner, OptimizerService, ProteusConfig, build_model
 from repro.optimizer import OrtLikeOptimizer
 from repro.runtime import CostModel, graphs_equivalent
 
@@ -25,29 +28,32 @@ def main() -> None:
     # -- step 1: obfuscation (model owner) --------------------------------
     # n = num_nodes // 8 partitions, k = 3 sentinels per real subgraph.
     # (The paper uses k = 20; smaller k keeps this demo snappy.)
-    proteus = Proteus(ProteusConfig(target_subgraph_size=8, k=3, seed=0))
-    bucket, plan = proteus.obfuscate(model)
+    owner = ModelOwner(ProteusConfig(target_subgraph_size=8, k=3, seed=0))
+    result = owner.obfuscate(model)
+    stats = result.stats
     print(
-        f"obfuscated bucket: {len(bucket)} anonymous subgraphs "
-        f"({bucket.n_groups} groups x {bucket.k + 1} candidates each)"
+        f"obfuscated bucket: {stats.n_entries} anonymous subgraphs "
+        f"({stats.n_groups} groups x {stats.k + 1} candidates each)"
     )
-    print(f"nominal adversary search space: {bucket.nominal_search_space():.2e} models")
+    print(f"nominal adversary search space: {stats.search_space:.2e} models")
 
     # -- step 2: optimization (optimizer party) ----------------------------
-    # The optimizer sees only anonymized subgraphs; it cannot tell which
-    # are real, so it optimizes everything.
-    optimizer = OrtLikeOptimizer(level="extended")
-    optimized_bucket = Proteus.optimize_bucket(bucket, optimizer)
+    # The service sees only anonymized subgraphs; it cannot tell which
+    # are real, so it optimizes everything — here on 4 parallel workers
+    # (guaranteed identical to the serial result).
+    service = OptimizerService("ortlike", level="extended")
+    receipt = service.optimize(result.bucket, max_workers=4)
+    print(f"optimizer party returns: {receipt.summary()}")
 
-    # -- step 3: de-obfuscation (model owner) --------------------------------
-    recovered = Proteus.deobfuscate(optimized_bucket, plan)
+    # -- step 3: reassembly (model owner) ----------------------------------
+    recovered = owner.reassemble(receipt)
     print(f"recovered optimized model: {recovered.num_nodes} operators")
 
     # -- step 4: verification ---------------------------------------------------
     assert graphs_equivalent(model, recovered), "functional equivalence violated!"
     cm = CostModel()
     unopt = cm.graph_latency(model) * 1e6
-    best = cm.graph_latency(optimizer.optimize(model)) * 1e6
+    best = cm.graph_latency(OrtLikeOptimizer().optimize(model)) * 1e6
     prot = cm.graph_latency(recovered) * 1e6
     print(f"\nlatency (modelled):")
     print(f"  unoptimized      {unopt:8.1f} us")

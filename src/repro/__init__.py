@@ -4,12 +4,15 @@ Proteus preserves the confidentiality of a DNN's architecture while an
 independent party performs graph-level performance optimization.  The
 package provides:
 
+* :mod:`repro.api` — the two-party service API: role-separated
+  :class:`ModelOwner` / :class:`OptimizerService` clients, component
+  registries, and the digest-verified bucket manifest;
 * :mod:`repro.ir` — ONNX-flavoured computational-graph IR;
 * :mod:`repro.models` — a model zoo (CNNs, transformers, NAS cells);
 * :mod:`repro.runtime` — numpy reference executor + analytic cost model;
 * :mod:`repro.optimizer` — rule-based graph optimizers (ORT-like, Hidet-like);
 * :mod:`repro.core` — the Proteus mechanism: partitioning, obfuscation,
-  reassembly;
+  reassembly (plus the legacy one-class :class:`Proteus` facade);
 * :mod:`repro.sentinel` — sentinel-subgraph generation (topology model,
   importance sampling, CSP operator population);
 * :mod:`repro.adversary` — the learning-based GNN attack and heuristic
@@ -17,23 +20,51 @@ package provides:
 * :mod:`repro.analysis` — statistics and search-space math used by the
   evaluation.
 
-Quickstart::
+Quickstart — the two-party workflow::
 
-    from repro import Proteus, ProteusConfig, build_model
-    from repro.optimizer import OrtLikeOptimizer
+    from repro import ModelOwner, OptimizerService, ProteusConfig, build_model
 
-    model = build_model("resnet")
-    proteus = Proteus(ProteusConfig(target_subgraph_size=8, k=5, seed=0))
-    bucket, plan = proteus.obfuscate(model)
-    optimized = proteus.optimize_bucket(bucket, OrtLikeOptimizer())
-    recovered = proteus.deobfuscate(optimized, plan)
+    # party 1: the model owner obfuscates the protected architecture
+    owner = ModelOwner(ProteusConfig(target_subgraph_size=8, k=5, seed=0))
+    result = owner.obfuscate(build_model("resnet"))
+    # result.bucket is safe to ship; result.plan stays with the owner.
+
+    # party 2: the untrusted optimizer service sees only the bucket
+    service = OptimizerService("ortlike")          # any registered backend
+    receipt = service.optimize(result.bucket, max_workers=4)
+
+    # party 1: the owner reassembles the optimized model
+    recovered = owner.reassemble(receipt)
+
+Third-party backends register by name and become addressable everywhere
+(``OptimizerService("my-tvm")``, ``repro optimize --optimizer my-tvm``)::
+
+    from repro import register_optimizer
+
+    @register_optimizer("my-tvm")
+    class TvmLikeOptimizer:
+        def optimize(self, graph):
+            ...
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .ir import Graph, GraphBuilder, Node  # noqa: F401
 from .core import ObfuscatedBucket, Proteus, ProteusConfig, ReassemblyPlan  # noqa: F401
 from .models import build_model, list_models  # noqa: F401
+from .api import (  # noqa: F401
+    BucketManifest,
+    ModelOwner,
+    ObfuscationResult,
+    OptimizationReceipt,
+    OptimizerService,
+    list_optimizers,
+    list_partitioners,
+    list_sentinel_strategies,
+    register_optimizer,
+    register_partitioner,
+    register_sentinel_strategy,
+)
 
 __all__ = [
     "Graph",
@@ -43,6 +74,17 @@ __all__ = [
     "ProteusConfig",
     "ObfuscatedBucket",
     "ReassemblyPlan",
+    "ModelOwner",
+    "OptimizerService",
+    "ObfuscationResult",
+    "OptimizationReceipt",
+    "BucketManifest",
+    "register_optimizer",
+    "register_partitioner",
+    "register_sentinel_strategy",
+    "list_optimizers",
+    "list_partitioners",
+    "list_sentinel_strategies",
     "build_model",
     "list_models",
     "__version__",

@@ -1,0 +1,95 @@
+"""repro.api — the two-party service surface of Proteus.
+
+This package is the supported public API:
+
+* :mod:`repro.api.registry` — string-addressable component registries
+  (``@register_optimizer`` & friends) so backends plug in by name;
+* :mod:`repro.api.clients` — role-separated :class:`ModelOwner` /
+  :class:`OptimizerService` clients that keep the secret reassembly plan
+  on the owner's side of the trust boundary;
+* :mod:`repro.api.types` — typed request/response envelopes
+  (:class:`ObfuscationResult`, :class:`OptimizationReceipt`);
+* :mod:`repro.api.manifest` — the versioned, digest-verified wire
+  format the bucket travels in.
+
+Import note: only the registry is loaded eagerly.  Client/manifest
+symbols resolve lazily (PEP 562) so core modules can import the registry
+at definition time without a circular import.
+"""
+
+from .registry import (  # noqa: F401  (registry is import-light)
+    Registry,
+    UnknownComponentError,
+    list_optimizers,
+    list_partitioners,
+    list_sentinel_strategies,
+    register_optimizer,
+    register_partitioner,
+    register_sentinel_strategy,
+    resolve_optimizer,
+    resolve_partitioner,
+    resolve_sentinel_strategy,
+)
+
+__all__ = [
+    # registry
+    "Registry",
+    "UnknownComponentError",
+    "register_optimizer",
+    "register_partitioner",
+    "register_sentinel_strategy",
+    "list_optimizers",
+    "list_partitioners",
+    "list_sentinel_strategies",
+    "resolve_optimizer",
+    "resolve_partitioner",
+    "resolve_sentinel_strategy",
+    # clients
+    "ModelOwner",
+    "OptimizerService",
+    "ProgressCallback",
+    # typed envelopes
+    "ObfuscationResult",
+    "ObfuscationStats",
+    "OptimizationReceipt",
+    "EntryOptimization",
+    "bucket_key",
+    # wire protocol
+    "BucketManifest",
+    "ManifestIntegrityError",
+    "graph_digest",
+    "save_manifest",
+    "load_manifest",
+]
+
+_LAZY = {
+    "ModelOwner": "clients",
+    "OptimizerService": "clients",
+    "ProgressCallback": "clients",
+    "ObfuscationResult": "types",
+    "ObfuscationStats": "types",
+    "OptimizationReceipt": "types",
+    "EntryOptimization": "types",
+    "bucket_key": "types",
+    "BucketManifest": "manifest",
+    "ManifestIntegrityError": "manifest",
+    "graph_digest": "manifest",
+    "save_manifest": "manifest",
+    "load_manifest": "manifest",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for next access
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

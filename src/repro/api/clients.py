@@ -1,0 +1,325 @@
+"""Role-separated clients for the two-party Proteus protocol.
+
+The paper's trust boundary splits the workflow between two parties, and
+this module gives each party its own client so the types themselves
+enforce the boundary:
+
+* :class:`ModelOwner` — partitions, sentinel-hides and anonymizes the
+  protected model, keeps the secret :class:`ReassemblyPlan` internally,
+  and later reassembles the optimized model from an
+  :class:`OptimizationReceipt`.  The plan never appears in any
+  optimizer-facing signature.
+* :class:`OptimizerService` — the untrusted party.  It sees only the
+  anonymous bucket, optimizes every entry indiscriminately (optionally
+  fanning entries across a worker pool — they are independent by
+  construction) and returns a receipt.
+
+Backends are addressed by name through :mod:`repro.api.registry`, so
+``OptimizerService("hidetlike")`` and a third-party
+``OptimizerService("my-tvm")`` are the same one-liner.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.config import ProteusConfig
+from ..core.partition import Partition
+from ..core.proteus import (
+    BucketEntry,
+    GraphOptimizer,
+    ObfuscatedBucket,
+    ReassemblyPlan,
+    SentinelSource,
+)
+from ..core.reassembly import reassemble
+from ..core.subgraph import SubgraphBoundary, anonymize_subgraph, extract_subgraph
+from ..ir.graph import Graph
+from ..ir.shape_inference import infer_shapes
+from .registry import (
+    resolve_optimizer,
+    resolve_partitioner,
+    resolve_sentinel_strategy,
+)
+from .types import (
+    EntryOptimization,
+    ObfuscationResult,
+    ObfuscationStats,
+    OptimizationReceipt,
+    bucket_key,
+)
+
+__all__ = ["ModelOwner", "OptimizerService", "ProgressCallback"]
+
+#: ``progress(done, total, entry_id)`` invoked after each entry finishes.
+ProgressCallback = Callable[[int, int, str], None]
+
+
+class ModelOwner:
+    """The trusted party: obfuscates models and reassembles results.
+
+    Plans are retained internally, keyed by the bucket's layout identity
+    (:func:`repro.api.types.bucket_key`), so ``reassemble(receipt)``
+    works without the secret ever traveling alongside the bucket.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ProteusConfig] = None,
+        sentinel_source: Optional[SentinelSource] = None,
+    ) -> None:
+        self.config = config or ProteusConfig()
+        self._sentinel_source = sentinel_source
+        self._plans: Dict[str, ReassemblyPlan] = {}
+
+    # -- components (registry-resolved) -----------------------------------
+    def partition(self, graph: Graph) -> Partition:
+        """Split the protected graph with the configured partitioner."""
+        partitioner = resolve_partitioner(self.config.partitioner)
+        n = self.config.partitions_for(graph.num_nodes)
+        return partitioner(
+            graph, n, trials=self.config.partition_trials, seed=self.config.seed
+        )
+
+    def sentinel_source(self) -> SentinelSource:
+        """The configured sentinel generator (built lazily on first use)."""
+        if self._sentinel_source is None:
+            factory = resolve_sentinel_strategy(self.config.sentinel_strategy)
+            self._sentinel_source = factory(self.config)
+        return self._sentinel_source
+
+    # -- protocol step 1: obfuscate ----------------------------------------
+    def obfuscate(self, graph: Graph) -> ObfuscationResult:
+        """Partition + sentinel-generate + anonymize + shuffle."""
+        infer_shapes(graph)
+        partition = self.partition(graph)
+        k = self.config.k
+        rng = np.random.default_rng(self.config.seed)
+        source = self.sentinel_source() if k > 0 else None
+
+        entries: List[BucketEntry] = []
+        real_ids: List[str] = []
+        boundaries: List[SubgraphBoundary] = []
+        next_id = 0
+        # Entry ids carry a deterministic per-obfuscation nonce so two
+        # obfuscations (different models or seeds) never share a layout
+        # key — otherwise same-geometry buckets would collide in
+        # ``_plans`` and ``reassemble(receipt)`` could pick a stale plan.
+        # A sha256 prefix is uniform across the bucket and preimage-
+        # resistant, so it cannot distinguish entries or leak the model.
+        from .manifest import graph_digest
+
+        nonce = hashlib.sha256(
+            f"{graph_digest(graph)}|{self.config.seed}|{k}".encode("utf-8")
+        ).hexdigest()[:8]
+
+        def fresh_id() -> str:
+            nonlocal next_id
+            eid = f"g{nonce}-{next_id:05d}"
+            next_id += 1
+            return eid
+
+        for group, cluster in enumerate(partition.clusters):
+            sub, boundary = extract_subgraph(graph, cluster, group)
+            group_graphs: List[Tuple[Graph, bool]] = [(sub, True)]
+            if source is not None:
+                sentinels = source.generate(
+                    sub, k, seed=int(rng.integers(0, 2**31 - 1))
+                )
+                if len(sentinels) != k:
+                    raise RuntimeError(
+                        f"sentinel source returned {len(sentinels)} graphs, wanted {k}"
+                    )
+                group_graphs.extend((s, False) for s in sentinels)
+            order = rng.permutation(len(group_graphs))
+            for pos in order:
+                g, is_real = group_graphs[pos]
+                eid = fresh_id()
+                if is_real:
+                    anon, anon_boundary = anonymize_subgraph(g, boundary, eid)
+                    entries.append(BucketEntry(eid, group, anon))
+                    real_ids.append(eid)
+                    boundaries.append(anon_boundary)
+                else:
+                    # sentinels are born anonymous but get the same rename
+                    # treatment so naming conventions cannot leak realness.
+                    dummy = SubgraphBoundary(group, [], [])
+                    anon, _ = anonymize_subgraph(g, dummy, eid)
+                    entries.append(BucketEntry(eid, group, anon))
+
+        bucket = ObfuscatedBucket(entries, n_groups=partition.n, k=k)
+        plan = ReassemblyPlan(
+            model_template=graph.clone(), real_ids=real_ids, boundaries=boundaries
+        )
+        stats = ObfuscationStats(
+            model_name=graph.name,
+            n_groups=bucket.n_groups,
+            k=k,
+            n_entries=len(bucket),
+            total_nodes=sum(e.graph.num_nodes for e in bucket),
+            search_space=bucket.nominal_search_space(),
+            sentinel_strategy=self.config.sentinel_strategy,
+            partitioner=self.config.partitioner,
+        )
+        result = ObfuscationResult(bucket=bucket, plan=plan, stats=stats)
+        self._plans[result.key] = plan
+        return result
+
+    # -- protocol step 3: reassemble ---------------------------------------
+    def reassemble(
+        self,
+        receipt: Union[OptimizationReceipt, ObfuscatedBucket],
+        plan: Optional[ReassemblyPlan] = None,
+    ) -> Graph:
+        """Stitch the optimized model back from a receipt (or raw bucket).
+
+        Without an explicit ``plan``, the plan retained by this owner for
+        the matching bucket layout is used — so a receipt from a foreign
+        obfuscation (one this owner never produced) is rejected.
+        """
+        bucket = receipt.bucket if isinstance(receipt, OptimizationReceipt) else receipt
+        if plan is None:
+            key = bucket_key(bucket)
+            if key not in self._plans:
+                raise KeyError(
+                    "no reassembly plan retained for this bucket layout; "
+                    "did this owner produce it?"
+                )
+            plan = self._plans[key]
+        subs = [bucket.get(eid).graph for eid in plan.real_ids]
+        return reassemble(plan.model_template, subs, plan.boundaries)
+
+    def forget(self, result_or_key: Union[ObfuscationResult, str]) -> None:
+        """Drop a retained plan (after successful reassembly)."""
+        key = (
+            result_or_key
+            if isinstance(result_or_key, str)
+            else result_or_key.key
+        )
+        self._plans.pop(key, None)
+
+
+class OptimizerService:
+    """The untrusted party: optimizes every bucket entry blindly.
+
+    Parameters
+    ----------
+    optimizer:
+        A registered backend name (``"ortlike"``, ``"hidetlike"``, or any
+        third-party registration), an instance exposing
+        ``optimize(graph) -> graph``, or a zero-arg factory returning one.
+    **optimizer_options:
+        Keyword arguments forwarded to the backend factory when
+        ``optimizer`` is a name (e.g. ``kernel_selection=True``).
+    """
+
+    def __init__(
+        self,
+        optimizer: Union[str, GraphOptimizer, Callable[[], GraphOptimizer]] = "ortlike",
+        **optimizer_options,
+    ) -> None:
+        self._factory: Optional[Callable[[], GraphOptimizer]] = None
+        self._instance: Optional[GraphOptimizer] = None
+        if isinstance(optimizer, str):
+            backend = resolve_optimizer(optimizer)
+            self.name = optimizer
+            try:
+                import inspect
+
+                inspect.signature(backend).bind(**optimizer_options)
+            except TypeError:
+                raise TypeError(
+                    f"optimizer {optimizer!r} does not accept options "
+                    f"{sorted(optimizer_options)}"
+                ) from None
+            except ValueError:  # no introspectable signature — defer to call
+                pass
+            self._factory = lambda: backend(**optimizer_options)
+        elif isinstance(optimizer, type):
+            # a class is a zero-arg factory, not an instance — its
+            # unbound .optimize would otherwise pass the graph as self.
+            if optimizer_options:
+                raise TypeError("optimizer_options require a backend name")
+            self._factory = optimizer
+            self.name = getattr(optimizer, "name", None) or optimizer.__name__
+        elif callable(getattr(optimizer, "optimize", None)):
+            if optimizer_options:
+                raise TypeError("optimizer_options require a backend name")
+            self._instance = optimizer  # type: ignore[assignment]
+            self.name = getattr(optimizer, "name", type(optimizer).__name__)
+        elif callable(optimizer):
+            if optimizer_options:
+                raise TypeError("optimizer_options require a backend name")
+            self._factory = optimizer
+            self.name = getattr(optimizer, "__name__", "custom")
+        else:
+            raise TypeError(
+                f"optimizer must be a registered name, an object with "
+                f".optimize(), or a factory; got {optimizer!r}"
+            )
+
+    def _make_optimizer(self) -> GraphOptimizer:
+        if self._instance is not None:
+            return self._instance
+        assert self._factory is not None
+        return self._factory()
+
+    def optimize(
+        self,
+        bucket: ObfuscatedBucket,
+        max_workers: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> OptimizationReceipt:
+        """Optimize every entry; the service cannot tell real from sentinel.
+
+        Entries are independent by construction, so with
+        ``max_workers > 1`` they fan across a thread pool.  The result is
+        guaranteed entry-for-entry identical to the serial run: each
+        worker thread gets its own backend instance (when a factory is
+        available) and the output bucket is rebuilt in the original entry
+        order, never in completion order.
+        """
+        total = len(bucket)
+        entry_stats: Dict[str, EntryOptimization] = {}
+        optimized: Dict[str, Graph] = {}
+        workers = 1 if max_workers is None else max(1, int(max_workers))
+        workers = min(workers, total) or 1
+
+        if workers == 1:
+            optimizer = self._make_optimizer()
+            for done, entry in enumerate(bucket, start=1):
+                optimized[entry.entry_id] = optimizer.optimize(entry.graph)
+                if progress is not None:
+                    progress(done, total, entry.entry_id)
+        else:
+            local = threading.local()
+
+            def worker_optimize(entry: BucketEntry) -> Tuple[str, Graph]:
+                if not hasattr(local, "optimizer"):
+                    local.optimizer = self._make_optimizer()
+                return entry.entry_id, local.optimizer.optimize(entry.graph)
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(worker_optimize, e) for e in bucket]
+                for done, fut in enumerate(as_completed(futures), start=1):
+                    eid, graph = fut.result()
+                    optimized[eid] = graph
+                    if progress is not None:
+                        progress(done, total, eid)
+
+        for entry in bucket:
+            entry_stats[entry.entry_id] = EntryOptimization(
+                nodes_before=entry.graph.num_nodes,
+                nodes_after=optimized[entry.entry_id].num_nodes,
+            )
+        return OptimizationReceipt(
+            bucket=bucket.with_graphs(optimized),
+            optimizer=self.name,
+            workers=workers,
+            entries=entry_stats,
+        )

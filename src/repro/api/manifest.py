@@ -1,0 +1,153 @@
+"""Versioned wire protocol for the bucket exchange.
+
+The bucket is the only artifact that crosses the trust boundary, so its
+on-disk form gets a real envelope: a :class:`BucketManifest` wraps the
+legacy bucket payload with a manifest version, per-entry content digests
+and a whole-bucket digest.  The owner verifies integrity when the
+optimized bucket comes back (a corrupted or truncated transfer fails
+loudly instead of reassembling garbage), and the optimizer party can
+prove exactly which entry bytes it received.
+
+Digests deliberately cover graph *content*; the optimizer rewrites
+graphs, so it re-manifests the returned bucket with fresh digests while
+the entry-id/group layout (checked separately via
+:func:`repro.api.types.bucket_key`) stays fixed.
+
+Legacy bare-bucket JSON files (the seed format) load transparently:
+:func:`load_manifest` sniffs the envelope and wraps v1 payloads on the
+fly, so old artifacts keep working.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from ..ir.graph import Graph
+from ..ir.serialization import graph_to_dict
+from ..core.bucket_io import bucket_from_dict, bucket_to_dict
+from ..core.proteus import ObfuscatedBucket
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "BucketManifest",
+    "ManifestIntegrityError",
+    "graph_digest",
+    "save_manifest",
+    "load_manifest",
+]
+
+MANIFEST_VERSION = 1
+_DIGEST_PREFIX = "sha256:"
+
+
+class ManifestIntegrityError(ValueError):
+    """The manifest's digests do not match its payload."""
+
+
+def _sha256(blob: bytes) -> str:
+    return _DIGEST_PREFIX + hashlib.sha256(blob).hexdigest()
+
+
+def graph_digest(graph: Graph) -> str:
+    """Canonical content digest of a graph (key-sorted JSON, sha256)."""
+    blob = json.dumps(graph_to_dict(graph), sort_keys=True, separators=(",", ":"))
+    return _sha256(blob.encode("utf-8"))
+
+
+def _bucket_digest(entry_digests: Dict[str, str], n_groups: int, k: int) -> str:
+    """Digest over the ordered entry digests + bucket geometry."""
+    blob = json.dumps(
+        {"n_groups": n_groups, "k": k, "entries": sorted(entry_digests.items())},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return _sha256(blob.encode("utf-8"))
+
+
+@dataclass
+class BucketManifest:
+    """The envelope that actually travels between the two parties."""
+
+    bucket: ObfuscatedBucket
+    entry_digests: Dict[str, str] = field(default_factory=dict)
+    bucket_digest: str = ""
+    manifest_version: int = MANIFEST_VERSION
+
+    @classmethod
+    def from_bucket(cls, bucket: ObfuscatedBucket) -> "BucketManifest":
+        """Seal a bucket: compute per-entry and whole-bucket digests."""
+        digests = {e.entry_id: graph_digest(e.graph) for e in bucket}
+        return cls(
+            bucket=bucket,
+            entry_digests=digests,
+            bucket_digest=_bucket_digest(digests, bucket.n_groups, bucket.k),
+        )
+
+    def verify(self) -> None:
+        """Recompute every digest and raise on any mismatch."""
+        if set(self.entry_digests) != {e.entry_id for e in self.bucket}:
+            raise ManifestIntegrityError(
+                "manifest entry set does not match bucket entry set"
+            )
+        for entry in self.bucket:
+            actual = graph_digest(entry.graph)
+            if actual != self.entry_digests[entry.entry_id]:
+                raise ManifestIntegrityError(
+                    f"digest mismatch for entry {entry.entry_id!r}: "
+                    f"manifest says {self.entry_digests[entry.entry_id]}, "
+                    f"payload hashes to {actual}"
+                )
+        expected = _bucket_digest(
+            self.entry_digests, self.bucket.n_groups, self.bucket.k
+        )
+        if expected != self.bucket_digest:
+            raise ManifestIntegrityError(
+                f"bucket digest mismatch: manifest says {self.bucket_digest}, "
+                f"entries hash to {expected}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "manifest_version": self.manifest_version,
+            "bucket": bucket_to_dict(self.bucket),
+            "entry_digests": dict(self.entry_digests),
+            "bucket_digest": self.bucket_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any], verify: bool = True) -> "BucketManifest":
+        if "manifest_version" not in d and "entries" in d:
+            # legacy bare-bucket payload (seed format): wrap, nothing to verify
+            return cls.from_bucket(bucket_from_dict(d))
+        version = d.get("manifest_version")
+        if version != MANIFEST_VERSION:
+            raise ValueError(f"unsupported manifest version: {version!r}")
+        manifest = cls(
+            bucket=bucket_from_dict(d["bucket"]),
+            entry_digests=dict(d["entry_digests"]),
+            bucket_digest=str(d["bucket_digest"]),
+            manifest_version=int(version),
+        )
+        if verify:
+            manifest.verify()
+        return manifest
+
+
+def save_manifest(bucket_or_manifest, path: str) -> BucketManifest:
+    """Seal (if needed) and write a manifest; returns what was written."""
+    if isinstance(bucket_or_manifest, BucketManifest):
+        manifest = bucket_or_manifest
+    else:
+        manifest = BucketManifest.from_bucket(bucket_or_manifest)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest.to_dict(), fh)
+    return manifest
+
+
+def load_manifest(path: str, verify: bool = True) -> BucketManifest:
+    """Read a manifest (or legacy bucket) file, verifying integrity."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return BucketManifest.from_dict(json.load(fh), verify=verify)

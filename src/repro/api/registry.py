@@ -1,0 +1,193 @@
+"""String-addressable component registries for the service API.
+
+Proteus is deliberately agnostic about *which* partitioner splits the
+protected graph, *which* generator manufactures sentinels, and *which*
+optimizer product the untrusted party runs.  These registries make that
+agnosticism a first-class extension point: components register under a
+string name and every consumer (CLI flags, :class:`repro.api.ModelOwner`,
+:class:`repro.api.OptimizerService`, config validation) resolves through
+the same tables, so a third-party backend plugs in without touching core
+code::
+
+    from repro.api import register_optimizer
+
+    @register_optimizer("my-tvm")
+    class TvmLikeOptimizer:
+        def optimize(self, graph):
+            ...
+
+    # now `repro optimize bucket.json --optimizer my-tvm` just works.
+
+Contracts
+---------
+optimizer
+    A zero-or-keyword-arg factory (usually the class itself) returning an
+    object with ``optimize(graph) -> graph``.
+partitioner
+    ``fn(graph, n, trials=..., seed=...) -> Partition``.
+sentinel strategy
+    ``fn(config) -> SentinelSource`` where the source exposes
+    ``generate(real, k, seed) -> List[Graph]``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterator, List, Optional, TypeVar
+
+__all__ = [
+    "Registry",
+    "UnknownComponentError",
+    "register_optimizer",
+    "register_partitioner",
+    "register_sentinel_strategy",
+    "list_optimizers",
+    "list_partitioners",
+    "list_sentinel_strategies",
+    "resolve_optimizer",
+    "resolve_partitioner",
+    "resolve_sentinel_strategy",
+]
+
+F = TypeVar("F")
+
+
+class UnknownComponentError(KeyError):
+    """Raised when a name is not present in a registry."""
+
+    def __init__(self, kind: str, name: str, available: List[str]) -> None:
+        self.kind = kind
+        self.name = name
+        self.available = available
+        super().__init__(
+            f"unknown {kind} {name!r}; registered: {', '.join(available) or '(none)'}"
+        )
+
+    def __str__(self) -> str:  # KeyError would quote the whole message
+        return self.args[0]
+
+
+class Registry:
+    """A named table of component factories.
+
+    Thread-safe; registration is idempotent only with ``overwrite=True``
+    so accidental name collisions between backends fail loudly.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Callable[..., Any]] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self, name: Optional[str] = None, *, overwrite: bool = False
+    ) -> Callable[[F], F]:
+        """Decorator registering ``obj`` under ``name`` (default: its
+        ``name`` attribute or lowercased class/function ``__name__``)."""
+
+        def deco(obj: F) -> F:
+            key = name or getattr(obj, "name", None) or getattr(obj, "__name__", "").lower()
+            if not key:
+                raise ValueError(f"cannot derive a registry name for {obj!r}")
+            with self._lock:
+                if key in self._entries and not overwrite:
+                    raise ValueError(
+                        f"{self.kind} {key!r} already registered "
+                        f"(pass overwrite=True to replace)"
+                    )
+                self._entries[key] = obj  # type: ignore[assignment]
+            return obj
+
+        return deco
+
+    def resolve(self, name: str) -> Callable[..., Any]:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownComponentError(self.kind, name, self.names()) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Registry {self.kind}: {', '.join(self.names())}>"
+
+
+OPTIMIZERS = Registry("optimizer")
+PARTITIONERS = Registry("partitioner")
+SENTINEL_STRATEGIES = Registry("sentinel strategy")
+
+# -- builtin loading ---------------------------------------------------------
+#
+# Builtins register themselves at their definition sites (the decorator is
+# the same one third parties use); resolving/listing first imports those
+# home modules so the tables are populated regardless of import order.
+
+_builtins_loaded = False
+_builtins_lock = threading.Lock()
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    with _builtins_lock:
+        if _builtins_loaded:
+            return
+        from .. import optimizer as _optimizer  # noqa: F401
+        from ..core import partition as _partition  # noqa: F401
+        from ..sentinel import generator as _generator  # noqa: F401
+
+        _builtins_loaded = True
+
+
+# -- public helpers ----------------------------------------------------------
+
+register_optimizer = OPTIMIZERS.register
+register_partitioner = PARTITIONERS.register
+register_sentinel_strategy = SENTINEL_STRATEGIES.register
+
+
+def list_optimizers() -> List[str]:
+    """Names of every registered optimizer backend."""
+    _ensure_builtins()
+    return OPTIMIZERS.names()
+
+
+def list_partitioners() -> List[str]:
+    """Names of every registered graph partitioner."""
+    _ensure_builtins()
+    return PARTITIONERS.names()
+
+
+def list_sentinel_strategies() -> List[str]:
+    """Names of every registered sentinel-generation strategy."""
+    _ensure_builtins()
+    return SENTINEL_STRATEGIES.names()
+
+
+def resolve_optimizer(name: str) -> Callable[..., Any]:
+    """The optimizer factory registered under ``name``."""
+    _ensure_builtins()
+    return OPTIMIZERS.resolve(name)
+
+
+def resolve_partitioner(name: str) -> Callable[..., Any]:
+    """The partition function registered under ``name``."""
+    _ensure_builtins()
+    return PARTITIONERS.resolve(name)
+
+
+def resolve_sentinel_strategy(name: str) -> Callable[..., Any]:
+    """The sentinel-source factory registered under ``name``."""
+    _ensure_builtins()
+    return SENTINEL_STRATEGIES.resolve(name)

@@ -1,0 +1,112 @@
+"""Typed request/response envelopes for the two-party service API.
+
+The seed API returned bare tuples (``bucket, plan``); services need
+self-describing results that carry provenance and summary statistics
+alongside the payload.  These dataclasses are the in-memory counterparts
+of the wire protocol in :mod:`repro.api.manifest`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.proteus import ObfuscatedBucket, ReassemblyPlan
+
+__all__ = [
+    "ObfuscationStats",
+    "ObfuscationResult",
+    "EntryOptimization",
+    "OptimizationReceipt",
+    "bucket_key",
+]
+
+
+def bucket_key(bucket: ObfuscatedBucket) -> str:
+    """Stable identity of a bucket across the optimize round-trip.
+
+    Hashes the entry-id/group layout (which the optimizer party must
+    preserve) rather than graph contents (which it rewrites), so the
+    owner can match a returned bucket to the plan it kept.  Entry ids
+    embed a per-obfuscation nonce (see :meth:`ModelOwner.obfuscate`),
+    so distinct obfuscations never share a key even when their
+    geometry (``n_groups``, ``k``) coincides.
+    """
+    layout = {
+        "n_groups": bucket.n_groups,
+        "k": bucket.k,
+        "entries": sorted((e.entry_id, e.group) for e in bucket),
+    }
+    blob = json.dumps(layout, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ObfuscationStats:
+    """Owner-side summary of one obfuscation run."""
+
+    model_name: str
+    n_groups: int
+    k: int
+    n_entries: int
+    total_nodes: int
+    search_space: float
+    sentinel_strategy: str
+    partitioner: str
+
+
+@dataclass
+class ObfuscationResult:
+    """Everything the owner gets back from :meth:`ModelOwner.obfuscate`.
+
+    ``bucket`` is safe to ship; ``plan`` is the secret that must never
+    cross the trust boundary; ``stats`` summarizes the run.
+    """
+
+    bucket: ObfuscatedBucket
+    plan: ReassemblyPlan
+    stats: ObfuscationStats
+
+    @property
+    def key(self) -> str:
+        """Identity used to pair the returned bucket with this plan."""
+        return bucket_key(self.bucket)
+
+
+@dataclass(frozen=True)
+class EntryOptimization:
+    """Per-entry before/after accounting from the optimizer party."""
+
+    nodes_before: int
+    nodes_after: int
+
+
+@dataclass
+class OptimizationReceipt:
+    """What :meth:`OptimizerService.optimize` hands back to the owner."""
+
+    bucket: ObfuscatedBucket
+    optimizer: str
+    workers: int = 1
+    entries: Dict[str, EntryOptimization] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return bucket_key(self.bucket)
+
+    @property
+    def nodes_before(self) -> int:
+        return sum(e.nodes_before for e in self.entries.values())
+
+    @property
+    def nodes_after(self) -> int:
+        return sum(e.nodes_after for e in self.entries.values())
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.entries)} entries optimized by {self.optimizer} "
+            f"({self.workers} worker{'s' if self.workers != 1 else ''}): "
+            f"{self.nodes_before} -> {self.nodes_after} total ops"
+        )

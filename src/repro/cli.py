@@ -2,7 +2,7 @@
 
 The paper's artifact exposes the tool "for direct use ... with easy
 integration with compilers"; this CLI is that integration surface over
-the JSON exchange format:
+the versioned manifest exchange format:
 
 model owner::
 
@@ -11,13 +11,19 @@ model owner::
 
 optimizer party::
 
-    python -m repro optimize   ship.json  -o returned.json --optimizer ortlike
+    python -m repro optimize   ship.json  -o returned.json --optimizer ortlike --jobs 4
 
 utilities::
 
     python -m repro build resnet -o model.json       # export a zoo model
+    python -m repro components                       # list registered backends
     python -m repro profile model.json               # modelled latency report
     python -m repro render model.json -o model.dot   # graphviz export
+
+Optimizers, partitioners and sentinel strategies are all resolved
+through :mod:`repro.api.registry`, so flag choices track registrations
+automatically — a third-party backend registered before ``main()`` runs
+shows up in ``--optimizer`` with zero CLI changes.
 """
 
 from __future__ import annotations
@@ -26,22 +32,21 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .core import Proteus, ProteusConfig
-from .core.bucket_io import load_bucket, load_plan, save_bucket, save_plan
+from .api.clients import ModelOwner, OptimizerService
+from .api.manifest import ManifestIntegrityError, load_manifest, save_manifest
+from .api.registry import (
+    UnknownComponentError,
+    list_optimizers,
+    list_partitioners,
+    list_sentinel_strategies,
+)
+from .core import ProteusConfig
+from .core.bucket_io import load_plan, save_plan
 from .ir.dot import graph_to_dot
 from .ir.serialization import load_graph, save_graph
 from .models import build_model, list_models
-from .optimizer import HidetLikeOptimizer, OrtLikeOptimizer
 
 __all__ = ["main"]
-
-
-def _make_optimizer(name: str, kernel_selection: bool):
-    if name == "ortlike":
-        return OrtLikeOptimizer(kernel_selection=kernel_selection)
-    if name == "hidetlike":
-        return HidetLikeOptimizer()
-    raise SystemExit(f"unknown optimizer {name!r} (ortlike | hidetlike)")
 
 
 def _cmd_build(args) -> int:
@@ -62,39 +67,76 @@ def _cmd_obfuscate(args) -> int:
         k=args.k,
         seed=args.seed,
         sentinel_strategy=args.strategy,
+        partitioner=args.partitioner,
     )
-    proteus = Proteus(config)
-    bucket, plan = proteus.obfuscate(model)
-    save_bucket(bucket, args.bucket)
-    save_plan(plan, args.plan)
+    owner = ModelOwner(config)
+    result = owner.obfuscate(model)
+    save_manifest(result.bucket, args.bucket)
+    save_plan(result.plan, args.plan)
+    stats = result.stats
     print(
-        f"obfuscated {model.name}: {len(bucket)} subgraphs "
-        f"({bucket.n_groups} groups x {bucket.k + 1}); "
-        f"search space {bucket.nominal_search_space():.2e}"
+        f"obfuscated {stats.model_name}: {stats.n_entries} subgraphs "
+        f"({stats.n_groups} groups x {stats.k + 1}); "
+        f"search space {stats.search_space:.2e}"
     )
     print(f"  ship to optimizer : {args.bucket}")
     print(f"  keep secret       : {args.plan}")
     return 0
 
 
+def _load_manifest_or_fail(path: str):
+    """Load a bucket manifest; on any malformed/corrupt input print the
+    reason and return None (callers translate that to exit code 3)."""
+    try:
+        return load_manifest(path)
+    except ManifestIntegrityError as exc:
+        print(f"bucket failed integrity verification: {exc}", file=sys.stderr)
+    except (ValueError, KeyError) as exc:
+        print(f"cannot load bucket file {path!r}: {exc}", file=sys.stderr)
+    return None
+
+
 def _cmd_optimize(args) -> int:
-    bucket = load_bucket(args.bucket)
-    optimizer = _make_optimizer(args.optimizer, args.kernel_selection)
-    optimized = Proteus.optimize_bucket(bucket, optimizer)
-    save_bucket(optimized, args.output)
-    before = sum(e.graph.num_nodes for e in bucket)
-    after = sum(e.graph.num_nodes for e in optimized)
-    print(f"optimized {len(bucket)} subgraphs with {args.optimizer}: "
-          f"{before} -> {after} total ops; wrote {args.output}")
+    manifest = _load_manifest_or_fail(args.bucket)
+    if manifest is None:
+        return 3
+    options = {}
+    if args.kernel_selection:
+        options["kernel_selection"] = True
+    try:
+        service = OptimizerService(args.optimizer, **options)
+    except TypeError as exc:
+        print(f"cannot construct optimizer {args.optimizer!r}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int, entry_id: str) -> None:
+        if args.verbose:
+            print(f"  [{done}/{total}] {entry_id}")
+
+    receipt = service.optimize(
+        manifest.bucket, max_workers=args.jobs, progress=progress
+    )
+    save_manifest(receipt.bucket, args.output)
+    print(f"{receipt.summary()}; wrote {args.output}")
     return 0
 
 
 def _cmd_deobfuscate(args) -> int:
-    bucket = load_bucket(args.bucket)
+    manifest = _load_manifest_or_fail(args.bucket)
+    if manifest is None:
+        return 3
     plan = load_plan(args.plan)
-    recovered = Proteus.deobfuscate(bucket, plan)
+    recovered = ModelOwner().reassemble(manifest.bucket, plan)
     save_graph(recovered, args.output)
     print(f"recovered optimized model ({recovered.num_nodes} ops) -> {args.output}")
+    return 0
+
+
+def _cmd_components(args) -> int:
+    print("optimizers          :", ", ".join(list_optimizers()))
+    print("partitioners        :", ", ".join(list_partitioners()))
+    print("sentinel strategies :", ", ".join(list_sentinel_strategies()))
     return 0
 
 
@@ -135,15 +177,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=20, help="sentinels per subgraph")
     p.add_argument("--subgraph-size", type=int, default=8)
     p.add_argument("--strategy", default="mixed",
-                   choices=["generate", "perturb", "mixed"])
+                   choices=list_sentinel_strategies())
+    p.add_argument("--partitioner", default="karger_stein",
+                   choices=list_partitioners())
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_obfuscate)
 
     p = sub.add_parser("optimize", help="optimize every bucket entry (optimizer party)")
     p.add_argument("bucket")
     p.add_argument("-o", "--output", required=True)
-    p.add_argument("--optimizer", default="ortlike", choices=["ortlike", "hidetlike"])
+    p.add_argument("--optimizer", default="ortlike", choices=list_optimizers())
     p.add_argument("--kernel-selection", action="store_true")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="parallel workers over bucket entries (default: 1)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print per-entry progress")
     p.set_defaults(fn=_cmd_optimize)
 
     p = sub.add_parser("deobfuscate", help="reassemble the optimized model (owner)")
@@ -151,6 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("plan")
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(fn=_cmd_deobfuscate)
+
+    p = sub.add_parser("components", help="list registered backends")
+    p.set_defaults(fn=_cmd_components)
 
     p = sub.add_parser("profile", help="modelled latency report for a model file")
     p.add_argument("model")
@@ -167,7 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except UnknownComponentError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests

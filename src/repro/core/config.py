@@ -36,6 +36,10 @@ class ProteusConfig:
     partition_trials:
         Karger–Stein restarts; the trial minimizing subgraph-size
         standard deviation is kept (§4.1.1).
+    partitioner:
+        Name of the registered graph partitioner
+        (:func:`repro.api.register_partitioner`); ``"karger_stein"`` is
+        the paper's balanced contraction algorithm.
     sentinel_strategy:
         ``"generate"`` — GraphRNN-lite + CSP pipeline (§4.1.2);
         ``"perturb"`` — minor modifications over the real subgraph (the
@@ -56,6 +60,7 @@ class ProteusConfig:
     k: int = 20
     beta: float = 0.35
     partition_trials: int = 16
+    partitioner: str = "karger_stein"
     sentinel_strategy: str = "mixed"
     max_solver_solutions: int = 64
     likelihood_percentile: float = 50.0
@@ -77,10 +82,16 @@ class ProteusConfig:
         if self.partition_trials < 1:
             raise ValueError("partition_trials must be >= 1")
         if self.sentinel_strategy not in self._STRATEGIES:
-            raise ValueError(
-                f"sentinel_strategy must be one of {self._STRATEGIES}, "
-                f"got {self.sentinel_strategy!r}"
-            )
+            # not a builtin — accept anything in the strategy registry so
+            # third-party strategies work, reject everything else.
+            from ..api.registry import list_sentinel_strategies
+
+            if self.sentinel_strategy not in list_sentinel_strategies():
+                raise ValueError(
+                    f"sentinel_strategy must be one of "
+                    f"{tuple(list_sentinel_strategies())}, "
+                    f"got {self.sentinel_strategy!r}"
+                )
         if not 0.0 < self.likelihood_percentile <= 100.0:
             raise ValueError("likelihood_percentile must be in (0, 100]")
 

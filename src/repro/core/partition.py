@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..api.registry import register_partitioner
 from ..ir.graph import Graph
 
 __all__ = ["Partition", "karger_stein_partition", "partition_sizes_std"]
@@ -142,6 +143,7 @@ def partition_sizes_std(sizes: Sequence[int]) -> float:
     return float(np.std(np.asarray(sizes, dtype=float)))
 
 
+@register_partitioner("karger_stein")
 def karger_stein_partition(
     graph: Graph,
     n: int,

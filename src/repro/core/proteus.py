@@ -11,6 +11,11 @@ Top-level API (paper Fig. 1):
    run any graph optimizer over every bucket entry indiscriminately.
 3. ``deobfuscate(bucket, plan)`` — extract the optimized real
    subgraphs and stitch the optimized model back together (§4.3).
+
+:class:`Proteus` is retained as a back-compat facade; the supported
+surface is the role-separated client API in :mod:`repro.api`
+(:class:`repro.api.ModelOwner` / :class:`repro.api.OptimizerService`),
+which this class delegates to.
 """
 
 from __future__ import annotations
@@ -18,14 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
-import numpy as np
-
 from ..ir.graph import Graph
-from ..ir.shape_inference import infer_shapes
 from .config import ProteusConfig
-from .partition import Partition, karger_stein_partition
+from .partition import Partition
 from .reassembly import reassemble
-from .subgraph import SubgraphBoundary, anonymize_subgraph, extract_subgraph
+from .subgraph import SubgraphBoundary
 
 __all__ = [
     "Proteus",
@@ -113,94 +115,48 @@ class ReassemblyPlan:
 
 
 class Proteus:
-    """Proteus obfuscation pipeline (see module docstring)."""
+    """Back-compat facade over the role-separated :mod:`repro.api` clients.
+
+    Pre-existing code (and the paper's one-party mental model) gets the
+    familiar ``obfuscate``/``optimize_bucket``/``deobfuscate`` methods;
+    each delegates to :class:`repro.api.ModelOwner` /
+    :class:`repro.api.OptimizerService`, so behaviour (including RNG
+    seeding and registry-based component resolution) is identical to the
+    new surface.
+    """
 
     def __init__(
         self,
         config: Optional[ProteusConfig] = None,
         sentinel_source: Optional[SentinelSource] = None,
     ) -> None:
+        from ..api.clients import ModelOwner
+
         self.config = config or ProteusConfig()
-        self._sentinel_source = sentinel_source
+        self._owner = ModelOwner(self.config, sentinel_source)
 
     # -- step 0: partitioning (exposed for experiments) ----------------------
     def partition(self, graph: Graph) -> Partition:
-        n = self.config.partitions_for(graph.num_nodes)
-        return karger_stein_partition(
-            graph, n, trials=self.config.partition_trials, seed=self.config.seed
-        )
+        return self._owner.partition(graph)
 
     # -- sentinel source resolution ------------------------------------------
     def sentinel_source(self) -> SentinelSource:
         """The configured sentinel generator (built lazily on first use)."""
-        if self._sentinel_source is None:
-            from ..sentinel import default_sentinel_source
-
-            self._sentinel_source = default_sentinel_source(self.config)
-        return self._sentinel_source
+        return self._owner.sentinel_source()
 
     # -- step 1: obfuscation ----------------------------------------------------
     def obfuscate(self, graph: Graph) -> Tuple[ObfuscatedBucket, ReassemblyPlan]:
         """Partition + sentinel-generate + anonymize + shuffle."""
-        infer_shapes(graph)
-        partition = self.partition(graph)
-        k = self.config.k
-        rng = np.random.default_rng(self.config.seed)
-        source = self.sentinel_source() if k > 0 else None
-
-        entries: List[BucketEntry] = []
-        real_ids: List[str] = []
-        boundaries: List[SubgraphBoundary] = []
-        next_id = 0
-
-        def fresh_id() -> str:
-            nonlocal next_id
-            eid = f"g{next_id:05d}"
-            next_id += 1
-            return eid
-
-        for group, cluster in enumerate(partition.clusters):
-            sub, boundary = extract_subgraph(graph, cluster, group)
-            group_graphs: List[Tuple[Graph, bool]] = [(sub, True)]
-            if source is not None:
-                sentinels = source.generate(
-                    sub, k, seed=int(rng.integers(0, 2**31 - 1))
-                )
-                if len(sentinels) != k:
-                    raise RuntimeError(
-                        f"sentinel source returned {len(sentinels)} graphs, wanted {k}"
-                    )
-                group_graphs.extend((s, False) for s in sentinels)
-            order = rng.permutation(len(group_graphs))
-            for pos in order:
-                g, is_real = group_graphs[pos]
-                eid = fresh_id()
-                if is_real:
-                    anon, anon_boundary = anonymize_subgraph(g, boundary, eid)
-                    entries.append(BucketEntry(eid, group, anon))
-                    real_ids.append(eid)
-                    boundaries.append(anon_boundary)
-                else:
-                    # sentinels are born anonymous but get the same rename
-                    # treatment so naming conventions cannot leak realness.
-                    dummy = SubgraphBoundary(group, [], [])
-                    anon, _ = anonymize_subgraph(g, dummy, eid)
-                    entries.append(BucketEntry(eid, group, anon))
-
-        bucket = ObfuscatedBucket(entries, n_groups=partition.n, k=k)
-        plan = ReassemblyPlan(
-            model_template=graph.clone(), real_ids=real_ids, boundaries=boundaries
-        )
-        return bucket, plan
+        result = self._owner.obfuscate(graph)
+        return result.bucket, result.plan
 
     # -- step 2: optimization (optimizer party) -------------------------------------
     @staticmethod
     def optimize_bucket(bucket: ObfuscatedBucket, optimizer: GraphOptimizer) -> ObfuscatedBucket:
         """Optimize every entry — the optimizer cannot tell real from sentinel."""
-        optimized: Dict[str, Graph] = {}
-        for entry in bucket:
-            optimized[entry.entry_id] = optimizer.optimize(entry.graph)
-        return bucket.with_graphs(optimized)
+        from ..api.clients import OptimizerService
+
+        return OptimizerService(optimizer).optimize(bucket).bucket
 
     # -- step 3: de-obfuscation -----------------------------------------------------------
     @staticmethod

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..api.registry import register_optimizer
 from ..ir.graph import Graph
 from ..runtime.cost_model import CostModel
 from .pass_base import GraphPass, PassManager
@@ -63,6 +64,7 @@ def _hidet_passes() -> List[GraphPass]:
     ]
 
 
+@register_optimizer("hidetlike")
 class HidetLikeOptimizer:
     """Graph optimizer modelling Hidet's pass profile."""
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..api.registry import register_optimizer
 from ..ir.graph import Graph
 from .pass_base import GraphPass, PassManager
 from .passes import (
@@ -72,6 +73,7 @@ def _extended_passes() -> List[GraphPass]:
     ]
 
 
+@register_optimizer("ortlike")
 class OrtLikeOptimizer:
     """Rule-based graph optimizer with ONNXRuntime-style levels.
 

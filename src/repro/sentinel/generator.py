@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api.registry import register_sentinel_strategy, resolve_sentinel_strategy
 from ..ir.graph import Graph
 from .graphrnn import GraphRNNLite
 from .operator_population import assign_operators
@@ -163,23 +164,22 @@ class SentinelGenerator:
         return out
 
 
-# -- default source used by repro.core.Proteus ------------------------------
+# -- registered sentinel strategies -----------------------------------------
+#
+# Each strategy is a registry entry mapping a ProteusConfig to a trained
+# SentinelSource; the CLI derives its --strategy choices from this table
+# and third parties add strategies with @register_sentinel_strategy.
 
 _DEFAULT_CACHE: Dict[Tuple[int, str, float, int], SentinelGenerator] = {}
 
 
-def default_sentinel_source(config) -> SentinelGenerator:
+def _zoo_generator(config, strategy: str) -> SentinelGenerator:
     """Build (and cache) a generator trained on the bundled model zoo.
 
     The cache key covers every config field that affects the trained
     models, so distinct configurations get distinct generators.
     """
-    key = (
-        config.target_subgraph_size,
-        config.sentinel_strategy if config.sentinel_strategy != "random" else "mixed",
-        config.beta,
-        config.seed,
-    )
+    key = (config.target_subgraph_size, strategy, config.beta, config.seed)
     if key in _DEFAULT_CACHE:
         return _DEFAULT_CACHE[key]
     from ..models.zoo import CNN_MODELS, TRANSFORMER_MODELS, build_model
@@ -190,7 +190,7 @@ def default_sentinel_source(config) -> SentinelGenerator:
     )
     gen = SentinelGenerator(
         database,
-        strategy=key[1],
+        strategy=strategy,
         beta=config.beta,
         max_solutions=config.max_solver_solutions,
         likelihood_percentile=config.likelihood_percentile,
@@ -198,3 +198,38 @@ def default_sentinel_source(config) -> SentinelGenerator:
     )
     _DEFAULT_CACHE[key] = gen
     return gen
+
+
+@register_sentinel_strategy("generate")
+def _generate_source(config) -> SentinelGenerator:
+    """Algorithm 1 + Algorithm 2 sentinels only (§4.1.2)."""
+    return _zoo_generator(config, "generate")
+
+
+@register_sentinel_strategy("perturb")
+def _perturb_source(config) -> SentinelGenerator:
+    """Perturbation-only sentinels (the popular-model path)."""
+    return _zoo_generator(config, "perturb")
+
+
+@register_sentinel_strategy("mixed")
+def _mixed_source(config) -> SentinelGenerator:
+    """Half generated, half perturbed (the paper's standard setting)."""
+    return _zoo_generator(config, "mixed")
+
+
+@register_sentinel_strategy("random")
+def _random_source(config) -> SentinelGenerator:
+    """Executable stand-in for the Fig. 6 random-opcode baseline.
+
+    True random-opcode sentinels are not executable IR (see
+    :mod:`repro.sentinel.random_baseline`, used directly by the adversary
+    evaluation); the pipeline therefore falls back to the mixed
+    generator, matching the seed behaviour.
+    """
+    return _zoo_generator(config, "mixed")
+
+
+def default_sentinel_source(config) -> SentinelGenerator:
+    """The sentinel source for ``config`` (resolved through the registry)."""
+    return resolve_sentinel_strategy(config.sentinel_strategy)(config)

@@ -1,0 +1,1 @@
+"""Test suite package (enables package-relative imports of conftest helpers)."""

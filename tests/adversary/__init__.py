@@ -1,0 +1,1 @@
+"""adversary tests."""

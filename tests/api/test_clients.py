@@ -1,0 +1,207 @@
+"""Tests for the role-separated clients (repro.api.clients)."""
+
+import threading
+
+import pytest
+
+from repro.api.clients import ModelOwner, OptimizerService
+from repro.api.manifest import graph_digest
+from repro.api.types import ObfuscationResult, OptimizationReceipt, bucket_key
+from repro.core import ProteusConfig, Proteus
+from repro.models import build_model
+from repro.optimizer import OrtLikeOptimizer
+from repro.runtime import graphs_equivalent
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+
+
+@pytest.fixture(scope="module")
+def obfuscated(model):
+    owner = ModelOwner(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+    return owner, owner.obfuscate(model)
+
+
+class TestModelOwner:
+    def test_obfuscate_returns_typed_result(self, obfuscated):
+        _, result = obfuscated
+        assert isinstance(result, ObfuscationResult)
+        assert result.stats.n_entries == len(result.bucket)
+        assert result.stats.partitioner == "karger_stein"
+        assert result.stats.search_space == result.bucket.nominal_search_space()
+
+    def test_matches_legacy_facade(self, model):
+        """The facade and the new client must produce identical buckets."""
+        cfg = ProteusConfig(target_subgraph_size=8, k=0, seed=0)
+        result = ModelOwner(cfg).obfuscate(model)
+        bucket, plan = Proteus(cfg).obfuscate(model)
+        assert [e.entry_id for e in result.bucket] == [e.entry_id for e in bucket]
+        assert result.plan.real_ids == plan.real_ids
+        for e in bucket:
+            assert graph_digest(result.bucket.get(e.entry_id).graph) == graph_digest(
+                e.graph
+            )
+
+    def test_reassemble_from_receipt(self, model, obfuscated):
+        owner, result = obfuscated
+        receipt = OptimizerService("ortlike").optimize(result.bucket)
+        recovered = owner.reassemble(receipt)
+        assert graphs_equivalent(model, recovered, n_trials=1)
+
+    def test_reassemble_foreign_bucket_rejected(self, obfuscated):
+        _, result = obfuscated
+        stranger = ModelOwner()
+        with pytest.raises(KeyError, match="plan"):
+            stranger.reassemble(result.bucket)
+
+    def test_reassemble_with_explicit_plan(self, model, obfuscated):
+        _, result = obfuscated
+        recovered = ModelOwner().reassemble(result.bucket, result.plan)
+        assert graphs_equivalent(model, recovered, n_trials=1)
+
+    def test_same_geometry_buckets_do_not_collide(self, model):
+        """Two obfuscations with identical geometry (same model, different
+        seeds) must keep distinct plans — entry ids carry a nonce so the
+        layout keys differ and reassemble() always picks the right plan."""
+        owner = ModelOwner(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+        first = owner.obfuscate(model)
+        owner.config = ProteusConfig(target_subgraph_size=8, k=0, seed=99)
+        second = owner.obfuscate(model)
+        assert first.key != second.key
+        for result in (first, second):
+            recovered = owner.reassemble(
+                OptimizerService("ortlike").optimize(result.bucket)
+            )
+            assert graphs_equivalent(model, recovered, n_trials=1)
+
+    def test_obfuscation_is_deterministic(self, model):
+        """Same model + same config → identical bucket (ids included)."""
+        cfg = ProteusConfig(target_subgraph_size=8, k=0, seed=0)
+        a = ModelOwner(cfg).obfuscate(model)
+        b = ModelOwner(cfg).obfuscate(model)
+        assert a.key == b.key
+        assert [e.entry_id for e in a.bucket] == [e.entry_id for e in b.bucket]
+
+    def test_forget_drops_plan(self, model):
+        owner = ModelOwner(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+        result = owner.obfuscate(model)
+        owner.forget(result)
+        with pytest.raises(KeyError):
+            owner.reassemble(result.bucket)
+
+    def test_plan_never_in_optimizer_signatures(self):
+        """Role separation: no OptimizerService entry point accepts a plan."""
+        import inspect
+
+        for name, fn in inspect.getmembers(OptimizerService, inspect.isfunction):
+            params = set(inspect.signature(fn).parameters)
+            assert "plan" not in params, f"OptimizerService.{name} leaks the plan"
+
+
+class TestOptimizerService:
+    def test_resolves_by_name(self):
+        assert OptimizerService("hidetlike").name == "hidetlike"
+
+    def test_unknown_name_raises(self):
+        from repro.api.registry import UnknownComponentError
+
+        with pytest.raises(UnknownComponentError):
+            OptimizerService("tvm")
+
+    def test_accepts_instance(self, obfuscated):
+        _, result = obfuscated
+        receipt = OptimizerService(OrtLikeOptimizer()).optimize(result.bucket)
+        assert isinstance(receipt, OptimizationReceipt)
+        assert receipt.nodes_after <= receipt.nodes_before
+
+    def test_receipt_accounting(self, obfuscated):
+        _, result = obfuscated
+        receipt = OptimizerService("ortlike").optimize(result.bucket)
+        assert set(receipt.entries) == {e.entry_id for e in result.bucket}
+        assert receipt.nodes_before == sum(
+            e.graph.num_nodes for e in result.bucket
+        )
+        assert receipt.key == bucket_key(result.bucket)
+        assert "ortlike" in receipt.summary()
+
+    def test_parallel_identical_to_serial(self, obfuscated):
+        """The determinism guarantee: --jobs N is entry-for-entry identical."""
+        _, result = obfuscated
+        service = OptimizerService("ortlike")
+        serial = service.optimize(result.bucket, max_workers=1)
+        parallel = service.optimize(result.bucket, max_workers=4)
+        assert [e.entry_id for e in serial.bucket] == [
+            e.entry_id for e in parallel.bucket
+        ]
+        for entry in serial.bucket:
+            assert graph_digest(entry.graph) == graph_digest(
+                parallel.bucket.get(entry.entry_id).graph
+            )
+        assert serial.entries == parallel.entries
+
+    def test_parallel_uses_multiple_threads(self, obfuscated):
+        """With enough entries and workers, work actually fans out."""
+        _, result = obfuscated
+        seen = set()
+
+        class Recorder:
+            def optimize(self, graph):
+                seen.add(threading.get_ident())
+                return graph.clone()
+
+        OptimizerService(Recorder()).optimize(result.bucket, max_workers=4)
+        # len(bucket) >= 2 here; at least the pool ran (main thread never
+        # optimizes on the parallel path).
+        assert threading.get_ident() not in seen
+
+    def test_progress_callback(self, obfuscated):
+        _, result = obfuscated
+        calls = []
+        OptimizerService("ortlike").optimize(
+            result.bucket,
+            max_workers=2,
+            progress=lambda done, total, eid: calls.append((done, total, eid)),
+        )
+        assert len(calls) == len(result.bucket)
+        assert [c[0] for c in calls] == list(range(1, len(result.bucket) + 1))
+        assert {c[2] for c in calls} == {e.entry_id for e in result.bucket}
+
+    def test_class_as_factory(self, obfuscated):
+        """Passing the class itself treats it as a per-worker factory,
+        not an instance (its unbound .optimize must never be called)."""
+        _, result = obfuscated
+        service = OptimizerService(OrtLikeOptimizer)
+        assert service.name == "ortlike"
+        receipt = service.optimize(result.bucket, max_workers=2)
+        assert len(receipt.entries) == len(result.bucket)
+
+    def test_factory_input(self, obfuscated):
+        _, result = obfuscated
+        receipt = OptimizerService(lambda: OrtLikeOptimizer(level="basic")).optimize(
+            result.bucket
+        )
+        assert len(receipt.entries) == len(result.bucket)
+
+    def test_options_require_name(self):
+        with pytest.raises(TypeError, match="backend name"):
+            OptimizerService(OrtLikeOptimizer(), kernel_selection=True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError, match="optimizer"):
+            OptimizerService(42)
+
+
+class TestEndToEndWithSentinels:
+    def test_two_party_flow(self, sentinel_generator):
+        model = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+        owner = ModelOwner(
+            ProteusConfig(target_subgraph_size=8, k=2, seed=0),
+            sentinel_source=sentinel_generator,
+        )
+        result = owner.obfuscate(model)
+        assert len(result.bucket) == result.bucket.n_groups * 3
+        receipt = OptimizerService("ortlike").optimize(result.bucket, max_workers=3)
+        recovered = owner.reassemble(receipt)
+        assert graphs_equivalent(model, recovered, n_trials=1)

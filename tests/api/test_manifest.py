@@ -1,0 +1,124 @@
+"""Tests for the versioned bucket manifest (repro.api.manifest)."""
+
+import json
+
+import pytest
+
+from repro.api.clients import ModelOwner
+from repro.api.manifest import (
+    MANIFEST_VERSION,
+    BucketManifest,
+    ManifestIntegrityError,
+    graph_digest,
+    load_manifest,
+    save_manifest,
+)
+from repro.core import ProteusConfig
+from repro.core.bucket_io import save_bucket
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def small_bucket():
+    g = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
+    owner = ModelOwner(ProteusConfig(target_subgraph_size=8, k=0, seed=0))
+    return owner.obfuscate(g).bucket
+
+
+class TestDigests:
+    def test_digest_is_stable(self, small_bucket):
+        e = small_bucket.entries[0]
+        assert graph_digest(e.graph) == graph_digest(e.graph)
+        assert graph_digest(e.graph).startswith("sha256:")
+
+    def test_digest_tracks_content(self, small_bucket, conv_chain):
+        assert graph_digest(small_bucket.entries[0].graph) != graph_digest(conv_chain)
+
+
+class TestRoundTrip:
+    def test_file_roundtrip_verifies(self, small_bucket, tmp_path):
+        path = str(tmp_path / "m.json")
+        written = save_manifest(small_bucket, path)
+        assert written.manifest_version == MANIFEST_VERSION
+        back = load_manifest(path)
+        assert len(back.bucket) == len(small_bucket)
+        assert back.entry_digests == written.entry_digests
+        assert back.bucket_digest == written.bucket_digest
+        back.verify()  # explicit re-verification also passes
+
+    def test_seal_then_dict_roundtrip(self, small_bucket):
+        manifest = BucketManifest.from_bucket(small_bucket)
+        back = BucketManifest.from_dict(manifest.to_dict())
+        assert back.bucket_digest == manifest.bucket_digest
+
+    def test_legacy_bare_bucket_loads(self, small_bucket, tmp_path):
+        """Seed-format files (no envelope) keep working."""
+        path = str(tmp_path / "legacy.json")
+        save_bucket(small_bucket, path)
+        back = load_manifest(path)
+        assert len(back.bucket) == len(small_bucket)
+        back.verify()
+
+    def test_unsupported_version_rejected(self, small_bucket):
+        d = BucketManifest.from_bucket(small_bucket).to_dict()
+        d["manifest_version"] = 99
+        with pytest.raises(ValueError, match="manifest version"):
+            BucketManifest.from_dict(d)
+
+
+class TestTamperDetection:
+    def _tampered(self, small_bucket, tmp_path, mutate):
+        path = str(tmp_path / "t.json")
+        save_manifest(small_bucket, path)
+        with open(path) as fh:
+            d = json.load(fh)
+        mutate(d)
+        with open(path, "w") as fh:
+            json.dump(d, fh)
+        return path
+
+    def test_payload_tamper_detected(self, small_bucket, tmp_path):
+        path = self._tampered(
+            small_bucket,
+            tmp_path,
+            lambda d: d["bucket"]["entries"][0]["graph"]["nodes"][0].update(
+                op_type="Evil"
+            ),
+        )
+        with pytest.raises(ManifestIntegrityError, match="digest mismatch"):
+            load_manifest(path)
+
+    def test_digest_tamper_detected(self, small_bucket, tmp_path):
+        def flip_digest(d):
+            eid = next(iter(d["entry_digests"]))
+            d["entry_digests"][eid] = "sha256:" + "0" * 64
+
+        path = self._tampered(small_bucket, tmp_path, flip_digest)
+        with pytest.raises(ManifestIntegrityError):
+            load_manifest(path)
+
+    def test_dropped_entry_detected(self, small_bucket, tmp_path):
+        path = self._tampered(
+            small_bucket, tmp_path, lambda d: d["bucket"]["entries"].pop()
+        )
+        with pytest.raises(ManifestIntegrityError, match="entry set"):
+            load_manifest(path)
+
+    def test_bucket_digest_tamper_detected(self, small_bucket, tmp_path):
+        path = self._tampered(
+            small_bucket,
+            tmp_path,
+            lambda d: d.update(bucket_digest="sha256:" + "f" * 64),
+        )
+        with pytest.raises(ManifestIntegrityError, match="bucket digest"):
+            load_manifest(path)
+
+    def test_verify_can_be_skipped(self, small_bucket, tmp_path):
+        path = self._tampered(
+            small_bucket,
+            tmp_path,
+            lambda d: d.update(bucket_digest="sha256:" + "f" * 64),
+        )
+        manifest = load_manifest(path, verify=False)  # forensic loading
+        with pytest.raises(ManifestIntegrityError):
+            manifest.verify()

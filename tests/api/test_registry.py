@@ -1,0 +1,125 @@
+"""Tests for the component registries (repro.api.registry)."""
+
+import pytest
+
+from repro.api.registry import (
+    Registry,
+    UnknownComponentError,
+    list_optimizers,
+    list_partitioners,
+    list_sentinel_strategies,
+    resolve_optimizer,
+    resolve_partitioner,
+    resolve_sentinel_strategy,
+)
+from repro.core import ProteusConfig
+from repro.optimizer import HidetLikeOptimizer, OrtLikeOptimizer
+
+
+class TestBuiltins:
+    def test_builtin_optimizers_registered(self):
+        assert {"ortlike", "hidetlike"} <= set(list_optimizers())
+
+    def test_builtin_partitioner_registered(self):
+        assert "karger_stein" in list_partitioners()
+
+    def test_builtin_strategies_registered(self):
+        assert {"generate", "perturb", "mixed", "random"} <= set(
+            list_sentinel_strategies()
+        )
+
+    def test_resolve_returns_the_classes(self):
+        assert resolve_optimizer("ortlike") is OrtLikeOptimizer
+        assert resolve_optimizer("hidetlike") is HidetLikeOptimizer
+
+    def test_resolved_partitioner_partitions(self, conv_chain):
+        part = resolve_partitioner("karger_stein")(conv_chain, 2, trials=4, seed=0)
+        assert part.n == 2
+
+    def test_config_strategies_match_registry(self):
+        """The registry is authoritative: config's builtin tuple must not
+        drift from the registered strategy set (the Fig. 6 `random`
+        baseline went missing from the CLI exactly this way)."""
+        assert set(ProteusConfig._STRATEGIES) <= set(list_sentinel_strategies())
+
+
+class TestUnknownNames:
+    def test_unknown_optimizer(self):
+        with pytest.raises(UnknownComponentError, match="ortlike"):
+            resolve_optimizer("tvm")
+
+    def test_unknown_partitioner(self):
+        with pytest.raises(UnknownComponentError, match="karger_stein"):
+            resolve_partitioner("metis")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(UnknownComponentError, match="mixed"):
+            resolve_sentinel_strategy("telepathy")
+
+    def test_error_is_a_lookup_error(self):
+        with pytest.raises(KeyError):
+            resolve_optimizer("nope")
+
+
+class TestRegistration:
+    def test_register_and_resolve(self):
+        reg = Registry("widget")
+
+        @reg.register("spinner")
+        class Spinner:
+            pass
+
+        assert reg.resolve("spinner") is Spinner
+        assert reg.names() == ["spinner"]
+        assert "spinner" in reg
+        assert len(reg) == 1
+
+    def test_name_defaults_to_name_attribute(self):
+        reg = Registry("widget")
+
+        @reg.register()
+        class Thing:
+            name = "fancy"
+
+        assert reg.resolve("fancy") is Thing
+
+    def test_duplicate_rejected(self):
+        reg = Registry("widget")
+        reg.register("x")(object())
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("x")(object())
+
+    def test_overwrite_allowed_explicitly(self):
+        reg = Registry("widget")
+        reg.register("x")(1)
+        reg.register("x", overwrite=True)(2)
+        assert reg.resolve("x") == 2
+
+    def test_custom_optimizer_usable_by_name(self, conv_chain):
+        """The third-party flow: register, then address by string."""
+        from repro.api.clients import OptimizerService
+        from repro.api.registry import OPTIMIZERS, register_optimizer
+
+        @register_optimizer("test-noop")
+        class NoopOptimizer:
+            def optimize(self, graph):
+                return graph.clone()
+
+        try:
+            receipt_cls = OptimizerService("test-noop")
+            assert receipt_cls.name == "test-noop"
+        finally:
+            OPTIMIZERS._entries.pop("test-noop", None)
+
+    def test_custom_strategy_accepted_by_config(self):
+        from repro.api.registry import SENTINEL_STRATEGIES, register_sentinel_strategy
+
+        @register_sentinel_strategy("test-strategy")
+        def _source(config):  # pragma: no cover - never built
+            raise NotImplementedError
+
+        try:
+            cfg = ProteusConfig(sentinel_strategy="test-strategy")
+            assert cfg.sentinel_strategy == "test-strategy"
+        finally:
+            SENTINEL_STRATEGIES._entries.pop("test-strategy", None)

@@ -1,0 +1,1 @@
+"""optimizer tests."""

@@ -51,6 +51,48 @@ class TestWorkflow:
         assert main(["optimize", bucket, "-o", str(tmp_path / "r.json"),
                      "--optimizer", "hidetlike"]) == 0
 
+    def test_parallel_identical_to_serial(self, model_file, tmp_path):
+        bucket = str(tmp_path / "b.json")
+        plan = str(tmp_path / "p.json")
+        main(["obfuscate", model_file, "--bucket", bucket, "--plan", plan, "-k", "0"])
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main(["optimize", bucket, "-o", str(serial), "--jobs", "1"]) == 0
+        assert main(["optimize", bucket, "-o", str(parallel), "--jobs", "4"]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
+
+class TestBadBucketFiles:
+    def test_tampered_bucket_rejected(self, model_file, tmp_path, capsys):
+        import json
+
+        bucket = str(tmp_path / "b.json")
+        plan = str(tmp_path / "p.json")
+        main(["obfuscate", model_file, "--bucket", bucket, "--plan", plan, "-k", "0"])
+        d = json.load(open(bucket))
+        d["bucket"]["entries"][0]["graph"]["nodes"][0]["op_type"] = "Evil"
+        json.dump(d, open(bucket, "w"))
+        assert main(["optimize", bucket, "-o", str(tmp_path / "r.json")]) == 3
+        assert "integrity" in capsys.readouterr().err
+
+    def test_unsupported_manifest_version(self, model_file, tmp_path, capsys):
+        import json
+
+        bucket = str(tmp_path / "b.json")
+        plan = str(tmp_path / "p.json")
+        main(["obfuscate", model_file, "--bucket", bucket, "--plan", plan, "-k", "0"])
+        d = json.load(open(bucket))
+        d["manifest_version"] = 99
+        json.dump(d, open(bucket, "w"))
+        assert main(["optimize", bucket, "-o", str(tmp_path / "r.json")]) == 3
+        assert "cannot load bucket" in capsys.readouterr().err
+
+    def test_garbage_bucket_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"nonsense": true}')
+        assert main(["optimize", str(bad), "-o", str(tmp_path / "r.json")]) == 3
+        assert "cannot load bucket" in capsys.readouterr().err
+
 
 class TestUtilities:
     def test_profile(self, model_file, capsys):

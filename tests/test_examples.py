@@ -1,23 +1,31 @@
 """Smoke tests: every example script must run to completion."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
-)
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((_ROOT / "examples").glob("*.py"))
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs(script):
+    # the examples import repro from src/ — make that work even when the
+    # suite itself found it via pytest's pythonpath setting rather than
+    # an exported PYTHONPATH.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [str(_ROOT / "src"), env.get("PYTHONPATH")] if p
+    )
     proc = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=600,
+        env=env,
     )
     assert proc.returncode == 0, f"{script.name} failed:\n{proc.stderr[-2000:]}"
     assert proc.stdout.strip(), f"{script.name} produced no output"
