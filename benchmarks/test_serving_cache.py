@@ -1,0 +1,134 @@
+"""Serving-tier benchmark: cache hit rate and cached-vs-cold speedup.
+
+Not a paper figure — this measures the new :mod:`repro.serving` layer
+on zoo models: optimize a bucket cold (populating the content-addressed
+cache), re-optimize it hot, and report hit rate plus speedup.  The
+acceptance bar is a >= 5x cached speedup with byte-identical optimized
+graphs; the smoke variant (tiny model) is the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import ModelOwner, OptimizerService, ProteusConfig, build_model
+from repro.ir.serialization import graph_to_dict
+from repro.serving import OptimizationCache, OptimizationServer
+
+from .conftest import print_table
+
+
+def bucket_bytes(bucket) -> bytes:
+    return json.dumps(
+        [[e.entry_id, graph_to_dict(e.graph)] for e in bucket],
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def optimize_cold_and_hot(model_name, cache_dir, target_subgraph_size=8):
+    owner = ModelOwner(
+        ProteusConfig(k=0, seed=0, target_subgraph_size=target_subgraph_size)
+    )
+    result = owner.obfuscate(build_model(model_name))
+    service = OptimizerService("ortlike")
+    cache = OptimizationCache(cache_dir=str(cache_dir))
+
+    t0 = time.perf_counter()
+    cold = service.optimize(result.bucket, cache=cache)
+    t_cold = time.perf_counter() - t0
+
+    # hot passes are cheap: take the best of three so a scheduler hiccup
+    # on a loaded CI machine doesn't masquerade as a cache regression.
+    t_hot = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        hot = service.optimize(result.bucket, cache=cache)
+        t_hot = min(t_hot, time.perf_counter() - t0)
+    return result, cold, hot, t_cold, t_hot, cache
+
+
+def test_serving_cache_smoke(tmp_path):
+    """CI smoke gate: tiny model, second pass must actually hit."""
+    _, cold, hot, _, _, cache = optimize_cold_and_hot("squeezenet", tmp_path / "c")
+    stats = cache.stats()
+    assert stats.hit_rate > 0, "second pass must hit the cache"
+    assert stats.hits >= len(cold.entries)
+    assert bucket_bytes(cold.bucket) == bucket_bytes(hot.bucket)
+
+
+def test_cached_speedup_and_identity(tmp_path):
+    """Cached re-optimization is >= 5x faster than cold, byte-identical."""
+    rows = []
+    worst = float("inf")
+    for model_name, sg_size in (("resnet", 24), ("densenet", 24)):
+        result, cold, hot, t_cold, t_hot, cache = optimize_cold_and_hot(
+            model_name, tmp_path / model_name, target_subgraph_size=sg_size
+        )
+        assert bucket_bytes(cold.bucket) == bucket_bytes(hot.bucket), (
+            f"{model_name}: cached result differs from cold result"
+        )
+        stats = cache.stats()
+        assert stats.hit_rate > 0
+        speedup = t_cold / t_hot if t_hot > 0 else float("inf")
+        worst = min(worst, speedup)
+        rows.append([
+            model_name,
+            len(result.bucket),
+            f"{t_cold * 1e3:.1f}",
+            f"{t_hot * 1e3:.1f}",
+            f"{speedup:.1f}x",
+            f"{stats.hit_rate:.2f}",
+        ])
+    print_table(
+        "Serving cache: cold vs cached bucket optimization",
+        ["model", "entries", "cold (ms)", "cached (ms)", "speedup", "hit rate"],
+        rows,
+    )
+    assert worst >= 5.0, f"cached speedup {worst:.1f}x below the 5x bar"
+
+
+def test_server_throughput_with_duplicates(tmp_path):
+    """The job-queue server exploits duplicate submissions: optimizing the
+    same bucket as N concurrent jobs costs about one cold pass."""
+    owner = ModelOwner(ProteusConfig(k=0, seed=0, target_subgraph_size=16))
+    result = owner.obfuscate(build_model("resnet"))
+    n_jobs = 4
+
+    with OptimizationServer(
+        "ortlike", cache_dir=str(tmp_path / "cache"), workers=4
+    ) as srv:
+        t0 = time.perf_counter()
+        job_ids = [srv.submit(result.bucket) for _ in range(n_jobs)]
+        receipts = [srv.await_receipt(j, timeout=300) for j in job_ids]
+        elapsed = time.perf_counter() - t0
+        metrics = srv.metrics()
+
+    reference = bucket_bytes(receipts[0].bucket)
+    assert all(bucket_bytes(r.bucket) == reference for r in receipts[1:])
+    executed = metrics["scheduler"]["executed"]
+    submitted_entries = n_jobs * len(result.bucket)
+    # dedup + cache: far fewer backend runs than submitted entries
+    assert executed < submitted_entries
+    print_table(
+        "Serving server: duplicate-job dedup",
+        ["jobs", "entries/job", "entries submitted", "tasks executed",
+         "dedup+cache saved", "wall (ms)"],
+        [[n_jobs, len(result.bucket), submitted_entries, executed,
+          submitted_entries - executed, f"{elapsed * 1e3:.1f}"]],
+    )
+
+
+@pytest.mark.parametrize("backend", ["ortlike", "hidetlike"])
+def test_cache_isolates_backends(tmp_path, backend):
+    """One cache directory serves multiple backends without cross-talk."""
+    owner = ModelOwner(ProteusConfig(k=0, seed=0))
+    result = owner.obfuscate(build_model("squeezenet"))
+    cache = OptimizationCache(cache_dir=str(tmp_path / "shared"))
+    receipt = OptimizerService(backend).optimize(result.bucket, cache=cache)
+    assert cache.stats().misses >= len(receipt.entries)
+    again = OptimizerService(backend).optimize(result.bucket, cache=cache)
+    assert cache.stats().hit_rate > 0
+    assert bucket_bytes(receipt.bucket) == bucket_bytes(again.bucket)

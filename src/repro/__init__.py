@@ -13,6 +13,9 @@ package provides:
 * :mod:`repro.optimizer` — rule-based graph optimizers (ORT-like, Hidet-like);
 * :mod:`repro.core` — the Proteus mechanism: partitioning, obfuscation,
   reassembly (plus the legacy one-class :class:`Proteus` facade);
+* :mod:`repro.serving` — the optimizer party as a service: canonical
+  graph hashing, a two-tier content-addressed optimization cache, and
+  the job-queue :class:`OptimizationServer`;
 * :mod:`repro.sentinel` — sentinel-subgraph generation (topology model,
   importance sampling, CSP operator population);
 * :mod:`repro.adversary` — the learning-based GNN attack and heuristic
@@ -47,7 +50,7 @@ Third-party backends register by name and become addressable everywhere
             ...
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .ir import Graph, GraphBuilder, Node  # noqa: F401
 from .core import ObfuscatedBucket, Proteus, ProteusConfig, ReassemblyPlan  # noqa: F401
@@ -65,6 +68,11 @@ from .api import (  # noqa: F401
     register_partitioner,
     register_sentinel_strategy,
 )
+from .serving import (  # noqa: F401
+    OptimizationCache,
+    OptimizationServer,
+    canonical_hash,
+)
 
 __all__ = [
     "Graph",
@@ -79,6 +87,9 @@ __all__ = [
     "ObfuscationResult",
     "OptimizationReceipt",
     "BucketManifest",
+    "OptimizationCache",
+    "OptimizationServer",
+    "canonical_hash",
     "register_optimizer",
     "register_partitioner",
     "register_sentinel_strategy",

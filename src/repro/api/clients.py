@@ -24,7 +24,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from concurrent.futures import ThreadPoolExecutor, as_completed
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -53,6 +53,9 @@ from .types import (
     OptimizationReceipt,
     bucket_key,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serving.cache import OptimizationCache
 
 __all__ = ["ModelOwner", "OptimizerService", "ProgressCallback"]
 
@@ -225,6 +228,8 @@ class OptimizerService:
     ) -> None:
         self._factory: Optional[Callable[[], GraphOptimizer]] = None
         self._instance: Optional[GraphOptimizer] = None
+        self._options: Dict[str, object] = dict(optimizer_options)
+        self._named = isinstance(optimizer, str)
         if isinstance(optimizer, str):
             backend = resolve_optimizer(optimizer)
             self.name = optimizer
@@ -269,11 +274,45 @@ class OptimizerService:
         assert self._factory is not None
         return self._factory()
 
+    _FINGERPRINT_UNSET = object()
+
+    @property
+    def config_fingerprint(self) -> Optional[str]:
+        """Stable fingerprint of this service's backend configuration.
+
+        Part of every cache key, so ``ortlike`` at different levels (or
+        with kernel selection toggled) never share cached results.  The
+        backend's own ``cache_fingerprint`` attribute wins when it
+        declares one (it captures constructor defaults the options dict
+        cannot see); otherwise named backends are keyed by their
+        options.  Returns None when the configuration cannot be
+        determined safely — an instance or factory without a declared
+        fingerprint — in which case cached paths bypass the cache
+        rather than risk serving a graph optimized under different
+        settings.
+        """
+        cached = getattr(self, "_fingerprint", self._FINGERPRINT_UNSET)
+        if cached is not self._FINGERPRINT_UNSET:
+            return cached
+        fingerprint: Optional[str]
+        declared = getattr(self._make_optimizer(), "cache_fingerprint", None)
+        if declared is not None:
+            fingerprint = str(declared)
+        elif self._named:
+            from ..serving.cache import fingerprint_config
+
+            fingerprint = fingerprint_config(self._options or None)
+        else:
+            fingerprint = None
+        self._fingerprint = fingerprint
+        return fingerprint
+
     def optimize(
         self,
         bucket: ObfuscatedBucket,
         max_workers: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
+        cache: Optional["OptimizationCache"] = None,
     ) -> OptimizationReceipt:
         """Optimize every entry; the service cannot tell real from sentinel.
 
@@ -283,6 +322,15 @@ class OptimizerService:
         worker thread gets its own backend instance (when a factory is
         available) and the output bucket is rebuilt in the original entry
         order, never in completion order.
+
+        With a ``cache`` (:class:`repro.serving.OptimizationCache`),
+        each entry takes the content-addressed fast path: structurally
+        identical graphs — same topology, ops, attributes and weights,
+        names aside — are optimized once and every later request is a
+        rename of the cached result.  A backend whose configuration
+        cannot be fingerprinted (an instance or factory without a
+        ``cache_fingerprint`` attribute) bypasses the cache rather than
+        risk returning graphs optimized under different settings.
         """
         total = len(bucket)
         entry_stats: Dict[str, EntryOptimization] = {}
@@ -290,10 +338,25 @@ class OptimizerService:
         workers = 1 if max_workers is None else max(1, int(max_workers))
         workers = min(workers, total) or 1
 
+        fingerprint = self.config_fingerprint if cache is not None else None
+        if cache is None or fingerprint is None:
+            # no cache, or a backend whose configuration cannot be
+            # fingerprinted safely: optimize directly.
+            def run_entry(optimizer: GraphOptimizer, graph: Graph) -> Graph:
+                return optimizer.optimize(graph)
+        else:
+            from ..serving.cache import cached_optimize
+
+            def run_entry(optimizer: GraphOptimizer, graph: Graph) -> Graph:
+                result, _ = cached_optimize(
+                    graph, optimizer.optimize, cache, self.name, fingerprint
+                )
+                return result
+
         if workers == 1:
             optimizer = self._make_optimizer()
             for done, entry in enumerate(bucket, start=1):
-                optimized[entry.entry_id] = optimizer.optimize(entry.graph)
+                optimized[entry.entry_id] = run_entry(optimizer, entry.graph)
                 if progress is not None:
                     progress(done, total, entry.entry_id)
         else:
@@ -302,7 +365,7 @@ class OptimizerService:
             def worker_optimize(entry: BucketEntry) -> Tuple[str, Graph]:
                 if not hasattr(local, "optimizer"):
                     local.optimizer = self._make_optimizer()
-                return entry.entry_id, local.optimizer.optimize(entry.graph)
+                return entry.entry_id, run_entry(local.optimizer, entry.graph)
 
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = [pool.submit(worker_optimize, e) for e in bucket]

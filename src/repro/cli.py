@@ -11,7 +11,13 @@ model owner::
 
 optimizer party::
 
-    python -m repro optimize   ship.json  -o returned.json --optimizer ortlike --jobs 4
+    python -m repro optimize   ship.json  -o returned.json --optimizer ortlike --cache-dir .cache
+    python -m repro serve      spool/     --cache-dir .cache --jobs 8
+
+``optimize`` keeps stdout machine-parseable (one JSON line describing
+the written receipt); progress and summaries go to stderr.  ``serve``
+runs the cache-backed :class:`repro.serving.OptimizationServer` over a
+spool directory, writing ``<name>.optimized.json`` next to each bucket.
 
 utilities::
 
@@ -29,7 +35,10 @@ shows up in ``--optimizer`` with zero CLI changes.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 from typing import Optional, Sequence
 
 from .api.clients import ModelOwner, OptimizerService
@@ -96,6 +105,21 @@ def _load_manifest_or_fail(path: str):
     return None
 
 
+#: hard cap on the automatic --jobs default; REPRO_JOBS overrides it.
+_MAX_DEFAULT_JOBS = 8
+
+
+def _default_jobs() -> int:
+    """Worker count when --jobs is omitted: REPRO_JOBS, else cpu count capped."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            print(f"ignoring non-integer REPRO_JOBS={env!r}", file=sys.stderr)
+    return min(os.cpu_count() or 1, _MAX_DEFAULT_JOBS)
+
+
 def _cmd_optimize(args) -> int:
     manifest = _load_manifest_or_fail(args.bucket)
     if manifest is None:
@@ -109,17 +133,137 @@ def _cmd_optimize(args) -> int:
         print(f"cannot construct optimizer {args.optimizer!r}: {exc}",
               file=sys.stderr)
         return 2
+    cache = None
+    if args.cache_dir:
+        from .serving import OptimizationCache
 
+        cache = OptimizationCache(cache_dir=args.cache_dir)
+
+    # progress and summaries go to stderr; stdout carries exactly one
+    # machine-parseable JSON line describing the written receipt.
     def progress(done: int, total: int, entry_id: str) -> None:
         if args.verbose:
-            print(f"  [{done}/{total}] {entry_id}")
+            print(f"  [{done}/{total}] {entry_id}", file=sys.stderr)
 
+    jobs = args.jobs if args.jobs is not None else _default_jobs()
     receipt = service.optimize(
-        manifest.bucket, max_workers=args.jobs, progress=progress
+        manifest.bucket, max_workers=jobs, progress=progress, cache=cache
     )
     save_manifest(receipt.bucket, args.output)
-    print(f"{receipt.summary()}; wrote {args.output}")
+    print(f"{receipt.summary()}; wrote {args.output}", file=sys.stderr)
+    result = {
+        "output": args.output,
+        "optimizer": receipt.optimizer,
+        "entries": len(receipt.entries),
+        "workers": receipt.workers,
+        "nodes_before": receipt.nodes_before,
+        "nodes_after": receipt.nodes_after,
+        "cache": cache.stats().to_dict() if cache is not None else None,
+    }
+    print(json.dumps(result))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Spool-directory optimization server.
+
+    Watches ``spool_dir`` for bucket manifests (``*.json``), optimizes
+    each through the cache-backed :class:`OptimizationServer`, and
+    writes ``<name>.optimized.json`` next to the input.  One JSON line
+    per completed job goes to stdout; logs and metrics go to stderr.
+    """
+    from .serving import OptimizationCache, OptimizationServer
+
+    spool = args.spool_dir
+    if not os.path.isdir(spool):
+        print(f"spool directory {spool!r} does not exist", file=sys.stderr)
+        return 2
+    options = {}
+    if args.kernel_selection:
+        options["kernel_selection"] = True
+    jobs = args.jobs if args.jobs is not None else _default_jobs()
+    cache = OptimizationCache(cache_dir=args.cache_dir)  # None dir = memory-only
+    try:
+        server = OptimizationServer(
+            args.optimizer, cache=cache, workers=jobs, **options
+        )
+    except TypeError as exc:
+        print(f"cannot construct optimizer {args.optimizer!r}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    suffix = ".optimized.json"
+    # inputs that failed, keyed by (mtime, size) at failure time: a file
+    # caught mid-write (or later rewritten) changes signature and gets
+    # retried; a genuinely corrupt file stays skipped.
+    failed: dict = {}
+
+    def _signature(path):
+        st = os.stat(path)
+        return (st.st_mtime, st.st_size)
+
+    print(
+        f"serving {spool} (optimizer={args.optimizer}, workers={jobs}, "
+        f"cache={args.cache_dir or 'memory-only'})",
+        file=sys.stderr,
+    )
+    try:
+        with server:
+            while True:
+                pending = sorted(
+                    name
+                    for name in os.listdir(spool)
+                    if name.endswith(".json")
+                    and not name.endswith(suffix)
+                    and not os.path.exists(
+                        os.path.join(spool, name[: -len(".json")] + suffix)
+                    )
+                )
+                for name in pending:
+                    in_path = os.path.join(spool, name)
+                    out_path = os.path.join(spool, name[: -len(".json")] + suffix)
+                    try:
+                        sig = _signature(in_path)
+                    except OSError:  # vanished between listing and stat
+                        continue
+                    if failed.get(name) == sig:
+                        continue
+                    manifest = _load_manifest_or_fail(in_path)
+                    if manifest is None:
+                        failed[name] = sig
+                        continue
+                    try:
+                        job_id = server.submit(manifest.bucket)
+                        receipt = server.await_receipt(job_id)
+                        save_manifest(receipt.bucket, out_path)
+                        server.forget(job_id)
+                    except Exception as exc:
+                        # one bad job must not take the server down
+                        print(f"job for {in_path!r} failed: {exc}", file=sys.stderr)
+                        failed[name] = sig
+                        continue
+                    failed.pop(name, None)
+                    metrics = server.metrics()
+                    print(
+                        json.dumps(
+                            {
+                                "job_id": job_id,
+                                "input": in_path,
+                                "output": out_path,
+                                "entries": len(receipt.entries),
+                                "cache_hit_rate": metrics["entries"]["cache_hit_rate"],
+                            }
+                        ),
+                        flush=True,
+                    )
+                    print(f"{job_id}: {receipt.summary()}", file=sys.stderr)
+                if args.once:
+                    print(json.dumps(server.metrics()), file=sys.stderr)
+                    return 0
+                time.sleep(args.poll_interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        print("interrupted; shutting down", file=sys.stderr)
+        return 0
 
 
 def _cmd_deobfuscate(args) -> int:
@@ -188,11 +332,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
     p.add_argument("--optimizer", default="ortlike", choices=list_optimizers())
     p.add_argument("--kernel-selection", action="store_true")
-    p.add_argument("-j", "--jobs", type=int, default=1,
-                   help="parallel workers over bucket entries (default: 1)")
+    p.add_argument("-j", "--jobs", type=int, default=None,
+                   help="parallel workers over bucket entries "
+                        "(default: cpu count capped at 8; env REPRO_JOBS overrides)")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed optimization cache directory "
+                        "(reused across runs; keyed by graph content x "
+                        "optimizer x config)")
     p.add_argument("-v", "--verbose", action="store_true",
-                   help="print per-entry progress")
+                   help="print per-entry progress (stderr)")
     p.set_defaults(fn=_cmd_optimize)
+
+    p = sub.add_parser("serve", help="run a cache-backed optimization server over a spool dir")
+    p.add_argument("spool_dir",
+                   help="directory watched for bucket manifests (*.json); "
+                        "results are written as <name>.optimized.json")
+    p.add_argument("--optimizer", default="ortlike", choices=list_optimizers())
+    p.add_argument("--kernel-selection", action="store_true")
+    p.add_argument("-j", "--jobs", type=int, default=None,
+                   help="optimization worker threads "
+                        "(default: cpu count capped at 8; env REPRO_JOBS overrides)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent cache directory (omit for memory-only)")
+    p.add_argument("--once", action="store_true",
+                   help="process everything currently pending, then exit")
+    p.add_argument("--poll-interval", type=float, default=1.0,
+                   help="seconds between spool directory scans (default: 1)")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("deobfuscate", help="reassemble the optimized model (owner)")
     p.add_argument("bucket")

@@ -71,7 +71,13 @@ class HidetLikeOptimizer:
     name = "hidetlike"
 
     def __init__(self, max_rounds: int = 4) -> None:
+        self.max_rounds = max_rounds
         self._manager = PassManager(_hidet_passes(), max_rounds=max_rounds)
+
+    @property
+    def cache_fingerprint(self) -> str:
+        """Configuration identity for the serving cache key."""
+        return f"max_rounds={self.max_rounds}"
 
     def optimize(self, graph: Graph) -> Graph:
         """Return an optimized copy of ``graph`` (functionally equivalent)."""

@@ -90,6 +90,7 @@ class OrtLikeOptimizer:
         if level not in OPTIMIZATION_LEVELS:
             raise ValueError(f"level must be one of {OPTIMIZATION_LEVELS}, got {level!r}")
         self.level = level
+        self.max_rounds = max_rounds
         self.kernel_selection = kernel_selection
         if level == "none":
             self._manager = None
@@ -102,6 +103,14 @@ class OrtLikeOptimizer:
 
                 passes.append(WinogradConvSelection())
             self._manager = PassManager(passes, max_rounds=max_rounds)
+
+    @property
+    def cache_fingerprint(self) -> str:
+        """Configuration identity for the serving cache key."""
+        return (
+            f"level={self.level};max_rounds={self.max_rounds};"
+            f"kernel_selection={self.kernel_selection}"
+        )
 
     def optimize(self, graph: Graph) -> Graph:
         """Return an optimized copy of ``graph`` (functionally equivalent)."""

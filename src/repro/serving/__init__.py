@@ -1,0 +1,45 @@
+"""repro.serving — cache + scheduler tier for the optimizer party.
+
+Production serving of the Proteus protocol means optimizing a firehose
+of deliberately similar graphs: sentinels are generated to be
+structurally indistinguishable from real subgraphs, so the optimizer
+party re-sees near-identical work constantly.  This package is the
+layer every serving system builds first — recognize repeats, do each
+unique piece of work once, and keep the workers busy with what's left:
+
+* :mod:`repro.serving.canonical` — name-invariant canonical form +
+  stable content hash for IR graphs;
+* :mod:`repro.serving.cache` — two-tier (memory LRU over disk)
+  content-addressed cache of optimized graphs, keyed by canonical hash
+  × optimizer backend × configuration;
+* :mod:`repro.serving.scheduler` — priority job queue with in-flight
+  dedup feeding a worker thread pool;
+* :mod:`repro.serving.server` — :class:`OptimizationServer`:
+  ``submit(bucket)`` / ``status(job_id)`` / ``await_receipt(job_id)`` /
+  ``metrics()``.
+
+The same cache plugs straight into the one-shot client:
+``OptimizerService.optimize(bucket, cache=...)`` and
+``repro optimize --cache-dir``.
+"""
+
+from .cache import CacheStats, OptimizationCache, cached_optimize, fingerprint_config  # noqa: F401
+from .canonical import CanonicalForm, canonical_hash, canonicalize, restore_names  # noqa: F401
+from .scheduler import DedupScheduler, Priority  # noqa: F401
+from .server import JobState, JobStatus, OptimizationServer  # noqa: F401
+
+__all__ = [
+    "CanonicalForm",
+    "canonicalize",
+    "canonical_hash",
+    "restore_names",
+    "CacheStats",
+    "OptimizationCache",
+    "cached_optimize",
+    "fingerprint_config",
+    "DedupScheduler",
+    "Priority",
+    "JobState",
+    "JobStatus",
+    "OptimizationServer",
+]

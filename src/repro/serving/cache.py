@@ -1,0 +1,262 @@
+"""Two-tier content-addressed cache for optimized graphs.
+
+The optimizer party re-sees near-identical graphs constantly — sentinels
+are *generated* to look like real subgraphs, popular architectures share
+blocks, and retries resubmit the same bucket.  This cache turns each
+repeat into a lookup:
+
+* **key** — ``sha256(canonical_hash × backend name × config
+  fingerprint)``.  The canonical hash (:mod:`repro.serving.canonical`)
+  captures structure + parameters and ignores names; the backend name
+  and its configuration are part of the key because different
+  optimizers (or the same optimizer at a different level) legitimately
+  produce different graphs for the same input.  Changing any of the
+  three invalidates the entry — there is no in-place invalidation to
+  get wrong.
+* **memory tier** — a bounded LRU of deserialized payloads.
+* **disk tier** — an optional content-addressed object store
+  (``<dir>/objects/<key[:2]>/<key>.json``, written atomically), shared
+  between processes and across restarts.  Disk hits are promoted into
+  the memory tier.
+
+Payloads hold the optimized graph *in canonical names*, so one entry
+serves every requester whose graph is structurally identical no matter
+what the values were called; :func:`cached_optimize` maps the result
+back into the requester's namespace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..ir.graph import Graph
+from ..ir.serialization import graph_from_dict, graph_to_dict
+from .canonical import canonicalize, restore_names
+
+__all__ = [
+    "CacheStats",
+    "OptimizationCache",
+    "build_payload",
+    "cached_optimize",
+    "fingerprint_config",
+]
+
+_PAYLOAD_VERSION = 1
+
+
+def build_payload(
+    canonical_digest: str,
+    backend: str,
+    config_fingerprint: str,
+    optimized_canonical: Graph,
+) -> Dict[str, Any]:
+    """The single cacheable-payload schema every writer must use."""
+    return {
+        "payload_version": _PAYLOAD_VERSION,
+        "canonical_digest": canonical_digest,
+        "backend": backend,
+        "config_fingerprint": config_fingerprint,
+        "graph": graph_to_dict(optimized_canonical),
+    }
+
+
+def fingerprint_config(options: Optional[Dict[str, Any]]) -> str:
+    """Stable fingerprint of an optimizer configuration dict."""
+    if not options:
+        return "default"
+    try:
+        blob = json.dumps(options, sort_keys=True, separators=(",", ":"))
+    except TypeError:  # non-JSON values: fall back to a deterministic repr
+        blob = repr(sorted((k, repr(v)) for k, v in options.items()))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters for one :class:`OptimizationCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    memory_entries: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "memory_entries": self.memory_entries,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class OptimizationCache:
+    """In-memory LRU over an optional on-disk object store.
+
+    Thread-safe.  ``cache_dir=None`` gives a memory-only cache; with a
+    directory the disk tier persists across processes and the memory
+    tier acts as its hot set.
+    """
+
+    def __init__(
+        self, cache_dir: Optional[str] = None, max_memory_entries: int = 256
+    ) -> None:
+        if max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be >= 1")
+        self.cache_dir = cache_dir
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._memory_hits = 0
+        self._disk_hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._evictions = 0
+        if cache_dir is not None:
+            os.makedirs(os.path.join(cache_dir, "objects"), exist_ok=True)
+
+    # -- keys ---------------------------------------------------------------
+    @staticmethod
+    def key_for(canonical_digest: str, backend: str, config_fingerprint: str = "default") -> str:
+        """The composite cache key: content × backend × configuration."""
+        blob = f"{canonical_digest}|{backend}|{config_fingerprint}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _object_path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, "objects", key[:2], f"{key}.json")
+
+    # -- lookup / store -----------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key``, or None on a miss."""
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                self._memory_hits += 1
+                return payload
+        payload = self._read_disk(key)
+        with self._lock:
+            if payload is not None:
+                self._disk_hits += 1
+                self._remember(key, payload)
+            else:
+                self._misses += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` in both tiers (disk write is atomic)."""
+        with self._lock:
+            self._puts += 1
+            self._remember(key, payload)
+        if self.cache_dir is not None:
+            self._write_disk(key, payload)
+
+    def _remember(self, key: str, payload: Dict[str, Any]) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self._evictions += 1
+
+    def _read_disk(self, key: str) -> Optional[Dict[str, Any]]:
+        if self.cache_dir is None:
+            return None
+        path = self._object_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if payload.get("payload_version") != _PAYLOAD_VERSION:
+            return None
+        return payload
+
+    def _write_disk(self, key: str, payload: Dict[str, Any]) -> None:
+        path = self._object_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- bookkeeping --------------------------------------------------------
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                memory_hits=self._memory_hits,
+                disk_hits=self._disk_hits,
+                misses=self._misses,
+                puts=self._puts,
+                evictions=self._evictions,
+                memory_entries=len(self._memory),
+            )
+
+    def clear_memory(self) -> None:
+        """Drop the hot tier (disk objects, if any, stay)."""
+        with self._lock:
+            self._memory.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tier = self.cache_dir or "<memory-only>"
+        return f"OptimizationCache({tier}, {len(self)} hot entries)"
+
+
+def cached_optimize(
+    graph: Graph,
+    optimize_fn: Callable[[Graph], Graph],
+    cache: OptimizationCache,
+    backend: str,
+    config_fingerprint: str = "default",
+) -> Tuple[Graph, bool]:
+    """Optimize ``graph`` through the cache; returns ``(result, hit)``.
+
+    On a miss the graph is optimized *in canonical form* and the result
+    stored; hit or miss, the caller gets the optimized graph renamed
+    back into its own namespace.  Both paths round-trip the payload
+    through serialization, so a cold result and a later cached result
+    for the same graph are byte-identical.
+    """
+    form = canonicalize(graph)
+    key = cache.key_for(form.digest, backend, config_fingerprint)
+    payload = cache.get(key)
+    hit = payload is not None
+    if payload is None:
+        optimized_canonical = optimize_fn(form.graph)
+        payload = build_payload(form.digest, backend, config_fingerprint, optimized_canonical)
+        cache.put(key, payload)
+    optimized = graph_from_dict(payload["graph"])
+    return restore_names(optimized, form, graph.name), hit

@@ -1,0 +1,349 @@
+"""Name-invariant canonical form and stable content hash for IR graphs.
+
+Proteus buckets are full of deliberately look-alike graphs: sentinels
+are generated to be structurally indistinguishable from real subgraphs,
+and every entry is anonymized with throwaway names.  A serving tier that
+wants to recognise "I have optimized this graph before" therefore needs
+an identity that sees *structure* — topology, op types, attributes,
+parameter shapes and contents — and is blind to *names*.
+
+:func:`canonicalize` rewrites a graph into a canonical namespace
+(``i0``/``c0``/``v0`` values, ``n0`` nodes, nodes in a deterministic
+structure-driven topological order) and returns the renamed clone, the
+rename maps, and a sha256 digest of the canonical serialization.  Two
+graphs that differ only by value/node renaming or by attribute insertion
+order produce byte-identical canonical forms and therefore equal
+digests; graphs that differ in topology, op types, attribute values,
+or parameter shape/content produce different digests.
+
+Parameter *contents* (not just shapes) are folded into the digest on
+purpose: optimizers constant-fold, so a cached optimized graph is only
+reusable for a requester whose weights match bit-for-bit.
+
+:func:`restore_names` is the inverse direction used on cache hits: it
+maps a canonically-named optimized graph back into a requester's
+original namespace (optimizer-introduced names are kept, deterministic
+suffixes resolving any collision), so the caller receives a result that
+is indistinguishable from having run the optimizer directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph, Value
+from ..ir.node import Node
+from ..ir.shape_inference import infer_shapes
+
+__all__ = [
+    "CanonicalForm",
+    "canonicalize",
+    "canonical_hash",
+    "restore_names",
+]
+
+_REFINEMENT_ROUNDS = 2
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _attr_blob(attrs: Dict[str, Any]) -> str:
+    """Key-sorted JSON of a node's attributes (tuples serialize as lists)."""
+    return json.dumps(
+        {k: attrs[k] for k in sorted(attrs)}, sort_keys=True, separators=(",", ":")
+    )
+
+
+def _initializer_digest(arr: np.ndarray) -> str:
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode("utf-8"))
+    h.update(str(tuple(arr.shape)).encode("utf-8"))
+    h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def _structural_labels(graph: Graph, init_digests: Dict[str, str]) -> Dict[str, str]:
+    """A per-node label driven purely by structure, never by names.
+
+    Starts from (op_type, attrs, input kinds) and runs a few rounds of
+    Weisfeiler–Lehman-style refinement over producer/consumer labels, so
+    nodes end up ordered by their role in the topology rather than by
+    whatever the owner happened to call them.
+    """
+    input_index = {v.name: i for i, v in enumerate(graph.inputs)}
+
+    labels: Dict[str, str] = {}
+    for node in graph.nodes:
+        kinds: List[str] = []
+        for inp in node.inputs:
+            if inp in input_index:
+                kinds.append(f"i{input_index[inp]}")
+            elif inp in init_digests:
+                kinds.append(f"c:{init_digests[inp]}")
+            else:
+                kinds.append("v")
+        labels[node.name] = _sha(
+            f"{node.op_type}|{_attr_blob(node.attrs)}|{';'.join(kinds)}"
+        )
+
+    for _ in range(_REFINEMENT_ROUNDS):
+        refined: Dict[str, str] = {}
+        for node in graph.nodes:
+            producers = []
+            for inp in node.inputs:
+                p = graph.producer_of(inp)
+                producers.append(labels[p.name] if p is not None else "-")
+            consumers = sorted(
+                labels[c.name]
+                for out in node.outputs
+                for c in graph.consumers_of(out)
+            )
+            refined[node.name] = _sha(
+                f"{labels[node.name]}|{';'.join(producers)}|{';'.join(consumers)}"
+            )
+        labels = refined
+    return labels
+
+
+def _canonical_node_order(graph: Graph, init_digests: Dict[str, str]) -> List[Node]:
+    """Deterministic Kahn topological order, ties broken structurally.
+
+    Among simultaneously-ready nodes the smallest (structural label,
+    original position) wins, so a pure rename — which preserves node
+    list order — always reproduces the same sequence, and most
+    reorderings of the node list do too (position only matters between
+    structurally identical candidates).
+    """
+    labels = _structural_labels(graph, init_digests)
+    position = {node.name: i for i, node in enumerate(graph.nodes)}
+    indegree: Dict[str, int] = {}
+    dependents: Dict[str, List[Node]] = {}
+    for node in graph.nodes:
+        deps = set()
+        for inp in node.inputs:
+            p = graph.producer_of(inp)
+            if p is not None:
+                deps.add(p.name)
+        indegree[node.name] = len(deps)
+        for d in deps:
+            dependents.setdefault(d, []).append(node)
+
+    heap: List[Tuple[str, int]] = [
+        (labels[n.name], position[n.name]) for n in graph.nodes if indegree[n.name] == 0
+    ]
+    heapq.heapify(heap)
+    by_position = {i: n for i, n in enumerate(graph.nodes)}
+    order: List[Node] = []
+    while heap:
+        _, pos = heapq.heappop(heap)
+        node = by_position[pos]
+        order.append(node)
+        for dep in dependents.get(node.name, ()):
+            indegree[dep.name] -= 1
+            if indegree[dep.name] == 0:
+                heapq.heappush(heap, (labels[dep.name], position[dep.name]))
+    if len(order) != len(graph.nodes):
+        raise ValueError(f"graph {graph.name!r} has a cycle; cannot canonicalize")
+    return order
+
+
+@dataclass
+class CanonicalForm:
+    """A graph rewritten into the canonical namespace, plus the maps back."""
+
+    graph: Graph
+    digest: str
+    value_map: Dict[str, str]  # original value name -> canonical name
+    node_map: Dict[str, str]  # original node name -> canonical name
+
+
+def _type_triple(value: Value) -> List[Any]:
+    if value.type is None:
+        return [value.name, None, None]
+    return [value.name, value.type.dtype.value, list(value.type.shape)]
+
+
+def canonicalize(graph: Graph) -> CanonicalForm:
+    """Rewrite ``graph`` into canonical names and compute its digest."""
+    # hash every parameter tensor exactly once; labels, orphan ordering
+    # and the digest payload all reuse this map.
+    init_digests = {
+        name: _initializer_digest(arr) for name, arr in graph.initializers.items()
+    }
+    order = _canonical_node_order(graph, init_digests)
+
+    value_map: Dict[str, str] = {}
+    for i, v in enumerate(graph.inputs):
+        value_map.setdefault(v.name, f"i{i}")
+    init_counter = 0
+    body_counter = 0
+    node_map: Dict[str, str] = {}
+    for i, node in enumerate(order):
+        node_map[node.name] = f"n{i}"
+        for inp in node.inputs:
+            if inp in value_map:
+                continue
+            if graph.is_initializer(inp):
+                value_map[inp] = f"c{init_counter}"
+                init_counter += 1
+            else:
+                # dangling input (no producer, not an interface value):
+                # still needs a deterministic canonical name.
+                value_map[inp] = f"v{body_counter}"
+                body_counter += 1
+        for out in node.outputs:
+            if out not in value_map:
+                value_map[out] = f"v{body_counter}"
+                body_counter += 1
+    # initializers never referenced by any node (rare, but legal): order
+    # them by content so the assignment stays name-free.
+    orphans = sorted(
+        (name for name in graph.initializers if name not in value_map),
+        key=lambda name: init_digests[name],
+    )
+    for name in orphans:
+        value_map[name] = f"c{init_counter}"
+        init_counter += 1
+    for v in graph.outputs:  # outputs nothing produces (degenerate but legal)
+        if v.name not in value_map:
+            value_map[v.name] = f"v{body_counter}"
+            body_counter += 1
+
+    nodes = [
+        Node(
+            node_map[node.name],
+            node.op_type,
+            [value_map[x] for x in node.inputs],
+            [value_map[x] for x in node.outputs],
+            dict(node.attrs),
+        )
+        for node in order
+    ]
+    canonical = Graph(
+        "canonical",
+        inputs=[Value(value_map[v.name], v.type) for v in graph.inputs],
+        outputs=[Value(value_map[v.name], v.type) for v in graph.outputs],
+        nodes=nodes,
+        initializers={value_map[k]: v for k, v in graph.initializers.items()},
+    )
+    try:
+        infer_shapes(canonical)
+    except Exception:
+        pass  # shape info is an enrichment for the optimizer, not required
+
+    init_payload = sorted(
+        [
+            value_map[name],
+            str(arr.dtype),
+            list(arr.shape),
+            init_digests[name],
+        ]
+        for name, arr in graph.initializers.items()
+    )
+    payload = {
+        "inputs": [_type_triple(v) for v in canonical.inputs],
+        "outputs": [_type_triple(v) for v in canonical.outputs],
+        "nodes": [
+            [n.op_type, list(n.inputs), list(n.outputs), _attr_blob(n.attrs)]
+            for n in canonical.nodes
+        ],
+        "initializers": init_payload,
+    }
+    digest = _sha(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+    return CanonicalForm(
+        graph=canonical, digest=digest, value_map=value_map, node_map=node_map
+    )
+
+
+def canonical_hash(graph: Graph) -> str:
+    """Stable name-invariant content hash of ``graph`` (sha256 hex)."""
+    return canonicalize(graph).digest
+
+
+def _deconflict(candidate: str, used: set) -> str:
+    if candidate not in used:
+        return candidate
+    i = 1
+    while f"{candidate}__r{i}" in used:
+        i += 1
+    return f"{candidate}__r{i}"
+
+
+def restore_names(optimized: Graph, form: CanonicalForm, name: str) -> Graph:
+    """Map a canonically-named optimized graph back into ``form``'s names.
+
+    Every name the optimizer preserved maps back exactly; names the
+    optimizer introduced (fused outputs, folded constants) are kept
+    verbatim unless they collide with a restored original name, in which
+    case a deterministic ``__rN`` suffix resolves the clash.  The whole
+    mapping is a pure function of (``optimized``, ``form``), so repeated
+    restores are byte-identical.
+    """
+    value_inverse = {v: k for k, v in form.value_map.items()}
+    node_inverse = {v: k for k, v in form.node_map.items()}
+
+    used_values = set(value_inverse.values())
+    vmap: Dict[str, str] = {}
+
+    def map_value(cname: str) -> str:
+        if cname in vmap:
+            return vmap[cname]
+        if cname in value_inverse:
+            vmap[cname] = value_inverse[cname]
+        else:
+            fresh = _deconflict(cname, used_values)
+            used_values.add(fresh)
+            vmap[cname] = fresh
+        return vmap[cname]
+
+    # visit names in a deterministic order: interface, initializers,
+    # then node inputs/outputs in node-list order.
+    for v in optimized.inputs:
+        map_value(v.name)
+    for init_name in optimized.initializers:
+        map_value(init_name)
+    for node in optimized.nodes:
+        for x in node.inputs:
+            map_value(x)
+        for x in node.outputs:
+            map_value(x)
+    for v in optimized.outputs:
+        map_value(v.name)
+
+    used_nodes = set(node_inverse.values())
+    nodes: List[Node] = []
+    for node in optimized.nodes:
+        if node.name in node_inverse:
+            restored = node_inverse[node.name]
+        else:
+            restored = _deconflict(node.name, used_nodes)
+            used_nodes.add(restored)
+        nodes.append(
+            Node(
+                restored,
+                node.op_type,
+                [vmap[x] for x in node.inputs],
+                [vmap[x] for x in node.outputs],
+                dict(node.attrs),
+            )
+        )
+
+    restored_graph = Graph(
+        name,
+        inputs=[Value(vmap[v.name], v.type) for v in optimized.inputs],
+        outputs=[Value(vmap[v.name], v.type) for v in optimized.outputs],
+        nodes=nodes,
+        initializers={vmap[k]: arr for k, arr in optimized.initializers.items()},
+    )
+    restored_graph.value_types = {
+        vmap[k]: t for k, t in optimized.value_types.items() if k in vmap
+    }
+    return restored_graph

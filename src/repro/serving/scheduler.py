@@ -1,0 +1,164 @@
+"""Priority job queue with in-flight deduplication.
+
+The serving tier's unit of work is "optimize one canonical graph".
+Buckets are full of near-duplicates, and concurrent submissions of the
+*same* canonical graph (two jobs racing, or duplicate entries inside
+one bucket) should cost one optimization, not two — the second waiter
+just shares the first one's future.
+
+:class:`DedupScheduler` owns a fixed pool of worker threads fed from a
+priority queue.  ``submit(key, fn, priority)`` returns a
+:class:`concurrent.futures.Future`; while a task with the same key is
+queued or running, further submits with that key return the *same*
+future without enqueueing anything.  Once a task completes it leaves
+the in-flight table — result reuse beyond that point is the cache's
+job, not the scheduler's.
+
+Priorities are smaller-is-sooner; within a priority level the queue is
+FIFO (a monotonic sequence number breaks ties).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from concurrent.futures import Future
+from enum import IntEnum
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["Priority", "DedupScheduler"]
+
+
+class Priority(IntEnum):
+    """Queue priority; lower values are scheduled first."""
+
+    HIGH = 0
+    NORMAL = 10
+    LOW = 20
+
+
+#: shutdown sentinel priority — sorts after every real task so queued
+#: work drains before the workers exit.
+_DRAIN = 1 << 30
+
+
+class DedupScheduler:
+    """A thread pool pulling from a priority queue, with keyed dedup."""
+
+    def __init__(self, workers: int = 2, name: str = "opt") -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._inflight: Dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._submitted = 0
+        self._dedup_hits = 0
+        self._executed = 0
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"{name}-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission ---------------------------------------------------------
+    def submit(
+        self,
+        key: Optional[str],
+        fn: Callable[[], Any],
+        priority: int = Priority.NORMAL,
+    ) -> Future:
+        """Enqueue ``fn``; identical in-flight ``key``s share one future.
+
+        ``key=None`` opts out of deduplication for that task.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is shut down")
+            if key is not None:
+                existing = self._inflight.get(key)
+                if existing is not None:
+                    self._dedup_hits += 1
+                    return existing
+            fut: Future = Future()
+            if key is not None:
+                self._inflight[key] = fut
+            self._submitted += 1
+            self._queue.put((int(priority), next(self._seq), key, fn, fut))
+        return fut
+
+    # -- execution ----------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            _, _, key, fn, fut = self._queue.get()
+            if fn is None:  # drain sentinel
+                self._queue.task_done()
+                return
+            if not fut.set_running_or_notify_cancel():
+                self._finish(key)
+                self._queue.task_done()
+                continue
+            try:
+                result = fn()
+            except BaseException as exc:  # propagate through the future
+                self._finish(key)
+                fut.set_exception(exc)
+            else:
+                self._finish(key)
+                fut.set_result(result)
+            finally:
+                self._queue.task_done()
+
+    def _finish(self, key: Optional[str]) -> None:
+        # Drop the in-flight entry *before* the future resolves so a
+        # dedup-joined waiter never attaches to a key whose task already
+        # finished notifying.
+        if key is None:
+            return
+        with self._lock:
+            self._inflight.pop(key, None)
+            self._executed += 1
+
+    # -- introspection ------------------------------------------------------
+    def queue_depth(self) -> int:
+        """Tasks enqueued but not yet picked up (approximate)."""
+        return self._queue.qsize()
+
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "submitted": self._submitted,
+                "dedup_hits": self._dedup_hits,
+                "executed": self._executed,
+                "queue_depth": self._queue.qsize(),
+                "workers": self.workers,
+            }
+
+    # -- lifecycle ----------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; drain the queue, then stop the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _ in self._threads:
+                self._queue.put((_DRAIN, next(self._seq), None, None, None))
+        if wait:
+            for t in self._threads:
+                t.join()
+
+    def __enter__(self) -> "DedupScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)

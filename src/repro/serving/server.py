@@ -1,0 +1,335 @@
+"""The long-running optimization server: jobs in, receipts out.
+
+:class:`OptimizationServer` is the optimizer party as a service.  A job
+is one :class:`~repro.core.proteus.ObfuscatedBucket`; each entry fans
+out as an independent task through the :class:`DedupScheduler` (so
+structurally identical entries — within a job or across concurrent
+jobs — are optimized once) and through the
+:class:`~repro.serving.cache.OptimizationCache` (so repeats across the
+server's lifetime, or across restarts with a disk cache, are lookups).
+
+Lifecycle::
+
+    with OptimizationServer("ortlike", cache_dir="/var/cache/repro") as srv:
+        job_id = srv.submit(bucket)                  # returns immediately
+        srv.status(job_id)                           # QUEUED/RUNNING/DONE/FAILED
+        receipt = srv.await_receipt(job_id)          # blocks, same receipt
+        srv.metrics()                                # hit rate, latency, depth
+
+Results are deterministic: a receipt is entry-for-entry identical to
+what ``OptimizerService.optimize`` with the same cache would return,
+regardless of worker count, priorities or dedup.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from concurrent.futures import Future, wait
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..api.clients import OptimizerService
+from ..api.types import EntryOptimization, OptimizationReceipt
+from ..core.proteus import ObfuscatedBucket
+from ..ir.graph import Graph
+from ..ir.serialization import graph_from_dict
+from .cache import OptimizationCache, build_payload
+from .canonical import CanonicalForm, canonicalize, restore_names
+from .scheduler import DedupScheduler, Priority
+
+__all__ = ["JobState", "JobStatus", "OptimizationServer"]
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Point-in-time view of one submitted job."""
+
+    job_id: str
+    state: JobState
+    total_entries: int
+    completed_entries: int
+    submitted_at: float
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def progress(self) -> float:
+        return self.completed_entries / self.total_entries if self.total_entries else 1.0
+
+
+@dataclass
+class _Job:
+    job_id: str
+    bucket: ObfuscatedBucket
+    entries: List[Tuple[str, CanonicalForm, Future]]
+    submitted_at: float
+    finished_at: Optional[float] = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class OptimizationServer:
+    """Job-queue optimization service over a content-addressed cache.
+
+    Parameters
+    ----------
+    optimizer:
+        Anything :class:`~repro.api.clients.OptimizerService` accepts —
+        a registered backend name, an instance with
+        ``optimize(graph) -> graph``, or a factory.
+    cache:
+        An :class:`OptimizationCache`, or None to run uncached
+        (in-flight dedup still applies).  ``cache_dir`` is a shorthand
+        that builds a disk-backed cache.
+    workers:
+        Worker threads optimizing entries (default 2).
+    **optimizer_options:
+        Forwarded to the backend factory when ``optimizer`` is a name;
+        part of the cache key.
+    """
+
+    def __init__(
+        self,
+        optimizer: Union[str, Any] = "ortlike",
+        cache: Optional[OptimizationCache] = None,
+        cache_dir: Optional[str] = None,
+        workers: int = 2,
+        **optimizer_options,
+    ) -> None:
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either cache or cache_dir, not both")
+        self.service = OptimizerService(optimizer, **optimizer_options)
+        self.cache = cache if cache is not None else (
+            OptimizationCache(cache_dir) if cache_dir is not None else None
+        )
+        # None means the backend's configuration cannot be fingerprinted
+        # (instance/factory without a declared cache_fingerprint): skip
+        # the cache for safety.  In-flight dedup stays on — within one
+        # server there is a single backend configuration, so sharing
+        # results between identical in-flight entries is always sound.
+        self._config_fingerprint = self.service.config_fingerprint
+        self._scheduler = DedupScheduler(workers=workers)
+        self._jobs: Dict[str, _Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._local = threading.local()
+        self._latencies: List[float] = []
+        self._entries_done = 0
+        self._entry_cache_hits = 0
+        self._metrics_lock = threading.Lock()
+        self._closed = False
+
+    # -- the per-entry unit of work -----------------------------------------
+    def _backend(self):
+        if not hasattr(self._local, "backend"):
+            self._local.backend = self.service._make_optimizer()
+        return self._local.backend
+
+    @property
+    def _cache_usable(self) -> bool:
+        return self.cache is not None and self._config_fingerprint is not None
+
+    def _task_key(self, digest: str) -> str:
+        return OptimizationCache.key_for(
+            digest, self.service.name, self._config_fingerprint or "uncacheable"
+        )
+
+    def _optimize_canonical(self, form: CanonicalForm) -> Dict[str, Any]:
+        """Optimize one canonical graph; returns the cacheable payload.
+
+        The payload (serialized canonical optimized graph) is what
+        dedup-joined waiters share; each waiter renames it into its own
+        entry's namespace afterwards.
+        """
+        started = time.perf_counter()
+        key = self._task_key(form.digest)
+        payload = self.cache.get(key) if self._cache_usable else None
+        hit = payload is not None
+        if payload is None:
+            optimized = self._backend().optimize(form.graph)
+            payload = build_payload(
+                form.digest,
+                self.service.name,
+                self._config_fingerprint or "uncacheable",
+                optimized,
+            )
+            if self._cache_usable:
+                self.cache.put(key, payload)
+        elapsed = time.perf_counter() - started
+        with self._metrics_lock:
+            self._entries_done += 1
+            self._entry_cache_hits += int(hit)
+            self._latencies.append(elapsed)
+        return payload
+
+    # -- public API ---------------------------------------------------------
+    def submit(
+        self, bucket: ObfuscatedBucket, priority: int = Priority.NORMAL
+    ) -> str:
+        """Queue a bucket for optimization and return its job id.
+
+        Canonical hashing runs inline (it is what makes queue-time
+        dedup possible — a duplicate must be recognised *before* it is
+        enqueued); the optimization work itself is asynchronous, so
+        submit returns after one hashing pass over the bucket, not
+        after any optimizer runs.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        job_id = f"job-{uuid.uuid4().hex[:12]}"
+        entries: List[Tuple[str, CanonicalForm, Future]] = []
+        for entry in bucket:
+            form = canonicalize(entry.graph)
+            fut = self._scheduler.submit(
+                self._task_key(form.digest),
+                lambda form=form: self._optimize_canonical(form),
+                priority=priority,
+            )
+            entries.append((entry.entry_id, form, fut))
+        job = _Job(
+            job_id=job_id,
+            bucket=bucket,
+            entries=entries,
+            submitted_at=time.time(),
+        )
+        with self._jobs_lock:
+            self._jobs[job_id] = job
+        return job_id
+
+    def _job(self, job_id: str) -> _Job:
+        with self._jobs_lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job id {job_id!r}") from None
+
+    def status(self, job_id: str) -> JobStatus:
+        """Current state of a job without blocking."""
+        job = self._job(job_id)
+        done = sum(1 for _, _, fut in job.entries if fut.done())
+        error: Optional[str] = None
+        for _, _, fut in job.entries:
+            if fut.done() and not fut.cancelled() and fut.exception() is not None:
+                error = str(fut.exception())
+                break
+        if error is not None:
+            state = JobState.FAILED
+        elif done == len(job.entries):
+            state = JobState.DONE
+            with job.lock:
+                if job.finished_at is None:
+                    job.finished_at = time.time()
+        elif any(fut.running() or fut.done() for _, _, fut in job.entries):
+            state = JobState.RUNNING
+        else:
+            state = JobState.QUEUED
+        return JobStatus(
+            job_id=job_id,
+            state=state,
+            total_entries=len(job.entries),
+            completed_entries=done,
+            submitted_at=job.submitted_at,
+            finished_at=job.finished_at,
+            error=error,
+        )
+
+    def await_receipt(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> OptimizationReceipt:
+        """Block until the job finishes and return its receipt.
+
+        Raises :class:`TimeoutError` if the job is still incomplete
+        after ``timeout`` seconds, and re-raises the first entry's
+        optimizer exception if the job failed.
+        """
+        job = self._job(job_id)
+        pending = wait((fut for _, _, fut in job.entries), timeout=timeout).not_done
+        if pending:
+            raise TimeoutError(
+                f"job {job_id} incomplete: {len(pending)} of "
+                f"{len(job.entries)} entries still pending"
+            )
+        optimized: Dict[str, Graph] = {}
+        entry_stats: Dict[str, EntryOptimization] = {}
+        for entry_id, form, fut in job.entries:
+            payload = fut.result()  # re-raises optimizer failures
+            graph = restore_names(
+                graph_from_dict(payload["graph"]), form, job.bucket.get(entry_id).graph.name
+            )
+            optimized[entry_id] = graph
+            entry_stats[entry_id] = EntryOptimization(
+                nodes_before=job.bucket.get(entry_id).graph.num_nodes,
+                nodes_after=graph.num_nodes,
+            )
+        with job.lock:
+            if job.finished_at is None:
+                job.finished_at = time.time()
+        return OptimizationReceipt(
+            bucket=job.bucket.with_graphs(optimized),
+            optimizer=self.service.name,
+            workers=self._scheduler.workers,
+            entries=entry_stats,
+        )
+
+    def metrics(self) -> Dict[str, Any]:
+        """Operational snapshot: cache, latency, queue and job counters."""
+        with self._metrics_lock:
+            latencies = list(self._latencies)
+            entries_done = self._entries_done
+            entry_hits = self._entry_cache_hits
+        with self._jobs_lock:
+            job_ids = list(self._jobs)
+        states = []
+        for job_id in job_ids:
+            try:
+                states.append(self.status(job_id).state)
+            except KeyError:  # forgotten between listing and lookup
+                pass
+        lat: Dict[str, float] = {}
+        if latencies:
+            ordered = sorted(latencies)
+            lat = {
+                "mean_s": sum(ordered) / len(ordered),
+                "p50_s": ordered[len(ordered) // 2],
+                "max_s": ordered[-1],
+            }
+        return {
+            "jobs": {
+                "total": len(states),
+                **{s.value: states.count(s) for s in JobState},
+            },
+            "entries": {
+                "optimized": entries_done,
+                "cache_hits": entry_hits,
+                "cache_hit_rate": entry_hits / entries_done if entries_done else 0.0,
+            },
+            "latency": lat,
+            "scheduler": self._scheduler.stats(),
+            "cache": self.cache.stats().to_dict() if self.cache is not None else None,
+        }
+
+    def forget(self, job_id: str) -> None:
+        """Drop a finished job's bookkeeping (receipts already claimed)."""
+        with self._jobs_lock:
+            self._jobs.pop(job_id, None)
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self, wait_for_pending: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._scheduler.shutdown(wait=wait_for_pending)
+
+    def __enter__(self) -> "OptimizationServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

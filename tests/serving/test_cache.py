@@ -1,0 +1,262 @@
+"""Two-tier optimization cache: keys, LRU, disk persistence, round-trip."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.ir.graph import Graph, Value
+from repro.ir.node import Node
+from repro.ir.dtypes import DataType, TensorType
+from repro.ir.serialization import graph_to_dict
+from repro.serving import OptimizationCache, cached_optimize, fingerprint_config
+from repro.serving.cache import _PAYLOAD_VERSION
+
+F32 = DataType.FLOAT32
+
+
+def small_graph(tag="g", n_chain=3):
+    nodes = []
+    prev = "x"
+    for i in range(n_chain):
+        nodes.append(Node(f"relu{i}", "Relu", [prev], [f"v{i}"]))
+        prev = f"v{i}"
+    return Graph(
+        tag,
+        inputs=[Value("x", TensorType(F32, (1, 4)))],
+        outputs=[Value(prev)],
+        nodes=nodes,
+    )
+
+
+def strip_tail(graph: Graph) -> Graph:
+    """A fake 'optimizer': drop the last node (deterministic rewrite)."""
+    g = graph.clone()
+    last = g.nodes[-1]
+    g.remove_node(last)
+    g.outputs = [Value(last.inputs[0], g.value_types.get(last.inputs[0]))]
+    return g
+
+
+class TestKeys:
+    def test_key_components_all_matter(self):
+        k = OptimizationCache.key_for
+        assert k("d1", "ortlike") != k("d2", "ortlike")
+        assert k("d1", "ortlike") != k("d1", "hidetlike")
+        assert k("d1", "ortlike", "cfgA") != k("d1", "ortlike", "cfgB")
+        assert k("d1", "ortlike", "cfgA") == k("d1", "ortlike", "cfgA")
+
+    def test_fingerprint_config(self):
+        assert fingerprint_config(None) == "default"
+        assert fingerprint_config({}) == "default"
+        assert fingerprint_config({"a": 1}) == fingerprint_config({"a": 1})
+        assert fingerprint_config({"a": 1}) != fingerprint_config({"a": 2})
+        # insertion order must not matter
+        assert fingerprint_config({"a": 1, "b": 2}) == fingerprint_config(
+            {"b": 2, "a": 1}
+        )
+
+
+class TestMemoryTier:
+    def test_hit_miss_counters(self):
+        cache = OptimizationCache()
+        assert cache.get("k") is None
+        cache.put("k", {"payload_version": _PAYLOAD_VERSION, "v": 1})
+        assert cache.get("k")["v"] == 1
+        s = cache.stats()
+        assert s.misses == 1 and s.memory_hits == 1 and s.puts == 1
+        assert 0.0 < s.hit_rate < 1.0
+
+    def test_lru_eviction(self):
+        cache = OptimizationCache(max_memory_entries=2)
+        cache.put("a", {"v": "a"})
+        cache.put("b", {"v": "b"})
+        assert cache.get("a")["v"] == "a"  # touch a: b becomes LRU
+        cache.put("c", {"v": "c"})  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.stats().evictions == 1
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            OptimizationCache(max_memory_entries=0)
+
+
+class TestDiskTier:
+    def test_persists_across_instances(self, tmp_path):
+        d = str(tmp_path / "cache")
+        first = OptimizationCache(cache_dir=d)
+        first.put("deadbeef", {"payload_version": _PAYLOAD_VERSION, "v": 42})
+
+        second = OptimizationCache(cache_dir=d)
+        got = second.get("deadbeef")
+        assert got is not None and got["v"] == 42
+        s = second.stats()
+        assert s.disk_hits == 1 and s.memory_hits == 0
+        # promoted to memory: second read is a memory hit
+        second.get("deadbeef")
+        assert second.stats().memory_hits == 1
+
+    def test_object_layout_is_sharded(self, tmp_path):
+        d = str(tmp_path / "cache")
+        cache = OptimizationCache(cache_dir=d)
+        key = "ab" + "0" * 62
+        cache.put(key, {"payload_version": _PAYLOAD_VERSION})
+        assert os.path.exists(os.path.join(d, "objects", "ab", f"{key}.json"))
+
+    def test_corrupt_object_is_a_miss(self, tmp_path):
+        d = str(tmp_path / "cache")
+        cache = OptimizationCache(cache_dir=d)
+        key = "cd" + "0" * 62
+        path = os.path.join(d, "objects", "cd", f"{key}.json")
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert cache.get(key) is None
+        assert cache.stats().misses == 1
+
+    def test_stale_payload_version_is_a_miss(self, tmp_path):
+        d = str(tmp_path / "cache")
+        cache = OptimizationCache(cache_dir=d)
+        key = "ef" + "0" * 62
+        path = os.path.join(d, "objects", "ef", f"{key}.json")
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as fh:
+            json.dump({"payload_version": -1, "graph": {}}, fh)
+        assert cache.get(key) is None
+
+    def test_clear_memory_keeps_disk(self, tmp_path):
+        d = str(tmp_path / "cache")
+        cache = OptimizationCache(cache_dir=d)
+        cache.put("k1", {"payload_version": _PAYLOAD_VERSION, "v": 1})
+        cache.clear_memory()
+        assert len(cache) == 0
+        assert cache.get("k1")["v"] == 1  # served from disk
+        assert cache.stats().disk_hits == 1
+
+
+class TestCachedOptimize:
+    def test_cold_then_hot_byte_identical(self):
+        cache = OptimizationCache()
+        g = small_graph()
+        calls = []
+
+        def opt(graph):
+            calls.append(1)
+            return strip_tail(graph)
+
+        cold, cold_hit = cached_optimize(g, opt, cache, "fake")
+        hot, hot_hit = cached_optimize(g, opt, cache, "fake")
+        assert (cold_hit, hot_hit) == (False, True)
+        assert len(calls) == 1
+        assert graph_to_dict(cold) == graph_to_dict(hot)
+        assert cold.num_nodes == g.num_nodes - 1
+
+    def test_renamed_twin_shares_entry(self):
+        """A structurally identical graph with different names is a hit,
+        and its result comes back in *its own* namespace."""
+        cache = OptimizationCache()
+        a = small_graph("a")
+        b = Graph(
+            "b",
+            inputs=[Value("inp", TensorType(F32, (1, 4)))],
+            outputs=[Value("w2")],
+            nodes=[
+                Node("r0", "Relu", ["inp"], ["w0"]),
+                Node("r1", "Relu", ["w0"], ["w1"]),
+                Node("r2", "Relu", ["w1"], ["w2"]),
+            ],
+        )
+        calls = []
+
+        def opt(graph):
+            calls.append(1)
+            return strip_tail(graph)
+
+        res_a, hit_a = cached_optimize(a, opt, cache, "fake")
+        res_b, hit_b = cached_optimize(b, opt, cache, "fake")
+        assert (hit_a, hit_b) == (False, True)
+        assert len(calls) == 1
+        assert res_b.name == "b"
+        assert res_b.input_names == ["inp"]
+        assert res_b.output_names == ["w1"]  # tail-stripped, b's names
+
+    def test_backend_and_config_isolate_entries(self):
+        cache = OptimizationCache()
+        g = small_graph()
+        calls = []
+
+        def opt(graph):
+            calls.append(1)
+            return strip_tail(graph)
+
+        cached_optimize(g, opt, cache, "fake", "cfg1")
+        _, hit_other_cfg = cached_optimize(g, opt, cache, "fake", "cfg2")
+        _, hit_other_backend = cached_optimize(g, opt, cache, "other", "cfg1")
+        _, hit_same = cached_optimize(g, opt, cache, "fake", "cfg1")
+        assert not hit_other_cfg and not hit_other_backend and hit_same
+        assert len(calls) == 3
+
+    def test_instance_config_never_serves_stale_graphs(self):
+        """Regression: a configured backend *instance* must not share cache
+        entries with the default-configured backend of the same name."""
+        from repro import ModelOwner, OptimizerService, ProteusConfig, build_model
+        from repro.optimizer.ortlike import OrtLikeOptimizer
+
+        owner = ModelOwner(ProteusConfig(n=1, k=0, seed=0))
+        bucket = owner.obfuscate(build_model("squeezenet")).bucket
+        cache = OptimizationCache()
+        extended = OptimizerService("ortlike").optimize(bucket, cache=cache)
+        untouched = OptimizerService(OrtLikeOptimizer(level="none")).optimize(
+            bucket, cache=cache
+        )
+        entry = next(iter(bucket))
+        # level="none" must return the graph unmodified, not the cached
+        # extended-optimized one
+        assert untouched.bucket.get(entry.entry_id).graph.num_nodes == \
+            entry.graph.num_nodes
+        assert extended.bucket.get(entry.entry_id).graph.num_nodes < \
+            entry.graph.num_nodes
+
+    def test_unfingerprintable_backend_bypasses_cache(self):
+        """An instance without cache_fingerprint cannot be keyed safely:
+        the cache is bypassed entirely rather than risk stale results."""
+        from repro import ModelOwner, OptimizerService, ProteusConfig, build_model
+
+        class Opaque:
+            def optimize(self, graph):
+                return graph.clone()
+
+        owner = ModelOwner(ProteusConfig(n=1, k=0, seed=0))
+        bucket = owner.obfuscate(build_model("squeezenet")).bucket
+        service = OptimizerService(Opaque())
+        assert service.config_fingerprint is None
+        cache = OptimizationCache()
+        service.optimize(bucket, cache=cache)
+        service.optimize(bucket, cache=cache)
+        assert cache.stats().lookups == 0 and cache.stats().puts == 0
+
+    def test_named_backend_fingerprint_tracks_options(self):
+        from repro import OptimizerService
+
+        default = OptimizerService("ortlike").config_fingerprint
+        basic = OptimizerService("ortlike", level="basic").config_fingerprint
+        assert default is not None and basic is not None
+        assert default != basic
+
+    def test_weights_keep_bit_exact_through_disk(self, tmp_path):
+        d = str(tmp_path / "cache")
+        g = Graph(
+            "wg",
+            inputs=[Value("x", TensorType(F32, (1, 3)))],
+            outputs=[Value("y")],
+            nodes=[Node("mm", "MatMul", ["x", "w"], ["y"])],
+            initializers={"w": np.random.default_rng(0).normal(size=(3, 3)).astype(np.float32)},
+        )
+        cold, _ = cached_optimize(g, lambda gr: gr.clone(), OptimizationCache(cache_dir=d), "fake")
+        hot, hit = cached_optimize(g, lambda gr: gr.clone(), OptimizationCache(cache_dir=d), "fake")
+        assert hit
+        np.testing.assert_array_equal(cold.initializers["w"], hot.initializers["w"])
+        assert hot.initializers["w"].dtype == np.float32

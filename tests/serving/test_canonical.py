@@ -1,0 +1,224 @@
+"""Canonical hashing: name-invariance, attr-order invariance, collisions."""
+
+import numpy as np
+import pytest
+
+from repro import ModelOwner, ProteusConfig, build_model
+from repro.ir.graph import Graph, Value
+from repro.ir.node import Node
+from repro.ir.dtypes import DataType, TensorType
+from repro.serving import canonical_hash, canonicalize, restore_names
+
+F32 = DataType.FLOAT32
+
+
+def tiny_graph(name="g", relu_attr=None, weight_fill=1.0, extra_node=False):
+    """Conv -> Relu (-> optional Identity) over a 1x1 conv."""
+    w = np.full((4, 3, 1, 1), weight_fill, dtype=np.float32)
+    nodes = [
+        Node("conv", "Conv", ["x", "w"], ["h"],
+             {"kernel_shape": (1, 1), "strides": (1, 1), "pads": (0, 0, 0, 0)}),
+        Node("act", "Relu", ["h"], ["y"], relu_attr or {}),
+    ]
+    outputs = [Value("y")]
+    if extra_node:
+        nodes.append(Node("id", "Identity", ["y"], ["z"]))
+        outputs = [Value("z")]
+    return Graph(
+        name,
+        inputs=[Value("x", TensorType(F32, (1, 3, 8, 8)))],
+        outputs=outputs,
+        nodes=nodes,
+        initializers={"w": w},
+    )
+
+
+def renamed(graph: Graph, prefix="zz") -> Graph:
+    """A clone of ``graph`` with every value and node name replaced."""
+    vmap = {}
+
+    def m(name):
+        if name not in vmap:
+            vmap[name] = f"{prefix}_v{len(vmap)}"
+        return vmap[name]
+
+    return Graph(
+        f"{prefix}_{graph.name}",
+        inputs=[Value(m(v.name), v.type) for v in graph.inputs],
+        outputs=[Value(m(v.name), v.type) for v in graph.outputs],
+        nodes=[
+            Node(f"{prefix}_n_{n.name}", n.op_type,
+                 [m(x) for x in n.inputs], [m(x) for x in n.outputs],
+                 dict(n.attrs))
+            for n in graph.nodes
+        ],
+        initializers={m(k): v for k, v in graph.initializers.items()},
+    )
+
+
+class TestRenameInvariance:
+    def test_tiny_graph(self):
+        g = tiny_graph()
+        assert canonical_hash(g) == canonical_hash(renamed(g))
+
+    def test_graph_name_is_ignored(self):
+        assert canonical_hash(tiny_graph(name="a")) == canonical_hash(tiny_graph(name="b"))
+
+    def test_zoo_model(self):
+        g = build_model("squeezenet")
+        assert canonical_hash(g) == canonical_hash(renamed(g))
+
+    def test_rename_twice_stable(self):
+        g = tiny_graph()
+        assert canonical_hash(renamed(g, "a")) == canonical_hash(renamed(g, "b"))
+
+
+class TestAttributeInvariance:
+    def test_attr_insertion_order(self):
+        a = tiny_graph()
+        b = tiny_graph()
+        # rebuild the conv node with reversed attr insertion order
+        conv = b.nodes[0]
+        reversed_attrs = dict(reversed(list(conv.attrs.items())))
+        b.nodes[0] = Node(conv.name, conv.op_type, conv.inputs, conv.outputs,
+                          reversed_attrs)
+        assert canonical_hash(a) == canonical_hash(b)
+
+    def test_attr_value_changes_hash(self):
+        a = tiny_graph()
+        b = tiny_graph(relu_attr=None)
+        b.nodes[1].set_attr("alpha", 0.2)
+        assert canonical_hash(a) != canonical_hash(b)
+
+
+class TestContentSensitivity:
+    def test_topology_changes_hash(self):
+        assert canonical_hash(tiny_graph()) != canonical_hash(tiny_graph(extra_node=True))
+
+    def test_weight_values_change_hash(self):
+        # same shapes, different parameter contents: optimizers constant-fold,
+        # so these must never share a cache slot.
+        assert canonical_hash(tiny_graph(weight_fill=1.0)) != canonical_hash(
+            tiny_graph(weight_fill=2.0)
+        )
+
+    def test_weight_shape_changes_hash(self):
+        a = tiny_graph()
+        b = tiny_graph()
+        b.initializers["w"] = np.ones((4, 3, 1, 1, 1), dtype=np.float32)
+        assert canonical_hash(a) != canonical_hash(b)
+
+    def test_op_type_changes_hash(self):
+        a = tiny_graph()
+        b = tiny_graph()
+        relu = b.nodes[1]
+        b.nodes[1] = Node(relu.name, "Sigmoid", relu.inputs, relu.outputs)
+        assert canonical_hash(a) != canonical_hash(b)
+
+
+class TestNoCollisionRegression:
+    def test_corpus_no_structural_collisions(self):
+        """Across a corpus of models and their partition subgraphs, equal
+        hashes only ever occur for byte-identical canonical forms."""
+        corpus = []
+        for name in ("squeezenet", "alexnet", "mobilenet"):
+            model = build_model(name)
+            corpus.append(model)
+            owner = ModelOwner(ProteusConfig(k=0, seed=0))
+            bucket = owner.obfuscate(model).bucket
+            corpus.extend(entry.graph for entry in bucket)
+        assert len(corpus) > 20
+
+        from repro.ir.serialization import graph_to_dict
+        import json
+
+        by_hash = {}
+        for g in corpus:
+            form = canonicalize(g)
+            blob = json.dumps(graph_to_dict(form.graph), sort_keys=True)
+            if form.digest in by_hash:
+                # a collision is only acceptable for genuinely identical
+                # canonical structure (duplicate entries in the corpus)
+                assert by_hash[form.digest] == blob, (
+                    f"hash collision between structurally different graphs: "
+                    f"{form.digest}"
+                )
+            by_hash[form.digest] = blob
+        # the corpus is not degenerate: plenty of distinct structures
+        assert len(by_hash) > 10
+
+
+class TestRestoreNames:
+    def test_roundtrip_restores_original_names(self):
+        g = tiny_graph()
+        form = canonicalize(g)
+        back = restore_names(form.graph, form, g.name)
+        assert back.name == g.name
+        assert {v.name for v in back.inputs} == {v.name for v in g.inputs}
+        assert {v.name for v in back.outputs} == {v.name for v in g.outputs}
+        assert set(back.initializers) == set(g.initializers)
+        assert {n.name for n in back.nodes} == {n.name for n in g.nodes}
+        assert canonical_hash(back) == canonical_hash(g)
+
+    def test_introduced_names_are_deconflicted(self):
+        g = tiny_graph()
+        form = canonicalize(g)
+        opt = form.graph.clone()
+        # simulate an optimizer that introduces a name colliding with an
+        # original one ("h") and a safe new name
+        opt.add_node(Node("new_node", "Identity", [opt.outputs[0].name], ["h"]))
+        opt.outputs = [Value("h")]
+        opt.add_node(Node("post", "Identity", ["h"], ["brand_new"]))
+        opt.outputs = [Value("brand_new")]
+        back = restore_names(opt, form, g.name)
+        names = set()
+        for n in back.nodes:
+            names.update(n.inputs)
+            names.update(n.outputs)
+        # "h" from the optimizer must not collide with the restored "h"
+        assert len([x for x in names if x == "h"]) <= 1
+        # deterministic: restoring twice gives identical graphs
+        back2 = restore_names(opt, form, g.name)
+        from repro.ir.serialization import graph_to_dict
+        assert graph_to_dict(back) == graph_to_dict(back2)
+
+    def test_restore_is_pure(self):
+        g = tiny_graph()
+        form = canonicalize(g)
+        before = [n.name for n in form.graph.nodes]
+        restore_names(form.graph, form, "x")
+        assert [n.name for n in form.graph.nodes] == before
+
+
+class TestDeterminism:
+    def test_hash_stable_across_calls(self):
+        g = build_model("squeezenet")
+        assert canonical_hash(g) == canonical_hash(g)
+
+    def test_node_list_reorder_of_independent_branches(self):
+        """Two parallel branches listed in either order hash identically
+        (structure-driven ordering, not list order)."""
+        def build(order):
+            x = Value("x", TensorType(F32, (1, 4)))
+            a = Node("a", "Relu", ["x"], ["ya"])
+            b = Node("b", "Sigmoid", ["x"], ["yb"])
+            add = Node("add", "Add", ["ya", "yb"], ["y"])
+            nodes = [a, b, add] if order == 0 else [b, a, add]
+            return Graph("g", inputs=[x], outputs=[Value("y")],
+                         nodes=[n.clone() for n in nodes])
+
+        assert canonical_hash(build(0)) == canonical_hash(build(1))
+
+
+def test_cycle_rejected():
+    g = Graph(
+        "cyc",
+        inputs=[Value("x", TensorType(F32, (1,)))],
+        outputs=[Value("b")],
+        nodes=[
+            Node("n1", "Add", ["x", "b"], ["a"]),
+            Node("n2", "Relu", ["a"], ["b"]),
+        ],
+    )
+    with pytest.raises(ValueError, match="cycle"):
+        canonicalize(g)

@@ -1,0 +1,154 @@
+"""DedupScheduler: priorities, in-flight dedup, failure propagation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving import DedupScheduler, Priority
+
+
+class TestBasics:
+    def test_submit_and_result(self):
+        with DedupScheduler(workers=2) as sched:
+            fut = sched.submit("k1", lambda: 21 * 2)
+            assert fut.result(timeout=5) == 42
+
+    def test_exception_propagates(self):
+        with DedupScheduler(workers=1) as sched:
+            def boom():
+                raise RuntimeError("backend exploded")
+
+            fut = sched.submit("k", boom)
+            with pytest.raises(RuntimeError, match="backend exploded"):
+                fut.result(timeout=5)
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            DedupScheduler(workers=0)
+
+    def test_submit_after_shutdown_rejected(self):
+        sched = DedupScheduler(workers=1)
+        sched.shutdown()
+        with pytest.raises(RuntimeError):
+            sched.submit("k", lambda: 1)
+
+
+class TestPriorities:
+    def test_high_priority_jumps_queue(self):
+        order = []
+        gate = threading.Event()
+        with DedupScheduler(workers=1) as sched:
+            # occupy the single worker so subsequent submits stay queued
+            blocker = sched.submit("blocker", gate.wait)
+            low = sched.submit("low", lambda: order.append("low"), Priority.LOW)
+            normal = sched.submit("normal", lambda: order.append("normal"), Priority.NORMAL)
+            high = sched.submit("high", lambda: order.append("high"), Priority.HIGH)
+            gate.set()
+            for fut in (blocker, low, normal, high):
+                fut.result(timeout=5)
+        assert order == ["high", "normal", "low"]
+
+    def test_fifo_within_priority(self):
+        order = []
+        gate = threading.Event()
+        with DedupScheduler(workers=1) as sched:
+            blocker = sched.submit("blocker", gate.wait)
+            futs = [
+                sched.submit(f"k{i}", lambda i=i: order.append(i))
+                for i in range(5)
+            ]
+            gate.set()
+            for fut in [blocker] + futs:
+                fut.result(timeout=5)
+        assert order == list(range(5))
+
+
+class TestDedup:
+    def test_same_key_shares_future(self):
+        gate = threading.Event()
+        calls = []
+
+        def work():
+            gate.wait(5)
+            calls.append(1)
+            return "result"
+
+        with DedupScheduler(workers=1) as sched:
+            f1 = sched.submit("same", work)
+            f2 = sched.submit("same", work)
+            f3 = sched.submit("same", work)
+            gate.set()
+            assert f1 is f2 is f3
+            assert f1.result(timeout=5) == "result"
+        assert len(calls) == 1
+        assert sched.stats()["dedup_hits"] == 2
+        assert sched.stats()["executed"] == 1
+
+    def test_distinct_keys_do_not_dedup(self):
+        with DedupScheduler(workers=2) as sched:
+            f1 = sched.submit("a", lambda: "a")
+            f2 = sched.submit("b", lambda: "b")
+            assert f1 is not f2
+            assert {f1.result(5), f2.result(5)} == {"a", "b"}
+
+    def test_none_key_never_dedups(self):
+        calls = []
+        with DedupScheduler(workers=1) as sched:
+            f1 = sched.submit(None, lambda: calls.append(1))
+            f2 = sched.submit(None, lambda: calls.append(1))
+            assert f1 is not f2
+            f1.result(5), f2.result(5)
+        assert len(calls) == 2
+
+    def test_key_reusable_after_completion(self):
+        calls = []
+        with DedupScheduler(workers=1) as sched:
+            f1 = sched.submit("k", lambda: calls.append(1))
+            f1.result(timeout=5)
+            # completed tasks leave the in-flight table: a fresh submit
+            # runs again (result reuse beyond this point is the cache's job)
+            deadline = time.time() + 5
+            while sched.inflight_count() and time.time() < deadline:
+                time.sleep(0.01)
+            f2 = sched.submit("k", lambda: calls.append(1))
+            assert f1 is not f2
+            f2.result(timeout=5)
+        assert len(calls) == 2
+
+
+class TestShutdown:
+    def test_shutdown_drains_pending(self):
+        done = []
+        sched = DedupScheduler(workers=1)
+        gate = threading.Event()
+        sched.submit("blocker", gate.wait)
+        futs = [sched.submit(f"k{i}", lambda i=i: done.append(i)) for i in range(3)]
+        gate.set()
+        sched.shutdown(wait=True)
+        assert sorted(done) == [0, 1, 2]
+        for fut in futs:
+            assert fut.done()
+
+    def test_shutdown_idempotent(self):
+        sched = DedupScheduler(workers=1)
+        sched.shutdown()
+        sched.shutdown()
+
+
+def test_queue_depth_reports_backlog():
+    gate = threading.Event()
+    sched = DedupScheduler(workers=1)
+    try:
+        blocker = sched.submit("blocker", gate.wait)
+        for i in range(4):
+            sched.submit(f"k{i}", lambda: None)
+        assert sched.queue_depth() >= 3  # blocker may or may not be picked up
+        stats = sched.stats()
+        assert stats["submitted"] == 5
+        assert stats["workers"] == 1
+        gate.set()
+        blocker.result(timeout=5)
+    finally:
+        gate.set()
+        sched.shutdown()

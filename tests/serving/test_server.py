@@ -1,0 +1,213 @@
+"""OptimizationServer: jobs, receipts, dedup, failure and metrics."""
+
+import threading
+import time
+
+import pytest
+
+from repro import ModelOwner, ProteusConfig, build_model
+from repro.core.proteus import BucketEntry, ObfuscatedBucket
+from repro.ir.serialization import graph_to_dict
+from repro.runtime import graphs_equivalent
+from repro.serving import (
+    JobState,
+    OptimizationCache,
+    OptimizationServer,
+    Priority,
+    canonical_hash,
+)
+
+
+class CountingOptimizer:
+    """A backend that counts (and can stall) its optimize() calls."""
+
+    name = "counting"
+    cache_fingerprint = "counting-default"
+
+    def __init__(self, delay=0.0, gate=None):
+        self.calls = 0
+        self.delay = delay
+        self.gate = gate
+        self._lock = threading.Lock()
+
+    def optimize(self, graph):
+        with self._lock:
+            self.calls += 1
+        if self.gate is not None:
+            self.gate.wait(10)
+        if self.delay:
+            time.sleep(self.delay)
+        return graph.clone()
+
+
+@pytest.fixture(scope="module")
+def obfuscated():
+    owner = ModelOwner(ProteusConfig(k=0, seed=0))
+    result = owner.obfuscate(build_model("squeezenet"))
+    return owner, result
+
+
+def duplicate_bucket(n_copies=4):
+    """A bucket whose entries are all structurally the same graph."""
+    base = build_model("squeezenet")
+    owner = ModelOwner(ProteusConfig(n=1, k=0, seed=0))
+    entry = next(iter(owner.obfuscate(base).bucket))
+    entries = [
+        BucketEntry(f"dup-{i}", 0, entry.graph.clone(f"dup-{i}"))
+        for i in range(n_copies)
+    ]
+    return ObfuscatedBucket(entries, n_groups=1, k=n_copies - 1)
+
+
+class TestEndToEnd:
+    def test_submit_await_reassemble(self, obfuscated, tmp_path):
+        owner, result = obfuscated
+        with OptimizationServer("ortlike", cache_dir=str(tmp_path / "c")) as srv:
+            job_id = srv.submit(result.bucket)
+            receipt = srv.await_receipt(job_id, timeout=120)
+            status = srv.status(job_id)
+        assert status.state is JobState.DONE
+        assert status.completed_entries == status.total_entries == len(result.bucket)
+        assert receipt.optimizer == "ortlike"
+        recovered = owner.reassemble(receipt)
+        assert graphs_equivalent(build_model("squeezenet"), recovered, n_trials=1)
+
+    def test_receipt_matches_direct_service(self, obfuscated, tmp_path):
+        """The server's receipt is entry-for-entry identical to the one-shot
+        cached OptimizerService path."""
+        from repro.api.clients import OptimizerService
+
+        _, result = obfuscated
+        direct = OptimizerService("ortlike").optimize(
+            result.bucket, cache=OptimizationCache()
+        )
+        with OptimizationServer("ortlike", workers=3) as srv:
+            served = srv.await_receipt(srv.submit(result.bucket), timeout=120)
+        for entry in result.bucket:
+            assert graph_to_dict(direct.bucket.get(entry.entry_id).graph) == \
+                graph_to_dict(served.bucket.get(entry.entry_id).graph)
+
+    def test_unknown_job_id(self):
+        with OptimizationServer("ortlike") as srv:
+            with pytest.raises(KeyError):
+                srv.status("job-nope")
+            with pytest.raises(KeyError):
+                srv.await_receipt("job-nope")
+
+
+class TestInFlightDedup:
+    def test_duplicate_entries_optimize_once(self):
+        """Concurrent duplicate entries: the backend runs exactly once and
+        every duplicate receives the result (acceptance criterion)."""
+        bucket = duplicate_bucket(n_copies=4)
+        gate = threading.Event()
+        backend = CountingOptimizer(gate=gate)
+        with OptimizationServer(backend, workers=2) as srv:
+            job_id = srv.submit(bucket)
+            gate.set()
+            receipt = srv.await_receipt(job_id, timeout=60)
+        assert backend.calls == 1
+        assert len(receipt.entries) == 4
+        hashes = {canonical_hash(e.graph) for e in receipt.bucket}
+        assert len(hashes) == 1  # all four got the (same) result
+        # each entry keeps its own identity
+        assert sorted(e.entry_id for e in receipt.bucket) == [
+            f"dup-{i}" for i in range(4)
+        ]
+
+    def test_duplicates_across_concurrent_jobs(self):
+        bucket_a = duplicate_bucket(n_copies=2)
+        bucket_b = duplicate_bucket(n_copies=2)
+        gate = threading.Event()
+        backend = CountingOptimizer(gate=gate)
+        with OptimizationServer(backend, workers=2) as srv:
+            job_a = srv.submit(bucket_a)
+            job_b = srv.submit(bucket_b)
+            gate.set()
+            srv.await_receipt(job_a, timeout=60)
+            srv.await_receipt(job_b, timeout=60)
+            stats = srv.metrics()["scheduler"]
+        assert backend.calls == 1
+        assert stats["dedup_hits"] == 3
+
+    def test_cache_serves_repeat_jobs(self):
+        bucket = duplicate_bucket(n_copies=2)
+        backend = CountingOptimizer()
+        with OptimizationServer(backend, cache=OptimizationCache()) as srv:
+            srv.await_receipt(srv.submit(bucket), timeout=60)
+            srv.await_receipt(srv.submit(bucket), timeout=60)
+            metrics = srv.metrics()
+        assert backend.calls == 1
+        # job 1 dedups its duplicate; job 2's single execution is a cache hit
+        assert metrics["entries"]["cache_hits"] >= 1
+        assert metrics["entries"]["cache_hit_rate"] > 0
+
+
+class TestFailure:
+    def test_backend_failure_marks_job_failed(self):
+        class Exploding:
+            name = "exploding"
+
+            def optimize(self, graph):
+                raise RuntimeError("no optimizing today")
+
+        bucket = duplicate_bucket(n_copies=1)
+        with OptimizationServer(Exploding()) as srv:
+            job_id = srv.submit(bucket)
+            with pytest.raises(RuntimeError, match="no optimizing today"):
+                srv.await_receipt(job_id, timeout=60)
+            status = srv.status(job_id)
+        assert status.state is JobState.FAILED
+        assert "no optimizing today" in status.error
+
+    def test_await_timeout(self):
+        gate = threading.Event()
+        backend = CountingOptimizer(gate=gate)
+        bucket = duplicate_bucket(n_copies=1)
+        with OptimizationServer(backend) as srv:
+            job_id = srv.submit(bucket)
+            with pytest.raises(TimeoutError):
+                srv.await_receipt(job_id, timeout=0.05)
+            gate.set()
+            srv.await_receipt(job_id, timeout=60)  # recovers afterwards
+
+    def test_submit_after_close_rejected(self):
+        srv = OptimizationServer("ortlike")
+        srv.close()
+        with pytest.raises(RuntimeError):
+            srv.submit(duplicate_bucket(n_copies=1))
+
+
+class TestMetricsAndLifecycle:
+    def test_metrics_shape(self, obfuscated):
+        _, result = obfuscated
+        with OptimizationServer("ortlike", cache=OptimizationCache()) as srv:
+            srv.await_receipt(srv.submit(result.bucket, priority=Priority.HIGH),
+                              timeout=120)
+            m = srv.metrics()
+        assert m["jobs"]["total"] == 1 and m["jobs"]["done"] == 1
+        assert m["entries"]["optimized"] == len(result.bucket)
+        assert m["latency"]["mean_s"] > 0
+        assert m["latency"]["max_s"] >= m["latency"]["p50_s"] >= 0
+        assert m["cache"]["misses"] == len(result.bucket)
+        assert m["scheduler"]["executed"] == len(result.bucket)
+
+    def test_uncached_server_reports_none(self):
+        with OptimizationServer("ortlike") as srv:
+            assert srv.metrics()["cache"] is None
+
+    def test_forget_drops_job(self):
+        bucket = duplicate_bucket(n_copies=1)
+        with OptimizationServer("ortlike") as srv:
+            job_id = srv.submit(bucket)
+            srv.await_receipt(job_id, timeout=60)
+            srv.forget(job_id)
+            with pytest.raises(KeyError):
+                srv.status(job_id)
+            assert srv.metrics()["jobs"]["total"] == 0
+
+    def test_cache_and_cache_dir_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            OptimizationServer(
+                "ortlike", cache=OptimizationCache(), cache_dir=str(tmp_path)
+            )

@@ -62,6 +62,130 @@ class TestWorkflow:
         assert serial.read_bytes() == parallel.read_bytes()
 
 
+class TestOptimizeOutput:
+    def test_stdout_is_machine_parseable_json(self, model_file, tmp_path, capsys):
+        import json
+
+        bucket = str(tmp_path / "b.json")
+        plan = str(tmp_path / "p.json")
+        main(["obfuscate", model_file, "--bucket", bucket, "--plan", plan, "-k", "0"])
+        capsys.readouterr()
+        returned = str(tmp_path / "r.json")
+        assert main(["optimize", bucket, "-o", returned, "-v"]) == 0
+        captured = capsys.readouterr()
+        result = json.loads(captured.out)  # stdout: exactly one JSON document
+        assert result["output"] == returned
+        assert result["entries"] > 0
+        assert result["cache"] is None
+        # progress + human summary live on stderr
+        assert "entries optimized" in captured.err
+        assert "[1/" in captured.err
+
+    def test_cache_dir_round_trip(self, model_file, tmp_path, capsys):
+        import json
+
+        bucket = str(tmp_path / "b.json")
+        plan = str(tmp_path / "p.json")
+        main(["obfuscate", model_file, "--bucket", bucket, "--plan", plan, "-k", "0"])
+        cache_dir = str(tmp_path / "cache")
+        cold = tmp_path / "cold.json"
+        hot = tmp_path / "hot.json"
+        capsys.readouterr()
+        assert main(["optimize", bucket, "-o", str(cold), "--cache-dir", cache_dir]) == 0
+        cold_stats = json.loads(capsys.readouterr().out)["cache"]
+        assert cold_stats["misses"] > 0 and cold_stats["hit_rate"] == 0.0
+        assert main(["optimize", bucket, "-o", str(hot), "--cache-dir", cache_dir]) == 0
+        hot_stats = json.loads(capsys.readouterr().out)["cache"]
+        assert hot_stats["hit_rate"] == 1.0
+        # cached result is byte-identical to the cold one
+        assert cold.read_bytes() == hot.read_bytes()
+
+    def test_default_jobs_env_override(self, monkeypatch):
+        from repro.cli import _default_jobs, _MAX_DEFAULT_JOBS
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert 1 <= _default_jobs() <= _MAX_DEFAULT_JOBS
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert _default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        assert 1 <= _default_jobs() <= _MAX_DEFAULT_JOBS
+
+
+class TestServe:
+    def test_serve_once_processes_spool(self, model_file, tmp_path, capsys):
+        import json
+
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        bucket = str(spool / "incoming.json")
+        plan = str(tmp_path / "p.json")
+        main(["obfuscate", model_file, "--bucket", bucket, "--plan", plan, "-k", "0"])
+        capsys.readouterr()
+        cache_dir = str(tmp_path / "cache")
+        assert main(["serve", str(spool), "--once", "--cache-dir", cache_dir]) == 0
+        out_path = spool / "incoming.optimized.json"
+        assert out_path.exists()
+        lines = capsys.readouterr().out.strip().splitlines()
+        record = json.loads(lines[0])
+        assert record["output"] == str(out_path)
+        assert record["entries"] > 0
+        # the optimized bucket reassembles into an equivalent model
+        from repro.core.bucket_io import load_plan
+        from repro.api.clients import ModelOwner
+        from repro.api.manifest import load_manifest
+
+        recovered = ModelOwner().reassemble(
+            load_manifest(str(out_path)).bucket, load_plan(plan)
+        )
+        assert graphs_equivalent(load_graph(model_file), recovered, n_trials=1)
+
+    def test_serve_skips_already_optimized(self, model_file, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        bucket = str(spool / "job.json")
+        plan = str(tmp_path / "p.json")
+        main(["obfuscate", model_file, "--bucket", bucket, "--plan", plan, "-k", "0"])
+        assert main(["serve", str(spool), "--once"]) == 0
+        capsys.readouterr()
+        # second pass: nothing pending, no new job lines on stdout
+        assert main(["serve", str(spool), "--once"]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+    def test_serve_missing_dir(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_serve_bad_bucket_skipped(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        (spool / "garbage.json").write_text('{"nonsense": true}')
+        assert main(["serve", str(spool), "--once"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == ""
+        assert "cannot load bucket" in captured.err
+
+    def test_serve_retries_rewritten_file(self, model_file, tmp_path, capsys):
+        """A file that failed to load (e.g. caught mid-write) is retried
+        once its content changes, not blacklisted forever."""
+        import json
+        import shutil
+
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        good = tmp_path / "good.json"
+        plan = str(tmp_path / "p.json")
+        main(["obfuscate", model_file, "--bucket", str(good), "--plan", plan, "-k", "0"])
+        target = spool / "incoming.json"
+        target.write_text("{tru")  # half-written file
+        assert main(["serve", str(spool), "--once"]) == 0
+        assert not (spool / "incoming.optimized.json").exists()
+        capsys.readouterr()
+        shutil.copy(str(good), str(target))  # writer finishes
+        assert main(["serve", str(spool), "--once"]) == 0
+        assert (spool / "incoming.optimized.json").exists()
+        assert json.loads(capsys.readouterr().out.splitlines()[0])["entries"] > 0
+
+
 class TestBadBucketFiles:
     def test_tampered_bucket_rejected(self, model_file, tmp_path, capsys):
         import json
