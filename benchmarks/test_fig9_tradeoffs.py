@@ -9,6 +9,7 @@ k=50, i.e. ~(k+1)x).
 
 from __future__ import annotations
 
+import gc
 import time
 
 import numpy as np
@@ -49,9 +50,23 @@ def test_a2_compile_overhead_linear_in_k(trained_generator, benchmark):
         )
         bucket, _ = p.obfuscate(model)
         buckets[k] = (p, bucket)
-        t0 = time.perf_counter()
-        p.optimize_bucket(bucket, optimizer)
-        timings[k] = time.perf_counter() - t0
+        # best-of-3 with GC paused: whole-bucket optimization is
+        # single-digit ms now, so a scheduler hiccup or one gen-2
+        # collection (the session fixtures keep a large live heap) landing
+        # inside a single-shot measurement would swamp the k-fold ratio
+        # this test asserts on.
+        runs = []
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(3):
+                t0 = time.perf_counter()
+                p.optimize_bucket(bucket, optimizer)
+                runs.append(time.perf_counter() - t0)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        timings[k] = min(runs)
     rows = [
         [k, len(buckets[k][1]), f"{t * 1e3:.1f} ms", f"{t / timings[0]:.2f}x"]
         for k, t in timings.items()

@@ -1,0 +1,66 @@
+"""repro.bench — machine-readable benchmark harness with baseline gating.
+
+The perf loop this package closes:
+
+1. scenarios register hot paths (:func:`register_benchmark`);
+2. the runner measures them with warmup + repeated ``perf_counter_ns``
+   rounds and emits one schema-versioned ``BENCH_<suite>.json``;
+3. the comparator grades the run against a committed baseline
+   (``benchmarks/baselines/*.json``) and fails CI on regressions.
+
+``repro bench --suite smoke --baseline benchmarks/baselines/smoke.json
+--fail-on-regression 1.5`` is the CI entry point; ``--update-baseline``
+refreshes the stored numbers after an intentional perf change.
+"""
+
+from .compare import (
+    DEFAULT_METRIC,
+    DEFAULT_TOLERANCE,
+    Comparison,
+    ScenarioVerdict,
+    compare_reports,
+)
+from .runner import (
+    SCHEMA_VERSION,
+    env_fingerprint,
+    git_sha,
+    load_report,
+    run_scenario,
+    run_suite,
+    save_report,
+    summary_table,
+    validate_report,
+)
+from .scenario import (
+    BENCHMARKS,
+    Scenario,
+    list_benchmarks,
+    list_suites,
+    register_benchmark,
+    resolve_benchmark,
+    suite_scenarios,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "Comparison",
+    "DEFAULT_METRIC",
+    "DEFAULT_TOLERANCE",
+    "SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioVerdict",
+    "compare_reports",
+    "env_fingerprint",
+    "git_sha",
+    "list_benchmarks",
+    "list_suites",
+    "load_report",
+    "register_benchmark",
+    "resolve_benchmark",
+    "run_scenario",
+    "run_suite",
+    "save_report",
+    "suite_scenarios",
+    "summary_table",
+    "validate_report",
+]

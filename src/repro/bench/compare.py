@@ -1,0 +1,151 @@
+"""Baseline comparison: turn two bench reports into per-scenario verdicts.
+
+A baseline is just a committed bench report (``benchmarks/baselines/*.json``).
+The comparator matches scenarios by name and classifies each one by the
+wall-time ratio ``current / baseline`` against a tolerance factor::
+
+    ratio >  tolerance      -> "regression"
+    ratio <  1 / tolerance  -> "improvement"
+    otherwise               -> "ok"
+
+Scenarios present on only one side get "missing-baseline" (new scenario,
+nothing to gate against) or "missing-current" (baseline scenario that no
+longer ran — usually a rename that should be refreshed with
+``--update-baseline``).  Only "regression" verdicts fail a gated run.
+
+Verdicts default to the **minimum** wall time of each run's rounds: the
+steady-state floor is far more robust to scheduler noise than the median
+on shared CI runners (medians and p95s stay in the report for trend
+lines).  Pass ``metric="median_s"`` to gate on medians instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Comparison",
+    "ScenarioVerdict",
+    "compare_reports",
+    "DEFAULT_METRIC",
+    "DEFAULT_TOLERANCE",
+]
+
+#: default slowdown factor tolerated before a scenario counts as regressed.
+DEFAULT_TOLERANCE = 1.5
+
+#: report field verdicts are computed from (see module docstring).
+DEFAULT_METRIC = "min_s"
+
+_METRICS = ("min_s", "median_s", "p95_s", "mean_s")
+
+
+@dataclass(frozen=True)
+class ScenarioVerdict:
+    """Outcome for one scenario name across the two reports."""
+
+    name: str
+    verdict: str  # regression | improvement | ok | missing-baseline | missing-current
+    current_s: Optional[float] = None
+    baseline_s: Optional[float] = None
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """current / baseline wall time; None unless both sides ran."""
+        if self.current_s is None or not self.baseline_s:
+            return None
+        return self.current_s / self.baseline_s
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """All verdicts for one current-vs-baseline comparison."""
+
+    tolerance: float
+    metric: str
+    verdicts: List[ScenarioVerdict]
+
+    @property
+    def regressions(self) -> List[ScenarioVerdict]:
+        return [v for v in self.verdicts if v.verdict == "regression"]
+
+    @property
+    def improvements(self) -> List[ScenarioVerdict]:
+        return [v for v in self.verdicts if v.verdict == "improvement"]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def render(self) -> str:
+        """Fixed-width verdict table (one line per scenario)."""
+        lines = [
+            f"{'scenario':<28s} {'baseline':>12s} {'current':>12s} "
+            f"{'ratio':>7s}  verdict ({self.metric}, tolerance {self.tolerance:g}x)"
+        ]
+        for v in self.verdicts:
+            base = f"{v.baseline_s * 1e3:9.2f} ms" if v.baseline_s else "-"
+            cur = f"{v.current_s * 1e3:9.2f} ms" if v.current_s else "-"
+            ratio = f"{v.ratio:6.2f}x" if v.ratio is not None else "-"
+            lines.append(f"{v.name:<28s} {base:>12s} {cur:>12s} {ratio:>7s}  {v.verdict}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tolerance": self.tolerance,
+            "metric": self.metric,
+            "regressions": [v.name for v in self.regressions],
+            "improvements": [v.name for v in self.improvements],
+            "verdicts": {
+                v.name: {
+                    "verdict": v.verdict,
+                    "ratio": v.ratio,
+                    "current_s": v.current_s,
+                    "baseline_s": v.baseline_s,
+                }
+                for v in self.verdicts
+            },
+        }
+
+
+def compare_reports(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    metric: str = DEFAULT_METRIC,
+) -> Comparison:
+    """Classify every scenario of ``current`` against ``baseline``."""
+    if tolerance < 1.0:
+        raise ValueError(f"tolerance must be >= 1.0, got {tolerance}")
+    if metric not in _METRICS:
+        raise ValueError(f"metric must be one of {_METRICS}, got {metric!r}")
+    cur_scenarios = current["scenarios"]
+    base_scenarios = baseline["scenarios"]
+    verdicts: List[ScenarioVerdict] = []
+    for name in sorted(set(cur_scenarios) | set(base_scenarios)):
+        cur = cur_scenarios.get(name)
+        base = base_scenarios.get(name)
+        if cur is None:
+            verdicts.append(
+                ScenarioVerdict(name, "missing-current", baseline_s=base[metric])
+            )
+            continue
+        if base is None:
+            verdicts.append(
+                ScenarioVerdict(name, "missing-baseline", current_s=cur[metric])
+            )
+            continue
+        ratio = cur[metric] / base[metric]
+        if ratio > tolerance:
+            verdict = "regression"
+        elif ratio < 1.0 / tolerance:
+            verdict = "improvement"
+        else:
+            verdict = "ok"
+        verdicts.append(
+            ScenarioVerdict(
+                name, verdict, current_s=cur[metric], baseline_s=base[metric]
+            )
+        )
+    return Comparison(tolerance=tolerance, metric=metric, verdicts=verdicts)

@@ -1,0 +1,201 @@
+"""Benchmark runner: execute a suite, emit one machine-readable report.
+
+The report is a single schema-versioned JSON document (``BENCH_<suite>.json``)
+designed for trend lines and CI gating rather than human tables::
+
+    {
+      "schema_version": 1,
+      "suite": "smoke",
+      "git_sha": "...",                  # or "unknown" outside a checkout
+      "created_unix": 1769600000,
+      "env": {"python": "...", "platform": "...", "cpu_count": 8, ...},
+      "config": {"rounds": null, "warmup": null},   # CLI overrides, if any
+      "scenarios": {
+        "shape_inference": {
+          "description": "...",
+          "rounds": 5, "warmup": 2, "items": 10,
+          "median_s": ..., "p95_s": ..., "min_s": ..., "mean_s": ...,
+          "throughput_items_per_s": ...,
+          "times_s": [...]
+        }, ...
+      }
+    }
+
+All timings come from :func:`repro.runtime.time_callable`
+(``time.perf_counter_ns`` + explicit warmup), so the numbers a baseline
+stores and the numbers CI measures are produced identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from typing import Any, Callable, Dict, Optional
+
+from ..runtime.profiler import time_callable
+from .scenario import Scenario, suite_scenarios
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "env_fingerprint",
+    "git_sha",
+    "load_report",
+    "run_scenario",
+    "run_suite",
+    "save_report",
+    "summary_table",
+    "validate_report",
+]
+
+SCHEMA_VERSION = 1
+
+#: per-scenario numeric fields every report must carry.
+_SCENARIO_FIELDS = (
+    "rounds",
+    "warmup",
+    "items",
+    "median_s",
+    "p95_s",
+    "min_s",
+    "mean_s",
+    "throughput_items_per_s",
+    "times_s",
+)
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """HEAD commit of the surrounding checkout, or ``"unknown"``."""
+    env_sha = os.environ.get("GITHUB_SHA")
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.TimeoutExpired):
+        pass
+    return env_sha or "unknown"
+
+
+def env_fingerprint() -> Dict[str, Any]:
+    """Enough environment detail to judge whether two runs are comparable."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_scenario(
+    scenario: Scenario,
+    rounds: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run one scenario (setup untimed, then warmup + timed rounds)."""
+    thunk = scenario.make()
+    stats = time_callable(
+        thunk,
+        rounds=rounds if rounds is not None else scenario.rounds,
+        warmup=warmup if warmup is not None else scenario.warmup,
+    )
+    median_s = stats.median_s
+    return {
+        "description": scenario.description,
+        "rounds": stats.rounds,
+        "warmup": stats.warmup,
+        "items": scenario.items,
+        "median_s": median_s,
+        "p95_s": stats.p95_s,
+        "min_s": stats.min_s,
+        "mean_s": stats.mean_s,
+        "throughput_items_per_s": (scenario.items / median_s) if median_s > 0 else None,
+        "times_s": [t / 1e9 for t in stats.times_ns],
+    }
+
+
+def run_suite(
+    suite: str,
+    rounds: Optional[int] = None,
+    warmup: Optional[int] = None,
+    progress: Optional[Callable[[int, int, str], None]] = None,
+) -> Dict[str, Any]:
+    """Run every scenario of ``suite`` and assemble the report document."""
+    scenarios = suite_scenarios(suite)
+    results: Dict[str, Any] = {}
+    for i, scenario in enumerate(scenarios, start=1):
+        if progress is not None:
+            progress(i, len(scenarios), scenario.name)
+        results[scenario.name] = run_scenario(scenario, rounds=rounds, warmup=warmup)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "git_sha": git_sha(),
+        "created_unix": int(time.time()),
+        "env": env_fingerprint(),
+        "config": {"rounds": rounds, "warmup": warmup},
+        "scenarios": results,
+    }
+
+
+def validate_report(report: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``report`` is a well-formed bench document."""
+    if not isinstance(report, dict):
+        raise ValueError("bench report must be a JSON object")
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported bench schema_version {report.get('schema_version')!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    for key in ("suite", "git_sha", "env", "scenarios"):
+        if key not in report:
+            raise ValueError(f"bench report missing key {key!r}")
+    scenarios = report["scenarios"]
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise ValueError("bench report has no scenarios")
+    for name, entry in scenarios.items():
+        for field in _SCENARIO_FIELDS:
+            if field not in entry:
+                raise ValueError(f"scenario {name!r} missing field {field!r}")
+        if not entry["times_s"]:
+            raise ValueError(f"scenario {name!r} has no measured rounds")
+        if entry["median_s"] <= 0:
+            raise ValueError(f"scenario {name!r} has non-positive median")
+
+
+def save_report(report: Dict[str, Any], path: str) -> None:
+    """Validate and write ``report`` as pretty-printed JSON."""
+    validate_report(report)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read and validate a bench report from ``path``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    validate_report(report)
+    return report
+
+
+def summary_table(report: Dict[str, Any]) -> str:
+    """One human-readable line per scenario (the CLI prints this to stderr)."""
+    lines = []
+    for name, entry in sorted(report["scenarios"].items()):
+        lines.append(
+            f"  {name:<28s} median {entry['median_s'] * 1e3:9.2f} ms   "
+            f"p95 {entry['p95_s'] * 1e3:9.2f} ms   "
+            f"{entry['throughput_items_per_s']:,.1f} items/s"
+        )
+    return "\n".join(lines)

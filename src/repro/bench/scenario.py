@@ -1,0 +1,152 @@
+"""Benchmark scenario registry.
+
+Scenarios register under a string name with the same decorator idiom as
+the optimizer/partitioner/sentinel registries in :mod:`repro.api.registry`
+— the registered object here is a :class:`Scenario` describing *how* to
+measure (suites, rounds, warmup, units of work), wrapping a zero-arg
+factory whose return value is the timed thunk::
+
+    from repro.bench import register_benchmark
+
+    @register_benchmark("my_hot_path", suites=("smoke",), items=10)
+    def my_hot_path():
+        state = expensive_setup()          # untimed
+        return lambda: hot_path(state)     # timed
+
+    # now `repro bench --suite smoke` includes it with zero CLI changes.
+
+Setup runs once per scenario, outside the measured region; the thunk
+runs ``warmup`` untimed iterations followed by ``rounds`` timed ones
+(:func:`repro.runtime.time_callable`).  ``items`` declares how many
+units of work one thunk call performs, so the runner can report
+throughput alongside wall time.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..api.registry import Registry, UnknownComponentError
+
+__all__ = [
+    "BENCHMARKS",
+    "Scenario",
+    "list_benchmarks",
+    "list_suites",
+    "register_benchmark",
+    "resolve_benchmark",
+    "suite_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered benchmark: metadata plus the setup factory."""
+
+    name: str
+    suites: Tuple[str, ...]
+    make: Callable[[], Callable[[], Any]]
+    rounds: int = 5
+    warmup: int = 2
+    items: int = 1
+    description: str = ""
+
+
+BENCHMARKS = Registry("benchmark scenario")
+
+
+def register_benchmark(
+    name: str,
+    *,
+    suites: Tuple[str, ...],
+    rounds: int = 5,
+    warmup: int = 2,
+    items: int = 1,
+    description: str = "",
+    overwrite: bool = False,
+) -> Callable[[Callable[[], Callable[[], Any]]], Callable[[], Callable[[], Any]]]:
+    """Register a scenario factory under ``name`` in the given suites."""
+    if not suites:
+        raise ValueError(f"scenario {name!r} must belong to at least one suite")
+    if rounds < 1 or warmup < 0 or items < 1:
+        raise ValueError(
+            f"scenario {name!r}: rounds >= 1, warmup >= 0, items >= 1 required"
+        )
+
+    def deco(make: Callable[[], Callable[[], Any]]):
+        doc = (make.__doc__ or "").strip().splitlines()
+        scenario = Scenario(
+            name=name,
+            suites=tuple(suites),
+            make=make,
+            rounds=rounds,
+            warmup=warmup,
+            items=items,
+            description=description or (doc[0] if doc else ""),
+        )
+        BENCHMARKS.register(name, overwrite=overwrite)(scenario)
+        return make
+
+    return deco
+
+
+# -- builtin loading ---------------------------------------------------------
+#
+# Builtin scenarios live in repro.bench.scenarios and register themselves at
+# import time; every listing/resolution entry point imports that module first
+# so the table is populated regardless of import order (the same pattern as
+# repro.api.registry's _ensure_builtins).
+
+_builtins_loaded = False
+_builtins_lock = threading.Lock()
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    with _builtins_lock:
+        if _builtins_loaded:
+            return
+        from . import scenarios as _scenarios  # noqa: F401
+
+        _builtins_loaded = True
+
+
+def resolve_benchmark(name: str) -> Scenario:
+    """The :class:`Scenario` registered under ``name``."""
+    _ensure_builtins()
+    scenario = BENCHMARKS.resolve(name)
+    assert isinstance(scenario, Scenario)
+    return scenario
+
+
+def list_benchmarks(suite: Optional[str] = None) -> List[str]:
+    """Registered scenario names, optionally restricted to one suite."""
+    _ensure_builtins()
+    names = BENCHMARKS.names()
+    if suite is None:
+        return names
+    return [n for n in names if suite in BENCHMARKS.resolve(n).suites]
+
+
+def list_suites() -> List[str]:
+    """Every suite any scenario registers under, sorted."""
+    _ensure_builtins()
+    suites = set()
+    for name in BENCHMARKS.names():
+        suites.update(BENCHMARKS.resolve(name).suites)
+    return sorted(suites)
+
+
+def suite_scenarios(suite: str) -> List[Scenario]:
+    """The scenarios of ``suite`` in registration-name order.
+
+    Raises :class:`UnknownComponentError` for a suite no scenario claims.
+    """
+    scenarios = [resolve_benchmark(n) for n in list_benchmarks(suite)]
+    if not scenarios:
+        raise UnknownComponentError("benchmark suite", suite, list_suites())
+    return scenarios

@@ -1,0 +1,215 @@
+"""Builtin benchmark scenarios.
+
+Three suites:
+
+* ``smoke`` — micro-scenarios over the hottest paths (canonical hashing,
+  shape inference, sentinel subgraph-DB build, bucket optimization cold
+  and cached).  Small enough for every CI run; this is the suite the
+  ``perf-smoke`` job gates on.
+* ``paper`` — end-to-end optimizer runs matching the paper-figure
+  workloads (Fig. 4a ORT-style, Fig. 4b Hidet-style) plus the modelled
+  latency profile those figures are computed from.
+* ``serving`` — the content-addressed cache tier: canonicalization and
+  the full cached-optimize round trip.
+
+Scenario setup (model building, obfuscation, cache warming) happens in
+the factory body, outside the measured region; the returned thunk is the
+hot path under test.  Everything here is deterministic: fixed seeds,
+fixed models, no RNG in the timed region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.graph import Graph
+from ..ir.shape_inference import infer_shapes
+from .scenario import register_benchmark
+
+#: repetitions inside one timed call for very fast paths, so medians sit
+#: comfortably above timer noise even after the paths get faster.
+_INFER_REPEATS = 100
+
+
+def _fresh_models(names) -> List[Graph]:
+    from ..models import build_model
+
+    return [build_model(name) for name in names]
+
+
+@register_benchmark(
+    "shape_inference",
+    suites=("smoke",),
+    items=2 * _INFER_REPEATS,
+    description="repeated infer_shapes over unchanged graphs "
+    "(the PassManager keeps-types-fresh pattern)",
+)
+def shape_inference_scenario():
+    graphs = [g.clone() for g in _fresh_models(["resnet", "mobilenet"])]
+
+    def run():
+        for g in graphs:
+            for _ in range(_INFER_REPEATS):
+                infer_shapes(g)
+
+    return run
+
+
+@register_benchmark(
+    "canonical_hash",
+    suites=("smoke", "serving"),
+    description="name-invariant content hash over a database of real subgraphs",
+)
+def canonical_hash_scenario():
+    from ..sentinel import build_subgraph_database
+    from ..serving.canonical import canonical_hash
+
+    database = build_subgraph_database(
+        _fresh_models(["resnet", "mobilenet"]), target_subgraph_size=8, seed=0, trials=2
+    )
+
+    def run():
+        return [canonical_hash(g) for g in database]
+
+    return run
+
+
+@register_benchmark(
+    "subgraph_db_build",
+    suites=("smoke",),
+    items=2,
+    description="sentinel subgraph-database build (partition + extract per model)",
+)
+def subgraph_db_build_scenario():
+    from ..sentinel import build_subgraph_database
+
+    models = _fresh_models(["mobilenet", "squeezenet"])
+
+    def run():
+        # clone per call: build_subgraph_database mutates value_types via
+        # infer_shapes and we want each round to do the same work.
+        return build_subgraph_database(
+            [m.clone() for m in models], target_subgraph_size=8, seed=0, trials=2
+        )
+
+    return run
+
+
+def _small_bucket():
+    """A real-subgraphs-only bucket (k=0) of the reduced resnet."""
+    from ..api.clients import ModelOwner
+    from ..core import ProteusConfig
+    from ..models import build_model
+
+    owner = ModelOwner(ProteusConfig(k=0, target_subgraph_size=8, seed=0))
+    return owner.obfuscate(build_model("resnet")).bucket
+
+
+@register_benchmark(
+    "bucket_optimize_cold",
+    suites=("smoke", "paper"),
+    rounds=5,
+    warmup=1,
+    description="OptimizerService.optimize over a bucket, no cache (serial)",
+)
+def bucket_optimize_cold_scenario():
+    from ..api.clients import OptimizerService
+
+    bucket = _small_bucket()
+    service = OptimizerService("ortlike")
+
+    def run():
+        return service.optimize(bucket)
+
+    return run
+
+
+@register_benchmark(
+    "bucket_optimize_cached",
+    suites=("smoke", "serving"),
+    rounds=5,
+    warmup=1,
+    description="OptimizerService.optimize through a warm content-addressed cache",
+)
+def bucket_optimize_cached_scenario():
+    from ..api.clients import OptimizerService
+    from ..serving import OptimizationCache
+
+    bucket = _small_bucket()
+    service = OptimizerService("ortlike")
+    cache = OptimizationCache()
+    service.optimize(bucket, cache=cache)  # warm: every later round hits
+
+    def run():
+        return service.optimize(bucket, cache=cache)
+
+    return run
+
+
+@register_benchmark(
+    "cached_optimize_hit",
+    suites=("serving",),
+    description="single-graph cached_optimize hit path (canonicalize + restore)",
+)
+def cached_optimize_hit_scenario():
+    from ..optimizer import OrtLikeOptimizer
+    from ..serving import OptimizationCache
+    from ..serving.cache import cached_optimize
+
+    graph = next(iter(_small_bucket())).graph
+    cache = OptimizationCache()
+    optimizer = OrtLikeOptimizer()
+    cached_optimize(graph, optimizer.optimize, cache, "ortlike", "bench")
+
+    def run():
+        return cached_optimize(graph, optimizer.optimize, cache, "ortlike", "bench")
+
+    return run
+
+
+def _paper_optimize_scenario(backend: str, model_names) -> None:
+    models = ", ".join(model_names)
+
+    @register_benchmark(
+        f"{backend}_full_model",
+        suites=("paper",),
+        rounds=3,
+        warmup=1,
+        items=len(model_names),
+        description=f"{backend} end-to-end optimization of {models} (Fig. 4 workload)",
+    )
+    def scenario():
+        from ..api.registry import resolve_optimizer
+
+        graphs = _fresh_models(model_names)
+        factory = resolve_optimizer(backend)
+
+        def run():
+            optimizer = factory()
+            return [optimizer.optimize(g) for g in graphs]
+
+        return run
+
+
+_paper_optimize_scenario("ortlike", ["resnet", "mobilenet"])
+_paper_optimize_scenario("hidetlike", ["resnet", "mobilenet"])
+
+
+@register_benchmark(
+    "cost_model_profile",
+    suites=("paper",),
+    items=3,
+    description="analytic latency profile of three zoo models (Fig. 4 denominator)",
+)
+def cost_model_profile_scenario():
+    from ..runtime import profile_graph
+
+    models = _fresh_models(["resnet", "mobilenet", "squeezenet"])
+    reports: Dict[str, float] = {}
+
+    def run():
+        for g in models:
+            reports[g.name] = profile_graph(g).total_latency
+        return reports
+
+    return run

@@ -25,6 +25,7 @@ utilities::
     python -m repro components                       # list registered backends
     python -m repro profile model.json               # modelled latency report
     python -m repro render model.json -o model.dot   # graphviz export
+    python -m repro bench --suite smoke              # perf measurement + gating
 
 Optimizers, partitioners and sentinel strategies are all resolved
 through :mod:`repro.api.registry`, so flag choices track registrations
@@ -277,6 +278,107 @@ def _cmd_deobfuscate(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Run a benchmark suite; optionally gate against a committed baseline.
+
+    Follows the repo's stdout contract: stderr carries progress and the
+    human-readable tables, stdout exactly one machine-parseable JSON
+    line.  Exit codes: 0 ok, 1 regression under ``--fail-on-regression``,
+    2 usage/baseline errors.
+    """
+    from .bench import (
+        DEFAULT_TOLERANCE,
+        compare_reports,
+        list_benchmarks,
+        load_report,
+        run_suite,
+        save_report,
+    )
+
+    if args.list:
+        from .bench import resolve_benchmark
+
+        for name in list_benchmarks(args.suite):
+            s = resolve_benchmark(name)
+            print(f"{name:<28s} [{', '.join(s.suites)}] {s.description}")
+        return 0
+    if args.update_baseline and not args.baseline:
+        print("--update-baseline requires --baseline PATH", file=sys.stderr)
+        return 2
+    if args.rounds is not None and args.rounds < 1:
+        print("--rounds must be >= 1", file=sys.stderr)
+        return 2
+    if args.warmup is not None and args.warmup < 0:
+        print("--warmup must be >= 0", file=sys.stderr)
+        return 2
+    if args.fail_on_regression is not None and args.fail_on_regression < 1.0:
+        print("--fail-on-regression tolerance must be >= 1.0 "
+              "(1.5 tolerates a 50% slowdown)", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int, name: str) -> None:
+        print(f"  [{done}/{total}] {name}", file=sys.stderr)
+
+    print(f"running bench suite {args.suite!r}", file=sys.stderr)
+    report = run_suite(
+        args.suite, rounds=args.rounds, warmup=args.warmup, progress=progress
+    )
+    output = args.output or f"BENCH_{args.suite}.json"
+    save_report(report, output)
+    from .bench.runner import summary_table
+
+    print(summary_table(report), file=sys.stderr)
+    print(f"wrote {output}", file=sys.stderr)
+
+    result = {
+        "suite": args.suite,
+        "output": output,
+        "scenarios": len(report["scenarios"]),
+        "git_sha": report["git_sha"],
+        "regressions": [],
+        "improvements": [],
+        "baseline": args.baseline,
+    }
+    exit_code = 0
+    if args.baseline and args.update_baseline:
+        save_report(report, args.baseline)
+        print(f"baseline updated: {args.baseline}", file=sys.stderr)
+        result["baseline_updated"] = True
+    elif args.baseline:
+        try:
+            baseline = load_report(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"baseline {args.baseline!r} does not exist "
+                f"(create it with --update-baseline)",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as exc:
+            print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+            return 2
+        tolerance = (
+            args.fail_on_regression
+            if args.fail_on_regression is not None
+            else DEFAULT_TOLERANCE
+        )
+        comparison = compare_reports(
+            report, baseline, tolerance=tolerance, metric=args.metric
+        )
+        print(comparison.render(), file=sys.stderr)
+        result["regressions"] = [v.name for v in comparison.regressions]
+        result["improvements"] = [v.name for v in comparison.improvements]
+        if args.fail_on_regression is not None and comparison.has_regressions:
+            print(
+                f"FAIL: {len(comparison.regressions)} scenario(s) regressed "
+                f"beyond {tolerance:g}x",
+                file=sys.stderr,
+            )
+            exit_code = 1
+    print(json.dumps(result))
+    return exit_code
+
+
 def _cmd_components(args) -> int:
     print("optimizers          :", ", ".join(list_optimizers()))
     print("partitioners        :", ", ".join(list_partitioners()))
@@ -365,6 +467,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("plan")
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(fn=_cmd_deobfuscate)
+
+    p = sub.add_parser(
+        "bench",
+        help="run a benchmark suite; gate against a committed baseline",
+    )
+    from .bench import list_suites
+
+    p.add_argument("--suite", default="smoke", choices=list_suites(),
+                   help="scenario suite to run (default: smoke)")
+    p.add_argument("-o", "--output", default=None,
+                   help="report path (default: BENCH_<suite>.json)")
+    p.add_argument("--rounds", type=int, default=None,
+                   help="override measured rounds for every scenario")
+    p.add_argument("--warmup", type=int, default=None,
+                   help="override warmup iterations for every scenario")
+    p.add_argument("--baseline", default=None,
+                   help="baseline report to compare against "
+                        "(e.g. benchmarks/baselines/smoke.json)")
+    p.add_argument("--fail-on-regression", type=float, default=None,
+                   metavar="TOL",
+                   help="exit 1 if any scenario's wall time exceeds baseline "
+                        "x TOL (e.g. 1.5)")
+    p.add_argument("--metric", default="min_s",
+                   choices=("min_s", "median_s", "p95_s", "mean_s"),
+                   help="report field verdicts compare (default: min_s — the "
+                        "steady-state floor, most noise-robust on CI runners)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="write this run's report to --baseline instead of "
+                        "comparing")
+    p.add_argument("--list", action="store_true",
+                   help="list the suite's scenarios and exit")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("components", help="list registered backends")
     p.set_defaults(fn=_cmd_components)

@@ -63,6 +63,13 @@ class Graph:
         self._dirty = True
         self._producer: Dict[str, Node] = {}
         self._consumers: Dict[str, List[Node]] = {}
+        # structural revision: bumped on every invalidating mutation.
+        # Derived caches (topological order here, inferred shapes in
+        # ir.shape_inference) key off it, so "graph unchanged" checks are
+        # one integer comparison instead of a recomputation.
+        self._revision = 0
+        self._topo_cache: Optional[List[Node]] = None
+        self._shape_cache: Optional[Dict[str, TensorType]] = None
 
     # -- indices -----------------------------------------------------------
     def _rebuild_indices(self) -> None:
@@ -84,6 +91,19 @@ class Graph:
 
     def _invalidate(self) -> None:
         self._dirty = True
+        self._revision += 1
+        self._topo_cache = None
+        self._shape_cache = None
+
+    def touch(self) -> None:
+        """Invalidate every derived cache (indices, topo order, shapes).
+
+        Graph mutators call this internally; code that mutates nodes
+        directly (rewriting ``node.inputs`` or ``node.attrs`` in place)
+        must call it by hand — the same contract the producer/consumer
+        indices have always had.
+        """
+        self._invalidate()
 
     def producer_of(self, value: str) -> Optional[Node]:
         """Node producing ``value``, or None for graph inputs/initializers."""
@@ -219,12 +239,16 @@ class Graph:
 
     # -- ordering ------------------------------------------------------------
     def topological_order(self) -> List[Node]:
-        """Kahn's algorithm over node-level dependencies.
+        """Kahn's algorithm over node-level dependencies, cached until the
+        next mutation (callers get a fresh list each time; the cached
+        order itself is never handed out for mutation).
 
         Raises :class:`GraphError` if the graph contains a cycle.
         """
         if self._dirty:
             self._rebuild_indices()
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
         indegree: Dict[str, int] = {}
         dependents: Dict[str, List[Node]] = {}
         by_name = {n.name: n for n in self.nodes}
@@ -249,7 +273,8 @@ class Graph:
         if len(order) != len(self.nodes):
             cyclic = sorted(set(by_name) - {n.name for n in order})
             raise GraphError(f"graph {self.name!r} has a cycle involving {cyclic[:5]}")
-        return order
+        self._topo_cache = order
+        return list(order)
 
     def toposort_inplace(self) -> None:
         """Reorder ``self.nodes`` topologically."""

@@ -448,7 +448,17 @@ def infer_shapes(graph: Graph) -> Dict[str, TensorType]:
     """Infer and record types for every value in ``graph``.
 
     Returns the full value-name → type mapping (also stored on the graph).
+
+    Successful results are memoized on the graph and invalidated by any
+    mutation that goes through the graph's mutators (or an explicit
+    :meth:`Graph.touch`), so the ubiquitous "keep types fresh" pattern —
+    the PassManager re-infers before *every* pass of *every* round — is
+    a single identity check when nothing changed.  Failures are never
+    memoized: an invalid graph re-raises on every call.
     """
+    cached = graph._shape_cache
+    if cached is not None and graph.value_types is cached:
+        return cached
     types: Dict[str, TensorType] = {}
     for v in graph.inputs:
         if v.type is None:
@@ -473,4 +483,5 @@ def infer_shapes(graph: Graph) -> Dict[str, TensorType]:
         if v.name not in types:
             raise ShapeInferenceError(f"graph output {v.name!r} is never produced")
     graph.value_types = types
+    graph._shape_cache = types
     return types

@@ -82,8 +82,12 @@ class PassManager:
             report.rounds = round_idx + 1
             changed = False
             for p in self.passes:
-                infer_shapes(g)  # keep types fresh for shape-dependent passes
+                infer_shapes(g)  # memoized: an identity check when unchanged
                 if p.run(g):
+                    # a pass may rewrite node inputs/attrs in place without
+                    # touching a graph mutator; drop derived caches so the
+                    # next inference sees the rewrite.
+                    g.touch()
                     changed = True
                     report.record(p.name)
             if not changed:

@@ -3,7 +3,14 @@
 from .kernels import KERNELS, KernelError, kernel_for
 from .executor import ExecutionError, Executor, graphs_equivalent, random_inputs, run_graph
 from .cost_model import CostModel, OpCost, node_bytes, node_flops
-from .profiler import LatencyReport, profile_graph, speedup
+from .profiler import (
+    LatencyReport,
+    WallClockStats,
+    percentile,
+    profile_graph,
+    speedup,
+    time_callable,
+)
 
 __all__ = [
     "KERNELS",
@@ -19,6 +26,9 @@ __all__ = [
     "node_flops",
     "node_bytes",
     "LatencyReport",
+    "WallClockStats",
+    "percentile",
     "profile_graph",
     "speedup",
+    "time_callable",
 ]

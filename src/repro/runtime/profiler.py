@@ -1,19 +1,118 @@
-"""Latency profiling reports over the analytic cost model.
+"""Latency profiling reports over the analytic cost model, plus a
+wall-clock measurement primitive for real benchmark timing.
 
 Mirrors the role of the ONNXRuntime profiling tool in the paper's
 methodology (§5.1): given a graph, produce per-op and aggregate latency,
-plus speedup comparisons between graph variants.
+plus speedup comparisons between graph variants.  :func:`time_callable`
+is the single wall-clock timer the benchmark harness builds on: it uses
+``time.perf_counter_ns`` (monotonic, highest available resolution) and
+runs explicit untimed warmup iterations first, so repeated measurements
+are stable enough for CI to gate on.
 """
 
 from __future__ import annotations
 
+import statistics
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ir.graph import Graph
 from .cost_model import CostModel, OpCost
 
-__all__ = ["LatencyReport", "profile_graph", "speedup"]
+__all__ = [
+    "LatencyReport",
+    "WallClockStats",
+    "percentile",
+    "profile_graph",
+    "speedup",
+    "time_callable",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100)) if q > 0 else 1
+    return ordered[int(rank) - 1]
+
+
+@dataclass(frozen=True)
+class WallClockStats:
+    """Wall-clock timings of one callable: raw rounds + derived stats.
+
+    ``times_ns`` holds only the *measured* rounds; the ``warmup``
+    iterations ran before the first entry and are never included.
+    """
+
+    times_ns: Tuple[int, ...]
+    warmup: int
+
+    @property
+    def rounds(self) -> int:
+        return len(self.times_ns)
+
+    @property
+    def median_ns(self) -> float:
+        return statistics.median(self.times_ns)
+
+    @property
+    def p95_ns(self) -> float:
+        return percentile(self.times_ns, 95.0)
+
+    @property
+    def min_ns(self) -> int:
+        return min(self.times_ns)
+
+    @property
+    def mean_ns(self) -> float:
+        return sum(self.times_ns) / len(self.times_ns)
+
+    @property
+    def median_s(self) -> float:
+        return self.median_ns / 1e9
+
+    @property
+    def p95_s(self) -> float:
+        return self.p95_ns / 1e9
+
+    @property
+    def min_s(self) -> float:
+        return self.min_ns / 1e9
+
+    @property
+    def mean_s(self) -> float:
+        return self.mean_ns / 1e9
+
+
+def time_callable(
+    fn: Callable[[], object],
+    rounds: int = 5,
+    warmup: int = 2,
+    timer: Callable[[], int] = time.perf_counter_ns,
+) -> WallClockStats:
+    """Time ``fn()`` over ``rounds`` measured calls after ``warmup`` calls.
+
+    Warmup iterations run the callable but discard the timing, absorbing
+    one-time effects (imports, cache population, allocator growth) that
+    would otherwise poison the first measured round.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    for _ in range(warmup):
+        fn()
+    times: List[int] = []
+    for _ in range(rounds):
+        start = timer()
+        fn()
+        times.append(timer() - start)
+    return WallClockStats(times_ns=tuple(times), warmup=warmup)
 
 
 @dataclass

@@ -33,13 +33,12 @@ import hashlib
 import heapq
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..ir.graph import Graph, Value
 from ..ir.node import Node
-from ..ir.shape_inference import infer_shapes
 
 __all__ = [
     "CanonicalForm",
@@ -70,17 +69,42 @@ def _initializer_digest(arr: np.ndarray) -> str:
     return h.hexdigest()
 
 
-def _structural_labels(graph: Graph, init_digests: Dict[str, str]) -> Dict[str, str]:
+def _adjacency(graph: Graph) -> Tuple[Dict[str, Node], Dict[str, List[Node]]]:
+    """Producer/consumer maps built in one pass over the node list.
+
+    Canonicalization is on the cache-key hot path (it runs for every
+    entry, hit or miss), so it uses its own throwaway adjacency instead
+    of the graph's lazily-rebuilt indices: no dirty-flag checks and no
+    defensive list copies per edge query.
+    """
+    producers: Dict[str, Node] = {}
+    consumers: Dict[str, List[Node]] = {}
+    for node in graph.nodes:
+        for out in node.outputs:
+            producers[out] = node
+        for inp in node.inputs:
+            consumers.setdefault(inp, []).append(node)
+    return producers, consumers
+
+
+def _structural_labels(
+    graph: Graph,
+    init_digests: Dict[str, str],
+    producers: Dict[str, Node],
+    consumers: Dict[str, List[Node]],
+) -> Dict[str, bytes]:
     """A per-node label driven purely by structure, never by names.
 
     Starts from (op_type, attrs, input kinds) and runs a few rounds of
     Weisfeiler–Lehman-style refinement over producer/consumer labels, so
     nodes end up ordered by their role in the topology rather than by
-    whatever the owner happened to call them.
+    whatever the owner happened to call them.  Labels are raw sha256
+    digests (bytes): they only ever serve as deterministic sort keys, so
+    hex encoding would be pure overhead.
     """
     input_index = {v.name: i for i, v in enumerate(graph.inputs)}
 
-    labels: Dict[str, str] = {}
+    labels: Dict[str, bytes] = {}
     for node in graph.nodes:
         kinds: List[str] = []
         for inp in node.inputs:
@@ -90,30 +114,41 @@ def _structural_labels(graph: Graph, init_digests: Dict[str, str]) -> Dict[str, 
                 kinds.append(f"c:{init_digests[inp]}")
             else:
                 kinds.append("v")
-        labels[node.name] = _sha(
-            f"{node.op_type}|{_attr_blob(node.attrs)}|{';'.join(kinds)}"
-        )
+        labels[node.name] = hashlib.sha256(
+            f"{node.op_type}|{_attr_blob(node.attrs)}|{';'.join(kinds)}".encode("utf-8")
+        ).digest()
 
+    # the neighbour lists are topology — fixed across refinement rounds.
+    in_producers: Dict[str, List[Optional[Node]]] = {
+        node.name: [producers.get(inp) for inp in node.inputs] for node in graph.nodes
+    }
+    out_consumers: Dict[str, List[str]] = {
+        node.name: [c.name for out in node.outputs for c in consumers.get(out, ())]
+        for node in graph.nodes
+    }
     for _ in range(_REFINEMENT_ROUNDS):
-        refined: Dict[str, str] = {}
+        refined: Dict[str, bytes] = {}
         for node in graph.nodes:
-            producers = []
-            for inp in node.inputs:
-                p = graph.producer_of(inp)
-                producers.append(labels[p.name] if p is not None else "-")
-            consumers = sorted(
-                labels[c.name]
-                for out in node.outputs
-                for c in graph.consumers_of(out)
-            )
-            refined[node.name] = _sha(
-                f"{labels[node.name]}|{';'.join(producers)}|{';'.join(consumers)}"
-            )
+            h = hashlib.sha256(labels[node.name])
+            h.update(b"|")
+            for p in in_producers[node.name]:
+                h.update(labels[p.name] if p is not None else b"-")
+                h.update(b";")
+            h.update(b"|")
+            for c_label in sorted(labels[c] for c in out_consumers[node.name]):
+                h.update(c_label)
+                h.update(b";")
+            refined[node.name] = h.digest()
         labels = refined
     return labels
 
 
-def _canonical_node_order(graph: Graph, init_digests: Dict[str, str]) -> List[Node]:
+def _canonical_node_order(
+    graph: Graph,
+    init_digests: Dict[str, str],
+    producers: Dict[str, Node],
+    consumers: Dict[str, List[Node]],
+) -> List[Node]:
     """Deterministic Kahn topological order, ties broken structurally.
 
     Among simultaneously-ready nodes the smallest (structural label,
@@ -122,21 +157,21 @@ def _canonical_node_order(graph: Graph, init_digests: Dict[str, str]) -> List[No
     reorderings of the node list do too (position only matters between
     structurally identical candidates).
     """
-    labels = _structural_labels(graph, init_digests)
+    labels = _structural_labels(graph, init_digests, producers, consumers)
     position = {node.name: i for i, node in enumerate(graph.nodes)}
     indegree: Dict[str, int] = {}
     dependents: Dict[str, List[Node]] = {}
     for node in graph.nodes:
         deps = set()
         for inp in node.inputs:
-            p = graph.producer_of(inp)
+            p = producers.get(inp)
             if p is not None:
                 deps.add(p.name)
         indegree[node.name] = len(deps)
         for d in deps:
             dependents.setdefault(d, []).append(node)
 
-    heap: List[Tuple[str, int]] = [
+    heap: List[Tuple[bytes, int]] = [
         (labels[n.name], position[n.name]) for n in graph.nodes if indegree[n.name] == 0
     ]
     heapq.heapify(heap)
@@ -178,7 +213,8 @@ def canonicalize(graph: Graph) -> CanonicalForm:
     init_digests = {
         name: _initializer_digest(arr) for name, arr in graph.initializers.items()
     }
-    order = _canonical_node_order(graph, init_digests)
+    producers, consumers = _adjacency(graph)
+    order = _canonical_node_order(graph, init_digests, producers, consumers)
 
     value_map: Dict[str, str] = {}
     for i, v in enumerate(graph.inputs):
@@ -191,7 +227,7 @@ def canonicalize(graph: Graph) -> CanonicalForm:
         for inp in node.inputs:
             if inp in value_map:
                 continue
-            if graph.is_initializer(inp):
+            if inp in graph.initializers:
                 value_map[inp] = f"c{init_counter}"
                 init_counter += 1
             else:
@@ -234,10 +270,11 @@ def canonicalize(graph: Graph) -> CanonicalForm:
         nodes=nodes,
         initializers={value_map[k]: v for k, v in graph.initializers.items()},
     )
-    try:
-        infer_shapes(canonical)
-    except Exception:
-        pass  # shape info is an enrichment for the optimizer, not required
+    # No shape inference here on purpose: canonicalize runs for every
+    # cache lookup (hit or miss), the hit path never executes the
+    # canonical graph, and every optimizer backend re-infers types itself
+    # on the miss path.  The digest only reads interface Value types,
+    # which the rename preserves.
 
     init_payload = sorted(
         [

@@ -1,0 +1,157 @@
+"""End-to-end tests for `repro bench`, including the regression gate.
+
+The gate test registers a scenario whose duration is controlled by a
+module-level knob, snapshots a baseline, injects a synthetic slowdown,
+and asserts the gated run exits non-zero — proving the CI loop catches
+real regressions.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import BENCHMARKS, load_report, register_benchmark
+from repro.cli import main
+
+_DELAY = {"seconds": 0.001}
+
+
+@pytest.fixture
+def sleep_scenario():
+    """A registered scenario that busy-sleeps for a controllable duration."""
+    import time
+
+    name, suite = "_test_sleep", "_clisuite"
+
+    @register_benchmark(name, suites=(suite,), rounds=3, warmup=1)
+    def scenario():
+        def run():
+            deadline = time.perf_counter() + _DELAY["seconds"]
+            while time.perf_counter() < deadline:
+                pass
+
+        return run
+
+    _DELAY["seconds"] = 0.001
+    yield name, suite
+    with BENCHMARKS._lock:
+        BENCHMARKS._entries.pop(name, None)
+
+
+class TestBenchCommand:
+    def test_writes_valid_report_and_json_stdout_line(
+        self, sleep_scenario, tmp_path, capsys
+    ):
+        _, suite = sleep_scenario
+        out = tmp_path / "BENCH_test.json"
+        rc = main(["bench", "--suite", suite, "-o", str(out)])
+        assert rc == 0
+        report = load_report(str(out))  # validates schema
+        assert report["suite"] == suite
+        line = capsys.readouterr().out.strip()
+        machine = json.loads(line)  # exactly one JSON line on stdout
+        assert machine["suite"] == suite
+        assert machine["scenarios"] == 1
+
+    def test_update_baseline_then_clean_pass(self, sleep_scenario, tmp_path):
+        _, suite = sleep_scenario
+        baseline = tmp_path / "baseline.json"
+        rc = main(
+            ["bench", "--suite", suite, "-o", str(tmp_path / "b1.json"),
+             "--baseline", str(baseline), "--update-baseline"]
+        )
+        assert rc == 0
+        assert baseline.exists()
+        rc = main(
+            ["bench", "--suite", suite, "-o", str(tmp_path / "b2.json"),
+             "--baseline", str(baseline), "--fail-on-regression", "2.0"]
+        )
+        assert rc == 0
+
+    def test_synthetic_slowdown_fails_the_gate(self, sleep_scenario, tmp_path, capsys):
+        name, suite = sleep_scenario
+        baseline = tmp_path / "baseline.json"
+        main(
+            ["bench", "--suite", suite, "-o", str(tmp_path / "b1.json"),
+             "--baseline", str(baseline), "--update-baseline"]
+        )
+        capsys.readouterr()
+        _DELAY["seconds"] = 0.010  # 10x synthetic slowdown
+        rc = main(
+            ["bench", "--suite", suite, "-o", str(tmp_path / "b2.json"),
+             "--baseline", str(baseline), "--fail-on-regression", "1.5"]
+        )
+        assert rc == 1
+        machine = json.loads(capsys.readouterr().out.strip())
+        assert machine["regressions"] == [name]
+
+    def test_slowdown_without_gate_flag_still_exits_zero(
+        self, sleep_scenario, tmp_path
+    ):
+        _, suite = sleep_scenario
+        baseline = tmp_path / "baseline.json"
+        main(
+            ["bench", "--suite", suite, "-o", str(tmp_path / "b1.json"),
+             "--baseline", str(baseline), "--update-baseline"]
+        )
+        _DELAY["seconds"] = 0.010
+        rc = main(
+            ["bench", "--suite", suite, "-o", str(tmp_path / "b2.json"),
+             "--baseline", str(baseline)]
+        )
+        assert rc == 0  # comparison is informational without the flag
+
+    def test_missing_baseline_is_usage_error(self, sleep_scenario, tmp_path):
+        _, suite = sleep_scenario
+        rc = main(
+            ["bench", "--suite", suite, "-o", str(tmp_path / "b.json"),
+             "--baseline", str(tmp_path / "nope.json"),
+             "--fail-on-regression", "1.5"]
+        )
+        assert rc == 2
+
+    def test_update_baseline_requires_baseline_path(self, sleep_scenario, tmp_path):
+        _, suite = sleep_scenario
+        rc = main(["bench", "--suite", suite, "-o", str(tmp_path / "b.json"),
+                   "--update-baseline"])
+        assert rc == 2
+
+    def test_invalid_flag_values_are_usage_errors(self, sleep_scenario, tmp_path):
+        _, suite = sleep_scenario
+        base = ["bench", "--suite", suite, "-o", str(tmp_path / "b.json")]
+        assert main(base + ["--rounds", "0"]) == 2
+        assert main(base + ["--warmup", "-1"]) == 2
+        assert main(base + ["--baseline", str(tmp_path / "x.json"),
+                            "--fail-on-regression", "0.9"]) == 2
+
+    def test_summary_table_printed_without_baseline(
+        self, sleep_scenario, tmp_path, capsys
+    ):
+        name, suite = sleep_scenario
+        rc = main(["bench", "--suite", suite, "-o", str(tmp_path / "b.json")])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert name in err and "median" in err
+
+    def test_list_prints_scenarios(self, sleep_scenario, capsys):
+        name, suite = sleep_scenario
+        rc = main(["bench", "--suite", suite, "--list"])
+        assert rc == 0
+        assert name in capsys.readouterr().out
+
+
+class TestSmokeSuiteEndToEnd:
+    def test_smoke_suite_quick_run_writes_valid_report(self, tmp_path):
+        """One fast round of the real smoke suite end to end."""
+        out = tmp_path / "BENCH_smoke.json"
+        rc = main(["bench", "--suite", "smoke", "-o", str(out),
+                   "--rounds", "1", "--warmup", "0"])
+        assert rc == 0
+        report = load_report(str(out))
+        assert set(report["scenarios"]) >= {
+            "shape_inference",
+            "canonical_hash",
+            "subgraph_db_build",
+            "bucket_optimize_cold",
+            "bucket_optimize_cached",
+        }

@@ -1,0 +1,119 @@
+"""Tests for the baseline comparator verdicts."""
+
+import pytest
+
+from repro.bench import SCHEMA_VERSION, compare_reports
+
+
+def make_report(scenarios):
+    """A minimal well-formed report with given {name: seconds} medians."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "test",
+        "git_sha": "deadbeef",
+        "created_unix": 0,
+        "env": {},
+        "config": {"rounds": None, "warmup": None},
+        "scenarios": {
+            name: {
+                "description": "",
+                "rounds": 3,
+                "warmup": 1,
+                "items": 1,
+                "median_s": t,
+                "p95_s": t,
+                "min_s": t,
+                "mean_s": t,
+                "throughput_items_per_s": 1.0 / t,
+                "times_s": [t, t, t],
+            }
+            for name, t in scenarios.items()
+        },
+    }
+
+
+class TestVerdicts:
+    def test_ok_within_tolerance(self):
+        cmp = compare_reports(
+            make_report({"a": 0.011}), make_report({"a": 0.010}), tolerance=1.5
+        )
+        (v,) = cmp.verdicts
+        assert v.verdict == "ok"
+        assert v.ratio == pytest.approx(1.1)
+        assert not cmp.has_regressions
+
+    def test_regression_beyond_tolerance(self):
+        cmp = compare_reports(
+            make_report({"a": 0.020}), make_report({"a": 0.010}), tolerance=1.5
+        )
+        (v,) = cmp.verdicts
+        assert v.verdict == "regression"
+        assert cmp.has_regressions
+        assert cmp.regressions[0].name == "a"
+
+    def test_improvement_beyond_tolerance(self):
+        cmp = compare_reports(
+            make_report({"a": 0.005}), make_report({"a": 0.010}), tolerance=1.5
+        )
+        (v,) = cmp.verdicts
+        assert v.verdict == "improvement"
+        assert cmp.improvements[0].name == "a"
+        assert not cmp.has_regressions
+
+    def test_exactly_at_tolerance_is_ok(self):
+        cmp = compare_reports(
+            make_report({"a": 0.015}), make_report({"a": 0.010}), tolerance=1.5
+        )
+        assert cmp.verdicts[0].verdict == "ok"
+
+    def test_missing_baseline(self):
+        cmp = compare_reports(
+            make_report({"a": 0.01, "new": 0.01}), make_report({"a": 0.01})
+        )
+        by_name = {v.name: v for v in cmp.verdicts}
+        assert by_name["new"].verdict == "missing-baseline"
+        assert by_name["new"].ratio is None
+        # a brand-new scenario must never fail the gate
+        assert not cmp.has_regressions
+
+    def test_missing_current(self):
+        cmp = compare_reports(
+            make_report({"a": 0.01}), make_report({"a": 0.01, "gone": 0.01})
+        )
+        by_name = {v.name: v for v in cmp.verdicts}
+        assert by_name["gone"].verdict == "missing-current"
+        assert not cmp.has_regressions
+
+    def test_metric_selection(self):
+        current = make_report({"a": 0.010})
+        current["scenarios"]["a"]["median_s"] = 0.030  # median regressed...
+        baseline = make_report({"a": 0.010})
+        assert not compare_reports(current, baseline).has_regressions  # min gates
+        assert compare_reports(current, baseline, metric="median_s").has_regressions
+
+    def test_invalid_tolerance_and_metric(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_reports(make_report({"a": 1}), make_report({"a": 1}), tolerance=0.9)
+        with pytest.raises(ValueError, match="metric"):
+            compare_reports(make_report({"a": 1}), make_report({"a": 1}), metric="mode")
+
+
+class TestRendering:
+    def test_render_mentions_every_scenario_and_verdict(self):
+        cmp = compare_reports(
+            make_report({"fast": 0.001, "slow": 0.10}),
+            make_report({"fast": 0.001, "slow": 0.01}),
+        )
+        text = cmp.render()
+        assert "fast" in text and "slow" in text
+        assert "regression" in text and "ok" in text
+
+    def test_to_dict_round_trips_names(self):
+        cmp = compare_reports(
+            make_report({"a": 0.10}), make_report({"a": 0.01}), tolerance=2.0
+        )
+        d = cmp.to_dict()
+        assert d["regressions"] == ["a"]
+        assert d["verdicts"]["a"]["verdict"] == "regression"
+        assert d["tolerance"] == 2.0
+        assert d["metric"] == "min_s"

@@ -1,0 +1,143 @@
+"""Tests for the scenario registry and benchmark runner."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BENCHMARKS,
+    Scenario,
+    list_benchmarks,
+    list_suites,
+    load_report,
+    register_benchmark,
+    resolve_benchmark,
+    run_scenario,
+    run_suite,
+    save_report,
+    suite_scenarios,
+    validate_report,
+)
+from repro.api.registry import UnknownComponentError
+
+
+@pytest.fixture
+def temp_scenario():
+    """Register a tiny scenario in a throwaway suite; deregister after."""
+    name, suite = "_test_counter", "_testsuite"
+    calls = {"setup": 0, "run": 0}
+
+    @register_benchmark(name, suites=(suite,), rounds=3, warmup=1, items=4)
+    def scenario():
+        calls["setup"] += 1
+
+        def run():
+            calls["run"] += 1
+
+        return run
+
+    yield name, suite, calls
+    with BENCHMARKS._lock:
+        BENCHMARKS._entries.pop(name, None)
+
+
+class TestRegistry:
+    def test_builtin_suites_exist(self):
+        assert {"smoke", "paper", "serving"} <= set(list_suites())
+
+    def test_smoke_suite_covers_the_hot_paths(self):
+        names = set(list_benchmarks("smoke"))
+        assert {
+            "shape_inference",
+            "canonical_hash",
+            "subgraph_db_build",
+            "bucket_optimize_cold",
+            "bucket_optimize_cached",
+        } <= names
+
+    def test_resolve_returns_scenario(self, temp_scenario):
+        name, suite, _ = temp_scenario
+        s = resolve_benchmark(name)
+        assert isinstance(s, Scenario)
+        assert s.suites == (suite,)
+        assert s.rounds == 3 and s.warmup == 1 and s.items == 4
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(UnknownComponentError):
+            suite_scenarios("no-such-suite")
+
+    def test_register_validates_metadata(self):
+        with pytest.raises(ValueError, match="suite"):
+            register_benchmark("_bad", suites=())(lambda: (lambda: None))
+        with pytest.raises(ValueError, match="rounds"):
+            register_benchmark("_bad", suites=("x",), rounds=0)(lambda: (lambda: None))
+
+    def test_duplicate_name_rejected(self, temp_scenario):
+        name, suite, _ = temp_scenario
+        with pytest.raises(ValueError, match="already registered"):
+            register_benchmark(name, suites=(suite,))(lambda: (lambda: None))
+
+
+class TestRunner:
+    def test_setup_once_warmup_plus_rounds_calls(self, temp_scenario):
+        name, _, calls = temp_scenario
+        entry = run_scenario(resolve_benchmark(name))
+        assert calls["setup"] == 1
+        assert calls["run"] == 4  # 1 warmup + 3 measured
+        assert entry["rounds"] == 3 and entry["warmup"] == 1
+        assert len(entry["times_s"]) == 3
+        assert entry["median_s"] > 0
+        assert entry["throughput_items_per_s"] > 0
+
+    def test_round_and_warmup_overrides(self, temp_scenario):
+        name, _, calls = temp_scenario
+        entry = run_scenario(resolve_benchmark(name), rounds=2, warmup=0)
+        assert calls["run"] == 2
+        assert entry["rounds"] == 2 and entry["warmup"] == 0
+
+    def test_run_suite_report_shape(self, temp_scenario):
+        name, suite, _ = temp_scenario
+        seen = []
+        report = run_suite(suite, progress=lambda i, n, s: seen.append((i, n, s)))
+        validate_report(report)
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["suite"] == suite
+        assert name in report["scenarios"]
+        assert seen == [(1, 1, name)]
+        assert report["env"]["cpu_count"] is not None
+
+    def test_save_load_round_trip(self, temp_scenario, tmp_path):
+        _, suite, _ = temp_scenario
+        report = run_suite(suite)
+        path = tmp_path / "BENCH_test.json"
+        save_report(report, str(path))
+        assert load_report(str(path)) == json.loads(path.read_text())
+
+
+class TestValidation:
+    def test_rejects_wrong_schema_version(self, temp_scenario):
+        _, suite, _ = temp_scenario
+        report = run_suite(suite)
+        report["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_report(report)
+
+    def test_rejects_missing_scenario_field(self, temp_scenario):
+        name, suite, _ = temp_scenario
+        report = run_suite(suite)
+        del report["scenarios"][name]["median_s"]
+        with pytest.raises(ValueError, match="median_s"):
+            validate_report(report)
+
+    def test_rejects_empty_scenarios(self):
+        with pytest.raises(ValueError, match="scenarios"):
+            validate_report(
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "suite": "x",
+                    "git_sha": "x",
+                    "env": {},
+                    "scenarios": {},
+                }
+            )

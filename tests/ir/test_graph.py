@@ -177,3 +177,41 @@ class TestBuilderIntegration:
         b.input("x", (1, 4))
         with pytest.raises(ValueError, match="outputs"):
             b.build()
+
+
+class TestTopoCache:
+    def test_repeated_calls_return_equal_fresh_lists(self):
+        g = diamond_graph()
+        first = g.topological_order()
+        second = g.topological_order()
+        assert first == second
+        assert first is not second  # callers may mutate their copy freely
+
+    def test_mutating_returned_list_does_not_corrupt_cache(self):
+        g = diamond_graph()
+        order = g.topological_order()
+        order.clear()
+        assert [n.name for n in g.topological_order()][0] == "a"
+
+    def test_cache_invalidated_by_mutation(self):
+        g = diamond_graph()
+        assert len(g.topological_order()) == 4
+        g.add_node(Node("e", "Relu", ["d_out"], ["e_out"]))
+        order = g.topological_order()
+        assert len(order) == 5
+        assert order[-1].name == "e"
+
+    def test_touch_bumps_revision_and_drops_caches(self):
+        g = diamond_graph()
+        g.topological_order()
+        before = g._revision
+        g.touch()
+        assert g._revision == before + 1
+        assert g._topo_cache is None and g._shape_cache is None
+
+    def test_toposort_inplace_still_works_with_cache(self):
+        g = diamond_graph()
+        g.nodes.reverse()
+        g.touch()  # direct list mutation requires an explicit touch
+        g.toposort_inplace()
+        assert [n.name for n in g.nodes][0] == "a"

@@ -233,3 +233,64 @@ class TestArity:
         conv_chain.nodes[0].inputs[0] = "ghost_value"
         with pytest.raises(ShapeInferenceError, match="undefined"):
             infer_shapes(conv_chain)
+
+
+class TestMemoization:
+    def _graph(self):
+        from repro.ir import GraphBuilder
+
+        b = GraphBuilder("memo", seed=0)
+        x = b.input("x", (1, 4))
+        return b.build([b.relu(x)])
+
+    def test_unchanged_graph_returns_same_mapping_object(self):
+        from repro.ir.shape_inference import infer_shapes
+
+        g = self._graph()
+        g.touch()
+        first = infer_shapes(g)
+        assert infer_shapes(g) is first  # memo hit: identity, not recompute
+
+    def test_mutation_invalidates_memo(self):
+        from repro.ir import GraphBuilder
+        from repro.ir.shape_inference import infer_shapes
+
+        b = GraphBuilder("memo2", seed=0)
+        x = b.input("x", (1, 4))
+        g = b.build([b.relu(x)])
+        first = infer_shapes(g)
+        g.add_node(Node("extra", "Tanh", [g.nodes[0].outputs[0]], ["t_out"]))
+        second = infer_shapes(g)
+        assert second is not first
+        assert "t_out" in second
+
+    def test_clone_does_not_share_memo(self):
+        from repro.ir.shape_inference import infer_shapes
+
+        g = self._graph()
+        infer_shapes(g)
+        c = g.clone()
+        types = infer_shapes(c)
+        assert types is c.value_types
+
+    def test_failure_not_memoized(self):
+        from repro.ir.graph import Graph, Value
+        from repro.ir.shape_inference import infer_shapes
+
+        bad = Graph(
+            "bad",
+            inputs=[Value("x", f32(1, 4)), Value("y", f32(3,))],
+            outputs=[Value("o")],
+            nodes=[Node("a", "Add", ["x", "y"], ["o"])],
+        )
+        for _ in range(2):  # raises every time, never caches the failure
+            with pytest.raises(ShapeInferenceError):
+                infer_shapes(bad)
+
+    def test_explicit_touch_forces_recompute(self):
+        from repro.ir.shape_inference import infer_shapes
+
+        g = self._graph()
+        first = infer_shapes(g)
+        g.touch()
+        assert infer_shapes(g) is not first

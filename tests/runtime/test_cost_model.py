@@ -44,6 +44,42 @@ class TestFlops:
                       {"kernel_shape": (3, 3), "activation": "Relu"})
         assert fused > plain
 
+    def test_fused_conv_add_includes_residual(self):
+        base = flops("Conv", [f32(1, 8, 8, 8), f32(8, 8, 3, 3)], [f32(1, 8, 8, 8)],
+                     {"kernel_shape": (3, 3)})
+        fused = flops("FusedConvAdd",
+                      [f32(1, 8, 8, 8), f32(8, 8, 3, 3), f32(1, 8, 8, 8)],
+                      [f32(1, 8, 8, 8)], {"kernel_shape": (3, 3)})
+        assert fused == base + 8 * 8 * 8  # + one add per output element
+
+    def test_gemm_flops_respect_transpose(self):
+        # A [8,4] transA -> K=8; C = [4,3]
+        got = flops("Gemm", [f32(8, 4), f32(8, 3)], [f32(4, 3)], {"transA": 1})
+        assert got == 2.0 * (4 * 3) * 8
+
+    def test_gemm_bias_adds_output_elems(self):
+        without = flops("Gemm", [f32(4, 8), f32(8, 3)], [f32(4, 3)])
+        with_bias = flops("Gemm", [f32(4, 8), f32(8, 3), f32(3)], [f32(4, 3)])
+        assert with_bias == without + 12
+
+    def test_pool_flops_scale_with_kernel(self):
+        small = flops("MaxPool", [f32(1, 4, 8, 8)], [f32(1, 4, 4, 4)],
+                      {"kernel_shape": (2, 2)})
+        large = flops("MaxPool", [f32(1, 4, 8, 8)], [f32(1, 4, 4, 4)],
+                      {"kernel_shape": (3, 3)})
+        assert small == 4 * 4 * 4 * 4 and large > small
+
+    def test_data_movement_ops_costed_by_bytes_only(self):
+        n = Node("t", "Concat", ["a", "b"], ["o"], {"axis": 0})
+        ins, outs = [f32(2, 4), f32(2, 4)], [f32(4, 4)]
+        assert node_flops(n, ins, outs) == 0.0
+        assert node_bytes(n, ins, outs) == (8 + 8 + 16) * 4
+
+    def test_batchnorm_models_folded_scale_shift(self):
+        params = [f32(8)] * 4
+        got = flops("BatchNormalization", [f32(1, 8, 4, 4), *params], [f32(1, 8, 4, 4)])
+        assert got == 2.0 * (8 * 4 * 4)
+
 
 class TestCostModel:
     def test_latency_positive_and_additive(self, conv_chain):
@@ -78,3 +114,28 @@ class TestCostModel:
         (cost,) = cm.graph_costs(g)
         mem_time = cost.bytes_moved / cm.memory_bandwidth
         assert cost.latency == pytest.approx(cm.launch_overhead + mem_time)
+
+    def test_view_ops_pay_reduced_overhead(self):
+        b = GraphBuilder("view", seed=0)
+        x = b.input("x", (2, 8))
+        g = b.build([b.reshape(x, (16,))])
+        cm = CostModel()
+        (cost,) = cm.graph_costs(g)
+        assert cost.latency == pytest.approx(cm.zero_cost_overhead)
+
+    def test_unknown_op_rejected_before_costing(self, conv_chain):
+        cm = CostModel()
+        bogus = Node("b", "NoSuchOp", ["x"], ["y"])
+        with pytest.raises(KeyError):
+            cm.node_cost(bogus, [f32(2)], [f32(2)])
+
+    def test_graph_costs_deterministic(self, conv_chain):
+        cm = CostModel()
+        first = cm.graph_costs(conv_chain)
+        second = cm.graph_costs(conv_chain)
+        assert [c.node_name for c in first] == [c.node_name for c in second]
+        assert [c.latency for c in first] == [c.latency for c in second]
+
+    def test_graph_costs_cover_every_node(self, conv_chain):
+        costs = CostModel().graph_costs(conv_chain)
+        assert {c.node_name for c in costs} == {n.name for n in conv_chain.nodes}

@@ -1,9 +1,15 @@
-"""Tests for the latency profiler."""
+"""Tests for the latency profiler and the wall-clock timing primitive."""
 
 import pytest
 
 from repro.optimizer import OrtLikeOptimizer
-from repro.runtime import profile_graph, speedup
+from repro.runtime import (
+    WallClockStats,
+    percentile,
+    profile_graph,
+    speedup,
+    time_callable,
+)
 from repro.runtime.cost_model import CostModel
 
 
@@ -40,3 +46,69 @@ class TestSpeedup:
         cm = CostModel(launch_overhead=10e-6)
         # huge launch overhead exaggerates fusion benefit
         assert speedup(conv_chain, opt, cm) > speedup(conv_chain, opt)
+
+
+class TestTimeCallable:
+    def test_warmup_runs_before_and_outside_measurement(self):
+        calls = []
+        stats = time_callable(lambda: calls.append(len(calls)), rounds=3, warmup=2)
+        assert len(calls) == 5  # 2 warmup + 3 measured
+        assert stats.rounds == 3
+        assert stats.warmup == 2
+        assert len(stats.times_ns) == 3
+
+    def test_zero_warmup_allowed(self):
+        stats = time_callable(lambda: None, rounds=2, warmup=0)
+        assert stats.warmup == 0 and stats.rounds == 2
+
+    def test_rejects_bad_round_counts(self):
+        with pytest.raises(ValueError, match="rounds"):
+            time_callable(lambda: None, rounds=0)
+        with pytest.raises(ValueError, match="warmup"):
+            time_callable(lambda: None, warmup=-1)
+
+    def test_uses_injected_monotonic_timer(self):
+        # deterministic fake perf_counter_ns: each call advances 1000 ns,
+        # so every measured round is exactly 1000 ns regardless of host.
+        ticks = iter(range(0, 100_000, 1000))
+        stats = time_callable(lambda: None, rounds=4, warmup=1, timer=lambda: next(ticks))
+        assert stats.times_ns == (1000, 1000, 1000, 1000)
+        assert stats.median_ns == 1000
+        assert stats.median_s == pytest.approx(1e-6)
+
+    def test_timings_are_positive_with_real_timer(self):
+        stats = time_callable(lambda: sum(range(1000)), rounds=3, warmup=1)
+        assert all(t > 0 for t in stats.times_ns)
+        assert stats.min_ns <= stats.median_ns <= stats.p95_ns
+
+
+class TestWallClockStats:
+    def test_derived_statistics(self):
+        stats = WallClockStats(times_ns=(100, 300, 200, 500, 400), warmup=0)
+        assert stats.median_ns == 300
+        assert stats.min_ns == 100
+        assert stats.mean_ns == 300
+        assert stats.p95_ns == 500
+        assert stats.p95_s == pytest.approx(5e-7)
+
+    def test_even_count_median_interpolates(self):
+        stats = WallClockStats(times_ns=(100, 200, 300, 400), warmup=0)
+        assert stats.median_ns == 250
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        vals = [10, 20, 30, 40, 50]
+        assert percentile(vals, 0) == 10
+        assert percentile(vals, 50) == 30
+        assert percentile(vals, 95) == 50
+        assert percentile(vals, 100) == 50
+
+    def test_unsorted_input(self):
+        assert percentile([50, 10, 30], 50) == 30
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
