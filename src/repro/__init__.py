@@ -50,7 +50,17 @@ Third-party backends register by name and become addressable everywhere
             ...
 """
 
-__version__ = "1.2.0"
+# Single-source the version from the installed distribution so
+# ``repro --version``, ``pip show`` and the HTTP protocol banner always
+# agree; source checkouts that were never installed fall back to the
+# constant (keep it in sync with pyproject.toml).
+try:
+    from importlib.metadata import version as _dist_version
+
+    __version__ = _dist_version("repro-proteus")
+    del _dist_version
+except Exception:  # not installed: plain source checkout
+    __version__ = "1.4.0"
 
 from .ir import Graph, GraphBuilder, Node  # noqa: F401
 from .core import ObfuscatedBucket, Proteus, ProteusConfig, ReassemblyPlan  # noqa: F401
@@ -60,7 +70,10 @@ from .api import (  # noqa: F401
     ModelOwner,
     ObfuscationResult,
     OptimizationReceipt,
+    OptimizerEndpoint,
     OptimizerService,
+    RemoteOptimizerService,
+    open_endpoint,
     list_optimizers,
     list_partitioners,
     list_sentinel_strategies,
@@ -87,6 +100,9 @@ __all__ = [
     "ObfuscationResult",
     "OptimizationReceipt",
     "BucketManifest",
+    "OptimizerEndpoint",
+    "RemoteOptimizerService",
+    "open_endpoint",
     "OptimizationCache",
     "OptimizationServer",
     "canonical_hash",

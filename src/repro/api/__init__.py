@@ -10,7 +10,13 @@ This package is the supported public API:
 * :mod:`repro.api.types` — typed request/response envelopes
   (:class:`ObfuscationResult`, :class:`OptimizationReceipt`);
 * :mod:`repro.api.manifest` — the versioned, digest-verified wire
-  format the bucket travels in.
+  format the bucket travels in;
+* :mod:`repro.api.endpoint` — transport-agnostic
+  :class:`OptimizerEndpoint` clients (in-process, spool directory,
+  HTTP) behind one ``submit``/``status``/``await_receipt`` interface;
+* :mod:`repro.api.wire` — the versioned JSON wire protocol those
+  endpoints and ``repro serve --http`` share (structured error codes,
+  receipt/status serialization).
 
 Import note: only the registry is loaded eagerly.  Client/manifest
 symbols resolve lazily (PEP 562) so core modules can import the registry
@@ -54,12 +60,22 @@ __all__ = [
     "OptimizationReceipt",
     "EntryOptimization",
     "bucket_key",
+    "receipt_from_buckets",
     # wire protocol
     "BucketManifest",
     "ManifestIntegrityError",
     "graph_digest",
     "save_manifest",
     "load_manifest",
+    # endpoints
+    "OptimizerEndpoint",
+    "LocalEndpoint",
+    "SpoolEndpoint",
+    "HttpEndpoint",
+    "RemoteOptimizerService",
+    "open_endpoint",
+    "EndpointError",
+    "PROTOCOL_VERSION",
 ]
 
 _LAZY = {
@@ -76,6 +92,15 @@ _LAZY = {
     "graph_digest": "manifest",
     "save_manifest": "manifest",
     "load_manifest": "manifest",
+    "receipt_from_buckets": "types",
+    "OptimizerEndpoint": "endpoint",
+    "LocalEndpoint": "endpoint",
+    "SpoolEndpoint": "endpoint",
+    "HttpEndpoint": "endpoint",
+    "RemoteOptimizerService": "endpoint",
+    "open_endpoint": "endpoint",
+    "EndpointError": "wire",
+    "PROTOCOL_VERSION": "wire",
 }
 
 

@@ -197,6 +197,24 @@ class ModelOwner:
         subs = [bucket.get(eid).graph for eid in plan.real_ids]
         return reassemble(plan.model_template, subs, plan.boundaries)
 
+    def optimize_via(
+        self,
+        endpoint,
+        result: ObfuscationResult,
+        timeout: Optional[float] = None,
+    ) -> Graph:
+        """Run one obfuscation through any endpoint and reassemble.
+
+        ``endpoint`` is any :class:`~repro.api.endpoint.OptimizerEndpoint`
+        — in-process, spool directory, or HTTP — so the owner's script
+        is transport agnostic.  The bucket ships as a sealed manifest
+        (``submit`` seals a raw bucket itself, hashing each graph
+        exactly once); the secret plan never leaves this owner.
+        """
+        job_id = endpoint.submit(result.bucket)
+        receipt = endpoint.await_receipt(job_id, timeout=timeout)
+        return self.reassemble(receipt)
+
     def forget(self, result_or_key: Union[ObfuscationResult, str]) -> None:
         """Drop a retained plan (after successful reassembly)."""
         key = (

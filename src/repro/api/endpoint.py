@@ -1,0 +1,523 @@
+"""Transport-agnostic optimizer endpoints.
+
+The paper's protocol is two-party by construction — the model owner and
+the untrusted optimizer are different machines — so the service
+boundary deserves a first-class client interface.  An
+:class:`OptimizerEndpoint` is *where buckets go to get optimized*,
+regardless of what carries them:
+
+* :class:`LocalEndpoint` — in-process, wrapping the job-queue
+  :class:`~repro.serving.server.OptimizationServer`;
+* :class:`SpoolEndpoint` — a shared directory watched by
+  ``repro serve SPOOL_DIR`` (batch pipelines, air-gapped exchanges);
+* :class:`HttpEndpoint` — the versioned JSON wire protocol of
+  ``repro serve --http PORT`` over the network.
+
+All three expose the same five calls — ``submit(manifest) -> job_id``,
+``status(job_id)``, ``await_receipt(job_id)``, ``metrics()``,
+``close()`` — so the obfuscate→optimize→reassemble script is transport
+agnostic::
+
+    from repro.api.endpoint import open_endpoint
+
+    with open_endpoint("http://optimizer.example:8080") as endpoint:
+        job_id = endpoint.submit(BucketManifest.from_bucket(result.bucket))
+        receipt = endpoint.await_receipt(job_id, timeout=300)
+    model = owner.reassemble(receipt)
+
+Endpoint URIs follow a small grammar (also accepted by
+``repro optimize --endpoint``)::
+
+    local:[BACKEND]        in-process (default backend: ortlike)
+    spool:DIRECTORY        spool directory served by `repro serve DIR`
+    http://HOST:PORT       `repro serve --http PORT` on another machine
+    https://HOST:PORT      same, behind TLS termination
+
+Failures are structured everywhere: transports raise
+:class:`~repro.api.wire.EndpointError` with the same closed set of
+codes the HTTP server puts on the wire (``bad_digest``,
+``unknown_job``, ``version_mismatch``, ...), so callers branch on
+``exc.code`` identically for all transports.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+import uuid
+from typing import Any, Dict, Optional, Union
+
+from ..core.proteus import ObfuscatedBucket
+from .manifest import BucketManifest, ManifestIntegrityError, load_manifest
+from .types import OptimizationReceipt, receipt_from_buckets
+from .wire import (
+    ERR_BAD_DIGEST,
+    ERR_JOB_PENDING,
+    ERR_UNKNOWN_JOB,
+    ERR_VERSION_MISMATCH,
+    PROTOCOL_VERSION,
+    EndpointError,
+    receipt_from_wire,
+    status_from_wire,
+)
+
+__all__ = [
+    "OptimizerEndpoint",
+    "LocalEndpoint",
+    "SpoolEndpoint",
+    "HttpEndpoint",
+    "RemoteOptimizerService",
+    "open_endpoint",
+]
+
+
+def _seal(manifest: Union[BucketManifest, ObfuscatedBucket]) -> BucketManifest:
+    """Normalize submit() input to a digest-verified manifest.
+
+    A raw bucket is sealed fresh; a caller-provided manifest is
+    re-verified so every transport rejects tampering identically
+    (``bad_digest``), not just the remote ones.
+    """
+    if isinstance(manifest, ObfuscatedBucket):
+        return BucketManifest.from_bucket(manifest)
+    if getattr(manifest, "_verified", False):
+        # verified at load time in this process (load_manifest); don't
+        # re-hash every graph's weights a second time per submit.
+        return manifest
+    try:
+        manifest.verify()
+    except ManifestIntegrityError as exc:
+        raise EndpointError(ERR_BAD_DIGEST, str(exc)) from None
+    return manifest
+
+
+class OptimizerEndpoint(abc.ABC):
+    """Where buckets go to get optimized, whatever the transport.
+
+    Implementations are context managers; ``close()`` is idempotent.
+    """
+
+    #: short transport tag ("local", "spool", "http") for diagnostics.
+    transport: str = "abstract"
+
+    @abc.abstractmethod
+    def submit(self, manifest: Union[BucketManifest, ObfuscatedBucket]) -> str:
+        """Queue a sealed bucket for optimization; returns a job id."""
+
+    @abc.abstractmethod
+    def status(self, job_id: str):
+        """Point-in-time :class:`~repro.serving.server.JobStatus`."""
+
+    @abc.abstractmethod
+    def await_receipt(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> OptimizationReceipt:
+        """Block until the job finishes; returns its receipt.
+
+        Raises :class:`TimeoutError` after ``timeout`` seconds and
+        :class:`~repro.api.wire.EndpointError` on structured failures.
+        """
+
+    @abc.abstractmethod
+    def metrics(self) -> Dict[str, Any]:
+        """Operational snapshot; always carries a ``transport`` tag."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+    def __enter__(self) -> "OptimizerEndpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LocalEndpoint(OptimizerEndpoint):
+    """In-process endpoint over an :class:`OptimizationServer`.
+
+    Builds (and owns) a server from a backend name/instance, or wraps a
+    caller-provided ``server=`` without taking ownership of its
+    lifecycle.
+    """
+
+    transport = "local"
+
+    def __init__(
+        self,
+        optimizer: Union[str, Any] = "ortlike",
+        *,
+        server: Optional[Any] = None,
+        cache: Optional[Any] = None,
+        cache_dir: Optional[str] = None,
+        workers: int = 2,
+        **optimizer_options,
+    ) -> None:
+        from ..serving.server import OptimizationServer
+
+        if server is not None:
+            if cache is not None or cache_dir is not None or optimizer_options:
+                raise ValueError(
+                    "pass either a prebuilt server or construction options, not both"
+                )
+            self._server = server
+            self._owns_server = False
+        else:
+            self._server = OptimizationServer(
+                optimizer,
+                cache=cache,
+                cache_dir=cache_dir,
+                workers=workers,
+                **optimizer_options,
+            )
+            self._owns_server = True
+
+    def submit(self, manifest: Union[BucketManifest, ObfuscatedBucket]) -> str:
+        return self._server.submit(_seal(manifest).bucket)
+
+    def status(self, job_id: str):
+        try:
+            return self._server.status(job_id)
+        except KeyError:
+            raise EndpointError(ERR_UNKNOWN_JOB, f"unknown job id {job_id!r}") from None
+
+    def await_receipt(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> OptimizationReceipt:
+        try:
+            return self._server.await_receipt(job_id, timeout=timeout)
+        except KeyError:
+            raise EndpointError(ERR_UNKNOWN_JOB, f"unknown job id {job_id!r}") from None
+
+    def metrics(self) -> Dict[str, Any]:
+        return {"transport": self.transport, **self._server.metrics()}
+
+    def close(self) -> None:
+        if self._owns_server:
+            self._server.close()
+
+
+class SpoolEndpoint(OptimizerEndpoint):
+    """Client side of the spool-directory flow ``repro serve`` drains.
+
+    ``submit`` drops the sealed manifest into the directory (atomically,
+    so the server never sees a half-written file); ``await_receipt``
+    polls for the server's ``<job>.optimized.json`` output and its
+    ``<job>.receipt.json`` metadata sidecar.  A server that exhausted
+    its retries leaves ``<job>.error.json``, which surfaces here as a
+    structured :class:`EndpointError` instead of a silent timeout.
+    """
+
+    transport = "spool"
+
+    def __init__(self, spool_dir: str, poll_interval: float = 0.05) -> None:
+        from ..serving import spool as _spool
+
+        self.spool_dir = spool_dir
+        self.poll_interval = poll_interval
+        self._spool = _spool
+        self._buckets: Dict[str, ObfuscatedBucket] = {}
+        os.makedirs(spool_dir, exist_ok=True)
+
+    def _path(self, job_id: str, suffix: str) -> str:
+        return os.path.join(self.spool_dir, job_id + suffix)
+
+    def submit(self, manifest: Union[BucketManifest, ObfuscatedBucket]) -> str:
+        manifest = _seal(manifest)
+        job_id = f"job-{uuid.uuid4().hex[:12]}"
+        self._spool.atomic_write_json(
+            self._path(job_id, self._spool.INPUT_SUFFIX), manifest.to_dict()
+        )
+        self._buckets[job_id] = manifest.bucket
+        return job_id
+
+    def _known(self, job_id: str) -> bool:
+        return job_id in self._buckets or os.path.exists(
+            self._path(job_id, self._spool.INPUT_SUFFIX)
+        )
+
+    def status(self, job_id: str):
+        from ..serving.server import JobState, JobStatus
+
+        done = os.path.exists(self._path(job_id, self._spool.OPTIMIZED_SUFFIX))
+        failed = os.path.exists(self._path(job_id, self._spool.ERROR_SUFFIX))
+        if not (done or failed or self._known(job_id)):
+            raise EndpointError(ERR_UNKNOWN_JOB, f"unknown job id {job_id!r}")
+        bucket = self._buckets.get(job_id)
+        total = len(bucket) if bucket is not None else 0
+        # the filesystem only distinguishes queued/done/failed; per-entry
+        # progress stays with the serving process.
+        return JobStatus(
+            job_id=job_id,
+            state=(
+                JobState.FAILED
+                if failed and not done
+                else JobState.DONE if done else JobState.QUEUED
+            ),
+            total_entries=total,
+            completed_entries=total if done else 0,
+            submitted_at=0.0,
+        )
+
+    def await_receipt(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> OptimizationReceipt:
+        if not self._known(job_id) and not os.path.exists(
+            self._path(job_id, self._spool.OPTIMIZED_SUFFIX)
+        ):
+            raise EndpointError(ERR_UNKNOWN_JOB, f"unknown job id {job_id!r}")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        out_path = self._path(job_id, self._spool.OPTIMIZED_SUFFIX)
+        err_path = self._path(job_id, self._spool.ERROR_SUFFIX)
+        while not os.path.exists(out_path):
+            if os.path.exists(err_path):
+                with open(err_path, "r", encoding="utf-8") as fh:
+                    raise EndpointError.from_dict(json.load(fh))
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"spool job {job_id} not optimized within {timeout:g}s"
+                )
+            time.sleep(self.poll_interval)
+        manifest = load_manifest(out_path)  # digest-verified
+        receipt_path = self._path(job_id, self._spool.RECEIPT_SUFFIX)
+        optimizer, workers = "spool", 0
+        if os.path.exists(receipt_path):
+            with open(receipt_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+            optimizer = str(meta.get("optimizer", optimizer))
+            workers = int(meta.get("workers", workers))
+        before = self._buckets.get(job_id)
+        if before is None:  # receipt for a job submitted by someone else
+            before = manifest.bucket
+        return receipt_from_buckets(
+            before, manifest.bucket, optimizer=optimizer, workers=workers
+        )
+
+    def metrics(self) -> Dict[str, Any]:
+        done = sum(
+            1
+            for job_id in self._buckets
+            if os.path.exists(self._path(job_id, self._spool.OPTIMIZED_SUFFIX))
+        )
+        return {
+            "transport": self.transport,
+            "spool_dir": self.spool_dir,
+            "jobs": {"submitted": len(self._buckets), "completed": done},
+        }
+
+    def close(self) -> None:
+        self._buckets.clear()
+
+
+def _is_wire_error(payload: Any) -> bool:
+    """A structured wire error is ``{"error": {...}}`` with a dict value.
+
+    The sniff must be shape-sensitive: job-status responses legitimately
+    carry an ``"error"`` field (None while healthy, a string after an
+    optimizer failure) that is *data*, not a protocol error envelope.
+    """
+    return isinstance(payload, dict) and isinstance(payload.get("error"), dict)
+
+
+class HttpEndpoint(OptimizerEndpoint):
+    """Client of the versioned JSON wire protocol (``repro serve --http``).
+
+    Protocol versions are negotiated once per endpoint (``GET
+    /v1/protocol``) before the first submit; a server speaking a
+    different version raises ``EndpointError(version_mismatch)`` here
+    rather than failing obscurely mid-submit.  Receipts are
+    digest-verified client-side, so tampering anywhere in transit is
+    caught before reassembly.
+    """
+
+    transport = "http"
+
+    #: per-request socket timeout headroom on top of server-side waits.
+    _REQUEST_SLACK = 15.0
+    #: how long one blocking receipt poll asks the server to wait.
+    _WAIT_CHUNK = 10.0
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        optimizer: Optional[str] = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.optimizer = optimizer
+        self._protocol_info: Optional[Dict[str, Any]] = None
+
+    # -- plumbing -------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        url = self.base_url + path
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        req = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                req, timeout=self.timeout if timeout is None else timeout
+            ) as resp:
+                payload = json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = None
+            if _is_wire_error(payload):
+                raise EndpointError.from_dict(payload) from None
+            # an intermediary (proxy, load balancer) answered, not our
+            # wire protocol: surface it as a structured transport error.
+            raise EndpointError(
+                "transport_error", f"HTTP {exc.code} from {url}"
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ConnectionError(f"cannot reach {url}: {exc.reason}") from None
+        if _is_wire_error(payload):
+            raise EndpointError.from_dict(payload)
+        return payload
+
+    def negotiate(self) -> Dict[str, Any]:
+        """Fetch (once) and version-check the server's protocol banner."""
+        if self._protocol_info is None:
+            info = self._request("GET", "/v1/protocol")
+            version = info.get("protocol_version")
+            if version != PROTOCOL_VERSION:
+                raise EndpointError(
+                    ERR_VERSION_MISMATCH,
+                    f"server at {self.base_url} speaks protocol {version!r}, "
+                    f"this client speaks {PROTOCOL_VERSION}",
+                )
+            self._protocol_info = info
+        return self._protocol_info
+
+    # -- OptimizerEndpoint ----------------------------------------------------
+    def submit(self, manifest: Union[BucketManifest, ObfuscatedBucket]) -> str:
+        self.negotiate()
+        body = {
+            "protocol_version": PROTOCOL_VERSION,
+            "manifest": _seal(manifest).to_dict(),
+        }
+        if self.optimizer is not None:
+            body["optimizer"] = self.optimizer
+        return str(self._request("POST", "/v1/jobs", body)["job_id"])
+
+    def status(self, job_id: str):
+        return status_from_wire(
+            self._request("GET", f"/v1/jobs/{urllib.parse.quote(job_id)}")
+        )
+
+    def await_receipt(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> OptimizationReceipt:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        quoted = urllib.parse.quote(job_id)
+        while True:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} not finished within {timeout:g}s"
+                )
+            wait = self._WAIT_CHUNK if remaining is None else min(remaining, self._WAIT_CHUNK)
+            try:
+                payload = self._request(
+                    "GET",
+                    f"/v1/jobs/{quoted}/receipt?wait={wait:g}",
+                    timeout=wait + self._REQUEST_SLACK,
+                )
+            except EndpointError as exc:
+                if exc.code == ERR_JOB_PENDING:
+                    continue
+                raise
+            try:
+                return receipt_from_wire(payload, verify=True)
+            except ManifestIntegrityError as exc:
+                raise EndpointError(
+                    ERR_BAD_DIGEST, f"receipt failed verification: {exc}"
+                ) from None
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")
+
+    def close(self) -> None:  # urllib opens one connection per request
+        self._protocol_info = None
+
+
+class RemoteOptimizerService:
+    """:class:`~repro.api.clients.OptimizerService`-shaped facade.
+
+    Wraps any endpoint so code written against
+    ``service.optimize(bucket) -> receipt`` runs unchanged against a
+    remote optimizer party.
+    """
+
+    def __init__(self, endpoint: OptimizerEndpoint, timeout: Optional[float] = None):
+        self.endpoint = endpoint
+        self.timeout = timeout
+        self.name = f"remote:{endpoint.transport}"
+
+    def optimize(self, bucket: Union[BucketManifest, ObfuscatedBucket]) -> OptimizationReceipt:
+        job_id = self.endpoint.submit(bucket)
+        return self.endpoint.await_receipt(job_id, timeout=self.timeout)
+
+
+_URI_GRAMMAR = (
+    "endpoint URIs: local:[BACKEND] | spool:DIRECTORY | http://HOST:PORT "
+    "| https://HOST:PORT"
+)
+
+
+def open_endpoint(
+    uri: str,
+    *,
+    optimizer: Optional[str] = None,
+    workers: int = 2,
+    cache: Optional[Any] = None,
+    cache_dir: Optional[str] = None,
+    timeout: float = 30.0,
+    **optimizer_options,
+) -> OptimizerEndpoint:
+    """Open an endpoint from its URI (the ``--endpoint`` flag grammar).
+
+    ``optimizer`` names the backend: constructed in-process for
+    ``local:`` endpoints, requested per submit over HTTP (the server
+    resolves it from its own registry), and unused for ``spool:``
+    (the spool server's configuration decides).  ``None`` means the
+    serving side's default.  Worker/cache options only apply to
+    ``local:`` — elsewhere they are properties of the serving process.
+    """
+    if uri.startswith(("http://", "https://")):
+        return HttpEndpoint(uri, timeout=timeout, optimizer=optimizer)
+    scheme, sep, rest = uri.partition(":")
+    if not sep:
+        raise ValueError(f"invalid endpoint URI {uri!r}; {_URI_GRAMMAR}")
+    if scheme == "local":
+        return LocalEndpoint(
+            rest or optimizer or "ortlike",
+            workers=workers,
+            cache=cache,
+            cache_dir=cache_dir,
+            **optimizer_options,
+        )
+    if scheme == "spool":
+        if not rest:
+            raise ValueError(
+                f"spool endpoint needs a directory (spool:DIR), got {uri!r}"
+            )
+        return SpoolEndpoint(rest)
+    raise ValueError(f"unknown endpoint scheme {scheme!r}; {_URI_GRAMMAR}")

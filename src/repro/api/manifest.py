@@ -120,8 +120,11 @@ class BucketManifest:
     @classmethod
     def from_dict(cls, d: Dict[str, Any], verify: bool = True) -> "BucketManifest":
         if "manifest_version" not in d and "entries" in d:
-            # legacy bare-bucket payload (seed format): wrap, nothing to verify
-            return cls.from_bucket(bucket_from_dict(d))
+            # legacy bare-bucket payload (seed format): wrap, nothing to
+            # verify — the digests were just computed from the payload.
+            manifest = cls.from_bucket(bucket_from_dict(d))
+            manifest._verified = True
+            return manifest
         version = d.get("manifest_version")
         if version != MANIFEST_VERSION:
             raise ValueError(f"unsupported manifest version: {version!r}")
@@ -133,6 +136,10 @@ class BucketManifest:
         )
         if verify:
             manifest.verify()
+            # endpoints re-check integrity at submit time; this memo
+            # lets them skip re-hashing a manifest this process already
+            # verified against the exact bytes it loaded.
+            manifest._verified = True
         return manifest
 
 

@@ -21,6 +21,7 @@ __all__ = [
     "EntryOptimization",
     "OptimizationReceipt",
     "bucket_key",
+    "receipt_from_buckets",
 ]
 
 
@@ -110,3 +111,28 @@ class OptimizationReceipt:
             f"({self.workers} worker{'s' if self.workers != 1 else ''}): "
             f"{self.nodes_before} -> {self.nodes_after} total ops"
         )
+
+
+def receipt_from_buckets(
+    before: ObfuscatedBucket,
+    after: ObfuscatedBucket,
+    optimizer: str = "unknown",
+    workers: int = 1,
+) -> OptimizationReceipt:
+    """Reconstruct a receipt from the buckets on both sides of a transport.
+
+    Transports that move only manifests (the spool directory) lose the
+    in-memory receipt; given the submitted and returned buckets the
+    per-entry accounting is recomputable, which is all
+    :meth:`ModelOwner.reassemble` and the CLI summaries need.
+    """
+    entries = {
+        e.entry_id: EntryOptimization(
+            nodes_before=e.graph.num_nodes,
+            nodes_after=after.get(e.entry_id).graph.num_nodes,
+        )
+        for e in before
+    }
+    return OptimizationReceipt(
+        bucket=after, optimizer=optimizer, workers=workers, entries=entries
+    )

@@ -1,0 +1,189 @@
+"""Shared vocabulary of the versioned endpoint wire protocol.
+
+Every transport in :mod:`repro.api.endpoint` — and the HTTP server in
+:mod:`repro.serving.http` — speaks the same JSON protocol:
+
+* requests and receipts carry ``protocol_version`` (currently
+  :data:`PROTOCOL_VERSION`); a server rejects versions it does not
+  speak instead of guessing;
+* failures travel as structured errors, ``{"error": {"code", "message",
+  "protocol_version"}}``, with a small closed set of codes so clients
+  can branch without parsing prose;
+* a receipt crosses the boundary as the digest-verified
+  :class:`~repro.api.manifest.BucketManifest` plus per-entry
+  before/after accounting, so tampering in transit is detected on
+  either side of the connection.
+
+This module is deliberately import-light (stdlib + sibling ``api``
+modules only) so both client and server layers can depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERR_MALFORMED",
+    "ERR_VERSION_MISMATCH",
+    "ERR_BAD_DIGEST",
+    "ERR_UNKNOWN_BACKEND",
+    "ERR_UNKNOWN_JOB",
+    "ERR_JOB_PENDING",
+    "ERR_JOB_FAILED",
+    "ERR_NOT_FOUND",
+    "ERR_INTERNAL",
+    "HTTP_STATUS",
+    "EndpointError",
+    "receipt_to_wire",
+    "receipt_from_wire",
+    "status_to_wire",
+    "status_from_wire",
+]
+
+#: Version of the endpoint wire protocol this build speaks.  Bump it on
+#: any incompatible change to the request/response schemas below; both
+#: sides reject a mismatch with :data:`ERR_VERSION_MISMATCH`.
+PROTOCOL_VERSION = 1
+
+# -- structured error codes ---------------------------------------------------
+ERR_MALFORMED = "malformed_request"  #: body is not valid JSON / missing fields
+ERR_VERSION_MISMATCH = "version_mismatch"  #: protocol_version not supported
+ERR_BAD_DIGEST = "bad_digest"  #: manifest digests do not match the payload
+ERR_UNKNOWN_BACKEND = "unknown_backend"  #: requested optimizer not registered
+ERR_UNKNOWN_JOB = "unknown_job"  #: job id never submitted (or already claimed)
+ERR_JOB_PENDING = "job_pending"  #: receipt requested before the job finished
+ERR_JOB_FAILED = "job_failed"  #: the optimizer raised while running the job
+ERR_NOT_FOUND = "not_found"  #: no such route
+ERR_INTERNAL = "internal_error"  #: unexpected server-side failure
+
+#: HTTP status each error code travels under.  ``job_pending`` is a 202
+#: (the request was fine, the result just isn't ready), everything else
+#: is a plain client/server error.
+HTTP_STATUS: Dict[str, int] = {
+    ERR_MALFORMED: 400,
+    ERR_VERSION_MISMATCH: 400,
+    ERR_BAD_DIGEST: 400,
+    ERR_UNKNOWN_BACKEND: 400,
+    ERR_UNKNOWN_JOB: 404,
+    ERR_NOT_FOUND: 404,
+    ERR_JOB_PENDING: 202,
+    ERR_JOB_FAILED: 500,
+    ERR_INTERNAL: 500,
+}
+
+
+class EndpointError(Exception):
+    """A structured endpoint failure, identical on the wire and in-process.
+
+    ``code`` is one of the ``ERR_*`` constants; ``message`` is the
+    human-readable detail.  Transports raise this directly (in-process)
+    or serialize/deserialize it via :meth:`to_dict`/:meth:`from_dict`.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "error": {
+                "code": self.code,
+                "message": self.message,
+                "protocol_version": PROTOCOL_VERSION,
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "EndpointError":
+        err = d.get("error")
+        if not isinstance(err, dict):
+            err = {}
+        return cls(
+            str(err.get("code", ERR_INTERNAL)),
+            str(err.get("message", "unspecified endpoint error")),
+        )
+
+    def __str__(self) -> str:
+        return self.message
+
+
+# -- receipt on the wire ------------------------------------------------------
+
+
+def receipt_to_wire(receipt) -> Dict[str, Any]:
+    """Serialize an :class:`~repro.api.types.OptimizationReceipt`.
+
+    The optimized bucket travels inside a freshly sealed
+    :class:`~repro.api.manifest.BucketManifest`, so the receiving side
+    re-verifies content digests before trusting the graphs.
+    """
+    from .manifest import BucketManifest
+
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "manifest": BucketManifest.from_bucket(receipt.bucket).to_dict(),
+        "optimizer": receipt.optimizer,
+        "workers": receipt.workers,
+        "entries": {
+            entry_id: {"nodes_before": s.nodes_before, "nodes_after": s.nodes_after}
+            for entry_id, s in receipt.entries.items()
+        },
+    }
+
+
+def receipt_from_wire(d: Dict[str, Any], verify: bool = True):
+    """Rebuild a receipt from its wire form, verifying manifest digests.
+
+    Raises :class:`~repro.api.manifest.ManifestIntegrityError` when the
+    payload was tampered with in transit.
+    """
+    from .manifest import BucketManifest
+    from .types import EntryOptimization, OptimizationReceipt
+
+    manifest = BucketManifest.from_dict(d["manifest"], verify=verify)
+    entries = {
+        str(entry_id): EntryOptimization(
+            nodes_before=int(v["nodes_before"]), nodes_after=int(v["nodes_after"])
+        )
+        for entry_id, v in (d.get("entries") or {}).items()
+    }
+    return OptimizationReceipt(
+        bucket=manifest.bucket,
+        optimizer=str(d.get("optimizer", "remote")),
+        workers=int(d.get("workers", 1)),
+        entries=entries,
+    )
+
+
+# -- job status on the wire ---------------------------------------------------
+
+
+def status_to_wire(status) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.serving.server.JobStatus`."""
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "job_id": status.job_id,
+        "state": status.state.value,
+        "total_entries": status.total_entries,
+        "completed_entries": status.completed_entries,
+        "submitted_at": status.submitted_at,
+        "finished_at": status.finished_at,
+        "error": status.error,
+    }
+
+
+def status_from_wire(d: Dict[str, Any]):
+    """Rebuild a :class:`~repro.serving.server.JobStatus` from the wire."""
+    from ..serving.server import JobState, JobStatus
+
+    return JobStatus(
+        job_id=str(d["job_id"]),
+        state=JobState(d["state"]),
+        total_entries=int(d["total_entries"]),
+        completed_entries=int(d["completed_entries"]),
+        submitted_at=float(d["submitted_at"]),
+        finished_at=None if d.get("finished_at") is None else float(d["finished_at"]),
+        error=d.get("error"),
+    )

@@ -105,6 +105,17 @@ def _small_bucket():
     return owner.obfuscate(build_model("resnet")).bucket
 
 
+def _tiny_bucket():
+    """A squeezenet bucket (k=0): small weights, so the endpoint
+    roundtrip scenarios time the transport, not megabytes of JSON."""
+    from ..api.clients import ModelOwner
+    from ..core import ProteusConfig
+    from ..models import build_model
+
+    owner = ModelOwner(ProteusConfig(k=0, target_subgraph_size=8, seed=0))
+    return owner.obfuscate(build_model("squeezenet")).bucket
+
+
 @register_benchmark(
     "bucket_optimize_cold",
     suites=("smoke", "paper"),
@@ -193,6 +204,59 @@ def _paper_optimize_scenario(backend: str, model_names) -> None:
 
 _paper_optimize_scenario("ortlike", ["resnet", "mobilenet"])
 _paper_optimize_scenario("hidetlike", ["resnet", "mobilenet"])
+
+
+@register_benchmark(
+    "local_roundtrip",
+    suites=("serving",),
+    rounds=5,
+    warmup=1,
+    description="submit+await_receipt through LocalEndpoint, warm cache "
+    "(baseline for remote_roundtrip)",
+)
+def local_roundtrip_scenario():
+    from ..api.endpoint import LocalEndpoint
+    from ..api.manifest import BucketManifest
+    from ..serving import OptimizationCache
+
+    manifest = BucketManifest.from_bucket(_tiny_bucket())
+    endpoint = LocalEndpoint("ortlike", cache=OptimizationCache(), workers=2)
+    endpoint.await_receipt(endpoint.submit(manifest))  # warm: rounds all hit
+
+    def run():
+        return endpoint.await_receipt(endpoint.submit(manifest))
+
+    return run
+
+
+@register_benchmark(
+    "remote_roundtrip",
+    suites=("serving",),
+    rounds=5,
+    warmup=1,
+    description="the same bucket through HttpEndpoint over loopback, warm "
+    "cache — wire-protocol + HTTP overhead vs local_roundtrip",
+)
+def remote_roundtrip_scenario():
+    from ..api.endpoint import HttpEndpoint
+    from ..api.manifest import BucketManifest
+    from ..serving import OptimizationCache
+    from ..serving.http import OptimizationHTTPServer
+
+    manifest = BucketManifest.from_bucket(_tiny_bucket())
+    # the server thread is a daemon and dies with the bench process;
+    # scenarios have no teardown hook, and one loopback listener is cheap.
+    app = OptimizationHTTPServer(
+        "ortlike", cache=OptimizationCache(), workers=2, port=0
+    )
+    host, port = app.start()
+    endpoint = HttpEndpoint(f"http://{host}:{port}")
+    endpoint.await_receipt(endpoint.submit(manifest))  # warm: rounds all hit
+
+    def run():
+        return endpoint.await_receipt(endpoint.submit(manifest))
+
+    return run
 
 
 @register_benchmark(

@@ -13,6 +13,13 @@ optimizer party::
 
     python -m repro optimize   ship.json  -o returned.json --optimizer ortlike --cache-dir .cache
     python -m repro serve      spool/     --cache-dir .cache --jobs 8
+    python -m repro serve      --http 8080 --cache-dir .cache      # wire protocol
+
+model owner, against any transport (same script, any --endpoint)::
+
+    python -m repro optimize   ship.json  -o returned.json --endpoint http://host:8080
+    python -m repro optimize   ship.json  -o returned.json --endpoint spool:/mnt/spool
+    python -m repro optimize   ship.json  -o returned.json --endpoint local:hidetlike
 
 ``optimize`` keeps stdout machine-parseable (one JSON line describing
 the written receipt); progress and summaries go to stderr.  ``serve``
@@ -121,6 +128,79 @@ def _default_jobs() -> int:
     return min(os.cpu_count() or 1, _MAX_DEFAULT_JOBS)
 
 
+def _optimize_via_endpoint(args, manifest, options) -> int:
+    """Route one optimize job through ``--endpoint`` (any transport).
+
+    Backend/worker/cache flags only shape ``local:`` endpoints; for
+    ``spool:`` and ``http(s)://`` they belong to the serving process.
+    Exit code 4 means the endpoint itself failed (unreachable, job
+    failed, structured protocol error) as opposed to bad local input.
+    """
+    from .api.endpoint import open_endpoint
+    from .api.wire import EndpointError
+
+    jobs = args.jobs if args.jobs is not None else _default_jobs()
+    is_local = args.endpoint.startswith("local:")
+    is_spool = args.endpoint.startswith("spool:")
+    if args.cache_dir and not is_local:
+        print(
+            f"note: --cache-dir is ignored for {args.endpoint!r}; caching is "
+            "configured on the serving side",
+            file=sys.stderr,
+        )
+    if is_spool and args.optimizer:
+        print(
+            f"note: --optimizer is ignored for {args.endpoint!r}; the spool "
+            "server's configuration decides the backend",
+            file=sys.stderr,
+        )
+    if options and not is_local:
+        print(
+            f"note: --kernel-selection is ignored for {args.endpoint!r}; "
+            "backend options are configured on the serving side",
+            file=sys.stderr,
+        )
+    try:
+        endpoint = open_endpoint(
+            args.endpoint,
+            optimizer=args.optimizer,
+            workers=jobs,
+            cache_dir=args.cache_dir if is_local else None,
+            **(options if is_local else {}),
+        )
+    except (ValueError, TypeError) as exc:
+        print(f"cannot open endpoint {args.endpoint!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with endpoint:
+            job_id = endpoint.submit(manifest)
+            if args.verbose:
+                print(f"submitted {job_id} to {args.endpoint}", file=sys.stderr)
+            receipt = endpoint.await_receipt(job_id, timeout=args.timeout)
+    except EndpointError as exc:
+        print(f"endpoint error [{exc.code}]: {exc}", file=sys.stderr)
+        return 4
+    except (ConnectionError, TimeoutError) as exc:
+        print(f"endpoint {args.endpoint!r} failed: {exc}", file=sys.stderr)
+        return 4
+    save_manifest(receipt.bucket, args.output)
+    print(f"{receipt.summary()}; wrote {args.output}", file=sys.stderr)
+    print(
+        json.dumps(
+            {
+                "output": args.output,
+                "optimizer": receipt.optimizer,
+                "entries": len(receipt.entries),
+                "workers": receipt.workers,
+                "nodes_before": receipt.nodes_before,
+                "nodes_after": receipt.nodes_after,
+                "endpoint": args.endpoint,
+            }
+        )
+    )
+    return 0
+
+
 def _cmd_optimize(args) -> int:
     manifest = _load_manifest_or_fail(args.bucket)
     if manifest is None:
@@ -128,10 +208,13 @@ def _cmd_optimize(args) -> int:
     options = {}
     if args.kernel_selection:
         options["kernel_selection"] = True
+    if args.endpoint:
+        return _optimize_via_endpoint(args, manifest, options)
+    optimizer = args.optimizer or "ortlike"
     try:
-        service = OptimizerService(args.optimizer, **options)
+        service = OptimizerService(optimizer, **options)
     except TypeError as exc:
-        print(f"cannot construct optimizer {args.optimizer!r}: {exc}",
+        print(f"cannot construct optimizer {optimizer!r}: {exc}",
               file=sys.stderr)
         return 2
     cache = None
@@ -165,25 +248,88 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
-    """Spool-directory optimization server.
+def _serve_http(args, cache, jobs, options) -> int:
+    """``repro serve --http PORT``: the wire protocol over a socket.
 
-    Watches ``spool_dir`` for bucket manifests (``*.json``), optimizes
-    each through the cache-backed :class:`OptimizationServer`, and
-    writes ``<name>.optimized.json`` next to the input.  One JSON line
-    per completed job goes to stdout; logs and metrics go to stderr.
+    Binds first (so ``--http 0`` resolves to a real port), prints one
+    machine-parseable JSON line with the endpoint URL to stdout, then
+    serves until interrupted.
     """
-    from .serving import OptimizationCache, OptimizationServer
+    from .api.wire import PROTOCOL_VERSION
+    from .serving.http import OptimizationHTTPServer
 
-    spool = args.spool_dir
-    if not os.path.isdir(spool):
-        print(f"spool directory {spool!r} does not exist", file=sys.stderr)
+    try:
+        app = OptimizationHTTPServer(
+            args.optimizer,
+            cache=cache,
+            workers=jobs,
+            host=args.host,
+            port=args.http,
+            verbose=args.verbose,
+            **options,
+        )
+    except TypeError as exc:
+        print(f"cannot construct optimizer {args.optimizer!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    with app:
+        try:
+            host, port = app.bind()
+        except OSError as exc:
+            print(f"cannot bind {args.host}:{args.http}: {exc}", file=sys.stderr)
+            return 2
+        # a wildcard bind address is not connectable; advertise loopback
+        # (remote clients substitute this machine's real hostname).
+        advertised = {"0.0.0.0": "127.0.0.1", "::": "[::1]"}.get(host, host)
+        url = f"http://{advertised}:{port}"
+        bound_note = f" (bound on {host})" if advertised != host else ""
+        print(
+            f"serving {url}{bound_note} (optimizer={args.optimizer}, "
+            f"workers={jobs}, cache={args.cache_dir or 'memory-only'}, "
+            f"protocol=v{PROTOCOL_VERSION})",
+            file=sys.stderr,
+        )
+        print(
+            json.dumps({"endpoint": url, "protocol_version": PROTOCOL_VERSION}),
+            flush=True,
+        )
+        try:
+            app.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Optimization server over a spool directory or HTTP.
+
+    Spool mode watches ``spool_dir`` for bucket manifests (``*.json``),
+    optimizes each through the cache-backed :class:`OptimizationServer`
+    (failures retry with exponential backoff + jitter, capped), and
+    writes ``<name>.optimized.json`` next to the input.  HTTP mode
+    (``--http PORT``) serves the versioned JSON wire protocol that
+    ``repro optimize --endpoint http://HOST:PORT`` speaks.  One JSON
+    line per event goes to stdout; logs and metrics go to stderr.
+    """
+    from .serving import OptimizationCache, OptimizationServer, SpoolServer
+
+    if (args.spool_dir is None) == (args.http is None):
+        print("serve needs exactly one of: a spool directory, or --http PORT",
+              file=sys.stderr)
         return 2
     options = {}
     if args.kernel_selection:
         options["kernel_selection"] = True
     jobs = args.jobs if args.jobs is not None else _default_jobs()
     cache = OptimizationCache(cache_dir=args.cache_dir)  # None dir = memory-only
+
+    if args.http is not None:
+        return _serve_http(args, cache, jobs, options)
+
+    spool = args.spool_dir
+    if not os.path.isdir(spool):
+        print(f"spool directory {spool!r} does not exist", file=sys.stderr)
+        return 2
     try:
         server = OptimizationServer(
             args.optimizer, cache=cache, workers=jobs, **options
@@ -192,17 +338,6 @@ def _cmd_serve(args) -> int:
         print(f"cannot construct optimizer {args.optimizer!r}: {exc}",
               file=sys.stderr)
         return 2
-
-    suffix = ".optimized.json"
-    # inputs that failed, keyed by (mtime, size) at failure time: a file
-    # caught mid-write (or later rewritten) changes signature and gets
-    # retried; a genuinely corrupt file stays skipped.
-    failed: dict = {}
-
-    def _signature(path):
-        st = os.stat(path)
-        return (st.st_mtime, st.st_size)
-
     print(
         f"serving {spool} (optimizer={args.optimizer}, workers={jobs}, "
         f"cache={args.cache_dir or 'memory-only'})",
@@ -210,54 +345,10 @@ def _cmd_serve(args) -> int:
     )
     try:
         with server:
+            watcher = SpoolServer(spool, server)
             while True:
-                pending = sorted(
-                    name
-                    for name in os.listdir(spool)
-                    if name.endswith(".json")
-                    and not name.endswith(suffix)
-                    and not os.path.exists(
-                        os.path.join(spool, name[: -len(".json")] + suffix)
-                    )
-                )
-                for name in pending:
-                    in_path = os.path.join(spool, name)
-                    out_path = os.path.join(spool, name[: -len(".json")] + suffix)
-                    try:
-                        sig = _signature(in_path)
-                    except OSError:  # vanished between listing and stat
-                        continue
-                    if failed.get(name) == sig:
-                        continue
-                    manifest = _load_manifest_or_fail(in_path)
-                    if manifest is None:
-                        failed[name] = sig
-                        continue
-                    try:
-                        job_id = server.submit(manifest.bucket)
-                        receipt = server.await_receipt(job_id)
-                        save_manifest(receipt.bucket, out_path)
-                        server.forget(job_id)
-                    except Exception as exc:
-                        # one bad job must not take the server down
-                        print(f"job for {in_path!r} failed: {exc}", file=sys.stderr)
-                        failed[name] = sig
-                        continue
-                    failed.pop(name, None)
-                    metrics = server.metrics()
-                    print(
-                        json.dumps(
-                            {
-                                "job_id": job_id,
-                                "input": in_path,
-                                "output": out_path,
-                                "entries": len(receipt.entries),
-                                "cache_hit_rate": metrics["entries"]["cache_hit_rate"],
-                            }
-                        ),
-                        flush=True,
-                    )
-                    print(f"{job_id}: {receipt.summary()}", file=sys.stderr)
+                for record in watcher.run_once():
+                    print(json.dumps(record), flush=True)
                 if args.once:
                     print(json.dumps(server.metrics()), file=sys.stderr)
                     return 0
@@ -409,6 +500,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Proteus: model-confidentiality-preserving graph optimization",
     )
+    from . import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("build", help="export a zoo model to JSON")
@@ -432,7 +528,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("optimize", help="optimize every bucket entry (optimizer party)")
     p.add_argument("bucket")
     p.add_argument("-o", "--output", required=True)
-    p.add_argument("--optimizer", default="ortlike", choices=list_optimizers())
+    p.add_argument("--optimizer", default=None, choices=list_optimizers(),
+                   help="backend to run (default: ortlike in-process / the "
+                        "server's default over an --endpoint)")
     p.add_argument("--kernel-selection", action="store_true")
     p.add_argument("-j", "--jobs", type=int, default=None,
                    help="parallel workers over bucket entries "
@@ -441,16 +539,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="content-addressed optimization cache directory "
                         "(reused across runs; keyed by graph content x "
                         "optimizer x config)")
+    p.add_argument("--endpoint", default=None, metavar="URI",
+                   help="route the job through an optimizer endpoint instead "
+                        "of optimizing in this process: local:[BACKEND], "
+                        "spool:DIR, or http(s)://HOST:PORT "
+                        "(--optimizer/--jobs/--cache-dir only shape local: "
+                        "endpoints; elsewhere they live server-side)")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait for an --endpoint receipt "
+                        "(default: 600)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print per-entry progress (stderr)")
     p.set_defaults(fn=_cmd_optimize)
 
-    p = sub.add_parser("serve", help="run a cache-backed optimization server over a spool dir")
-    p.add_argument("spool_dir",
+    p = sub.add_parser(
+        "serve",
+        help="run a cache-backed optimization server (spool dir or --http)",
+    )
+    p.add_argument("spool_dir", nargs="?", default=None,
                    help="directory watched for bucket manifests (*.json); "
-                        "results are written as <name>.optimized.json")
+                        "results are written as <name>.optimized.json "
+                        "(omit when using --http)")
+    p.add_argument("--http", type=int, default=None, metavar="PORT",
+                   help="serve the versioned JSON wire protocol over HTTP on "
+                        "PORT (0 picks a free port) instead of watching a "
+                        "spool directory; clients connect with "
+                        "repro optimize --endpoint http://HOST:PORT")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface for --http (default: 127.0.0.1; use "
+                        "0.0.0.0 to accept remote optimizer-party traffic)")
     p.add_argument("--optimizer", default="ortlike", choices=list_optimizers())
     p.add_argument("--kernel-selection", action="store_true")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="log per-request HTTP access lines (stderr)")
     p.add_argument("-j", "--jobs", type=int, default=None,
                    help="optimization worker threads "
                         "(default: cpu count capped at 8; env REPRO_JOBS overrides)")

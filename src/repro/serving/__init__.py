@@ -16,17 +16,24 @@ unique piece of work once, and keep the workers busy with what's left:
   dedup feeding a worker thread pool;
 * :mod:`repro.serving.server` — :class:`OptimizationServer`:
   ``submit(bucket)`` / ``status(job_id)`` / ``await_receipt(job_id)`` /
-  ``metrics()``.
+  ``metrics()``;
+* :mod:`repro.serving.spool` — the spool-directory transport
+  (:class:`SpoolServer` with backoff retries) behind ``repro serve DIR``;
+* :mod:`repro.serving.http` — :class:`OptimizationHTTPServer`, the
+  versioned JSON wire protocol behind ``repro serve --http PORT``.
 
 The same cache plugs straight into the one-shot client:
 ``OptimizerService.optimize(bucket, cache=...)`` and
-``repro optimize --cache-dir``.
+``repro optimize --cache-dir``; clients reach any of these transports
+through :func:`repro.api.open_endpoint`.
 """
 
 from .cache import CacheStats, OptimizationCache, cached_optimize, fingerprint_config  # noqa: F401
 from .canonical import CanonicalForm, canonical_hash, canonicalize, restore_names  # noqa: F401
+from .http import OptimizationHTTPServer  # noqa: F401
 from .scheduler import DedupScheduler, Priority  # noqa: F401
 from .server import JobState, JobStatus, OptimizationServer  # noqa: F401
+from .spool import RetryPolicy, SpoolServer  # noqa: F401
 
 __all__ = [
     "CanonicalForm",
@@ -42,4 +49,7 @@ __all__ = [
     "JobState",
     "JobStatus",
     "OptimizationServer",
+    "OptimizationHTTPServer",
+    "RetryPolicy",
+    "SpoolServer",
 ]

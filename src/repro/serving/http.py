@@ -1,0 +1,387 @@
+"""HTTP transport for the optimizer party: ``repro serve --http PORT``.
+
+A thin stdlib :class:`~http.server.ThreadingHTTPServer` front-end over
+one or more :class:`~repro.serving.server.OptimizationServer` backends,
+speaking the versioned JSON wire protocol of :mod:`repro.api.wire`:
+
+====== =============================== =========================================
+method route                           meaning
+====== =============================== =========================================
+GET    ``/v1/protocol``                version banner (negotiation handshake)
+POST   ``/v1/jobs``                    submit a sealed bucket manifest
+GET    ``/v1/jobs/<id>``               non-blocking job status
+GET    ``/v1/jobs/<id>/receipt?wait=S`` receipt; blocks up to S s, 202 pending
+GET    ``/v1/metrics``                 operational snapshot, all backends
+====== =============================== =========================================
+
+Every failure is a structured ``{"error": {"code", "message"}}`` body
+with a stable code (``bad_digest``, ``version_mismatch``,
+``unknown_backend``, ``unknown_job``, ``malformed_request``, ...), so
+clients branch on codes, never on prose.  Submits may name any
+registered optimizer; backend servers are created lazily and share one
+content-addressed cache (cache keys already embed the backend name, so
+sharing is sound).
+
+Receipts are claimed once: delivering a receipt forgets the job, which
+is what bounds server memory for long-running deployments.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..api.manifest import BucketManifest, ManifestIntegrityError
+from ..api.registry import UnknownComponentError, list_optimizers
+from ..api.wire import (
+    ERR_BAD_DIGEST,
+    ERR_INTERNAL,
+    ERR_JOB_FAILED,
+    ERR_JOB_PENDING,
+    ERR_MALFORMED,
+    ERR_NOT_FOUND,
+    ERR_UNKNOWN_BACKEND,
+    ERR_UNKNOWN_JOB,
+    ERR_VERSION_MISMATCH,
+    HTTP_STATUS,
+    PROTOCOL_VERSION,
+    EndpointError,
+    receipt_to_wire,
+    status_to_wire,
+)
+from .cache import OptimizationCache
+from .server import OptimizationServer
+
+__all__ = ["OptimizationHTTPServer"]
+
+
+class _ThreadingServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    app: "OptimizationHTTPServer"
+
+
+class OptimizationHTTPServer:
+    """The optimizer party behind a socket.
+
+    Parameters mirror :class:`OptimizationServer`; ``optimizer`` is the
+    default backend a versionless submit runs on, and further registered
+    backends spin up lazily when a request names them.  ``bind()``
+    reserves the port (``port=0`` picks a free one) without serving;
+    ``serve_forever()`` blocks; ``start()`` serves from a background
+    thread — for tests, benchmarks and embedding.
+    """
+
+    #: ceiling on server-side receipt blocking per request; clients poll.
+    MAX_WAIT_S = 60.0
+
+    def __init__(
+        self,
+        optimizer: Union[str, Any] = "ortlike",
+        *,
+        cache: Optional[OptimizationCache] = None,
+        cache_dir: Optional[str] = None,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        verbose: bool = False,
+        **optimizer_options,
+    ) -> None:
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either cache or cache_dir, not both")
+        self.cache = cache if cache is not None else (
+            OptimizationCache(cache_dir) if cache_dir is not None else None
+        )
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.verbose = verbose
+        # the default backend is built eagerly so a bad name/options
+        # combination fails at construction, not on the first request.
+        default = OptimizationServer(
+            optimizer, cache=self.cache, workers=workers, **optimizer_options
+        )
+        self.default_backend = default.service.name
+        # every lazily created backend gets the same options, so a named
+        # submit runs under the configuration the operator launched with
+        # (anything else would silently break cross-transport identity).
+        self._optimizer_options = dict(optimizer_options)
+        self._backends: Dict[str, OptimizationServer] = {self.default_backend: default}
+        self._jobs: Dict[str, OptimizationServer] = {}
+        self._lock = threading.Lock()
+        self._httpd: Optional[_ThreadingServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -- backend + job bookkeeping -------------------------------------------
+    def _backend(self, name: Optional[str]) -> OptimizationServer:
+        key = name or self.default_backend
+        with self._lock:
+            backend = self._backends.get(key)
+            if backend is None:
+                try:
+                    backend = OptimizationServer(
+                        key,
+                        cache=self.cache,
+                        workers=self.workers,
+                        **self._optimizer_options,
+                    )
+                except UnknownComponentError as exc:
+                    raise EndpointError(ERR_UNKNOWN_BACKEND, str(exc)) from None
+                except TypeError as exc:
+                    raise EndpointError(
+                        ERR_UNKNOWN_BACKEND,
+                        f"backend {key!r} is not servable with this server's "
+                        f"options: {exc}",
+                    ) from None
+                self._backends[key] = backend
+        return backend
+
+    def _job_backend(self, job_id: str) -> OptimizationServer:
+        with self._lock:
+            backend = self._jobs.get(job_id)
+        if backend is None:
+            raise EndpointError(
+                ERR_UNKNOWN_JOB,
+                f"unknown job id {job_id!r} (receipts are claimed once)",
+            )
+        return backend
+
+    # -- request handlers (raise EndpointError on failure) --------------------
+    def handle_protocol(self) -> Dict[str, Any]:
+        from .. import __version__
+
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "server": "repro",
+            "version": __version__,
+            "optimizer": self.default_backend,
+            "optimizers": list_optimizers(),
+        }
+
+    def handle_submit(self, body: Any) -> Dict[str, Any]:
+        if not isinstance(body, dict):
+            raise EndpointError(ERR_MALFORMED, "request body must be a JSON object")
+        version = body.get("protocol_version")
+        if version != PROTOCOL_VERSION:
+            raise EndpointError(
+                ERR_VERSION_MISMATCH,
+                f"this server speaks protocol {PROTOCOL_VERSION}, "
+                f"request declares {version!r}",
+            )
+        if "manifest" not in body:
+            raise EndpointError(ERR_MALFORMED, "missing required field 'manifest'")
+        try:
+            manifest = BucketManifest.from_dict(body["manifest"], verify=True)
+        except ManifestIntegrityError as exc:
+            raise EndpointError(ERR_BAD_DIGEST, str(exc)) from None
+        except (ValueError, KeyError, TypeError) as exc:
+            raise EndpointError(
+                ERR_MALFORMED, f"cannot parse bucket manifest: {exc}"
+            ) from None
+        optimizer = body.get("optimizer")
+        if optimizer is not None and not isinstance(optimizer, str):
+            raise EndpointError(ERR_MALFORMED, "'optimizer' must be a string")
+        backend = self._backend(optimizer)
+        job_id = backend.submit(manifest.bucket)
+        with self._lock:
+            self._jobs[job_id] = backend
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "job_id": job_id,
+            "entries": len(manifest.bucket),
+            "optimizer": optimizer or self.default_backend,
+        }
+
+    def handle_status(self, job_id: str) -> Dict[str, Any]:
+        backend = self._job_backend(job_id)
+        try:
+            return status_to_wire(backend.status(job_id))
+        except KeyError:
+            raise EndpointError(ERR_UNKNOWN_JOB, f"unknown job id {job_id!r}") from None
+
+    def handle_receipt(self, job_id: str, wait: float) -> Dict[str, Any]:
+        backend = self._job_backend(job_id)
+        wait = max(0.0, min(wait, self.MAX_WAIT_S))
+        try:
+            receipt = backend.await_receipt(job_id, timeout=wait)
+        except TimeoutError as exc:
+            raise EndpointError(ERR_JOB_PENDING, str(exc)) from None
+        except KeyError:
+            raise EndpointError(ERR_UNKNOWN_JOB, f"unknown job id {job_id!r}") from None
+        except Exception as exc:
+            # a failed job has no receipt to lose: evict immediately so
+            # repeated failures cannot grow server memory without bound.
+            self._evict(job_id, backend)
+            raise EndpointError(
+                ERR_JOB_FAILED, f"{type(exc).__name__}: {exc}"
+            ) from None
+        # NOT evicted here: the job is dropped only after the response
+        # bytes reach the client (commit_receipt), so a connection lost
+        # mid-response does not destroy the only copy of the receipt.
+        return receipt_to_wire(receipt)
+
+    def commit_receipt(self, job_id: str) -> None:
+        """Forget a job whose receipt was successfully delivered."""
+        with self._lock:
+            backend = self._jobs.get(job_id)
+        if backend is not None:
+            self._evict(job_id, backend)
+
+    def _evict(self, job_id: str, backend: OptimizationServer) -> None:
+        backend.forget(job_id)
+        with self._lock:
+            self._jobs.pop(job_id, None)
+
+    def handle_metrics(self) -> Dict[str, Any]:
+        with self._lock:
+            backends = dict(self._backends)
+            tracked = len(self._jobs)
+        return {
+            "transport": "http",
+            "protocol_version": PROTOCOL_VERSION,
+            "jobs": {"tracked": tracked},
+            "backends": {name: srv.metrics() for name, srv in backends.items()},
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+    def bind(self) -> Tuple[str, int]:
+        """Bind the listening socket; returns the actual (host, port)."""
+        if self._httpd is None:
+            self._httpd = _ThreadingServer((self.host, self.port), _EndpointHandler)
+            self._httpd.app = self
+            self.port = self._httpd.server_address[1]
+        return (self.host, self.port)
+
+    def serve_forever(self) -> None:
+        """Bind (if needed) and serve until :meth:`close` or interrupt."""
+        self.bind()
+        assert self._httpd is not None
+        self._httpd.serve_forever(poll_interval=0.2)
+
+    def start(self) -> Tuple[str, int]:
+        """Serve from a daemon background thread; returns (host, port)."""
+        address = self.bind()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="repro-http-endpoint", daemon=True
+            )
+            self._thread.start()
+        return address
+
+    def close(self, wait_for_pending: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        with self._lock:
+            backends = list(self._backends.values())
+        for backend in backends:
+            backend.close(wait_for_pending=wait_for_pending)
+
+    def __enter__(self) -> "OptimizationHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _EndpointHandler(BaseHTTPRequestHandler):
+    """Routes one request into the app; all bodies are JSON."""
+
+    server_version = f"repro-endpoint/{PROTOCOL_VERSION}"
+    protocol_version = "HTTP/1.1"  # fine: every response carries Content-Length
+
+    @property
+    def app(self) -> OptimizationHTTPServer:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.app.verbose:
+            sys.stderr.write(
+                f"{self.address_string()} - {format % args}\n"
+            )
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        blob = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _read_json(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise EndpointError(ERR_MALFORMED, "bad Content-Length header") from None
+        raw = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise EndpointError(
+                ERR_MALFORMED, f"request body is not valid JSON: {exc}"
+            ) from None
+
+    def _route(self, method: str) -> None:
+        split = urllib.parse.urlsplit(self.path)
+        parts = [urllib.parse.unquote(p) for p in split.path.split("/") if p]
+        query = urllib.parse.parse_qs(split.query)
+        on_sent = None
+        try:
+            if method == "GET" and parts == ["v1", "protocol"]:
+                payload = self.app.handle_protocol()
+            elif method == "GET" and parts == ["v1", "metrics"]:
+                payload = self.app.handle_metrics()
+            elif method == "POST" and parts == ["v1", "jobs"]:
+                payload = self.app.handle_submit(self._read_json())
+            elif method == "GET" and len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                payload = self.app.handle_status(parts[2])
+            elif (
+                method == "GET"
+                and len(parts) == 4
+                and parts[:2] == ["v1", "jobs"]
+                and parts[3] == "receipt"
+            ):
+                raw_wait = query.get("wait", ["0"])[-1]
+                try:
+                    wait = float(raw_wait)
+                except ValueError:
+                    raise EndpointError(
+                        ERR_MALFORMED, f"wait must be a number, got {raw_wait!r}"
+                    ) from None
+                payload = self.app.handle_receipt(parts[2], wait)
+                # claimed-once semantics: drop the job only once the
+                # response bytes have actually been written out.
+                job_id = parts[2]
+                on_sent = lambda: self.app.commit_receipt(job_id)  # noqa: E731
+            else:
+                raise EndpointError(
+                    ERR_NOT_FOUND, f"no such route: {method} {split.path}"
+                )
+        except EndpointError as exc:
+            self._send_json(HTTP_STATUS.get(exc.code, 400), exc.to_dict())
+            return
+        except Exception as exc:  # never let a request kill the thread
+            self._send_json(
+                HTTP_STATUS[ERR_INTERNAL],
+                EndpointError(ERR_INTERNAL, f"{type(exc).__name__}: {exc}").to_dict(),
+            )
+            return
+        self._send_json(200, payload)
+        if on_sent is not None:
+            on_sent()
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")

@@ -1,0 +1,317 @@
+"""Spool-directory transport: the filesystem as a job queue.
+
+The ``repro serve SPOOL_DIR`` flow — drop a bucket manifest into a
+directory, get ``<name>.optimized.json`` back — is formalized here so
+it can be driven programmatically (the CLI loop and the
+:class:`~repro.api.endpoint.SpoolEndpoint` client both build on it):
+
+* :class:`SpoolServer` scans a directory for pending manifests, runs
+  each through an :class:`~repro.serving.server.OptimizationServer`,
+  and writes the optimized manifest (atomically) plus a
+  ``<name>.receipt.json`` sidecar carrying the receipt metadata
+  (optimizer, workers, per-entry accounting) that the manifest alone
+  cannot express.
+* Failures retry with exponential backoff + jitter
+  (:class:`RetryPolicy`): a file caught mid-write succeeds on a later
+  attempt, a genuinely corrupt file exhausts its attempts and gets a
+  ``<name>.error.json`` sidecar with the structured error, so spool
+  clients see a real failure instead of a silent timeout.  Rewriting
+  the input (new mtime/size signature) resets the schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..api.manifest import ManifestIntegrityError, load_manifest, save_manifest
+from ..api.wire import (
+    ERR_BAD_DIGEST,
+    ERR_JOB_FAILED,
+    ERR_MALFORMED,
+    EndpointError,
+)
+from .server import OptimizationServer
+
+__all__ = [
+    "INPUT_SUFFIX",
+    "OPTIMIZED_SUFFIX",
+    "RECEIPT_SUFFIX",
+    "ERROR_SUFFIX",
+    "RetryPolicy",
+    "SpoolServer",
+    "atomic_write_json",
+]
+
+INPUT_SUFFIX = ".json"
+OPTIMIZED_SUFFIX = ".optimized.json"
+RECEIPT_SUFFIX = ".receipt.json"
+ERROR_SUFFIX = ".error.json"
+
+#: suffixes that mark our own outputs — never picked up as inputs.
+_OUTPUT_SUFFIXES = (OPTIMIZED_SUFFIX, RECEIPT_SUFFIX, ERROR_SUFFIX)
+
+
+def atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
+    """Write JSON so concurrent readers never observe a partial file.
+
+    The temp file lives in the target directory (same filesystem, so
+    ``os.replace`` is atomic) and carries no ``.json`` suffix, so spool
+    scans cannot mistake it for an input.
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".spool-", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter and a max-attempts cap.
+
+    ``delay(attempt, rng)`` is the wait before retry number ``attempt``
+    (1-based: the delay scheduled after the ``attempt``-th failure):
+    ``base_delay * 2**(attempt-1)``, capped at ``max_delay``, then
+    scaled by a uniform ``±jitter`` fraction so many spool servers
+    watching shared storage do not retry in lockstep.
+    """
+
+    base_delay: float = 0.5
+    max_delay: float = 30.0
+    max_attempts: int = 5
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        if self.jitter:
+            raw *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return raw
+
+    def exhausted(self, attempts: int) -> bool:
+        return attempts >= self.max_attempts
+
+
+@dataclass
+class _FailureState:
+    """Retry bookkeeping for one input file."""
+
+    signature: Tuple[float, int]
+    attempts: int = 0
+    next_retry_at: float = 0.0
+    gave_up: bool = False
+
+
+def _stderr_log(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+class SpoolServer:
+    """Drains a spool directory through an :class:`OptimizationServer`.
+
+    Parameters
+    ----------
+    spool_dir:
+        Directory watched for ``*.json`` bucket manifests.
+    server:
+        The optimization server jobs run through (not owned: callers
+        manage its lifecycle, typically via ``with OptimizationServer(...)``).
+    retry:
+        Backoff schedule for failing inputs.
+    log:
+        Sink for human-readable progress lines (default: stderr).
+    clock / rng:
+        Injection points for tests — a monotonic clock for the retry
+        schedule and the jitter RNG.
+    """
+
+    def __init__(
+        self,
+        spool_dir: str,
+        server: OptimizationServer,
+        retry: Optional[RetryPolicy] = None,
+        log: Optional[Callable[[str], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.spool_dir = spool_dir
+        self.server = server
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._log = log if log is not None else _stderr_log
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
+        self._failures: Dict[str, _FailureState] = {}
+
+    # -- paths ----------------------------------------------------------------
+    def _paths(self, name: str) -> Tuple[str, str, str, str]:
+        stem = name[: -len(INPUT_SUFFIX)]
+        join = lambda suffix: os.path.join(self.spool_dir, stem + suffix)  # noqa: E731
+        return (
+            os.path.join(self.spool_dir, name),
+            join(OPTIMIZED_SUFFIX),
+            join(RECEIPT_SUFFIX),
+            join(ERROR_SUFFIX),
+        )
+
+    @staticmethod
+    def _signature(path: str) -> Tuple[float, int]:
+        st = os.stat(path)
+        return (st.st_mtime, st.st_size)
+
+    # -- scheduling -----------------------------------------------------------
+    def pending(self, now: Optional[float] = None) -> List[str]:
+        """Input names due for processing right now, sorted.
+
+        Excludes our own outputs, inputs already optimized, and inputs
+        whose retry backoff has not elapsed (or that exhausted their
+        attempts without being rewritten).
+        """
+        now = self._clock() if now is None else now
+        due: List[str] = []
+        for name in sorted(os.listdir(self.spool_dir)):
+            if not name.endswith(INPUT_SUFFIX) or name.endswith(_OUTPUT_SUFFIXES):
+                continue
+            in_path, out_path, _, _ = self._paths(name)
+            if os.path.exists(out_path):
+                continue
+            try:
+                sig = self._signature(in_path)
+            except OSError:  # vanished between listing and stat
+                continue
+            state = self._failures.get(name)
+            if state is not None and state.signature == sig:
+                if state.gave_up or now < state.next_retry_at:
+                    continue
+            due.append(name)
+        return due
+
+    def _record_failure(
+        self, name: str, sig: Tuple[float, int], error: EndpointError
+    ) -> None:
+        now = self._clock()
+        state = self._failures.get(name)
+        if state is None or state.signature != sig:
+            state = _FailureState(signature=sig)
+            self._failures[name] = state
+        state.attempts += 1
+        in_path, _, _, err_path = self._paths(name)
+        if self.retry.exhausted(state.attempts):
+            state.gave_up = True
+            atomic_write_json(
+                err_path, {**error.to_dict(), "attempts": state.attempts}
+            )
+            self._log(
+                f"giving up on {in_path!r} after {state.attempts} attempt(s) "
+                f"[{error.code}]: {error}"
+            )
+        else:
+            delay = self.retry.delay(state.attempts, self._rng)
+            state.next_retry_at = now + delay
+            self._log(
+                f"job for {in_path!r} failed [{error.code}]: {error} "
+                f"(attempt {state.attempts}/{self.retry.max_attempts}, "
+                f"retry in {delay:.1f}s)"
+            )
+
+    # -- processing -----------------------------------------------------------
+    def process(self, name: str) -> Optional[Dict[str, Any]]:
+        """Run one input through the server; returns the record on success.
+
+        On failure the input is scheduled for backoff retry (or given
+        up on) and None is returned.
+        """
+        in_path, out_path, receipt_path, err_path = self._paths(name)
+        try:
+            sig = self._signature(in_path)
+        except OSError:
+            return None
+        try:
+            manifest = load_manifest(in_path)
+        except ManifestIntegrityError as exc:
+            self._record_failure(name, sig, EndpointError(ERR_BAD_DIGEST, str(exc)))
+            return None
+        except (ValueError, KeyError) as exc:
+            self._record_failure(
+                name,
+                sig,
+                EndpointError(ERR_MALFORMED, f"cannot load bucket file: {exc}"),
+            )
+            return None
+        try:
+            job_id = self.server.submit(manifest.bucket)
+            receipt = self.server.await_receipt(job_id)
+            # seal to a temp path, write the metadata sidecar, THEN
+            # publish atomically: a polling SpoolEndpoint unblocks on
+            # the optimized manifest appearing, so everything it reads
+            # alongside must already be in place by then.
+            sealed = save_manifest(receipt.bucket, out_path + ".sealing")
+            atomic_write_json(
+                receipt_path,
+                {
+                    "job_id": job_id,
+                    "optimizer": receipt.optimizer,
+                    "workers": receipt.workers,
+                    "entries": {
+                        eid: {"nodes_before": s.nodes_before, "nodes_after": s.nodes_after}
+                        for eid, s in receipt.entries.items()
+                    },
+                    "bucket_digest": sealed.bucket_digest,
+                },
+            )
+            os.replace(out_path + ".sealing", out_path)
+            self.server.forget(job_id)
+        except Exception as exc:  # one bad job must not take the server down
+            try:
+                os.unlink(out_path + ".sealing")
+            except OSError:
+                pass
+            self._record_failure(
+                name, sig, EndpointError(ERR_JOB_FAILED, f"{type(exc).__name__}: {exc}")
+            )
+            return None
+        self._failures.pop(name, None)
+        try:
+            os.unlink(err_path)  # a rewritten input recovered: clear the marker
+        except OSError:
+            pass
+        metrics = self.server.metrics()
+        self._log(f"{job_id}: {receipt.summary()}")
+        return {
+            "job_id": job_id,
+            "input": in_path,
+            "output": out_path,
+            "entries": len(receipt.entries),
+            "cache_hit_rate": metrics["entries"]["cache_hit_rate"],
+        }
+
+    def run_once(self) -> List[Dict[str, Any]]:
+        """One scan-and-drain pass; returns the completed-job records."""
+        records = []
+        for name in self.pending():
+            record = self.process(name)
+            if record is not None:
+                records.append(record)
+        return records

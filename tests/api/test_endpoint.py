@@ -1,0 +1,256 @@
+"""Tests for the transport-agnostic endpoint API.
+
+The load-bearing guarantee: the same owner script produces
+byte-identical reassembled graphs through every transport
+(`LocalEndpoint`, `SpoolEndpoint`, `HttpEndpoint`).
+"""
+
+import json
+from contextlib import contextmanager
+
+import pytest
+
+from tests.helpers import spool_endpoint_harness
+
+from repro.api.clients import ModelOwner, OptimizerService
+from repro.api.endpoint import (
+    HttpEndpoint,
+    LocalEndpoint,
+    RemoteOptimizerService,
+    SpoolEndpoint,
+    open_endpoint,
+)
+from repro.api.manifest import BucketManifest
+from repro.api.types import receipt_from_buckets
+from repro.api.wire import (
+    ERR_BAD_DIGEST,
+    ERR_UNKNOWN_JOB,
+    EndpointError,
+)
+from repro.core import ProteusConfig
+from repro.ir.serialization import graph_to_dict
+from repro.models import build_model
+from repro.serving.server import JobState
+
+TRANSPORTS = ["local", "spool", "http"]
+
+
+@pytest.fixture(scope="module")
+def obfuscation():
+    owner = ModelOwner(ProteusConfig(k=0, target_subgraph_size=8, seed=0))
+    result = owner.obfuscate(build_model("squeezenet"))
+    return owner, result
+
+
+@contextmanager
+def _spool_endpoint(tmp_path):
+    """A SpoolEndpoint backed by a pump thread draining the directory."""
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    with spool_endpoint_harness(spool) as endpoint:
+        yield endpoint
+
+
+@contextmanager
+def _http_endpoint():
+    from repro.serving.http import OptimizationHTTPServer
+
+    with OptimizationHTTPServer("ortlike", workers=2, port=0) as app:
+        host, port = app.start()
+        yield HttpEndpoint(f"http://{host}:{port}")
+
+
+@contextmanager
+def _endpoint(kind, tmp_path):
+    if kind == "local":
+        with LocalEndpoint("ortlike", workers=2) as endpoint:
+            yield endpoint
+    elif kind == "spool":
+        with _spool_endpoint(tmp_path) as endpoint:
+            yield endpoint
+    elif kind == "http":
+        with _http_endpoint() as endpoint:
+            yield endpoint
+    else:  # pragma: no cover - test bug
+        raise AssertionError(kind)
+
+
+def _graph_bytes(graph) -> bytes:
+    return json.dumps(graph_to_dict(graph), sort_keys=True).encode("utf-8")
+
+
+class TestCrossTransportIdentity:
+    @pytest.fixture(scope="class")
+    def reference_bytes(self, obfuscation):
+        """The LocalEndpoint result every other transport must match."""
+        owner, result = obfuscation
+        with LocalEndpoint("ortlike", workers=2) as endpoint:
+            job_id = endpoint.submit(BucketManifest.from_bucket(result.bucket))
+            receipt = endpoint.await_receipt(job_id, timeout=120)
+        return _graph_bytes(owner.reassemble(receipt))
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_reassembled_graph_is_byte_identical(
+        self, transport, obfuscation, reference_bytes, tmp_path
+    ):
+        owner, result = obfuscation
+        manifest = BucketManifest.from_bucket(result.bucket)
+        with _endpoint(transport, tmp_path) as endpoint:
+            job_id = endpoint.submit(manifest)
+            receipt = endpoint.await_receipt(job_id, timeout=120)
+        assert _graph_bytes(owner.reassemble(receipt)) == reference_bytes
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_optimize_via_owner_helper(
+        self, transport, obfuscation, reference_bytes, tmp_path
+    ):
+        owner, result = obfuscation
+        with _endpoint(transport, tmp_path) as endpoint:
+            graph = owner.optimize_via(endpoint, result, timeout=120)
+        assert _graph_bytes(graph) == reference_bytes
+
+    def test_matches_cached_direct_service(self, obfuscation, reference_bytes):
+        """The endpoint path equals the cached OptimizerService path."""
+        from repro.serving import OptimizationCache
+
+        owner, result = obfuscation
+        receipt = OptimizerService("ortlike").optimize(
+            result.bucket, cache=OptimizationCache()
+        )
+        assert _graph_bytes(owner.reassemble(receipt)) == reference_bytes
+
+
+class TestEndpointProtocol:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_status_reaches_done(self, transport, obfuscation, tmp_path):
+        _, result = obfuscation
+        with _endpoint(transport, tmp_path) as endpoint:
+            job_id = endpoint.submit(BucketManifest.from_bucket(result.bucket))
+            # a live, unclaimed job must report a real status on every
+            # transport (regression: HTTP once mistook the status body's
+            # error=None field for a wire-error envelope)
+            live = endpoint.status(job_id)
+            assert live.job_id == job_id
+            assert live.state in {
+                JobState.QUEUED, JobState.RUNNING, JobState.DONE
+            }
+            endpoint.await_receipt(job_id, timeout=120)
+            if transport == "http":
+                # receipts are claimed once over HTTP: the job is forgotten
+                with pytest.raises(EndpointError) as exc_info:
+                    endpoint.status(job_id)
+                assert exc_info.value.code == ERR_UNKNOWN_JOB
+            else:
+                assert endpoint.status(job_id).state is JobState.DONE
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_unknown_job_is_structured(self, transport, tmp_path):
+        with _endpoint(transport, tmp_path) as endpoint:
+            with pytest.raises(EndpointError) as exc_info:
+                endpoint.status("job-does-not-exist")
+            assert exc_info.value.code == ERR_UNKNOWN_JOB
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_tampered_manifest_rejected(self, transport, obfuscation, tmp_path):
+        """Every transport rejects a bad digest with the same code."""
+        _, result = obfuscation
+        manifest = BucketManifest.from_bucket(result.bucket)
+        entry_id = next(iter(manifest.entry_digests))
+        manifest.entry_digests[entry_id] = "sha256:" + "0" * 64
+        with _endpoint(transport, tmp_path) as endpoint:
+            with pytest.raises(EndpointError) as exc_info:
+                endpoint.submit(manifest)
+            assert exc_info.value.code == ERR_BAD_DIGEST
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_metrics_carry_transport_tag(self, transport, tmp_path):
+        with _endpoint(transport, tmp_path) as endpoint:
+            assert endpoint.metrics()["transport"] == transport
+
+
+class TestRemoteOptimizerService:
+    def test_service_facade_over_local_endpoint(self, obfuscation):
+        owner, result = obfuscation
+        with LocalEndpoint("ortlike") as endpoint:
+            service = RemoteOptimizerService(endpoint, timeout=120)
+            receipt = service.optimize(result.bucket)
+        assert service.name == "remote:local"
+        assert receipt.nodes_after <= receipt.nodes_before
+        owner.reassemble(receipt)  # plan still matches the layout
+
+
+class TestUriGrammar:
+    def test_local_default(self):
+        with open_endpoint("local:") as endpoint:
+            assert isinstance(endpoint, LocalEndpoint)
+
+    def test_local_named_backend(self, obfuscation):
+        _, result = obfuscation
+        with open_endpoint("local:hidetlike") as endpoint:
+            receipt = endpoint.await_receipt(
+                endpoint.submit(result.bucket), timeout=120
+            )
+        assert receipt.optimizer == "hidetlike"
+
+    def test_spool_path(self, tmp_path):
+        with open_endpoint(f"spool:{tmp_path / 'q'}") as endpoint:
+            assert isinstance(endpoint, SpoolEndpoint)
+            assert (tmp_path / "q").is_dir()  # created for the writer
+
+    def test_http_scheme(self):
+        endpoint = open_endpoint("http://127.0.0.1:1/")
+        assert isinstance(endpoint, HttpEndpoint)
+        assert endpoint.base_url == "http://127.0.0.1:1"
+        assert endpoint.optimizer is None  # server-side default
+
+    def test_http_forwards_backend_choice(self, obfuscation):
+        """open_endpoint(optimizer=...) selects the backend per submit."""
+        from repro.serving.http import OptimizationHTTPServer
+
+        _, result = obfuscation
+        with OptimizationHTTPServer("ortlike", workers=2, port=0) as app:
+            host, port = app.start()
+            with open_endpoint(
+                f"http://{host}:{port}", optimizer="hidetlike"
+            ) as endpoint:
+                receipt = endpoint.await_receipt(
+                    endpoint.submit(result.bucket), timeout=120
+                )
+        assert receipt.optimizer == "hidetlike"
+
+    @pytest.mark.parametrize(
+        "uri", ["bogus", "spool:", "ftp://x", "tcp:host:1", ""]
+    )
+    def test_invalid_uris(self, uri):
+        with pytest.raises(ValueError):
+            open_endpoint(uri)
+
+    def test_unknown_local_backend_fails_fast(self):
+        with pytest.raises(KeyError):
+            open_endpoint("local:no-such-backend")
+
+
+class TestReceiptPlumbing:
+    def test_receipt_from_buckets_accounting(self, obfuscation):
+        _, result = obfuscation
+        receipt_direct = OptimizerService("ortlike").optimize(result.bucket)
+        rebuilt = receipt_from_buckets(
+            result.bucket, receipt_direct.bucket, optimizer="ortlike", workers=1
+        )
+        assert rebuilt.nodes_before == receipt_direct.nodes_before
+        assert rebuilt.nodes_after == receipt_direct.nodes_after
+        assert rebuilt.entries == receipt_direct.entries
+
+    def test_wire_receipt_round_trip(self, obfuscation):
+        from repro.api.wire import receipt_from_wire, receipt_to_wire
+
+        _, result = obfuscation
+        receipt = OptimizerService("ortlike").optimize(result.bucket)
+        wire = json.loads(json.dumps(receipt_to_wire(receipt)))
+        rebuilt = receipt_from_wire(wire)
+        assert rebuilt.optimizer == receipt.optimizer
+        assert rebuilt.entries == receipt.entries
+        for entry in receipt.bucket:
+            assert graph_to_dict(rebuilt.bucket.get(entry.entry_id).graph) == (
+                graph_to_dict(entry.graph)
+            )

@@ -1,0 +1,30 @@
+"""Shared test harnesses (imported as ``tests.helpers``)."""
+
+import threading
+from contextlib import contextmanager
+
+
+@contextmanager
+def spool_endpoint_harness(spool_dir, optimizer="ortlike", workers=2):
+    """A live SpoolEndpoint: a pump thread drains ``spool_dir`` through
+    an OptimizationServer for as long as the context is open."""
+    from repro.api.endpoint import SpoolEndpoint
+    from repro.serving import OptimizationServer
+    from repro.serving.spool import SpoolServer
+
+    with OptimizationServer(optimizer, workers=workers) as srv:
+        watcher = SpoolServer(str(spool_dir), srv, log=lambda msg: None)
+        stop = threading.Event()
+
+        def pump():
+            while not stop.is_set():
+                watcher.run_once()
+                stop.wait(0.02)
+
+        thread = threading.Thread(target=pump, daemon=True)
+        thread.start()
+        try:
+            yield SpoolEndpoint(str(spool_dir))
+        finally:
+            stop.set()
+            thread.join(timeout=10)

@@ -1,0 +1,292 @@
+"""Wire-protocol tests for the HTTP endpoint server.
+
+These speak raw HTTP (urllib) on purpose: they pin down the on-the-wire
+contract — status codes, structured error codes, version negotiation —
+independently of the `HttpEndpoint` client implementation.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.clients import ModelOwner
+from repro.api.manifest import BucketManifest
+from repro.api.wire import (
+    ERR_BAD_DIGEST,
+    ERR_JOB_PENDING,
+    ERR_MALFORMED,
+    ERR_NOT_FOUND,
+    ERR_UNKNOWN_BACKEND,
+    ERR_UNKNOWN_JOB,
+    ERR_VERSION_MISMATCH,
+    PROTOCOL_VERSION,
+    receipt_from_wire,
+)
+from repro.core import ProteusConfig
+from repro.models import build_model
+from repro.serving.http import OptimizationHTTPServer
+
+
+@pytest.fixture(scope="module")
+def obfuscation():
+    owner = ModelOwner(ProteusConfig(k=0, target_subgraph_size=8, seed=0))
+    result = owner.obfuscate(build_model("squeezenet"))
+    return owner, result
+
+
+@pytest.fixture(scope="module")
+def server():
+    with OptimizationHTTPServer("ortlike", workers=2, port=0) as app:
+        host, port = app.start()
+        yield f"http://{host}:{port}", app
+
+
+def _call(base_url, method, path, body=None, raw_body=None):
+    """Returns (status, payload) without raising on HTTP errors."""
+    data = raw_body
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+    req = urllib.request.Request(
+        base_url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+def _submit_body(bucket, **overrides):
+    body = {
+        "protocol_version": PROTOCOL_VERSION,
+        "manifest": BucketManifest.from_bucket(bucket).to_dict(),
+    }
+    body.update(overrides)
+    return body
+
+
+class TestProtocolNegotiation:
+    def test_banner(self, server):
+        base_url, _ = server
+        status, payload = _call(base_url, "GET", "/v1/protocol")
+        assert status == 200
+        assert payload["protocol_version"] == PROTOCOL_VERSION
+        assert payload["optimizer"] == "ortlike"
+        assert "ortlike" in payload["optimizers"]
+
+    def test_version_mismatch_rejected(self, server, obfuscation):
+        base_url, _ = server
+        _, result = obfuscation
+        status, payload = _call(
+            base_url, "POST", "/v1/jobs",
+            body=_submit_body(result.bucket, protocol_version=999),
+        )
+        assert status == 400
+        assert payload["error"]["code"] == ERR_VERSION_MISMATCH
+        # the error itself declares the version the server speaks
+        assert payload["error"]["protocol_version"] == PROTOCOL_VERSION
+
+    def test_missing_version_rejected(self, server, obfuscation):
+        base_url, _ = server
+        _, result = obfuscation
+        body = _submit_body(result.bucket)
+        del body["protocol_version"]
+        status, payload = _call(base_url, "POST", "/v1/jobs", body=body)
+        assert status == 400
+        assert payload["error"]["code"] == ERR_VERSION_MISMATCH
+
+
+class TestStructuredErrors:
+    """Each failure mode returns its own distinct error code."""
+
+    def test_malformed_json(self, server):
+        base_url, _ = server
+        status, payload = _call(
+            base_url, "POST", "/v1/jobs", raw_body=b'{"not json'
+        )
+        assert status == 400
+        assert payload["error"]["code"] == ERR_MALFORMED
+
+    def test_non_object_body(self, server):
+        base_url, _ = server
+        status, payload = _call(base_url, "POST", "/v1/jobs", body=[1, 2, 3])
+        assert status == 400
+        assert payload["error"]["code"] == ERR_MALFORMED
+
+    def test_missing_manifest(self, server):
+        base_url, _ = server
+        status, payload = _call(
+            base_url, "POST", "/v1/jobs",
+            body={"protocol_version": PROTOCOL_VERSION},
+        )
+        assert status == 400
+        assert payload["error"]["code"] == ERR_MALFORMED
+
+    def test_tampered_manifest_digest(self, server, obfuscation):
+        base_url, _ = server
+        _, result = obfuscation
+        body = _submit_body(result.bucket)
+        body["manifest"]["bucket"]["entries"][0]["graph"]["nodes"][0][
+            "op_type"
+        ] = "Evil"
+        status, payload = _call(base_url, "POST", "/v1/jobs", body=body)
+        assert status == 400
+        assert payload["error"]["code"] == ERR_BAD_DIGEST
+
+    def test_unknown_backend(self, server, obfuscation):
+        base_url, _ = server
+        _, result = obfuscation
+        status, payload = _call(
+            base_url, "POST", "/v1/jobs",
+            body=_submit_body(result.bucket, optimizer="no-such-backend"),
+        )
+        assert status == 400
+        assert payload["error"]["code"] == ERR_UNKNOWN_BACKEND
+        assert "no-such-backend" in payload["error"]["message"]
+
+    def test_unknown_job_status(self, server):
+        base_url, _ = server
+        status, payload = _call(base_url, "GET", "/v1/jobs/job-nope")
+        assert status == 404
+        assert payload["error"]["code"] == ERR_UNKNOWN_JOB
+
+    def test_unknown_job_receipt(self, server):
+        base_url, _ = server
+        status, payload = _call(base_url, "GET", "/v1/jobs/job-nope/receipt")
+        assert status == 404
+        assert payload["error"]["code"] == ERR_UNKNOWN_JOB
+
+    def test_unknown_route(self, server):
+        base_url, _ = server
+        status, payload = _call(base_url, "GET", "/v2/everything")
+        assert status == 404
+        assert payload["error"]["code"] == ERR_NOT_FOUND
+
+    def test_bad_wait_parameter(self, server, obfuscation):
+        base_url, _ = server
+        _, result = obfuscation
+        _, submitted = _call(
+            base_url, "POST", "/v1/jobs", body=_submit_body(result.bucket)
+        )
+        status, payload = _call(
+            base_url, "GET", f"/v1/jobs/{submitted['job_id']}/receipt?wait=forever"
+        )
+        assert status == 400
+        assert payload["error"]["code"] == ERR_MALFORMED
+
+    def test_all_codes_distinct(self):
+        codes = {
+            ERR_MALFORMED,
+            ERR_VERSION_MISMATCH,
+            ERR_BAD_DIGEST,
+            ERR_UNKNOWN_BACKEND,
+            ERR_UNKNOWN_JOB,
+            ERR_JOB_PENDING,
+            ERR_NOT_FOUND,
+        }
+        assert len(codes) == 7
+
+
+class TestRoundTrip:
+    def test_submit_status_receipt(self, server, obfuscation):
+        base_url, _ = server
+        owner, result = obfuscation
+        status, submitted = _call(
+            base_url, "POST", "/v1/jobs", body=_submit_body(result.bucket)
+        )
+        assert status == 200
+        assert submitted["entries"] == len(result.bucket)
+        job_id = submitted["job_id"]
+
+        status, payload = _call(base_url, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        assert payload["state"] in {"queued", "running", "done"}
+
+        status, payload = _call(
+            base_url, "GET", f"/v1/jobs/{job_id}/receipt?wait=60"
+        )
+        assert status == 200
+        receipt = receipt_from_wire(payload)  # digest-verified
+        recovered = owner.reassemble(receipt)
+        assert recovered.num_nodes <= build_model("squeezenet").num_nodes
+
+        # receipts are claimed once: the job is gone afterwards
+        status, payload = _call(base_url, "GET", f"/v1/jobs/{job_id}/receipt")
+        assert status == 404
+        assert payload["error"]["code"] == ERR_UNKNOWN_JOB
+
+    def test_zero_wait_receipt_is_pending_or_done(self, server, obfuscation):
+        base_url, _ = server
+        _, result = obfuscation
+        _, submitted = _call(
+            base_url, "POST", "/v1/jobs", body=_submit_body(result.bucket)
+        )
+        status, payload = _call(
+            base_url, "GET", f"/v1/jobs/{submitted['job_id']}/receipt?wait=0"
+        )
+        # tiny buckets may finish instantly; both outcomes are legal,
+        # but pending must be the structured 202 form.
+        if status == 202:
+            assert payload["error"]["code"] == ERR_JOB_PENDING
+        else:
+            assert status == 200
+            assert "manifest" in payload
+
+    def test_metrics_after_traffic(self, server):
+        base_url, _ = server
+        status, payload = _call(base_url, "GET", "/v1/metrics")
+        assert status == 200
+        assert payload["transport"] == "http"
+        assert "ortlike" in payload["backends"]
+        assert payload["backends"]["ortlike"]["entries"]["optimized"] > 0
+
+    def test_submit_names_another_backend(self, server, obfuscation):
+        """A submit may request any registered backend by name."""
+        base_url, _ = server
+        _, result = obfuscation
+        status, submitted = _call(
+            base_url, "POST", "/v1/jobs",
+            body=_submit_body(result.bucket, optimizer="hidetlike"),
+        )
+        assert status == 200
+        assert submitted["optimizer"] == "hidetlike"
+        status, payload = _call(
+            base_url, "GET", f"/v1/jobs/{submitted['job_id']}/receipt?wait=60"
+        )
+        assert status == 200
+        assert payload["optimizer"] == "hidetlike"
+
+    def test_failed_job_is_structured_and_evicted(self, server, obfuscation):
+        """A job whose optimizer raises returns job_failed once, then the
+        job is evicted so failures cannot grow server memory unboundedly."""
+        from repro.api.registry import register_optimizer
+        from repro.api.wire import ERR_JOB_FAILED
+
+        @register_optimizer("boom-http-test", overwrite=True)
+        class BoomOptimizer:
+            def optimize(self, graph):
+                raise RuntimeError("boom")
+
+        base_url, _ = server
+        _, result = obfuscation
+        status, submitted = _call(
+            base_url, "POST", "/v1/jobs",
+            body=_submit_body(result.bucket, optimizer="boom-http-test"),
+        )
+        assert status == 200
+        status, payload = _call(
+            base_url, "GET", f"/v1/jobs/{submitted['job_id']}/receipt?wait=60"
+        )
+        assert status == 500
+        assert payload["error"]["code"] == ERR_JOB_FAILED
+        assert "boom" in payload["error"]["message"]
+        status, payload = _call(
+            base_url, "GET", f"/v1/jobs/{submitted['job_id']}/receipt"
+        )
+        assert status == 404
+        assert payload["error"]["code"] == ERR_UNKNOWN_JOB

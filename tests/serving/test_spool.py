@@ -1,0 +1,197 @@
+"""Tests for the spool transport: backoff retries and the file contract."""
+
+import json
+import random
+
+import pytest
+
+from repro.api.clients import ModelOwner
+from repro.api.manifest import BucketManifest, save_manifest
+from repro.api.wire import ERR_JOB_FAILED, EndpointError
+from repro.core import ProteusConfig
+from repro.models import build_model
+from repro.serving import OptimizationServer
+from repro.serving.spool import (
+    ERROR_SUFFIX,
+    OPTIMIZED_SUFFIX,
+    RECEIPT_SUFFIX,
+    RetryPolicy,
+    SpoolServer,
+    atomic_write_json,
+)
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=100.0, jitter=0.0)
+        rng = random.Random(0)
+        assert [policy.delay(a, rng) for a in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=5.0, jitter=0.0)
+        assert policy.delay(10, random.Random(0)) == 5.0
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay=2.0, max_delay=100.0, jitter=0.25)
+        rng = random.Random(42)
+        for attempt in range(1, 6):
+            nominal = min(100.0, 2.0 * 2 ** (attempt - 1))
+            for _ in range(50):
+                delay = policy.delay(attempt, rng)
+                assert nominal * 0.75 <= delay <= nominal * 1.25
+
+    def test_max_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=5.0, max_delay=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0, random.Random(0))
+
+
+class TestAtomicWrite:
+    def test_write_and_no_leftover_temp(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(str(path), {"ok": True})
+        assert json.loads(path.read_text()) == {"ok": True}
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def small_manifest():
+    owner = ModelOwner(ProteusConfig(k=0, target_subgraph_size=8, seed=0))
+    result = owner.obfuscate(build_model("squeezenet"))
+    return BucketManifest.from_bucket(result.bucket)
+
+
+@pytest.fixture
+def spool_setup(tmp_path):
+    """(spool_dir, SpoolServer with fake clock + deterministic jitter, logs)."""
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    clock = FakeClock()
+    logs = []
+    with OptimizationServer("ortlike", workers=2) as srv:
+        watcher = SpoolServer(
+            str(spool),
+            srv,
+            retry=RetryPolicy(base_delay=10.0, max_delay=100.0, max_attempts=3,
+                              jitter=0.0),
+            log=logs.append,
+            clock=clock,
+            rng=random.Random(0),
+        )
+        yield spool, watcher, clock, logs
+
+
+class TestSpoolServerBackoff:
+    def test_success_writes_output_and_receipt_sidecar(
+        self, spool_setup, small_manifest
+    ):
+        spool, watcher, _, _ = spool_setup
+        save_manifest(small_manifest, str(spool / "in.json"))
+        records = watcher.run_once()
+        assert len(records) == 1
+        assert (spool / ("in" + OPTIMIZED_SUFFIX)).exists()
+        meta = json.loads((spool / ("in" + RECEIPT_SUFFIX)).read_text())
+        assert meta["optimizer"] == "ortlike"
+        assert meta["entries"]
+        # sidecars are never picked up as inputs
+        assert watcher.pending() == []
+
+    def test_failure_backs_off_then_retries(self, spool_setup):
+        spool, watcher, clock, logs = spool_setup
+        (spool / "bad.json").write_text("{half-writ")
+        assert watcher.run_once() == []
+        assert len(logs) == 1 and "retry in" in logs[0]
+        # immediately after: inside the backoff window, not retried
+        assert watcher.pending() == []
+        assert watcher.run_once() == []
+        assert len(logs) == 1
+        # past the first delay (10s, no jitter): due again
+        clock.advance(10.1)
+        assert watcher.pending() == ["bad.json"]
+        assert watcher.run_once() == []
+        assert len(logs) == 2
+
+    def test_rewritten_file_resets_schedule(self, spool_setup, small_manifest):
+        import os
+
+        spool, watcher, clock, logs = spool_setup
+        target = spool / "in.json"
+        target.write_text("{half-writ")
+        assert watcher.run_once() == []
+        # writer finishes: new signature is due immediately, no backoff wait
+        save_manifest(small_manifest, str(target))
+        os.utime(target, (clock.now, clock.now))  # ensure signature changed
+        assert watcher.pending() == ["in.json"]
+        records = watcher.run_once()
+        assert len(records) == 1
+        assert (spool / ("in" + OPTIMIZED_SUFFIX)).exists()
+
+    def test_exhausted_attempts_write_error_sidecar(self, spool_setup):
+        spool, watcher, clock, logs = spool_setup
+        (spool / "bad.json").write_text('{"nonsense": true}')
+        for _ in range(3):  # max_attempts=3
+            watcher.run_once()
+            clock.advance(200.0)  # beyond any delay
+        err = json.loads((spool / ("bad" + ERROR_SUFFIX)).read_text())
+        assert err["error"]["code"] == "malformed_request"
+        assert err["attempts"] == 3
+        assert any("giving up" in line for line in logs)
+        # given up: never retried again, even long after
+        clock.advance(10_000.0)
+        assert watcher.pending() == []
+
+    def test_error_sidecar_surfaces_through_endpoint(
+        self, spool_setup, small_manifest
+    ):
+        from repro.api.endpoint import SpoolEndpoint
+
+        spool, watcher, clock, _ = spool_setup
+        endpoint = SpoolEndpoint(str(spool), poll_interval=0.01)
+        job_id = endpoint.submit(small_manifest)
+        # the file is corrupted before the server ever reads it
+        (spool / f"{job_id}.json").write_text('{"nonsense": true}')
+        for _ in range(3):
+            watcher.run_once()
+            clock.advance(200.0)
+        with pytest.raises(EndpointError) as exc_info:
+            endpoint.await_receipt(job_id, timeout=5)
+        assert exc_info.value.code in {"malformed_request", ERR_JOB_FAILED}
+
+    def test_recovery_clears_error_sidecar(self, spool_setup, small_manifest):
+        import os
+
+        spool, watcher, clock, _ = spool_setup
+        target = spool / "in.json"
+        target.write_text('{"nonsense": true}')
+        for _ in range(3):
+            watcher.run_once()
+            clock.advance(200.0)
+        assert (spool / ("in" + ERROR_SUFFIX)).exists()
+        save_manifest(small_manifest, str(target))
+        os.utime(target, (clock.now, clock.now))
+        assert len(watcher.run_once()) == 1
+        assert not (spool / ("in" + ERROR_SUFFIX)).exists()
+        assert (spool / ("in" + OPTIMIZED_SUFFIX)).exists()

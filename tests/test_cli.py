@@ -218,6 +218,146 @@ class TestBadBucketFiles:
         assert "cannot load bucket" in capsys.readouterr().err
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import re
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        assert re.match(r"repro \d+\.\d+", out)
+
+
+class TestEndpointFlag:
+    @pytest.fixture
+    def shipped(self, model_file, tmp_path):
+        bucket = str(tmp_path / "ship.json")
+        plan = str(tmp_path / "secret.json")
+        main(["obfuscate", model_file, "--bucket", bucket, "--plan", plan, "-k", "0"])
+        return bucket, plan
+
+    def test_local_endpoint_output(self, model_file, shipped, tmp_path, capsys):
+        import json
+
+        bucket, plan = shipped
+        capsys.readouterr()
+        out = str(tmp_path / "r.json")
+        assert main(["optimize", bucket, "-o", out, "--endpoint", "local:"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["endpoint"] == "local:"
+        assert record["entries"] > 0
+        recovered = str(tmp_path / "rec.json")
+        assert main(["deobfuscate", out, plan, "-o", recovered]) == 0
+        assert graphs_equivalent(
+            load_graph(model_file), load_graph(recovered), n_trials=1
+        )
+
+    def test_invalid_endpoint_uri(self, shipped, tmp_path, capsys):
+        bucket, _ = shipped
+        out = str(tmp_path / "r.json")
+        assert main(["optimize", bucket, "-o", out, "--endpoint", "bogus"]) == 2
+        assert "endpoint URIs" in capsys.readouterr().err
+
+    def test_unreachable_http_endpoint(self, shipped, tmp_path, capsys):
+        bucket, _ = shipped
+        out = str(tmp_path / "r.json")
+        rc = main(["optimize", bucket, "-o", out,
+                   "--endpoint", "http://127.0.0.1:1", "--timeout", "2"])
+        assert rc == 4
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_spool_endpoint_round_trip(self, shipped, tmp_path, capsys):
+        """The owner's `--endpoint spool:DIR` against a spool server."""
+        from tests.helpers import spool_endpoint_harness
+
+        bucket, _ = shipped
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        out = str(tmp_path / "r.json")
+        with spool_endpoint_harness(spool):
+            rc = main(["optimize", bucket, "-o", out,
+                       "--endpoint", f"spool:{spool}", "--timeout", "60"])
+        assert rc == 0
+
+    def test_http_endpoint_matches_local(self, shipped, tmp_path, capsys):
+        """`--endpoint http://` output is byte-identical to `local:`."""
+        from repro.serving import OptimizationHTTPServer
+
+        bucket, _ = shipped
+        local_out = tmp_path / "local.json"
+        http_out = tmp_path / "http.json"
+        assert main(["optimize", bucket, "-o", str(local_out),
+                     "--endpoint", "local:"]) == 0
+        with OptimizationHTTPServer("ortlike", workers=2, port=0) as app:
+            host, port = app.start()
+            assert main(["optimize", bucket, "-o", str(http_out),
+                         "--endpoint", f"http://{host}:{port}"]) == 0
+        assert local_out.read_bytes() == http_out.read_bytes()
+
+    def test_http_endpoint_honors_optimizer_flag(self, shipped, tmp_path, capsys):
+        import json
+
+        from repro.serving import OptimizationHTTPServer
+
+        bucket, _ = shipped
+        capsys.readouterr()
+        out = str(tmp_path / "r.json")
+        with OptimizationHTTPServer("ortlike", workers=2, port=0) as app:
+            host, port = app.start()
+            assert main(["optimize", bucket, "-o", out,
+                         "--endpoint", f"http://{host}:{port}",
+                         "--optimizer", "hidetlike"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["optimizer"] == "hidetlike"
+
+
+class TestServeHttpProcess:
+    def test_serve_http_subprocess_round_trip(self, model_file, tmp_path):
+        """Full two-process flow: `repro serve --http 0` + client CLI."""
+        import json
+        import os
+        import subprocess
+        import sys as _sys
+
+        bucket = str(tmp_path / "ship.json")
+        plan = str(tmp_path / "secret.json")
+        main(["obfuscate", model_file, "--bucket", bucket, "--plan", plan, "-k", "0"])
+
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve", "--http", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = json.loads(proc.stdout.readline())
+            url = banner["endpoint"]
+            out = str(tmp_path / "returned.json")
+            assert main(["optimize", bucket, "-o", out,
+                         "--endpoint", url, "--timeout", "120"]) == 0
+            recovered = str(tmp_path / "model_opt.json")
+            assert main(["deobfuscate", out, plan, "-o", recovered]) == 0
+            assert graphs_equivalent(
+                load_graph(model_file), load_graph(recovered), n_trials=1
+            )
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    def test_serve_requires_exactly_one_mode(self, tmp_path, capsys):
+        assert main(["serve"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["serve", str(tmp_path), "--http", "0"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
 class TestUtilities:
     def test_profile(self, model_file, capsys):
         assert main(["profile", model_file]) == 0
