@@ -16,6 +16,8 @@ package provides:
 * :mod:`repro.serving` — the optimizer party as a service: canonical
   graph hashing, a two-tier content-addressed optimization cache, and
   the job-queue :class:`OptimizationServer`;
+* :mod:`repro.loadgen` — deterministic workload generation, the
+  loadtest driver and SLO reports, and the multi-process serving fleet;
 * :mod:`repro.sentinel` — sentinel-subgraph generation (topology model,
   importance sampling, CSP operator population);
 * :mod:`repro.adversary` — the learning-based GNN attack and heuristic
@@ -60,7 +62,7 @@ try:
     __version__ = _dist_version("repro-proteus")
     del _dist_version
 except Exception:  # not installed: plain source checkout
-    __version__ = "1.4.0"
+    __version__ = "1.5.0"
 
 from .ir import Graph, GraphBuilder, Node  # noqa: F401
 from .core import ObfuscatedBucket, Proteus, ProteusConfig, ReassemblyPlan  # noqa: F401

@@ -32,6 +32,8 @@ Endpoint URIs follow a small grammar (also accepted by
     spool:DIRECTORY        spool directory served by `repro serve DIR`
     http://HOST:PORT       `repro serve --http PORT` on another machine
     https://HOST:PORT      same, behind TLS termination
+    http://H:P1,http://H:P2  round-robin fleet of workers
+                           (`repro serve --http 0 --workers N`)
 
 Failures are structured everywhere: transports raise
 :class:`~repro.api.wire.EndpointError` with the same closed set of
@@ -43,13 +45,15 @@ codes the HTTP server puts on the wire (``bad_digest``,
 from __future__ import annotations
 
 import abc
+import http.client
 import json
 import os
+import socket
+import threading
 import time
-import urllib.error
 import urllib.parse
-import urllib.request
 import uuid
+import weakref
 from typing import Any, Dict, Optional, Union
 
 from ..core.proteus import ObfuscatedBucket
@@ -85,12 +89,20 @@ def _seal(manifest: Union[BucketManifest, ObfuscatedBucket]) -> BucketManifest:
     """
     if isinstance(manifest, ObfuscatedBucket):
         return BucketManifest.from_bucket(manifest)
-    if getattr(manifest, "_verified", False):
-        # verified at load time in this process (load_manifest); don't
-        # re-hash every graph's weights a second time per submit.
-        return manifest
     try:
-        manifest.verify()
+        if getattr(manifest, "_verified", False):
+            # hashed in this process (from_bucket/load_manifest): don't
+            # re-hash every graph's weights on each submit — a loadtest
+            # re-submitting one sealed manifest would pay that N times.
+            # The O(entries) table check still catches post-seal digest
+            # tampering on every transport.  Post-seal *payload* edits
+            # in the submitting process are out of scope by design:
+            # digests protect the trust boundary, and wherever the
+            # payload actually crosses one (HTTP, spool) the serving
+            # side re-verifies it in full.
+            manifest.check_consistency()
+        else:
+            manifest.verify()
     except ManifestIntegrityError as exc:
         raise EndpointError(ERR_BAD_DIGEST, str(exc)) from None
     return manifest
@@ -299,15 +311,33 @@ class SpoolEndpoint(OptimizerEndpoint):
         )
 
     def metrics(self) -> Dict[str, Any]:
+        # snapshot: a loadtest sampler thread reads metrics while client
+        # threads are still submitting into _buckets.
+        job_ids = list(self._buckets)
         done = sum(
             1
-            for job_id in self._buckets
+            for job_id in job_ids
             if os.path.exists(self._path(job_id, self._spool.OPTIMIZED_SUFFIX))
+        )
+        failed = sum(
+            1
+            for job_id in job_ids
+            if os.path.exists(self._path(job_id, self._spool.ERROR_SUFFIX))
         )
         return {
             "transport": self.transport,
             "spool_dir": self.spool_dir,
-            "jobs": {"submitted": len(self._buckets), "completed": done},
+            "jobs": {"submitted": len(job_ids), "completed": done},
+            # the normalized counter block every transport exposes; the
+            # spool client only sees the filesystem, so entry-level
+            # counters stay with the serving process (zero here).
+            "counters": {
+                "submitted_total": len(job_ids),
+                "completed_total": done,
+                "failed_total": failed,
+                "entries_optimized": 0,
+                "entry_cache_hits": 0,
+            },
         }
 
     def close(self) -> None:
@@ -324,6 +354,20 @@ def _is_wire_error(payload: Any) -> bool:
     return isinstance(payload, dict) and isinstance(payload.get("error"), dict)
 
 
+#: connection-level failures that mean "the socket died", not "the
+#: request is wrong".  On a *reused* keep-alive socket these are
+#: expected (the server idled it out between requests) and the request
+#: is safely retried once on a fresh connection.
+_STALE_SOCKET_ERRORS = (
+    http.client.BadStatusLine,  # includes RemoteDisconnected
+    http.client.CannotSendRequest,
+    http.client.IncompleteRead,  # peer died mid-response body
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+)
+
+
 class HttpEndpoint(OptimizerEndpoint):
     """Client of the versioned JSON wire protocol (``repro serve --http``).
 
@@ -333,6 +377,15 @@ class HttpEndpoint(OptimizerEndpoint):
     rather than failing obscurely mid-submit.  Receipts are
     digest-verified client-side, so tampering anywhere in transit is
     caught before reassembly.
+
+    Connections are **kept alive** and reused across requests (one per
+    calling thread — load generators share a single endpoint object
+    across their client pool), which removes a TCP handshake from every
+    request; the ``remote_roundtrip`` vs ``remote_roundtrip_cold_conn``
+    bench scenarios measure the delta.  A reused socket the server has
+    since closed is detected and the request retried once on a fresh
+    connection; ``keep_alive=False`` restores one-connection-per-request
+    for servers (or middleboxes) that misbehave under reuse.
     """
 
     transport = "http"
@@ -347,11 +400,65 @@ class HttpEndpoint(OptimizerEndpoint):
         base_url: str,
         timeout: float = 30.0,
         optimizer: Optional[str] = None,
+        keep_alive: bool = True,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.optimizer = optimizer
+        self.keep_alive = keep_alive
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("http", "https") or not parsed.netloc:
+            raise ValueError(
+                f"HttpEndpoint needs an http(s)://HOST[:PORT] URL, got {base_url!r}"
+            )
+        self._scheme = parsed.scheme
+        self._netloc = parsed.netloc
+        self._path_prefix = parsed.path.rstrip("/")
         self._protocol_info: Optional[Dict[str, Any]] = None
+        self._local = threading.local()
+        # every live connection, across threads, so close() can drop
+        # them.  Held *weakly*: a pooled connection is kept alive by its
+        # owning thread's threading.local, so when that thread exits the
+        # connection becomes garbage and its socket is closed at
+        # finalization instead of leaking here until close().
+        self._connections: "weakref.WeakValueDictionary[int, http.client.HTTPConnection]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._connections_lock = threading.Lock()
+
+    # -- connection management ------------------------------------------------
+    def _new_connection(self, timeout: float) -> http.client.HTTPConnection:
+        cls = (
+            http.client.HTTPSConnection
+            if self._scheme == "https"
+            else http.client.HTTPConnection
+        )
+        conn = cls(self._netloc, timeout=timeout)
+        with self._connections_lock:
+            self._connections[id(conn)] = conn
+        return conn
+
+    def _acquire(self, timeout: float):
+        """This thread's idle keep-alive connection, or a fresh one.
+
+        Returns ``(conn, reused)``; the caller releases or discards it.
+        """
+        conn = getattr(self._local, "idle_conn", None)
+        self._local.idle_conn = None
+        if conn is None:
+            return self._new_connection(timeout), False
+        conn.timeout = timeout
+        if conn.sock is not None:
+            conn.sock.settimeout(timeout)
+        return conn, True
+
+    def _release(self, conn: http.client.HTTPConnection) -> None:
+        self._local.idle_conn = conn
+
+    def _discard(self, conn: http.client.HTTPConnection) -> None:
+        with self._connections_lock:
+            self._connections.pop(id(conn), None)
+        conn.close()
 
     # -- plumbing -------------------------------------------------------------
     def _request(
@@ -363,33 +470,66 @@ class HttpEndpoint(OptimizerEndpoint):
     ) -> Dict[str, Any]:
         url = self.base_url + path
         data = None if body is None else json.dumps(body).encode("utf-8")
-        req = urllib.request.Request(
-            url,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(
-                req, timeout=self.timeout if timeout is None else timeout
-            ) as resp:
-                payload = json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        headers = {
+            "Content-Type": "application/json",
+            "Connection": "keep-alive" if self.keep_alive else "close",
+        }
+        request_timeout = self.timeout if timeout is None else timeout
+        for attempt in (0, 1):
+            conn, reused = self._acquire(request_timeout)
+            # a reused socket the server idled out fails on send or with
+            # zero response bytes (RemoteDisconnected & friends) — the
+            # server never saw the request, so one clean retry is safe.
+            # Once a status line has arrived the request *was* processed
+            # and must not be replayed: receipts are claimed once, and a
+            # re-submitted POST would orphan a job.  Failures after that
+            # point surface as ConnectionError instead.
+            response_started = False
             try:
-                payload = json.loads(exc.read().decode("utf-8"))
-            except (ValueError, UnicodeDecodeError):
-                payload = None
+                conn.request(method, self._path_prefix + path, body=data, headers=headers)
+                resp = conn.getresponse()
+                response_started = True
+                status = resp.status
+                raw = resp.read()
+                reusable = self.keep_alive and not resp.will_close
+            except _STALE_SOCKET_ERRORS as exc:
+                self._discard(conn)
+                if reused and attempt == 0 and not response_started:
+                    continue  # idled-out keep-alive socket: one clean retry
+                raise ConnectionError(f"cannot reach {url}: {exc}") from None
+            except socket.timeout:
+                self._discard(conn)
+                raise ConnectionError(
+                    f"timed out after {request_timeout:g}s talking to {url}"
+                ) from None
+            except OSError as exc:
+                self._discard(conn)
+                if reused and attempt == 0 and not response_started:
+                    continue  # e.g. RST surfaced as ECONNRESET on send
+                raise ConnectionError(
+                    f"cannot reach {url}: {exc.strerror or exc}"
+                ) from None
+            if reusable:
+                self._release(conn)
+            else:
+                self._discard(conn)
+            break
+        try:
+            payload: Any = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            payload = None
+        if status != 200:
             if _is_wire_error(payload):
-                raise EndpointError.from_dict(payload) from None
+                raise EndpointError.from_dict(payload)
             # an intermediary (proxy, load balancer) answered, not our
             # wire protocol: surface it as a structured transport error.
-            raise EndpointError(
-                "transport_error", f"HTTP {exc.code} from {url}"
-            ) from None
-        except urllib.error.URLError as exc:
-            raise ConnectionError(f"cannot reach {url}: {exc.reason}") from None
+            raise EndpointError("transport_error", f"HTTP {status} from {url}")
         if _is_wire_error(payload):
             raise EndpointError.from_dict(payload)
+        if not isinstance(payload, dict):
+            raise EndpointError(
+                "transport_error", f"non-JSON 200 response from {url}"
+            )
         return payload
 
     def negotiate(self) -> Dict[str, Any]:
@@ -454,7 +594,13 @@ class HttpEndpoint(OptimizerEndpoint):
     def metrics(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/metrics")
 
-    def close(self) -> None:  # urllib opens one connection per request
+    def close(self) -> None:
+        with self._connections_lock:
+            connections = [c for c in self._connections.values() if c is not None]
+            self._connections = weakref.WeakValueDictionary()
+        for conn in connections:
+            conn.close()
+        self._local = threading.local()
         self._protocol_info = None
 
 
@@ -478,7 +624,7 @@ class RemoteOptimizerService:
 
 _URI_GRAMMAR = (
     "endpoint URIs: local:[BACKEND] | spool:DIRECTORY | http://HOST:PORT "
-    "| https://HOST:PORT"
+    "| https://HOST:PORT | http://H:P1,http://H:P2,... (round-robin fleet)"
 )
 
 
@@ -502,6 +648,17 @@ def open_endpoint(
     ``local:`` — elsewhere they are properties of the serving process.
     """
     if uri.startswith(("http://", "https://")):
+        parts = [p.strip() for p in uri.split(",")]
+        if len(parts) > 1 and all(
+            p.startswith(("http://", "https://")) for p in parts
+        ):
+            # several worker URLs = a round-robin fleet front (what
+            # `repro serve --http 0 --workers N` prints as its
+            # endpoint).  Only split when every part is itself a URL —
+            # a single URL may legally carry commas in its path/query.
+            from ..loadgen.fleet import open_fleet_endpoint
+
+            return open_fleet_endpoint(parts, timeout=timeout, optimizer=optimizer)
         return HttpEndpoint(uri, timeout=timeout, optimizer=optimizer)
     scheme, sep, rest = uri.partition(":")
     if not sep:

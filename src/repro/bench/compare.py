@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional
 __all__ = [
     "Comparison",
     "ScenarioVerdict",
+    "classify_ratio",
     "compare_reports",
     "DEFAULT_METRIC",
     "DEFAULT_TOLERANCE",
@@ -109,6 +110,17 @@ class Comparison:
         }
 
 
+def classify_ratio(ratio: float, tolerance: float) -> str:
+    """The verdict rule every gate shares (bench suites, loadtests):
+    ``current/baseline`` beyond tolerance regresses, beyond its inverse
+    improves, anything between is ok."""
+    if ratio > tolerance:
+        return "regression"
+    if ratio < 1.0 / tolerance:
+        return "improvement"
+    return "ok"
+
+
 def compare_reports(
     current: Dict[str, Any],
     baseline: Dict[str, Any],
@@ -136,13 +148,7 @@ def compare_reports(
                 ScenarioVerdict(name, "missing-baseline", current_s=cur[metric])
             )
             continue
-        ratio = cur[metric] / base[metric]
-        if ratio > tolerance:
-            verdict = "regression"
-        elif ratio < 1.0 / tolerance:
-            verdict = "improvement"
-        else:
-            verdict = "ok"
+        verdict = classify_ratio(cur[metric] / base[metric], tolerance)
         verdicts.append(
             ScenarioVerdict(
                 name, verdict, current_s=cur[metric], baseline_s=base[metric]

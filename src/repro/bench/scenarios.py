@@ -234,8 +234,9 @@ def local_roundtrip_scenario():
     suites=("serving",),
     rounds=5,
     warmup=1,
-    description="the same bucket through HttpEndpoint over loopback, warm "
-    "cache — wire-protocol + HTTP overhead vs local_roundtrip",
+    description="the same bucket through HttpEndpoint over loopback with "
+    "keep-alive connection reuse, warm cache — wire-protocol + HTTP "
+    "overhead vs local_roundtrip",
 )
 def remote_roundtrip_scenario():
     from ..api.endpoint import HttpEndpoint
@@ -255,6 +256,117 @@ def remote_roundtrip_scenario():
 
     def run():
         return endpoint.await_receipt(endpoint.submit(manifest))
+
+    return run
+
+
+@register_benchmark(
+    "remote_roundtrip_cold_conn",
+    suites=("serving",),
+    rounds=5,
+    warmup=1,
+    description="remote_roundtrip with keep_alive=False (fresh TCP "
+    "connection per request) — the delta vs remote_roundtrip is what "
+    "connection reuse saves",
+)
+def remote_roundtrip_cold_conn_scenario():
+    from ..api.endpoint import HttpEndpoint
+    from ..api.manifest import BucketManifest
+    from ..serving import OptimizationCache
+    from ..serving.http import OptimizationHTTPServer
+
+    manifest = BucketManifest.from_bucket(_tiny_bucket())
+    app = OptimizationHTTPServer(
+        "ortlike", cache=OptimizationCache(), workers=2, port=0
+    )
+    host, port = app.start()
+    endpoint = HttpEndpoint(f"http://{host}:{port}", keep_alive=False)
+    endpoint.await_receipt(endpoint.submit(manifest))  # warm: rounds all hit
+
+    def run():
+        return endpoint.await_receipt(endpoint.submit(manifest))
+
+    return run
+
+
+# -- loadgen suite -----------------------------------------------------------
+#
+# The hot paths of repro.loadgen itself: workload synthesis and latency
+# recording must stay cheap enough to never perturb what they measure,
+# and the closed-loop driver's per-request overhead bounds the request
+# rates a loadtest can offer.
+
+_WORKLOAD_REQUESTS = 512
+
+
+@register_benchmark(
+    "workload_generate",
+    suites=("loadgen",),
+    items=_WORKLOAD_REQUESTS,
+    description="deterministic Poisson workload synthesis "
+    f"({_WORKLOAD_REQUESTS} arrivals, 4-model mix)",
+)
+def workload_generate_scenario():
+    from ..loadgen.workload import WorkloadSpec, generate_workload
+
+    spec = WorkloadSpec(
+        name="bench",
+        seed=0,
+        arrival="poisson",
+        requests=_WORKLOAD_REQUESTS,  # cap => exact count
+        duration_s=1e9,
+        rate_rps=5.0,
+        mix={"squeezenet": 4.0, "mobilenet": 2.0, "resnet": 1.0, "alexnet": 1.0},
+        variants=4,
+    )
+
+    def run():
+        return generate_workload(spec)
+
+    return run
+
+
+@register_benchmark(
+    "latency_histogram_record",
+    suites=("loadgen",),
+    items=100_000,
+    description="100k latency samples into the fixed-bucket histogram",
+)
+def latency_histogram_record_scenario():
+    from ..loadgen.histogram import LatencyHistogram
+
+    # a deterministic latency-shaped sample sweep (no RNG in the timed region)
+    samples = [1e-4 * (1.0 + (i % 997) / 31.0) for i in range(100_000)]
+
+    def run():
+        hist = LatencyHistogram()
+        for s in samples:
+            hist.record(s)
+        return hist
+
+    return run
+
+
+@register_benchmark(
+    "loadtest_local_micro",
+    suites=("loadgen",),
+    rounds=3,
+    warmup=1,
+    items=6,
+    description="closed-loop micro preset replay through a warm cached "
+    "LocalEndpoint (driver overhead + in-process service)",
+)
+def loadtest_local_micro_scenario():
+    from ..api.endpoint import LocalEndpoint
+    from ..loadgen.driver import run_loadtest
+    from ..loadgen.workload import generate_workload, workload_preset
+    from ..serving import OptimizationCache
+
+    workload = generate_workload(workload_preset("micro"))
+    endpoint = LocalEndpoint("ortlike", cache=OptimizationCache(), workers=2)
+
+    def run():
+        return run_loadtest(workload, endpoint, sample_interval=0.0)
 
     return run
 

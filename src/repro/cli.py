@@ -33,6 +33,8 @@ utilities::
     python -m repro profile model.json               # modelled latency report
     python -m repro render model.json -o model.dot   # graphviz export
     python -m repro bench --suite smoke              # perf measurement + gating
+    python -m repro loadtest --endpoint local: --preset smoke   # SLO loadtest
+    python -m repro serve --http 0 --workers 4 --cache-dir .cache  # process fleet
 
 Optimizers, partitioners and sentinel strategies are all resolved
 through :mod:`repro.api.registry`, so flag choices track registrations
@@ -300,6 +302,76 @@ def _serve_http(args, cache, jobs, options) -> int:
     return 0
 
 
+def _serve_fleet(args, jobs) -> int:
+    """``repro serve --http 0 --workers N``: a multi-process fleet.
+
+    Spawns N independent ``repro serve --http 0`` worker processes
+    (sharing ``--cache-dir`` when given), prints one JSON line whose
+    ``endpoint`` is the comma-separated worker URL list — directly
+    usable as ``repro optimize/loadtest --endpoint`` (round-robin) —
+    then babysits the workers until interrupted.
+    """
+    from .api.wire import PROTOCOL_VERSION
+    from .loadgen.fleet import ServingFleet
+
+    if args.http != 0:
+        print(
+            f"note: --workers ignores --http {args.http}; every worker "
+            "binds its own ephemeral port",
+            file=sys.stderr,
+        )
+    extra = []
+    if args.kernel_selection:
+        extra.append("--kernel-selection")
+    fleet = ServingFleet(
+        args.workers,
+        optimizer=args.optimizer,
+        cache_dir=args.cache_dir,
+        jobs=jobs,
+        host=args.host,
+        extra_args=extra,
+        capture_stderr=False,  # operators need worker logs + tracebacks
+    )
+    try:
+        with fleet:
+            urls = fleet.urls
+            print(
+                f"serving fleet of {args.workers} workers "
+                f"(optimizer={args.optimizer}, jobs={jobs}/worker, "
+                f"cache={args.cache_dir or 'per-worker memory'}):",
+                file=sys.stderr,
+            )
+            for url in urls:
+                print(f"  worker {url}", file=sys.stderr)
+            print(
+                json.dumps(
+                    {
+                        "endpoint": ",".join(urls),
+                        "workers": urls,
+                        "protocol_version": PROTOCOL_VERSION,
+                    }
+                ),
+                flush=True,
+            )
+            try:
+                while True:
+                    time.sleep(1.0)
+                    codes = [c for c in fleet.poll() if c is not None]
+                    if codes:
+                        print(
+                            f"fleet worker exited with code {codes[0]}; "
+                            "shutting down",
+                            file=sys.stderr,
+                        )
+                        return 1
+            except KeyboardInterrupt:  # pragma: no cover - interactive exit
+                print("interrupted; shutting down", file=sys.stderr)
+                return 0
+    except RuntimeError as exc:
+        print(f"cannot start fleet: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_serve(args) -> int:
     """Optimization server over a spool directory or HTTP.
 
@@ -321,6 +393,18 @@ def _cmd_serve(args) -> int:
     if args.kernel_selection:
         options["kernel_selection"] = True
     jobs = args.jobs if args.jobs is not None else _default_jobs()
+
+    if args.workers is not None:
+        if args.workers < 1:
+            print("--workers must be >= 1", file=sys.stderr)
+            return 2
+        if args.http is None:
+            print("--workers requires --http (fleet workers speak the wire "
+                  "protocol)", file=sys.stderr)
+            return 2
+        if args.workers > 1:
+            return _serve_fleet(args, jobs)
+
     cache = OptimizationCache(cache_dir=args.cache_dir)  # None dir = memory-only
 
     if args.http is not None:
@@ -356,6 +440,167 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         print("interrupted; shutting down", file=sys.stderr)
         return 0
+
+
+def _cmd_loadtest(args) -> int:
+    """Replay a deterministic workload against an endpoint; emit analytics.
+
+    Stdout contract matches ``bench``/``optimize``: progress and the
+    human-readable summary on stderr, exactly one machine-parseable
+    JSON line on stdout.  Exit codes: 0 ok, 1 transport errors under
+    ``--fail-on-error`` or regressions under ``--fail-on-regression``,
+    2 usage errors, 4 endpoint unusable.
+    """
+    from .api.wire import EndpointError
+    from .loadgen import (
+        build_report,
+        compare_loadtests,
+        default_report_path,
+        generate_workload,
+        load_report,
+        load_workload,
+        run_loadtest,
+        save_report,
+        save_workload,
+        workload_preset,
+    )
+    from .loadgen.report import summary_lines
+
+    if (args.workload is None) == (args.preset is None):
+        print("loadtest needs exactly one of --workload FILE or --preset NAME",
+              file=sys.stderr)
+        return 2
+    if args.seed is not None and args.preset is None:
+        print("--seed only applies to --preset (a --workload file already "
+              "pins its seed)", file=sys.stderr)
+        return 2
+    if args.slo_ms <= 0:
+        print("--slo-ms must be > 0", file=sys.stderr)
+        return 2
+    if args.fail_on_regression is not None and args.fail_on_regression < 1.0:
+        print("--fail-on-regression tolerance must be >= 1.0", file=sys.stderr)
+        return 2
+    if args.fail_on_regression is not None and not args.baseline:
+        # a gate with nothing to gate against would silently pass forever
+        print("--fail-on-regression requires --baseline PATH", file=sys.stderr)
+        return 2
+    if args.update_baseline and not args.baseline:
+        print("--update-baseline requires --baseline PATH", file=sys.stderr)
+        return 2
+
+    if args.preset is not None:
+        try:
+            workload = generate_workload(workload_preset(args.preset, seed=args.seed))
+        except KeyError as exc:
+            print(str(exc.args[0]), file=sys.stderr)
+            return 2
+    else:
+        try:
+            workload = load_workload(args.workload)
+        except FileNotFoundError:
+            print(f"workload file {args.workload!r} does not exist", file=sys.stderr)
+            return 2
+        except (ValueError, KeyError) as exc:
+            print(f"cannot load workload {args.workload!r}: {exc}", file=sys.stderr)
+            return 2
+    if args.save_workload:
+        save_workload(workload, args.save_workload)
+        print(f"workload artifact: {args.save_workload}", file=sys.stderr)
+
+    def progress(done: int, total: int, outcome) -> None:
+        if args.verbose:
+            tag = outcome.error or f"{(outcome.latency_s or 0) * 1e3:.1f} ms"
+            print(f"  [{done}/{total}] #{outcome.index} {outcome.model}"
+                  f"/v{outcome.variant}: {tag}", file=sys.stderr)
+
+    print(
+        f"replaying workload {workload.spec.name!r} "
+        f"({len(workload)} requests, {workload.spec.arrival} arrivals, "
+        f"{workload.spec.clients} clients) against {args.endpoint}",
+        file=sys.stderr,
+    )
+    try:
+        result = run_loadtest(
+            workload,
+            args.endpoint,
+            request_timeout=args.timeout,
+            sample_interval=args.sample_interval,
+            progress=progress,
+        )
+    except (ValueError, TypeError) as exc:
+        # a bad endpoint URI or a workload the obfuscation layer rejects
+        print(f"cannot run loadtest: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:  # unknown zoo model named by a workload file
+        print(f"cannot materialize workload: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ConnectionError as exc:  # preflight found the endpoint dead
+        print(f"endpoint {args.endpoint!r} unusable: {exc}", file=sys.stderr)
+        return 4
+    except EndpointError as exc:  # e.g. protocol version mismatch
+        print(f"endpoint {args.endpoint!r} unusable [{exc.code}]: {exc}",
+              file=sys.stderr)
+        return 4
+
+    report = build_report(result, slo_ms=args.slo_ms)
+    output = args.report or default_report_path(workload.spec.name)
+    save_report(report, output)
+    print(summary_lines(report), file=sys.stderr)
+    print(f"wrote {output}", file=sys.stderr)
+
+    record = {
+        "report": output,
+        "name": workload.spec.name,
+        "endpoint": args.endpoint,
+        "requests": report["requests"]["total"],
+        "failed": report["requests"]["failed"],
+        "error_codes": report["requests"]["error_codes"],
+        "p95_ms": report["latency_ms"]["p95"],
+        "throughput_rps": report["throughput_rps"],
+        "slo_attained": report["slo"]["attained"],
+        "baseline": args.baseline,
+        "regressions": [],
+        "improvements": [],
+    }
+    exit_code = 0
+    if args.baseline and args.update_baseline:
+        save_report(report, args.baseline)
+        print(f"baseline updated: {args.baseline}", file=sys.stderr)
+        record["baseline_updated"] = True
+    elif args.baseline:
+        try:
+            baseline = load_report(args.baseline)
+        except FileNotFoundError:
+            print(f"baseline {args.baseline!r} does not exist "
+                  f"(create it with --update-baseline)", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+            return 2
+        tolerance = (
+            args.fail_on_regression if args.fail_on_regression is not None else 1.5
+        )
+        comparison = compare_loadtests(report, baseline, tolerance=tolerance)
+        print(comparison.render(), file=sys.stderr)
+        record["regressions"] = [v.name for v in comparison.regressions]
+        record["improvements"] = [v.name for v in comparison.improvements]
+        if args.fail_on_regression is not None:
+            if report["requests"]["succeeded"] == 0:
+                # zero successes means every gated metric is missing —
+                # that must read as the worst regression, not a pass.
+                print("FAIL: no request succeeded; nothing to gate on",
+                      file=sys.stderr)
+                exit_code = 1
+            elif comparison.has_regressions:
+                print(f"FAIL: {len(comparison.regressions)} metric(s) regressed "
+                      f"beyond {tolerance:g}x", file=sys.stderr)
+                exit_code = 1
+    if args.fail_on_error and report["requests"]["failed"]:
+        print(f"FAIL: {report['requests']['failed']} request(s) failed "
+              f"({', '.join(report['requests']['error_codes'])})", file=sys.stderr)
+        exit_code = 1
+    print(json.dumps(record))
+    return exit_code
 
 
 def _cmd_deobfuscate(args) -> int:
@@ -575,6 +820,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-j", "--jobs", type=int, default=None,
                    help="optimization worker threads "
                         "(default: cpu count capped at 8; env REPRO_JOBS overrides)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="with --http: spawn N independent worker processes "
+                        "(each on its own ephemeral port, sharing "
+                        "--cache-dir) and print their comma-separated URL "
+                        "list as the endpoint — a round-robin fleet")
     p.add_argument("--cache-dir", default=None,
                    help="persistent cache directory (omit for memory-only)")
     p.add_argument("--once", action="store_true",
@@ -582,6 +832,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--poll-interval", type=float, default=1.0,
                    help="seconds between spool directory scans (default: 1)")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="replay a deterministic workload against an endpoint (SLO report)",
+    )
+    # workload alone is stdlib-only; the heavy loadgen modules (driver,
+    # fleet, report) stay deferred into _cmd_loadtest.
+    from .loadgen.workload import list_presets
+
+    p.add_argument("--endpoint", required=True, metavar="URI",
+                   help="endpoint to drive: local:[BACKEND], spool:DIR, "
+                        "http(s)://HOST:PORT, or a comma-separated worker "
+                        "list (round-robin fleet)")
+    p.add_argument("--workload", default=None, metavar="FILE",
+                   help="replay a saved workload.json artifact")
+    p.add_argument("--preset", default=None, choices=list_presets(),
+                   help="generate a preset workload instead of loading one")
+    p.add_argument("--seed", type=int, default=None,
+                   help="re-seed a --preset (same seed = byte-identical "
+                        "workload)")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="report path (default: LOADTEST_<name>.json)")
+    p.add_argument("--slo-ms", type=float, default=1000.0,
+                   help="latency target for SLO attainment (default: 1000)")
+    p.add_argument("--save-workload", default=None, metavar="FILE",
+                   help="also write the materialized workload artifact")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-request receipt timeout in seconds (default: 120)")
+    p.add_argument("--sample-interval", type=float, default=0.5,
+                   help="seconds between endpoint metrics() samples for the "
+                        "cache/goodput timeline (default: 0.5; 0 disables)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline LOADTEST report to compare against")
+    p.add_argument("--fail-on-regression", type=float, default=None,
+                   metavar="TOL",
+                   help="exit 1 if p50/p95/p99/throughput regress beyond "
+                        "baseline x TOL")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="write this run's report to --baseline instead of "
+                        "comparing")
+    p.add_argument("--fail-on-error", action="store_true",
+                   help="exit 1 if any request failed (transport or service "
+                        "error)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print per-request outcomes (stderr)")
+    p.set_defaults(fn=_cmd_loadtest)
 
     p = sub.add_parser("deobfuscate", help="reassemble the optimized model (owner)")
     p.add_argument("bucket")

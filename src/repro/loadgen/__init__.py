@@ -1,0 +1,80 @@
+"""repro.loadgen — deterministic workload generation and SLO analytics.
+
+The serving tier (:mod:`repro.serving`) answers "can the optimizer
+party run as a service"; this package answers the ROADMAP's harder
+question — *how does that service behave under heavy traffic?* — and
+makes the answer reproducible:
+
+* :mod:`repro.loadgen.workload` — seeded arrival processes
+  (closed-loop, open-loop Poisson, bursty on/off) and model-mix
+  sampling over :mod:`repro.models.zoo`; a workload is a byte-stable
+  ``workload.json`` artifact, not a description of one;
+* :mod:`repro.loadgen.histogram` — fixed-bucket latency histogram
+  (constant memory at any request volume, stdlib only);
+* :mod:`repro.loadgen.driver` — thread-pool replay of a workload
+  against any :class:`~repro.api.endpoint.OptimizerEndpoint`, recording
+  submit→receipt latency, error codes and a metrics timeline;
+* :mod:`repro.loadgen.report` — schema-versioned ``LOADTEST_*.json``
+  (quantiles, throughput, SLO attainment, cache-hit-rate over time)
+  plus a baseline comparator in the :mod:`repro.bench.compare` idiom;
+* :mod:`repro.loadgen.fleet` — N ``repro serve --http`` worker
+  *processes* sharing one on-disk cache behind a round-robin
+  :class:`FleetEndpoint`, for measuring scale-out on real process
+  boundaries.
+
+CLI: ``repro loadtest --endpoint URI --preset smoke --slo-ms 500`` and
+``repro serve --http 0 --workers N``.
+"""
+
+from .driver import LoadTestResult, RequestOutcome, build_workload_manifests, run_loadtest  # noqa: F401
+from .fleet import FleetEndpoint, ServingFleet, open_fleet_endpoint  # noqa: F401
+from .histogram import LatencyHistogram  # noqa: F401
+from .report import (  # noqa: F401
+    LOADTEST_SCHEMA_VERSION,
+    build_report,
+    compare_loadtests,
+    default_report_path,
+    load_report,
+    save_report,
+    validate_report,
+)
+from .workload import (  # noqa: F401
+    ARRIVAL_PROCESSES,
+    WORKLOAD_SCHEMA_VERSION,
+    Workload,
+    WorkloadRequest,
+    WorkloadSpec,
+    generate_workload,
+    list_presets,
+    load_workload,
+    save_workload,
+    workload_preset,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "WORKLOAD_SCHEMA_VERSION",
+    "LOADTEST_SCHEMA_VERSION",
+    "Workload",
+    "WorkloadRequest",
+    "WorkloadSpec",
+    "generate_workload",
+    "list_presets",
+    "load_workload",
+    "save_workload",
+    "workload_preset",
+    "LatencyHistogram",
+    "LoadTestResult",
+    "RequestOutcome",
+    "build_workload_manifests",
+    "run_loadtest",
+    "build_report",
+    "compare_loadtests",
+    "default_report_path",
+    "load_report",
+    "save_report",
+    "validate_report",
+    "FleetEndpoint",
+    "ServingFleet",
+    "open_fleet_endpoint",
+]

@@ -1,0 +1,349 @@
+"""Replay a workload against an optimizer endpoint, concurrently.
+
+The driver is the *model-owner side* of a load test: it materializes the
+workload's distinct (model, variant) pairs as sealed bucket manifests
+(setup, untimed), then replays the request schedule against any
+:class:`~repro.api.endpoint.OptimizerEndpoint` — in-process, spool
+directory, HTTP server or multi-process fleet — with a thread pool of
+``spec.clients`` callers:
+
+* closed-loop workloads: every caller issues its next request the
+  moment the previous receipt lands;
+* open-loop workloads (poisson/bursty): a dispatcher thread releases
+  each request at its scheduled arrival offset; when the service falls
+  behind, arrivals queue behind the in-flight ceiling instead of
+  backing off (the open-loop point), which shows up as submit drift
+  (``submitted_s`` - ``scheduled_s``) on top of per-request latency.
+
+Per request it records submit→receipt latency into a fixed-bucket
+:class:`~repro.loadgen.histogram.LatencyHistogram` and tallies
+structured error codes; a sampler thread snapshots the endpoint's
+``metrics()`` every ``sample_interval`` seconds so reports can plot
+cache-hit rate and goodput *over time*, not just at the end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..api.manifest import BucketManifest
+from ..api.wire import EndpointError
+from .histogram import LatencyHistogram
+from .workload import Workload
+
+__all__ = [
+    "RequestOutcome",
+    "LoadTestResult",
+    "build_workload_manifests",
+    "run_loadtest",
+]
+
+#: error tags for failures that are not structured EndpointErrors.
+ERROR_TIMEOUT = "timeout"
+ERROR_CONNECTION = "connection_error"
+ERROR_CLIENT = "client_error"
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What happened to one replayed request."""
+
+    index: int
+    model: str
+    variant: int
+    scheduled_s: float  # planned arrival offset
+    submitted_s: float  # actual submit offset from test start
+    latency_s: Optional[float] = None  # submit -> receipt; None on failure
+    error: Optional[str] = None  # structured code; None on success
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class LoadTestResult:
+    """Everything one replay measured (the report builder's input)."""
+
+    workload: Workload
+    endpoint_uri: str
+    transport: str
+    started_unix: float
+    duration_s: float
+    outcomes: List[RequestOutcome]
+    histogram: LatencyHistogram
+    error_codes: Dict[str, int]
+    max_in_flight: int
+    timeline: List[Dict[str, Any]] = field(default_factory=list)
+    final_metrics: Optional[Dict[str, Any]] = None
+    #: request index -> receipt, populated only with ``keep_receipts``.
+    receipts: Dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    @property
+    def failed(self) -> int:
+        return len(self.outcomes) - self.succeeded
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.succeeded / self.duration_s if self.duration_s > 0 else 0.0
+
+
+def build_workload_manifests(
+    workload: Workload,
+) -> Dict[Tuple[str, int], BucketManifest]:
+    """Sealed manifests for every distinct (model, variant) pair.
+
+    Obfuscation seed = ``spec.seed + variant``, so the artifacts are a
+    pure function of the workload — two drivers replaying the same
+    ``workload.json`` submit byte-identical buckets.
+    """
+    from ..api.clients import ModelOwner
+    from ..core import ProteusConfig
+    from ..models import build_model
+
+    spec = workload.spec
+    manifests: Dict[Tuple[str, int], BucketManifest] = {}
+    for model, variant in workload.distinct_buckets:
+        owner = ModelOwner(
+            ProteusConfig(
+                k=spec.k,
+                target_subgraph_size=spec.subgraph_size,
+                seed=spec.seed + variant,
+            )
+        )
+        result = owner.obfuscate(build_model(model))
+        manifests[(model, variant)] = BucketManifest.from_bucket(result.bucket)
+    return manifests
+
+
+class _ConcurrencyGauge:
+    """Thread-safe in-flight counter that remembers its high-water mark."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.current = 0
+        self.peak = 0
+
+    def __enter__(self) -> "_ConcurrencyGauge":
+        with self._lock:
+            self.current += 1
+            self.peak = max(self.peak, self.current)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self._lock:
+            self.current -= 1
+
+
+def _error_tag(exc: BaseException) -> str:
+    if isinstance(exc, EndpointError):
+        return exc.code
+    if isinstance(exc, TimeoutError):
+        return ERROR_TIMEOUT
+    if isinstance(exc, ConnectionError):
+        return ERROR_CONNECTION
+    return ERROR_CLIENT
+
+
+def _sample(endpoint, t_s: float) -> Optional[Dict[str, Any]]:
+    """One timeline point from the endpoint's normalized counters."""
+    try:
+        metrics = endpoint.metrics()
+    except Exception:  # a flaky metrics call must never fail the test
+        return None
+    counters = metrics.get("counters") if isinstance(metrics, dict) else None
+    if not isinstance(counters, dict):
+        counters = {}
+    optimized = counters.get("entries_optimized", 0)
+    hits = counters.get("entry_cache_hits", 0)
+    return {
+        "t_s": round(t_s, 3),
+        "counters": {k: int(v) for k, v in counters.items()},
+        "cache_hit_rate": (hits / optimized) if optimized else None,
+    }
+
+
+def run_loadtest(
+    workload: Workload,
+    endpoint: Union[str, Any],
+    *,
+    request_timeout: float = 120.0,
+    sample_interval: float = 0.5,
+    keep_receipts: bool = False,
+    progress: Optional[Callable[[int, int, RequestOutcome], None]] = None,
+) -> LoadTestResult:
+    """Replay ``workload`` against ``endpoint`` and measure it.
+
+    ``endpoint`` is an open :class:`OptimizerEndpoint` or an endpoint
+    URI (opened — and closed — by the driver).  Setup (model building,
+    obfuscation, manifest sealing) happens before the clock starts.
+    """
+    from ..api.endpoint import open_endpoint
+
+    owned = isinstance(endpoint, str)
+    uri = endpoint if owned else getattr(endpoint, "base_url", type(endpoint).__name__)
+    if owned:
+        options: Dict[str, Any] = {}
+        if endpoint.startswith("local:"):
+            # a load test without a cache would measure the optimizer,
+            # not the service; remote endpoints configure caching
+            # server-side, so give the in-process one the same footing.
+            # Worker threads likewise track the offered concurrency
+            # (capped like the CLI default) instead of the library
+            # default of 2, which a loadtest would instantly saturate.
+            from ..serving import OptimizationCache
+
+            options["cache"] = OptimizationCache()
+            options["workers"] = min(max(workload.spec.clients, 2), 8)
+        endpoint = open_endpoint(endpoint, **options)
+        # preflight an endpoint we opened ourselves: a dead host or a
+        # protocol mismatch should fail the whole test up front (the
+        # CLI's exit 4), not as N identical entries in the error tally.
+        negotiate = getattr(endpoint, "negotiate", None)
+        if negotiate is not None:
+            try:
+                negotiate()
+            except Exception:
+                endpoint.close()
+                raise
+    try:
+        return _run(
+            workload,
+            endpoint,
+            uri=str(uri),
+            request_timeout=request_timeout,
+            sample_interval=sample_interval,
+            keep_receipts=keep_receipts,
+            progress=progress,
+        )
+    finally:
+        if owned:
+            endpoint.close()
+
+
+def _run(
+    workload: Workload,
+    endpoint,
+    *,
+    uri: str,
+    request_timeout: float,
+    sample_interval: float,
+    keep_receipts: bool,
+    progress: Optional[Callable[[int, int, RequestOutcome], None]],
+) -> LoadTestResult:
+    manifests = build_workload_manifests(workload)
+
+    histogram = LatencyHistogram()
+    outcomes: List[Optional[RequestOutcome]] = [None] * len(workload.requests)
+    error_codes: Dict[str, int] = {}
+    receipts: Dict[int, Any] = {}
+    gauge = _ConcurrencyGauge()
+    record_lock = threading.Lock()
+    done_count = [0]
+
+    started_unix = time.time()
+    t0 = time.perf_counter()
+
+    def one_request(request) -> None:
+        submitted = time.perf_counter() - t0
+        latency: Optional[float] = None
+        error: Optional[str] = None
+        try:
+            with gauge:
+                job_id = endpoint.submit(manifests[(request.model, request.variant)])
+                receipt = endpoint.await_receipt(job_id, timeout=request_timeout)
+            latency = (time.perf_counter() - t0) - submitted
+            if keep_receipts:
+                receipts[request.index] = receipt
+        except Exception as exc:  # tally every failure, keep replaying
+            error = _error_tag(exc)
+        outcome = RequestOutcome(
+            index=request.index,
+            model=request.model,
+            variant=request.variant,
+            scheduled_s=request.offset_s,
+            submitted_s=round(submitted, 6),
+            latency_s=latency,
+            error=error,
+        )
+        with record_lock:
+            outcomes[request.index] = outcome
+            if latency is not None:
+                histogram.record(latency)
+            if error is not None:
+                error_codes[error] = error_codes.get(error, 0) + 1
+            done_count[0] += 1
+            done = done_count[0]
+        if progress is not None:
+            progress(done, len(workload.requests), outcome)
+
+    # -- metrics sampler (daemon; exits with the stop event) ----------------
+    stop = threading.Event()
+    timeline: List[Dict[str, Any]] = []
+
+    def sampler() -> None:
+        while not stop.wait(sample_interval):
+            point = _sample(endpoint, time.perf_counter() - t0)
+            if point is not None:
+                timeline.append(point)
+
+    sampler_thread: Optional[threading.Thread] = None
+    if sample_interval > 0:
+        sampler_thread = threading.Thread(
+            target=sampler, name="loadgen-sampler", daemon=True
+        )
+        sampler_thread.start()
+
+    try:
+        with ThreadPoolExecutor(
+            max_workers=workload.spec.clients, thread_name_prefix="loadgen-client"
+        ) as pool:
+            if workload.spec.arrival == "closed":
+                futures = [pool.submit(one_request, r) for r in workload.requests]
+            else:
+                futures = []
+                for request in workload.requests:  # already offset-ordered
+                    delay = request.offset_s - (time.perf_counter() - t0)
+                    if delay > 0:
+                        time.sleep(delay)
+                    futures.append(pool.submit(one_request, request))
+            for fut in futures:
+                fut.result()  # one_request never raises; this is a join
+    finally:
+        stop.set()
+        if sampler_thread is not None:
+            sampler_thread.join(timeout=5.0)
+
+    duration = time.perf_counter() - t0
+    final_point = _sample(endpoint, duration)
+    if final_point is not None:
+        timeline.append(final_point)
+
+    try:
+        final_metrics = endpoint.metrics()
+    except Exception:
+        final_metrics = None
+
+    assert all(o is not None for o in outcomes)
+    return LoadTestResult(
+        workload=workload,
+        endpoint_uri=uri,
+        transport=getattr(endpoint, "transport", "unknown"),
+        started_unix=started_unix,
+        duration_s=duration,
+        outcomes=[o for o in outcomes if o is not None],
+        histogram=histogram,
+        error_codes=error_codes,
+        max_in_flight=gauge.peak,
+        timeline=timeline,
+        final_metrics=final_metrics,
+        receipts=receipts,
+    )

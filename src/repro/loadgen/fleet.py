@@ -1,0 +1,372 @@
+"""A multi-process serving fleet: scale-out on real process boundaries.
+
+Thread-based workers inside one ``OptimizationServer`` share a GIL; to
+measure *scale-out* the way a deployment would, the fleet spawns N
+independent ``repro serve --http 0`` **processes** (each its own
+interpreter, scheduler and socket) that share one on-disk
+content-addressed :class:`~repro.serving.cache.OptimizationCache` —
+the cache's atomic object store is already multi-process safe, and
+cache keys embed backend + config, so sharing is sound.
+
+In front of the workers sits :class:`FleetEndpoint`, a round-robin
+proxy implementing the ordinary
+:class:`~repro.api.endpoint.OptimizerEndpoint` protocol: ``submit``
+places each job on the next worker, ``status``/``await_receipt`` route
+by job id, ``metrics`` aggregates, and the endpoint tracks how many
+workers had jobs in flight simultaneously (``max_busy_workers``) — the
+number a 1-vs-N loadtest compares to prove real concurrency happened.
+
+Because every worker runs the same deterministic optimizer over
+content-addressed work, a fleet replay's receipts are byte-identical to
+a single worker's: scale-out changes *when* receipts arrive, never what
+is in them.
+
+``repro serve --http 0 --workers N`` builds one of these from the CLI;
+``open_endpoint("http://h:p1,http://h:p2")`` opens a client for it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..api.endpoint import HttpEndpoint, OptimizerEndpoint
+from ..api.wire import ERR_UNKNOWN_JOB, EndpointError
+
+__all__ = ["FleetEndpoint", "ServingFleet"]
+
+#: counters aggregated across workers into the fleet's metrics().
+_COUNTER_KEYS = (
+    "submitted_total",
+    "completed_total",
+    "failed_total",
+    "entries_optimized",
+    "entry_cache_hits",
+)
+
+
+class FleetEndpoint(OptimizerEndpoint):
+    """Round-robin proxy over several endpoints (usually HTTP workers).
+
+    Owns the member endpoints: ``close()`` closes them.  Thread safe —
+    the loadgen driver calls it from many client threads at once.
+    """
+
+    transport = "fleet"
+
+    def __init__(self, endpoints: Sequence[OptimizerEndpoint]) -> None:
+        if not endpoints:
+            raise ValueError("a fleet endpoint needs at least one worker")
+        self._endpoints: List[OptimizerEndpoint] = list(endpoints)
+        self._lock = threading.Lock()
+        self._next = 0
+        # job id -> [worker index, occupies-an-in-flight-slot].  The
+        # slot is released on *any* await_receipt outcome — including a
+        # timeout the caller may never retry — while the routing entry
+        # survives timeouts so a later re-await still finds its worker.
+        self._jobs: Dict[str, List] = {}
+        self._in_flight = [0] * len(self._endpoints)
+        self._submitted = [0] * len(self._endpoints)
+        self.max_busy_workers = 0
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+    # -- routing ------------------------------------------------------------
+    def _pick(self) -> int:
+        with self._lock:
+            index = self._next % len(self._endpoints)
+            self._next += 1
+        return index
+
+    def _worker_for(self, job_id: str) -> int:
+        with self._lock:
+            try:
+                return self._jobs[job_id][0]
+            except KeyError:
+                raise EndpointError(
+                    ERR_UNKNOWN_JOB, f"unknown job id {job_id!r} (not submitted here)"
+                ) from None
+
+    def _release_slot(self, job_id: str, *, forget: bool) -> None:
+        """Release the job's in-flight slot (idempotent); optionally drop
+        its routing entry (terminal outcomes only)."""
+        with self._lock:
+            entry = self._jobs.get(job_id)
+            if entry is not None and entry[1]:
+                entry[1] = False
+                self._in_flight[entry[0]] -= 1
+            if forget:
+                self._jobs.pop(job_id, None)
+
+    # -- OptimizerEndpoint ----------------------------------------------------
+    def submit(self, manifest) -> str:
+        index = self._pick()
+        job_id = self._endpoints[index].submit(manifest)
+        with self._lock:
+            self._jobs[job_id] = [index, True]
+            self._submitted[index] += 1
+            self._in_flight[index] += 1
+            busy = sum(1 for n in self._in_flight if n > 0)
+            self.max_busy_workers = max(self.max_busy_workers, busy)
+        return job_id
+
+    def negotiate(self) -> None:
+        """Preflight every worker that supports negotiation; raises
+        ConnectionError/EndpointError if any worker is unusable."""
+        for endpoint in self._endpoints:
+            negotiate = getattr(endpoint, "negotiate", None)
+            if negotiate is not None:
+                negotiate()
+
+    def status(self, job_id: str):
+        return self._endpoints[self._worker_for(job_id)].status(job_id)
+
+    def await_receipt(self, job_id: str, timeout: Optional[float] = None):
+        index = self._worker_for(job_id)
+        try:
+            receipt = self._endpoints[index].await_receipt(job_id, timeout=timeout)
+        except (TimeoutError, ConnectionError):
+            # transient: the worker may still hold (or later produce)
+            # the receipt.  Free the slot so an abandoned job cannot
+            # inflate the busy-worker gauge forever, but keep the
+            # routing entry so a retry still reaches the right worker.
+            self._release_slot(job_id, forget=False)
+            raise
+        except Exception:
+            self._release_slot(job_id, forget=True)  # failed terminally
+            raise
+        self._release_slot(job_id, forget=True)
+        return receipt
+
+    def metrics(self) -> Dict[str, Any]:
+        with self._lock:
+            submitted = list(self._submitted)
+            in_flight = list(self._in_flight)
+            max_busy = self.max_busy_workers
+        workers = []
+        counters = {key: 0 for key in _COUNTER_KEYS}
+        for endpoint in self._endpoints:
+            try:
+                m = endpoint.metrics()
+            except Exception as exc:  # a down worker must not hide the rest
+                m = {"error": f"{type(exc).__name__}: {exc}"}
+            workers.append(m)
+            worker_counters = m.get("counters") if isinstance(m, dict) else None
+            if isinstance(worker_counters, dict):
+                for key in _COUNTER_KEYS:
+                    counters[key] += int(worker_counters.get(key, 0))
+        return {
+            "transport": self.transport,
+            "workers": len(self._endpoints),
+            "submitted_per_worker": submitted,
+            "in_flight_per_worker": in_flight,
+            "max_busy_workers": max_busy,
+            "counters": counters,
+            "backends": workers,
+        }
+
+    def close(self) -> None:
+        for endpoint in self._endpoints:
+            endpoint.close()
+
+
+class ServingFleet:
+    """N ``repro serve --http 0`` worker processes behind one endpoint.
+
+    Workers bind ephemeral ports and announce themselves with the
+    ``{"endpoint": URL}`` JSON line the serve CLI already prints, so
+    spawning is just reading one line of stdout per worker.  Pass a
+    ``cache_dir`` to share one on-disk optimization cache across the
+    fleet (recommended — it is what makes N workers behave like one
+    bigger server instead of N cold ones).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        optimizer: str = "ortlike",
+        cache_dir: Optional[str] = None,
+        jobs: int = 2,
+        host: str = "127.0.0.1",
+        startup_timeout: float = 60.0,
+        extra_args: Sequence[str] = (),
+        capture_stderr: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("fleet needs at least 1 worker")
+        self.workers = workers
+        self.optimizer = optimizer
+        self.cache_dir = cache_dir
+        self.jobs = jobs
+        self.host = host
+        self.startup_timeout = startup_timeout
+        self.extra_args = list(extra_args)
+        #: True spools worker stderr to temp files, surfaced only when a
+        #: worker fails to start (tests/benchmarks stay quiet but
+        #: debuggable); False inherits this process's stderr so
+        #: operators see worker logs live (the CLI path).
+        self.capture_stderr = capture_stderr
+        self.urls: List[str] = []
+        self._procs: List[subprocess.Popen] = []
+        self._stderr_spools: List[Any] = []
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def _spawn_env(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        # make `python -m repro` work from a source checkout (tests run
+        # with pythonpath=src from pyproject, which subprocesses miss).
+        src = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    def _stderr_tail(self, index: int, limit: int = 2000) -> str:
+        """The captured tail of worker ``index``'s stderr (diagnostics)."""
+        if index >= len(self._stderr_spools):
+            return ""
+        spool = self._stderr_spools[index]
+        try:
+            spool.flush()
+            size = spool.seek(0, os.SEEK_END)
+            spool.seek(max(0, size - limit))
+            return spool.read().decode("utf-8", "replace").strip()
+        except (OSError, ValueError):
+            return ""
+
+    def _read_banner(self, proc: subprocess.Popen, index: int) -> str:
+        """The worker's endpoint URL, from its first stdout line."""
+        banner: List[Optional[str]] = [None]
+
+        def read() -> None:
+            assert proc.stdout is not None
+            banner[0] = proc.stdout.readline()
+
+        reader = threading.Thread(target=read, daemon=True)
+        reader.start()
+        reader.join(timeout=self.startup_timeout)
+        line = banner[0]
+        if reader.is_alive() or not line:
+            tail = self._stderr_tail(index)
+            raise RuntimeError(
+                f"fleet worker (pid {proc.pid}) did not announce an endpoint "
+                f"within {self.startup_timeout:g}s"
+                + (f"; its stderr ended with:\n{tail}" if tail else "")
+            )
+        try:
+            return str(json.loads(line)["endpoint"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise RuntimeError(
+                f"fleet worker printed an unparseable banner {line!r}: {exc}"
+            ) from None
+
+    def start(self) -> List[str]:
+        """Spawn every worker; returns their endpoint URLs."""
+        if self._started:
+            return self.urls
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--http",
+            "0",
+            "--host",
+            self.host,
+            "--optimizer",
+            self.optimizer,
+            "-j",
+            str(self.jobs),
+        ]
+        if self.cache_dir is not None:
+            command += ["--cache-dir", self.cache_dir]
+        command += self.extra_args
+        env = self._spawn_env()
+        try:
+            for _ in range(self.workers):
+                if self.capture_stderr:
+                    spool = tempfile.TemporaryFile()
+                    self._stderr_spools.append(spool)
+                    stderr = spool
+                else:
+                    stderr = None  # inherit: operators see worker logs
+                proc = subprocess.Popen(
+                    command,
+                    stdout=subprocess.PIPE,
+                    stderr=stderr,
+                    env=env,
+                    text=True,
+                )
+                self._procs.append(proc)
+            self.urls = [
+                self._read_banner(proc, i) for i, proc in enumerate(self._procs)
+            ]
+        except Exception:
+            self.close()
+            raise
+        self._started = True
+        return self.urls
+
+    def endpoint(self, timeout: float = 30.0) -> FleetEndpoint:
+        """A round-robin client over every live worker."""
+        if not self._started:
+            self.start()
+        return FleetEndpoint(
+            [HttpEndpoint(url, timeout=timeout) for url in self.urls]
+        )
+
+    def poll(self) -> List[Optional[int]]:
+        """Per-worker exit codes (None = still running)."""
+        return [proc.poll() for proc in self._procs]
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Terminate every worker (escalating to kill on a slow exit)."""
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=timeout)
+            if proc.stdout is not None:
+                proc.stdout.close()
+        for spool in self._stderr_spools:
+            try:
+                spool.close()
+            except OSError:
+                pass
+        self._stderr_spools.clear()
+        self._procs.clear()
+        self.urls = []
+        self._started = False
+
+    def __enter__(self) -> "ServingFleet":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_fleet_endpoint(
+    uris: Union[str, Sequence[str]], *, timeout: float = 30.0, optimizer: Optional[str] = None
+) -> FleetEndpoint:
+    """A FleetEndpoint from comma-separated (or listed) worker URLs."""
+    if isinstance(uris, str):
+        uris = [part.strip() for part in uris.split(",") if part.strip()]
+    if not uris:
+        raise ValueError("fleet endpoint needs at least one worker URL")
+    bad = [u for u in uris if not u.startswith(("http://", "https://"))]
+    if bad:
+        raise ValueError(f"fleet workers must be http(s) URLs, got {bad}")
+    return FleetEndpoint(
+        [HttpEndpoint(u, timeout=timeout, optimizer=optimizer) for u in uris]
+    )

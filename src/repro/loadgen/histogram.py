@@ -1,0 +1,156 @@
+"""Fixed-bucket latency histogram: bounded memory at any request volume.
+
+The driver records one latency per request; at the traffic levels the
+ROADMAP aims for, keeping raw samples is the thing that falls over
+first.  :class:`LatencyHistogram` keeps a fixed set of geometrically
+spaced buckets instead (default 100 µs .. ~105 s at 2x steps, plus an
+overflow bucket), so recording is O(log buckets) and memory is constant
+whether a test ran sixty requests or sixty million.
+
+Quantiles are estimated by linear interpolation inside the bucket the
+rank lands in, clamped to the exact observed min/max (which are tracked
+alongside, as are count and sum, so means are exact).  With 2x buckets
+the worst-case quantile error is bounded by the bucket width — accurate
+enough for SLO verdicts, and the tradeoff every serving-side histogram
+(Prometheus, HdrHistogram's coarse configs) makes.
+
+Histograms merge (for per-worker → fleet rollups) and round-trip
+through JSON (for ``LOADTEST_*.json`` reports).  Stdlib only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["LatencyHistogram"]
+
+#: default geometric bucket grid: 100 µs doubling up to ~105 s.
+_DEFAULT_START_S = 1e-4
+_DEFAULT_FACTOR = 2.0
+_DEFAULT_BUCKETS = 21
+
+
+def _geometric_bounds(start: float, factor: float, buckets: int) -> List[float]:
+    return [start * factor**i for i in range(buckets)]
+
+
+class LatencyHistogram:
+    """Latencies in seconds over fixed geometric buckets + overflow.
+
+    ``bounds[i]`` is the *inclusive upper edge* of bucket ``i``; one
+    extra overflow bucket catches everything above the last bound.
+    """
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        if bounds is None:
+            bounds = _geometric_bounds(
+                _DEFAULT_START_S, _DEFAULT_FACTOR, _DEFAULT_BUCKETS
+            )
+        bounds = [float(b) for b in bounds]
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b <= 0 for b in bounds) or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("bucket bounds must be positive and strictly increasing")
+        self.bounds: List[float] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # +1 = overflow
+        self.count = 0
+        self.sum_s = 0.0
+        self.min_s: Optional[float] = None
+        self.max_s: Optional[float] = None
+
+    # -- recording ----------------------------------------------------------
+    def _bucket_index(self, seconds: float) -> int:
+        # bisect over ~21 floats; a loop is clearer than bisect + key fuss.
+        for i, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                return i
+        return len(self.bounds)  # overflow
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {seconds}")
+        self.counts[self._bucket_index(seconds)] += 1
+        self.count += 1
+        self.sum_s += seconds
+        self.min_s = seconds if self.min_s is None else min(self.min_s, seconds)
+        self.max_s = seconds if self.max_s is None else max(self.max_s, seconds)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram (bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bucket bounds")
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.count += other.count
+        self.sum_s += other.sum_s
+        for attr in ("min_s", "max_s"):
+            theirs = getattr(other, attr)
+            if theirs is None:
+                continue
+            mine = getattr(self, attr)
+            pick = min if attr == "min_s" else max
+            setattr(self, attr, theirs if mine is None else pick(mine, theirs))
+
+    # -- derived ------------------------------------------------------------
+    @property
+    def mean_s(self) -> Optional[float]:
+        return self.sum_s / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated q-quantile (q in [0, 1]); None when empty.
+
+        Linear interpolation within the bucket the rank lands in,
+        clamped to the observed min/max so estimates never leave the
+        measured range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        assert self.min_s is not None and self.max_s is not None
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i] if i < len(self.bounds) else self.max_s
+                fraction = (rank - seen) / n
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min_s), self.max_s)
+            seen += n
+        return self.max_s
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds_s": self.bounds,
+            "counts": self.counts,
+            "count": self.count,
+            "sum_s": self.sum_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "LatencyHistogram":
+        hist = cls(bounds=d["bounds_s"])
+        counts = [int(c) for c in d["counts"]]
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"histogram counts length {len(counts)} does not match "
+                f"{len(hist.bounds)} bounds (+1 overflow)"
+            )
+        if any(c < 0 for c in counts):
+            raise ValueError("histogram counts must be >= 0")
+        total = int(d["count"])
+        if total != sum(counts):
+            raise ValueError("histogram count does not equal the sum of bucket counts")
+        hist.counts = counts
+        hist.count = total
+        hist.sum_s = float(d["sum_s"])
+        hist.min_s = None if d.get("min_s") is None else float(d["min_s"])
+        hist.max_s = None if d.get("max_s") is None else float(d["max_s"])
+        return hist

@@ -1,0 +1,269 @@
+"""SLO-grade load-test reports: one schema-versioned JSON per run.
+
+``LOADTEST_<name>.json`` is to load tests what ``BENCH_<suite>.json``
+is to micro-benchmarks — a machine-readable document CI can gate on and
+trend lines can be drawn from:
+
+* latency quantiles (p50/p95/p99, mean, max) from the driver's
+  fixed-bucket histogram, in milliseconds;
+* throughput and goodput (receipts per wall-clock second);
+* a tally of structured error codes (any entry here is a transport or
+  service failure — the CI smoke job fails on a non-empty tally);
+* SLO attainment: the fraction of successful requests at or under a
+  configurable latency target (and whether the attainment target held);
+* the cache-hit-rate/goodput timeline sampled from the endpoint's
+  ``metrics()`` during the run;
+* the same env fingerprint + git sha a bench report carries, so two
+  reports can be judged comparable before being compared.
+
+:func:`compare_loadtests` reuses the verdict idiom (and the literal
+:class:`~repro.bench.compare.Comparison` /
+:class:`~repro.bench.compare.ScenarioVerdict` types) of
+:mod:`repro.bench.compare`: each gated metric becomes a named verdict
+classified by ratio against a tolerance, so ``repro loadtest
+--baseline`` output reads exactly like ``repro bench --baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+from ..bench.compare import Comparison, ScenarioVerdict, classify_ratio
+from ..bench.runner import env_fingerprint, git_sha
+from .driver import LoadTestResult
+from .histogram import LatencyHistogram
+
+__all__ = [
+    "LOADTEST_SCHEMA_VERSION",
+    "build_report",
+    "validate_report",
+    "save_report",
+    "load_report",
+    "default_report_path",
+    "compare_loadtests",
+]
+
+#: bump on any incompatible change to the report layout below.
+LOADTEST_SCHEMA_VERSION = 1
+
+#: default SLO latency target when the caller does not name one.
+DEFAULT_SLO_MS = 1000.0
+
+#: report metrics a baseline comparison gates on.  All are "smaller is
+#: better" so the bench ratio rule applies unchanged; throughput joins
+#: as its reciprocal (seconds per successful request).  Values are
+#: converted to seconds so Comparison.render's ms formatting is right.
+_COMPARE_METRICS = ("p50_s", "p95_s", "p99_s", "seconds_per_request")
+
+
+def _quantiles_ms(histogram: LatencyHistogram) -> Dict[str, Optional[float]]:
+    def ms(value: Optional[float]) -> Optional[float]:
+        return None if value is None else value * 1e3
+
+    return {
+        "p50": ms(histogram.quantile(0.50)),
+        "p95": ms(histogram.quantile(0.95)),
+        "p99": ms(histogram.quantile(0.99)),
+        "mean": ms(histogram.mean_s),
+        "min": ms(histogram.min_s),
+        "max": ms(histogram.max_s),
+    }
+
+
+def build_report(
+    result: LoadTestResult, *, slo_ms: float = DEFAULT_SLO_MS
+) -> Dict[str, Any]:
+    """Assemble the LOADTEST document for one driver run."""
+    if slo_ms <= 0:
+        raise ValueError(f"slo_ms must be > 0, got {slo_ms}")
+    spec = result.workload.spec
+    slo_s = slo_ms / 1e3
+    ok_latencies = [o.latency_s for o in result.outcomes if o.latency_s is not None]
+    within = sum(1 for lat in ok_latencies if lat <= slo_s)
+    total = len(result.outcomes)
+    return {
+        "schema_version": LOADTEST_SCHEMA_VERSION,
+        "kind": "loadtest",
+        "name": spec.name,
+        "git_sha": git_sha(),
+        "created_unix": int(time.time()),
+        "env": env_fingerprint(),
+        "endpoint": {"uri": result.endpoint_uri, "transport": result.transport},
+        "workload": {
+            "spec": spec.to_dict(),
+            "digest": result.workload.digest(),
+            "requests": total,
+            "distinct_buckets": len(result.workload.distinct_buckets),
+        },
+        "duration_s": result.duration_s,
+        "requests": {
+            "total": total,
+            "succeeded": result.succeeded,
+            "failed": result.failed,
+            "error_codes": dict(sorted(result.error_codes.items())),
+        },
+        "latency_ms": _quantiles_ms(result.histogram),
+        "throughput_rps": result.throughput_rps,
+        "slo": {
+            "target_ms": slo_ms,
+            # attainment over *all* requests: a failed request can never
+            # satisfy an SLO, so errors drag attainment down too.
+            "attained": (within / total) if total else 0.0,
+            "within_target": within,
+        },
+        "concurrency": {
+            "clients": spec.clients,
+            "max_in_flight": result.max_in_flight,
+        },
+        "cache": {
+            "timeline": result.timeline,
+            "final_hit_rate": (
+                result.timeline[-1]["cache_hit_rate"] if result.timeline else None
+            ),
+        },
+        "histogram": result.histogram.to_dict(),
+    }
+
+
+def validate_report(report: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``report`` is a well-formed document."""
+    if not isinstance(report, dict):
+        raise ValueError("loadtest report must be a JSON object")
+    if report.get("kind") != "loadtest":
+        raise ValueError("not a loadtest document (missing kind='loadtest')")
+    version = report.get("schema_version")
+    if version != LOADTEST_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported loadtest schema_version {version!r}; "
+            f"this build reads version {LOADTEST_SCHEMA_VERSION}"
+        )
+    for key in (
+        "name",
+        "git_sha",
+        "env",
+        "endpoint",
+        "workload",
+        "duration_s",
+        "requests",
+        "latency_ms",
+        "throughput_rps",
+        "slo",
+        "concurrency",
+        "histogram",
+    ):
+        if key not in report:
+            raise ValueError(f"loadtest report missing key {key!r}")
+    requests = report["requests"]
+    if requests["total"] != requests["succeeded"] + requests["failed"]:
+        raise ValueError("request accounting does not add up")
+    if requests["total"] < 1:
+        raise ValueError("loadtest report has no requests")
+    if not 0.0 <= report["slo"]["attained"] <= 1.0:
+        raise ValueError("slo attainment must be in [0, 1]")
+    # the histogram must re-parse and agree with the success count.
+    histogram = LatencyHistogram.from_dict(report["histogram"])
+    if histogram.count != requests["succeeded"]:
+        raise ValueError(
+            f"histogram holds {histogram.count} samples but the report "
+            f"claims {requests['succeeded']} successes"
+        )
+
+
+def default_report_path(name: str) -> str:
+    return f"LOADTEST_{name}.json"
+
+
+def save_report(report: Dict[str, Any], path: str) -> None:
+    """Validate and write ``report`` as canonical pretty-printed JSON."""
+    validate_report(report)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read and validate a loadtest report from ``path``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    validate_report(report)
+    return report
+
+
+def _metric(report: Dict[str, Any], name: str) -> Optional[float]:
+    """The gated metric's value in seconds, or None when unavailable."""
+    if name == "seconds_per_request":
+        throughput = report.get("throughput_rps") or 0.0
+        return (1.0 / throughput) if throughput > 0 else None
+    value = report.get("latency_ms", {}).get(name[: -len("_s")])
+    return None if value is None else float(value) / 1e3
+
+
+def compare_loadtests(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 1.5,
+) -> Comparison:
+    """Classify the gated metrics of ``current`` against ``baseline``.
+
+    Same verdict rules as :func:`repro.bench.compare.compare_reports`
+    (ratio > tolerance → regression, ratio < 1/tolerance → improvement);
+    a metric absent on one side gets the matching ``missing-*`` verdict.
+    """
+    if tolerance < 1.0:
+        raise ValueError(f"tolerance must be >= 1.0, got {tolerance}")
+    verdicts = []
+    for name in _COMPARE_METRICS:
+        cur = _metric(current, name)
+        base = _metric(baseline, name)
+        if cur is None and base is None:
+            continue
+        if cur is None:
+            verdicts.append(ScenarioVerdict(name, "missing-current", baseline_s=base))
+            continue
+        if base is None:
+            verdicts.append(ScenarioVerdict(name, "missing-baseline", current_s=cur))
+            continue
+        verdicts.append(
+            ScenarioVerdict(
+                name,
+                classify_ratio(cur / base, tolerance),
+                current_s=cur,
+                baseline_s=base,
+            )
+        )
+    return Comparison(tolerance=tolerance, metric="loadtest", verdicts=verdicts)
+
+
+def summary_lines(report: Dict[str, Any]) -> str:
+    """The human-readable digest the CLI prints to stderr."""
+    latency = report["latency_ms"]
+    requests = report["requests"]
+    slo = report["slo"]
+
+    def fmt(value: Optional[float]) -> str:
+        return "-" if value is None else f"{value:.1f}"
+
+    lines = [
+        f"  requests   : {requests['total']} "
+        f"({requests['succeeded']} ok, {requests['failed']} failed)",
+        f"  latency ms : p50 {fmt(latency['p50'])}  p95 {fmt(latency['p95'])}  "
+        f"p99 {fmt(latency['p99'])}  max {fmt(latency['max'])}",
+        f"  throughput : {report['throughput_rps']:.2f} receipts/s over "
+        f"{report['duration_s']:.1f}s",
+        f"  slo        : {slo['attained'] * 100:.1f}% within "
+        f"{slo['target_ms']:g} ms",
+        f"  concurrency: max {report['concurrency']['max_in_flight']} in flight "
+        f"({report['concurrency']['clients']} clients)",
+    ]
+    if requests["error_codes"]:
+        codes = ", ".join(f"{k}={v}" for k, v in requests["error_codes"].items())
+        lines.append(f"  errors     : {codes}")
+    hit_rate = report["cache"]["final_hit_rate"]
+    if hit_rate is not None:
+        lines.append(f"  cache      : {hit_rate * 100:.1f}% entry hit rate")
+    return "\n".join(lines)

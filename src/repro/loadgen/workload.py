@@ -1,0 +1,412 @@
+"""Deterministic workload synthesis: a loadtest input is an artifact.
+
+A workload is the full, materialized request schedule of one load test —
+every request's arrival offset, model family and obfuscation variant —
+generated from a :class:`WorkloadSpec` by a seeded RNG.  Two calls to
+:func:`generate_workload` with the same spec produce *identical*
+workloads, and :func:`save_workload` serializes them canonically, so a
+``workload.json`` checked into a repo (or attached to a bug report) is a
+byte-reproducible experiment, not a description of one.
+
+Three arrival processes cover the classic serving-benchmark shapes:
+
+* ``closed`` — closed-loop: ``clients`` concurrent callers issue the
+  next request the moment the previous receipt lands (throughput-bound;
+  measures service capacity at fixed concurrency);
+* ``poisson`` — open-loop: memoryless arrivals at ``rate_rps`` for
+  ``duration_s`` seconds (latency under a fixed offered load; requests
+  queue rather than back off when the service falls behind);
+* ``bursty`` — open-loop on/off: ``burst_on_s`` seconds at full rate
+  alternating with ``burst_off_s`` seconds at ``burst_idle_fraction``
+  of it (tail latency under arrival bursts).
+
+Each request names a model from the spec's ``mix`` (weights over
+:mod:`repro.models.zoo` names) and one of ``variants`` obfuscation
+seeds; the driver materializes the distinct (model, variant) pairs as
+sentinel-augmented buckets once, so the replay stresses the service with
+a realistic repeat structure (the same architectures re-arriving, which
+is exactly what the content-addressed cache exists for).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "WORKLOAD_SCHEMA_VERSION",
+    "ARRIVAL_PROCESSES",
+    "WorkloadRequest",
+    "WorkloadSpec",
+    "Workload",
+    "generate_workload",
+    "save_workload",
+    "load_workload",
+    "workload_preset",
+    "list_presets",
+]
+
+#: bump on any incompatible change to the workload JSON layout.
+WORKLOAD_SCHEMA_VERSION = 1
+
+#: the closed set of arrival processes :func:`generate_workload` speaks.
+ARRIVAL_PROCESSES = ("closed", "poisson", "bursty")
+
+#: offsets are stored at microsecond precision so the JSON form is tidy
+#: and float formatting can never differ between producer and consumer.
+_OFFSET_DECIMALS = 6
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One scheduled request: when it arrives and what it submits."""
+
+    index: int
+    offset_s: float  # seconds after test start (0.0 for closed-loop)
+    model: str  # repro.models.zoo name
+    variant: int  # obfuscation-seed variant in [0, spec.variants)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "offset_s": self.offset_s,
+            "model": self.model,
+            "variant": self.variant,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "WorkloadRequest":
+        return cls(
+            index=int(d["index"]),
+            offset_s=float(d["offset_s"]),
+            model=str(d["model"]),
+            variant=int(d["variant"]),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything that determines a workload, and nothing that doesn't."""
+
+    name: str
+    seed: int = 0
+    arrival: str = "closed"  # closed | poisson | bursty
+    #: closed-loop: exact request count.  Open-loop: optional cap on the
+    #: number of generated arrivals (0 = until duration_s runs out).
+    requests: int = 0
+    #: open-loop arrival horizon in seconds (ignored for closed-loop).
+    duration_s: float = 0.0
+    #: open-loop mean arrival rate (requests per second).
+    rate_rps: float = 0.0
+    #: closed-loop concurrency / open-loop in-flight ceiling.
+    clients: int = 4
+    #: model-name -> weight; normalized at sampling time.
+    mix: Dict[str, float] = field(default_factory=lambda: {"squeezenet": 1.0})
+    #: sentinels per subgraph in the generated buckets (paper's k).
+    k: int = 0
+    #: target partition size forwarded to the obfuscation config.
+    subgraph_size: int = 8
+    #: distinct obfuscation seeds per model; repeats across the replay
+    #: exercise the server's content-addressed cache.
+    variants: int = 1
+    #: bursty arrivals: seconds at full rate / at idle rate, and the
+    #: idle-phase rate as a fraction of rate_rps.
+    burst_on_s: float = 2.0
+    burst_off_s: float = 2.0
+    burst_idle_fraction: float = 0.1
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("workload name must be non-empty")
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r}; "
+                f"expected one of {ARRIVAL_PROCESSES}"
+            )
+        if not self.mix:
+            raise ValueError("model mix must name at least one model")
+        if any(w <= 0 for w in self.mix.values()):
+            raise ValueError("model mix weights must be positive")
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.variants < 1:
+            raise ValueError("variants must be >= 1")
+        if self.k < 0:
+            raise ValueError("k must be >= 0")
+        if self.subgraph_size < 1:
+            raise ValueError("subgraph_size must be >= 1")
+        if self.arrival == "closed":
+            if self.requests < 1:
+                raise ValueError("closed-loop workloads need requests >= 1")
+        else:
+            if self.duration_s <= 0:
+                raise ValueError(f"{self.arrival} workloads need duration_s > 0")
+            if self.rate_rps <= 0:
+                raise ValueError(f"{self.arrival} workloads need rate_rps > 0")
+        if self.arrival == "bursty" and (
+            self.burst_on_s <= 0
+            or self.burst_off_s <= 0
+            or not 0 < self.burst_idle_fraction <= 1
+        ):
+            raise ValueError(
+                "bursty workloads need burst_on_s > 0, burst_off_s > 0 and "
+                "0 < burst_idle_fraction <= 1"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "arrival": self.arrival,
+            "requests": self.requests,
+            "duration_s": self.duration_s,
+            "rate_rps": self.rate_rps,
+            "clients": self.clients,
+            "mix": dict(sorted(self.mix.items())),
+            "k": self.k,
+            "subgraph_size": self.subgraph_size,
+            "variants": self.variants,
+            "burst_on_s": self.burst_on_s,
+            "burst_off_s": self.burst_off_s,
+            "burst_idle_fraction": self.burst_idle_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "WorkloadSpec":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 (set of names)
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown workload spec fields: {sorted(unknown)}")
+        kwargs = dict(d)
+        if "mix" in kwargs:
+            try:
+                kwargs["mix"] = {str(k): float(v) for k, v in kwargs["mix"].items()}
+            except (AttributeError, TypeError, ValueError):
+                raise ValueError(
+                    "workload spec 'mix' must map model names to numeric weights"
+                ) from None
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:  # missing/extra constructor fields
+            raise ValueError(f"malformed workload spec: {exc}") from None
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A spec plus its fully materialized request schedule."""
+
+    spec: WorkloadSpec
+    requests: Tuple[WorkloadRequest, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def distinct_buckets(self) -> List[Tuple[str, int]]:
+        """The (model, variant) pairs the driver must materialize, sorted."""
+        return sorted({(r.model, r.variant) for r in self.requests})
+
+    def digest(self) -> str:
+        """Stable sha256 over the canonical JSON form (spec + schedule)."""
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return "sha256:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": WORKLOAD_SCHEMA_VERSION,
+            "kind": "workload",
+            "spec": self.spec.to_dict(),
+            "requests": [r.to_dict() for r in self.requests],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Workload":
+        if not isinstance(d, dict) or d.get("kind") != "workload":
+            raise ValueError("not a workload document (missing kind='workload')")
+        version = d.get("schema_version")
+        if version != WORKLOAD_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported workload schema_version {version!r}; "
+                f"this build reads version {WORKLOAD_SCHEMA_VERSION}"
+            )
+        spec = WorkloadSpec.from_dict(d["spec"])
+        spec.validate()
+        requests = tuple(WorkloadRequest.from_dict(r) for r in d["requests"])
+        # the driver indexes per-request state by `index`: a hand-edited
+        # schedule must stay dense and ordered or fail here, not there.
+        if [r.index for r in requests] != list(range(len(requests))):
+            raise ValueError(
+                "workload request indices must be exactly 0..n-1 in order"
+            )
+        if any(r.offset_s < 0 for r in requests):
+            raise ValueError("workload request offsets must be >= 0")
+        offsets = [r.offset_s for r in requests]
+        if offsets != sorted(offsets):  # the dispatcher replays in order
+            raise ValueError("workload request offsets must be non-decreasing")
+        return cls(spec=spec, requests=requests)
+
+
+def _sample_models(rng: random.Random, spec: WorkloadSpec, n: int) -> List[Tuple[str, int]]:
+    """n deterministic (model, variant) draws from the spec's mix."""
+    names = sorted(spec.mix)  # sorted: dict insertion order must not matter
+    weights = [spec.mix[name] for name in names]
+    draws = []
+    for _ in range(n):
+        model = rng.choices(names, weights=weights)[0]
+        variant = rng.randrange(spec.variants)
+        draws.append((model, variant))
+    return draws
+
+
+def _arrival_offsets(rng: random.Random, spec: WorkloadSpec) -> List[float]:
+    """Arrival offsets (seconds from start) for the spec's process."""
+    if spec.arrival == "closed":
+        # closed-loop has no arrival times: clients issue back to back.
+        return [0.0] * spec.requests
+
+    cap = spec.requests if spec.requests > 0 else None
+    offsets: List[float] = []
+    t = 0.0
+    if spec.arrival == "poisson":
+        while cap is None or len(offsets) < cap:
+            t += rng.expovariate(spec.rate_rps)
+            if t >= spec.duration_s:
+                break
+            offsets.append(round(t, _OFFSET_DECIMALS))
+        return offsets
+
+    # bursty: a piecewise-homogeneous Poisson process.  Each on/off
+    # phase is generated as its own stream and the exponential clock
+    # restarts at every phase boundary — exact, not an approximation,
+    # because Poisson arrivals are memoryless.
+    phases = (
+        (spec.burst_on_s, spec.rate_rps),
+        (spec.burst_off_s, spec.rate_rps * spec.burst_idle_fraction),
+    )
+    phase_start = 0.0
+    while phase_start < spec.duration_s and (cap is None or len(offsets) < cap):
+        for phase_len, rate in phases:
+            phase_end = min(phase_start + phase_len, spec.duration_s)
+            t = phase_start
+            while cap is None or len(offsets) < cap:
+                t += rng.expovariate(rate)
+                if t >= phase_end:
+                    break
+                offsets.append(round(t, _OFFSET_DECIMALS))
+            phase_start += phase_len
+            if phase_start >= spec.duration_s:
+                break
+    return offsets
+
+
+def generate_workload(spec: WorkloadSpec) -> Workload:
+    """Materialize the spec's full request schedule, deterministically.
+
+    The only randomness source is ``random.Random(spec.seed)``; identical
+    specs therefore produce identical workloads, byte for byte once
+    serialized (the acceptance property ``repro loadtest`` relies on).
+    """
+    spec.validate()
+    rng = random.Random(spec.seed)
+    offsets = _arrival_offsets(rng, spec)
+    draws = _sample_models(rng, spec, len(offsets))
+    requests = tuple(
+        WorkloadRequest(index=i, offset_s=offset, model=model, variant=variant)
+        for i, (offset, (model, variant)) in enumerate(zip(offsets, draws))
+    )
+    if not requests:
+        raise ValueError(
+            f"workload {spec.name!r} generated zero requests; increase "
+            "duration_s/rate_rps (or requests for closed-loop)"
+        )
+    return Workload(spec=spec, requests=requests)
+
+
+def save_workload(workload: Workload, path: str) -> None:
+    """Write the canonical JSON form (sorted keys, trailing newline)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(workload.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_workload(path: str) -> Workload:
+    """Read and validate a workload artifact from ``path``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return Workload.from_dict(json.load(fh))
+
+
+# -- presets ------------------------------------------------------------------
+#
+# Presets are specs, not workloads: `generate_workload(workload_preset(n))`
+# is still the reproducibility boundary.  Mixes use the smallest zoo
+# families so presets stay CI-friendly.
+
+_PRESETS: Dict[str, WorkloadSpec] = {
+    # a handful of closed-loop requests: the fastest end-to-end check
+    # (unit tests, `--preset micro` while debugging an endpoint).
+    "micro": WorkloadSpec(
+        name="micro",
+        seed=0,
+        arrival="closed",
+        requests=6,
+        clients=2,
+        mix={"squeezenet": 1.0},
+        k=0,
+        variants=1,
+    ),
+    # the CI gate: ~10 seconds of open-loop Poisson traffic over a
+    # two-model mix with sentinel-augmented buckets and repeat variants.
+    # The rate is sized to *probe* a small runner (a few cold buckets,
+    # then mostly cache hits), not to saturate it — overload probes are
+    # what the `burst` preset and custom specs are for.
+    "smoke": WorkloadSpec(
+        name="smoke",
+        seed=0,
+        arrival="poisson",
+        duration_s=10.0,
+        rate_rps=1.5,
+        clients=8,
+        mix={"squeezenet": 0.6, "mobilenet": 0.4},
+        k=1,
+        variants=2,
+    ),
+    # tail-latency probe: 2s bursts at 4 rps against near-idle valleys.
+    "burst": WorkloadSpec(
+        name="burst",
+        seed=0,
+        arrival="bursty",
+        duration_s=12.0,
+        rate_rps=4.0,
+        clients=8,
+        mix={"squeezenet": 0.7, "mobilenet": 0.3},
+        k=1,
+        variants=2,
+        burst_on_s=2.0,
+        burst_off_s=2.0,
+        burst_idle_fraction=0.1,
+    ),
+}
+
+
+def workload_preset(name: str, seed: int = None) -> WorkloadSpec:  # type: ignore[assignment]
+    """A named preset spec, optionally re-seeded."""
+    try:
+        spec = _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload preset {name!r}; available: {', '.join(sorted(_PRESETS))}"
+        ) from None
+    if seed is not None:
+        spec = replace(spec, seed=seed)
+    return spec
+
+
+def list_presets() -> List[str]:
+    """All preset names, sorted."""
+    return sorted(_PRESETS)

@@ -241,11 +241,20 @@ class OptimizationHTTPServer:
         with self._lock:
             backends = dict(self._backends)
             tracked = len(self._jobs)
+        per_backend = {name: srv.metrics() for name, srv in backends.items()}
+        # monotonic counters aggregated across backends: the top-level
+        # block is what load generators read, so every transport exposes
+        # the same normalized shape (see OptimizationServer.metrics).
+        counters: Dict[str, int] = {}
+        for metrics in per_backend.values():
+            for key, value in metrics.get("counters", {}).items():
+                counters[key] = counters.get(key, 0) + int(value)
         return {
             "transport": "http",
             "protocol_version": PROTOCOL_VERSION,
             "jobs": {"tracked": tracked},
-            "backends": {name: srv.metrics() for name, srv in backends.items()},
+            "counters": counters,
+            "backends": per_backend,
         }
 
     # -- lifecycle ------------------------------------------------------------

@@ -124,6 +124,12 @@ class OptimizationServer:
         self._latencies: List[float] = []
         self._entries_done = 0
         self._entry_cache_hits = 0
+        # monotonic job counters: never reset, never decremented (not
+        # even by forget()), so a sampler can compute goodput deltas
+        # between two reads without racing queue-depth snapshots.
+        self._submitted_total = 0
+        self._completed_total = 0
+        self._failed_total = 0
         self._metrics_lock = threading.Lock()
         self._closed = False
 
@@ -202,7 +208,33 @@ class OptimizationServer:
         )
         with self._jobs_lock:
             self._jobs[job_id] = job
+        self._track_completion(entries)
         return job_id
+
+    def _track_completion(self, entries: List[Tuple[str, CanonicalForm, Future]]) -> None:
+        """Bump submitted_total now, completed/failed_total when the last
+        entry future resolves (shared dedup futures accept one callback
+        per waiting job, so per-job accounting survives dedup)."""
+        with self._metrics_lock:
+            self._submitted_total += 1
+            if not entries:  # an empty bucket is complete on arrival
+                self._completed_total += 1
+                return
+        track = {"remaining": len(entries), "failed": False}
+
+        def entry_done(fut: Future) -> None:
+            with self._metrics_lock:
+                if fut.cancelled() or fut.exception() is not None:
+                    track["failed"] = True
+                track["remaining"] -= 1
+                if track["remaining"] == 0:
+                    if track["failed"]:
+                        self._failed_total += 1
+                    else:
+                        self._completed_total += 1
+
+        for _, _, fut in entries:
+            fut.add_done_callback(entry_done)
 
     def _job(self, job_id: str) -> _Job:
         with self._jobs_lock:
@@ -285,6 +317,13 @@ class OptimizationServer:
             latencies = list(self._latencies)
             entries_done = self._entries_done
             entry_hits = self._entry_cache_hits
+            counters = {
+                "submitted_total": self._submitted_total,
+                "completed_total": self._completed_total,
+                "failed_total": self._failed_total,
+                "entries_optimized": entries_done,
+                "entry_cache_hits": entry_hits,
+            }
         with self._jobs_lock:
             job_ids = list(self._jobs)
         states = []
@@ -306,6 +345,7 @@ class OptimizationServer:
                 "total": len(states),
                 **{s.value: states.count(s) for s in JobState},
             },
+            "counters": counters,
             "entries": {
                 "optimized": entries_done,
                 "cache_hits": entry_hits,

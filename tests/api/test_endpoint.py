@@ -168,6 +168,60 @@ class TestEndpointProtocol:
             assert endpoint.metrics()["transport"] == transport
 
 
+class TestHttpKeepAlive:
+    def test_requests_reuse_one_connection(self):
+        from repro.serving.http import OptimizationHTTPServer
+
+        with OptimizationHTTPServer("ortlike", workers=1, port=0) as app:
+            host, port = app.start()
+            endpoint = HttpEndpoint(f"http://{host}:{port}")
+            for _ in range(3):
+                endpoint.metrics()
+            # all three requests rode the same pooled connection
+            assert len(endpoint._connections) == 1
+            endpoint.close()
+            assert len(endpoint._connections) == 0
+
+    def test_keep_alive_false_pools_nothing(self):
+        from repro.serving.http import OptimizationHTTPServer
+
+        with OptimizationHTTPServer("ortlike", workers=1, port=0) as app:
+            host, port = app.start()
+            endpoint = HttpEndpoint(f"http://{host}:{port}", keep_alive=False)
+            for _ in range(2):
+                endpoint.metrics()
+            assert len(endpoint._connections) == 0
+            endpoint.close()
+
+    def test_stale_socket_reconnects_transparently(self):
+        """A server restart between requests must not surface an error:
+        the pooled socket is detected as stale and retried once fresh."""
+        from repro.serving.http import OptimizationHTTPServer
+
+        app = OptimizationHTTPServer("ortlike", workers=1, port=0)
+        host, port = app.start()
+        endpoint = HttpEndpoint(f"http://{host}:{port}")
+        endpoint.metrics()  # pools a keep-alive connection
+        app.close()
+        replacement = OptimizationHTTPServer("ortlike", workers=1, port=port)
+        try:
+            replacement.start()
+            assert endpoint.metrics()["transport"] == "http"
+        finally:
+            endpoint.close()
+            replacement.close()
+
+    def test_dead_server_raises_connection_error(self):
+        endpoint = HttpEndpoint("http://127.0.0.1:1", timeout=2)
+        with pytest.raises(ConnectionError):
+            endpoint.metrics()
+        endpoint.close()
+
+    def test_bad_scheme_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            HttpEndpoint("ftp://host:1")
+
+
 class TestRemoteOptimizerService:
     def test_service_facade_over_local_endpoint(self, obfuscation):
         owner, result = obfuscation

@@ -1,0 +1,277 @@
+"""`repro loadtest`: flags, exit codes, artifacts, baseline gating."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.loadgen.report import load_report
+
+
+def _run(capsys, *argv):
+    code = main(["loadtest", *argv])
+    captured = capsys.readouterr()
+    record = None
+    if captured.out.strip():
+        record = json.loads(captured.out.strip().splitlines()[-1])
+    return code, record, captured.err
+
+
+class TestUsageErrors:
+    def test_needs_workload_or_preset(self, capsys):
+        code, _, err = _run(capsys, "--endpoint", "local:")
+        assert code == 2 and "exactly one" in err
+
+    def test_not_both(self, capsys, tmp_path):
+        code, _, err = _run(
+            capsys, "--endpoint", "local:", "--preset", "micro",
+            "--workload", str(tmp_path / "w.json"),
+        )
+        assert code == 2 and "exactly one" in err
+
+    def test_seed_requires_preset(self, capsys, tmp_path):
+        code, _, err = _run(
+            capsys, "--endpoint", "local:",
+            "--workload", str(tmp_path / "w.json"), "--seed", "3",
+        )
+        assert code == 2 and "--seed" in err
+
+    def test_missing_workload_file(self, capsys, tmp_path):
+        code, _, err = _run(
+            capsys, "--endpoint", "local:",
+            "--workload", str(tmp_path / "absent.json"),
+        )
+        assert code == 2 and "does not exist" in err
+
+    def test_bad_slo(self, capsys):
+        code, _, err = _run(
+            capsys, "--endpoint", "local:", "--preset", "micro", "--slo-ms", "0"
+        )
+        assert code == 2 and "--slo-ms" in err
+
+    def test_bad_tolerance(self, capsys):
+        code, _, err = _run(
+            capsys, "--endpoint", "local:", "--preset", "micro",
+            "--fail-on-regression", "0.2",
+        )
+        assert code == 2 and "tolerance" in err
+
+    def test_update_baseline_needs_baseline(self, capsys):
+        code, _, err = _run(
+            capsys, "--endpoint", "local:", "--preset", "micro",
+            "--update-baseline",
+        )
+        assert code == 2 and "--baseline" in err
+
+    def test_fail_on_regression_needs_baseline(self, capsys):
+        """A gate with no baseline must be a usage error, not a no-op
+        that silently passes every run."""
+        code, _, err = _run(
+            capsys, "--endpoint", "local:", "--preset", "micro",
+            "--fail-on-regression", "1.5",
+        )
+        assert code == 2 and "requires --baseline" in err
+
+    def test_bad_endpoint_uri(self, capsys):
+        code, _, err = _run(capsys, "--endpoint", "warp:9", "--preset", "micro")
+        assert code == 2 and "endpoint URIs" in err
+
+    def test_malformed_workload_spec_is_a_clean_error(self, capsys, tmp_path):
+        import json as _json
+
+        from repro.loadgen import generate_workload, save_workload
+        from repro.loadgen.workload import WorkloadSpec
+
+        path = str(tmp_path / "w.json")
+        save_workload(
+            generate_workload(
+                WorkloadSpec(name="w", arrival="closed", requests=2,
+                             mix={"squeezenet": 1.0})
+            ),
+            path,
+        )
+        doc = _json.load(open(path))
+        del doc["spec"]["name"]  # missing required field => TypeError inside
+        _json.dump(doc, open(path, "w"))
+        code, _, err = _run(capsys, "--endpoint", "local:", "--workload", path)
+        assert code == 2 and "cannot load workload" in err
+
+    def test_workload_naming_unknown_model(self, capsys, tmp_path):
+        import json as _json
+
+        from repro.loadgen import generate_workload, save_workload
+        from repro.loadgen.workload import WorkloadSpec
+
+        path = str(tmp_path / "w.json")
+        save_workload(
+            generate_workload(
+                WorkloadSpec(name="w", arrival="closed", requests=2,
+                             mix={"squeezenet": 1.0})
+            ),
+            path,
+        )
+        doc = _json.load(open(path))
+        doc["spec"]["mix"] = {"not-a-model": 1.0}
+        for request in doc["requests"]:
+            request["model"] = "not-a-model"
+        _json.dump(doc, open(path, "w"))
+        code, _, err = _run(capsys, "--endpoint", "local:", "--workload", path)
+        assert code == 2 and "unknown model" in err
+
+
+class TestHappyPath:
+    def test_micro_local_report(self, capsys, tmp_path):
+        report_path = str(tmp_path / "LT.json")
+        code, record, err = _run(
+            capsys, "--endpoint", "local:", "--preset", "micro",
+            "--report", report_path, "--slo-ms", "30000", "--fail-on-error",
+        )
+        assert code == 0
+        assert record["requests"] == 6 and record["failed"] == 0
+        assert record["slo_attained"] == 1.0
+        report = load_report(report_path)  # validates schema on load
+        assert report["name"] == "micro"
+        assert "latency ms" in err and "throughput" in err
+
+    def test_saved_workload_is_byte_stable(self, capsys, tmp_path):
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        for path in (a, b):
+            code, _, _ = _run(
+                capsys, "--endpoint", "local:", "--preset", "micro",
+                "--report", str(tmp_path / "LT.json"), "--save-workload", path,
+            )
+            assert code == 0
+        assert open(a, "rb").read() == open(b, "rb").read()
+
+    def test_replay_from_workload_file(self, capsys, tmp_path):
+        saved = str(tmp_path / "w.json")
+        _run(
+            capsys, "--endpoint", "local:", "--preset", "micro",
+            "--report", str(tmp_path / "LT1.json"), "--save-workload", saved,
+        )
+        code, record, _ = _run(
+            capsys, "--endpoint", "local:", "--workload", saved,
+            "--report", str(tmp_path / "LT2.json"),
+        )
+        assert code == 0 and record["requests"] == 6
+
+    def test_verbose_prints_per_request(self, capsys, tmp_path):
+        code, _, err = _run(
+            capsys, "--endpoint", "local:", "--preset", "micro",
+            "--report", str(tmp_path / "LT.json"), "-v",
+        )
+        assert code == 0
+        assert "[6/6]" in err
+
+
+class TestBaselineGate:
+    def test_update_then_compare_ok(self, capsys, tmp_path):
+        baseline = str(tmp_path / "base.json")
+        code, record, _ = _run(
+            capsys, "--endpoint", "local:", "--preset", "micro",
+            "--report", str(tmp_path / "LT1.json"),
+            "--baseline", baseline, "--update-baseline",
+        )
+        assert code == 0 and record.get("baseline_updated") is True
+        code, record, err = _run(
+            capsys, "--endpoint", "local:", "--preset", "micro",
+            "--report", str(tmp_path / "LT2.json"),
+            "--baseline", baseline, "--fail-on-regression", "1000",
+        )
+        assert code == 0, err
+        assert record["regressions"] == []
+
+    def test_synthetic_regression_fails_gate(self, capsys, tmp_path):
+        baseline = str(tmp_path / "base.json")
+        report_path = str(tmp_path / "LT1.json")
+        code, _, _ = _run(
+            capsys, "--endpoint", "local:", "--preset", "micro",
+            "--report", report_path, "--baseline", baseline, "--update-baseline",
+        )
+        assert code == 0
+        # shrink the baseline's latencies so the next run must regress
+        doc = json.load(open(baseline))
+        doc["latency_ms"] = {
+            k: (None if v is None else v / 10_000)
+            for k, v in doc["latency_ms"].items()
+        }
+        doc["throughput_rps"] *= 10_000
+        json.dump(doc, open(baseline, "w"))
+        code, record, err = _run(
+            capsys, "--endpoint", "local:", "--preset", "micro",
+            "--report", str(tmp_path / "LT2.json"),
+            "--baseline", baseline, "--fail-on-regression", "1.5",
+        )
+        assert code == 1
+        assert record["regressions"]
+        assert "FAIL" in err
+
+    def test_zero_successes_cannot_pass_the_gate(self, capsys, tmp_path):
+        """All-failed runs have no gated metrics; the gate must fail,
+        not green-light a run that completed nothing."""
+        from unittest import mock
+
+        from repro.api.wire import ERR_JOB_FAILED, EndpointError
+        from repro.serving.server import OptimizationServer
+
+        baseline = str(tmp_path / "base.json")
+        code, _, _ = _run(
+            capsys, "--endpoint", "local:", "--preset", "micro",
+            "--report", str(tmp_path / "LT1.json"),
+            "--baseline", baseline, "--update-baseline",
+        )
+        assert code == 0
+
+        def explode(self, job_id, timeout=None):
+            raise EndpointError(ERR_JOB_FAILED, "nothing works")
+
+        with mock.patch.object(OptimizationServer, "await_receipt", explode):
+            code, record, err = _run(
+                capsys, "--endpoint", "local:", "--preset", "micro",
+                "--report", str(tmp_path / "LT2.json"),
+                "--baseline", baseline, "--fail-on-regression", "1.5",
+            )
+        assert code == 1
+        assert record["failed"] == 6
+        assert "no request succeeded" in err
+
+    def test_missing_baseline_errors(self, capsys, tmp_path):
+        code, _, err = _run(
+            capsys, "--endpoint", "local:", "--preset", "micro",
+            "--report", str(tmp_path / "LT.json"),
+            "--baseline", str(tmp_path / "nope.json"),
+        )
+        assert code == 2 and "--update-baseline" in err
+
+
+class TestFailOnError:
+    def test_unreachable_http_endpoint_exits_4(self, capsys, tmp_path):
+        """A dead endpoint fails the preflight — exit 4 before any
+        request, with or without --fail-on-error."""
+        code, record, err = _run(
+            capsys, "--endpoint", "http://127.0.0.1:1", "--preset", "micro",
+            "--report", str(tmp_path / "LT.json"), "--timeout", "5",
+        )
+        assert code == 4
+        assert record is None  # no report written, no stdout record
+        assert "unusable" in err
+
+    def test_mid_run_failures_tally_and_gate(self, capsys, tmp_path):
+        """Failures after a healthy preflight land in the error tally
+        and only --fail-on-error turns them into a nonzero exit."""
+        from unittest import mock
+
+        from repro.api.wire import ERR_JOB_FAILED, EndpointError
+        from repro.serving.server import OptimizationServer
+
+        def explode(self, job_id, timeout=None):
+            raise EndpointError(ERR_JOB_FAILED, "synthetic mid-run failure")
+
+        with mock.patch.object(OptimizationServer, "await_receipt", explode):
+            code, record, _ = _run(
+                capsys, "--endpoint", "local:", "--preset", "micro",
+                "--report", str(tmp_path / "LT.json"), "--fail-on-error",
+            )
+        assert code == 1
+        assert record["failed"] == 6
+        assert record["error_codes"] == {ERR_JOB_FAILED: 6}

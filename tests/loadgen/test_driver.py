@@ -1,0 +1,190 @@
+"""The loadgen driver: replay correctness, concurrency, error tallies."""
+
+import threading
+import time
+
+import pytest
+
+from repro.api.endpoint import LocalEndpoint, OptimizerEndpoint
+from repro.api.wire import ERR_JOB_FAILED, EndpointError
+from repro.loadgen.driver import build_workload_manifests, run_loadtest
+from repro.loadgen.workload import WorkloadSpec, generate_workload
+from repro.serving import OptimizationCache
+
+
+@pytest.fixture(scope="module")
+def closed_workload():
+    return generate_workload(
+        WorkloadSpec(
+            name="drv",
+            seed=3,
+            arrival="closed",
+            requests=8,
+            clients=4,
+            mix={"squeezenet": 1.0},
+            k=0,
+            variants=2,
+        )
+    )
+
+
+class _StubEndpoint(OptimizerEndpoint):
+    """Instant in-memory endpoint with a programmable failure mode."""
+
+    transport = "stub"
+
+    def __init__(self, fail_with=None, delay_s=0.0):
+        self.fail_with = fail_with
+        self.delay_s = delay_s
+        self.submitted = 0
+        self._lock = threading.Lock()
+        self.in_flight = 0
+        self.peak_in_flight = 0
+
+    def submit(self, manifest) -> str:
+        with self._lock:
+            self.submitted += 1
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+        return f"job-{self.submitted}"
+
+    def status(self, job_id):  # pragma: no cover - driver never calls it
+        raise NotImplementedError
+
+    def await_receipt(self, job_id, timeout=None):
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        with self._lock:
+            self.in_flight -= 1
+        if self.fail_with is not None:
+            raise self.fail_with
+        return object()
+
+    def metrics(self):
+        return {"transport": self.transport, "counters": {}}
+
+    def close(self):
+        pass
+
+
+class TestReplay:
+    def test_local_uri_end_to_end(self, closed_workload):
+        result = run_loadtest(closed_workload, "local:", sample_interval=0.1)
+        assert result.transport == "local"
+        assert result.failed == 0
+        assert result.succeeded == len(closed_workload)
+        assert result.histogram.count == len(closed_workload)
+        assert 1 <= result.max_in_flight <= closed_workload.spec.clients
+        assert [o.index for o in result.outcomes] == list(range(len(closed_workload)))
+        # the post-run sample must reflect the whole replay via the
+        # monotonic counters (no sampling race with queue depth).
+        assert result.timeline, "sampler produced no timeline"
+        final = result.timeline[-1]["counters"]
+        assert final["submitted_total"] == len(closed_workload)
+        assert final["completed_total"] == len(closed_workload)
+        assert final["failed_total"] == 0
+
+    def test_endpoint_object_is_borrowed_not_owned(self, closed_workload):
+        endpoint = LocalEndpoint("ortlike", cache=OptimizationCache(), workers=2)
+        try:
+            first = run_loadtest(closed_workload, endpoint, sample_interval=0.0)
+            hits_after_first = endpoint.metrics()["counters"]["entry_cache_hits"]
+            second = run_loadtest(closed_workload, endpoint, sample_interval=0.0)
+            hits_after_second = endpoint.metrics()["counters"]["entry_cache_hits"]
+        finally:
+            endpoint.close()
+        assert first.failed == 0 and second.failed == 0
+        # the driver borrowed the endpoint: same server, same cache —
+        # the second replay runs warm (every entry a hit)
+        assert hits_after_second > hits_after_first
+
+    def test_keep_receipts(self, closed_workload):
+        result = run_loadtest(
+            closed_workload, "local:", sample_interval=0.0, keep_receipts=True
+        )
+        assert sorted(result.receipts) == list(range(len(closed_workload)))
+        bucket = result.receipts[0].bucket
+        assert len(bucket) > 0
+
+    def test_progress_callback_sees_every_request(self, closed_workload):
+        seen = []
+        run_loadtest(
+            closed_workload,
+            "local:",
+            sample_interval=0.0,
+            progress=lambda done, total, outcome: seen.append((done, total)),
+        )
+        assert len(seen) == len(closed_workload)
+        assert max(d for d, _ in seen) == len(closed_workload)
+
+
+class TestOpenLoopPacing:
+    def test_arrivals_respect_offsets(self):
+        workload = generate_workload(
+            WorkloadSpec(
+                name="paced",
+                seed=1,
+                arrival="poisson",
+                duration_s=0.8,
+                rate_rps=20.0,
+                clients=8,
+                mix={"squeezenet": 1.0},
+                k=0,
+                variants=1,
+            )
+        )
+        stub = _StubEndpoint()
+        result = run_loadtest(workload, stub, sample_interval=0.0)
+        last_offset = workload.requests[-1].offset_s
+        assert result.duration_s >= last_offset
+        # submits happen at (or after) their scheduled offsets
+        for outcome, request in zip(result.outcomes, workload.requests):
+            assert outcome.submitted_s >= request.offset_s - 1e-3
+
+
+class TestErrorTally:
+    def test_structured_endpoint_errors_tally_by_code(self, closed_workload):
+        stub = _StubEndpoint(fail_with=EndpointError(ERR_JOB_FAILED, "boom"))
+        result = run_loadtest(closed_workload, stub, sample_interval=0.0)
+        assert result.failed == len(closed_workload)
+        assert result.error_codes == {ERR_JOB_FAILED: len(closed_workload)}
+        assert result.histogram.count == 0
+        assert all(o.latency_s is None for o in result.outcomes)
+
+    @pytest.mark.parametrize(
+        "exc,tag",
+        [
+            (TimeoutError("slow"), "timeout"),
+            (ConnectionError("gone"), "connection_error"),
+            (RuntimeError("??"), "client_error"),
+        ],
+    )
+    def test_unstructured_failures_get_stable_tags(self, closed_workload, exc, tag):
+        result = run_loadtest(
+            closed_workload, _StubEndpoint(fail_with=exc), sample_interval=0.0
+        )
+        assert result.error_codes == {tag: len(closed_workload)}
+
+    def test_concurrency_gauge_counts_in_flight(self, closed_workload):
+        stub = _StubEndpoint(delay_s=0.05)
+        result = run_loadtest(closed_workload, stub, sample_interval=0.0)
+        assert result.max_in_flight == closed_workload.spec.clients
+        assert stub.peak_in_flight >= 2
+
+
+class TestManifestMaterialization:
+    def test_deterministic_across_builds(self, closed_workload):
+        import json
+
+        first = build_workload_manifests(closed_workload)
+        second = build_workload_manifests(closed_workload)
+        assert set(first) == set(second) == set(closed_workload.distinct_buckets)
+        for key, manifest in first.items():
+            a = json.dumps(manifest.to_dict(), sort_keys=True)
+            b = json.dumps(second[key].to_dict(), sort_keys=True)
+            assert a == b, f"manifest for {key} not reproducible"
+
+    def test_variants_differ(self, closed_workload):
+        manifests = build_workload_manifests(closed_workload)
+        (m0, m1) = (manifests[("squeezenet", 0)], manifests[("squeezenet", 1)])
+        assert m0.bucket_digest != m1.bucket_digest

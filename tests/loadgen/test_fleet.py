@@ -1,0 +1,182 @@
+"""Fleet endpoint + multi-process serving fleet.
+
+The acceptance property lives here: a 2-worker fleet completes the same
+workload with byte-identical optimized buckets and strictly more
+observed worker concurrency than a single worker.
+"""
+
+import json
+
+import pytest
+
+from repro.api.endpoint import LocalEndpoint, open_endpoint
+from repro.api.manifest import BucketManifest
+from repro.api.wire import ERR_UNKNOWN_JOB, EndpointError
+from repro.loadgen.driver import run_loadtest
+from repro.loadgen.fleet import FleetEndpoint, ServingFleet, open_fleet_endpoint
+from repro.loadgen.workload import WorkloadSpec, generate_workload
+from repro.serving import OptimizationCache
+
+
+def _workload(requests=6, clients=4):
+    return generate_workload(
+        WorkloadSpec(
+            name="fleet",
+            seed=11,
+            arrival="closed",
+            requests=requests,
+            clients=clients,
+            mix={"squeezenet": 1.0},
+            k=0,
+            variants=1,
+        )
+    )
+
+
+def _local_fleet(n):
+    return FleetEndpoint(
+        [LocalEndpoint("ortlike", cache=OptimizationCache(), workers=2) for _ in range(n)]
+    )
+
+
+class TestFleetEndpoint:
+    """Round-robin routing over in-process members (no subprocesses)."""
+
+    def test_round_robin_spreads_submissions(self):
+        workload = _workload()
+        with _local_fleet(2) as fleet:
+            result = run_loadtest(workload, fleet, sample_interval=0.0)
+            metrics = fleet.metrics()
+        assert result.failed == 0
+        assert metrics["submitted_per_worker"] == [3, 3]
+        assert metrics["workers"] == 2
+        assert metrics["counters"]["completed_total"] == 6
+
+    def test_jobs_route_back_to_their_worker(self):
+        workload = _workload(requests=4, clients=1)
+        with _local_fleet(2) as fleet:
+            result = run_loadtest(
+                workload, fleet, sample_interval=0.0, keep_receipts=True
+            )
+        assert result.failed == 0
+        assert len(result.receipts) == 4
+
+    def test_unknown_job_is_structured(self):
+        with _local_fleet(2) as fleet:
+            with pytest.raises(EndpointError) as exc_info:
+                fleet.status("job-not-ours")
+            assert exc_info.value.code == ERR_UNKNOWN_JOB
+
+    def test_single_worker_never_counts_two_busy(self):
+        workload = _workload()
+        with _local_fleet(1) as fleet:
+            run_loadtest(workload, fleet, sample_interval=0.0)
+            assert fleet.max_busy_workers == 1
+
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(ValueError):
+            FleetEndpoint([])
+
+    def test_timeout_releases_slot_but_keeps_routing(self):
+        """An abandoned timeout must not inflate the busy-worker gauge
+        forever, and a retried await must still reach its worker."""
+
+        class _Stalling(LocalEndpoint):
+            def __init__(self):
+                super().__init__("ortlike", workers=1)
+                self.stall = True
+
+            def await_receipt(self, job_id, timeout=None):
+                if self.stall:
+                    raise TimeoutError("still working")
+                return super().await_receipt(job_id, timeout=timeout)
+
+        from repro.api.clients import ModelOwner
+        from repro.core import ProteusConfig
+        from repro.models import build_model
+
+        bucket = ModelOwner(
+            ProteusConfig(k=0, target_subgraph_size=8, seed=0)
+        ).obfuscate(build_model("squeezenet")).bucket
+        worker = _Stalling()
+        with FleetEndpoint([worker]) as fleet:
+            job_id = fleet.submit(BucketManifest.from_bucket(bucket))
+            with pytest.raises(TimeoutError):
+                fleet.await_receipt(job_id, timeout=0.01)
+            assert fleet.metrics()["in_flight_per_worker"] == [0]
+            worker.stall = False
+            fleet.await_receipt(job_id, timeout=60)  # routing survived
+            assert fleet.metrics()["in_flight_per_worker"] == [0]
+
+    def test_open_fleet_endpoint_validates_urls(self):
+        with pytest.raises(ValueError):
+            open_fleet_endpoint("spool:/x,http://h:1")
+        with pytest.raises(ValueError):
+            open_fleet_endpoint("")
+        endpoint = open_fleet_endpoint("http://h:1, http://h:2")
+        assert len(endpoint) == 2
+        endpoint.close()
+
+    def test_open_endpoint_grammar_accepts_comma_list(self):
+        endpoint = open_endpoint("http://127.0.0.1:1,http://127.0.0.1:2")
+        assert isinstance(endpoint, FleetEndpoint)
+        endpoint.close()
+
+    def test_single_url_with_comma_in_query_is_not_a_fleet(self):
+        from repro.api.endpoint import HttpEndpoint
+
+        endpoint = open_endpoint("http://127.0.0.1:1/opt?tags=a,b")
+        assert isinstance(endpoint, HttpEndpoint)
+        endpoint.close()
+
+
+class TestServingFleetProcesses:
+    """Real `repro serve --http 0` worker processes (the acceptance run)."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return _workload()
+
+    @staticmethod
+    def _replay(fleet, workload):
+        endpoint = fleet.endpoint(timeout=60.0)
+        try:
+            result = run_loadtest(
+                workload,
+                endpoint,
+                request_timeout=120.0,
+                sample_interval=0.0,
+                keep_receipts=True,
+            )
+            busy = endpoint.max_busy_workers
+        finally:
+            endpoint.close()
+        assert result.failed == 0, result.error_codes
+        buckets = {
+            index: json.dumps(
+                BucketManifest.from_bucket(receipt.bucket).to_dict(), sort_keys=True
+            )
+            for index, receipt in result.receipts.items()
+        }
+        return buckets, busy
+
+    def test_two_workers_same_bytes_more_concurrency(self, workload, tmp_path):
+        cache_dir = str(tmp_path / "shared-cache")
+        with ServingFleet(1, cache_dir=cache_dir, jobs=2) as single:
+            single_buckets, single_busy = self._replay(single, workload)
+        with ServingFleet(2, cache_dir=cache_dir, jobs=2) as pair:
+            assert len(pair.urls) == 2
+            pair_buckets, pair_busy = self._replay(pair, workload)
+        # byte-identical optimized buckets, request for request
+        assert single_buckets == pair_buckets
+        # strictly more observed concurrency than the single worker
+        assert pair_busy > single_busy
+        assert single_busy == 1 and pair_busy == 2
+
+    def test_fleet_close_terminates_workers(self, workload, tmp_path):
+        fleet = ServingFleet(1, cache_dir=str(tmp_path / "c"), jobs=1)
+        fleet.start()
+        assert fleet.poll() == [None]
+        fleet.close()
+        assert fleet.urls == []
+        assert fleet.poll() == []

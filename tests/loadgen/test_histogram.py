@@ -1,0 +1,126 @@
+"""LatencyHistogram: recording, quantiles, merging, serialization."""
+
+import json
+import random
+
+import pytest
+
+from repro.loadgen.histogram import LatencyHistogram
+
+
+class TestRecording:
+    def test_counts_and_moments(self):
+        hist = LatencyHistogram()
+        for value in (0.001, 0.002, 0.004, 0.5):
+            hist.record(value)
+        assert hist.count == 4
+        assert hist.min_s == 0.001
+        assert hist.max_s == 0.5
+        assert hist.mean_s == pytest.approx(0.507 / 4)
+        assert sum(hist.counts) == 4
+
+    def test_overflow_bucket(self):
+        hist = LatencyHistogram(bounds=[0.1, 0.2])
+        hist.record(5.0)
+        assert hist.counts[-1] == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-0.1)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=[])
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=[0.2, 0.1])
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=[-1.0, 1.0])
+
+
+class TestQuantiles:
+    def test_empty_is_none(self):
+        hist = LatencyHistogram()
+        assert hist.quantile(0.5) is None
+        assert hist.mean_s is None
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_single_sample_is_exact(self):
+        hist = LatencyHistogram()
+        hist.record(0.0123)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(0.0123)
+
+    def test_estimates_within_bucket_error(self):
+        """Against exact percentiles of a known sample: the estimate must
+        land within one 2x bucket of the truth."""
+        rng = random.Random(0)
+        samples = [rng.uniform(0.001, 0.5) for _ in range(5000)]
+        hist = LatencyHistogram()
+        for s in samples:
+            hist.record(s)
+        ordered = sorted(samples)
+        for q in (0.5, 0.95, 0.99):
+            exact = ordered[int(q * len(ordered)) - 1]
+            estimate = hist.quantile(q)
+            assert exact / 2.05 <= estimate <= exact * 2.05
+
+    def test_estimates_clamped_to_observed_range(self):
+        hist = LatencyHistogram()
+        hist.record(0.0101)
+        hist.record(0.0102)
+        assert hist.min_s <= hist.quantile(0.01) <= hist.max_s
+        assert hist.min_s <= hist.quantile(0.99) <= hist.max_s
+
+
+class TestMerge:
+    def test_merge_equals_combined_recording(self):
+        a, b, combined = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        for i, value in enumerate(0.001 * (j + 1) for j in range(40)):
+            (a if i % 2 else b).record(value)
+            combined.record(value)
+        a.merge(b)
+        assert a.counts == combined.counts
+        assert a.count == combined.count
+        assert a.min_s == combined.min_s
+        assert a.max_s == combined.max_s
+        assert a.sum_s == pytest.approx(combined.sum_s)
+
+    def test_merge_into_empty(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        b.record(0.5)
+        a.merge(b)
+        assert (a.count, a.min_s, a.max_s) == (1, 0.5, 0.5)
+
+    def test_mismatched_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(bounds=[1.0]))
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        hist = LatencyHistogram()
+        for value in (0.003, 0.004, 1.7):
+            hist.record(value)
+        rebuilt = LatencyHistogram.from_dict(json.loads(json.dumps(hist.to_dict())))
+        assert rebuilt.counts == hist.counts
+        assert rebuilt.count == hist.count
+        assert rebuilt.quantile(0.5) == hist.quantile(0.5)
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda d: d.update(count=99),
+            lambda d: d["counts"].append(1),
+            lambda d: d["counts"].__setitem__(0, -1),
+        ],
+    )
+    def test_corrupt_documents_rejected(self, corrupt):
+        hist = LatencyHistogram()
+        hist.record(0.01)
+        doc = hist.to_dict()
+        corrupt(doc)
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_dict(doc)

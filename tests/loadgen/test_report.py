@@ -1,0 +1,147 @@
+"""LOADTEST reports: schema, persistence, SLO math, baseline verdicts."""
+
+import copy
+import json
+
+import pytest
+
+from repro.loadgen.driver import run_loadtest
+from repro.loadgen.report import (
+    LOADTEST_SCHEMA_VERSION,
+    build_report,
+    compare_loadtests,
+    default_report_path,
+    load_report,
+    save_report,
+    summary_lines,
+    validate_report,
+)
+from repro.loadgen.workload import WorkloadSpec, generate_workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    workload = generate_workload(
+        WorkloadSpec(
+            name="rep",
+            seed=5,
+            arrival="closed",
+            requests=6,
+            clients=3,
+            mix={"squeezenet": 1.0},
+            k=0,
+            variants=1,
+        )
+    )
+    return run_loadtest(workload, "local:", sample_interval=0.1)
+
+
+@pytest.fixture()
+def report(result):
+    return build_report(result, slo_ms=5000.0)
+
+
+class TestBuild:
+    def test_shape_and_schema(self, report):
+        validate_report(report)  # raises on malformation
+        assert report["schema_version"] == LOADTEST_SCHEMA_VERSION
+        assert report["kind"] == "loadtest"
+        assert report["name"] == "rep"
+        assert report["requests"]["total"] == 6
+        assert report["workload"]["digest"].startswith("sha256:")
+        assert report["endpoint"]["transport"] == "local"
+        assert report["latency_ms"]["p50"] <= report["latency_ms"]["p95"]
+        assert report["throughput_rps"] > 0
+        assert report["concurrency"]["max_in_flight"] >= 1
+
+    def test_slo_attainment_bounds(self, result):
+        generous = build_report(result, slo_ms=60_000.0)
+        assert generous["slo"]["attained"] == 1.0
+        strict = build_report(result, slo_ms=0.001)
+        assert strict["slo"]["attained"] == 0.0
+
+    def test_cache_timeline_present(self, report):
+        assert report["cache"]["timeline"], "metrics sampler produced nothing"
+        final = report["cache"]["timeline"][-1]
+        assert final["counters"]["completed_total"] == 6
+
+    def test_bad_slo_rejected(self, result):
+        with pytest.raises(ValueError):
+            build_report(result, slo_ms=0)
+
+    def test_json_serializable(self, report):
+        json.dumps(report)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, report, tmp_path):
+        path = str(tmp_path / default_report_path("rep"))
+        save_report(report, path)
+        assert load_report(path) == report
+
+    @pytest.mark.parametrize(
+        "corrupt,match",
+        [
+            (lambda d: d.update(schema_version=99), "schema_version"),
+            (lambda d: d.pop("slo"), "missing key"),
+            (lambda d: d.update(kind="bench"), "loadtest"),
+            (lambda d: d["requests"].update(succeeded=999), "add up"),
+            (lambda d: d["histogram"].update({"counts": [0] * 22, "count": 0}),
+             "histogram"),
+        ],
+    )
+    def test_validation_catches_corruption(self, report, corrupt, match):
+        doc = copy.deepcopy(report)
+        corrupt(doc)
+        with pytest.raises(ValueError, match=match):
+            validate_report(doc)
+
+    def test_summary_mentions_the_essentials(self, report):
+        text = summary_lines(report)
+        assert "p95" in text and "slo" in text and "throughput" in text
+
+
+class TestComparator:
+    def test_identical_reports_are_ok(self, report):
+        comparison = compare_loadtests(report, report, tolerance=1.5)
+        assert not comparison.has_regressions
+        assert {v.verdict for v in comparison.verdicts} == {"ok"}
+        assert {v.name for v in comparison.verdicts} == {
+            "p50_s", "p95_s", "p99_s", "seconds_per_request"
+        }
+
+    def test_slower_current_regresses(self, report):
+        slow = copy.deepcopy(report)
+        slow["latency_ms"] = {
+            k: (None if v is None else v * 10) for k, v in slow["latency_ms"].items()
+        }
+        slow["throughput_rps"] = report["throughput_rps"] / 10
+        comparison = compare_loadtests(slow, report, tolerance=1.5)
+        assert len(comparison.regressions) == 4
+
+    def test_faster_current_improves(self, report):
+        fast = copy.deepcopy(report)
+        fast["latency_ms"] = {
+            k: (None if v is None else v / 10) for k, v in fast["latency_ms"].items()
+        }
+        fast["throughput_rps"] = report["throughput_rps"] * 10
+        comparison = compare_loadtests(fast, report, tolerance=1.5)
+        assert len(comparison.improvements) == 4
+
+    def test_missing_side_yields_missing_verdicts(self, report):
+        dead = copy.deepcopy(report)
+        dead["throughput_rps"] = 0.0
+        comparison = compare_loadtests(dead, report, tolerance=1.5)
+        by_name = {v.name: v.verdict for v in comparison.verdicts}
+        assert by_name["seconds_per_request"] == "missing-current"
+        comparison = compare_loadtests(report, dead, tolerance=1.5)
+        by_name = {v.name: v.verdict for v in comparison.verdicts}
+        assert by_name["seconds_per_request"] == "missing-baseline"
+
+    def test_renders_like_bench(self, report):
+        text = compare_loadtests(report, report).render()
+        assert "verdict" in text and "p95_s" in text
+
+    def test_bad_tolerance(self, report):
+        with pytest.raises(ValueError):
+            compare_loadtests(report, report, tolerance=0.5)

@@ -1,0 +1,219 @@
+"""Workload synthesis: determinism, arrival shapes, artifact round-trips."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.loadgen.workload import (
+    ARRIVAL_PROCESSES,
+    WorkloadSpec,
+    generate_workload,
+    list_presets,
+    load_workload,
+    save_workload,
+    workload_preset,
+)
+
+
+def _poisson_spec(**overrides) -> WorkloadSpec:
+    base = WorkloadSpec(
+        name="t",
+        seed=7,
+        arrival="poisson",
+        duration_s=30.0,
+        rate_rps=3.0,
+        mix={"squeezenet": 2.0, "mobilenet": 1.0},
+        variants=3,
+    )
+    return replace(base, **overrides)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("arrival", ARRIVAL_PROCESSES)
+    def test_same_seed_same_workload(self, arrival):
+        spec = _poisson_spec(arrival=arrival)
+        if arrival == "closed":
+            spec = replace(spec, requests=40)
+        assert generate_workload(spec) == generate_workload(spec)
+
+    def test_same_seed_byte_identical_artifact(self, tmp_path):
+        """The acceptance property: workload.json is byte-reproducible."""
+        spec = _poisson_spec()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_workload(generate_workload(spec), str(a))
+        save_workload(generate_workload(spec), str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_different_seed_different_schedule(self):
+        w1 = generate_workload(_poisson_spec(seed=1))
+        w2 = generate_workload(_poisson_spec(seed=2))
+        assert w1.requests != w2.requests
+        assert w1.digest() != w2.digest()
+
+    def test_mix_insertion_order_irrelevant(self):
+        """Sampling sorts model names: dict order cannot change draws."""
+        forward = _poisson_spec(mix={"squeezenet": 2.0, "mobilenet": 1.0})
+        backward = _poisson_spec(mix={"mobilenet": 1.0, "squeezenet": 2.0})
+        assert generate_workload(forward).requests == (
+            generate_workload(backward).requests
+        )
+
+    def test_digest_covers_schedule(self):
+        w = generate_workload(_poisson_spec())
+        assert w.digest().startswith("sha256:")
+        trimmed = type(w)(spec=w.spec, requests=w.requests[:-1])
+        assert trimmed.digest() != w.digest()
+
+
+class TestArrivalProcesses:
+    def test_closed_loop_offsets_are_zero(self):
+        w = generate_workload(
+            WorkloadSpec(name="c", arrival="closed", requests=12, clients=3)
+        )
+        assert len(w) == 12
+        assert all(r.offset_s == 0.0 for r in w.requests)
+
+    def test_poisson_offsets_sorted_within_duration(self):
+        w = generate_workload(_poisson_spec())
+        offsets = [r.offset_s for r in w.requests]
+        assert offsets == sorted(offsets)
+        assert all(0 < t < 30.0 for t in offsets)
+        # ~rate * duration arrivals, with generous slack for variance
+        assert 40 <= len(offsets) <= 150
+
+    def test_poisson_request_cap(self):
+        w = generate_workload(_poisson_spec(requests=10, duration_s=1e9))
+        assert len(w) == 10
+
+    def test_bursty_is_denser_in_bursts(self):
+        spec = _poisson_spec(
+            arrival="bursty",
+            duration_s=40.0,
+            rate_rps=5.0,
+            burst_on_s=2.0,
+            burst_off_s=2.0,
+            burst_idle_fraction=0.05,
+        )
+        w = generate_workload(spec)
+        period = spec.burst_on_s + spec.burst_off_s
+        on = sum(1 for r in w.requests if (r.offset_s % period) < spec.burst_on_s)
+        off = len(w) - on
+        assert on > 3 * off  # bursts carry the overwhelming majority
+
+    def test_models_and_variants_come_from_spec(self):
+        w = generate_workload(_poisson_spec())
+        assert {r.model for r in w.requests} <= {"squeezenet", "mobilenet"}
+        assert {r.variant for r in w.requests} <= {0, 1, 2}
+        assert len(w.distinct_buckets) <= 6
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"arrival": "warp"},
+            {"mix": {}},
+            {"mix": {"squeezenet": -1.0}},
+            {"clients": 0},
+            {"variants": 0},
+            {"k": -1},
+            {"duration_s": 0.0},
+            {"rate_rps": 0.0},
+        ],
+    )
+    def test_bad_specs_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            generate_workload(_poisson_spec(**overrides))
+
+    def test_closed_needs_request_count(self):
+        with pytest.raises(ValueError, match="requests"):
+            generate_workload(WorkloadSpec(name="c", arrival="closed", requests=0))
+
+    def test_bursty_needs_valid_phases(self):
+        with pytest.raises(ValueError, match="bursty"):
+            generate_workload(
+                _poisson_spec(arrival="bursty", burst_on_s=0.0)
+            )
+
+
+class TestArtifacts:
+    def test_round_trip(self, tmp_path):
+        w = generate_workload(_poisson_spec())
+        path = str(tmp_path / "w.json")
+        save_workload(w, path)
+        assert load_workload(path) == w
+
+    def test_schema_version_enforced(self, tmp_path):
+        import json
+
+        w = generate_workload(_poisson_spec())
+        doc = w.to_dict()
+        doc["schema_version"] = 999
+        path = tmp_path / "w.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_workload(str(path))
+
+    def test_not_a_workload_rejected(self, tmp_path):
+        path = tmp_path / "w.json"
+        path.write_text('{"kind": "bench"}')
+        with pytest.raises(ValueError, match="workload"):
+            load_workload(str(path))
+
+    @pytest.mark.parametrize(
+        "mangle,match",
+        [
+            (lambda reqs: reqs[1:], "0..n-1"),  # trimmed, indices keep gaps
+            (lambda reqs: [dict(r, index=0) for r in reqs], "0..n-1"),
+            (lambda reqs: [dict(r, offset_s=-1.0) for r in reqs], ">= 0"),
+            (lambda reqs: list(reversed(reqs)), "0..n-1"),
+        ],
+    )
+    def test_hand_edited_schedules_rejected(self, tmp_path, mangle, match):
+        """The driver indexes state by request.index: a trimmed or
+        re-indexed workload.json must fail at load, not mid-replay."""
+        import json
+
+        doc = generate_workload(_poisson_spec()).to_dict()
+        doc["requests"] = mangle(doc["requests"])
+        path = tmp_path / "w.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match=match):
+            load_workload(str(path))
+
+    def test_unknown_spec_fields_rejected(self, tmp_path):
+        import json
+
+        w = generate_workload(_poisson_spec())
+        doc = w.to_dict()
+        doc["spec"]["surprise"] = 1
+        path = tmp_path / "w.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="surprise"):
+            load_workload(str(path))
+
+
+class TestPresets:
+    def test_presets_listed_and_generate(self):
+        names = list_presets()
+        assert names == sorted(names)
+        assert {"micro", "smoke", "burst"} <= set(names)
+        for name in names:
+            workload = generate_workload(workload_preset(name))
+            assert len(workload) >= 1
+
+    def test_preset_reseed(self):
+        a = generate_workload(workload_preset("smoke"))
+        b = generate_workload(workload_preset("smoke", seed=99))
+        assert a.spec.seed != b.spec.seed
+        assert a.requests != b.requests
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="available"):
+            workload_preset("nope")
+
+    def test_preset_models_are_registered(self):
+        from repro.models import list_models
+
+        for name in list_presets():
+            assert set(workload_preset(name).mix) <= set(list_models())

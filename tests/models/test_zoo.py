@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.ir.serialization import graph_to_dict
 from repro.ir.validate import validate_graph
 from repro.models import (
     CNN_MODELS,
@@ -9,6 +10,7 @@ from repro.models import (
     build_model,
     list_models,
 )
+from repro.models.zoo import MODEL_REGISTRY
 
 
 class TestRegistry:
@@ -19,9 +21,27 @@ class TestRegistry:
         assert set(TRANSFORMER_MODELS) <= set(names)
         assert "nats" in names
 
+    def test_listing_matches_registry_exactly(self):
+        """list_models() is the enumeration loadgen samples mixes from:
+        every registered family must appear, nothing extra."""
+        assert list_models() == sorted(MODEL_REGISTRY)
+        assert set(CNN_MODELS) | set(TRANSFORMER_MODELS) | {"nats"} == (
+            set(MODEL_REGISTRY)
+        )
+
+    def test_listing_is_stable(self):
+        assert list_models() == list_models()
+        assert list_models() is not list_models()  # a copy, not the registry
+
     def test_unknown_model(self):
         with pytest.raises(KeyError, match="available"):
             build_model("vgg99")
+
+    def test_unknown_model_lists_alternatives(self):
+        with pytest.raises(KeyError) as exc_info:
+            build_model("vgg99")
+        for name in list_models():
+            assert name in str(exc_info.value)
 
     def test_kwargs_forwarded(self):
         small = build_model("resnet", stage_blocks=(1, 1), widths=(8, 16))
@@ -29,8 +49,11 @@ class TestRegistry:
         assert small.num_nodes < big.num_nodes
 
 
-@pytest.mark.parametrize("name", CNN_MODELS + TRANSFORMER_MODELS + ["nats"])
+@pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
 class TestEveryModel:
+    """Every *registered* family, not a hand-maintained list: a family
+    added to the zoo gets this coverage (and loadgen mixability) free."""
+
     def test_validates(self, name):
         g = build_model(name)
         validate_graph(g)
@@ -50,6 +73,17 @@ class TestEveryModel:
         a = build_model(name)
         b = build_model(name)
         assert [n.op_type for n in a.nodes] == [n.op_type for n in b.nodes]
+
+    def test_deterministic_to_the_byte(self, name):
+        """Two builds serialize identically — weights included.  Loadgen
+        replays depend on this: the manifests a workload materializes
+        must be the same bytes on every machine that generates them."""
+        a = graph_to_dict(build_model(name))
+        b = graph_to_dict(build_model(name))
+        assert a == b
+
+    def test_graph_carries_family_name(self, name):
+        assert build_model(name).name  # non-empty; used in receipts/reports
 
 
 class TestArchitectureSignatures:

@@ -244,6 +244,13 @@ class TestRoundTrip:
         assert payload["transport"] == "http"
         assert "ortlike" in payload["backends"]
         assert payload["backends"]["ortlike"]["entries"]["optimized"] > 0
+        # top-level counters aggregate the per-backend monotonic counters
+        counters = payload["counters"]
+        assert counters["submitted_total"] >= 1
+        assert counters["submitted_total"] == sum(
+            b["counters"]["submitted_total"] for b in payload["backends"].values()
+        )
+        assert counters["entries_optimized"] >= counters["entry_cache_hits"]
 
     def test_submit_names_another_backend(self, server, obfuscation):
         """A submit may request any registered backend by name."""

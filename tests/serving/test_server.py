@@ -211,3 +211,71 @@ class TestMetricsAndLifecycle:
             OptimizationServer(
                 "ortlike", cache=OptimizationCache(), cache_dir=str(tmp_path)
             )
+
+
+class TestMonotonicCounters:
+    """submitted/completed/failed_total: goodput without sampling races."""
+
+    def test_counters_track_job_lifecycle(self, obfuscated):
+        _, result = obfuscated
+        with OptimizationServer("ortlike", cache=OptimizationCache()) as srv:
+            before = srv.metrics()["counters"]
+            assert before == {
+                "submitted_total": 0,
+                "completed_total": 0,
+                "failed_total": 0,
+                "entries_optimized": 0,
+                "entry_cache_hits": 0,
+            }
+            job_id = srv.submit(result.bucket)
+            assert srv.metrics()["counters"]["submitted_total"] == 1
+            srv.await_receipt(job_id, timeout=120)
+            counters = srv.metrics()["counters"]
+        assert counters["completed_total"] == 1
+        assert counters["failed_total"] == 0
+        assert counters["entries_optimized"] == len(result.bucket)
+
+    def test_failed_jobs_count_separately(self):
+        class Exploding:
+            name = "exploding"
+
+            def optimize(self, graph):
+                raise RuntimeError("boom")
+
+        with OptimizationServer(Exploding()) as srv:
+            job_id = srv.submit(duplicate_bucket(n_copies=1))
+            with pytest.raises(RuntimeError):
+                srv.await_receipt(job_id, timeout=60)
+            # completion is signalled by the entry futures, not by the
+            # await call; poll briefly for the callback to land.
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                counters = srv.metrics()["counters"]
+                if counters["failed_total"]:
+                    break
+                time.sleep(0.01)
+        assert counters["submitted_total"] == 1
+        assert counters["failed_total"] == 1
+        assert counters["completed_total"] == 0
+
+    def test_forget_never_decrements(self):
+        bucket = duplicate_bucket(n_copies=2)
+        with OptimizationServer("ortlike") as srv:
+            job_id = srv.submit(bucket)
+            srv.await_receipt(job_id, timeout=60)
+            srv.forget(job_id)
+            counters = srv.metrics()["counters"]
+        assert counters["submitted_total"] == 1
+        assert counters["completed_total"] == 1
+
+    def test_dedup_jobs_each_complete(self):
+        """Two jobs sharing dedup'd entry futures both count as completed."""
+        backend = CountingOptimizer()
+        bucket = duplicate_bucket(n_copies=2)
+        with OptimizationServer(backend) as srv:
+            jobs = [srv.submit(bucket), srv.submit(bucket)]
+            for job_id in jobs:
+                srv.await_receipt(job_id, timeout=60)
+            counters = srv.metrics()["counters"]
+        assert counters["submitted_total"] == 2
+        assert counters["completed_total"] == 2
