@@ -34,6 +34,9 @@ Endpoint URIs follow a small grammar (also accepted by
     https://HOST:PORT      same, behind TLS termination
     http://H:P1,http://H:P2  round-robin fleet of workers
                            (`repro serve --http 0 --workers N`)
+    fleet:STATE_FILE       autoscaling fleet via its membership state
+                           file (`repro serve ... --fleet-state PATH`);
+                           follows workers the autoscaler adds/removes
 
 Failures are structured everywhere: transports raise
 :class:`~repro.api.wire.EndpointError` with the same closed set of
@@ -48,6 +51,7 @@ import abc
 import http.client
 import json
 import os
+import random
 import socket
 import threading
 import time
@@ -62,6 +66,7 @@ from .types import OptimizationReceipt, receipt_from_buckets
 from .wire import (
     ERR_BAD_DIGEST,
     ERR_JOB_PENDING,
+    ERR_OVERLOADED,
     ERR_UNKNOWN_JOB,
     ERR_VERSION_MISMATCH,
     PROTOCOL_VERSION,
@@ -138,6 +143,18 @@ class OptimizerEndpoint(abc.ABC):
     @abc.abstractmethod
     def metrics(self) -> Dict[str, Any]:
         """Operational snapshot; always carries a ``transport`` tag."""
+
+    def client_stats(self) -> Dict[str, int]:
+        """Client-side backpressure accounting for this endpoint.
+
+        ``shed_total`` counts ``overloaded`` responses received,
+        ``retried_total`` submits re-attempted after honoring the
+        server's ``retry_after_s`` hint, ``gave_up_total`` submits that
+        exhausted their backoff budget.  Transports without client-side
+        retry report zeros (their sheds surface directly as structured
+        errors instead).
+        """
+        return {"shed_total": 0, "retried_total": 0, "gave_up_total": 0}
 
     @abc.abstractmethod
     def close(self) -> None:
@@ -386,6 +403,12 @@ class HttpEndpoint(OptimizerEndpoint):
     since closed is detected and the request retried once on a fresh
     connection; ``keep_alive=False`` restores one-connection-per-request
     for servers (or middleboxes) that misbehave under reuse.
+
+    Submits shed by admission control (``overloaded``, HTTP 429) are
+    retried with capped exponential backoff + jitter, never sooner than
+    the server's ``retry_after_s`` hint; ``retry=None`` disables this
+    and surfaces the first shed directly.  :meth:`client_stats` counts
+    sheds seen, retries performed and submits given up on.
     """
 
     transport = "http"
@@ -401,11 +424,27 @@ class HttpEndpoint(OptimizerEndpoint):
         timeout: float = 30.0,
         optimizer: Optional[str] = None,
         keep_alive: bool = True,
+        retry: Optional[Any] = "default",
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.optimizer = optimizer
         self.keep_alive = keep_alive
+        if retry == "default":
+            # client-side pacing, not durability: short base, low cap —
+            # the server's retry_after_s hint extends individual waits.
+            from ..serving.spool import RetryPolicy
+
+            retry = RetryPolicy(
+                base_delay=0.1, max_delay=5.0, max_attempts=4, jitter=0.25
+            )
+        self.retry = retry
+        self._rng = rng if rng is not None else random.Random()
+        self._stats_lock = threading.Lock()
+        self._shed_total = 0
+        self._retried_total = 0
+        self._gave_up_total = 0
         parsed = urllib.parse.urlsplit(self.base_url)
         if parsed.scheme not in ("http", "https") or not parsed.netloc:
             raise ValueError(
@@ -555,7 +594,37 @@ class HttpEndpoint(OptimizerEndpoint):
         }
         if self.optimizer is not None:
             body["optimizer"] = self.optimizer
-        return str(self._request("POST", "/v1/jobs", body)["job_id"])
+        attempts = 0
+        while True:
+            try:
+                return str(self._request("POST", "/v1/jobs", body)["job_id"])
+            except EndpointError as exc:
+                if exc.code != ERR_OVERLOADED:
+                    raise
+                with self._stats_lock:
+                    self._shed_total += 1
+                attempts += 1
+                if self.retry is None or self.retry.exhausted(attempts):
+                    with self._stats_lock:
+                        self._gave_up_total += 1
+                    raise
+                # back off at least as long as the server asked, capped
+                # by the policy's max_delay so one pathological hint
+                # cannot stall a client thread for half a minute.
+                delay = self.retry.delay(attempts, self._rng)
+                if exc.retry_after_s is not None:
+                    delay = max(delay, exc.retry_after_s)
+                with self._stats_lock:
+                    self._retried_total += 1
+                time.sleep(min(delay, self.retry.max_delay))
+
+    def client_stats(self) -> Dict[str, int]:
+        with self._stats_lock:
+            return {
+                "shed_total": self._shed_total,
+                "retried_total": self._retried_total,
+                "gave_up_total": self._gave_up_total,
+            }
 
     def status(self, job_id: str):
         return status_from_wire(
@@ -610,21 +679,60 @@ class RemoteOptimizerService:
     Wraps any endpoint so code written against
     ``service.optimize(bucket) -> receipt`` runs unchanged against a
     remote optimizer party.
+
+    ``overloaded`` sheds are retried with the same capped backoff +
+    ``retry_after_s`` honoring as :class:`HttpEndpoint` — but only for
+    endpoints without their own retry loop (``HttpEndpoint`` already
+    backs off inside ``submit``; stacking a second loop on top would
+    square the attempt count).  Pass ``retry=None`` to surface sheds
+    directly.
     """
 
-    def __init__(self, endpoint: OptimizerEndpoint, timeout: Optional[float] = None):
+    def __init__(
+        self,
+        endpoint: OptimizerEndpoint,
+        timeout: Optional[float] = None,
+        retry: Optional[Any] = "default",
+        rng: Optional[random.Random] = None,
+    ):
         self.endpoint = endpoint
         self.timeout = timeout
         self.name = f"remote:{endpoint.transport}"
+        if retry == "default":
+            if getattr(endpoint, "retry", None) is not None:
+                retry = None  # the endpoint itself already backs off
+            else:
+                from ..serving.spool import RetryPolicy
+
+                retry = RetryPolicy(
+                    base_delay=0.1, max_delay=5.0, max_attempts=4, jitter=0.25
+                )
+        self.retry = retry
+        self._rng = rng if rng is not None else random.Random()
 
     def optimize(self, bucket: Union[BucketManifest, ObfuscatedBucket]) -> OptimizationReceipt:
-        job_id = self.endpoint.submit(bucket)
+        attempts = 0
+        while True:
+            try:
+                job_id = self.endpoint.submit(bucket)
+                break
+            except EndpointError as exc:
+                if exc.code != ERR_OVERLOADED or self.retry is None:
+                    raise
+                attempts += 1
+                if self.retry.exhausted(attempts):
+                    raise
+                delay = self.retry.delay(attempts, self._rng)
+                if exc.retry_after_s is not None:
+                    delay = max(delay, exc.retry_after_s)
+                time.sleep(min(delay, self.retry.max_delay))
         return self.endpoint.await_receipt(job_id, timeout=self.timeout)
 
 
 _URI_GRAMMAR = (
     "endpoint URIs: local:[BACKEND] | spool:DIRECTORY | http://HOST:PORT "
-    "| https://HOST:PORT | http://H:P1,http://H:P2,... (round-robin fleet)"
+    "| https://HOST:PORT | http://H:P1,http://H:P2,... (round-robin fleet) "
+    "| fleet:STATE_FILE (autoscaling fleet; follows membership changes)"
 )
 
 
@@ -677,4 +785,12 @@ def open_endpoint(
                 f"spool endpoint needs a directory (spool:DIR), got {uri!r}"
             )
         return SpoolEndpoint(rest)
+    if scheme == "fleet":
+        if not rest:
+            raise ValueError(
+                f"fleet endpoint needs a state file (fleet:PATH), got {uri!r}"
+            )
+        from ..loadgen.fleet import open_fleet_state_endpoint
+
+        return open_fleet_state_endpoint(rest, timeout=timeout, optimizer=optimizer)
     raise ValueError(f"unknown endpoint scheme {scheme!r}; {_URI_GRAMMAR}")

@@ -20,7 +20,7 @@ modules only) so both client and server layers can depend on it.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -31,6 +31,7 @@ __all__ = [
     "ERR_UNKNOWN_JOB",
     "ERR_JOB_PENDING",
     "ERR_JOB_FAILED",
+    "ERR_OVERLOADED",
     "ERR_NOT_FOUND",
     "ERR_INTERNAL",
     "HTTP_STATUS",
@@ -54,12 +55,14 @@ ERR_UNKNOWN_BACKEND = "unknown_backend"  #: requested optimizer not registered
 ERR_UNKNOWN_JOB = "unknown_job"  #: job id never submitted (or already claimed)
 ERR_JOB_PENDING = "job_pending"  #: receipt requested before the job finished
 ERR_JOB_FAILED = "job_failed"  #: the optimizer raised while running the job
+ERR_OVERLOADED = "overloaded"  #: admission control shed the submit; retry later
 ERR_NOT_FOUND = "not_found"  #: no such route
 ERR_INTERNAL = "internal_error"  #: unexpected server-side failure
 
 #: HTTP status each error code travels under.  ``job_pending`` is a 202
-#: (the request was fine, the result just isn't ready), everything else
-#: is a plain client/server error.
+#: (the request was fine, the result just isn't ready), ``overloaded``
+#: is the standard 429 (back off and retry), everything else is a plain
+#: client/server error.
 HTTP_STATUS: Dict[str, int] = {
     ERR_MALFORMED: 400,
     ERR_VERSION_MISMATCH: 400,
@@ -69,6 +72,7 @@ HTTP_STATUS: Dict[str, int] = {
     ERR_NOT_FOUND: 404,
     ERR_JOB_PENDING: 202,
     ERR_JOB_FAILED: 500,
+    ERR_OVERLOADED: 429,
     ERR_INTERNAL: 500,
 }
 
@@ -79,30 +83,46 @@ class EndpointError(Exception):
     ``code`` is one of the ``ERR_*`` constants; ``message`` is the
     human-readable detail.  Transports raise this directly (in-process)
     or serialize/deserialize it via :meth:`to_dict`/:meth:`from_dict`.
+
+    ``retry_after_s`` rides along on ``overloaded`` errors: the serving
+    side's estimate of when capacity frees up, which well-behaved
+    clients honor (with backoff + jitter) instead of hammering an
+    already-saturated queue.  It survives serialization on every
+    transport, so branch-on-code *and* the hint are transport-agnostic.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(
+        self, code: str, message: str, retry_after_s: Optional[float] = None
+    ) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
+        self.retry_after_s = retry_after_s
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
-            "error": {
-                "code": self.code,
-                "message": self.message,
-                "protocol_version": PROTOCOL_VERSION,
-            }
+        error: Dict[str, Any] = {
+            "code": self.code,
+            "message": self.message,
+            "protocol_version": PROTOCOL_VERSION,
         }
+        if self.retry_after_s is not None:
+            error["retry_after_s"] = round(float(self.retry_after_s), 3)
+        return {"error": error}
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "EndpointError":
         err = d.get("error")
         if not isinstance(err, dict):
             err = {}
+        retry_after = err.get("retry_after_s")
+        try:
+            retry_after = None if retry_after is None else max(0.0, float(retry_after))
+        except (TypeError, ValueError):
+            retry_after = None
         return cls(
             str(err.get("code", ERR_INTERNAL)),
             str(err.get("message", "unspecified endpoint error")),
+            retry_after_s=retry_after,
         )
 
     def __str__(self) -> str:

@@ -255,8 +255,13 @@ def _serve_http(args, cache, jobs, options) -> int:
 
     Binds first (so ``--http 0`` resolves to a real port), prints one
     machine-parseable JSON line with the endpoint URL to stdout, then
-    serves until interrupted.
+    serves until interrupted.  SIGTERM/SIGINT trigger a graceful drain:
+    new submits are refused with a typed ``overloaded`` error while
+    queued jobs finish, bounded by ``--drain-timeout-s``.
     """
+    import signal
+    import threading
+
     from .api.wire import PROTOCOL_VERSION
     from .serving.http import OptimizationHTTPServer
 
@@ -268,6 +273,8 @@ def _serve_http(args, cache, jobs, options) -> int:
             host=args.host,
             port=args.http,
             verbose=args.verbose,
+            admission_slo_s=(args.slo_ms / 1e3 if args.slo_ms else None),
+            entry_cost_s=(args.entry_cost_ms or 0.0) / 1e3,
             **options,
         )
     except TypeError as exc:
@@ -285,33 +292,81 @@ def _serve_http(args, cache, jobs, options) -> int:
         advertised = {"0.0.0.0": "127.0.0.1", "::": "[::1]"}.get(host, host)
         url = f"http://{advertised}:{port}"
         bound_note = f" (bound on {host})" if advertised != host else ""
+        admission_note = (
+            f", slo={args.slo_ms:g}ms" if args.slo_ms else ""
+        )
         print(
             f"serving {url}{bound_note} (optimizer={args.optimizer}, "
             f"workers={jobs}, cache={args.cache_dir or 'memory-only'}, "
-            f"protocol=v{PROTOCOL_VERSION})",
+            f"protocol=v{PROTOCOL_VERSION}{admission_note})",
             file=sys.stderr,
         )
         print(
             json.dumps({"endpoint": url, "protocol_version": PROTOCOL_VERSION}),
             flush=True,
         )
+
+        # graceful drain: the first signal stops admissions and spawns a
+        # waiter that shuts the socket down once the queue empties (or
+        # the drain budget runs out); a second signal exits immediately.
+        drain_started = threading.Event()
+
+        def drain_then_stop() -> None:
+            completed = app.drain(timeout_s=args.drain_timeout_s)
+            print(
+                "drain complete; shutting down"
+                if completed
+                else f"drain budget ({args.drain_timeout_s:g}s) spent with "
+                     "work still queued; shutting down anyway",
+                file=sys.stderr,
+            )
+            if app._httpd is not None:
+                app._httpd.shutdown()
+
+        def on_signal(signum, frame) -> None:
+            if drain_started.is_set():
+                raise KeyboardInterrupt  # second signal: exit now
+            drain_started.set()
+            print(
+                f"caught signal {signum}; draining (new submits are shed, "
+                f"queued jobs get {args.drain_timeout_s:g}s)",
+                file=sys.stderr,
+            )
+            threading.Thread(
+                target=drain_then_stop, name="drain-waiter", daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, on_signal)
+        signal.signal(signal.SIGINT, on_signal)
         try:
             app.serve_forever()
-        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        except KeyboardInterrupt:
             print("interrupted; shutting down", file=sys.stderr)
     return 0
 
 
 def _serve_fleet(args, jobs) -> int:
-    """``repro serve --http 0 --workers N``: a multi-process fleet.
+    """``repro serve --http 0 --workers N [--max-workers M]``: a fleet.
 
     Spawns N independent ``repro serve --http 0`` worker processes
     (sharing ``--cache-dir`` when given), prints one JSON line whose
-    ``endpoint`` is the comma-separated worker URL list — directly
-    usable as ``repro optimize/loadtest --endpoint`` (round-robin) —
-    then babysits the workers until interrupted.
+    ``endpoint`` is the comma-separated worker URL list — or
+    ``fleet:PATH`` with ``--fleet-state``, which clients should prefer
+    because it follows membership changes — then babysits the workers
+    until interrupted.
+
+    With ``--max-workers`` the signal-driven autoscaler runs in this
+    process: it polls every worker's ``/v1/metrics`` signals block,
+    grows the fleet when the aggregate estimated wait breaches the SLO
+    budget, shrinks it back when the queue idles, and respawns crashed
+    workers (without it a dead worker ends the fleet).
     """
+    import signal
+    import threading
+
+    from .api.endpoint import HttpEndpoint
     from .api.wire import PROTOCOL_VERSION
+    from .control import AutoscalerPolicy, FleetAutoscaler, ServiceSignals, aggregate_signals
     from .loadgen.fleet import ServingFleet
 
     if args.http != 0:
@@ -323,22 +378,87 @@ def _serve_fleet(args, jobs) -> int:
     extra = []
     if args.kernel_selection:
         extra.append("--kernel-selection")
+    if args.slo_ms:
+        extra += ["--slo-ms", str(args.slo_ms)]
+    if args.drain_timeout_s is not None:
+        extra += ["--drain-timeout-s", str(args.drain_timeout_s)]
+    if args.entry_cost_ms:
+        extra += ["--entry-cost-ms", str(args.entry_cost_ms)]
+
+    workers = args.workers or 1
+    min_workers = args.min_workers if args.min_workers is not None else workers
+    max_workers = args.max_workers if args.max_workers is not None else workers
+
     fleet = ServingFleet(
-        args.workers,
+        workers,
         optimizer=args.optimizer,
         cache_dir=args.cache_dir,
         jobs=jobs,
         host=args.host,
         extra_args=extra,
         capture_stderr=False,  # operators need worker logs + tracebacks
+        state_path=args.fleet_state,
     )
+
+    # the autoscaler reads each worker's /v1/metrics "signals" block and
+    # steers on the fleet-wide aggregate.
+    metric_clients = {}
+
+    def fleet_signals():
+        # all-or-nothing: if ANY worker's poll fails, this whole round
+        # returns None (the autoscaler no-ops).  A partial aggregate is
+        # worse than none — with the one busy worker unreachable the
+        # remainder can read as idle and trigger a scale-down that kills
+        # workers still holding client work.
+        parts = []
+        for url in list(fleet.urls):
+            client = metric_clients.get(url)
+            if client is None:
+                client = metric_clients[url] = HttpEndpoint(url, timeout=5.0)
+            try:
+                snapshot = ServiceSignals.from_metrics(client.metrics())
+            except Exception:
+                return None  # worker mid-restart: sit this poll out
+            if snapshot is not None:
+                parts.append(snapshot)
+        return aggregate_signals(parts) if parts else None
+
+    autoscaler = None
+    if args.max_workers is not None or args.min_workers is not None:
+        slo_s = (args.slo_ms / 1e3) if args.slo_ms else 1.0
+        autoscaler = FleetAutoscaler(
+            fleet,
+            fleet_signals,
+            AutoscalerPolicy(
+                min_workers=min_workers,
+                max_workers=max_workers,
+                scale_up_wait_s=slo_s,
+                scale_down_wait_s=slo_s / 10.0,
+                hysteresis=2,
+                # retire a worker only after a sustained quiet spell:
+                # bursty clients go silent for a few seconds between
+                # bursts, and stopping a worker in that gap severs the
+                # keep-alive connections they are about to reuse.
+                scale_down_stabilization_s=8.0,
+                cooldown_s=3.0,
+                poll_interval_s=0.5,
+            ),
+        )
+
     try:
         with fleet:
             urls = fleet.urls
+            endpoint_uri = (
+                f"fleet:{args.fleet_state}" if args.fleet_state else ",".join(urls)
+            )
+            scaling_note = (
+                f", autoscaling {min_workers}..{max_workers}" if autoscaler else ""
+            )
             print(
-                f"serving fleet of {args.workers} workers "
+                f"serving fleet of {len(urls)} worker(s) "
                 f"(optimizer={args.optimizer}, jobs={jobs}/worker, "
-                f"cache={args.cache_dir or 'per-worker memory'}):",
+                f"cache={args.cache_dir or 'per-worker memory'}"
+                f"{scaling_note}):",
                 file=sys.stderr,
             )
             for url in urls:
@@ -346,16 +466,34 @@ def _serve_fleet(args, jobs) -> int:
             print(
                 json.dumps(
                     {
-                        "endpoint": ",".join(urls),
+                        "endpoint": endpoint_uri,
                         "workers": urls,
                         "protocol_version": PROTOCOL_VERSION,
                     }
                 ),
                 flush=True,
             )
+
+            shutting_down = threading.Event()
+
+            def on_signal(signum, frame) -> None:
+                # first signal starts the shutdown; repeats are no-ops
+                # (raising again mid-close would just turn an orderly
+                # worker drain into a traceback).
+                if shutting_down.is_set():
+                    return
+                shutting_down.set()
+                raise KeyboardInterrupt
+
+            signal.signal(signal.SIGTERM, on_signal)
+            signal.signal(signal.SIGINT, on_signal)
+            if autoscaler is not None:
+                autoscaler.start()
             try:
                 while True:
                     time.sleep(1.0)
+                    if autoscaler is not None:
+                        continue  # reap/respawn handled by the autoscaler
                     codes = [c for c in fleet.poll() if c is not None]
                     if codes:
                         print(
@@ -364,9 +502,21 @@ def _serve_fleet(args, jobs) -> int:
                             file=sys.stderr,
                         )
                         return 1
-            except KeyboardInterrupt:  # pragma: no cover - interactive exit
-                print("interrupted; shutting down", file=sys.stderr)
+            except KeyboardInterrupt:
+                print("interrupted; shutting down fleet (workers drain "
+                      "individually)", file=sys.stderr)
                 return 0
+            finally:
+                if autoscaler is not None:
+                    autoscaler.stop()
+                    for event in autoscaler.events:
+                        print(
+                            f"  autoscaler: {event['action']} -> "
+                            f"{event['workers']} worker(s) ({event['reason']})",
+                            file=sys.stderr,
+                        )
+                for client in metric_clients.values():
+                    client.close()
     except RuntimeError as exc:
         print(f"cannot start fleet: {exc}", file=sys.stderr)
         return 2
@@ -394,16 +544,46 @@ def _cmd_serve(args) -> int:
         options["kernel_selection"] = True
     jobs = args.jobs if args.jobs is not None else _default_jobs()
 
-    if args.workers is not None:
-        if args.workers < 1:
-            print("--workers must be >= 1", file=sys.stderr)
-            return 2
+    if args.slo_ms is not None and args.slo_ms <= 0:
+        print("--slo-ms must be > 0", file=sys.stderr)
+        return 2
+    if args.drain_timeout_s is not None and args.drain_timeout_s < 0:
+        print("--drain-timeout-s must be >= 0", file=sys.stderr)
+        return 2
+    if args.entry_cost_ms is not None and args.entry_cost_ms < 0:
+        print("--entry-cost-ms must be >= 0", file=sys.stderr)
+        return 2
+
+    fleet_mode = (
+        (args.workers is not None and args.workers > 1)
+        or args.max_workers is not None
+        or args.min_workers is not None
+        or args.fleet_state is not None
+    )
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if fleet_mode or args.workers is not None:
         if args.http is None:
-            print("--workers requires --http (fleet workers speak the wire "
-                  "protocol)", file=sys.stderr)
+            print("--workers/--max-workers/--fleet-state require --http "
+                  "(fleet workers speak the wire protocol)", file=sys.stderr)
             return 2
-        if args.workers > 1:
-            return _serve_fleet(args, jobs)
+    if fleet_mode:
+        workers = args.workers or 1
+        min_workers = args.min_workers if args.min_workers is not None else workers
+        max_workers = args.max_workers if args.max_workers is not None else workers
+        if min_workers < 1:
+            print("--min-workers must be >= 1", file=sys.stderr)
+            return 2
+        if max_workers < workers or max_workers < min_workers:
+            print("--max-workers must be >= --workers and >= --min-workers",
+                  file=sys.stderr)
+            return 2
+        if min_workers > workers:
+            print("--min-workers must be <= --workers (the starting size)",
+                  file=sys.stderr)
+            return 2
+        return _serve_fleet(args, jobs)
 
     cache = OptimizationCache(cache_dir=args.cache_dir)  # None dir = memory-only
 
@@ -416,7 +596,11 @@ def _cmd_serve(args) -> int:
         return 2
     try:
         server = OptimizationServer(
-            args.optimizer, cache=cache, workers=jobs, **options
+            args.optimizer,
+            cache=cache,
+            workers=jobs,
+            entry_cost_s=(args.entry_cost_ms or 0.0) / 1e3,
+            **options,
         )
     except TypeError as exc:
         print(f"cannot construct optimizer {args.optimizer!r}: {exc}",
@@ -556,8 +740,11 @@ def _cmd_loadtest(args) -> int:
         "failed": report["requests"]["failed"],
         "error_codes": report["requests"]["error_codes"],
         "p95_ms": report["latency_ms"]["p95"],
+        "p99_ms": report["latency_ms"]["p99"],
         "throughput_rps": report["throughput_rps"],
         "slo_attained": report["slo"]["attained"],
+        "shed": report["backpressure"]["shed"],
+        "client_stats": report["backpressure"]["client"],
         "baseline": args.baseline,
         "regressions": [],
         "improvements": [],
@@ -831,6 +1018,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process everything currently pending, then exit")
     p.add_argument("--poll-interval", type=float, default=1.0,
                    help="seconds between spool directory scans (default: 1)")
+    p.add_argument("--slo-ms", type=float, default=None, metavar="T",
+                   help="arm admission control with a T-millisecond queueing "
+                        "budget: submits whose estimated wait (queue depth x "
+                        "EWMA entry latency) exceeds it are shed with a typed "
+                        "'overloaded' error + retry_after_s hint (HTTP 429)")
+    p.add_argument("--min-workers", type=int, default=None, metavar="N",
+                   help="autoscaler floor (default: --workers); dead workers "
+                        "are respawned back up to this count")
+    p.add_argument("--max-workers", type=int, default=None, metavar="M",
+                   help="autoscaler ceiling: grow the fleet up to M workers "
+                        "when the aggregate estimated wait breaches the SLO "
+                        "budget, shrink back when it idles (enables the "
+                        "autoscaler; implies the fleet path even with "
+                        "--workers 1)")
+    p.add_argument("--drain-timeout-s", type=float, default=30.0, metavar="S",
+                   help="on SIGTERM/SIGINT, refuse new submits (typed "
+                        "'overloaded') and finish queued jobs for up to S "
+                        "seconds before exiting (default: 30)")
+    p.add_argument("--entry-cost-ms", type=float, default=None, metavar="C",
+                   help="add C milliseconds of artificial service time per "
+                        "cache-miss entry (capacity modeling: the built-in "
+                        "optimizers finish in ~1ms, too fast to ever build "
+                        "a queue; this makes overload drills of admission "
+                        "control and the autoscaler realistic)")
+    p.add_argument("--fleet-state", default=None, metavar="PATH",
+                   help="with --workers/--max-workers: publish live worker "
+                        "URLs to PATH (atomically rewritten on membership "
+                        "changes); clients follow the fleet with "
+                        "--endpoint fleet:PATH")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(

@@ -1,0 +1,33 @@
+"""repro.control: the serving tier's control plane.
+
+Closes the loop between the signals the serving tier already exports
+(queue depth, per-entry latency, SLO attainment) and the levers it
+already has (admit/shed a submit, grow/shrink a worker fleet):
+
+* :mod:`~repro.control.signals` — :class:`SignalTracker` produces live
+  :class:`ServiceSignals` snapshots from per-entry observations;
+* :mod:`~repro.control.admission` — :class:`AdmissionController` sheds
+  submits whose estimated wait exceeds the SLO budget, as structured
+  ``overloaded`` errors carrying a ``retry_after_s`` hint;
+* :mod:`~repro.control.autoscaler` — :class:`FleetAutoscaler` resizes a
+  worker fleet between bounds from the same signals, with hysteresis
+  and cooldown, and replaces crashed workers.
+
+Stdlib-only (plus :mod:`repro.api.wire` for the error vocabulary), so
+every other layer can import it without cycles.
+"""
+
+from .admission import AdmissionController, AdmissionPolicy
+from .autoscaler import AutoscalerPolicy, FleetAutoscaler
+from .signals import Ewma, ServiceSignals, SignalTracker, aggregate_signals
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AutoscalerPolicy",
+    "Ewma",
+    "FleetAutoscaler",
+    "ServiceSignals",
+    "SignalTracker",
+    "aggregate_signals",
+]

@@ -1,0 +1,128 @@
+"""Admission control: shed work the queue cannot serve within budget.
+
+An open-loop load source does not slow down when the service falls
+behind; without admission control the queue grows without bound and
+*every* request's latency explodes.  The regulated alternative is to
+bound the queue by the SLO itself: a submit whose **estimated wait**
+(:class:`~repro.control.signals.ServiceSignals`'s
+``queue_depth x ewma_latency / workers``) already exceeds the latency
+budget cannot possibly meet its SLO, so it is cheaper for everyone to
+reject it *now* — typed, with a ``retry_after_s`` hint — than to let it
+rot in the queue and time out.
+
+The controller is consulted synchronously on every
+:meth:`~repro.serving.server.OptimizationServer.submit`; a shed
+surfaces as ``EndpointError("overloaded", retry_after_s=...)`` on every
+transport (HTTP 429 on the wire).  It keeps its own monotonic
+admitted/shed counters so reports can tell graceful shedding apart from
+generic failures.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..api.wire import ERR_OVERLOADED, EndpointError
+from .signals import ServiceSignals
+
+__all__ = ["AdmissionPolicy", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """When to shed, and what retry hint to attach.
+
+    ``slo_budget_s`` is the queueing-delay budget: the wait a newly
+    admitted entry may face before the service even starts on it.  It
+    is deliberately the *wait*, not the end-to-end latency — service
+    time is what it is; the queue is the only thing admission control
+    can regulate.
+
+    ``min_queue_depth`` keeps a cold controller honest: with only a few
+    entries in flight the latency EWMA is dominated by warmup noise
+    (module imports, first-touch caches), so shedding is suppressed
+    until the queue is deep enough that the estimate means something.
+    """
+
+    slo_budget_s: float
+    #: never shed while fewer than this many entries are queued/running.
+    min_queue_depth: int = 4
+    #: bounds on the retry_after_s hint attached to shed responses.
+    retry_after_floor_s: float = 0.1
+    retry_after_cap_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.slo_budget_s <= 0:
+            raise ValueError(f"slo_budget_s must be > 0, got {self.slo_budget_s}")
+        if self.min_queue_depth < 0:
+            raise ValueError("min_queue_depth must be >= 0")
+        if not 0 < self.retry_after_floor_s <= self.retry_after_cap_s:
+            raise ValueError("need 0 < retry_after_floor_s <= retry_after_cap_s")
+
+
+class AdmissionController:
+    """Admit-or-shed gate over live :class:`ServiceSignals`.
+
+    Thread safe; one controller guards one server's queue (each queue
+    has its own depth and latency profile, so fleets run one per
+    worker).
+    """
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None, **policy_kwargs) -> None:
+        if policy is not None and policy_kwargs:
+            raise ValueError("pass either a policy or policy fields, not both")
+        self.policy = policy if policy is not None else AdmissionPolicy(**policy_kwargs)
+        self._lock = threading.Lock()
+        self._admitted_total = 0
+        self._shed_total = 0
+
+    # -- the decision -------------------------------------------------------
+    def evaluate(self, signals: ServiceSignals) -> Optional[float]:
+        """``None`` to admit, else the ``retry_after_s`` hint for a shed.
+
+        Pure decision logic (no counters, no exceptions) so tests and
+        alternative front-ends can probe it directly.
+        """
+        policy = self.policy
+        if signals.queue_depth < policy.min_queue_depth:
+            return None
+        if signals.ewma_entry_latency_s is None:
+            return None  # nothing measured yet: admit and learn
+        if signals.estimated_wait_s <= policy.slo_budget_s:
+            return None
+        # retry once enough of the backlog has drained that the wait is
+        # back inside budget: the excess wait, plus one entry's service
+        # time of slack so re-submits do not land exactly on the edge.
+        excess = signals.estimated_wait_s - policy.slo_budget_s
+        hint = excess + signals.ewma_entry_latency_s
+        return min(policy.retry_after_cap_s, max(policy.retry_after_floor_s, hint))
+
+    def admit(self, signals: ServiceSignals, context: str = "submit") -> None:
+        """Count an admit, or raise the structured ``overloaded`` error."""
+        retry_after = self.evaluate(signals)
+        if retry_after is None:
+            with self._lock:
+                self._admitted_total += 1
+            return
+        with self._lock:
+            self._shed_total += 1
+        raise EndpointError(
+            ERR_OVERLOADED,
+            f"{context} shed by admission control: estimated wait "
+            f"{signals.estimated_wait_s:.2f}s exceeds the "
+            f"{self.policy.slo_budget_s:g}s budget "
+            f"({signals.queue_depth} entries queued over "
+            f"{signals.workers} worker(s)); retry in {retry_after:.2f}s",
+            retry_after_s=retry_after,
+        )
+
+    # -- accounting ---------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "slo_budget_s": self.policy.slo_budget_s,
+                "admitted_total": self._admitted_total,
+                "shed_total": self._shed_total,
+            }

@@ -1,0 +1,281 @@
+"""Signal-driven fleet autoscaler: grow into load, shrink out of it.
+
+Admission control (:mod:`repro.control.admission`) protects a queue of
+*fixed* capacity; the autoscaler changes the capacity.  It polls the
+same :class:`~repro.control.signals.ServiceSignals` the admission
+controller consults — aggregate estimated wait and SLO attainment —
+and resizes a worker fleet between configured bounds:
+
+* **scale up** when the aggregate estimated wait has exceeded the
+  scale-up threshold for ``hysteresis`` consecutive polls (one noisy
+  sample never buys a process);
+* **scale down** when the wait has stayed below the (lower) scale-down
+  threshold just as persistently — two thresholds with a dead band
+  between them, so the fleet does not flap around a single set point.
+  Retiring a worker additionally requires the idle condition to have
+  held for a full **stabilization window** of wall-clock time: bursty
+  sources go quiet between bursts for longer than a couple of polls,
+  and stopping a worker mid-gap kills the keep-alive connections of
+  clients about to burst again;
+* **cooldown** after either action: a freshly started worker needs a
+  few polls to absorb queue share before its effect is measurable, so
+  judging the new size immediately would double-scale.
+
+The scaler is deliberately decoupled from any concrete fleet class: it
+drives anything exposing ``worker_count``/``add_worker()``/
+``stop_worker()``/``reap()`` (see :class:`~repro.loadgen.fleet.ServingFleet`)
+and reads signals from an injected zero-argument callable, so tests run
+it against fakes with a fake clock and no processes at all.
+
+Dead workers are handled on every poll, before any scaling decision:
+``reap()`` drops crashed children from the fleet, and the scaler
+respawns up to ``min_workers`` immediately (a crash is not a
+scale-down).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from .signals import ServiceSignals
+
+__all__ = ["AutoscalerPolicy", "FleetAutoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Bounds, thresholds and damping for one :class:`FleetAutoscaler`.
+
+    ``scale_up_wait_s`` is typically the admission SLO budget (waits at
+    the shed threshold mean paying customers are about to be turned
+    away: add capacity); ``scale_down_wait_s`` must sit well below it
+    so the two actions never chase each other.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 1
+    #: aggregate estimated wait that counts as a scale-up breach.
+    scale_up_wait_s: float = 1.0
+    #: aggregate estimated wait below which a worker looks idle enough
+    #: to retire.  Must be < scale_up_wait_s (the dead band).
+    scale_down_wait_s: float = 0.1
+    #: consecutive breached polls before acting (damping).
+    hysteresis: int = 2
+    #: seconds the scale-down condition must hold *continuously* before
+    #: a worker is retired.  Hysteresis alone is poll-count damping
+    #: (hysteresis x poll_interval can be under a second); this is the
+    #: wall-clock floor that keeps a bursty workload's quiet gaps from
+    #: reading as "idle fleet".  Scale-up is deliberately exempt —
+    #: adding capacity late is the expensive mistake under load.
+    scale_down_stabilization_s: float = 5.0
+    #: seconds after any resize during which no further resize happens.
+    cooldown_s: float = 3.0
+    #: seconds between polls when running threaded via :meth:`start`.
+    poll_interval_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError(
+                f"max_workers ({self.max_workers}) must be >= "
+                f"min_workers ({self.min_workers})"
+            )
+        if self.scale_up_wait_s <= 0:
+            raise ValueError("scale_up_wait_s must be > 0")
+        if not 0 <= self.scale_down_wait_s < self.scale_up_wait_s:
+            raise ValueError(
+                "need 0 <= scale_down_wait_s < scale_up_wait_s "
+                "(the dead band between them prevents flapping)"
+            )
+        if self.hysteresis < 1:
+            raise ValueError("hysteresis must be >= 1")
+        if self.scale_down_stabilization_s < 0:
+            raise ValueError("scale_down_stabilization_s must be >= 0")
+        if self.cooldown_s < 0 or self.poll_interval_s <= 0:
+            raise ValueError("cooldown_s must be >= 0 and poll_interval_s > 0")
+
+
+class FleetAutoscaler:
+    """Poll signals, resize a worker fleet, keep crashed workers replaced.
+
+    Parameters
+    ----------
+    fleet:
+        Anything with ``worker_count`` (int property), ``add_worker()``,
+        ``stop_worker()`` and ``reap()`` (returns the number of dead
+        workers removed).
+    signals_fn:
+        Zero-argument callable returning the current fleet-aggregate
+        :class:`ServiceSignals` (or None when unavailable — e.g. every
+        worker mid-restart — in which case the poll is a no-op).
+    policy:
+        The :class:`AutoscalerPolicy`; ``clock`` (default
+        ``time.monotonic``) is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        fleet: Any,
+        signals_fn: Callable[[], Optional[ServiceSignals]],
+        policy: AutoscalerPolicy,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.fleet = fleet
+        self.signals_fn = signals_fn
+        self.policy = policy
+        self.clock = clock
+        self.events: List[Dict[str, Any]] = []
+        self._up_streak = 0
+        self._down_streak = 0
+        self._down_since: Optional[float] = None
+        self._last_resize_at: Optional[float] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- bookkeeping --------------------------------------------------------
+    def _record(self, now: float, action: str, reason: str) -> None:
+        self.events.append(
+            {
+                "t": now,
+                "action": action,
+                "workers": self.fleet.worker_count,
+                "reason": reason,
+            }
+        )
+
+    def _in_cooldown(self, now: float) -> bool:
+        return (
+            self._last_resize_at is not None
+            and now - self._last_resize_at < self.policy.cooldown_s
+        )
+
+    # -- one control step ---------------------------------------------------
+    def poll_once(self, now: Optional[float] = None) -> Optional[str]:
+        """One reap + observe + decide step; returns the action taken.
+
+        Returns ``"respawn"``, ``"scale_up"``, ``"scale_down"`` or None
+        (no action).  Deterministic given the injected clock and
+        signals, which is what the unit tests exercise.
+        """
+        with self._lock:
+            if now is None:
+                now = self.clock()
+            policy = self.policy
+
+            # crashed workers first: reap unconditionally, replace up to
+            # min_workers regardless of cooldown (a dead worker is lost
+            # capacity, not a policy decision).
+            reaped = int(self.fleet.reap() or 0)
+            respawned = 0
+            while self.fleet.worker_count < policy.min_workers:
+                self.fleet.add_worker()
+                respawned += 1
+            if reaped or respawned:
+                self._record(
+                    now, "respawn", f"reaped {reaped} dead worker(s), respawned {respawned}"
+                )
+                self._last_resize_at = now
+                self._up_streak = self._down_streak = 0
+                self._down_since = None
+                return "respawn"
+
+            signals = self.signals_fn()
+            if signals is None:
+                return None
+
+            wait = signals.estimated_wait_s
+            if wait > policy.scale_up_wait_s:
+                self._up_streak += 1
+                self._down_streak = 0
+                self._down_since = None
+            elif wait < policy.scale_down_wait_s and signals.queue_depth == 0:
+                self._down_streak += 1
+                self._up_streak = 0
+                if self._down_since is None:
+                    self._down_since = now
+            else:  # inside the dead band: decay both streaks
+                self._up_streak = self._down_streak = 0
+                self._down_since = None
+
+            if self._in_cooldown(now):
+                return None
+
+            if (
+                self._up_streak >= policy.hysteresis
+                and self.fleet.worker_count < policy.max_workers
+            ):
+                self.fleet.add_worker()
+                self._record(
+                    now,
+                    "scale_up",
+                    f"estimated wait {wait:.2f}s > {policy.scale_up_wait_s:g}s "
+                    f"for {self._up_streak} polls",
+                )
+                self._last_resize_at = now
+                self._up_streak = self._down_streak = 0
+                self._down_since = None
+                return "scale_up"
+
+            if (
+                self._down_streak >= policy.hysteresis
+                and self._down_since is not None
+                and now - self._down_since >= policy.scale_down_stabilization_s
+                and self.fleet.worker_count > policy.min_workers
+            ):
+                self.fleet.stop_worker()
+                self._record(
+                    now,
+                    "scale_down",
+                    f"estimated wait {wait:.2f}s < {policy.scale_down_wait_s:g}s "
+                    f"for {self._down_streak} polls "
+                    f"({now - self._down_since:.1f}s idle)",
+                )
+                self._last_resize_at = now
+                self._up_streak = self._down_streak = 0
+                self._down_since = None
+                return "scale_down"
+
+            return None
+
+    # -- threaded operation -------------------------------------------------
+    def start(self) -> None:
+        """Run :meth:`poll_once` every ``poll_interval_s`` in a daemon
+        thread until :meth:`stop`.  Poll failures are recorded as events
+        rather than killing the loop (a worker restarting mid-poll must
+        not take the control plane down with it)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(self.policy.poll_interval_s):
+                try:
+                    self.poll_once()
+                except Exception as exc:
+                    self._record(
+                        self.clock(), "error", f"{type(exc).__name__}: {exc}"
+                    )
+
+        self._thread = threading.Thread(
+            target=loop, name="fleet-autoscaler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> "FleetAutoscaler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

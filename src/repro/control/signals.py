@@ -1,0 +1,251 @@
+"""Live service signals: the measurements the control plane steers by.
+
+Everything in :mod:`repro.control` — admission control shedding a
+submit, the autoscaler growing a fleet — acts on the same small
+vocabulary of signals, all derived from counters the serving tier
+already exports through ``metrics()``:
+
+* **queue depth** — entries queued or running right now (the
+  scheduler's in-flight table size);
+* **EWMA per-entry latency** — the *expected* service time of the next
+  queued entry.  Entry service times are bimodal (a content-addressed
+  cache hit is ~a lookup, a miss is a full optimizer run, often 100x
+  slower), so one moving average over both is dominated by whichever
+  arrived last; the tracker instead keeps separate hit/miss EWMAs plus
+  a hit-rate EWMA and exports their blend
+  ``hit_rate x hit_cost + (1 - hit_rate) x miss_cost``;
+* **estimated wait** — ``queue_depth x ewma_latency / workers``: what a
+  newly admitted entry would wait before even starting.  This is the
+  quantity admission control compares against the SLO budget;
+* **SLO attainment** — EWMA of the fraction of entries finishing within
+  the budget (the autoscaler's scale-up trigger complements it with the
+  estimated wait).
+
+:class:`SignalTracker` is the producer side (embedded in
+:class:`~repro.serving.server.OptimizationServer`, fed one observation
+per optimized entry); :class:`ServiceSignals` is the immutable snapshot
+that crosses layer (and process) boundaries — it serializes into the
+``"signals"`` block of ``metrics()`` so a remote autoscaler reads the
+same numbers an in-process admission controller does.
+
+This module is deliberately stdlib-only and import-free within the
+package so every layer (api, serving, loadgen) can depend on it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence
+
+__all__ = ["Ewma", "ServiceSignals", "SignalTracker", "aggregate_signals"]
+
+
+class Ewma:
+    """Exponentially weighted moving average, ``None`` until first fed.
+
+    ``alpha`` is the weight of the newest observation: higher tracks
+    faster, lower smooths harder.  Not thread-safe on its own — the
+    :class:`SignalTracker` serializes access.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: Optional[float] = None
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def update(self, observation: float) -> float:
+        if self._value is None:
+            self._value = float(observation)
+        else:
+            self._value += self.alpha * (float(observation) - self._value)
+        return self._value
+
+
+@dataclass(frozen=True)
+class ServiceSignals:
+    """Point-in-time control signals for one server (or a whole fleet)."""
+
+    #: entries queued or running (the work a new submit queues behind).
+    queue_depth: int
+    #: worker threads (or, aggregated, total worker threads fleet-wide).
+    workers: int
+    #: EWMA per-entry service time; None until the first entry finishes.
+    ewma_entry_latency_s: Optional[float]
+    #: queue_depth x ewma / workers — expected queueing delay for a new
+    #: entry.  0.0 while the latency EWMA is still cold.
+    estimated_wait_s: float
+    #: EWMA of "entry finished within the SLO budget" (1.0/0.0 samples);
+    #: None when no SLO budget is configured or nothing finished yet.
+    slo_attainment: Optional[float] = None
+    #: entries observed so far (how warm the EWMAs are).
+    observed_entries: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "queue_depth": self.queue_depth,
+            "workers": self.workers,
+            "ewma_entry_latency_s": self.ewma_entry_latency_s,
+            "estimated_wait_s": self.estimated_wait_s,
+            "slo_attainment": self.slo_attainment,
+            "observed_entries": self.observed_entries,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ServiceSignals":
+        ewma = d.get("ewma_entry_latency_s")
+        attainment = d.get("slo_attainment")
+        return cls(
+            queue_depth=int(d.get("queue_depth", 0)),
+            workers=max(1, int(d.get("workers", 1))),
+            ewma_entry_latency_s=None if ewma is None else float(ewma),
+            estimated_wait_s=float(d.get("estimated_wait_s", 0.0)),
+            slo_attainment=None if attainment is None else float(attainment),
+            observed_entries=int(d.get("observed_entries", 0)),
+        )
+
+    @classmethod
+    def from_metrics(cls, metrics: Any) -> Optional["ServiceSignals"]:
+        """The ``"signals"`` block of a ``metrics()`` payload, if present.
+
+        Works on any transport's metrics shape (server, HTTP app,
+        fleet) — they all export the same normalized block.
+        """
+        if not isinstance(metrics, dict):
+            return None
+        block = metrics.get("signals")
+        if not isinstance(block, dict):
+            return None
+        try:
+            return cls.from_dict(block)
+        except (TypeError, ValueError):
+            return None
+
+
+class SignalTracker:
+    """Thread-safe producer of :class:`ServiceSignals`.
+
+    The serving loop calls :meth:`observe_entry` once per optimized
+    entry, flagging cache hits; :meth:`snapshot` combines the EWMAs
+    with the current queue gauge into an immutable snapshot.
+
+    Hits and misses are priced **separately**.  A cache hit costs a
+    lookup; a miss costs a full optimizer run.  Folding both into one
+    EWMA lets a warm stretch drag the average toward zero, and the
+    estimated wait — ``depth x ewma / workers`` — then reads an
+    entire queue of cold work as free (the admission controller stops
+    shedding exactly when the service is drowning).  The exported
+    ``ewma_entry_latency_s`` is therefore the *expected* cost of the
+    next entry: ``hit_rate x hit_cost + (1 - hit_rate) x miss_cost``,
+    each factor its own EWMA.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        slo_budget_s: Optional[float] = None,
+        prior_latency_s: Optional[float] = None,
+    ) -> None:
+        if slo_budget_s is not None and slo_budget_s <= 0:
+            raise ValueError(f"slo_budget_s must be > 0, got {slo_budget_s}")
+        if prior_latency_s is not None and prior_latency_s <= 0:
+            raise ValueError(f"prior_latency_s must be > 0, got {prior_latency_s}")
+        self.slo_budget_s = slo_budget_s
+        self._hit_cost = Ewma(alpha)
+        self._miss_cost = Ewma(alpha)
+        self._hit_rate = Ewma(alpha)
+        # a declared service-time floor (e.g. the server's configured
+        # per-entry cost) seeds the miss-cost EWMA so admission control
+        # is never *blind* at cold start — without a prior, the first
+        # burst is fully admitted (estimated wait reads 0.0 until an
+        # entry finishes) and the resulting backlog poisons every
+        # latency behind it.  The seed is not counted as an
+        # observation: ``observed_entries`` still reports how warm the
+        # *measured* signal is.
+        if prior_latency_s is not None:
+            self._miss_cost.update(prior_latency_s)
+        self._attainment = Ewma(alpha)
+        self._observed = 0
+        self._lock = threading.Lock()
+
+    def observe_entry(self, latency_s: float, hit: bool = False) -> None:
+        with self._lock:
+            if hit:
+                self._hit_cost.update(latency_s)
+            else:
+                self._miss_cost.update(latency_s)
+            self._hit_rate.update(1.0 if hit else 0.0)
+            if self.slo_budget_s is not None:
+                self._attainment.update(1.0 if latency_s <= self.slo_budget_s else 0.0)
+            self._observed += 1
+
+    def _expected_cost_locked(self) -> Optional[float]:
+        hit_cost = self._hit_cost.value
+        miss_cost = self._miss_cost.value
+        if hit_cost is None and miss_cost is None:
+            return None
+        # until the first observation the hit rate is unknown: assume
+        # all-miss (the conservative price — overload probes start cold).
+        rate = self._hit_rate.value if self._hit_rate.value is not None else 0.0
+        if miss_cost is None:
+            miss_cost = hit_cost  # warm-only history: hits are all we know
+        if hit_cost is None:
+            hit_cost = 0.0  # no hit seen yet: its weight (rate) is ~0 anyway
+        return rate * hit_cost + (1.0 - rate) * miss_cost
+
+    def snapshot(self, queue_depth: int, workers: int) -> ServiceSignals:
+        workers = max(1, workers)
+        with self._lock:
+            ewma = self._expected_cost_locked()
+            attainment = self._attainment.value if self.slo_budget_s is not None else None
+            observed = self._observed
+        wait = 0.0 if ewma is None else queue_depth * ewma / workers
+        return ServiceSignals(
+            queue_depth=max(0, queue_depth),
+            workers=workers,
+            ewma_entry_latency_s=ewma,
+            estimated_wait_s=wait,
+            slo_attainment=attainment,
+            observed_entries=observed,
+        )
+
+
+def aggregate_signals(parts: Sequence[ServiceSignals]) -> ServiceSignals:
+    """Combine per-worker signals into one fleet-level snapshot.
+
+    Depth, workers and observation counts add; the latency EWMA is the
+    observation-weighted mean of the members that have one; the
+    estimated wait is the *mean* of member waits (a round-robin front
+    spreads new work evenly, so the expected wait of the next submit is
+    the average, not the worst, member); attainment is likewise the
+    observation-weighted mean.
+    """
+    parts = [p for p in parts if p is not None]
+    if not parts:
+        return ServiceSignals(
+            queue_depth=0, workers=1, ewma_entry_latency_s=None, estimated_wait_s=0.0
+        )
+
+    def weighted(values_weights) -> Optional[float]:
+        pairs = [(v, max(1, w)) for v, w in values_weights if v is not None]
+        if not pairs:
+            return None
+        total = sum(w for _, w in pairs)
+        return sum(v * w for v, w in pairs) / total
+
+    return ServiceSignals(
+        queue_depth=sum(p.queue_depth for p in parts),
+        workers=sum(p.workers for p in parts),
+        ewma_entry_latency_s=weighted(
+            (p.ewma_entry_latency_s, p.observed_entries) for p in parts
+        ),
+        estimated_wait_s=sum(p.estimated_wait_s for p in parts) / len(parts),
+        slo_attainment=weighted((p.slo_attainment, p.observed_entries) for p in parts),
+        observed_entries=sum(p.observed_entries for p in parts),
+    )

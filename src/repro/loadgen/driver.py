@@ -82,6 +82,16 @@ class LoadTestResult:
     final_metrics: Optional[Dict[str, Any]] = None
     #: request index -> receipt, populated only with ``keep_receipts``.
     receipts: Dict[int, Any] = field(default_factory=dict)
+    #: the endpoint's client-side backpressure tally (sheds seen,
+    #: retries performed, submits given up on) — how much admission
+    #: control shaped this replay.  See OptimizerEndpoint.client_stats.
+    client_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def shed(self) -> int:
+        """Requests that ultimately failed as ``overloaded`` (graceful
+        sheds — the service said "not now", not "broken")."""
+        return self.error_codes.get("overloaded", 0)
 
     @property
     def succeeded(self) -> int:
@@ -331,6 +341,10 @@ def _run(
         final_metrics = endpoint.metrics()
     except Exception:
         final_metrics = None
+    try:
+        client_stats = dict(endpoint.client_stats())
+    except Exception:
+        client_stats = {}
 
     assert all(o is not None for o in outcomes)
     return LoadTestResult(
@@ -346,4 +360,5 @@ def _run(
         timeline=timeline,
         final_metrics=final_metrics,
         receipts=receipts,
+        client_stats=client_stats,
     )

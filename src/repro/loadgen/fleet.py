@@ -16,13 +16,25 @@ by job id, ``metrics`` aggregates, and the endpoint tracks how many
 workers had jobs in flight simultaneously (``max_busy_workers``) — the
 number a 1-vs-N loadtest compares to prove real concurrency happened.
 
+Membership is **dynamic**: the autoscaler
+(:class:`~repro.control.autoscaler.FleetAutoscaler`) adds and removes
+workers at runtime, so the fleet publishes its live worker URLs to an
+atomically rewritten *state file* (``--fleet-state PATH``), and
+``open_endpoint("fleet:PATH")`` opens a client that follows membership
+changes — new workers join its round-robin within a poll interval,
+retired ones stop receiving submits while in-flight jobs still route
+back.  A worker that dies mid-fleet is marked down on the first
+connection failure and its submit retried on a live sibling, instead of
+1/N of traffic hanging until timeout.
+
 Because every worker runs the same deterministic optimizer over
 content-addressed work, a fleet replay's receipts are byte-identical to
 a single worker's: scale-out changes *when* receipts arrive, never what
 is in them.
 
 ``repro serve --http 0 --workers N`` builds one of these from the CLI;
-``open_endpoint("http://h:p1,http://h:p2")`` opens a client for it.
+``open_endpoint("http://h:p1,http://h:p2")`` opens a static client for
+it, ``open_endpoint("fleet:PATH")`` a membership-following one.
 """
 
 from __future__ import annotations
@@ -33,12 +45,18 @@ import subprocess
 import sys
 import tempfile
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Union
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..api.endpoint import HttpEndpoint, OptimizerEndpoint
 from ..api.wire import ERR_UNKNOWN_JOB, EndpointError
 
-__all__ = ["FleetEndpoint", "ServingFleet"]
+__all__ = [
+    "FleetEndpoint",
+    "ServingFleet",
+    "open_fleet_endpoint",
+    "open_fleet_state_endpoint",
+]
 
 #: counters aggregated across workers into the fleet's metrics().
 _COUNTER_KEYS = (
@@ -49,42 +67,139 @@ _COUNTER_KEYS = (
     "entry_cache_hits",
 )
 
+#: client-stats keys aggregated across workers (see
+#: OptimizerEndpoint.client_stats).
+_CLIENT_STAT_KEYS = ("shed_total", "retried_total", "gave_up_total")
+
+
+class _Member:
+    """One fleet worker as the endpoint sees it.
+
+    ``up`` goes False on a connection failure (submits skip it until a
+    membership refresh lists it again); ``retired`` means the worker was
+    removed from the fleet — no new submits ever, but jobs already
+    routed there still reach it for status/receipt.
+    """
+
+    __slots__ = ("endpoint", "url", "up", "retired", "submitted", "in_flight")
+
+    def __init__(self, endpoint: OptimizerEndpoint, url: Optional[str] = None) -> None:
+        self.endpoint = endpoint
+        self.url = url
+        self.up = True
+        self.retired = False
+        self.submitted = 0
+        self.in_flight = 0
+
 
 class FleetEndpoint(OptimizerEndpoint):
     """Round-robin proxy over several endpoints (usually HTTP workers).
 
     Owns the member endpoints: ``close()`` closes them.  Thread safe —
-    the loadgen driver calls it from many client threads at once.
+    the loadgen driver calls it from many client threads at once, and a
+    state-file watcher may be reshaping membership concurrently.
     """
 
     transport = "fleet"
 
-    def __init__(self, endpoints: Sequence[OptimizerEndpoint]) -> None:
+    def __init__(
+        self,
+        endpoints: Sequence[OptimizerEndpoint],
+        urls: Optional[Sequence[str]] = None,
+        endpoint_factory: Optional[Callable[[str], OptimizerEndpoint]] = None,
+    ) -> None:
         if not endpoints:
             raise ValueError("a fleet endpoint needs at least one worker")
-        self._endpoints: List[OptimizerEndpoint] = list(endpoints)
+        if urls is not None and len(urls) != len(endpoints):
+            raise ValueError("urls must parallel endpoints")
+        self._members: List[_Member] = [
+            _Member(endpoint, None if urls is None else urls[i])
+            for i, endpoint in enumerate(endpoints)
+        ]
+        self._endpoint_factory = endpoint_factory
         self._lock = threading.Lock()
         self._next = 0
-        # job id -> [worker index, occupies-an-in-flight-slot].  The
-        # slot is released on *any* await_receipt outcome — including a
-        # timeout the caller may never retry — while the routing entry
-        # survives timeouts so a later re-await still finds its worker.
+        # job id -> [member, occupies-an-in-flight-slot].  The slot is
+        # released on *any* await_receipt outcome — including a timeout
+        # the caller may never retry — while the routing entry survives
+        # timeouts so a later re-await still finds its worker.
         self._jobs: Dict[str, List] = {}
-        self._in_flight = [0] * len(self._endpoints)
-        self._submitted = [0] * len(self._endpoints)
         self.max_busy_workers = 0
+        self._on_close: List[Callable[[], None]] = []
 
     def __len__(self) -> int:
-        return len(self._endpoints)
+        with self._lock:
+            return sum(1 for m in self._members if not m.retired)
+
+    # -- membership ----------------------------------------------------------
+    def mark_down(self, member: _Member) -> None:
+        """Take a member out of the submit rotation (connection died)."""
+        with self._lock:
+            member.up = False
+
+    def set_members(self, urls: Sequence[str]) -> None:
+        """Reshape membership to exactly ``urls`` (state-file refresh).
+
+        Workers already present stay (and are revived if marked down —
+        the fleet manager just vouched for them); new URLs join via the
+        endpoint factory; members whose URL vanished are retired —
+        their in-flight jobs still route back, but no new submits land
+        on them.  URL-less members (in-process fleets) are untouched.
+        """
+        if self._endpoint_factory is None:
+            raise RuntimeError(
+                "this fleet endpoint has no endpoint factory; "
+                "membership is fixed at construction"
+            )
+        urls = list(dict.fromkeys(urls))  # de-dup, keep order
+        with self._lock:
+            known = {m.url: m for m in self._members if m.url is not None}
+            wanted = set(urls)
+            for url, member in known.items():
+                if url in wanted:
+                    if member.retired:
+                        member.retired = False  # scale-down reverted
+                    member.up = True
+                else:
+                    member.retired = True
+            new_urls = [u for u in urls if u not in known]
+        # endpoint construction outside the lock (it may do I/O).
+        fresh = [
+            (url, self._endpoint_factory(url)) for url in new_urls
+        ]
+        with self._lock:
+            have = {m.url for m in self._members if m.url is not None}
+            for url, endpoint in fresh:
+                if url in have:  # racing refreshes: keep the first
+                    endpoint.close()
+                    continue
+                self._members.append(_Member(endpoint, url))
+
+    def member_urls(self, live_only: bool = True) -> List[str]:
+        with self._lock:
+            return [
+                m.url
+                for m in self._members
+                if m.url is not None
+                and (not live_only or (m.up and not m.retired))
+            ]
 
     # -- routing ------------------------------------------------------------
-    def _pick(self) -> int:
+    def _pick(self) -> _Member:
         with self._lock:
-            index = self._next % len(self._endpoints)
+            eligible = [m for m in self._members if m.up and not m.retired]
+            if not eligible:
+                # every worker marked down: optimistically try the
+                # non-retired ones anyway (the alternative is giving up
+                # without a single connection attempt).
+                eligible = [m for m in self._members if not m.retired]
+            if not eligible:
+                raise ConnectionError("fleet has no live workers")
+            member = eligible[self._next % len(eligible)]
             self._next += 1
-        return index
+        return member
 
-    def _worker_for(self, job_id: str) -> int:
+    def _member_for(self, job_id: str) -> _Member:
         with self._lock:
             try:
                 return self._jobs[job_id][0]
@@ -100,37 +215,51 @@ class FleetEndpoint(OptimizerEndpoint):
             entry = self._jobs.get(job_id)
             if entry is not None and entry[1]:
                 entry[1] = False
-                self._in_flight[entry[0]] -= 1
+                entry[0].in_flight -= 1
             if forget:
                 self._jobs.pop(job_id, None)
 
     # -- OptimizerEndpoint ----------------------------------------------------
     def submit(self, manifest) -> str:
-        index = self._pick()
-        job_id = self._endpoints[index].submit(manifest)
-        with self._lock:
-            self._jobs[job_id] = [index, True]
-            self._submitted[index] += 1
-            self._in_flight[index] += 1
-            busy = sum(1 for n in self._in_flight if n > 0)
-            self.max_busy_workers = max(self.max_busy_workers, busy)
-        return job_id
+        attempts = max(1, len(self))
+        last_exc: Optional[Exception] = None
+        for _ in range(attempts):
+            member = self._pick()
+            try:
+                job_id = member.endpoint.submit(manifest)
+            except ConnectionError as exc:
+                # dead worker: out of rotation, fail over to a sibling.
+                self.mark_down(member)
+                last_exc = exc
+                continue
+            with self._lock:
+                self._jobs[job_id] = [member, True]
+                member.submitted += 1
+                member.in_flight += 1
+                busy = sum(1 for m in self._members if m.in_flight > 0)
+                self.max_busy_workers = max(self.max_busy_workers, busy)
+            return job_id
+        raise last_exc if last_exc is not None else ConnectionError(
+            "fleet has no live workers"
+        )
 
     def negotiate(self) -> None:
-        """Preflight every worker that supports negotiation; raises
-        ConnectionError/EndpointError if any worker is unusable."""
-        for endpoint in self._endpoints:
-            negotiate = getattr(endpoint, "negotiate", None)
+        """Preflight every live worker that supports negotiation; raises
+        ConnectionError/EndpointError if any live worker is unusable."""
+        with self._lock:
+            members = [m for m in self._members if m.up and not m.retired]
+        for member in members:
+            negotiate = getattr(member.endpoint, "negotiate", None)
             if negotiate is not None:
                 negotiate()
 
     def status(self, job_id: str):
-        return self._endpoints[self._worker_for(job_id)].status(job_id)
+        return self._member_for(job_id).endpoint.status(job_id)
 
     def await_receipt(self, job_id: str, timeout: Optional[float] = None):
-        index = self._worker_for(job_id)
+        member = self._member_for(job_id)
         try:
-            receipt = self._endpoints[index].await_receipt(job_id, timeout=timeout)
+            receipt = member.endpoint.await_receipt(job_id, timeout=timeout)
         except (TimeoutError, ConnectionError):
             # transient: the worker may still hold (or later produce)
             # the receipt.  Free the slot so an abandoned job cannot
@@ -146,14 +275,15 @@ class FleetEndpoint(OptimizerEndpoint):
 
     def metrics(self) -> Dict[str, Any]:
         with self._lock:
-            submitted = list(self._submitted)
-            in_flight = list(self._in_flight)
+            members = [m for m in self._members if not m.retired]
+            submitted = [m.submitted for m in members]
+            in_flight = [m.in_flight for m in members]
             max_busy = self.max_busy_workers
         workers = []
         counters = {key: 0 for key in _COUNTER_KEYS}
-        for endpoint in self._endpoints:
+        for member in members:
             try:
-                m = endpoint.metrics()
+                m = member.endpoint.metrics()
             except Exception as exc:  # a down worker must not hide the rest
                 m = {"error": f"{type(exc).__name__}: {exc}"}
             workers.append(m)
@@ -163,7 +293,7 @@ class FleetEndpoint(OptimizerEndpoint):
                     counters[key] += int(worker_counters.get(key, 0))
         return {
             "transport": self.transport,
-            "workers": len(self._endpoints),
+            "workers": len(members),
             "submitted_per_worker": submitted,
             "in_flight_per_worker": in_flight,
             "max_busy_workers": max_busy,
@@ -171,9 +301,29 @@ class FleetEndpoint(OptimizerEndpoint):
             "backends": workers,
         }
 
+    def client_stats(self) -> Dict[str, int]:
+        """Aggregate backpressure accounting across member endpoints
+        (retired members included — their sheds happened)."""
+        with self._lock:
+            members = list(self._members)
+        totals = {key: 0 for key in _CLIENT_STAT_KEYS}
+        for member in members:
+            stats = member.endpoint.client_stats()
+            for key in _CLIENT_STAT_KEYS:
+                totals[key] += int(stats.get(key, 0))
+        return totals
+
     def close(self) -> None:
-        for endpoint in self._endpoints:
-            endpoint.close()
+        for callback in self._on_close:
+            try:
+                callback()
+            except Exception:
+                pass
+        self._on_close = []
+        with self._lock:
+            members = list(self._members)
+        for member in members:
+            member.endpoint.close()
 
 
 class ServingFleet:
@@ -185,6 +335,13 @@ class ServingFleet:
     ``cache_dir`` to share one on-disk optimization cache across the
     fleet (recommended — it is what makes N workers behave like one
     bigger server instead of N cold ones).
+
+    The fleet is resizable at runtime (:meth:`add_worker`,
+    :meth:`stop_worker`) and self-inspecting (:meth:`reap` drops
+    crashed workers) — the levers the
+    :class:`~repro.control.autoscaler.FleetAutoscaler` pulls.  With a
+    ``state_path``, every membership change atomically rewrites a JSON
+    state file clients follow via ``open_endpoint("fleet:PATH")``.
     """
 
     def __init__(
@@ -198,6 +355,7 @@ class ServingFleet:
         startup_timeout: float = 60.0,
         extra_args: Sequence[str] = (),
         capture_stderr: bool = True,
+        state_path: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("fleet needs at least 1 worker")
@@ -213,9 +371,11 @@ class ServingFleet:
         #: debuggable); False inherits this process's stderr so
         #: operators see worker logs live (the CLI path).
         self.capture_stderr = capture_stderr
+        self.state_path = state_path
         self.urls: List[str] = []
         self._procs: List[subprocess.Popen] = []
         self._stderr_spools: List[Any] = []
+        self._fleet_lock = threading.Lock()
         self._started = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -227,49 +387,7 @@ class ServingFleet:
         env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
         return env
 
-    def _stderr_tail(self, index: int, limit: int = 2000) -> str:
-        """The captured tail of worker ``index``'s stderr (diagnostics)."""
-        if index >= len(self._stderr_spools):
-            return ""
-        spool = self._stderr_spools[index]
-        try:
-            spool.flush()
-            size = spool.seek(0, os.SEEK_END)
-            spool.seek(max(0, size - limit))
-            return spool.read().decode("utf-8", "replace").strip()
-        except (OSError, ValueError):
-            return ""
-
-    def _read_banner(self, proc: subprocess.Popen, index: int) -> str:
-        """The worker's endpoint URL, from its first stdout line."""
-        banner: List[Optional[str]] = [None]
-
-        def read() -> None:
-            assert proc.stdout is not None
-            banner[0] = proc.stdout.readline()
-
-        reader = threading.Thread(target=read, daemon=True)
-        reader.start()
-        reader.join(timeout=self.startup_timeout)
-        line = banner[0]
-        if reader.is_alive() or not line:
-            tail = self._stderr_tail(index)
-            raise RuntimeError(
-                f"fleet worker (pid {proc.pid}) did not announce an endpoint "
-                f"within {self.startup_timeout:g}s"
-                + (f"; its stderr ended with:\n{tail}" if tail else "")
-            )
-        try:
-            return str(json.loads(line)["endpoint"])
-        except (ValueError, KeyError, TypeError) as exc:
-            raise RuntimeError(
-                f"fleet worker printed an unparseable banner {line!r}: {exc}"
-            ) from None
-
-    def start(self) -> List[str]:
-        """Spawn every worker; returns their endpoint URLs."""
-        if self._started:
-            return self.urls
+    def _command(self) -> List[str]:
         command = [
             sys.executable,
             "-m",
@@ -287,50 +405,193 @@ class ServingFleet:
         if self.cache_dir is not None:
             command += ["--cache-dir", self.cache_dir]
         command += self.extra_args
-        env = self._spawn_env()
+        return command
+
+    def _stderr_tail(self, spool: Any, limit: int = 2000) -> str:
+        """The captured tail of one worker's stderr (diagnostics)."""
+        if spool is None:
+            return ""
+        try:
+            spool.flush()
+            size = spool.seek(0, os.SEEK_END)
+            spool.seek(max(0, size - limit))
+            return spool.read().decode("utf-8", "replace").strip()
+        except (OSError, ValueError):
+            return ""
+
+    def _read_banner(self, proc: subprocess.Popen, spool: Any) -> str:
+        """The worker's endpoint URL, from its first stdout line."""
+        banner: List[Optional[str]] = [None]
+
+        def read() -> None:
+            assert proc.stdout is not None
+            banner[0] = proc.stdout.readline()
+
+        reader = threading.Thread(target=read, daemon=True)
+        reader.start()
+        reader.join(timeout=self.startup_timeout)
+        line = banner[0]
+        if reader.is_alive() or not line:
+            tail = self._stderr_tail(spool)
+            raise RuntimeError(
+                f"fleet worker (pid {proc.pid}) did not announce an endpoint "
+                f"within {self.startup_timeout:g}s"
+                + (f"; its stderr ended with:\n{tail}" if tail else "")
+            )
+        try:
+            return str(json.loads(line)["endpoint"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise RuntimeError(
+                f"fleet worker printed an unparseable banner {line!r}: {exc}"
+            ) from None
+
+    def _spawn_one(self) -> str:
+        """Spawn one worker, wait for its banner; registers it and
+        returns its URL.  Caller holds no lock (spawning is slow)."""
+        spool = tempfile.TemporaryFile() if self.capture_stderr else None
+        proc = subprocess.Popen(
+            self._command(),
+            stdout=subprocess.PIPE,
+            stderr=spool,  # None inherits: operators see worker logs
+            env=self._spawn_env(),
+            text=True,
+        )
+        try:
+            url = self._read_banner(proc, spool)
+        except Exception:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+            if spool is not None:
+                spool.close()
+            raise
+        with self._fleet_lock:
+            self._procs.append(proc)
+            self._stderr_spools.append(spool)
+            self.urls.append(url)
+        return url
+
+    def _remove_index(self, index: int) -> str:
+        """Drop worker ``index`` from the registry (caller holds the
+        lock); returns its URL.  Does not touch the process."""
+        url = self.urls.pop(index)
+        self._procs.pop(index)
+        spool = self._stderr_spools.pop(index)
+        if spool is not None:
+            try:
+                spool.close()
+            except OSError:
+                pass
+        return url
+
+    def _write_state(self) -> None:
+        if self.state_path is None:
+            return
+        from ..serving.spool import atomic_write_json
+
+        with self._fleet_lock:
+            workers = list(self.urls)
+        atomic_write_json(self.state_path, {"version": 1, "workers": workers})
+
+    @property
+    def worker_count(self) -> int:
+        with self._fleet_lock:
+            return len(self._procs)
+
+    def start(self) -> List[str]:
+        """Spawn every worker; returns their endpoint URLs."""
+        if self._started:
+            return self.urls
         try:
             for _ in range(self.workers):
-                if self.capture_stderr:
-                    spool = tempfile.TemporaryFile()
-                    self._stderr_spools.append(spool)
-                    stderr = spool
-                else:
-                    stderr = None  # inherit: operators see worker logs
-                proc = subprocess.Popen(
-                    command,
-                    stdout=subprocess.PIPE,
-                    stderr=stderr,
-                    env=env,
-                    text=True,
-                )
-                self._procs.append(proc)
-            self.urls = [
-                self._read_banner(proc, i) for i, proc in enumerate(self._procs)
-            ]
+                self._spawn_one()
         except Exception:
             self.close()
             raise
         self._started = True
+        self._write_state()
         return self.urls
 
+    # -- runtime resizing (the autoscaler's levers) --------------------------
+    def add_worker(self) -> str:
+        """Spawn one more worker; returns its URL."""
+        url = self._spawn_one()
+        self._write_state()
+        return url
+
+    def stop_worker(self) -> Optional[str]:
+        """Retire the newest worker (LIFO keeps the longest-warmed
+        workers serving); returns its URL, or None when only one
+        worker remains."""
+        with self._fleet_lock:
+            if len(self._procs) <= 1:
+                return None
+            proc = self._procs[-1]
+            url = self._remove_index(len(self._procs) - 1)
+        self._write_state()
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10.0)
+        if proc.stdout is not None:
+            proc.stdout.close()
+        return url
+
+    def reap(self) -> int:
+        """Drop workers whose process died; returns how many were
+        removed.  The autoscaler calls this every poll and respawns up
+        to its configured minimum."""
+        dead: List[subprocess.Popen] = []
+        with self._fleet_lock:
+            for index in range(len(self._procs) - 1, -1, -1):
+                if self._procs[index].poll() is not None:
+                    dead.append(self._procs[index])
+                    self._remove_index(index)
+        if dead:
+            self._write_state()
+            for proc in dead:
+                if proc.stdout is not None:
+                    proc.stdout.close()
+        return len(dead)
+
     def endpoint(self, timeout: float = 30.0) -> FleetEndpoint:
-        """A round-robin client over every live worker."""
+        """A round-robin client over every live worker.
+
+        With a ``state_path`` the client follows membership changes;
+        without one it is pinned to the workers alive right now.
+        """
         if not self._started:
             self.start()
+        if self.state_path is not None:
+            return open_fleet_state_endpoint(self.state_path, timeout=timeout)
+        with self._fleet_lock:
+            urls = list(self.urls)
         return FleetEndpoint(
-            [HttpEndpoint(url, timeout=timeout) for url in self.urls]
+            [HttpEndpoint(url, timeout=timeout) for url in urls],
+            urls=urls,
+            endpoint_factory=lambda url: HttpEndpoint(url, timeout=timeout),
         )
 
     def poll(self) -> List[Optional[int]]:
         """Per-worker exit codes (None = still running)."""
-        return [proc.poll() for proc in self._procs]
+        with self._fleet_lock:
+            return [proc.poll() for proc in self._procs]
 
     def close(self, timeout: float = 10.0) -> None:
         """Terminate every worker (escalating to kill on a slow exit)."""
-        for proc in self._procs:
+        with self._fleet_lock:
+            procs = list(self._procs)
+            spools = list(self._stderr_spools)
+            self._procs.clear()
+            self._stderr_spools.clear()
+            self.urls = []
+        for proc in procs:
             if proc.poll() is None:
                 proc.terminate()
-        for proc in self._procs:
+        for proc in procs:
             try:
                 proc.wait(timeout=timeout)
             except subprocess.TimeoutExpired:
@@ -338,15 +599,19 @@ class ServingFleet:
                 proc.wait(timeout=timeout)
             if proc.stdout is not None:
                 proc.stdout.close()
-        for spool in self._stderr_spools:
+        for spool in spools:
+            if spool is None:
+                continue
             try:
                 spool.close()
             except OSError:
                 pass
-        self._stderr_spools.clear()
-        self._procs.clear()
-        self.urls = []
         self._started = False
+        if self.state_path is not None:
+            try:
+                self._write_state()  # publish the empty fleet
+            except OSError:
+                pass
 
     def __enter__(self) -> "ServingFleet":
         self.start()
@@ -367,6 +632,68 @@ def open_fleet_endpoint(
     bad = [u for u in uris if not u.startswith(("http://", "https://"))]
     if bad:
         raise ValueError(f"fleet workers must be http(s) URLs, got {bad}")
-    return FleetEndpoint(
-        [HttpEndpoint(u, timeout=timeout, optimizer=optimizer) for u in uris]
-    )
+    factory = lambda url: HttpEndpoint(url, timeout=timeout, optimizer=optimizer)  # noqa: E731
+    return FleetEndpoint([factory(u) for u in uris], urls=list(uris), endpoint_factory=factory)
+
+
+def _read_fleet_state(path: str) -> Optional[List[str]]:
+    """Worker URLs from a fleet state file, or None when unreadable
+    (mid-rewrite reads are impossible — writes are atomic — but the
+    file may not exist yet)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            state = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    workers = state.get("workers") if isinstance(state, dict) else None
+    if not isinstance(workers, list):
+        return None
+    return [str(u) for u in workers]
+
+
+def open_fleet_state_endpoint(
+    path: str,
+    *,
+    timeout: float = 30.0,
+    optimizer: Optional[str] = None,
+    poll_interval: float = 0.5,
+    startup_timeout: float = 15.0,
+) -> FleetEndpoint:
+    """A membership-following client over a fleet's state file.
+
+    Opens the workers currently listed in ``PATH`` (waiting up to
+    ``startup_timeout`` for the file to appear with at least one
+    worker), then keeps a daemon watcher polling the file: workers the
+    autoscaler adds join the round-robin within a poll interval,
+    removed ones stop receiving submits.  ``close()`` stops the
+    watcher.
+    """
+    deadline = time.monotonic() + startup_timeout
+    while True:
+        urls = _read_fleet_state(path)
+        if urls:
+            break
+        if time.monotonic() >= deadline:
+            raise ConnectionError(
+                f"fleet state file {path!r} has no live workers "
+                f"(waited {startup_timeout:g}s)"
+            )
+        time.sleep(min(poll_interval, 0.1))
+    factory = lambda url: HttpEndpoint(url, timeout=timeout, optimizer=optimizer)  # noqa: E731
+    fleet = FleetEndpoint([factory(u) for u in urls], urls=list(urls), endpoint_factory=factory)
+
+    stop = threading.Event()
+
+    def watch() -> None:
+        while not stop.wait(poll_interval):
+            latest = _read_fleet_state(path)
+            if latest:  # never shrink to zero on a transient bad read
+                try:
+                    fleet.set_members(latest)
+                except Exception:
+                    pass  # a refresh must never kill the watcher
+
+    watcher = threading.Thread(target=watch, name="fleet-state-watcher", daemon=True)
+    watcher.start()
+    fleet._on_close.append(stop.set)
+    return fleet

@@ -118,6 +118,15 @@ def build_report(
             "clients": spec.clients,
             "max_in_flight": result.max_in_flight,
         },
+        # graceful-shedding accounting: requests the service refused
+        # (typed `overloaded`) and the client-side retries that honored
+        # retry_after_s, kept separate from generic failures.  Additive
+        # within schema v1 — absent in pre-control reports, tolerated by
+        # validate_report either way.
+        "backpressure": {
+            "shed": result.shed,
+            "client": dict(result.client_stats),
+        },
         "cache": {
             "timeline": result.timeline,
             "final_hit_rate": (
@@ -263,6 +272,15 @@ def summary_lines(report: Dict[str, Any]) -> str:
     if requests["error_codes"]:
         codes = ", ".join(f"{k}={v}" for k, v in requests["error_codes"].items())
         lines.append(f"  errors     : {codes}")
+    backpressure = report.get("backpressure") or {}
+    client = backpressure.get("client") or {}
+    if backpressure.get("shed") or any(client.values()):
+        lines.append(
+            f"  shedding   : {backpressure.get('shed', 0)} shed after retries; "
+            f"client saw {client.get('shed_total', 0)} 'overloaded', "
+            f"retried {client.get('retried_total', 0)}, "
+            f"gave up {client.get('gave_up_total', 0)}"
+        )
     hit_rate = report["cache"]["final_hit_rate"]
     if hit_rate is not None:
         lines.append(f"  cache      : {hit_rate * 100:.1f}% entry hit rate")

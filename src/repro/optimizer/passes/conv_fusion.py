@@ -12,6 +12,7 @@ import numpy as np
 
 from ...ir.graph import Graph
 from ...ir.node import Node
+from ...ir.shape_inference import infer_shapes
 from ..pass_base import GraphPass
 
 __all__ = ["ConvBatchNormFusion", "ConvAddFusion", "ConvActivationFusion"]
@@ -73,13 +74,21 @@ class ConvAddFusion(GraphPass):
     """Fuse a residual Add into the conv that feeds it (FusedConvAdd).
 
     Matches ``Add(Conv(x), residual)`` where the conv has a single use
-    and the residual is a non-constant value; the fused op computes the
-    conv, adds the residual, and leaves the activation slot empty for
+    and the residual is a non-constant value whose shape equals the conv
+    output's *exactly*; the fused op computes the conv, adds the
+    residual, and leaves the activation slot empty for
     :class:`ConvActivationFusion` to fill.
+
+    The shape check matters: ``Add`` broadcasts, ``FusedConvAdd`` does
+    not (the fused kernel adds the residual elementwise).  Obfuscated
+    subgraphs routinely pair a conv with a broadcast add that a whole
+    model never would, and fusing those produced graphs that failed
+    shape inference downstream.
     """
 
     def run(self, graph: Graph) -> bool:
         changed = False
+        types = infer_shapes(graph)  # memoized: free when already fresh
         for add in list(graph.nodes):
             if add.op_type != "Add":
                 continue
@@ -99,6 +108,10 @@ class ConvAddFusion(GraphPass):
                 continue
             if graph.is_initializer(residual):
                 continue  # constant adds are bias-like, not residuals
+            conv_out = types.get(conv.outputs[0])
+            res_type = types.get(residual)
+            if conv_out is None or res_type is None or conv_out.shape != res_type.shape:
+                continue  # broadcast add: the fused kernel cannot express it
             fused = Node(
                 graph.fresh_node_name(f"{conv.name}_addfused"),
                 "FusedConvAdd",

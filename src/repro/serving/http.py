@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import sys
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple, Union
@@ -53,6 +54,8 @@ from ..api.wire import (
     receipt_to_wire,
     status_to_wire,
 )
+from ..control.admission import AdmissionController
+from ..control.signals import aggregate_signals, ServiceSignals
 from .cache import OptimizationCache
 from .server import OptimizationServer
 
@@ -89,6 +92,8 @@ class OptimizationHTTPServer:
         host: str = "127.0.0.1",
         port: int = 8080,
         verbose: bool = False,
+        admission_slo_s: Optional[float] = None,
+        entry_cost_s: float = 0.0,
         **optimizer_options,
     ) -> None:
         if cache is not None and cache_dir is not None:
@@ -100,10 +105,23 @@ class OptimizationHTTPServer:
         self.host = host
         self.port = port
         self.verbose = verbose
+        #: SLO queueing budget in seconds; non-None arms admission
+        #: control on every backend (each gets its own controller — each
+        #: has its own queue).  Shed submits come back as HTTP 429 with
+        #: a Retry-After hint.
+        self.admission_slo_s = admission_slo_s
+        #: artificial per-entry service time on cache misses, forwarded
+        #: to every backend (see OptimizationServer.entry_cost_s).
+        self.entry_cost_s = entry_cost_s
         # the default backend is built eagerly so a bad name/options
         # combination fails at construction, not on the first request.
         default = OptimizationServer(
-            optimizer, cache=self.cache, workers=workers, **optimizer_options
+            optimizer,
+            cache=self.cache,
+            workers=workers,
+            admission=self._make_admission(),
+            entry_cost_s=entry_cost_s,
+            **optimizer_options,
         )
         self.default_backend = default.service.name
         # every lazily created backend gets the same options, so a named
@@ -115,9 +133,15 @@ class OptimizationHTTPServer:
         self._lock = threading.Lock()
         self._httpd: Optional[_ThreadingServer] = None
         self._thread: Optional[threading.Thread] = None
+        self._draining = False
         self._closed = False
 
     # -- backend + job bookkeeping -------------------------------------------
+    def _make_admission(self) -> Optional[AdmissionController]:
+        if self.admission_slo_s is None:
+            return None
+        return AdmissionController(slo_budget_s=self.admission_slo_s)
+
     def _backend(self, name: Optional[str]) -> OptimizationServer:
         key = name or self.default_backend
         with self._lock:
@@ -128,6 +152,8 @@ class OptimizationHTTPServer:
                         key,
                         cache=self.cache,
                         workers=self.workers,
+                        admission=self._make_admission(),
+                        entry_cost_s=self.entry_cost_s,
                         **self._optimizer_options,
                     )
                 except UnknownComponentError as exc:
@@ -249,13 +275,80 @@ class OptimizationHTTPServer:
         for metrics in per_backend.values():
             for key, value in metrics.get("counters", {}).items():
                 counters[key] = counters.get(key, 0) + int(value)
+        # control-plane blocks, normalized to the per-server shape so
+        # clients (and the fleet autoscaler) read one schema everywhere.
+        signals = aggregate_signals(
+            [
+                s
+                for s in (
+                    ServiceSignals.from_metrics(m) for m in per_backend.values()
+                )
+                if s is not None
+            ]
+        )
+        admission: Optional[Dict[str, Any]] = None
+        if self.admission_slo_s is not None:
+            admission = {
+                "slo_budget_s": self.admission_slo_s,
+                "admitted_total": 0,
+                "shed_total": 0,
+            }
+            for metrics in per_backend.values():
+                block = metrics.get("admission")
+                if isinstance(block, dict):
+                    admission["admitted_total"] += int(block.get("admitted_total", 0))
+                    admission["shed_total"] += int(block.get("shed_total", 0))
         return {
             "transport": "http",
             "protocol_version": PROTOCOL_VERSION,
             "jobs": {"tracked": tracked},
             "counters": counters,
+            "signals": signals.to_dict(),
+            "admission": admission,
+            "draining": self._draining,
             "backends": per_backend,
         }
+
+    # -- graceful drain -------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Refuse new submits (structured ``overloaded`` + retry hint)
+        while every queued entry keeps running."""
+        self._draining = True
+        with self._lock:
+            backends = list(self._backends.values())
+        for backend in backends:
+            backend.begin_drain()
+
+    def drain(self, timeout_s: float = 30.0, poll_s: float = 0.1) -> bool:
+        """Begin draining and wait for in-flight work to finish.
+
+        "Finished" means both that every backend's queue emptied *and*
+        that every tracked receipt was delivered (a job leaves
+        ``_jobs`` only in ``commit_receipt``, after its response bytes
+        reached the client) — exiting with receipts still unclaimed
+        would turn a graceful worker drain into client connection
+        errors.  Returns True when both emptied within ``timeout_s``,
+        False when the bound expired first (the caller shuts down
+        regardless — the bound is what keeps a wedged optimizer or a
+        vanished client from blocking shutdown forever).
+        """
+        self.begin_drain()
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        while True:
+            with self._lock:
+                backends = list(self._backends.values())
+                unclaimed = len(self._jobs)
+            if unclaimed == 0 and all(
+                b._scheduler.inflight_count() == 0 for b in backends
+            ):
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(poll_s)
 
     # -- lifecycle ------------------------------------------------------------
     def bind(self) -> Tuple[str, int]:
@@ -319,11 +412,20 @@ class _EndpointHandler(BaseHTTPRequestHandler):
                 f"{self.address_string()} - {format % args}\n"
             )
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        retry_after_s: Optional[float] = None,
+    ) -> None:
         blob = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
+        if retry_after_s is not None:
+            # the standard header is integer seconds; round up so an
+            # HTTP-generic client never retries *before* the hint.
+            self.send_header("Retry-After", str(max(1, int(-(-retry_after_s // 1)))))
         self.end_headers()
         self.wfile.write(blob)
 
@@ -377,7 +479,11 @@ class _EndpointHandler(BaseHTTPRequestHandler):
                     ERR_NOT_FOUND, f"no such route: {method} {split.path}"
                 )
         except EndpointError as exc:
-            self._send_json(HTTP_STATUS.get(exc.code, 400), exc.to_dict())
+            self._send_json(
+                HTTP_STATUS.get(exc.code, 400),
+                exc.to_dict(),
+                retry_after_s=exc.retry_after_s,
+            )
             return
         except Exception as exc:  # never let a request kill the thread
             self._send_json(

@@ -33,6 +33,9 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..api.clients import OptimizerService
 from ..api.types import EntryOptimization, OptimizationReceipt
+from ..api.wire import ERR_OVERLOADED, EndpointError
+from ..control.admission import AdmissionController
+from ..control.signals import ServiceSignals, SignalTracker
 from ..core.proteus import ObfuscatedBucket
 from ..ir.graph import Graph
 from ..ir.serialization import graph_from_dict
@@ -92,6 +95,24 @@ class OptimizationServer:
         that builds a disk-backed cache.
     workers:
         Worker threads optimizing entries (default 2).
+    admission:
+        An :class:`~repro.control.admission.AdmissionController`
+        consulted on every :meth:`submit`; when the estimated wait
+        (queue depth x EWMA entry latency / workers) exceeds its SLO
+        budget the submit is shed with a structured ``overloaded``
+        error instead of joining a queue it could never clear in time.
+        None (the default) admits everything, as before.
+    entry_cost_s:
+        Artificial per-entry service time in seconds, added on cache
+        *misses* only (a hit is a lookup and stays one).  The real
+        optimizer backends finish a graph in ~1ms, which makes genuine
+        queueing unreachable in a short run; this knob models a costly
+        optimizer so capacity planning, admission control and
+        autoscaling can be exercised against real queues (the
+        ``overload-smoke`` CI job and ``repro serve --entry-cost-ms``).
+        The sleep is inside the timed span, so latency metrics and the
+        control-plane EWMA see it exactly like real service time.
+        Results are unchanged, so the cache stays valid.
     **optimizer_options:
         Forwarded to the backend factory when ``optimizer`` is a name;
         part of the cache key.
@@ -103,10 +124,15 @@ class OptimizationServer:
         cache: Optional[OptimizationCache] = None,
         cache_dir: Optional[str] = None,
         workers: int = 2,
+        admission: Optional[AdmissionController] = None,
+        entry_cost_s: float = 0.0,
         **optimizer_options,
     ) -> None:
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache or cache_dir, not both")
+        if entry_cost_s < 0:
+            raise ValueError("entry_cost_s must be >= 0")
+        self.entry_cost_s = float(entry_cost_s)
         self.service = OptimizerService(optimizer, **optimizer_options)
         self.cache = cache if cache is not None else (
             OptimizationCache(cache_dir) if cache_dir is not None else None
@@ -131,6 +157,19 @@ class OptimizationServer:
         self._completed_total = 0
         self._failed_total = 0
         self._metrics_lock = threading.Lock()
+        self.admission = admission
+        # the signal tracker mirrors the admission budget (when any) so
+        # slo_attainment in metrics() reflects the budget submits are
+        # actually being judged against.
+        self._signals = SignalTracker(
+            slo_budget_s=admission.policy.slo_budget_s if admission else None,
+            # a configured per-entry cost is a known service-time floor:
+            # pre-seed the EWMA so admission control can price the very
+            # first burst instead of admitting blind until one entry
+            # completes.
+            prior_latency_s=self.entry_cost_s or None,
+        )
+        self._draining = False
         self._closed = False
 
     # -- the per-entry unit of work -----------------------------------------
@@ -160,6 +199,8 @@ class OptimizationServer:
         payload = self.cache.get(key) if self._cache_usable else None
         hit = payload is not None
         if payload is None:
+            if self.entry_cost_s > 0:
+                time.sleep(self.entry_cost_s)
             optimized = self._backend().optimize(form.graph)
             payload = build_payload(
                 form.digest,
@@ -174,6 +215,7 @@ class OptimizationServer:
             self._entries_done += 1
             self._entry_cache_hits += int(hit)
             self._latencies.append(elapsed)
+        self._signals.observe_entry(elapsed, hit=hit)
         return payload
 
     # -- public API ---------------------------------------------------------
@@ -187,9 +229,23 @@ class OptimizationServer:
         enqueued); the optimization work itself is asynchronous, so
         submit returns after one hashing pass over the bucket, not
         after any optimizer runs.
+
+        Raises a structured ``overloaded``
+        :class:`~repro.api.wire.EndpointError` (with a
+        ``retry_after_s`` hint) when the server is draining for
+        shutdown, or when the admission controller judges the current
+        estimated wait unserviceable within its SLO budget.
         """
         if self._closed:
             raise RuntimeError("server is closed")
+        if self._draining:
+            raise EndpointError(
+                ERR_OVERLOADED,
+                "server is draining for shutdown and not accepting new jobs",
+                retry_after_s=self._drain_retry_after_s(),
+            )
+        if self.admission is not None:
+            self.admission.admit(self.signals(), context="submit")
         job_id = f"job-{uuid.uuid4().hex[:12]}"
         entries: List[Tuple[str, CanonicalForm, Future]] = []
         for entry in bucket:
@@ -311,6 +367,36 @@ class OptimizationServer:
             entries=entry_stats,
         )
 
+    def signals(self) -> ServiceSignals:
+        """Live control signals: queue depth, latency EWMA, estimated wait.
+
+        Queue depth is the scheduler's in-flight table size (entries
+        queued *or* running — exactly the work a new submit would queue
+        behind), so this is the snapshot admission control and the
+        autoscaler both act on.
+        """
+        return self._signals.snapshot(
+            queue_depth=self._scheduler.inflight_count(),
+            workers=self._scheduler.workers,
+        )
+
+    def _drain_retry_after_s(self) -> float:
+        """Retry hint while draining: enough time for the queue to clear
+        (plus slack), assuming another replica picks up the retry."""
+        wait = self.signals().estimated_wait_s
+        return min(30.0, max(1.0, wait * 2.0))
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop accepting submits (each shed as ``overloaded`` with a
+        retry hint) while queued work keeps running.  The caller then
+        waits for the queue to empty — see the serve CLI's
+        SIGTERM/SIGINT handling — and finally calls :meth:`close`."""
+        self._draining = True
+
     def metrics(self) -> Dict[str, Any]:
         """Operational snapshot: cache, latency, queue and job counters."""
         with self._metrics_lock:
@@ -353,6 +439,11 @@ class OptimizationServer:
             },
             "latency": lat,
             "scheduler": self._scheduler.stats(),
+            "signals": self.signals().to_dict(),
+            "admission": (
+                self.admission.stats() if self.admission is not None else None
+            ),
+            "draining": self._draining,
             "cache": self.cache.stats().to_dict() if self.cache is not None else None,
         }
 

@@ -229,6 +229,10 @@ class SpoolServer:
             )
         else:
             delay = self.retry.delay(state.attempts, self._rng)
+            if error.retry_after_s is not None:
+                # the server told us when capacity frees up (admission
+                # shed / draining); retrying sooner is pure waste.
+                delay = max(delay, error.retry_after_s)
             state.next_retry_at = now + delay
             self._log(
                 f"job for {in_path!r} failed [{error.code}]: {error} "
@@ -283,6 +287,17 @@ class SpoolServer:
             )
             os.replace(out_path + ".sealing", out_path)
             self.server.forget(job_id)
+        except EndpointError as exc:
+            # already structured (admission shed, drain refusal, ...):
+            # keep the code and retry_after_s so the error sidecar — and
+            # through it SpoolEndpoint clients — see the same typed
+            # failure the other transports raise.
+            try:
+                os.unlink(out_path + ".sealing")
+            except OSError:
+                pass
+            self._record_failure(name, sig, exc)
+            return None
         except Exception as exc:  # one bad job must not take the server down
             try:
                 os.unlink(out_path + ".sealing")

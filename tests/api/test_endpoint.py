@@ -24,6 +24,7 @@ from repro.api.manifest import BucketManifest
 from repro.api.types import receipt_from_buckets
 from repro.api.wire import (
     ERR_BAD_DIGEST,
+    ERR_OVERLOADED,
     ERR_UNKNOWN_JOB,
     EndpointError,
 )
@@ -308,3 +309,190 @@ class TestReceiptPlumbing:
             assert graph_to_dict(rebuilt.bucket.get(entry.entry_id).graph) == (
                 graph_to_dict(entry.graph)
             )
+
+
+class _AlwaysShed:
+    """Admission stand-in that sheds every submit with a fixed hint.
+
+    Duck-types the AdmissionController surface OptimizationServer uses
+    (`policy.slo_budget_s`, `admit()`, `stats()`), so the parity tests
+    exercise the *transport* propagation deterministically instead of
+    racing a real queue into overload.
+    """
+
+    def __init__(self, retry_after_s=0.25):
+        from repro.control import AdmissionPolicy
+
+        self.policy = AdmissionPolicy(slo_budget_s=0.5)
+        self.retry_after_s = retry_after_s
+        self.shed_total = 0
+
+    def admit(self, signals, context="submit"):
+        self.shed_total += 1
+        raise EndpointError(
+            ERR_OVERLOADED,
+            f"{context} shed by admission control (test stand-in)",
+            retry_after_s=self.retry_after_s,
+        )
+
+    def stats(self):
+        return {
+            "slo_budget_s": self.policy.slo_budget_s,
+            "admitted_total": 0,
+            "shed_total": self.shed_total,
+        }
+
+
+class TestOverloadedParity:
+    """Every transport surfaces an admission shed the same way: a typed
+    EndpointError(code='overloaded') carrying a retry_after_s hint."""
+
+    def _assert_overloaded(self, excinfo):
+        assert excinfo.value.code == ERR_OVERLOADED
+        assert excinfo.value.retry_after_s == pytest.approx(0.25, abs=1e-3)
+
+    def test_local_endpoint_sheds_typed(self, obfuscation):
+        _, result = obfuscation
+        manifest = BucketManifest.from_bucket(result.bucket)
+        with LocalEndpoint("ortlike", workers=2, admission=_AlwaysShed()) as ep:
+            with pytest.raises(EndpointError) as excinfo:
+                ep.submit(manifest)
+        self._assert_overloaded(excinfo)
+
+    def test_spool_endpoint_sheds_typed(self, obfuscation, tmp_path):
+        import threading
+
+        from repro.serving import OptimizationServer
+        from repro.serving.spool import RetryPolicy, SpoolServer
+
+        _, result = obfuscation
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        with OptimizationServer("ortlike", workers=2, admission=_AlwaysShed()) as srv:
+            watcher = SpoolServer(
+                str(spool),
+                srv,
+                retry=RetryPolicy(max_attempts=1),
+                log=lambda msg: None,
+            )
+            stop = threading.Event()
+
+            def pump():
+                while not stop.is_set():
+                    watcher.run_once()
+                    stop.wait(0.02)
+
+            thread = threading.Thread(target=pump, daemon=True)
+            thread.start()
+            try:
+                with SpoolEndpoint(str(spool)) as ep:
+                    job_id = ep.submit(BucketManifest.from_bucket(result.bucket))
+                    with pytest.raises(EndpointError) as excinfo:
+                        ep.await_receipt(job_id, timeout=30)
+            finally:
+                stop.set()
+                thread.join(timeout=10)
+        self._assert_overloaded(excinfo)
+
+    def test_http_endpoint_sheds_typed(self, obfuscation):
+        from repro.serving.http import OptimizationHTTPServer
+
+        _, result = obfuscation
+        manifest = BucketManifest.from_bucket(result.bucket)
+        with OptimizationHTTPServer(
+            "ortlike", workers=2, port=0, admission_slo_s=0.5
+        ) as app:
+            host, port = app.start()
+            app._backends[app.default_backend].admission = _AlwaysShed()
+            # retry=None: surface the first shed instead of backing off.
+            with HttpEndpoint(f"http://{host}:{port}", retry=None) as ep:
+                with pytest.raises(EndpointError) as excinfo:
+                    ep.submit(manifest)
+                assert ep.client_stats()["shed_total"] == 1
+                assert ep.client_stats()["gave_up_total"] == 1
+        self._assert_overloaded(excinfo)
+
+
+class TestClientBackoff:
+    """HttpEndpoint/RemoteOptimizerService honor retry_after_s with
+    capped exponential backoff instead of failing fast."""
+
+    def _shedding_server(self):
+        from contextlib import contextmanager
+
+        from repro.serving.http import OptimizationHTTPServer
+
+        @contextmanager
+        def cm():
+            with OptimizationHTTPServer(
+                "ortlike", workers=2, port=0, admission_slo_s=0.5
+            ) as app:
+                host, port = app.start()
+                shed = _AlwaysShed(retry_after_s=0.01)
+                app._backends[app.default_backend].admission = shed
+                yield f"http://{host}:{port}", shed
+
+        return cm()
+
+    def test_exhausted_retries_tally_and_raise(self, obfuscation):
+        from repro.serving.spool import RetryPolicy
+
+        _, result = obfuscation
+        manifest = BucketManifest.from_bucket(result.bucket)
+        policy = RetryPolicy(
+            base_delay=0.01, max_delay=0.05, max_attempts=3, jitter=0.0
+        )
+        with self._shedding_server() as (url, shed):
+            with HttpEndpoint(url, retry=policy) as ep:
+                with pytest.raises(EndpointError) as excinfo:
+                    ep.submit(manifest)
+                stats = ep.client_stats()
+        assert excinfo.value.code == ERR_OVERLOADED
+        assert stats["shed_total"] == 3  # every attempt was shed
+        assert stats["retried_total"] == 2  # two backoffs between them
+        assert stats["gave_up_total"] == 1
+        assert shed.shed_total == 3  # the server really saw 3 submits
+
+    def test_retry_succeeds_once_capacity_returns(self, obfuscation):
+        from repro.serving.spool import RetryPolicy
+
+        _, result = obfuscation
+        manifest = BucketManifest.from_bucket(result.bucket)
+
+        class ShedOnce(_AlwaysShed):
+            def admit(self, signals, context="submit"):
+                if self.shed_total == 0:
+                    super().admit(signals, context)  # raises
+
+        from repro.serving.http import OptimizationHTTPServer
+
+        with OptimizationHTTPServer(
+            "ortlike", workers=2, port=0, admission_slo_s=0.5
+        ) as app:
+            host, port = app.start()
+            app._backends[app.default_backend].admission = ShedOnce(
+                retry_after_s=0.01
+            )
+            policy = RetryPolicy(
+                base_delay=0.01, max_delay=0.05, max_attempts=4, jitter=0.0
+            )
+            with HttpEndpoint(f"http://{host}:{port}", retry=policy) as ep:
+                job_id = ep.submit(manifest)
+                receipt = ep.await_receipt(job_id, timeout=120)
+                stats = ep.client_stats()
+        assert len(receipt.entries) >= 1
+        assert stats["shed_total"] == 1
+        assert stats["retried_total"] == 1
+        assert stats["gave_up_total"] == 0
+
+    def test_remote_service_does_not_stack_retries_on_http(self):
+        # the facade must defer to an endpoint that backs off itself —
+        # otherwise attempts would multiply (N_client x N_facade).
+        with LocalEndpoint("ortlike", workers=1) as ep:
+            svc = RemoteOptimizerService(ep)
+            assert svc.retry is not None  # local endpoint: facade retries
+        class HasRetry:
+            transport = "fake"
+            retry = object()
+
+        assert RemoteOptimizerService(HasRetry()).retry is None

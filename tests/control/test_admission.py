@@ -1,0 +1,102 @@
+"""Unit tests for repro.control.admission: the shed-or-admit gate."""
+
+import pytest
+
+from repro.api.wire import ERR_OVERLOADED, EndpointError
+from repro.control import AdmissionController, AdmissionPolicy, ServiceSignals
+
+
+def signals(depth, ewma, workers=1):
+    wait = 0.0 if ewma is None else depth * ewma / workers
+    return ServiceSignals(
+        queue_depth=depth,
+        workers=workers,
+        ewma_entry_latency_s=ewma,
+        estimated_wait_s=wait,
+        observed_entries=0 if ewma is None else depth,
+    )
+
+
+class TestAdmissionPolicy:
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError, match="slo_budget_s"):
+            AdmissionPolicy(slo_budget_s=0.0)
+
+    def test_rejects_inverted_retry_bounds(self):
+        with pytest.raises(ValueError, match="retry_after"):
+            AdmissionPolicy(slo_budget_s=1.0, retry_after_floor_s=5.0, retry_after_cap_s=1.0)
+
+    def test_controller_takes_policy_or_kwargs_not_both(self):
+        policy = AdmissionPolicy(slo_budget_s=1.0)
+        with pytest.raises(ValueError, match="not both"):
+            AdmissionController(policy, slo_budget_s=2.0)
+
+
+class TestEvaluate:
+    def test_admits_within_budget(self):
+        ctrl = AdmissionController(slo_budget_s=1.0, min_queue_depth=0)
+        assert ctrl.evaluate(signals(depth=5, ewma=0.1)) is None  # wait 0.5s
+
+    def test_sheds_past_budget(self):
+        ctrl = AdmissionController(slo_budget_s=1.0, min_queue_depth=0)
+        hint = ctrl.evaluate(signals(depth=30, ewma=0.1))  # wait 3.0s
+        assert hint is not None and hint > 0
+
+    def test_hint_is_excess_plus_one_service_time(self):
+        ctrl = AdmissionController(slo_budget_s=1.0, min_queue_depth=0)
+        hint = ctrl.evaluate(signals(depth=30, ewma=0.1))
+        assert hint == pytest.approx((3.0 - 1.0) + 0.1)
+
+    def test_hint_respects_floor_and_cap(self):
+        ctrl = AdmissionController(
+            slo_budget_s=1.0, min_queue_depth=0, retry_after_floor_s=0.5, retry_after_cap_s=2.0
+        )
+        # barely over budget -> floor
+        barely = ServiceSignals(
+            queue_depth=11, workers=1, ewma_entry_latency_s=0.0001, estimated_wait_s=1.0001
+        )
+        assert ctrl.evaluate(barely) == 0.5
+        # wildly over budget -> cap
+        assert ctrl.evaluate(signals(depth=10_000, ewma=0.1)) == 2.0
+
+    def test_cold_ewma_always_admits(self):
+        ctrl = AdmissionController(slo_budget_s=0.001, min_queue_depth=0)
+        assert ctrl.evaluate(signals(depth=1000, ewma=None)) is None
+
+    def test_shallow_queue_always_admits(self):
+        ctrl = AdmissionController(slo_budget_s=0.001, min_queue_depth=4)
+        # wait is 30s — way past budget — but only 3 entries deep.
+        assert ctrl.evaluate(signals(depth=3, ewma=10.0)) is None
+        assert ctrl.evaluate(signals(depth=4, ewma=10.0)) is not None
+
+
+class TestAdmit:
+    def test_shed_raises_typed_overloaded_with_hint(self):
+        ctrl = AdmissionController(slo_budget_s=0.5, min_queue_depth=0)
+        with pytest.raises(EndpointError) as excinfo:
+            ctrl.admit(signals(depth=100, ewma=0.1))
+        assert excinfo.value.code == ERR_OVERLOADED
+        assert excinfo.value.retry_after_s is not None
+        assert excinfo.value.retry_after_s > 0
+        assert "admission control" in str(excinfo.value)
+
+    def test_counters_track_both_outcomes(self):
+        ctrl = AdmissionController(slo_budget_s=0.5, min_queue_depth=0)
+        ctrl.admit(signals(depth=0, ewma=0.1))
+        ctrl.admit(signals(depth=1, ewma=0.1))
+        with pytest.raises(EndpointError):
+            ctrl.admit(signals(depth=100, ewma=0.1))
+        stats = ctrl.stats()
+        assert stats["admitted_total"] == 2
+        assert stats["shed_total"] == 1
+        assert stats["slo_budget_s"] == 0.5
+
+    def test_error_round_trips_the_wire(self):
+        ctrl = AdmissionController(slo_budget_s=0.5, min_queue_depth=0)
+        with pytest.raises(EndpointError) as excinfo:
+            ctrl.admit(signals(depth=100, ewma=0.1))
+        back = EndpointError.from_dict(excinfo.value.to_dict())
+        assert back.code == ERR_OVERLOADED
+        assert back.retry_after_s == pytest.approx(
+            excinfo.value.retry_after_s, abs=1e-3
+        )

@@ -1,0 +1,198 @@
+"""Unit tests for repro.control.autoscaler against a fake fleet + clock."""
+
+import pytest
+
+from repro.control import AutoscalerPolicy, FleetAutoscaler, ServiceSignals
+
+
+class FakeFleet:
+    """Duck-typed stand-in for ServingFleet: counts, never forks."""
+
+    def __init__(self, workers=1):
+        self.worker_count = workers
+        self.dead = 0  # workers reap() will report as crashed
+        self.log = []
+
+    def add_worker(self):
+        self.worker_count += 1
+        self.log.append("add")
+        return f"http://127.0.0.1:{9000 + self.worker_count}"
+
+    def stop_worker(self):
+        if self.worker_count <= 1:
+            return None
+        self.worker_count -= 1
+        self.log.append("stop")
+        return 0
+
+    def reap(self):
+        dead, self.dead = self.dead, 0
+        self.worker_count -= dead
+        if dead:
+            self.log.append(f"reap:{dead}")
+        return dead
+
+
+def busy(wait, depth=50):
+    return ServiceSignals(
+        queue_depth=depth, workers=1, ewma_entry_latency_s=0.1,
+        estimated_wait_s=wait, observed_entries=depth,
+    )
+
+
+def idle():
+    return ServiceSignals(
+        queue_depth=0, workers=1, ewma_entry_latency_s=0.05,
+        estimated_wait_s=0.0, observed_entries=100,
+    )
+
+
+def make(fleet, signals_fn, **policy_kwargs):
+    defaults = dict(
+        min_workers=1, max_workers=3, scale_up_wait_s=1.0,
+        scale_down_wait_s=0.1, hysteresis=2, cooldown_s=3.0,
+        # most tests exercise the streak/cooldown logic; the wall-clock
+        # stabilization window gets its own dedicated tests below.
+        scale_down_stabilization_s=0.0,
+    )
+    defaults.update(policy_kwargs)
+    return FleetAutoscaler(fleet, signals_fn, AutoscalerPolicy(**defaults))
+
+
+class TestPolicyValidation:
+    def test_dead_band_required(self):
+        with pytest.raises(ValueError, match="dead band"):
+            AutoscalerPolicy(scale_up_wait_s=0.5, scale_down_wait_s=0.5)
+
+    def test_bounds_must_nest(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            AutoscalerPolicy(min_workers=3, max_workers=2)
+
+
+class TestScaleUp:
+    def test_needs_hysteresis_consecutive_breaches(self):
+        fleet = FakeFleet(1)
+        scaler = make(fleet, lambda: busy(5.0))
+        assert scaler.poll_once(now=0.0) is None  # streak 1 of 2
+        assert scaler.poll_once(now=0.5) == "scale_up"
+        assert fleet.worker_count == 2
+
+    def test_one_noisy_sample_never_scales(self):
+        fleet = FakeFleet(1)
+        feed = iter([busy(5.0), idle(), busy(5.0), idle()])
+        scaler = make(fleet, lambda: next(feed))
+        for t in (0.0, 0.5, 1.0, 1.5):
+            assert scaler.poll_once(now=t) is None
+        assert fleet.worker_count == 1
+
+    def test_respects_max_workers(self):
+        fleet = FakeFleet(3)
+        scaler = make(fleet, lambda: busy(5.0), cooldown_s=0.0)
+        for t in range(10):
+            scaler.poll_once(now=float(t))
+        assert fleet.worker_count == 3  # already at the ceiling
+
+    def test_cooldown_blocks_back_to_back_resizes(self):
+        fleet = FakeFleet(1)
+        scaler = make(fleet, lambda: busy(5.0), cooldown_s=3.0)
+        scaler.poll_once(now=0.0)
+        assert scaler.poll_once(now=0.5) == "scale_up"
+        # breaches keep accruing, but the cooldown gate holds...
+        assert scaler.poll_once(now=1.0) is None
+        assert scaler.poll_once(now=2.0) is None
+        # ...until 3s after the resize.
+        assert scaler.poll_once(now=3.6) == "scale_up"
+        assert fleet.worker_count == 3
+
+
+class TestScaleDown:
+    def test_idle_fleet_shrinks_to_min(self):
+        fleet = FakeFleet(3)
+        scaler = make(fleet, idle, cooldown_s=0.0)
+        actions = [scaler.poll_once(now=float(t)) for t in range(8)]
+        assert actions.count("scale_down") == 2
+        assert fleet.worker_count == 1  # never below min_workers
+
+    def test_burst_gap_shorter_than_stabilization_does_not_shrink(self):
+        # a bursty source goes quiet for a couple of seconds between
+        # bursts; those gaps must not retire workers (the regression:
+        # hysteresis x poll_interval was ~1s, so every 2s gap killed a
+        # worker whose keep-alive clients were about to burst again).
+        fleet = FakeFleet(2)
+        feed = iter([idle(), idle(), idle(), idle(), busy(5.0)])
+        scaler = make(
+            fleet, lambda: next(feed),
+            cooldown_s=0.0, scale_down_stabilization_s=5.0,
+        )
+        for t in (0.0, 0.5, 1.0, 1.5, 2.0):  # 2s idle gap, then busy
+            assert scaler.poll_once(now=t) != "scale_down"
+        assert fleet.worker_count == 2
+
+    def test_sustained_idle_beyond_stabilization_shrinks(self):
+        fleet = FakeFleet(2)
+        scaler = make(
+            fleet, idle, cooldown_s=0.0, scale_down_stabilization_s=5.0,
+        )
+        actions = [scaler.poll_once(now=float(t)) for t in range(7)]
+        # idle since t=0: the window closes at t=5, not at hysteresis.
+        assert actions[:5] == [None] * 5
+        assert actions[5] == "scale_down"
+        assert fleet.worker_count == 1
+
+    def test_low_wait_with_queued_work_does_not_shrink(self):
+        fleet = FakeFleet(2)
+        lowish = ServiceSignals(
+            queue_depth=5, workers=2, ewma_entry_latency_s=0.001,
+            estimated_wait_s=0.0025, observed_entries=5,
+        )
+        scaler = make(fleet, lambda: lowish, cooldown_s=0.0)
+        for t in range(6):
+            assert scaler.poll_once(now=float(t)) is None
+        assert fleet.worker_count == 2
+
+
+class TestRespawn:
+    def test_dead_workers_replaced_to_min_ignoring_cooldown(self):
+        fleet = FakeFleet(2)
+        scaler = make(fleet, idle, min_workers=2, cooldown_s=1000.0)
+        scaler._last_resize_at = 0.0  # deep in cooldown
+        fleet.dead = 1
+        assert scaler.poll_once(now=0.1) == "respawn"
+        assert fleet.worker_count == 2
+        assert fleet.log[-2:] == ["reap:1", "add"]
+
+    def test_respawn_resets_streaks(self):
+        fleet = FakeFleet(1)
+        scaler = make(fleet, lambda: busy(5.0), cooldown_s=0.0)
+        scaler.poll_once(now=0.0)  # up streak 1
+        fleet.dead = 1
+        fleet.worker_count = 2  # pretend one extra so reap leaves 1
+        assert scaler.poll_once(now=0.5) == "respawn"
+        # the breach streak restarted: next poll is streak 1 again.
+        assert scaler.poll_once(now=10.0) is None
+
+    def test_none_signals_is_a_noop(self):
+        fleet = FakeFleet(1)
+        scaler = make(fleet, lambda: None)
+        assert scaler.poll_once(now=0.0) is None
+        assert fleet.worker_count == 1
+
+
+class TestEvents:
+    def test_actions_are_recorded_with_reasons(self):
+        fleet = FakeFleet(1)
+        scaler = make(fleet, lambda: busy(5.0))
+        scaler.poll_once(now=0.0)
+        scaler.poll_once(now=0.5)
+        assert len(scaler.events) == 1
+        event = scaler.events[0]
+        assert event["action"] == "scale_up"
+        assert event["workers"] == 2
+        assert "estimated wait" in event["reason"]
+
+    def test_threaded_start_stop(self):
+        fleet = FakeFleet(1)
+        scaler = make(fleet, idle, poll_interval_s=0.01)
+        with scaler:
+            pass  # start + stop must not deadlock or leak
+        assert scaler._thread is None

@@ -1,0 +1,192 @@
+"""Unit tests for repro.control.signals: EWMAs, snapshots, aggregation."""
+
+import json
+import threading
+
+import pytest
+
+from repro.control import Ewma, ServiceSignals, SignalTracker, aggregate_signals
+
+
+class TestEwma:
+    def test_none_until_first_observation(self):
+        ewma = Ewma()
+        assert ewma.value is None
+        assert ewma.update(2.0) == 2.0
+        assert ewma.value == 2.0
+
+    def test_tracks_toward_new_observations(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.update(0.0)
+        ewma.update(1.0)
+        assert ewma.value == pytest.approx(0.5)
+        ewma.update(1.0)
+        assert ewma.value == pytest.approx(0.75)
+
+    def test_alpha_one_is_last_value(self):
+        ewma = Ewma(alpha=1.0)
+        ewma.update(3.0)
+        ewma.update(7.0)
+        assert ewma.value == 7.0
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(ValueError, match="alpha"):
+            Ewma(alpha=alpha)
+
+
+class TestServiceSignals:
+    def test_round_trips_through_json(self):
+        signals = ServiceSignals(
+            queue_depth=3,
+            workers=2,
+            ewma_entry_latency_s=0.25,
+            estimated_wait_s=0.375,
+            slo_attainment=0.9,
+            observed_entries=17,
+        )
+        wire = json.loads(json.dumps(signals.to_dict()))
+        assert ServiceSignals.from_dict(wire) == signals
+
+    def test_round_trips_cold_nones(self):
+        signals = ServiceSignals(
+            queue_depth=0, workers=1, ewma_entry_latency_s=None, estimated_wait_s=0.0
+        )
+        back = ServiceSignals.from_dict(signals.to_dict())
+        assert back.ewma_entry_latency_s is None
+        assert back.slo_attainment is None
+
+    def test_from_metrics_reads_the_signals_block(self):
+        metrics = {"counters": {}, "signals": {"queue_depth": 5, "workers": 2}}
+        signals = ServiceSignals.from_metrics(metrics)
+        assert signals is not None
+        assert signals.queue_depth == 5
+        assert signals.workers == 2
+
+    @pytest.mark.parametrize(
+        "metrics", [None, [], "nope", {}, {"signals": None}, {"signals": [1]}]
+    )
+    def test_from_metrics_tolerates_junk(self, metrics):
+        assert ServiceSignals.from_metrics(metrics) is None
+
+
+class TestSignalTracker:
+    def test_estimated_wait_is_depth_times_ewma_over_workers(self):
+        tracker = SignalTracker(alpha=1.0)
+        tracker.observe_entry(0.2)
+        snapshot = tracker.snapshot(queue_depth=6, workers=2)
+        assert snapshot.estimated_wait_s == pytest.approx(6 * 0.2 / 2)
+        assert snapshot.observed_entries == 1
+
+    def test_cold_tracker_reports_zero_wait(self):
+        snapshot = SignalTracker().snapshot(queue_depth=10, workers=1)
+        assert snapshot.ewma_entry_latency_s is None
+        assert snapshot.estimated_wait_s == 0.0
+
+    def test_attainment_requires_a_budget(self):
+        without = SignalTracker()
+        without.observe_entry(0.1)
+        assert without.snapshot(0, 1).slo_attainment is None
+
+        with_budget = SignalTracker(alpha=1.0, slo_budget_s=0.5)
+        with_budget.observe_entry(0.1)
+        assert with_budget.snapshot(0, 1).slo_attainment == 1.0
+        with_budget.observe_entry(2.0)
+        assert with_budget.snapshot(0, 1).slo_attainment == 0.0
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError, match="slo_budget_s"):
+            SignalTracker(slo_budget_s=0.0)
+
+    def test_cache_hits_do_not_dilute_the_expected_cost(self):
+        # regression: one EWMA over hits *and* misses let a warm stretch
+        # drag the average to ~0, so admission read a queue of cold work
+        # as free and stopped shedding mid-overload.  With a 50% hit
+        # rate the expected cost must stay ~half the miss cost, however
+        # many cheap hits arrive.
+        tracker = SignalTracker(alpha=0.1)
+        for _ in range(50):
+            tracker.observe_entry(1.0, hit=False)
+            tracker.observe_entry(0.001, hit=True)
+        ewma = tracker.snapshot(queue_depth=10, workers=1).ewma_entry_latency_s
+        assert ewma == pytest.approx(0.5, rel=0.2)
+
+    def test_warm_only_history_prices_by_hits(self):
+        tracker = SignalTracker(alpha=1.0)
+        tracker.observe_entry(0.002, hit=True)
+        snapshot = tracker.snapshot(queue_depth=100, workers=1)
+        assert snapshot.ewma_entry_latency_s == pytest.approx(0.002)
+
+    def test_prior_seeds_the_miss_cost(self):
+        tracker = SignalTracker(alpha=1.0, prior_latency_s=0.25)
+        snapshot = tracker.snapshot(queue_depth=4, workers=1)
+        assert snapshot.ewma_entry_latency_s == pytest.approx(0.25)
+        assert snapshot.estimated_wait_s == pytest.approx(1.0)
+        assert snapshot.observed_entries == 0  # a prior is not a measurement
+
+    def test_workers_clamped_to_one(self):
+        tracker = SignalTracker(alpha=1.0)
+        tracker.observe_entry(1.0)
+        assert tracker.snapshot(queue_depth=4, workers=0).workers == 1
+
+    def test_concurrent_observers_count_every_entry(self):
+        tracker = SignalTracker()
+        threads = [
+            threading.Thread(
+                target=lambda: [tracker.observe_entry(0.01) for _ in range(100)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tracker.snapshot(0, 1).observed_entries == 800
+
+
+class TestAggregateSignals:
+    def _part(self, depth, wait, ewma=0.1, observed=10, attainment=None):
+        return ServiceSignals(
+            queue_depth=depth,
+            workers=1,
+            ewma_entry_latency_s=ewma,
+            estimated_wait_s=wait,
+            slo_attainment=attainment,
+            observed_entries=observed,
+        )
+
+    def test_depth_and_workers_add_waits_average(self):
+        agg = aggregate_signals([self._part(2, 0.4), self._part(4, 0.8)])
+        assert agg.queue_depth == 6
+        assert agg.workers == 2
+        assert agg.estimated_wait_s == pytest.approx(0.6)
+        assert agg.observed_entries == 20
+
+    def test_ewma_is_observation_weighted(self):
+        agg = aggregate_signals(
+            [
+                self._part(0, 0.0, ewma=1.0, observed=1),
+                self._part(0, 0.0, ewma=0.0, observed=3),
+            ]
+        )
+        assert agg.ewma_entry_latency_s == pytest.approx(0.25)
+
+    def test_cold_members_do_not_poison_the_mean(self):
+        agg = aggregate_signals(
+            [
+                self._part(0, 0.0, ewma=None, observed=0),
+                self._part(0, 0.0, ewma=0.5, observed=4),
+            ]
+        )
+        assert agg.ewma_entry_latency_s == pytest.approx(0.5)
+
+    def test_empty_input_yields_idle_fleet(self):
+        agg = aggregate_signals([])
+        assert agg.queue_depth == 0
+        assert agg.workers == 1
+        assert agg.ewma_entry_latency_s is None
+        assert agg.estimated_wait_s == 0.0
+
+    def test_none_members_are_skipped(self):
+        agg = aggregate_signals([None, self._part(3, 0.3)])
+        assert agg.queue_depth == 3

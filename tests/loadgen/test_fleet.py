@@ -180,3 +180,188 @@ class TestServingFleetProcesses:
         fleet.close()
         assert fleet.urls == []
         assert fleet.poll() == []
+
+
+class _FakeWorker:
+    """In-process stand-in for an HTTP worker endpoint."""
+
+    transport = "fake"
+    _seq = 0
+
+    def __init__(self, url, fail=False):
+        self.url = url
+        self.fail = fail
+        self.submits = 0
+        self.closed = False
+
+    def submit(self, manifest):
+        if self.fail:
+            raise ConnectionError(f"{self.url} is down")
+        self.submits += 1
+        _FakeWorker._seq += 1
+        return f"job-{_FakeWorker._seq}"
+
+    def status(self, job_id):
+        raise AssertionError("not used")
+
+    def await_receipt(self, job_id, timeout=None):
+        return object()
+
+    def metrics(self):
+        return {"counters": {}}
+
+    def client_stats(self):
+        return {"shed_total": 1, "retried_total": 0, "gave_up_total": 0}
+
+    def close(self):
+        self.closed = True
+
+
+def _fake_fleet(urls):
+    made = {}
+
+    def factory(url):
+        made[url] = _FakeWorker(url)
+        return made[url]
+
+    fleet = FleetEndpoint(
+        [factory(u) for u in urls], urls=list(urls), endpoint_factory=factory
+    )
+    return fleet, made
+
+
+class TestDynamicMembership:
+    def test_set_members_adds_retires_and_revives(self):
+        fleet, made = _fake_fleet(["u1", "u2"])
+        fleet.set_members(["u2", "u3"])  # u1 retired, u3 joins
+        assert len(fleet) == 2
+        assert fleet.member_urls() == ["u2", "u3"]
+        for _ in range(4):
+            fleet.submit(None)
+        assert made["u1"].submits == 0  # retired: no new submits
+        assert made["u2"].submits == 2 and made["u3"].submits == 2
+
+        fleet.set_members(["u1", "u2", "u3"])  # scale-down reverted
+        assert len(fleet) == 3
+        assert "u1" in fleet.member_urls()
+        fleet.close()
+        assert all(w.closed for w in made.values())
+
+    def test_connection_failure_fails_over_and_marks_down(self):
+        fleet, made = _fake_fleet(["u1", "u2"])
+        made["u1"].fail = True
+        for _ in range(4):
+            fleet.submit(None)  # never raises: u2 absorbs everything
+        assert made["u2"].submits == 4
+        assert fleet.member_urls() == ["u2"]  # u1 out of rotation
+
+        # a state refresh vouching for u1 puts it back.
+        made["u1"].fail = False
+        fleet.set_members(["u1", "u2"])
+        assert fleet.member_urls() == ["u1", "u2"]
+        fleet.submit(None)
+        fleet.submit(None)  # two submits round-robin over both again
+        assert made["u1"].submits == 1
+
+    def test_all_workers_down_raises_connection_error(self):
+        fleet, made = _fake_fleet(["u1"])
+        made["u1"].fail = True
+        with pytest.raises(ConnectionError):
+            fleet.submit(None)
+
+    def test_client_stats_include_retired_members(self):
+        fleet, made = _fake_fleet(["u1", "u2"])
+        fleet.set_members(["u2"])
+        assert fleet.client_stats()["shed_total"] == 2  # u1 still counted
+
+    def test_fixed_membership_rejects_set_members(self):
+        fleet = FleetEndpoint([_FakeWorker("u1")])
+        with pytest.raises(RuntimeError, match="factory"):
+            fleet.set_members(["u1", "u2"])
+        fleet.close()
+
+
+class TestFleetStateEndpoint:
+    def test_follows_state_file_rewrites(self, tmp_path):
+        import time as _time
+
+        from repro.loadgen.fleet import open_fleet_state_endpoint
+        from repro.serving.spool import atomic_write_json
+
+        state = str(tmp_path / "fleet.json")
+        atomic_write_json(state, {"version": 1, "workers": ["http://127.0.0.1:1"]})
+        fleet = open_fleet_state_endpoint(state, poll_interval=0.05)
+        try:
+            assert fleet.member_urls() == ["http://127.0.0.1:1"]
+            atomic_write_json(
+                state,
+                {"version": 1,
+                 "workers": ["http://127.0.0.1:1", "http://127.0.0.1:2"]},
+            )
+            deadline = _time.monotonic() + 5.0
+            while _time.monotonic() < deadline:
+                if len(fleet.member_urls()) == 2:
+                    break
+                _time.sleep(0.02)
+            assert fleet.member_urls() == [
+                "http://127.0.0.1:1", "http://127.0.0.1:2"
+            ]
+            # an empty/bad rewrite must never shrink the fleet to zero.
+            (tmp_path / "fleet.json").write_text("{broken json")
+            _time.sleep(0.15)
+            assert len(fleet.member_urls()) == 2
+        finally:
+            fleet.close()
+
+    def test_missing_state_file_times_out(self, tmp_path):
+        from repro.loadgen.fleet import open_fleet_state_endpoint
+
+        with pytest.raises(ConnectionError, match="no live workers"):
+            open_fleet_state_endpoint(
+                str(tmp_path / "nope.json"), startup_timeout=0.2
+            )
+
+    def test_open_endpoint_fleet_scheme(self, tmp_path):
+        from repro.serving.spool import atomic_write_json
+
+        state = str(tmp_path / "fleet.json")
+        atomic_write_json(state, {"version": 1, "workers": ["http://127.0.0.1:1"]})
+        endpoint = open_endpoint(f"fleet:{state}")
+        assert isinstance(endpoint, FleetEndpoint)
+        endpoint.close()
+
+
+class TestFleetResizeAndReap:
+    """Real processes: the autoscaler's levers against ServingFleet."""
+
+    def test_add_stop_reap_and_state_file(self, tmp_path):
+        state = str(tmp_path / "fleet.json")
+
+        def state_workers():
+            with open(state) as fh:
+                return json.load(fh)["workers"]
+
+        fleet = ServingFleet(
+            1, cache_dir=str(tmp_path / "c"), jobs=1, state_path=state
+        )
+        try:
+            fleet.start()
+            assert fleet.worker_count == 1
+            assert state_workers() == fleet.urls
+
+            url2 = fleet.add_worker()
+            assert fleet.worker_count == 2
+            assert state_workers() == fleet.urls and url2 in fleet.urls
+
+            # kill the newest worker behind the fleet's back: reap
+            # notices, removes it, and republishes the state file.
+            fleet._procs[-1].kill()
+            fleet._procs[-1].wait(timeout=10)
+            assert fleet.reap() == 1
+            assert fleet.worker_count == 1
+            assert state_workers() == fleet.urls and url2 not in fleet.urls
+
+            assert fleet.stop_worker() is None  # never below one worker
+        finally:
+            fleet.close()
+        assert state_workers() == []  # the empty fleet was published

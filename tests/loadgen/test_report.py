@@ -145,3 +145,40 @@ class TestComparator:
     def test_bad_tolerance(self, report):
         with pytest.raises(ValueError):
             compare_loadtests(report, report, tolerance=0.5)
+
+
+class TestBackpressure:
+    def test_clean_run_reports_zero_shed(self, report):
+        assert report["backpressure"]["shed"] == 0
+        client = report["backpressure"]["client"]
+        # the local transport has no backoff loop, but the tally keys
+        # are still present (all zero) so dashboards need no special
+        # casing per transport.
+        assert client.get("shed_total", 0) == 0
+
+    def test_shed_tally_flows_from_error_codes(self, result):
+        import copy as _copy
+
+        shedded = _copy.copy(result)
+        shedded.error_codes = dict(result.error_codes)
+        shedded.error_codes["overloaded"] = 3
+        shedded.client_stats = {
+            "shed_total": 5, "retried_total": 2, "gave_up_total": 3
+        }
+        report = build_report(shedded, slo_ms=5000.0)
+        assert report["backpressure"]["shed"] == 3
+        assert report["backpressure"]["client"]["retried_total"] == 2
+        # shedding shows up in the human digest too.
+        digest = summary_lines(report)
+        assert "shedding" in digest
+        assert "retried 2" in digest
+
+    def test_clean_digest_omits_shedding_line(self, report):
+        assert "shedding" not in summary_lines(report)
+
+    def test_pre_control_reports_still_validate(self, report):
+        import copy as _copy
+
+        legacy = _copy.deepcopy(report)
+        del legacy["backpressure"]  # schema v1 from before PR 6
+        validate_report(legacy)  # additive field: absence is fine

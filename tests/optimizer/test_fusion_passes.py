@@ -142,6 +142,20 @@ class TestConvAddFusion:
         g = b.build([h])
         assert not run_pass(g, ConvAddFusion())
 
+    def test_skips_broadcast_add(self):
+        # Add broadcasts, FusedConvAdd does not: a residual of a
+        # different (broadcastable) shape must not fuse.  Obfuscated
+        # subgraphs hit this pairing (regression: the fused graph failed
+        # shape inference with "residual shape != conv output").
+        b = GraphBuilder("t", seed=0)
+        x = b.input("x", (1, 4, 8, 8))
+        s = b.input("s", (1, 4, 1, 1))
+        h = b.conv(x, 4)
+        h = b.add(h, s)
+        g = b.build([h])
+        assert not run_pass(g, ConvAddFusion())
+        assert all(n.op_type != "FusedConvAdd" for n in g.nodes)
+
 
 class TestMatMulFusion:
     def test_2d_becomes_gemm(self, mlp):

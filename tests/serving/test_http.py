@@ -297,3 +297,107 @@ class TestRoundTrip:
         )
         assert status == 404
         assert payload["error"]["code"] == ERR_UNKNOWN_JOB
+
+
+class TestOverloadedWire:
+    """HTTP 429 + code='overloaded' + retry_after_s, on the raw wire."""
+
+    @pytest.fixture()
+    def shedding_server(self):
+        from repro.api.wire import ERR_OVERLOADED, EndpointError
+
+        class AlwaysShed:
+            """Sheds every submit; duck-types the controller surface."""
+
+            class policy:
+                slo_budget_s = 0.5
+
+            def admit(self, signals, context="submit"):
+                raise EndpointError(
+                    ERR_OVERLOADED,
+                    "submit shed by admission control (test stand-in)",
+                    retry_after_s=1.75,
+                )
+
+            def stats(self):
+                return {
+                    "slo_budget_s": 0.5,
+                    "admitted_total": 0,
+                    "shed_total": 1,
+                }
+
+        with OptimizationHTTPServer(
+            "ortlike", workers=2, port=0, admission_slo_s=0.5
+        ) as app:
+            host, port = app.start()
+            app._backends[app.default_backend].admission = AlwaysShed()
+            yield f"http://{host}:{port}", app
+
+    def _post_job(self, base_url, body):
+        req = urllib.request.Request(
+            base_url + "/v1/jobs",
+            data=json.dumps(body).encode("utf-8"),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                return resp.status, dict(resp.headers), json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), json.loads(exc.read())
+
+    def test_shed_is_429_with_retry_after(self, shedding_server, obfuscation):
+        base_url, _ = shedding_server
+        _, result = obfuscation
+        status, headers, payload = self._post_job(
+            base_url, _submit_body(result.bucket)
+        )
+        assert status == 429
+        assert payload["error"]["code"] == "overloaded"
+        assert payload["error"]["retry_after_s"] == pytest.approx(1.75)
+        # the standard header carries the hint too, integer-ceilinged.
+        assert headers.get("Retry-After") == "2"
+
+    def test_metrics_surface_signals_and_admission(self, shedding_server):
+        base_url, _ = shedding_server
+        req = urllib.request.Request(base_url + "/v1/metrics", method="GET")
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            payload = json.loads(resp.read())
+        signals = payload["signals"]
+        assert set(signals) >= {
+            "queue_depth", "workers", "ewma_entry_latency_s", "estimated_wait_s"
+        }
+        assert payload["admission"]["slo_budget_s"] == 0.5
+        assert payload["draining"] is False
+
+
+class TestGracefulDrain:
+    def test_draining_app_refuses_submits_finishes_queued(self, obfuscation):
+        _, result = obfuscation
+        with OptimizationHTTPServer("ortlike", workers=2, port=0) as app:
+            host, port = app.start()
+            base = f"http://{host}:{port}"
+            status, payload = _call(
+                base, "POST", "/v1/jobs", body=_submit_body(result.bucket)
+            )
+            assert status == 200
+            job_id = payload["job_id"]
+
+            app.begin_drain()
+            status, payload = _call(
+                base, "POST", "/v1/jobs", body=_submit_body(result.bucket)
+            )
+            assert status == 429
+            assert payload["error"]["code"] == "overloaded"
+            assert payload["error"]["retry_after_s"] >= 1.0
+
+            # the in-flight job still completes and can be claimed.
+            status, payload = _call(
+                base, "GET", f"/v1/jobs/{job_id}/receipt?wait=60"
+            )
+            assert status == 200
+            assert receipt_from_wire(payload).entries
+
+            assert app.drain(timeout_s=30.0) is True
+            status, payload = _call(base, "GET", "/v1/metrics")
+            assert payload["draining"] is True

@@ -279,3 +279,117 @@ class TestMonotonicCounters:
             counters = srv.metrics()["counters"]
         assert counters["submitted_total"] == 2
         assert counters["completed_total"] == 2
+
+
+def _distinct_entry_bucket(i):
+    """A 1-entry bucket whose graph differs from every other ``i``.
+
+    Distinct initializer values give distinct canonical hashes, so the
+    dedup scheduler and cache treat each bucket as genuinely new work —
+    the cheap way to build a backlog without obfuscating N models.
+    """
+    import numpy as np
+
+    from repro.ir.dtypes import DataType, TensorType
+    from repro.ir.graph import Graph, Value
+    from repro.ir.node import Node
+
+    w = np.full((4, 3, 1, 1), float(i) + 0.5, dtype=np.float32)
+    graph = Graph(
+        f"tiny-{i}",
+        inputs=[Value("x", TensorType(DataType.FLOAT32, (1, 3, 8, 8)))],
+        outputs=[Value("y")],
+        nodes=[
+            Node("conv", "Conv", ["x", "w"], ["h"],
+                 {"kernel_shape": (1, 1), "strides": (1, 1),
+                  "pads": (0, 0, 0, 0)}),
+            Node("act", "Relu", ["h"], ["y"]),
+        ],
+        initializers={"w": w},
+    )
+    return ObfuscatedBucket([BucketEntry(f"tiny-{i}", 0, graph)], n_groups=1, k=0)
+
+
+class TestDrain:
+    def test_begin_drain_rejects_new_submits_typed(self):
+        from repro.api.wire import ERR_OVERLOADED, EndpointError
+
+        gate = threading.Event()
+        with OptimizationServer(CountingOptimizer(gate=gate), workers=1) as srv:
+            job_id = srv.submit(_distinct_entry_bucket(0))
+            srv.begin_drain()
+            assert srv.draining is True
+            assert srv.metrics()["draining"] is True
+            with pytest.raises(EndpointError) as excinfo:
+                srv.submit(_distinct_entry_bucket(1))
+            assert excinfo.value.code == ERR_OVERLOADED
+            assert excinfo.value.retry_after_s >= 1.0
+            # queued work still completes: drain refuses, it does not kill.
+            gate.set()
+            receipt = srv.await_receipt(job_id, timeout=30)
+            assert len(receipt.entries) == 1
+
+    def test_drain_hint_scales_with_backlog(self):
+        from repro.api.wire import EndpointError
+
+        gate = threading.Event()
+        with OptimizationServer(CountingOptimizer(gate=gate), workers=1) as srv:
+            for i in range(5):
+                srv.submit(_distinct_entry_bucket(i))
+            # warm the latency EWMA so the hint has a backlog estimate.
+            srv._signals.observe_entry(2.0)
+            srv.begin_drain()
+            with pytest.raises(EndpointError) as excinfo:
+                srv.submit(_distinct_entry_bucket(99))
+            gate.set()
+        # 5 entries x 2s ewma = 10s wait -> hint 2x, capped at 30.
+        assert excinfo.value.retry_after_s > 1.0
+
+
+class TestAdmissionDelta:
+    """The regression the control plane exists to prevent: under the
+    same 2x-overload submit schedule, no admission -> latency grows with
+    the backlog (collapse); admission -> latency stays near the budget
+    and the excess is shed gracefully."""
+
+    BUDGET_S = 0.25
+
+    def _run(self, admission):
+        delay = 0.05
+        with OptimizationServer(
+            CountingOptimizer(delay=delay), workers=1, admission=admission
+        ) as srv:
+            submits = []  # (job_id, submitted_at) for admitted jobs
+            shed = 0
+            for i in range(40):
+                try:
+                    submits.append((srv.submit(_distinct_entry_bucket(i)), time.monotonic()))
+                except Exception:
+                    shed += 1
+                time.sleep(delay / 4)  # open-loop: 4x over capacity
+            latencies = []
+            for job_id, t0 in submits:
+                srv.await_receipt(job_id, timeout=60)
+                latencies.append(time.monotonic() - t0)
+        return latencies, shed
+
+    def test_no_admission_collapses_with_admission_bounded(self):
+        from repro.control import AdmissionController
+
+        unregulated, shed_without = self._run(admission=None)
+        assert shed_without == 0  # nothing sheds without a controller
+        # the backlog grows without bound: ~40 entries x 50ms against a
+        # submit pace of 12.5ms means the last receipts wait >= 1.2s.
+        assert max(unregulated) >= 3 * self.BUDGET_S
+
+        regulated, shed_with = self._run(
+            admission=AdmissionController(
+                slo_budget_s=self.BUDGET_S, min_queue_depth=2
+            )
+        )
+        assert shed_with > 0  # the excess was refused, typed
+        assert len(regulated) > 0  # ...but real goodput got through
+        # admitted work was served near the budget, not the backlog:
+        # worst case is one just-under-budget wait + service + slack.
+        assert max(regulated) <= 3 * self.BUDGET_S
+        assert max(regulated) < max(unregulated)
