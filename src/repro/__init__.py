@@ -18,6 +18,10 @@ package provides:
   the job-queue :class:`OptimizationServer`;
 * :mod:`repro.loadgen` — deterministic workload generation, the
   loadtest driver and SLO reports, and the multi-process serving fleet;
+* :mod:`repro.control` — admission control, client backoff, and the
+  signal-driven fleet autoscaler;
+* :mod:`repro.cluster` — the sharded fleet: consistent-hash routing,
+  fleet-wide in-flight dedup, and the hierarchical optimization cache;
 * :mod:`repro.sentinel` — sentinel-subgraph generation (topology model,
   importance sampling, CSP operator population);
 * :mod:`repro.adversary` — the learning-based GNN attack and heuristic
@@ -62,7 +66,7 @@ try:
     __version__ = _dist_version("repro-proteus")
     del _dist_version
 except Exception:  # not installed: plain source checkout
-    __version__ = "1.6.0"
+    __version__ = "1.7.0"
 
 from .ir import Graph, GraphBuilder, Node  # noqa: F401
 from .core import ObfuscatedBucket, Proteus, ProteusConfig, ReassemblyPlan  # noqa: F401

@@ -32,11 +32,13 @@ Endpoint URIs follow a small grammar (also accepted by
     spool:DIRECTORY        spool directory served by `repro serve DIR`
     http://HOST:PORT       `repro serve --http PORT` on another machine
     https://HOST:PORT      same, behind TLS termination
-    http://H:P1,http://H:P2  round-robin fleet of workers
+    http://H:P1,http://H:P2  fleet of workers, ring-routed by manifest
+                           digest with fleet-wide in-flight dedup
                            (`repro serve --http 0 --workers N`)
     fleet:STATE_FILE       autoscaling fleet via its membership state
                            file (`repro serve ... --fleet-state PATH`);
-                           follows workers the autoscaler adds/removes
+                           follows workers the autoscaler adds/removes,
+                           re-sharding the routing ring live
 
 Failures are structured everywhere: transports raise
 :class:`~repro.api.wire.EndpointError` with the same closed set of
@@ -207,7 +209,10 @@ class LocalEndpoint(OptimizerEndpoint):
             self._owns_server = True
 
     def submit(self, manifest: Union[BucketManifest, ObfuscatedBucket]) -> str:
-        return self._server.submit(_seal(manifest).bucket)
+        sealed = _seal(manifest)
+        return self._server.submit(
+            sealed.bucket, entry_digests=sealed.entry_digests
+        )
 
     def status(self, job_id: str):
         try:
@@ -731,7 +736,7 @@ class RemoteOptimizerService:
 
 _URI_GRAMMAR = (
     "endpoint URIs: local:[BACKEND] | spool:DIRECTORY | http://HOST:PORT "
-    "| https://HOST:PORT | http://H:P1,http://H:P2,... (round-robin fleet) "
+    "| https://HOST:PORT | http://H:P1,http://H:P2,... (ring-routed fleet) "
     "| fleet:STATE_FILE (autoscaling fleet; follows membership changes)"
 )
 
@@ -760,7 +765,7 @@ def open_endpoint(
         if len(parts) > 1 and all(
             p.startswith(("http://", "https://")) for p in parts
         ):
-            # several worker URLs = a round-robin fleet front (what
+            # several worker URLs = a ring-routed fleet front (what
             # `repro serve --http 0 --workers N` prints as its
             # endpoint).  Only split when every part is itself a URL —
             # a single URL may legally carry commas in its path/query.

@@ -265,6 +265,11 @@ def _serve_http(args, cache, jobs, options) -> int:
     from .api.wire import PROTOCOL_VERSION
     from .serving.http import OptimizationHTTPServer
 
+    journal = None
+    if args.journal is not None:
+        from .loadgen.journal import TrafficJournal
+
+        journal = TrafficJournal(args.journal)
     try:
         app = OptimizationHTTPServer(
             args.optimizer,
@@ -275,6 +280,7 @@ def _serve_http(args, cache, jobs, options) -> int:
             verbose=args.verbose,
             admission_slo_s=(args.slo_ms / 1e3 if args.slo_ms else None),
             entry_cost_s=(args.entry_cost_ms or 0.0) / 1e3,
+            journal=journal,
             **options,
         )
     except TypeError as exc:
@@ -389,6 +395,10 @@ def _serve_fleet(args, jobs) -> int:
     min_workers = args.min_workers if args.min_workers is not None else workers
     max_workers = args.max_workers if args.max_workers is not None else workers
 
+    if args.cache_shard is not None:
+        print("note: fleet mode derives one cache shard per worker under "
+              "--cache-dir; ignoring --cache-shard", file=sys.stderr)
+
     fleet = ServingFleet(
         workers,
         optimizer=args.optimizer,
@@ -398,6 +408,7 @@ def _serve_fleet(args, jobs) -> int:
         extra_args=extra,
         capture_stderr=False,  # operators need worker logs + tracebacks
         state_path=args.fleet_state,
+        journal_path=args.journal,
     )
 
     # the autoscaler reads each worker's /v1/metrics "signals" block and
@@ -585,10 +596,27 @@ def _cmd_serve(args) -> int:
             return 2
         return _serve_fleet(args, jobs)
 
-    cache = OptimizationCache(cache_dir=args.cache_dir)  # None dir = memory-only
+    if args.cache_shard is not None:
+        if args.cache_dir is None:
+            print("--cache-shard needs --cache-dir (the shared backing store)",
+                  file=sys.stderr)
+            return 2
+        from .cluster import HierarchicalCache
+
+        try:
+            cache = HierarchicalCache(args.cache_shard, args.cache_dir)
+        except ValueError as exc:
+            print(f"bad cache layout: {exc}", file=sys.stderr)
+            return 2
+    else:
+        cache = OptimizationCache(cache_dir=args.cache_dir)  # None dir = memory-only
 
     if args.http is not None:
         return _serve_http(args, cache, jobs, options)
+
+    if args.journal is not None:
+        print("note: --journal only applies to --http serving; ignoring",
+              file=sys.stderr)
 
     spool = args.spool_dir
     if not os.path.isdir(spool):
@@ -1047,6 +1075,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "URLs to PATH (atomically rewritten on membership "
                         "changes); clients follow the fleet with "
                         "--endpoint fleet:PATH")
+    p.add_argument("--cache-shard", default=None, metavar="DIR",
+                   help="with --cache-dir: use DIR as this worker's private "
+                        "disk shard and --cache-dir as the shared backing "
+                        "store (the hierarchical memory/shard/shared cache; "
+                        "fleet mode derives one shard per worker "
+                        "automatically)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="with --http: journal every accepted submit's "
+                        "arrival time + bucket digest to PATH as a "
+                        "workload.json replayable via repro loadtest "
+                        "--workload (fleet mode writes one PATH-derived "
+                        "journal per worker)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(

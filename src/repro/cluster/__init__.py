@@ -1,0 +1,20 @@
+"""Locality-aware distributed cache/compute tier for the serving fleet.
+
+Three pieces turn the PR 5/6 fleet from "N interchangeable workers over
+one shared cache" into a sharded tier:
+
+* :class:`~repro.cluster.ring.ConsistentHashRing` — stable digest ->
+  worker placement; a resize remaps only ~1/N of the key space.
+* :class:`~repro.cluster.router.RouterEndpoint` — the default fleet
+  proxy: ring-routed submits, a fleet-wide in-flight dedup table, and
+  next-on-ring failover.
+* :class:`~repro.cluster.hiercache.HierarchicalCache` — per-worker
+  memory LRU over a per-worker disk shard over the shared backing
+  store, with promote-on-hit, write-through and per-tier counters.
+"""
+
+from .hiercache import HierarchicalCache
+from .ring import ConsistentHashRing
+from .router import RouterEndpoint
+
+__all__ = ["ConsistentHashRing", "HierarchicalCache", "RouterEndpoint"]

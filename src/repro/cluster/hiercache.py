@@ -1,0 +1,174 @@
+"""Three-tier hierarchical optimization cache for fleet workers.
+
+The flat :class:`~repro.serving.cache.OptimizationCache` gives a fleet
+worker two tiers: its private memory LRU over one disk directory shared
+by every worker.  That shape has a scaling problem the hierarchical
+GPU parameter server literature (PAPERS.md) names directly: the shared
+store is the *largest and slowest* tier, so it should be the tier of
+last resort, yet a flat layout makes it the worker's only disk tier —
+every memory miss pays the shared store's contention (N workers
+hammering one directory tree) even for payloads this worker itself
+optimized minutes ago.
+
+:class:`HierarchicalCache` layers three tiers the way that paper tiers
+HBM / DRAM / SSD:
+
+1. **memory** — the per-worker LRU (hottest, smallest, private);
+2. **local** — a per-worker disk shard (private, uncontended; holds
+   everything this worker optimized or was routed repeatedly);
+3. **shared** — the fleet-wide backing store (largest; what makes N
+   workers one logical cache and survives worker restarts).
+
+Lookups descend; hits **promote** the payload into every tier above the
+one that hit, so the second lookup is a memory hit no matter where the
+first one landed.  Writes go **through** all three tiers, so a payload
+optimized anywhere is immediately visible fleet-wide.  Payloads are
+content-addressed and immutable (the key embeds canonical digest +
+backend + config), so tiers can never disagree about a key's value —
+promotion and write-through need no invalidation protocol.
+
+Per-tier hit counters surface through :meth:`tier_stats` into
+``metrics()["cache_tiers"]``, loadtest reports and the autoscaler's
+:class:`~repro.control.signals.ServiceSignals` — the memory-tier hit
+rate is the router's locality scorecard (ring routing should beat
+round-robin on it; CI's ``cluster-smoke`` job asserts exactly that).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, Optional
+
+from ..serving.cache import OptimizationCache
+
+__all__ = ["HierarchicalCache"]
+
+
+class HierarchicalCache(OptimizationCache):
+    """Per-worker memory LRU over a per-worker disk shard over a shared
+    backing store.  A drop-in :class:`OptimizationCache` (the serving
+    tier only calls ``get``/``put``/``stats``/``tier_stats``).
+
+    Parameters
+    ----------
+    shard_dir:
+        This worker's private disk shard (the middle tier).  Each
+        worker must use its own directory; the fleet spawner derives
+        one per worker under ``<cache_dir>/shards/``.
+    shared_dir:
+        The fleet-wide backing store (the bottom tier) — the same
+        directory a flat fleet cache would use, so existing stores are
+        readable in place.
+    max_memory_entries:
+        Memory-LRU bound, as on the base class.
+    """
+
+    def __init__(
+        self,
+        shard_dir: str,
+        shared_dir: str,
+        max_memory_entries: int = 256,
+    ) -> None:
+        if os.path.abspath(shard_dir) == os.path.abspath(shared_dir):
+            raise ValueError(
+                "shard_dir and shared_dir must differ (a shard equal to "
+                "the backing store is just the flat two-tier cache)"
+            )
+        super().__init__(cache_dir=shard_dir, max_memory_entries=max_memory_entries)
+        self.shared_dir = shared_dir
+        os.makedirs(os.path.join(shared_dir, "objects"), exist_ok=True)
+        # base-class counters already track memory hits, local (shard)
+        # disk hits, misses, puts and evictions; the shared tier and
+        # promotions are the only new accounting.
+        self._shared_hits = 0
+        self._promotions = 0
+        self._tier_lock = threading.Lock()
+
+    # -- lookup / store -----------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Descend memory -> local shard -> shared store; promote hits."""
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                self._memory_hits += 1
+                return payload
+        payload = self._read_disk(key)  # local shard
+        if payload is not None:
+            with self._lock:
+                self._disk_hits += 1
+                self._remember(key, payload)  # promote: shard -> memory
+            return payload
+        payload = self._read_object(self.object_path_in(self.shared_dir, key))
+        with self._lock:
+            if payload is None:
+                self._misses += 1
+                return None
+            self._remember(key, payload)  # promote: shared -> memory
+        with self._tier_lock:
+            self._shared_hits += 1
+            self._promotions += 1
+        # promote: shared -> local shard, so this worker's next memory
+        # eviction of the key refills from its private, uncontended tier.
+        self._write_disk(key, payload)
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Write through every tier: memory, local shard, shared store."""
+        super().put(key, payload)  # memory + local shard
+        self._write_object(self.object_path_in(self.shared_dir, key), payload)
+
+    # -- bookkeeping --------------------------------------------------------
+    def tier_stats(self) -> Dict[str, Any]:
+        """Per-tier counters (``metrics()["cache_tiers"]`` block).
+
+        ``lookups`` = memory_hits + local_hits + shared_hits + misses;
+        the three hit-rate fields are each tier's share of all lookups,
+        so ``memory_hit_rate`` is directly comparable across routing
+        policies (the router's locality scorecard).
+        """
+        with self._lock:
+            memory_hits = self._memory_hits
+            local_hits = self._disk_hits
+            misses = self._misses
+            memory_entries = len(self._memory)
+        with self._tier_lock:
+            shared_hits = self._shared_hits
+            promotions = self._promotions
+        lookups = memory_hits + local_hits + shared_hits + misses
+        return {
+            "memory_hits": memory_hits,
+            "local_hits": local_hits,
+            "shared_hits": shared_hits,
+            "misses": misses,
+            "promotions": promotions,
+            "memory_entries": memory_entries,
+            "memory_hit_rate": memory_hits / lookups if lookups else 0.0,
+            "local_hit_rate": local_hits / lookups if lookups else 0.0,
+            "shared_hit_rate": shared_hits / lookups if lookups else 0.0,
+        }
+
+    def stats(self):
+        """Flat :class:`CacheStats` view: shared hits count as disk hits
+        (they are hits — the flat hit-rate must not read a shared hit
+        as a miss just because the layout grew a tier)."""
+        base = super().stats()
+        with self._tier_lock:
+            shared = self._shared_hits
+        from ..serving.cache import CacheStats
+
+        return CacheStats(
+            memory_hits=base.memory_hits,
+            disk_hits=base.disk_hits + shared,
+            misses=base.misses,
+            puts=base.puts,
+            evictions=base.evictions,
+            memory_entries=base.memory_entries,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HierarchicalCache(shard={self.cache_dir!r}, "
+            f"shared={self.shared_dir!r}, {len(self)} hot entries)"
+        )

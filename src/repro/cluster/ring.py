@@ -1,0 +1,139 @@
+"""Consistent-hash ring: stable digest -> worker placement.
+
+The sharded fleet's routing problem is the classic one: map a stream of
+content keys (canonical bucket digests) onto a changing set of workers
+so that (a) the same key always lands on the same worker while
+membership holds — a repeated graph arrives where its optimized form is
+already hot in that worker's memory LRU — and (b) a resize moves as few
+keys as possible.  Hashing ``key % N`` fails (b) catastrophically:
+growing N to N+1 remaps ~all keys and every worker goes cold at once.
+
+:class:`ConsistentHashRing` is the textbook fix.  Each worker id is
+hashed onto ``vnodes`` points of a 64-bit circle; a key routes to the
+first worker point clockwise of the key's own hash.  Adding or removing
+one of N workers then remaps only the arc segments that worker owned —
+~1/N of the key space in expectation (``tests/cluster/test_ring.py``
+proves the fraction) — and virtual nodes keep per-worker load balanced
+by averaging each worker over many small arcs instead of one big one.
+
+Hashes come from sha256 over the id/key strings, never from Python's
+``hash()`` — placement must be identical across processes and runs
+(PYTHONHASHSEED randomizes ``hash()``), because a client restarted
+mid-deployment has to agree with every other client about where a
+digest lives.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["ConsistentHashRing"]
+
+#: default virtual nodes per member.  64 keeps the max/mean per-worker
+#: load ratio around ~1.25 for small fleets while membership changes
+#: stay cheap (a resize inserts/removes 64 sorted points).
+DEFAULT_VNODES = 64
+
+
+def _point(blob: str) -> int:
+    """A stable 64-bit ring position for ``blob``."""
+    return int.from_bytes(
+        hashlib.sha256(blob.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRing:
+    """Virtual-node consistent hashing over string member ids.
+
+    Not thread-safe on its own: the :class:`~repro.cluster.router.
+    RouterEndpoint` serializes membership changes and lookups under its
+    own lock, and tests drive it single-threaded.
+    """
+
+    def __init__(
+        self, members: Iterable[str] = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        #: sorted (point, member) pairs — the ring itself.
+        self._points: List[Tuple[int, str]] = []
+        self._members: List[str] = []
+        for member in members:
+            self.add(member)
+
+    # -- membership ----------------------------------------------------------
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> List[str]:
+        """Current member ids (insertion order, not ring order)."""
+        return list(self._members)
+
+    def add(self, member: str) -> None:
+        """Place ``member`` on the ring (idempotent)."""
+        if member in self._members:
+            return
+        self._members.append(member)
+        for replica in range(self.vnodes):
+            pair = (_point(f"{member}#{replica}"), member)
+            bisect.insort(self._points, pair)
+
+    def remove(self, member: str) -> None:
+        """Take ``member`` off the ring (idempotent)."""
+        if member not in self._members:
+            return
+        self._members.remove(member)
+        self._points = [p for p in self._points if p[1] != member]
+
+    def set_members(self, members: Sequence[str]) -> None:
+        """Reshape membership to exactly ``members`` (order-insensitive:
+        placement depends only on the member *set*)."""
+        wanted = list(dict.fromkeys(members))
+        for member in [m for m in self._members if m not in wanted]:
+            self.remove(member)
+        for member in wanted:
+            self.add(member)
+
+    # -- placement -----------------------------------------------------------
+    def primary(self, key: str) -> str:
+        """The member owning ``key``: first ring point clockwise of it."""
+        owners = self.preference(key, 1)
+        if not owners:
+            raise LookupError("ring has no members")
+        return owners[0]
+
+    def preference(self, key: str, n: Optional[int] = None) -> List[str]:
+        """The first ``n`` *distinct* members clockwise of ``key``.
+
+        The head is the primary; the tail is the failover order the
+        router walks when the primary is draining or down.  ``n=None``
+        returns every member.  Deterministic for a fixed membership.
+        """
+        if not self._points:
+            return []
+        if n is None:
+            n = len(self._members)
+        start = bisect.bisect_right(self._points, (_point(key), "\uffff"))
+        order: List[str] = []
+        seen = set()
+        for i in range(len(self._points)):
+            member = self._points[(start + i) % len(self._points)][1]
+            if member not in seen:
+                seen.add(member)
+                order.append(member)
+                if len(order) >= n:
+                    break
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConsistentHashRing({len(self._members)} members x "
+            f"{self.vnodes} vnodes)"
+        )

@@ -1,0 +1,272 @@
+"""Digest-routed fleet proxy: locality, fleet-wide dedup, failover.
+
+:class:`RouterEndpoint` replaces round-robin :class:`~repro.loadgen.
+fleet.FleetEndpoint` as the default fleet proxy.  Round-robin treats
+workers as interchangeable, but with a content-addressed cache they are
+not: each worker's memory LRU is a private hot set, so spraying a
+repeated manifest across N workers turns N-1 of its arrivals into cold
+memory misses and — when the repeats are *concurrent* — into N separate
+optimizer runs, because the PR 2 dedup guarantee lives inside one
+process.  The router restores both properties at fleet scope:
+
+* **locality** — each submit routes by the sealed manifest's bucket
+  digest over a :class:`~repro.cluster.ring.ConsistentHashRing`, so a
+  repeated manifest always lands on the worker already holding its
+  optimized form in memory, and an autoscaler resize only re-homes
+  ~1/N of the digest space (the rest of the fleet stays hot).
+* **fleet-wide in-flight dedup** — a router-level in-flight table keyed
+  by the same digest attaches concurrent identical submissions to one
+  job: one worker optimizes, every attached waiter shares the one
+  receipt.  Duplicates that race through *different* router clients
+  still collapse on the worker's own scheduler, because ring placement
+  sends equal digests to the same worker — routing is what makes the
+  per-process dedup guarantee a fleet guarantee.
+* **failover** — when the ring's primary for a digest is marked down or
+  retired (draining), the submit walks the ring's preference order to
+  the next live worker instead of failing or waiting.
+* **live re-sharding** — membership changes (the ``fleet:PATH`` state
+  file the autoscaler rewrites) rebuild the ring in place; in-flight
+  jobs keep routing to the worker that owns them.
+
+The routing key is the manifest's ``bucket_digest`` — the digest-table
+hash sealed into every manifest — rather than the WL canonical hash:
+it is already computed at seal time (routing must not cost a multi-
+second canonicalization per submit), and the repeats that matter for
+locality and dedup are resubmissions of the same sealed payload, which
+share it by construction.  A *renamed* but structurally identical
+bucket hashes elsewhere; it still resolves through the shared cache
+tier, whose keys are canonical, so placement never affects results —
+only which memory LRU gets warm.  Fleet receipts therefore stay
+byte-identical to a single worker's (the PR 5 invariant): routing
+decides *where* deterministic content-addressed work runs, never what
+it produces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..api.endpoint import OptimizerEndpoint, _seal
+from ..loadgen.fleet import FleetEndpoint, _Member
+from .ring import DEFAULT_VNODES, ConsistentHashRing
+
+__all__ = ["RouterEndpoint"]
+
+
+class _RoutedJob:
+    """One in-flight routed job and every submission attached to it."""
+
+    __slots__ = (
+        "key", "job_id", "member", "waiters", "fetching",
+        "done", "receipt", "error", "cond",
+    )
+
+    def __init__(self, key: str, job_id: str, member: _Member) -> None:
+        self.key = key
+        self.job_id = job_id
+        self.member = member
+        self.waiters = 1
+        self.fetching = False
+        self.done = False
+        self.receipt: Any = None
+        self.error: Optional[BaseException] = None
+        self.cond = threading.Condition()
+
+
+class RouterEndpoint(FleetEndpoint):
+    """Consistent-hash routed fleet proxy (the default fleet front).
+
+    Inherits membership management, mark-down bookkeeping, metrics
+    aggregation and lifecycle from :class:`FleetEndpoint`; replaces its
+    round-robin placement with ring placement plus a fleet-wide
+    in-flight table.  Thread safe under the same contract.
+    """
+
+    transport = "fleet"
+    routing = "ring"
+
+    def __init__(
+        self,
+        endpoints: Sequence[OptimizerEndpoint],
+        urls: Optional[Sequence[str]] = None,
+        endpoint_factory: Optional[Callable[[str], OptimizerEndpoint]] = None,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        super().__init__(endpoints, urls=urls, endpoint_factory=endpoint_factory)
+        # ring ids: the worker URL when known, else a positional id
+        # (in-process fleets) — stable for the member's lifetime.
+        self._ids: Dict[str, _Member] = {}
+        for i, member in enumerate(self._members):
+            member_id = member.url if member.url is not None else f"w{i}"
+            self._ids[member_id] = member
+        self._ring = ConsistentHashRing(self._ids, vnodes=vnodes)
+        #: digest -> live _RoutedJob; entries leave on terminal outcomes.
+        self._inflight: Dict[str, _RoutedJob] = {}
+        #: job id -> _RoutedJob (receipt sharing among attached waiters).
+        self._routed: Dict[str, _RoutedJob] = {}
+        self._dedup_hits = 0
+        self._routed_total = 0
+        self._failover_total = 0
+
+    # -- membership ----------------------------------------------------------
+    def set_members(self, urls: Sequence[str]) -> None:
+        """Reshape membership and re-shard the ring in one step."""
+        super().set_members(urls)
+        with self._lock:
+            known = {m.url: m for m in self._members if m.url is not None}
+            wanted = [u for u in dict.fromkeys(urls) if u in known]
+            for url in wanted:
+                self._ids[url] = known[url]
+            self._ring.set_members(wanted)
+
+    # -- routing -------------------------------------------------------------
+    def _route(self, key: str) -> List[_Member]:
+        """Submit-eligible members in ring preference order for ``key``.
+
+        Falls back to every non-retired member (optimistically, as the
+        round-robin front does) when all preferred members are marked
+        down — a fleet-wide outage should fail on a real connection
+        attempt, not on bookkeeping.
+        """
+        with self._lock:
+            order = [
+                self._ids[member_id]
+                for member_id in self._ring.preference(key)
+                if member_id in self._ids
+            ]
+            eligible = [m for m in order if m.up and not m.retired]
+            if not eligible:
+                eligible = [m for m in order if not m.retired]
+            if not eligible:
+                eligible = [m for m in self._members if not m.retired]
+            if not eligible:
+                raise ConnectionError("fleet has no live workers")
+            return eligible
+
+    # -- OptimizerEndpoint ----------------------------------------------------
+    def submit(self, manifest) -> str:
+        sealed = _seal(manifest)
+        key = sealed.bucket_digest
+        # attach to an identical in-flight submission, wherever in the
+        # fleet it is running: same digest -> same job, one optimization.
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                entry.waiters += 1
+                self._dedup_hits += 1
+                return entry.job_id
+        last_exc: Optional[Exception] = None
+        for attempt, member in enumerate(self._route(key)):
+            try:
+                job_id = member.endpoint.submit(sealed)
+            except ConnectionError as exc:
+                self.mark_down(member)
+                last_exc = exc
+                continue
+            entry = _RoutedJob(key, job_id, member)
+            with self._lock:
+                self._routed_total += 1
+                if attempt:
+                    self._failover_total += attempt
+                raced = self._inflight.get(key)
+                if raced is None or raced.done:
+                    self._inflight[key] = entry
+                self._routed[job_id] = entry
+                self._jobs[job_id] = [member, True]
+                member.submitted += 1
+                member.in_flight += 1
+                busy = sum(1 for m in self._members if m.in_flight > 0)
+                self.max_busy_workers = max(self.max_busy_workers, busy)
+            return job_id
+        raise last_exc if last_exc is not None else ConnectionError(
+            "fleet has no live workers"
+        )
+
+    def await_receipt(self, job_id: str, timeout: Optional[float] = None):
+        with self._lock:
+            entry = self._routed.get(job_id)
+        if entry is None:
+            # not one of ours (or already fully claimed): the base
+            # routing table gives the structured unknown-job error.
+            return super().await_receipt(job_id, timeout=timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with entry.cond:
+                if entry.done:
+                    return self._claim(entry)
+                if not entry.fetching:
+                    entry.fetching = True
+                    break  # this thread becomes the fetcher
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} not finished within {timeout:g}s"
+                    )
+                entry.cond.wait(remaining)
+        # fetcher path: exactly one physical await per job at a time —
+        # receipts are claimed once server-side, so concurrent attached
+        # waiters must share the one fetch instead of racing for it.
+        remaining = None if deadline is None else deadline - time.monotonic()
+        try:
+            receipt = entry.member.endpoint.await_receipt(
+                job_id, timeout=remaining
+            )
+        except (TimeoutError, ConnectionError):
+            # transient: hand the fetcher role to the next waiter and
+            # free the busy slot (an abandoned wait must not pin it).
+            with entry.cond:
+                entry.fetching = False
+                entry.cond.notify_all()
+            self._release_slot(job_id, forget=False)
+            raise
+        except Exception as exc:
+            with entry.cond:
+                entry.done = True
+                entry.error = exc
+                entry.fetching = False
+                entry.cond.notify_all()
+            with self._lock:
+                if self._inflight.get(entry.key) is entry:
+                    del self._inflight[entry.key]
+            self._release_slot(job_id, forget=True)
+            return self._claim(entry)
+        with entry.cond:
+            entry.done = True
+            entry.receipt = receipt
+            entry.fetching = False
+            entry.cond.notify_all()
+        with self._lock:
+            if self._inflight.get(entry.key) is entry:
+                del self._inflight[entry.key]
+        self._release_slot(job_id, forget=False)
+        return self._claim(entry)
+
+    def _claim(self, entry: _RoutedJob) -> Any:
+        """Deliver the shared outcome to one waiter; drop the job's
+        bookkeeping when the last attached waiter has claimed it."""
+        with self._lock:
+            entry.waiters -= 1
+            if entry.waiters <= 0:
+                self._routed.pop(entry.job_id, None)
+                self._jobs.pop(entry.job_id, None)
+        if entry.error is not None:
+            raise entry.error
+        return entry.receipt
+
+    def metrics(self) -> Dict[str, Any]:
+        base = super().metrics()
+        with self._lock:
+            base["routing"] = {
+                "policy": self.routing,
+                "vnodes": self._ring.vnodes,
+                "ring_members": self._ring.members,
+                "routed_total": self._routed_total,
+                "dedup_hits": self._dedup_hits,
+                "failover_total": self._failover_total,
+                "in_flight_table": len(self._inflight),
+            }
+        return base

@@ -138,15 +138,19 @@ class FleetAutoscaler:
         self._lock = threading.Lock()
 
     # -- bookkeeping --------------------------------------------------------
-    def _record(self, now: float, action: str, reason: str) -> None:
-        self.events.append(
-            {
-                "t": now,
-                "action": action,
-                "workers": self.fleet.worker_count,
-                "reason": reason,
-            }
-        )
+    def _record(self, now: float, action: str, reason: str, signals=None) -> None:
+        event = {
+            "t": now,
+            "action": action,
+            "workers": self.fleet.worker_count,
+            "reason": reason,
+        }
+        if signals is not None:
+            # locality context for resize forensics: a scale event dents
+            # the ring (~1/N of digests re-home), so the memory-tier hit
+            # rate around each event shows what the resize cost.
+            event["cache_memory_hit_rate"] = signals.cache_memory_hit_rate
+        self.events.append(event)
 
     def _in_cooldown(self, now: float) -> bool:
         return (
@@ -215,6 +219,7 @@ class FleetAutoscaler:
                     "scale_up",
                     f"estimated wait {wait:.2f}s > {policy.scale_up_wait_s:g}s "
                     f"for {self._up_streak} polls",
+                    signals=signals,
                 )
                 self._last_resize_at = now
                 self._up_streak = self._down_streak = 0
@@ -234,6 +239,7 @@ class FleetAutoscaler:
                     f"estimated wait {wait:.2f}s < {policy.scale_down_wait_s:g}s "
                     f"for {self._down_streak} polls "
                     f"({now - self._down_since:.1f}s idle)",
+                    signals=signals,
                 )
                 self._last_resize_at = now
                 self._up_streak = self._down_streak = 0

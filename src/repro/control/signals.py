@@ -86,6 +86,11 @@ class ServiceSignals:
     slo_attainment: Optional[float] = None
     #: entries observed so far (how warm the EWMAs are).
     observed_entries: int = 0
+    #: memory-tier share of cache lookups — the routing tier's locality
+    #: scorecard (ring routing keeps it high; a resize dents ~1/N of
+    #: it).  None when the server runs uncached or nothing was looked
+    #: up yet.
+    cache_memory_hit_rate: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -95,12 +100,14 @@ class ServiceSignals:
             "estimated_wait_s": self.estimated_wait_s,
             "slo_attainment": self.slo_attainment,
             "observed_entries": self.observed_entries,
+            "cache_memory_hit_rate": self.cache_memory_hit_rate,
         }
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "ServiceSignals":
         ewma = d.get("ewma_entry_latency_s")
         attainment = d.get("slo_attainment")
+        memory_rate = d.get("cache_memory_hit_rate")
         return cls(
             queue_depth=int(d.get("queue_depth", 0)),
             workers=max(1, int(d.get("workers", 1))),
@@ -108,6 +115,7 @@ class ServiceSignals:
             estimated_wait_s=float(d.get("estimated_wait_s", 0.0)),
             slo_attainment=None if attainment is None else float(attainment),
             observed_entries=int(d.get("observed_entries", 0)),
+            cache_memory_hit_rate=None if memory_rate is None else float(memory_rate),
         )
 
     @classmethod
@@ -248,4 +256,7 @@ def aggregate_signals(parts: Sequence[ServiceSignals]) -> ServiceSignals:
         estimated_wait_s=sum(p.estimated_wait_s for p in parts) / len(parts),
         slo_attainment=weighted((p.slo_attainment, p.observed_entries) for p in parts),
         observed_entries=sum(p.observed_entries for p in parts),
+        cache_memory_hit_rate=weighted(
+            (p.cache_memory_hit_rate, p.observed_entries) for p in parts
+        ),
     )

@@ -8,13 +8,16 @@ content-addressed :class:`~repro.serving.cache.OptimizationCache` —
 the cache's atomic object store is already multi-process safe, and
 cache keys embed backend + config, so sharing is sound.
 
-In front of the workers sits :class:`FleetEndpoint`, a round-robin
-proxy implementing the ordinary
+In front of the workers sits a fleet proxy implementing the ordinary
 :class:`~repro.api.endpoint.OptimizerEndpoint` protocol: ``submit``
-places each job on the next worker, ``status``/``await_receipt`` route
-by job id, ``metrics`` aggregates, and the endpoint tracks how many
-workers had jobs in flight simultaneously (``max_busy_workers``) — the
-number a 1-vs-N loadtest compares to prove real concurrency happened.
+places each job on a worker, ``status``/``await_receipt`` route by job
+id, ``metrics`` aggregates, and the endpoint tracks how many workers
+had jobs in flight simultaneously (``max_busy_workers``) — the number
+a 1-vs-N loadtest compares to prove real concurrency happened.  The
+default proxy is the ring-routed
+:class:`~repro.cluster.router.RouterEndpoint` (digest locality +
+fleet-wide dedup); :class:`FleetEndpoint` here is its round-robin base
+and remains available via ``routing="round_robin"``.
 
 Membership is **dynamic**: the autoscaler
 (:class:`~repro.control.autoscaler.FleetAutoscaler`) adds and removes
@@ -46,6 +49,7 @@ import sys
 import tempfile
 import threading
 import time
+import uuid
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..api.endpoint import HttpEndpoint, OptimizerEndpoint
@@ -70,6 +74,17 @@ _COUNTER_KEYS = (
 #: client-stats keys aggregated across workers (see
 #: OptimizerEndpoint.client_stats).
 _CLIENT_STAT_KEYS = ("shed_total", "retried_total", "gave_up_total")
+
+#: hierarchical-cache tier counters summed across workers (rates are
+#: recomputed from the sums; see HierarchicalCache.tier_stats).
+_TIER_COUNTER_KEYS = (
+    "memory_hits",
+    "local_hits",
+    "shared_hits",
+    "misses",
+    "promotions",
+    "memory_entries",
+)
 
 
 class _Member:
@@ -280,35 +295,65 @@ class FleetEndpoint(OptimizerEndpoint):
             in_flight = [m.in_flight for m in members]
             max_busy = self.max_busy_workers
         workers = []
+        status = []
         counters = {key: 0 for key in _COUNTER_KEYS}
+        tiers: Optional[Dict[str, int]] = None
         for member in members:
             try:
                 m = member.endpoint.metrics()
             except Exception as exc:  # a down worker must not hide the rest
                 m = {"error": f"{type(exc).__name__}: {exc}"}
+                status.append(
+                    {"url": member.url, "ok": False, "error": m["error"]}
+                )
+            else:
+                status.append({"url": member.url, "ok": True, "error": None})
             workers.append(m)
             worker_counters = m.get("counters") if isinstance(m, dict) else None
             if isinstance(worker_counters, dict):
                 for key in _COUNTER_KEYS:
                     counters[key] += int(worker_counters.get(key, 0))
-        return {
+            worker_tiers = m.get("cache_tiers") if isinstance(m, dict) else None
+            if isinstance(worker_tiers, dict):
+                if tiers is None:
+                    tiers = {key: 0 for key in _TIER_COUNTER_KEYS}
+                for key in _TIER_COUNTER_KEYS:
+                    tiers[key] += int(worker_tiers.get(key, 0))
+        aggregate: Dict[str, Any] = {
             "transport": self.transport,
             "workers": len(members),
             "submitted_per_worker": submitted,
             "in_flight_per_worker": in_flight,
             "max_busy_workers": max_busy,
             "counters": counters,
+            "worker_status": status,
             "backends": workers,
         }
+        if tiers is not None:
+            lookups = (
+                tiers["memory_hits"] + tiers["local_hits"]
+                + tiers["shared_hits"] + tiers["misses"]
+            )
+            aggregate["cache_tiers"] = dict(
+                tiers,
+                memory_hit_rate=tiers["memory_hits"] / lookups if lookups else 0.0,
+                local_hit_rate=tiers["local_hits"] / lookups if lookups else 0.0,
+                shared_hit_rate=tiers["shared_hits"] / lookups if lookups else 0.0,
+            )
+        return aggregate
 
     def client_stats(self) -> Dict[str, int]:
         """Aggregate backpressure accounting across member endpoints
-        (retired members included — their sheds happened)."""
+        (retired members included — their sheds happened; a member
+        dying mid-scrape contributes zeros instead of raising)."""
         with self._lock:
             members = list(self._members)
         totals = {key: 0 for key in _CLIENT_STAT_KEYS}
         for member in members:
-            stats = member.endpoint.client_stats()
+            try:
+                stats = member.endpoint.client_stats()
+            except Exception:
+                continue  # same tolerance as metrics(): skip, don't hide the rest
             for key in _CLIENT_STAT_KEYS:
                 totals[key] += int(stats.get(key, 0))
         return totals
@@ -356,12 +401,21 @@ class ServingFleet:
         extra_args: Sequence[str] = (),
         capture_stderr: bool = True,
         state_path: Optional[str] = None,
+        hierarchical: bool = True,
+        journal_path: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("fleet needs at least 1 worker")
         self.workers = workers
         self.optimizer = optimizer
         self.cache_dir = cache_dir
+        #: with a cache_dir, give each worker a private disk shard under
+        #: ``<cache_dir>/shards/`` (the hierarchical middle tier) instead
+        #: of the flat layout; the shared store stays ``cache_dir``.
+        self.hierarchical = hierarchical
+        #: with a path, each worker journals its live traffic to its own
+        #: ``<stem>.w<id><ext>`` file (a shared file would interleave).
+        self.journal_path = journal_path
         self.jobs = jobs
         self.host = host
         self.startup_timeout = startup_timeout
@@ -402,8 +456,15 @@ class ServingFleet:
             "-j",
             str(self.jobs),
         ]
+        uid = uuid.uuid4().hex[:8]  # fresh per spawn: shards are private
         if self.cache_dir is not None:
             command += ["--cache-dir", self.cache_dir]
+            if self.hierarchical:
+                shard = os.path.join(self.cache_dir, "shards", uid)
+                command += ["--cache-shard", shard]
+        if self.journal_path is not None:
+            stem, ext = os.path.splitext(self.journal_path)
+            command += ["--journal", f"{stem}.w{uid}{ext}"]
         command += self.extra_args
         return command
 
@@ -557,8 +618,8 @@ class ServingFleet:
                     proc.stdout.close()
         return len(dead)
 
-    def endpoint(self, timeout: float = 30.0) -> FleetEndpoint:
-        """A round-robin client over every live worker.
+    def endpoint(self, timeout: float = 30.0, routing: str = "ring") -> FleetEndpoint:
+        """A client over every live worker (ring-routed by default).
 
         With a ``state_path`` the client follows membership changes;
         without one it is pinned to the workers alive right now.
@@ -566,14 +627,13 @@ class ServingFleet:
         if not self._started:
             self.start()
         if self.state_path is not None:
-            return open_fleet_state_endpoint(self.state_path, timeout=timeout)
+            return open_fleet_state_endpoint(
+                self.state_path, timeout=timeout, routing=routing
+            )
         with self._fleet_lock:
             urls = list(self.urls)
-        return FleetEndpoint(
-            [HttpEndpoint(url, timeout=timeout) for url in urls],
-            urls=urls,
-            endpoint_factory=lambda url: HttpEndpoint(url, timeout=timeout),
-        )
+        factory = lambda url: HttpEndpoint(url, timeout=timeout)  # noqa: E731
+        return _build_fleet([factory(url) for url in urls], urls, factory, routing)
 
     def poll(self) -> List[Optional[int]]:
         """Per-worker exit codes (None = still running)."""
@@ -621,10 +681,33 @@ class ServingFleet:
         self.close()
 
 
-def open_fleet_endpoint(
-    uris: Union[str, Sequence[str]], *, timeout: float = 30.0, optimizer: Optional[str] = None
+def _build_fleet(
+    endpoints: Sequence[OptimizerEndpoint],
+    urls: Sequence[str],
+    factory: Callable[[str], OptimizerEndpoint],
+    routing: str,
 ) -> FleetEndpoint:
-    """A FleetEndpoint from comma-separated (or listed) worker URLs."""
+    """The fleet proxy for ``routing``: ring-routed by default, plain
+    round-robin on request (baselines, bisecting routing regressions)."""
+    if routing == "ring":
+        from ..cluster.router import RouterEndpoint  # here: avoids an import cycle
+
+        return RouterEndpoint(endpoints, urls=urls, endpoint_factory=factory)
+    if routing == "round_robin":
+        return FleetEndpoint(endpoints, urls=urls, endpoint_factory=factory)
+    raise ValueError(
+        f"unknown fleet routing {routing!r} (expected 'ring' or 'round_robin')"
+    )
+
+
+def open_fleet_endpoint(
+    uris: Union[str, Sequence[str]],
+    *,
+    timeout: float = 30.0,
+    optimizer: Optional[str] = None,
+    routing: str = "ring",
+) -> FleetEndpoint:
+    """A fleet proxy from comma-separated (or listed) worker URLs."""
     if isinstance(uris, str):
         uris = [part.strip() for part in uris.split(",") if part.strip()]
     if not uris:
@@ -633,7 +716,7 @@ def open_fleet_endpoint(
     if bad:
         raise ValueError(f"fleet workers must be http(s) URLs, got {bad}")
     factory = lambda url: HttpEndpoint(url, timeout=timeout, optimizer=optimizer)  # noqa: E731
-    return FleetEndpoint([factory(u) for u in uris], urls=list(uris), endpoint_factory=factory)
+    return _build_fleet([factory(u) for u in uris], list(uris), factory, routing)
 
 
 def _read_fleet_state(path: str) -> Optional[List[str]]:
@@ -658,13 +741,16 @@ def open_fleet_state_endpoint(
     optimizer: Optional[str] = None,
     poll_interval: float = 0.5,
     startup_timeout: float = 15.0,
+    routing: str = "ring",
 ) -> FleetEndpoint:
     """A membership-following client over a fleet's state file.
 
     Opens the workers currently listed in ``PATH`` (waiting up to
     ``startup_timeout`` for the file to appear with at least one
     worker), then keeps a daemon watcher polling the file: workers the
-    autoscaler adds join the round-robin within a poll interval,
+    autoscaler adds join the rotation within a poll interval — under
+    the default ring routing a membership change also re-shards the
+    ring, so a resize re-homes ~1/N of the digest space live — and
     removed ones stop receiving submits.  ``close()`` stops the
     watcher.
     """
@@ -680,7 +766,7 @@ def open_fleet_state_endpoint(
             )
         time.sleep(min(poll_interval, 0.1))
     factory = lambda url: HttpEndpoint(url, timeout=timeout, optimizer=optimizer)  # noqa: E731
-    fleet = FleetEndpoint([factory(u) for u in urls], urls=list(urls), endpoint_factory=factory)
+    fleet = _build_fleet([factory(u) for u in urls], list(urls), factory, routing)
 
     stop = threading.Event()
 

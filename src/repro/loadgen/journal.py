@@ -1,0 +1,139 @@
+"""Journal live traffic into a replayable workload artifact.
+
+``repro serve --journal PATH`` records every accepted submit's arrival
+time and bucket digest into the PR 5 ``workload.json`` schema, so a
+production trace replays through the standard path::
+
+    repro loadtest --workload PATH --endpoint ...
+
+The journal cannot recover the original payloads (the server never
+persists submitted graphs), so a replay regenerates synthetic buckets:
+each distinct live digest becomes one obfuscation *variant* of the
+journal's model, numbered in first-appearance order.  That preserves
+exactly what a cache/routing study needs from a trace — the arrival
+process and the repetition structure (which requests were identical,
+and when the repeats came) — while the ``"journal"`` block maps each
+variant back to the live digest it stands for.  Loaders ignore the
+extra block (:func:`~repro.loadgen.workload.load_workload` reads only
+the schema's own keys).
+
+Every record atomically rewrites the file, so a worker killed mid-run
+leaves a complete, loadable artifact — journaling is for modest live
+rates, not for surviving a saturation benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .workload import _OFFSET_DECIMALS, WORKLOAD_SCHEMA_VERSION
+
+__all__ = ["TrafficJournal"]
+
+
+class TrafficJournal:
+    """Thread-safe arrival-time + digest recorder behind ``--journal``.
+
+    Parameters
+    ----------
+    path:
+        Where the workload document is (re)written.
+    model:
+        Zoo model name the replay synthesizes buckets from (the live
+        payloads themselves are not recoverable; see module docstring).
+    clients:
+        Replay in-flight ceiling written into the spec.
+    max_records:
+        Recording stops (and ``dropped`` counts) beyond this many
+        requests — the journal is a trace, not a ring buffer.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        model: str = "squeezenet",
+        clients: int = 4,
+        max_records: int = 100_000,
+    ) -> None:
+        self.path = path
+        self.model = model
+        self.clients = clients
+        self.max_records = max_records
+        self._lock = threading.Lock()
+        self._t0: Optional[float] = None
+        self._records: List[Tuple[float, int]] = []  # (offset_s, variant)
+        self._variant_of: Dict[str, int] = {}  # digest -> variant index
+        self.dropped = 0
+
+    def record(self, bucket_digest: str, now: Optional[float] = None) -> None:
+        """Journal one accepted submit (offsets are relative to the
+        first record) and rewrite the artifact."""
+        with self._lock:
+            if len(self._records) >= self.max_records:
+                self.dropped += 1
+                return
+            if now is None:
+                now = time.monotonic()
+            if self._t0 is None:
+                self._t0 = now
+            offset = round(max(0.0, now - self._t0), _OFFSET_DECIMALS)
+            if self._records and offset < self._records[-1][0]:
+                offset = self._records[-1][0]  # clock skew: keep sorted
+            variant = self._variant_of.setdefault(
+                bucket_digest, len(self._variant_of)
+            )
+            self._records.append((offset, variant))
+        self.flush()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def to_document(self) -> Dict[str, Any]:
+        """The journal as a loadable ``workload.json`` document."""
+        with self._lock:
+            records = list(self._records)
+            digests = dict(self._variant_of)
+            dropped = self.dropped
+        last = records[-1][0] if records else 0.0
+        # the dispatcher replays the recorded offsets; duration/rate are
+        # only the spec's summary of them (and must validate as > 0).
+        duration_s = round(max(last, 1.0), _OFFSET_DECIMALS)
+        return {
+            "schema_version": WORKLOAD_SCHEMA_VERSION,
+            "kind": "workload",
+            "spec": {
+                "name": "journal",
+                "seed": 0,
+                "arrival": "poisson",
+                "requests": len(records),
+                "duration_s": duration_s,
+                "rate_rps": round(max(len(records), 1) / duration_s, 6),
+                "clients": self.clients,
+                "mix": {self.model: 1.0},
+                "variants": max(1, len(digests)),
+            },
+            "requests": [
+                {
+                    "index": i,
+                    "offset_s": offset,
+                    "model": self.model,
+                    "variant": variant,
+                }
+                for i, (offset, variant) in enumerate(records)
+            ],
+            "journal": {
+                "source": "live-traffic",
+                "dropped": dropped,
+                "digests": {str(v): d for d, v in digests.items()},
+            },
+        }
+
+    def flush(self) -> None:
+        """Atomically rewrite the artifact from the current records."""
+        from ..serving.spool import atomic_write_json
+
+        atomic_write_json(self.path, self.to_document())

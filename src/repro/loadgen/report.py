@@ -132,7 +132,21 @@ def build_report(
             "final_hit_rate": (
                 result.timeline[-1]["cache_hit_rate"] if result.timeline else None
             ),
+            # hierarchical-cache tier counters and ring-routing stats
+            # from the endpoint's final metrics scrape, when the serving
+            # side exposes them.  Additive within schema v1 (absent for
+            # flat caches / non-fleet endpoints).
+            "tiers": (
+                result.final_metrics.get("cache_tiers")
+                if isinstance(result.final_metrics, dict)
+                else None
+            ),
         },
+        "routing": (
+            result.final_metrics.get("routing")
+            if isinstance(result.final_metrics, dict)
+            else None
+        ),
         "histogram": result.histogram.to_dict(),
     }
 

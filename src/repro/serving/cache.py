@@ -145,9 +145,16 @@ class OptimizationCache:
         blob = f"{canonical_digest}|{backend}|{config_fingerprint}"
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
+    @staticmethod
+    def object_path_in(root: str, key: str) -> str:
+        """Where ``key``'s payload lives under object-store root ``root``
+        (the layout every disk tier shares — including the hierarchical
+        cache's per-worker shards and shared backing store)."""
+        return os.path.join(root, "objects", key[:2], f"{key}.json")
+
     def _object_path(self, key: str) -> str:
         assert self.cache_dir is not None
-        return os.path.join(self.cache_dir, "objects", key[:2], f"{key}.json")
+        return self.object_path_in(self.cache_dir, key)
 
     # -- lookup / store -----------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
@@ -185,7 +192,10 @@ class OptimizationCache:
     def _read_disk(self, key: str) -> Optional[Dict[str, Any]]:
         if self.cache_dir is None:
             return None
-        path = self._object_path(key)
+        return self._read_object(self._object_path(key))
+
+    @staticmethod
+    def _read_object(path: str) -> Optional[Dict[str, Any]]:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
@@ -196,7 +206,10 @@ class OptimizationCache:
         return payload
 
     def _write_disk(self, key: str, payload: Dict[str, Any]) -> None:
-        path = self._object_path(key)
+        self._write_object(self._object_path(key), payload)
+
+    @staticmethod
+    def _write_object(path: str, payload: Dict[str, Any]) -> None:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
@@ -210,6 +223,16 @@ class OptimizationCache:
                 pass
 
     # -- bookkeeping --------------------------------------------------------
+    def tier_stats(self) -> Optional[Dict[str, Any]]:
+        """Per-tier hit/miss counters, or None for a flat cache.
+
+        The hierarchical cache (:class:`repro.cluster.hiercache.
+        HierarchicalCache`) overrides this; the serving tier includes
+        the block as ``metrics()["cache_tiers"]`` whenever it is
+        non-None, so flat caches add nothing to the metrics schema.
+        """
+        return None
+
     def stats(self) -> CacheStats:
         with self._lock:
             return CacheStats(

@@ -33,6 +33,7 @@ import sys
 import threading
 import time
 import urllib.parse
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple, Union
 
@@ -94,6 +95,7 @@ class OptimizationHTTPServer:
         verbose: bool = False,
         admission_slo_s: Optional[float] = None,
         entry_cost_s: float = 0.0,
+        journal: Optional[Any] = None,
         **optimizer_options,
     ) -> None:
         if cache is not None and cache_dir is not None:
@@ -113,6 +115,21 @@ class OptimizationHTTPServer:
         #: artificial per-entry service time on cache misses, forwarded
         #: to every backend (see OptimizationServer.entry_cost_s).
         self.entry_cost_s = entry_cost_s
+        #: optional TrafficJournal: every accepted submit's arrival time
+        #: + bucket digest, replayable via ``repro loadtest --workload``.
+        self.journal = journal
+        # bucket digests whose payloads this process fully verified.
+        # Re-verifying a manifest re-hashes every graph (~seconds per
+        # cold manifest per worker — ROADMAP's burst-latency dominator);
+        # a repeat submit of a memoized digest downgrades to the O(entries)
+        # table-consistency check.  Skipping the payload re-hash is sound
+        # even against a tampered payload replaying a memoized table:
+        # downstream cache keys are recomputed from the payload actually
+        # received (never trusted from the table), and the owner verifies
+        # the receipt's digests client-side.
+        self._verify_memo: "OrderedDict[str, bool]" = OrderedDict()
+        self._verify_memo_max = 256
+        self._verify_memo_hits = 0
         # the default backend is built eagerly so a bad name/options
         # combination fails at construction, not on the first request.
         default = OptimizationServer(
@@ -202,26 +219,52 @@ class OptimizationHTTPServer:
         if "manifest" not in body:
             raise EndpointError(ERR_MALFORMED, "missing required field 'manifest'")
         try:
-            manifest = BucketManifest.from_dict(body["manifest"], verify=True)
-        except ManifestIntegrityError as exc:
-            raise EndpointError(ERR_BAD_DIGEST, str(exc)) from None
+            manifest = BucketManifest.from_dict(body["manifest"], verify=False)
         except (ValueError, KeyError, TypeError) as exc:
             raise EndpointError(
                 ERR_MALFORMED, f"cannot parse bucket manifest: {exc}"
             ) from None
+        try:
+            self._verify_manifest(manifest)
+        except ManifestIntegrityError as exc:
+            raise EndpointError(ERR_BAD_DIGEST, str(exc)) from None
         optimizer = body.get("optimizer")
         if optimizer is not None and not isinstance(optimizer, str):
             raise EndpointError(ERR_MALFORMED, "'optimizer' must be a string")
         backend = self._backend(optimizer)
-        job_id = backend.submit(manifest.bucket)
+        job_id = backend.submit(
+            manifest.bucket, entry_digests=manifest.entry_digests
+        )
         with self._lock:
             self._jobs[job_id] = backend
+        if self.journal is not None:
+            self.journal.record(manifest.bucket_digest)
         return {
             "protocol_version": PROTOCOL_VERSION,
             "job_id": job_id,
             "entries": len(manifest.bucket),
             "optimizer": optimizer or self.default_backend,
         }
+
+    def _verify_manifest(self, manifest: BucketManifest) -> None:
+        """Full digest verification, memoized by bucket digest."""
+        with self._lock:
+            hit = manifest.bucket_digest in self._verify_memo
+            if hit:
+                self._verify_memo.move_to_end(manifest.bucket_digest)
+                self._verify_memo_hits += 1
+        if hit:
+            # the table still has to match this request's geometry and
+            # entry set — only the per-graph re-hash is skipped.
+            manifest.check_consistency()
+        else:
+            manifest.verify()
+            with self._lock:
+                self._verify_memo[manifest.bucket_digest] = True
+                self._verify_memo.move_to_end(manifest.bucket_digest)
+                while len(self._verify_memo) > self._verify_memo_max:
+                    self._verify_memo.popitem(last=False)
+        manifest._verified = True
 
     def handle_status(self, job_id: str) -> Dict[str, Any]:
         backend = self._job_backend(job_id)
@@ -298,16 +341,26 @@ class OptimizationHTTPServer:
                 if isinstance(block, dict):
                     admission["admitted_total"] += int(block.get("admitted_total", 0))
                     admission["shed_total"] += int(block.get("shed_total", 0))
-        return {
+        with self._lock:
+            verification = {
+                "memo_hits": self._verify_memo_hits,
+                "memo_entries": len(self._verify_memo),
+            }
+        result = {
             "transport": "http",
             "protocol_version": PROTOCOL_VERSION,
             "jobs": {"tracked": tracked},
             "counters": counters,
             "signals": signals.to_dict(),
             "admission": admission,
+            "verification": verification,
             "draining": self._draining,
             "backends": per_backend,
         }
+        tiers = self.cache.tier_stats() if self.cache is not None else None
+        if tiers is not None:
+            result["cache_tiers"] = tiers
+        return result
 
     # -- graceful drain -------------------------------------------------------
     @property

@@ -26,8 +26,9 @@ from __future__ import annotations
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from concurrent.futures import Future, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -169,6 +170,18 @@ class OptimizationServer:
             # completes.
             prior_latency_s=self.entry_cost_s or None,
         )
+        # content digest -> CanonicalForm memo.  WL canonicalization is
+        # the expensive inline half of submit (~seconds for a cold
+        # manifest); when the caller names each entry's content digest
+        # (the manifest's entry_digests — already integrity-checked),
+        # repeat submits of the same content skip re-canonicalizing.
+        # Sharing one CanonicalForm across jobs is sound: backends clone
+        # the graph before mutating and restore_names reads the form
+        # without writing it.
+        self._canon_memo: "OrderedDict[str, CanonicalForm]" = OrderedDict()
+        self._canon_lock = threading.Lock()
+        self._canon_hits = 0
+        self._canon_memo_max = 512
         self._draining = False
         self._closed = False
 
@@ -218,9 +231,32 @@ class OptimizationServer:
         self._signals.observe_entry(elapsed, hit=hit)
         return payload
 
+    def _canonical_form(
+        self, graph: Graph, content_digest: Optional[str]
+    ) -> CanonicalForm:
+        """Canonicalize ``graph``, memoized by its content digest."""
+        if content_digest is not None:
+            with self._canon_lock:
+                form = self._canon_memo.get(content_digest)
+                if form is not None:
+                    self._canon_memo.move_to_end(content_digest)
+                    self._canon_hits += 1
+                    return form
+        form = canonicalize(graph)
+        if content_digest is not None:
+            with self._canon_lock:
+                self._canon_memo[content_digest] = form
+                self._canon_memo.move_to_end(content_digest)
+                while len(self._canon_memo) > self._canon_memo_max:
+                    self._canon_memo.popitem(last=False)
+        return form
+
     # -- public API ---------------------------------------------------------
     def submit(
-        self, bucket: ObfuscatedBucket, priority: int = Priority.NORMAL
+        self,
+        bucket: ObfuscatedBucket,
+        priority: int = Priority.NORMAL,
+        entry_digests: Optional[Dict[str, str]] = None,
     ) -> str:
         """Queue a bucket for optimization and return its job id.
 
@@ -228,7 +264,10 @@ class OptimizationServer:
         dedup possible — a duplicate must be recognised *before* it is
         enqueued); the optimization work itself is asynchronous, so
         submit returns after one hashing pass over the bucket, not
-        after any optimizer runs.
+        after any optimizer runs.  ``entry_digests`` (entry id ->
+        content digest, from a verified manifest) lets repeat submits
+        of the same content skip even that pass via the
+        canonicalization memo.
 
         Raises a structured ``overloaded``
         :class:`~repro.api.wire.EndpointError` (with a
@@ -249,7 +288,8 @@ class OptimizationServer:
         job_id = f"job-{uuid.uuid4().hex[:12]}"
         entries: List[Tuple[str, CanonicalForm, Future]] = []
         for entry in bucket:
-            form = canonicalize(entry.graph)
+            digest = entry_digests.get(entry.entry_id) if entry_digests else None
+            form = self._canonical_form(entry.graph, digest)
             fut = self._scheduler.submit(
                 self._task_key(form.digest),
                 lambda form=form: self._optimize_canonical(form),
@@ -375,10 +415,18 @@ class OptimizationServer:
         behind), so this is the snapshot admission control and the
         autoscaler both act on.
         """
-        return self._signals.snapshot(
+        snapshot = self._signals.snapshot(
             queue_depth=self._scheduler.inflight_count(),
             workers=self._scheduler.workers,
         )
+        if self.cache is not None:
+            stats = self.cache.stats()
+            if stats.lookups:
+                snapshot = replace(
+                    snapshot,
+                    cache_memory_hit_rate=stats.memory_hits / stats.lookups,
+                )
+        return snapshot
 
     def _drain_retry_after_s(self) -> float:
         """Retry hint while draining: enough time for the queue to clear
@@ -418,6 +466,11 @@ class OptimizationServer:
                 states.append(self.status(job_id).state)
             except KeyError:  # forgotten between listing and lookup
                 pass
+        with self._canon_lock:
+            canon = {
+                "memo_hits": self._canon_hits,
+                "memo_entries": len(self._canon_memo),
+            }
         lat: Dict[str, float] = {}
         if latencies:
             ordered = sorted(latencies)
@@ -426,7 +479,7 @@ class OptimizationServer:
                 "p50_s": ordered[len(ordered) // 2],
                 "max_s": ordered[-1],
             }
-        return {
+        result = {
             "jobs": {
                 "total": len(states),
                 **{s.value: states.count(s) for s in JobState},
@@ -445,7 +498,12 @@ class OptimizationServer:
             ),
             "draining": self._draining,
             "cache": self.cache.stats().to_dict() if self.cache is not None else None,
+            "canonicalization": canon,
         }
+        tiers = self.cache.tier_stats() if self.cache is not None else None
+        if tiers is not None:  # flat caches add nothing to the schema
+            result["cache_tiers"] = tiers
+        return result
 
     def forget(self, job_id: str) -> None:
         """Drop a finished job's bookkeeping (receipts already claimed)."""

@@ -1,0 +1,94 @@
+"""Hierarchical cache: memory LRU over a private shard over the shared
+store — promote on hit, write through, count every tier."""
+
+import os
+
+import pytest
+
+from repro.cluster.hiercache import HierarchicalCache
+from repro.serving.cache import OptimizationCache
+
+KEY = "sha256-deadbeef_ortlike_default"
+# the on-disk tiers only readmit schema-versioned payloads
+PAYLOAD = {"payload_version": 1, "graph": {"name": "g"}, "backend": "ortlike"}
+
+
+def _cache(tmp_path, worker="w1", **kwargs):
+    return HierarchicalCache(
+        str(tmp_path / "shards" / worker), str(tmp_path / "shared"), **kwargs
+    )
+
+
+class TestLayout:
+    def test_shard_equal_to_shared_is_rejected(self, tmp_path):
+        shared = str(tmp_path / "store")
+        with pytest.raises(ValueError, match="must differ"):
+            HierarchicalCache(shared, shared)
+
+    def test_put_writes_through_every_tier(self, tmp_path):
+        cache = _cache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        # memory tier holds it hot
+        assert cache.get(KEY) == PAYLOAD
+        assert cache.tier_stats()["memory_hits"] == 1
+        # local shard and shared store both hold the object on disk
+        shard_obj = OptimizationCache.object_path_in(cache.cache_dir, KEY)
+        shared_obj = OptimizationCache.object_path_in(cache.shared_dir, KEY)
+        assert os.path.isfile(shard_obj)
+        assert os.path.isfile(shared_obj)
+
+
+class TestDescentAndPromotion:
+    def test_sibling_worker_hits_shared_and_promotes(self, tmp_path):
+        _cache(tmp_path, "w1").put(KEY, PAYLOAD)
+        sibling = _cache(tmp_path, "w2")
+        assert sibling.get(KEY) == PAYLOAD  # only the shared tier has it
+        tiers = sibling.tier_stats()
+        assert tiers["shared_hits"] == 1
+        assert tiers["promotions"] == 1
+        assert tiers["misses"] == 0
+        # the hit was promoted into w2's own shard...
+        assert os.path.isfile(
+            OptimizationCache.object_path_in(sibling.cache_dir, KEY)
+        )
+        # ...so a restarted w2 (cold memory) refills from its private
+        # tier without touching the shared store again.
+        restarted = _cache(tmp_path, "w2")
+        assert restarted.get(KEY) == PAYLOAD
+        tiers = restarted.tier_stats()
+        assert tiers["local_hits"] == 1 and tiers["shared_hits"] == 0
+        # and the promoted payload is now a memory hit
+        assert restarted.get(KEY) == PAYLOAD
+        assert restarted.tier_stats()["memory_hits"] == 1
+
+    def test_miss_counts_once_across_all_tiers(self, tmp_path):
+        cache = _cache(tmp_path)
+        assert cache.get("absent") is None
+        tiers = cache.tier_stats()
+        assert tiers["misses"] == 1
+        assert tiers["memory_hits"] == tiers["local_hits"] == 0
+        assert tiers["shared_hits"] == 0
+
+    def test_hit_rates_are_shares_of_all_lookups(self, tmp_path):
+        cache = _cache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        cache.get(KEY)  # memory hit
+        cache.get("absent")  # miss
+        tiers = cache.tier_stats()
+        assert tiers["memory_hit_rate"] == pytest.approx(0.5)
+        assert tiers["local_hit_rate"] == 0.0
+        assert tiers["shared_hit_rate"] == 0.0
+
+
+class TestStatsViews:
+    def test_flat_stats_fold_shared_hits_into_disk_hits(self, tmp_path):
+        _cache(tmp_path, "w1").put(KEY, PAYLOAD)
+        sibling = _cache(tmp_path, "w2")
+        sibling.get(KEY)  # shared-tier hit
+        stats = sibling.stats()
+        # a shared hit is a hit: the flat view must not read it as a miss
+        assert stats.disk_hits == 1
+        assert stats.misses == 0
+
+    def test_flat_cache_reports_no_tiers(self, tmp_path):
+        assert OptimizationCache(str(tmp_path / "flat")).tier_stats() is None

@@ -1,0 +1,154 @@
+"""Consistent-hash ring: the remap math the router's locality rests on.
+
+The satellite proof ISSUE.md asks for lives here: growing or shrinking
+an N-worker ring remaps ~1/N (resp. ~1/(N+1)) of the key space — and
+*only* the keys the joining (leaving) member gains (owned) — while
+placement stays deterministic for a fixed membership regardless of
+insertion order.  Everything is sha256-backed, so these tests are fully
+deterministic: a tolerance band that passes once passes forever.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_VNODES, ConsistentHashRing
+
+#: a deterministic key population large enough for the 1/N statistics.
+KEYS = [f"sha256:{i:05d}" for i in range(1500)]
+
+
+def _members(n, seed=0):
+    return [f"http://10.0.{seed}.{i}:8080" for i in range(n)]
+
+
+class TestRemapFraction:
+    """Resizes remap ~1/N of keys, and only the right ones."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_grow_remaps_about_one_over_n_plus_one(self, n, seed):
+        ring = ConsistentHashRing(_members(n, seed))
+        before = {key: ring.primary(key) for key in KEYS}
+        joiner = f"http://10.0.{seed}.new:8080"
+        ring.add(joiner)
+        moved = 0
+        for key in KEYS:
+            after = ring.primary(key)
+            if after != before[key]:
+                # a join may only *steal* keys, never shuffle the rest
+                assert after == joiner
+                moved += 1
+        ideal = 1.0 / (n + 1)
+        fraction = moved / len(KEYS)
+        assert 0.3 * ideal <= fraction <= 2.0 * ideal, (
+            f"grow {n}->{n + 1} moved {fraction:.3f} of keys "
+            f"(ideal ~{ideal:.3f})"
+        )
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_shrink_remaps_only_the_leavers_keys(self, n, seed):
+        members = _members(n, seed)
+        ring = ConsistentHashRing(members)
+        before = {key: ring.primary(key) for key in KEYS}
+        leaver = members[n // 2]
+        ring.remove(leaver)
+        moved = 0
+        for key in KEYS:
+            after = ring.primary(key)
+            if before[key] == leaver:
+                # orphaned keys must re-home somewhere live
+                assert after != leaver
+                moved += 1
+            else:
+                # keys the leaver never owned must not move at all
+                assert after == before[key]
+        ideal = 1.0 / n
+        fraction = moved / len(KEYS)
+        assert 0.3 * ideal <= fraction <= 2.0 * ideal, (
+            f"shrink {n}->{n - 1} moved {fraction:.3f} of keys "
+            f"(ideal ~{ideal:.3f})"
+        )
+
+    def test_grow_then_shrink_is_identity(self):
+        ring = ConsistentHashRing(_members(4))
+        before = {key: ring.primary(key) for key in KEYS}
+        ring.add("http://10.0.0.new:8080")
+        ring.remove("http://10.0.0.new:8080")
+        assert {key: ring.primary(key) for key in KEYS} == before
+
+
+class TestDeterminism:
+    """Fixed membership -> identical placement, everywhere, always."""
+
+    @pytest.mark.parametrize("shuffle_seed", [1, 2, 3])
+    def test_placement_ignores_insertion_order(self, shuffle_seed):
+        members = _members(6)
+        shuffled = list(members)
+        random.Random(shuffle_seed).shuffle(shuffled)
+        a = ConsistentHashRing(members)
+        b = ConsistentHashRing(shuffled)
+        for key in KEYS[:300]:
+            assert a.primary(key) == b.primary(key)
+            assert a.preference(key) == b.preference(key)
+
+    def test_fresh_instance_agrees(self):
+        # two independently built rings (e.g. two router processes)
+        # must agree — placement may not depend on process state.
+        a = ConsistentHashRing(_members(5))
+        b = ConsistentHashRing(_members(5))
+        assert [a.primary(k) for k in KEYS[:200]] == [
+            b.primary(k) for k in KEYS[:200]
+        ]
+
+    def test_preference_head_is_primary_and_covers_all(self):
+        ring = ConsistentHashRing(_members(4))
+        for key in KEYS[:50]:
+            order = ring.preference(key)
+            assert order[0] == ring.primary(key)
+            assert sorted(order) == sorted(ring.members)
+            assert len(set(order)) == len(order)
+            assert ring.preference(key, 2) == order[:2]
+
+    def test_every_member_owns_some_keys(self):
+        ring = ConsistentHashRing(_members(4))
+        owned = {ring.primary(key) for key in KEYS}
+        assert owned == set(ring.members)
+
+
+class TestMembership:
+    def test_add_and_remove_are_idempotent(self):
+        ring = ConsistentHashRing(["a", "b"])
+        ring.add("a")
+        assert len(ring) == 2
+        ring.remove("zzz")
+        assert len(ring) == 2
+        ring.remove("a")
+        ring.remove("a")
+        assert ring.members == ["b"]
+
+    def test_set_members_reshapes_and_dedups(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        ring.set_members(["b", "d", "b"])
+        assert sorted(ring.members) == ["b", "d"]
+        assert "a" not in ring and "b" in ring
+
+    def test_set_members_is_order_insensitive(self):
+        a = ConsistentHashRing(["x", "y"])
+        a.set_members(["p", "q", "r"])
+        b = ConsistentHashRing(["p", "q", "r"])
+        for key in KEYS[:100]:
+            assert a.primary(key) == b.primary(key)
+
+    def test_empty_ring(self):
+        ring = ConsistentHashRing()
+        assert ring.preference("sha256:x") == []
+        with pytest.raises(LookupError):
+            ring.primary("sha256:x")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(vnodes=0)
+        assert ConsistentHashRing(["a"], vnodes=1).primary("k") == "a"
+        assert ConsistentHashRing().vnodes == DEFAULT_VNODES

@@ -1,0 +1,333 @@
+"""RouterEndpoint: ring placement, fleet-wide dedup, failover, and the
+dead-worker-tolerant metrics scrape.
+
+Fake workers (the `tests/loadgen/test_fleet.py` idiom) drive the router
+logic without subprocesses; one test runs real `LocalEndpoint` workers
+to prove the dedup guarantee end to end.  Byte-identity of a routed
+multi-worker fleet against a single worker is proven with real
+processes in ``tests/loadgen/test_fleet.py`` and CI's cluster-smoke.
+"""
+
+import threading
+
+import pytest
+
+from repro.api.wire import ERR_UNKNOWN_JOB, EndpointError
+from repro.cluster.router import RouterEndpoint
+from repro.loadgen.fleet import FleetEndpoint, open_fleet_endpoint
+
+
+class _Manifest:
+    """Just enough sealed manifest for the router: a digest that is
+    already verified in this process (`_seal` then only re-checks
+    consistency, which is a no-op here)."""
+
+    def __init__(self, digest):
+        self.bucket_digest = digest
+        self._verified = True
+
+    def check_consistency(self):
+        return None
+
+
+class _FakeWorker:
+    """In-process stand-in for an HTTP worker endpoint."""
+
+    transport = "fake"
+    _seq = 0
+
+    def __init__(self, url, fail=False):
+        self.url = url
+        self.fail = fail
+        self.metrics_fail = False
+        self.stall = False
+        self.block_on = None  # optional Event the fetch waits for
+        self.submits = []  # digests, in arrival order
+        self.await_calls = 0
+        self.closed = False
+
+    def submit(self, manifest):
+        if self.fail:
+            raise ConnectionError(f"{self.url} is down")
+        self.submits.append(manifest.bucket_digest)
+        _FakeWorker._seq += 1
+        return f"job-{_FakeWorker._seq}"
+
+    def status(self, job_id):
+        raise AssertionError("not used")
+
+    def await_receipt(self, job_id, timeout=None):
+        self.await_calls += 1
+        if self.stall:
+            raise TimeoutError("still working")
+        if self.block_on is not None:
+            assert self.block_on.wait(timeout=30)
+        return {"job": job_id, "worker": self.url}
+
+    def metrics(self):
+        if self.metrics_fail:
+            raise ConnectionError(f"{self.url} died mid-scrape")
+        return {
+            "counters": {"completed_total": len(self.submits)},
+            "cache_tiers": {
+                "memory_hits": 3,
+                "local_hits": 1,
+                "shared_hits": 0,
+                "misses": 1,
+                "promotions": 1,
+                "memory_entries": 2,
+            },
+        }
+
+    def client_stats(self):
+        if self.metrics_fail:
+            raise ConnectionError(f"{self.url} died mid-scrape")
+        return {"shed_total": 1, "retried_total": 0, "gave_up_total": 0}
+
+    def close(self):
+        self.closed = True
+
+
+def _router(urls, vnodes=64):
+    made = {}
+
+    def factory(url):
+        made[url] = _FakeWorker(url)
+        return made[url]
+
+    router = RouterEndpoint(
+        [factory(u) for u in urls],
+        urls=list(urls),
+        endpoint_factory=factory,
+        vnodes=vnodes,
+    )
+    return router, made
+
+
+URLS = ["http://w1:1", "http://w2:1", "http://w3:1"]
+
+
+class TestRingPlacement:
+    def test_same_digest_always_lands_on_one_worker(self):
+        router, made = _router(URLS)
+        for _ in range(5):
+            job = router.submit(_Manifest("sha256:repeat"))
+            router.await_receipt(job, timeout=5)
+        hit = [w for w in made.values() if w.submits]
+        assert len(hit) == 1
+        assert hit[0].submits == ["sha256:repeat"] * 5
+
+    def test_placement_matches_the_ring(self):
+        router, made = _router(URLS)
+        for i in range(30):
+            digest = f"sha256:{i:03d}"
+            job = router.submit(_Manifest(digest))
+            router.await_receipt(job, timeout=5)
+            owner = router._ring.primary(digest)
+            assert made[owner].submits[-1] == digest
+
+    def test_distinct_digests_spread_over_workers(self):
+        router, made = _router(URLS)
+        for i in range(40):
+            job = router.submit(_Manifest(f"sha256:{i:03d}"))
+            router.await_receipt(job, timeout=5)
+        assert sum(1 for w in made.values() if w.submits) >= 2
+        assert router.metrics()["routing"]["routed_total"] == 40
+
+
+class TestFleetWideDedup:
+    def test_identical_inflight_submits_share_one_job(self):
+        router, made = _router(URLS)
+        j1 = router.submit(_Manifest("sha256:dup"))
+        j2 = router.submit(_Manifest("sha256:dup"))
+        assert j1 == j2
+        assert sum(len(w.submits) for w in made.values()) == 1
+        routing = router.metrics()["routing"]
+        assert routing["dedup_hits"] == 1
+        assert routing["in_flight_table"] == 1
+        # both attached waiters share the single physical receipt fetch
+        r1 = router.await_receipt(j1, timeout=5)
+        r2 = router.await_receipt(j2, timeout=5)
+        assert r1 is r2
+        assert sum(w.await_calls for w in made.values()) == 1
+        routing = router.metrics()["routing"]
+        assert routing["in_flight_table"] == 0
+        # fully claimed: the job id is forgotten, structurally
+        with pytest.raises(EndpointError) as exc_info:
+            router.await_receipt(j1, timeout=5)
+        assert exc_info.value.code == ERR_UNKNOWN_JOB
+
+    def test_concurrent_waiters_share_one_fetch(self):
+        router, made = _router(URLS)
+        release = threading.Event()
+        for worker in made.values():
+            worker.block_on = release
+        j1 = router.submit(_Manifest("sha256:dup"))
+        j2 = router.submit(_Manifest("sha256:dup"))
+        receipts = []
+
+        def wait(job):
+            receipts.append(router.await_receipt(job, timeout=30))
+
+        threads = [threading.Thread(target=wait, args=(j,)) for j in (j1, j2)]
+        for t in threads:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(receipts) == 2 and receipts[0] is receipts[1]
+        assert sum(w.await_calls for w in made.values()) == 1
+
+    def test_terminal_error_reaches_every_waiter(self):
+        class _Exploding(_FakeWorker):
+            def await_receipt(self, job_id, timeout=None):
+                raise RuntimeError("optimizer crashed")
+
+        worker = _Exploding("http://w1:1")
+        router = RouterEndpoint([worker], urls=["http://w1:1"])
+        j1 = router.submit(_Manifest("sha256:dup"))
+        j2 = router.submit(_Manifest("sha256:dup"))
+        assert j1 == j2
+        with pytest.raises(RuntimeError, match="optimizer crashed"):
+            router.await_receipt(j1, timeout=5)
+        with pytest.raises(RuntimeError, match="optimizer crashed"):
+            router.await_receipt(j2, timeout=5)
+        assert router.metrics()["routing"]["in_flight_table"] == 0
+
+    def test_sequential_resubmit_is_not_deduped(self):
+        # dedup is for *in-flight* duplicates; a resubmit after the
+        # receipt was claimed is a new job (served from cache, but its
+        # own job).
+        router, made = _router(URLS)
+        j1 = router.submit(_Manifest("sha256:x"))
+        router.await_receipt(j1, timeout=5)
+        j2 = router.submit(_Manifest("sha256:x"))
+        assert j2 != j1
+        assert router.metrics()["routing"]["dedup_hits"] == 0
+
+
+class TestFailover:
+    def test_down_primary_fails_over_to_next_on_ring(self):
+        router, made = _router(URLS)
+        digest = "sha256:findme"
+        order = router._ring.preference(digest)
+        made[order[0]].fail = True
+        job = router.submit(_Manifest(digest))
+        assert made[order[1]].submits == [digest]
+        router.await_receipt(job, timeout=5)
+        routing = router.metrics()["routing"]
+        assert routing["failover_total"] == 1
+        # the dead primary is out of the submit rotation
+        assert order[0] not in router.member_urls()
+
+    def test_all_workers_down_raises_connection_error(self):
+        router, made = _router(URLS)
+        for worker in made.values():
+            worker.fail = True
+        with pytest.raises(ConnectionError):
+            router.submit(_Manifest("sha256:x"))
+
+    def test_timeout_releases_slot_but_keeps_routing(self):
+        router, made = _router(["http://w1:1"])
+        worker = made["http://w1:1"]
+        worker.stall = True
+        job = router.submit(_Manifest("sha256:x"))
+        with pytest.raises(TimeoutError):
+            router.await_receipt(job, timeout=0.01)
+        assert router.metrics()["in_flight_per_worker"] == [0]
+        worker.stall = False
+        receipt = router.await_receipt(job, timeout=5)  # routing survived
+        assert receipt["job"] == job
+
+
+class TestLiveResharding:
+    def test_set_members_reshards_the_ring(self):
+        router, made = _router(URLS)
+        assert sorted(router.metrics()["routing"]["ring_members"]) == sorted(URLS)
+        retired = URLS[0]
+        router.set_members(URLS[1:])
+        assert sorted(router.metrics()["routing"]["ring_members"]) == sorted(
+            URLS[1:]
+        )
+        # every digest the retired worker owned re-homes to a survivor
+        for i in range(20):
+            digest = f"sha256:{i:03d}"
+            job = router.submit(_Manifest(digest))
+            router.await_receipt(job, timeout=5)
+        assert made[retired].submits == []
+
+    def test_new_member_joins_the_ring(self):
+        router, made = _router(URLS[:2])
+        router.set_members(URLS)  # w3 joins via the factory
+        assert sorted(router.metrics()["routing"]["ring_members"]) == sorted(URLS)
+        for i in range(60):
+            job = router.submit(_Manifest(f"sha256:{i:03d}"))
+            router.await_receipt(job, timeout=5)
+        assert made[URLS[2]].submits  # the joiner owns its arc
+
+
+class TestDeadWorkerScrapes:
+    """Satellite (f): a worker dying mid-scrape degrades to a per-worker
+    status entry instead of poisoning the whole aggregation."""
+
+    def test_metrics_tolerate_a_dead_worker(self):
+        router, made = _router(URLS)
+        made[URLS[1]].metrics_fail = True
+        metrics = router.metrics()
+        status = {s["url"]: s for s in metrics["worker_status"]}
+        assert status[URLS[0]]["ok"] and status[URLS[2]]["ok"]
+        assert not status[URLS[1]]["ok"]
+        assert "died mid-scrape" in status[URLS[1]]["error"]
+        # live workers still aggregate: 2 of 3 tier blocks summed
+        assert metrics["cache_tiers"]["memory_hits"] == 6
+        assert metrics["cache_tiers"]["memory_hit_rate"] == pytest.approx(0.6)
+
+    def test_client_stats_skip_a_dead_worker(self):
+        router, made = _router(URLS)
+        made[URLS[0]].metrics_fail = True
+        assert router.client_stats()["shed_total"] == 2
+
+
+class TestWiring:
+    def test_ring_is_the_default_fleet_routing(self):
+        endpoint = open_fleet_endpoint("http://h:1,http://h:2")
+        assert isinstance(endpoint, RouterEndpoint)
+        endpoint.close()
+
+    def test_round_robin_base_remains_available(self):
+        endpoint = open_fleet_endpoint(
+            "http://h:1,http://h:2", routing="round_robin"
+        )
+        assert type(endpoint) is FleetEndpoint
+        endpoint.close()
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError, match="routing"):
+            open_fleet_endpoint("http://h:1", routing="random")
+
+
+class TestRealWorkers:
+    def test_dedup_over_local_workers_optimizes_once(self):
+        """Two identical in-flight submissions against real LocalEndpoint
+        workers: one optimization, one shared receipt."""
+        from repro.api.clients import ModelOwner
+        from repro.api.endpoint import LocalEndpoint
+        from repro.api.manifest import BucketManifest
+        from repro.core import ProteusConfig
+        from repro.models import build_model
+
+        bucket = ModelOwner(
+            ProteusConfig(k=0, target_subgraph_size=8, seed=0)
+        ).obfuscate(build_model("squeezenet")).bucket
+        manifest = BucketManifest.from_bucket(bucket)
+        workers = [LocalEndpoint("ortlike", workers=1) for _ in range(2)]
+        with RouterEndpoint(workers) as router:
+            j1 = router.submit(manifest)
+            j2 = router.submit(manifest)
+            assert j1 == j2
+            r1 = router.await_receipt(j1, timeout=120)
+            r2 = router.await_receipt(j2, timeout=120)
+            assert r1 is r2
+            metrics = router.metrics()
+            assert metrics["routing"]["dedup_hits"] == 1
+            assert metrics["counters"]["submitted_total"] == 1

@@ -138,8 +138,8 @@ class TestServingFleetProcesses:
         return _workload()
 
     @staticmethod
-    def _replay(fleet, workload):
-        endpoint = fleet.endpoint(timeout=60.0)
+    def _replay(fleet, workload, routing="ring"):
+        endpoint = fleet.endpoint(timeout=60.0, routing=routing)
         try:
             result = run_loadtest(
                 workload,
@@ -166,12 +166,21 @@ class TestServingFleetProcesses:
             single_buckets, single_busy = self._replay(single, workload)
         with ServingFleet(2, cache_dir=cache_dir, jobs=2) as pair:
             assert len(pair.urls) == 2
-            pair_buckets, pair_busy = self._replay(pair, workload)
-        # byte-identical optimized buckets, request for request
-        assert single_buckets == pair_buckets
+            # the default ring-routed proxy: identical manifests collapse
+            # onto one worker (and one in-flight job), so this replay
+            # proves byte-identity under routing, not concurrency.
+            pair_buckets, _ = self._replay(pair, workload)
+            # the round-robin base spreads the same workload over both
+            # workers, which is what exhibits the concurrency gain.
+            rr_buckets, rr_busy = self._replay(
+                pair, workload, routing="round_robin"
+            )
+        # byte-identical optimized buckets, request for request,
+        # whichever worker (or routing policy) served them
+        assert single_buckets == pair_buckets == rr_buckets
         # strictly more observed concurrency than the single worker
-        assert pair_busy > single_busy
-        assert single_busy == 1 and pair_busy == 2
+        assert rr_busy > single_busy
+        assert single_busy == 1 and rr_busy == 2
 
     def test_fleet_close_terminates_workers(self, workload, tmp_path):
         fleet = ServingFleet(1, cache_dir=str(tmp_path / "c"), jobs=1)

@@ -299,6 +299,61 @@ class TestRoundTrip:
         assert payload["error"]["code"] == ERR_UNKNOWN_JOB
 
 
+class TestVerifyMemoAndJournal:
+    def test_repeat_manifest_hits_verify_memo(self, server, obfuscation):
+        """Re-submitting a sealed manifest must not re-hash every graph:
+        the digest-table hash memoizes full verification down to the
+        O(entries) consistency check, and the canonical-form memo spares
+        the per-entry canonicalization."""
+        base_url, _ = server
+        _, result = obfuscation
+        for _ in range(2):
+            status, submitted = _call(
+                base_url, "POST", "/v1/jobs", body=_submit_body(result.bucket)
+            )
+            assert status == 200
+            _call(
+                base_url, "GET", f"/v1/jobs/{submitted['job_id']}/receipt?wait=60"
+            )
+        status, payload = _call(base_url, "GET", "/v1/metrics")
+        assert status == 200
+        assert payload["verification"]["memo_entries"] >= 1
+        assert payload["verification"]["memo_hits"] >= 1
+        backend = payload["backends"]["ortlike"]
+        assert backend["canonicalization"]["memo_entries"] >= 1
+        assert backend["canonicalization"]["memo_hits"] >= 1
+
+    def test_journal_records_a_replayable_workload(self, tmp_path, obfuscation):
+        """`--journal`: accepted submits land in the workload.json schema
+        and load back through the standard loadtest path."""
+        from repro.loadgen.journal import TrafficJournal
+        from repro.loadgen.workload import load_workload
+
+        _, result = obfuscation
+        path = str(tmp_path / "trace.json")
+        journal = TrafficJournal(path)
+        with OptimizationHTTPServer(
+            "ortlike", workers=1, port=0, journal=journal
+        ) as app:
+            host, port = app.start()
+            base_url = f"http://{host}:{port}"
+            for _ in range(2):
+                status, submitted = _call(
+                    base_url, "POST", "/v1/jobs", body=_submit_body(result.bucket)
+                )
+                assert status == 200
+                _call(
+                    base_url,
+                    "GET",
+                    f"/v1/jobs/{submitted['job_id']}/receipt?wait=60",
+                )
+        workload = load_workload(path)
+        assert len(workload.requests) == 2
+        # identical live digests collapse onto one obfuscation variant
+        assert workload.spec.variants == 1
+        assert workload.spec.name == "journal"
+
+
 class TestOverloadedWire:
     """HTTP 429 + code='overloaded' + retry_after_s, on the raw wire."""
 
