@@ -32,9 +32,13 @@ Endpoint URIs follow a small grammar (also accepted by
     spool:DIRECTORY        spool directory served by `repro serve DIR`
     http://HOST:PORT       `repro serve --http PORT` on another machine
     https://HOST:PORT      same, behind TLS termination
+    mux://HOST:PORT        multiplexed frame protocol with server-side
+                           batching (`repro serve --mux PORT`); many
+                           in-flight jobs per connection
     http://H:P1,http://H:P2  fleet of workers, ring-routed by manifest
                            digest with fleet-wide in-flight dedup
-                           (`repro serve --http 0 --workers N`)
+                           (`repro serve --http 0 --workers N`); mux://
+                           worker URLs mix in freely
     fleet:STATE_FILE       autoscaling fleet via its membership state
                            file (`repro serve ... --fleet-state PATH`);
                            follows workers the autoscaler adds/removes,
@@ -736,7 +740,8 @@ class RemoteOptimizerService:
 
 _URI_GRAMMAR = (
     "endpoint URIs: local:[BACKEND] | spool:DIRECTORY | http://HOST:PORT "
-    "| https://HOST:PORT | http://H:P1,http://H:P2,... (ring-routed fleet) "
+    "| https://HOST:PORT | mux://HOST:PORT (multiplexed frame protocol) "
+    "| http://H:P1,mux://H:P2,... (ring-routed fleet; schemes mix) "
     "| fleet:STATE_FILE (autoscaling fleet; follows membership changes)"
 )
 
@@ -760,10 +765,10 @@ def open_endpoint(
     serving side's default.  Worker/cache options only apply to
     ``local:`` — elsewhere they are properties of the serving process.
     """
-    if uri.startswith(("http://", "https://")):
+    if uri.startswith(("http://", "https://", "mux://")):
         parts = [p.strip() for p in uri.split(",")]
         if len(parts) > 1 and all(
-            p.startswith(("http://", "https://")) for p in parts
+            p.startswith(("http://", "https://", "mux://")) for p in parts
         ):
             # several worker URLs = a ring-routed fleet front (what
             # `repro serve --http 0 --workers N` prints as its
@@ -772,6 +777,10 @@ def open_endpoint(
             from ..loadgen.fleet import open_fleet_endpoint
 
             return open_fleet_endpoint(parts, timeout=timeout, optimizer=optimizer)
+        if uri.startswith("mux://"):
+            from ..mux.client import MuxEndpoint
+
+            return MuxEndpoint(uri, timeout=timeout, optimizer=optimizer)
         return HttpEndpoint(uri, timeout=timeout, optimizer=optimizer)
     scheme, sep, rest = uri.partition(":")
     if not sep:

@@ -289,6 +289,74 @@ def remote_roundtrip_cold_conn_scenario():
     return run
 
 
+def _mux_endpoint():
+    """A warm MuxEndpoint over a loopback MuxServer (daemon thread,
+    dies with the bench process — same lifetime story as the HTTP
+    roundtrip scenarios)."""
+    from ..api.endpoint import open_endpoint
+    from ..mux.server import MuxServer
+    from ..serving import OptimizationCache
+    from ..serving.http import OptimizationHTTPServer
+
+    app = OptimizationHTTPServer(
+        "ortlike", cache=OptimizationCache(), workers=2, port=0
+    )
+    server = MuxServer(app)
+    host, port = server.start()
+    return open_endpoint(f"mux://{host}:{port}")
+
+
+@register_benchmark(
+    "remote_mux_roundtrip",
+    suites=("smoke", "serving"),
+    rounds=5,
+    warmup=1,
+    description="the same bucket through MuxEndpoint over loopback "
+    "(one long-lived framed connection), warm cache — frame-protocol "
+    "overhead vs remote_roundtrip's HTTP keep-alive",
+)
+def remote_mux_roundtrip_scenario():
+    from ..api.manifest import BucketManifest
+
+    manifest = BucketManifest.from_bucket(_tiny_bucket())
+    endpoint = _mux_endpoint()
+    endpoint.await_receipt(endpoint.submit(manifest))  # warm: rounds all hit
+
+    def run():
+        return endpoint.await_receipt(endpoint.submit(manifest))
+
+    return run
+
+
+@register_benchmark(
+    "remote_mux_concurrent8",
+    suites=("smoke", "serving"),
+    rounds=5,
+    warmup=1,
+    items=8,
+    description="8 threads interleaving submit+await_receipt on ONE "
+    "mux connection, warm cache — the multiplexing win: no per-request "
+    "connection, no head-of-line blocking, server-side batch coalescing",
+)
+def remote_mux_concurrent8_scenario():
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..api.manifest import BucketManifest
+
+    manifest = BucketManifest.from_bucket(_tiny_bucket())
+    endpoint = _mux_endpoint()
+    pool = ThreadPoolExecutor(max_workers=8)
+    endpoint.await_receipt(endpoint.submit(manifest))  # warm: rounds all hit
+
+    def one():
+        return endpoint.await_receipt(endpoint.submit(manifest))
+
+    def run():
+        return [f.result() for f in [pool.submit(one) for _ in range(8)]]
+
+    return run
+
+
 # -- loadgen suite -----------------------------------------------------------
 #
 # The hot paths of repro.loadgen itself: workload synthesis and latency

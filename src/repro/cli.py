@@ -251,13 +251,18 @@ def _cmd_optimize(args) -> int:
 
 
 def _serve_http(args, cache, jobs, options) -> int:
-    """``repro serve --http PORT``: the wire protocol over a socket.
+    """``repro serve --http PORT [--mux PORT]``: the wire protocol over
+    a socket.
 
-    Binds first (so ``--http 0`` resolves to a real port), prints one
-    machine-parseable JSON line with the endpoint URL to stdout, then
-    serves until interrupted.  SIGTERM/SIGINT trigger a graceful drain:
-    new submits are refused with a typed ``overloaded`` error while
-    queued jobs finish, bounded by ``--drain-timeout-s``.
+    Binds first (so port 0 resolves to a real port), prints one
+    machine-parseable JSON line with the endpoint URL(s) to stdout, then
+    serves until interrupted.  ``--mux`` adds (or, without ``--http``,
+    replaces) a multiplexed frame-protocol socket over the *same*
+    application object — same backends, cache, and job table, so
+    receipts are byte-identical across transports.  SIGTERM/SIGINT
+    trigger a graceful drain: new submits are refused with a typed
+    ``overloaded`` error while queued jobs finish, bounded by
+    ``--drain-timeout-s``.
     """
     import signal
     import threading
@@ -276,7 +281,7 @@ def _serve_http(args, cache, jobs, options) -> int:
             cache=cache,
             workers=jobs,
             host=args.host,
-            port=args.http,
+            port=args.http if args.http is not None else 0,
             verbose=args.verbose,
             admission_slo_s=(args.slo_ms / 1e3 if args.slo_ms else None),
             entry_cost_s=(args.entry_cost_ms or 0.0) / 1e3,
@@ -287,33 +292,77 @@ def _serve_http(args, cache, jobs, options) -> int:
         print(f"cannot construct optimizer {args.optimizer!r}: {exc}",
               file=sys.stderr)
         return 2
+    mux_server = None
+    if args.mux is not None:
+        from .mux.server import MuxServer
+
+        mux_server = MuxServer(
+            app,
+            host=args.host,
+            port=args.mux,
+            batch_max=args.batch_max,
+            batch_window_ms=args.batch_window_ms,
+        )
     with app:
-        try:
-            host, port = app.bind()
-        except OSError as exc:
-            print(f"cannot bind {args.host}:{args.http}: {exc}", file=sys.stderr)
-            return 2
+        endpoints = {}
         # a wildcard bind address is not connectable; advertise loopback
         # (remote clients substitute this machine's real hostname).
-        advertised = {"0.0.0.0": "127.0.0.1", "::": "[::1]"}.get(host, host)
-        url = f"http://{advertised}:{port}"
-        bound_note = f" (bound on {host})" if advertised != host else ""
+        loopback = {"0.0.0.0": "127.0.0.1", "::": "[::1]"}
+        bound_note = ""
+        if args.http is not None:
+            try:
+                host, port = app.bind()
+            except OSError as exc:
+                print(f"cannot bind {args.host}:{args.http}: {exc}",
+                      file=sys.stderr)
+                return 2
+            advertised = loopback.get(host, host)
+            endpoints["http"] = f"http://{advertised}:{port}"
+            if advertised != host:
+                bound_note = f" (bound on {host})"
+        if mux_server is not None:
+            try:
+                host, port = mux_server.bind()
+            except OSError as exc:
+                print(f"cannot bind {args.host}:{args.mux}: {exc}",
+                      file=sys.stderr)
+                return 2
+            advertised = loopback.get(host, host)
+            endpoints["mux"] = f"mux://{advertised}:{port}"
+            if advertised != host:
+                bound_note = f" (bound on {host})"
+        # http stays the primary endpoint when present: existing banner
+        # consumers predate mux and expect an http:// URL there.
+        url = endpoints.get("http") or endpoints["mux"]
         admission_note = (
             f", slo={args.slo_ms:g}ms" if args.slo_ms else ""
         )
+        batching_note = (
+            f", batch<={mux_server.batch_max}"
+            f"/{mux_server.batch_window_ms:g}ms"
+            if mux_server is not None
+            else ""
+        )
         print(
-            f"serving {url}{bound_note} (optimizer={args.optimizer}, "
+            f"serving {' + '.join(endpoints.values())}{bound_note} "
+            f"(optimizer={args.optimizer}, "
             f"workers={jobs}, cache={args.cache_dir or 'memory-only'}, "
-            f"protocol=v{PROTOCOL_VERSION}{admission_note})",
+            f"protocol=v{PROTOCOL_VERSION}{admission_note}{batching_note})",
             file=sys.stderr,
         )
         print(
-            json.dumps({"endpoint": url, "protocol_version": PROTOCOL_VERSION}),
+            json.dumps(
+                {
+                    "endpoint": url,
+                    "endpoints": endpoints,
+                    "protocol_version": PROTOCOL_VERSION,
+                }
+            ),
             flush=True,
         )
 
         # graceful drain: the first signal stops admissions and spawns a
-        # waiter that shuts the socket down once the queue empties (or
+        # waiter that shuts the socket(s) down once the queue empties (or
         # the drain budget runs out); a second signal exits immediately.
         drain_started = threading.Event()
 
@@ -326,6 +375,8 @@ def _serve_http(args, cache, jobs, options) -> int:
                      "work still queued; shutting down anyway",
                 file=sys.stderr,
             )
+            if mux_server is not None:
+                mux_server.close()
             if app._httpd is not None:
                 app._httpd.shutdown()
 
@@ -345,9 +396,19 @@ def _serve_http(args, cache, jobs, options) -> int:
         signal.signal(signal.SIGTERM, on_signal)
         signal.signal(signal.SIGINT, on_signal)
         try:
-            app.serve_forever()
+            if args.http is not None:
+                # HTTP serves in the foreground; mux (when also given)
+                # rides a background thread over the same app.
+                if mux_server is not None:
+                    mux_server.start()
+                app.serve_forever()
+            else:
+                mux_server.serve_forever()
         except KeyboardInterrupt:
             print("interrupted; shutting down", file=sys.stderr)
+        finally:
+            if mux_server is not None:
+                mux_server.close()
     return 0
 
 
@@ -370,15 +431,16 @@ def _serve_fleet(args, jobs) -> int:
     import signal
     import threading
 
-    from .api.endpoint import HttpEndpoint
     from .api.wire import PROTOCOL_VERSION
     from .control import AutoscalerPolicy, FleetAutoscaler, ServiceSignals, aggregate_signals
-    from .loadgen.fleet import ServingFleet
+    from .loadgen.fleet import ServingFleet, _endpoint_for_url
 
-    if args.http != 0:
+    transport = "mux" if args.mux is not None else "http"
+    requested_port = args.mux if transport == "mux" else args.http
+    if requested_port != 0:
         print(
-            f"note: --workers ignores --http {args.http}; every worker "
-            "binds its own ephemeral port",
+            f"note: --workers ignores --{transport} {requested_port}; every "
+            "worker binds its own ephemeral port",
             file=sys.stderr,
         )
     extra = []
@@ -390,6 +452,10 @@ def _serve_fleet(args, jobs) -> int:
         extra += ["--drain-timeout-s", str(args.drain_timeout_s)]
     if args.entry_cost_ms:
         extra += ["--entry-cost-ms", str(args.entry_cost_ms)]
+    if args.batch_max is not None:
+        extra += ["--batch-max", str(args.batch_max)]
+    if args.batch_window_ms is not None:
+        extra += ["--batch-window-ms", str(args.batch_window_ms)]
 
     workers = args.workers or 1
     min_workers = args.min_workers if args.min_workers is not None else workers
@@ -409,6 +475,7 @@ def _serve_fleet(args, jobs) -> int:
         capture_stderr=False,  # operators need worker logs + tracebacks
         state_path=args.fleet_state,
         journal_path=args.journal,
+        transport=transport,
     )
 
     # the autoscaler reads each worker's /v1/metrics "signals" block and
@@ -425,7 +492,7 @@ def _serve_fleet(args, jobs) -> int:
         for url in list(fleet.urls):
             client = metric_clients.get(url)
             if client is None:
-                client = metric_clients[url] = HttpEndpoint(url, timeout=5.0)
+                client = metric_clients[url] = _endpoint_for_url(url, timeout=5.0)
             try:
                 snapshot = ServiceSignals.from_metrics(client.metrics())
             except Exception:
@@ -546,9 +613,22 @@ def _cmd_serve(args) -> int:
     """
     from .serving import OptimizationCache, OptimizationServer, SpoolServer
 
-    if (args.spool_dir is None) == (args.http is None):
-        print("serve needs exactly one of: a spool directory, or --http PORT",
+    network = args.http is not None or args.mux is not None
+    if (args.spool_dir is None) == (not network):
+        print("serve needs exactly one of: a spool directory, or "
+              "--http/--mux PORT", file=sys.stderr)
+        return 2
+    if args.mux is None and (
+        args.batch_max is not None or args.batch_window_ms is not None
+    ):
+        print("--batch-max/--batch-window-ms only apply to --mux serving",
               file=sys.stderr)
+        return 2
+    if args.batch_max is not None and args.batch_max < 1:
+        print("--batch-max must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch_window_ms is not None and args.batch_window_ms < 0:
+        print("--batch-window-ms must be >= 0", file=sys.stderr)
         return 2
     options = {}
     if args.kernel_selection:
@@ -575,9 +655,14 @@ def _cmd_serve(args) -> int:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
     if fleet_mode or args.workers is not None:
-        if args.http is None:
-            print("--workers/--max-workers/--fleet-state require --http "
-                  "(fleet workers speak the wire protocol)", file=sys.stderr)
+        if args.http is None and args.mux is None:
+            print("--workers/--max-workers/--fleet-state require --http or "
+                  "--mux (fleet workers speak the wire protocol)",
+                  file=sys.stderr)
+            return 2
+        if args.http is not None and args.mux is not None:
+            print("fleet mode serves one transport per worker; pass --http "
+                  "or --mux, not both", file=sys.stderr)
             return 2
     if fleet_mode:
         workers = args.workers or 1
@@ -611,7 +696,7 @@ def _cmd_serve(args) -> int:
     else:
         cache = OptimizationCache(cache_dir=args.cache_dir)  # None dir = memory-only
 
-    if args.http is not None:
+    if network:
         return _serve_http(args, cache, jobs, options)
 
     if args.journal is not None:
@@ -1025,6 +1110,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "PORT (0 picks a free port) instead of watching a "
                         "spool directory; clients connect with "
                         "repro optimize --endpoint http://HOST:PORT")
+    p.add_argument("--mux", type=int, default=None, metavar="PORT",
+                   help="serve the multiplexed frame protocol on PORT (0 "
+                        "picks a free port): one long-lived connection per "
+                        "client carrying many interleaved jobs, with "
+                        "server-side submit batching; combines with --http "
+                        "(same backends/cache behind both sockets); clients "
+                        "connect with --endpoint mux://HOST:PORT")
+    p.add_argument("--batch-max", type=int, default=None, metavar="N",
+                   help="with --mux: coalesce at most N queued submits into "
+                        "one batched backend call (default: the committed "
+                        "operating-point table's value for 8 clients)")
+    p.add_argument("--batch-window-ms", type=float, default=None, metavar="T",
+                   help="with --mux: hold a forming batch at most T ms "
+                        "before flushing (default: from the operating-point "
+                        "table)")
     p.add_argument("--host", default="127.0.0.1",
                    help="interface for --http (default: 127.0.0.1; use "
                         "0.0.0.0 to accept remote optimizer-party traffic)")

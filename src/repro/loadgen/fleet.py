@@ -75,6 +75,25 @@ _COUNTER_KEYS = (
 #: OptimizerEndpoint.client_stats).
 _CLIENT_STAT_KEYS = ("shed_total", "retried_total", "gave_up_total")
 
+#: URL schemes a fleet member may announce; dispatched by
+#: :func:`_endpoint_for_url`.
+_WORKER_SCHEMES = ("http://", "https://", "mux://")
+
+
+def _endpoint_for_url(
+    url: str, timeout: float = 30.0, optimizer: Optional[str] = None
+) -> OptimizerEndpoint:
+    """The right client for one worker URL, by scheme.
+
+    Fleet proxies route by manifest digest, not by transport, so
+    ``http(s)://`` and ``mux://`` members mix freely in one ring.
+    """
+    if url.startswith("mux://"):
+        from ..mux.client import MuxEndpoint  # here: keeps fleet import-light
+
+        return MuxEndpoint(url, timeout=timeout, optimizer=optimizer)
+    return HttpEndpoint(url, timeout=timeout, optimizer=optimizer)
+
 #: hierarchical-cache tier counters summed across workers (rates are
 #: recomputed from the sums; see HierarchicalCache.tier_stats).
 _TIER_COUNTER_KEYS = (
@@ -403,11 +422,19 @@ class ServingFleet:
         state_path: Optional[str] = None,
         hierarchical: bool = True,
         journal_path: Optional[str] = None,
+        transport: str = "http",
     ) -> None:
         if workers < 1:
             raise ValueError("fleet needs at least 1 worker")
+        if transport not in ("http", "mux"):
+            raise ValueError(
+                f"fleet transport must be 'http' or 'mux', got {transport!r}"
+            )
         self.workers = workers
         self.optimizer = optimizer
+        #: which socket each worker serves ("http" or "mux"); also which
+        #: URL is picked out of the worker's announcement banner.
+        self.transport = transport
         self.cache_dir = cache_dir
         #: with a cache_dir, give each worker a private disk shard under
         #: ``<cache_dir>/shards/`` (the hierarchical middle tier) instead
@@ -447,7 +474,7 @@ class ServingFleet:
             "-m",
             "repro",
             "serve",
-            "--http",
+            "--mux" if self.transport == "mux" else "--http",
             "0",
             "--host",
             self.host,
@@ -500,11 +527,40 @@ class ServingFleet:
                 + (f"; its stderr ended with:\n{tail}" if tail else "")
             )
         try:
-            return str(json.loads(line)["endpoint"])
+            return self._banner_url(json.loads(line))
         except (ValueError, KeyError, TypeError) as exc:
             raise RuntimeError(
                 f"fleet worker printed an unparseable banner {line!r}: {exc}"
             ) from None
+
+    def _banner_url(self, banner: Any) -> str:
+        """This fleet's transport URL out of a worker's banner line.
+
+        The serve CLI keeps its one-JSON-line-on-stdout contract, but a
+        worker serving several transports (``--http P --mux P2``)
+        announces them all under ``"endpoints"`` and its ``"endpoint"``
+        key names whichever is primary — so the parse must select by
+        transport rather than trust key order or primacy: prefer
+        ``endpoints[<transport>]``, fall back to the legacy
+        ``"endpoint"`` only when it matches this fleet's scheme.
+        """
+        if not isinstance(banner, dict):
+            raise TypeError(f"banner must be a JSON object, got {type(banner).__name__}")
+        by_transport = banner.get("endpoints")
+        if isinstance(by_transport, dict):
+            url = by_transport.get(self.transport)
+            if url:
+                return str(url)
+        url = banner.get("endpoint")
+        if url is None:
+            raise KeyError("endpoint")
+        url = str(url)
+        want = "mux://" if self.transport == "mux" else ("http://", "https://")
+        if not url.startswith(want):
+            raise ValueError(
+                f"worker announced no {self.transport} endpoint (banner URL {url!r})"
+            )
+        return url
 
     def _spawn_one(self) -> str:
         """Spawn one worker, wait for its banner; registers it and
@@ -632,7 +688,7 @@ class ServingFleet:
             )
         with self._fleet_lock:
             urls = list(self.urls)
-        factory = lambda url: HttpEndpoint(url, timeout=timeout)  # noqa: E731
+        factory = lambda url: _endpoint_for_url(url, timeout=timeout)  # noqa: E731
         return _build_fleet([factory(url) for url in urls], urls, factory, routing)
 
     def poll(self) -> List[Optional[int]]:
@@ -712,10 +768,10 @@ def open_fleet_endpoint(
         uris = [part.strip() for part in uris.split(",") if part.strip()]
     if not uris:
         raise ValueError("fleet endpoint needs at least one worker URL")
-    bad = [u for u in uris if not u.startswith(("http://", "https://"))]
+    bad = [u for u in uris if not u.startswith(_WORKER_SCHEMES)]
     if bad:
-        raise ValueError(f"fleet workers must be http(s) URLs, got {bad}")
-    factory = lambda url: HttpEndpoint(url, timeout=timeout, optimizer=optimizer)  # noqa: E731
+        raise ValueError(f"fleet workers must be http(s) or mux URLs, got {bad}")
+    factory = lambda url: _endpoint_for_url(url, timeout=timeout, optimizer=optimizer)  # noqa: E731
     return _build_fleet([factory(u) for u in uris], list(uris), factory, routing)
 
 
@@ -765,7 +821,7 @@ def open_fleet_state_endpoint(
                 f"(waited {startup_timeout:g}s)"
             )
         time.sleep(min(poll_interval, 0.1))
-    factory = lambda url: HttpEndpoint(url, timeout=timeout, optimizer=optimizer)  # noqa: E731
+    factory = lambda url: _endpoint_for_url(url, timeout=timeout, optimizer=optimizer)  # noqa: E731
     fleet = _build_fleet([factory(u) for u in urls], list(urls), factory, routing)
 
     stop = threading.Event()

@@ -1,0 +1,43 @@
+"""Multiplexed frame transport with server-side submit batching.
+
+``repro.mux`` removes the one-outstanding-request-per-socket transport
+tax: a single long-lived connection carries many interleaved in-flight
+jobs (submits, status polls, streamed receipts) as length-prefixed JSON
+frames, and the server coalesces compatible queued submits into batched
+backend calls sized by a measured operating-point table.
+
+* :mod:`repro.mux.frames` — the codec: 4-byte length prefix + JSON,
+  incremental decoding, typed per-frame errors that never kill the
+  connection;
+* :mod:`repro.mux.batch` — the committed operating-point table and the
+  window/size submit coalescer;
+* :mod:`repro.mux.server` — ``repro serve --mux PORT``, a selector-loop
+  front-end over the same application object as the HTTP transport;
+* :mod:`repro.mux.client` — :class:`MuxEndpoint`, the ``mux://``
+  transport behind :func:`repro.api.endpoint.open_endpoint`.
+"""
+
+from .batch import OPERATING_POINTS, Coalescer, OperatingPoint, choose_operating_point
+from .client import MuxEndpoint
+from .frames import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+from .server import MuxServer
+
+__all__ = [
+    "HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "FrameError",
+    "encode_frame",
+    "OperatingPoint",
+    "OPERATING_POINTS",
+    "choose_operating_point",
+    "Coalescer",
+    "MuxServer",
+    "MuxEndpoint",
+]

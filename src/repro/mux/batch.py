@@ -1,0 +1,171 @@
+"""Server-side submit coalescing for the multiplexed transport.
+
+Batching is a latency/throughput trade: holding a submit a few
+milliseconds lets the server hand the backend one batched call instead
+of N queue round-trips, which is where the multiplexed transport's
+throughput headroom under concurrency comes from — but every held
+millisecond is added latency for a lone client.  The right
+``(batch_max, batch_window_ms)`` therefore depends on offered
+concurrency, exactly the kind of operating point Galvatron-style
+cost-model search picks from measured data instead of hand-tuning.
+
+:data:`OPERATING_POINTS` is that table, committed from loopback
+bench (``remote_mux_roundtrip`` / ``remote_mux_concurrent8``) and
+loadgen sweeps: single-digit windows, because entry service time on a
+warm cache is sub-millisecond and anything longer shows up directly in
+p95.  ``repro serve --batch-max/--batch-window-ms`` override it.
+
+:class:`Coalescer` is the mechanism: submits accumulate under a
+condition variable and flush as one list when the batch fills
+(``batch_max``) or the oldest entry has waited the window out
+(``batch_window_ms``), whichever is first.  A flush hands off to the
+server's dispatch pool, so a slow manifest verification never blocks
+the collection loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["OperatingPoint", "OPERATING_POINTS", "choose_operating_point", "Coalescer"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One batching configuration: flush size and collection window."""
+
+    batch_max: int
+    batch_window_ms: float
+
+    def to_dict(self) -> dict:
+        return {"batch_max": self.batch_max, "batch_window_ms": self.batch_window_ms}
+
+
+#: (max expected concurrent clients, operating point) — first band whose
+#: bound covers the expectation wins; the ``None`` bound is the tail.
+#: Measured on loopback (bench `remote_mux_*` + an 8/16-client loadgen
+#: sweep): at 1 client batching only adds latency, so the window is 0;
+#: from ~4 clients a 2-5 ms window reliably coalesces the closed-loop
+#: wave of submits into one backend call without moving p95, and past
+#: ~16 clients wider windows stopped paying because batch_max fills
+#: first.
+OPERATING_POINTS: Tuple[Tuple[Optional[int], OperatingPoint], ...] = (
+    (1, OperatingPoint(batch_max=1, batch_window_ms=0.0)),
+    (4, OperatingPoint(batch_max=4, batch_window_ms=2.0)),
+    (16, OperatingPoint(batch_max=8, batch_window_ms=5.0)),
+    (None, OperatingPoint(batch_max=16, batch_window_ms=5.0)),
+)
+
+
+def choose_operating_point(expected_clients: int = 8) -> OperatingPoint:
+    """Pick the table row covering ``expected_clients`` concurrent clients."""
+    for bound, point in OPERATING_POINTS:
+        if bound is None or expected_clients <= bound:
+            return point
+    return OPERATING_POINTS[-1][1]  # unreachable: the table ends with None
+
+
+class Coalescer:
+    """Accumulate items and flush them in batches by size or age.
+
+    ``flush_fn(batch)`` receives each flushed list on the coalescer's
+    own daemon thread; it must not raise (the server wraps dispatch in
+    its own error handling).  ``close()`` flushes whatever is pending
+    so no accepted submit is ever dropped on shutdown.
+    """
+
+    def __init__(
+        self,
+        flush_fn: Callable[[List[Any]], None],
+        batch_max: int,
+        batch_window_s: float,
+        name: str = "mux-coalescer",
+    ) -> None:
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        self.batch_max = batch_max
+        self.batch_window_s = batch_window_s
+        self._flush_fn = flush_fn
+        self._items: List[Any] = []
+        self._oldest_at: Optional[float] = None
+        self._cond = threading.Condition()
+        self._closed = False
+        # counters (read under the condition's lock)
+        self.items_total = 0
+        self.flushes_total = 0
+        self.batched_total = 0  # items that shared their flush with others
+        self.batch_size_max = 0
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+        self._thread.start()
+
+    def add(self, item: Any) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("coalescer is closed")
+            self._items.append(item)
+            self.items_total += 1
+            if self._oldest_at is None:
+                self._oldest_at = time.monotonic()
+            self._cond.notify()
+
+    def _take_batch_locked(self) -> List[Any]:
+        batch = self._items[: self.batch_max]
+        del self._items[: self.batch_max]
+        self._oldest_at = time.monotonic() if self._items else None
+        self.flushes_total += 1
+        if len(batch) > 1:
+            self.batched_total += len(batch)
+        self.batch_size_max = max(self.batch_size_max, len(batch))
+        return batch
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._items and not self._closed:
+                    self._cond.wait()
+                if not self._items:
+                    return  # closed and drained
+                age = time.monotonic() - (self._oldest_at or 0.0)
+                if (
+                    not self._closed
+                    and len(self._items) < self.batch_max
+                    and age < self.batch_window_s
+                ):
+                    # closed skips the window wait: close() may have
+                    # signalled before this thread reached it, and its
+                    # notify_all would then be spent — pending items
+                    # must flush now, not when the window expires.
+                    self._cond.wait(self.batch_window_s - age)
+                    if len(self._items) < self.batch_max and not self._closed:
+                        age = time.monotonic() - (self._oldest_at or 0.0)
+                        if age < self.batch_window_s:
+                            continue  # woken early by an add; keep collecting
+                if not self._items:
+                    continue
+                batch = self._take_batch_locked()
+            self._flush_fn(batch)  # outside the lock: adds keep flowing
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "batch_max": self.batch_max,
+                "batch_window_ms": self.batch_window_s * 1000.0,
+                "submits_total": self.items_total,
+                "flushes_total": self.flushes_total,
+                "batched_total": self.batched_total,
+                "batch_size_max": self.batch_size_max,
+                "pending": len(self._items),
+            }
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout=5.0)

@@ -1,0 +1,564 @@
+"""Client side of the multiplexed transport: ``mux://HOST:PORT``.
+
+:class:`MuxEndpoint` speaks the frame vocabulary of
+:mod:`repro.mux.server` over one long-lived connection shared by every
+calling thread.  Request/response pairs (hello, submit, status,
+metrics) are matched by a client-chosen ``channel`` id; receipts are
+*streamed* — ``submit`` asks the server to push the receipt when the
+job finishes, so ``await_receipt`` is a local wait on an event, not a
+poll loop over the network.  That single-socket pipelining is the
+transport tax the HTTP/1 endpoint pays per in-flight request.
+
+Disconnects are survivable mid-job: job state lives server-side until
+the receipt is **acked**, so after a reconnect the client re-sends an
+``await`` for every unfinished job and the server re-streams the
+receipt — byte-identical, because it is rebuilt from the same cached
+canonical payloads.  In-flight request/response calls on the dead
+socket surface :class:`ConnectionError` (the request may or may not
+have been processed; only a send that never left this process is
+retried, mirroring :class:`~repro.api.endpoint.HttpEndpoint`'s
+stale-socket rule).
+
+``overloaded`` sheds back off exactly like the HTTP client: capped
+exponential backoff + jitter, never sooner than the server's
+``retry_after_s`` hint, with the same :meth:`client_stats` accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import random
+import socket
+import threading
+import time
+import urllib.parse
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..api.endpoint import OptimizerEndpoint, _seal
+from ..api.manifest import BucketManifest, ManifestIntegrityError
+from ..api.wire import (
+    ERR_BAD_DIGEST,
+    ERR_MALFORMED,
+    ERR_OVERLOADED,
+    ERR_VERSION_MISMATCH,
+    PROTOCOL_VERSION,
+    EndpointError,
+    receipt_from_wire,
+    status_from_wire,
+)
+from ..core.proteus import ObfuscatedBucket
+from .frames import FrameDecoder, FrameError, encode_frame, encode_frame_with_raw
+
+__all__ = ["MuxEndpoint"]
+
+
+class _Waiter:
+    """One in-flight request/response channel."""
+
+    __slots__ = ("event", "payload", "error", "gen")
+
+    def __init__(self, gen: int) -> None:
+        self.event = threading.Event()
+        self.payload: Optional[Dict[str, Any]] = None
+        self.error: Optional[BaseException] = None
+        self.gen = gen
+
+
+class _JobState:
+    """One job with a server-side receipt stream attached."""
+
+    __slots__ = ("event", "payload", "error", "gen")
+
+    def __init__(self, gen: int) -> None:
+        self.event = threading.Event()
+        self.payload: Optional[Dict[str, Any]] = None
+        self.error: Optional[BaseException] = None
+        #: connection generation whose server-side watcher covers this
+        #: job; a mismatch after reconnect triggers a re-``await``.
+        self.gen = gen
+
+
+class MuxEndpoint(OptimizerEndpoint):
+    """Multiplexed frame-protocol client (``repro serve --mux PORT``)."""
+
+    transport = "mux"
+
+    #: TCP connect budget, separate from the per-request timeout.
+    _CONNECT_TIMEOUT = 5.0
+    #: await_receipt wakes at this cadence to notice dead connections
+    #: and re-attach; receipt arrival itself is event-driven (no added
+    #: latency).
+    _POLL_S = 0.25
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        optimizer: Optional[str] = None,
+        retry: Optional[Any] = "default",
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme != "mux" or not parsed.hostname or not parsed.port:
+            raise ValueError(
+                f"MuxEndpoint needs a mux://HOST:PORT URL, got {url!r}"
+            )
+        self.url = f"mux://{parsed.hostname}:{parsed.port}"
+        self._host = parsed.hostname
+        self._port = parsed.port
+        self.timeout = timeout
+        self.optimizer = optimizer
+        if retry == "default":
+            from ..serving.spool import RetryPolicy
+
+            retry = RetryPolicy(
+                base_delay=0.1, max_delay=5.0, max_attempts=4, jitter=0.25
+            )
+        self.retry = retry
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()  # connection state (sock/gen/welcome)
+        self._send_lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._gen = 0
+        self._welcome: Optional[Dict[str, Any]] = None
+        self._next_channel = itertools.count(1)
+        self._channels: Dict[int, _Waiter] = {}
+        self._chan_lock = threading.Lock()
+        self._jobs: Dict[str, _JobState] = {}
+        self._jobs_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._shed_total = 0
+        self._retried_total = 0
+        self._gave_up_total = 0
+        self._reconnects_total = 0
+        # submit-side amortization: serializing a sealed manifest is the
+        # dominant client cost, and concurrent callers routinely submit
+        # the *same* manifest object (a closed-loop wave).  Keyed by
+        # object identity — manifests are sealed before the first encode
+        # and must not be mutated afterwards (already the submit
+        # contract); the memo holds a reference so ids stay valid.
+        self._submit_memo: "OrderedDict[int, Tuple[Any, bytes]]" = OrderedDict()
+        self._submit_memo_max = 8
+        self._submit_memo_lock = threading.Lock()
+        # receipt-side amortization: a payload deep-equal to one this
+        # endpoint already digest-verified needs no re-verification
+        # (equality of the full payload, not the declared digest, is the
+        # memo key, so a tampered payload never rides a sibling's pass).
+        self._verified_memo: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._verified_memo_max = 8
+        self._verified_memo_lock = threading.Lock()
+
+    # -- connection management -------------------------------------------------
+    def _connect_locked(self) -> None:
+        """Establish + handshake a connection; caller holds ``_lock``.
+
+        The hello/welcome exchange runs synchronously *before* the
+        reader thread starts, so connection setup needs no cross-thread
+        coordination; the decoder (with any bytes read past the
+        welcome) is handed to the reader afterwards.
+        """
+        try:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._CONNECT_TIMEOUT
+            )
+        except OSError as exc:
+            raise ConnectionError(
+                f"cannot reach {self.url}: {exc.strerror or exc}"
+            ) from None
+        sock.settimeout(self.timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        decoder = FrameDecoder()
+        channel = next(self._next_channel)
+        welcome: Optional[Dict[str, Any]] = None
+        try:
+            sock.sendall(
+                encode_frame(
+                    {
+                        "type": "hello",
+                        "channel": channel,
+                        "protocol_version": PROTOCOL_VERSION,
+                    }
+                )
+            )
+            while welcome is None:
+                try:
+                    data = sock.recv(65536)
+                except socket.timeout:
+                    raise ConnectionError(
+                        f"no welcome from {self.url} within {self.timeout:g}s"
+                    ) from None
+                if not data:
+                    raise ConnectionError(
+                        f"{self.url} closed the connection during the handshake"
+                    )
+                for event in decoder.feed(data):
+                    if isinstance(event, FrameError):
+                        continue
+                    if event.get("channel") != channel:
+                        continue
+                    if event.get("type") == "welcome":
+                        welcome = event
+                        break
+                    if event.get("type") == "error":
+                        raise EndpointError.from_dict(event)
+            version = welcome.get("protocol_version")
+            if version != PROTOCOL_VERSION:
+                raise EndpointError(
+                    ERR_VERSION_MISMATCH,
+                    f"server at {self.url} speaks protocol {version!r}, "
+                    f"this client speaks {PROTOCOL_VERSION}",
+                )
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
+        self._gen += 1
+        gen = self._gen
+        if gen > 1:
+            with self._stats_lock:
+                self._reconnects_total += 1
+        self._sock = sock
+        self._welcome = {
+            k: v for k, v in welcome.items() if k not in ("type", "channel")
+        }
+        threading.Thread(
+            target=self._reader_loop,
+            args=(sock, decoder, gen),
+            name=f"mux-reader-{gen}",
+            daemon=True,
+        ).start()
+        # re-attach every unfinished job: the server's previous watcher
+        # died with the old socket, but the job (and its receipt, once
+        # ready) is still there until acked.
+        with self._jobs_lock:
+            pending = [
+                (job_id, state)
+                for job_id, state in self._jobs.items()
+                if not state.event.is_set()
+            ]
+        for job_id, state in pending:
+            try:
+                self._send(sock, {
+                    "type": "await",
+                    "channel": next(self._next_channel),
+                    "job_id": job_id,
+                })
+            except OSError:
+                break  # socket died already; the reader will drop it
+            state.gen = gen
+
+    def _connected(self) -> "tuple[int, socket.socket]":
+        with self._lock:
+            if self._sock is None:
+                self._connect_locked()
+            assert self._sock is not None
+            return self._gen, self._sock
+
+    def _send(self, sock: socket.socket, frame: Dict[str, Any]) -> None:
+        self._send_blob(sock, encode_frame(frame))
+
+    def _send_blob(self, sock: socket.socket, blob: bytes) -> None:
+        with self._send_lock:
+            sock.sendall(blob)
+
+    def _drop_socket(self, sock: socket.socket, gen: int) -> None:
+        with self._lock:
+            if self._sock is sock:
+                self._sock = None
+        try:
+            sock.close()
+        except OSError:
+            pass
+        # fail the channels whose request rode this connection; job
+        # states survive (they re-attach on the next connection).
+        with self._chan_lock:
+            stale = [
+                (ch, w) for ch, w in self._channels.items() if w.gen == gen
+            ]
+            for ch, _ in stale:
+                self._channels.pop(ch, None)
+        for _, waiter in stale:
+            waiter.error = ConnectionError(f"connection to {self.url} lost")
+            waiter.event.set()
+
+    # -- the reader thread -----------------------------------------------------
+    def _reader_loop(
+        self, sock: socket.socket, decoder: FrameDecoder, gen: int
+    ) -> None:
+        try:
+            while True:
+                try:
+                    data = sock.recv(65536)
+                except socket.timeout:
+                    continue  # idle connection; keep listening
+                except OSError:
+                    break
+                if not data:
+                    break
+                for event in decoder.feed(data):
+                    if isinstance(event, FrameError):
+                        continue  # a broken server frame; drop it
+                    self._route(sock, gen, event)
+        finally:
+            self._drop_socket(sock, gen)
+
+    def _route(self, sock: socket.socket, gen: int, frame: Dict[str, Any]) -> None:
+        ftype = frame.get("type")
+        job_id = frame.get("job_id")
+        if ftype == "receipt" and job_id is not None:
+            with self._jobs_lock:
+                state = self._jobs.get(str(job_id))
+            if state is not None and not state.event.is_set():
+                state.payload = frame.get("receipt")
+                state.event.set()
+            # ack after the receipt is safely delivered locally — the
+            # mux analogue of "response bytes reached the client"; the
+            # server forgets the job on this ack (claimed-once).
+            try:
+                self._send(sock, {"type": "ack", "job_id": str(job_id)})
+            except OSError:
+                pass  # receipt stays claimable; re-awaited on reconnect
+            return
+        if ftype == "error" and job_id is not None:
+            with self._jobs_lock:
+                state = self._jobs.get(str(job_id))
+            if state is not None and not state.event.is_set():
+                state.error = EndpointError.from_dict(frame)
+                state.event.set()
+            return
+        if ftype == "submitted" and job_id is not None:
+            # register the stream *before* the submitter thread resumes:
+            # a cached job's receipt frame can arrive microseconds after
+            # this one, and must find its state.
+            with self._jobs_lock:
+                self._jobs.setdefault(str(job_id), _JobState(gen))
+        channel = frame.get("channel")
+        if channel is None:
+            return  # unsolicited (e.g. decoder error echo); nothing waits
+        with self._chan_lock:
+            waiter = self._channels.pop(channel, None)
+        if waiter is None:
+            return  # late response to a timed-out request
+        if ftype == "error":
+            waiter.error = EndpointError.from_dict(frame)
+        else:
+            waiter.payload = frame
+        waiter.event.set()
+
+    # -- request/response plumbing ---------------------------------------------
+    def _request(
+        self,
+        ftype: str,
+        expect: str,
+        timeout: Optional[float] = None,
+        raw_field: Optional[Tuple[str, bytes]] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        request_timeout = self.timeout if timeout is None else timeout
+        for attempt in (0, 1):
+            gen, sock = self._connected()
+            channel = next(self._next_channel)
+            waiter = _Waiter(gen)
+            with self._chan_lock:
+                self._channels[channel] = waiter
+            frame = {"type": ftype, "channel": channel, **fields}
+            try:
+                if raw_field is not None:
+                    blob = encode_frame_with_raw(frame, *raw_field)
+                else:
+                    blob = encode_frame(frame)
+            except ValueError as exc:
+                # e.g. a manifest bigger than MAX_FRAME_BYTES: a typed,
+                # deterministic refusal (the frame cannot exist on this
+                # wire), not a transport crash.
+                with self._chan_lock:
+                    self._channels.pop(channel, None)
+                raise EndpointError(
+                    ERR_MALFORMED, f"cannot send {ftype} to {self.url}: {exc}"
+                ) from None
+            try:
+                self._send_blob(sock, blob)
+            except OSError as exc:
+                with self._chan_lock:
+                    self._channels.pop(channel, None)
+                self._drop_socket(sock, gen)
+                if attempt == 0:
+                    continue  # the frame never left: one clean retry
+                raise ConnectionError(f"cannot reach {self.url}: {exc}") from None
+            if not waiter.event.wait(request_timeout):
+                with self._chan_lock:
+                    self._channels.pop(channel, None)
+                raise TimeoutError(
+                    f"no {expect} from {self.url} within {request_timeout:g}s"
+                )
+            if waiter.error is not None:
+                # sent but unanswered (or refused): the server may have
+                # processed it, so surface instead of replaying.
+                raise waiter.error
+            payload = waiter.payload or {}
+            if payload.get("type") != expect:
+                raise EndpointError(
+                    "transport_error",
+                    f"expected a {expect} frame from {self.url}, "
+                    f"got {payload.get('type')!r}",
+                )
+            return payload
+        raise ConnectionError(f"cannot reach {self.url}")  # pragma: no cover
+
+    def negotiate(self) -> Dict[str, Any]:
+        """Connect (once) and return the server's welcome banner.
+
+        The hello/welcome version check happens inside connection
+        setup, so calling this is how a version mismatch surfaces
+        before the first submit — same contract as
+        :meth:`HttpEndpoint.negotiate`.
+        """
+        self._connected()
+        with self._lock:
+            return dict(self._welcome or {})
+
+    def _manifest_blob(self, sealed: BucketManifest) -> bytes:
+        """Compact JSON bytes of ``sealed.to_dict()``, memoized by identity."""
+        key = id(sealed)
+        with self._submit_memo_lock:
+            hit = self._submit_memo.get(key)
+            if hit is not None and hit[0] is sealed:
+                self._submit_memo.move_to_end(key)
+                return hit[1]
+        blob = json.dumps(sealed.to_dict(), separators=(",", ":")).encode("utf-8")
+        with self._submit_memo_lock:
+            self._submit_memo[key] = (sealed, blob)
+            self._submit_memo.move_to_end(key)
+            while len(self._submit_memo) > self._submit_memo_max:
+                self._submit_memo.popitem(last=False)
+        return blob
+
+    # -- OptimizerEndpoint -----------------------------------------------------
+    def submit(self, manifest: Union[BucketManifest, ObfuscatedBucket]) -> str:
+        sealed = _seal(manifest)
+        body: Dict[str, Any] = {
+            "protocol_version": PROTOCOL_VERSION,
+            "want_receipt": True,
+        }
+        if self.optimizer is not None:
+            body["optimizer"] = self.optimizer
+        raw = ("manifest", self._manifest_blob(sealed))
+        attempts = 0
+        while True:
+            try:
+                payload = self._request(
+                    "submit", "submitted", raw_field=raw, **body
+                )
+                return str(payload["job_id"])
+            except EndpointError as exc:
+                if exc.code != ERR_OVERLOADED:
+                    raise
+                with self._stats_lock:
+                    self._shed_total += 1
+                attempts += 1
+                if self.retry is None or self.retry.exhausted(attempts):
+                    with self._stats_lock:
+                        self._gave_up_total += 1
+                    raise
+                delay = self.retry.delay(attempts, self._rng)
+                if exc.retry_after_s is not None:
+                    delay = max(delay, exc.retry_after_s)
+                with self._stats_lock:
+                    self._retried_total += 1
+                time.sleep(min(delay, self.retry.max_delay))
+
+    def status(self, job_id: str):
+        payload = self._request("status", "status", job_id=job_id)
+        return status_from_wire(payload["status"])
+
+    def await_receipt(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Any:
+        with self._jobs_lock:
+            state = self._jobs.setdefault(job_id, _JobState(gen=0))
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not state.event.wait(self._POLL_S):
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} not finished within {timeout:g}s")
+            # the connection carrying this job's receipt stream may have
+            # died: reconnect (which re-awaits every pending job) or
+            # re-attach this job if only its stream generation is stale.
+            try:
+                with self._lock:
+                    if self._sock is None:
+                        self._connect_locked()
+                    elif state.gen != self._gen:
+                        self._send(self._sock, {
+                            "type": "await",
+                            "channel": next(self._next_channel),
+                            "job_id": job_id,
+                        })
+                        state.gen = self._gen
+            except (ConnectionError, OSError):
+                continue  # server briefly unreachable; retry until deadline
+        with self._jobs_lock:
+            self._jobs.pop(job_id, None)
+        if state.error is not None:
+            raise state.error
+        payload = state.payload
+        declared = None
+        if isinstance(payload, dict) and isinstance(payload.get("manifest"), dict):
+            digest = payload["manifest"].get("bucket_digest")
+            if isinstance(digest, str):
+                declared = digest
+        verify = True
+        if declared is not None:
+            with self._verified_memo_lock:
+                prior = self._verified_memo.get(declared)
+            # deep equality against the already-verified payload — the
+            # comparison is the proof, so a forged digest buys nothing.
+            if prior is not None and prior == payload:
+                verify = False
+        try:
+            receipt = receipt_from_wire(payload, verify=verify)
+        except ManifestIntegrityError as exc:
+            raise EndpointError(
+                ERR_BAD_DIGEST, f"receipt failed verification: {exc}"
+            ) from None
+        if verify and declared is not None:
+            with self._verified_memo_lock:
+                self._verified_memo[declared] = payload
+                self._verified_memo.move_to_end(declared)
+                while len(self._verified_memo) > self._verified_memo_max:
+                    self._verified_memo.popitem(last=False)
+        return receipt
+
+    def metrics(self) -> Dict[str, Any]:
+        payload = self._request("metrics", "metrics")
+        return payload["metrics"]
+
+    def client_stats(self) -> Dict[str, int]:
+        with self._stats_lock:
+            return {
+                "shed_total": self._shed_total,
+                "retried_total": self._retried_total,
+                "gave_up_total": self._gave_up_total,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            sock, self._sock = self._sock, None
+            self._welcome = None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        with self._chan_lock:
+            waiters = list(self._channels.values())
+            self._channels.clear()
+        for waiter in waiters:
+            waiter.error = ConnectionError(f"endpoint to {self.url} closed")
+            waiter.event.set()

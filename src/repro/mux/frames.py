@@ -1,0 +1,179 @@
+"""Length-prefixed JSON frame codec for the multiplexed transport.
+
+A frame on the wire is a 4-byte big-endian unsigned length followed by
+that many bytes of UTF-8 JSON encoding one object::
+
+    +----------------+----------------------------+
+    | length (>I, 4B)| UTF-8 JSON object (length) |
+    +----------------+----------------------------+
+
+The codec is deliberately transport-dumb: it knows nothing about frame
+*types* (that vocabulary lives in :mod:`repro.mux.server` /
+:mod:`repro.mux.client`), only how to slice a byte stream into JSON
+objects.  :class:`FrameDecoder` is incremental — feed it whatever
+``recv`` returned, partial frames included, and it yields complete
+frames as they materialize.
+
+Bad input degrades a *frame*, never the *connection*: an oversized
+declared length or a payload that is not a JSON object comes back as a
+:class:`FrameError` event (which the server answers with a typed
+``malformed_request`` wire error) while the stream stays framed — the
+decoder discards exactly the declared payload bytes and resynchronizes
+on the next header.  Only a lying length prefix (garbage *headers*, as
+opposed to garbage payloads) can desynchronize a stream; that is
+inherent to length-prefixed framing and ends the connection at a
+higher layer via timeout, not here.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Union
+
+__all__ = [
+    "HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "encode_frame",
+    "encode_frame_with_raw",
+    "FrameDecoder",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: bytes of length prefix before every frame payload.
+HEADER_BYTES = _HEADER.size
+
+#: ceiling on a single frame's payload.  Generous — a sealed manifest
+#: for a heavily obfuscated model is ~100 MB of compact JSON (mobilenet
+#: at k=2), and the mux transport must carry anything http:// carries —
+#: but finite, so one bad length prefix cannot make the decoder buffer
+#: arbitrary gigabytes.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class FrameError(Exception):
+    """One undecodable frame; the surrounding stream is still usable.
+
+    Yielded *as an event* by :meth:`FrameDecoder.feed` (not raised) so a
+    server can answer it with a structured ``malformed_request`` error
+    and keep serving the connection's other channels.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Serialize one frame: length prefix + compact JSON payload."""
+    blob = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(blob) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame of {len(blob)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return _HEADER.pack(len(blob)) + blob
+
+
+def encode_frame_with_raw(obj: Dict[str, Any], key: str, raw: bytes) -> bytes:
+    """Serialize a frame whose ``key`` field's JSON bytes are precomputed.
+
+    Splices ``raw`` — compact JSON as produced by
+    ``json.dumps(value, separators=(",", ":")).encode()`` — into the
+    encoded frame without re-serializing it.  This is the codec half of
+    batch amortization: a receipt shared by N coalesced jobs (or a
+    manifest submitted N times) is serialized once and spliced into each
+    frame.  The result is byte-for-byte what
+    ``encode_frame({**obj, key: json.loads(raw)})`` would produce.
+    """
+    if key in obj:
+        raise ValueError(f"field {key!r} must not also be present in the frame")
+    head = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    joiner = b"," if head != b"{}" else b""
+    blob = (
+        head[:-1] + joiner + json.dumps(key).encode("utf-8") + b":" + raw + b"}"
+    )
+    if len(blob) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame of {len(blob)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return _HEADER.pack(len(blob)) + blob
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an arbitrary chunking of the stream.
+
+    ``feed(data)`` consumes whatever arrived and returns the complete
+    events it produced, each either a decoded frame (``dict``) or a
+    :class:`FrameError`.  State between calls is a byte buffer plus the
+    current frame's declared length, so byte-at-a-time feeding decodes
+    identically to one big read.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buf = bytearray()
+        self._need: int = -1  # declared payload length; -1 = expecting header
+        self._discard = 0  # oversized-frame payload bytes left to drop
+        self.frames_total = 0
+        self.errors_total = 0
+
+    def buffered(self) -> int:
+        """Bytes held waiting for the rest of a frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> List[Union[Dict[str, Any], FrameError]]:
+        self._buf += data
+        out: List[Union[Dict[str, Any], FrameError]] = []
+        while True:
+            if self._discard:
+                drop = min(len(self._buf), self._discard)
+                del self._buf[:drop]
+                self._discard -= drop
+                if self._discard:
+                    return out
+                continue
+            if self._need < 0:
+                if len(self._buf) < HEADER_BYTES:
+                    return out
+                (length,) = _HEADER.unpack(bytes(self._buf[:HEADER_BYTES]))
+                del self._buf[:HEADER_BYTES]
+                if length > self.max_frame_bytes:
+                    # answer promptly, then silently drop the declared
+                    # payload so the stream resynchronizes on the next
+                    # header instead of dying.
+                    self.errors_total += 1
+                    out.append(
+                        FrameError(
+                            f"frame of {length} bytes exceeds the "
+                            f"{self.max_frame_bytes}-byte frame limit"
+                        )
+                    )
+                    self._discard = length
+                    continue
+                self._need = length
+            if len(self._buf) < self._need:
+                return out
+            raw = bytes(self._buf[: self._need])
+            del self._buf[: self._need]
+            self._need = -1
+            try:
+                obj = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                self.errors_total += 1
+                out.append(FrameError(f"frame payload is not valid JSON: {exc}"))
+                continue
+            if not isinstance(obj, dict):
+                self.errors_total += 1
+                out.append(
+                    FrameError(
+                        f"frame payload must be a JSON object, "
+                        f"got {type(obj).__name__}"
+                    )
+                )
+                continue
+            self.frames_total += 1
+            out.append(obj)

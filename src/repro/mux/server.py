@@ -1,0 +1,529 @@
+"""Multiplexed frame-protocol server: ``repro serve --mux PORT``.
+
+One long-lived TCP connection per client, many interleaved in-flight
+jobs: submits, status polls and receipt streams travel as
+length-prefixed JSON frames (:mod:`repro.mux.frames`) tagged with a
+client-chosen ``channel`` id, so a slow job never head-of-line-blocks
+the connection.  The server is a thin front-end over the same
+:class:`~repro.serving.http.OptimizationHTTPServer` application object
+the HTTP transport uses — same backends, same cache, same verification
+memo, same claimed-once job table — which is what makes
+``repro serve --http P --mux P2`` one service behind two sockets and
+keeps receipts byte-identical across transports.
+
+Frame vocabulary (client → server, then server → client):
+
+========== ===================================== ==========================
+type       fields                                response
+========== ===================================== ==========================
+hello      channel, protocol_version             welcome (protocol banner
+                                                 + batching config)
+submit     channel, protocol_version, manifest,  submitted (job_id, ...);
+           [optimizer], [want_receipt]           then a receipt stream
+status     channel, job_id                       status
+await      channel, job_id                       receipt stream (re-attach
+                                                 after a reconnect)
+metrics    channel                               metrics
+ack        job_id                                — (commits the receipt)
+========== ===================================== ==========================
+
+Receipt streams deliver ``{"type": "receipt", job_id, receipt}`` when
+the job finishes; failures arrive as ``{"type": "error", job_id,
+error}``.  Any failure tied to a request arrives as an ``error`` frame
+echoing its channel.  Receipts stay **claimed-once**: the server
+forgets a job only on the client's explicit ``ack`` (the mux analogue
+of "response bytes reached the client"), so a connection lost between
+receipt and ack leaves the receipt claimable after reconnecting.
+
+Submits are not dispatched one by one: they pass through a
+:class:`~repro.mux.batch.Coalescer`, which flushes compatible queued
+submits (window/size from the committed operating-point table, or the
+``--batch-max`` / ``--batch-window-ms`` overrides) into one
+``handle_submit_batch`` call — the transport-level half of server-side
+batching.
+"""
+
+from __future__ import annotations
+
+import json
+import selectors
+import socket
+import threading
+import queue
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..api.wire import (
+    ERR_INTERNAL,
+    ERR_JOB_PENDING,
+    ERR_MALFORMED,
+    ERR_VERSION_MISMATCH,
+    PROTOCOL_VERSION,
+    EndpointError,
+    receipt_to_wire,
+)
+from .batch import Coalescer, choose_operating_point
+from .frames import FrameDecoder, FrameError, encode_frame, encode_frame_with_raw
+
+__all__ = ["MuxServer"]
+
+#: one blocking receipt wait inside a watcher thread; short enough that
+#: a watcher notices its connection died promptly.
+_WATCH_CHUNK_S = 1.0
+
+
+class _MuxConnection:
+    """One client connection: decoder state plus an ordered writer.
+
+    All outbound frames go through a queue drained by a dedicated
+    writer thread, so responses computed on any thread (selector loop,
+    dispatch pool, receipt watchers) serialize onto the socket in
+    enqueue order — which is what guarantees a job's ``submitted``
+    frame precedes its ``receipt`` frame.
+    """
+
+    def __init__(self, sock: socket.socket, addr, name: str) -> None:
+        self.sock = sock
+        self.addr = addr
+        self.decoder = FrameDecoder()
+        self.alive = True
+        self._outbox: "queue.Queue[Union[Dict[str, Any], bytes, None]]" = queue.Queue()
+        self._writer = threading.Thread(
+            target=self._writer_loop, name=f"{name}-writer", daemon=True
+        )
+        self._writer.start()
+
+    def send(self, frame: Dict[str, Any]) -> None:
+        if self.alive:
+            self._outbox.put(frame)
+
+    def send_encoded(self, blob: bytes) -> None:
+        """Enqueue an already-encoded frame (the memoized-receipt path)."""
+        if self.alive:
+            self._outbox.put(blob)
+
+    def _writer_loop(self) -> None:
+        while True:
+            frame = self._outbox.get()
+            if frame is None:
+                return
+            try:
+                blob = frame if isinstance(frame, bytes) else encode_frame(frame)
+                self.sock.sendall(blob)
+            except (OSError, ValueError):
+                self.alive = False
+                return
+
+    def close(self) -> None:
+        self.alive = False
+        self._outbox.put(None)
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class MuxServer:
+    """The optimizer party behind a multiplexed socket.
+
+    Wraps an existing :class:`OptimizationHTTPServer` *application*
+    (which need not have its own HTTP socket bound), adding the frame
+    protocol and submit coalescing.  ``bind()`` reserves the port
+    (``port=0`` picks a free one); ``start()`` serves from a background
+    thread; ``serve_forever()`` blocks.
+
+    ``batch_max`` / ``batch_window_ms`` default to the operating point
+    for ``expected_clients`` from the committed table
+    (:data:`~repro.mux.batch.OPERATING_POINTS`).
+    """
+
+    def __init__(
+        self,
+        app,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_max: Optional[int] = None,
+        batch_window_ms: Optional[float] = None,
+        expected_clients: int = 8,
+    ) -> None:
+        point = choose_operating_point(expected_clients)
+        self.app = app
+        self.host = host
+        self.port = port
+        self.batch_max = int(batch_max) if batch_max is not None else point.batch_max
+        self.batch_window_ms = (
+            float(batch_window_ms)
+            if batch_window_ms is not None
+            else point.batch_window_ms
+        )
+        self._coalescer = Coalescer(
+            self._flush_submits, self.batch_max, self.batch_window_ms / 1000.0
+        )
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=4, thread_name_prefix="mux-dispatch"
+        )
+        self._listener: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self._conns: "set[_MuxConnection]" = set()
+        self._lock = threading.Lock()
+        self._accepted_total = 0
+        self._closed = False
+        # selector-loop-thread counters; read racily by stats(), which
+        # is fine for monotonically increasing ints.
+        self._frames_total = 0
+        self._frame_errors_total = 0
+        # encoded-receipt memo: N coalesced submits of the same bucket
+        # dedup to one optimization but N jobs; serializing the
+        # (identical) receipt payload once and splicing it into each
+        # job's frame is the response-side half of batch amortization.
+        self._receipt_memo: "OrderedDict[Any, bytes]" = OrderedDict()
+        self._receipt_memo_max = 32
+        self._receipt_memo_hits = 0
+        self._receipt_memo_lock = threading.Lock()
+
+    @property
+    def url(self) -> str:
+        return f"mux://{self.host}:{self.port}"
+
+    # -- lifecycle ------------------------------------------------------------
+    def bind(self) -> Tuple[str, int]:
+        """Bind the listening socket; returns the actual (host, port)."""
+        if self._listener is None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            listener.listen(128)
+            self._listener = listener
+            self.port = listener.getsockname()[1]
+        return (self.host, self.port)
+
+    def serve_forever(self) -> None:
+        self.bind()
+        self._serve_loop()
+
+    def start(self) -> Tuple[str, int]:
+        """Serve from a daemon background thread; returns (host, port)."""
+        address = self.bind()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._serve_loop, name="repro-mux-endpoint", daemon=True
+            )
+            self._thread.start()
+        return address
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._coalescer.close()
+        self._dispatch.shutdown(wait=False)
+        with self._lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            conn.close()
+
+    def __enter__(self) -> "MuxServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the selector loop ----------------------------------------------------
+    def _serve_loop(self) -> None:
+        listener = self._listener
+        if listener is None:
+            return  # close() won the race before this thread started
+        sel = selectors.DefaultSelector()
+        try:
+            sel.register(listener, selectors.EVENT_READ, None)
+        except (ValueError, OSError):
+            # close() shut the listener between start() and here;
+            # registering a closed socket raises instead of selecting.
+            sel.close()
+            return
+        try:
+            while not self._closed:
+                try:
+                    events = sel.select(timeout=0.2)
+                except OSError:
+                    break  # listener closed under us
+                for key, _ in events:
+                    if key.data is None:
+                        self._accept(sel, listener)
+                    else:
+                        self._read(sel, key.data)
+        finally:
+            sel.close()
+
+    def _accept(self, sel: selectors.BaseSelector, listener: socket.socket) -> None:
+        try:
+            sock, addr = listener.accept()
+        except OSError:
+            return
+        # timeout mode, not non-blocking: the selector gates recv() on
+        # readability while the writer thread's sendall() still blocks
+        # (bounded) when the peer reads slowly.
+        sock.settimeout(30.0)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        with self._lock:
+            self._accepted_total += 1
+            name = f"mux-conn-{self._accepted_total}"
+        conn = _MuxConnection(sock, addr, name)
+        with self._lock:
+            self._conns.add(conn)
+        sel.register(sock, selectors.EVENT_READ, conn)
+
+    def _drop(self, sel: selectors.BaseSelector, conn: _MuxConnection) -> None:
+        try:
+            sel.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        with self._lock:
+            self._conns.discard(conn)
+        conn.close()
+
+    def _read(self, sel: selectors.BaseSelector, conn: _MuxConnection) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except socket.timeout:
+            return
+        except OSError:
+            data = b""
+        if not data:
+            self._drop(sel, conn)
+            return
+        for event in conn.decoder.feed(data):
+            if isinstance(event, FrameError):
+                # a bad frame degrades that frame, not the connection:
+                # typed error out, stream stays framed.
+                self._frame_errors_total += 1
+                conn.send(
+                    {
+                        "type": "error",
+                        "channel": None,
+                        **EndpointError(ERR_MALFORMED, event.message).to_dict(),
+                    }
+                )
+                continue
+            self._frames_total += 1
+            self._dispatch_frame(conn, event)
+
+    # -- frame dispatch --------------------------------------------------------
+    def _dispatch_frame(self, conn: _MuxConnection, frame: Dict[str, Any]) -> None:
+        ftype = frame.get("type")
+        channel = frame.get("channel")
+        try:
+            if ftype == "hello":
+                version = frame.get("protocol_version")
+                if version != PROTOCOL_VERSION:
+                    raise EndpointError(
+                        ERR_VERSION_MISMATCH,
+                        f"this server speaks protocol {PROTOCOL_VERSION}, "
+                        f"hello declares {version!r}",
+                    )
+                conn.send(
+                    {
+                        "type": "welcome",
+                        "channel": channel,
+                        **self.app.handle_protocol(),
+                        "batching": {
+                            "batch_max": self.batch_max,
+                            "batch_window_ms": self.batch_window_ms,
+                        },
+                    }
+                )
+            elif ftype == "submit":
+                if not isinstance(channel, int):
+                    raise EndpointError(
+                        ERR_MALFORMED, "submit frames need an integer 'channel'"
+                    )
+                self._coalescer.add((conn, channel, frame))
+            elif ftype == "status":
+                payload = self.app.handle_status(str(frame.get("job_id")))
+                conn.send({"type": "status", "channel": channel, "status": payload})
+            elif ftype == "await":
+                job_id = str(frame.get("job_id"))
+                self._spawn_watcher(conn, channel, job_id)
+            elif ftype == "metrics":
+                self._dispatch.submit(self._send_metrics, conn, channel)
+            elif ftype == "ack":
+                self.app.commit_receipt(str(frame.get("job_id")))
+            else:
+                raise EndpointError(
+                    ERR_MALFORMED, f"unknown frame type {ftype!r}"
+                )
+        except EndpointError as exc:
+            conn.send({"type": "error", "channel": channel, **exc.to_dict()})
+        except Exception as exc:  # never let one frame kill the loop
+            conn.send(
+                {
+                    "type": "error",
+                    "channel": channel,
+                    **EndpointError(
+                        ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+                    ).to_dict(),
+                }
+            )
+
+    def _send_metrics(self, conn: _MuxConnection, channel) -> None:
+        try:
+            payload = self.app.handle_metrics()
+            payload["transport"] = "mux"
+            payload["mux"] = self.stats()
+            conn.send({"type": "metrics", "channel": channel, "metrics": payload})
+        except Exception as exc:
+            conn.send(
+                {
+                    "type": "error",
+                    "channel": channel,
+                    **EndpointError(
+                        ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+                    ).to_dict(),
+                }
+            )
+
+    # -- batched submit path ---------------------------------------------------
+    def _flush_submits(self, items: List[Tuple[_MuxConnection, int, Dict[str, Any]]]) -> None:
+        # off the coalescer thread immediately: manifest verification can
+        # take real time and must not stall batch collection.
+        self._dispatch.submit(self._run_submit_batch, items)
+
+    def _run_submit_batch(
+        self, items: List[Tuple[_MuxConnection, int, Dict[str, Any]]]
+    ) -> None:
+        try:
+            results = self.app.handle_submit_batch(
+                [frame for _, _, frame in items], batch_max=self.batch_max
+            )
+        except Exception as exc:
+            error = EndpointError(ERR_INTERNAL, f"{type(exc).__name__}: {exc}")
+            results = [error] * len(items)
+        for (conn, channel, frame), result in zip(items, results):
+            if isinstance(result, EndpointError):
+                conn.send({"type": "error", "channel": channel, **result.to_dict()})
+                continue
+            conn.send({"type": "submitted", "channel": channel, **result})
+            if frame.get("want_receipt"):
+                self._spawn_watcher(conn, channel, str(result["job_id"]))
+
+    # -- receipt streams -------------------------------------------------------
+    def _spawn_watcher(self, conn: _MuxConnection, channel, job_id: str) -> None:
+        threading.Thread(
+            target=self._watch_receipt,
+            args=(conn, channel, job_id),
+            name=f"mux-watch-{job_id}",
+            daemon=True,
+        ).start()
+
+    def _encoded_receipt(self, receipt) -> bytes:
+        """Compact JSON bytes of ``receipt_to_wire(receipt)``, memoized.
+
+        Keyed by the receipt's canonical cache key plus every other
+        wire-visible field, so a memo hit is byte-identical to a fresh
+        serialization by construction: within one server process the
+        same canonical key and optimizer always resolve to the same
+        cached optimization result.
+        """
+        key = None
+        if getattr(receipt, "key", None):
+            key = (
+                receipt.key,
+                receipt.optimizer,
+                receipt.workers,
+                tuple(
+                    sorted(
+                        (eid, s.nodes_before, s.nodes_after)
+                        for eid, s in receipt.entries.items()
+                    )
+                ),
+            )
+            with self._receipt_memo_lock:
+                blob = self._receipt_memo.get(key)
+                if blob is not None:
+                    self._receipt_memo.move_to_end(key)
+                    self._receipt_memo_hits += 1
+                    return blob
+        blob = json.dumps(
+            receipt_to_wire(receipt), separators=(",", ":")
+        ).encode("utf-8")
+        if key is not None:
+            with self._receipt_memo_lock:
+                self._receipt_memo[key] = blob
+                self._receipt_memo.move_to_end(key)
+                while len(self._receipt_memo) > self._receipt_memo_max:
+                    self._receipt_memo.popitem(last=False)
+        return blob
+
+    def _watch_receipt(self, conn: _MuxConnection, channel, job_id: str) -> None:
+        while conn.alive and not self._closed:
+            try:
+                receipt = self.app._claim_receipt(job_id, wait=_WATCH_CHUNK_S)
+            except EndpointError as exc:
+                if exc.code == ERR_JOB_PENDING:
+                    continue
+                conn.send(
+                    {
+                        "type": "error",
+                        "channel": channel,
+                        "job_id": job_id,
+                        **exc.to_dict(),
+                    }
+                )
+                return
+            except Exception as exc:
+                conn.send(
+                    {
+                        "type": "error",
+                        "channel": channel,
+                        "job_id": job_id,
+                        **EndpointError(
+                            ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+                        ).to_dict(),
+                    }
+                )
+                return
+            # NOT committed here: the job is forgotten only on the
+            # client's ack, so a connection lost between receipt and ack
+            # leaves the receipt claimable after reconnecting.
+            conn.send_encoded(
+                encode_frame_with_raw(
+                    {"type": "receipt", "channel": channel, "job_id": job_id},
+                    "receipt",
+                    self._encoded_receipt(receipt),
+                )
+            )
+            return
+
+    # -- introspection ---------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            connections = {
+                "active": len(self._conns),
+                "accepted_total": self._accepted_total,
+            }
+        with self._receipt_memo_lock:
+            memo = {
+                "receipt_memo_hits": self._receipt_memo_hits,
+                "receipt_memo_entries": len(self._receipt_memo),
+            }
+        return {
+            "connections": connections,
+            "frames": {
+                "decoded_total": self._frames_total,
+                "errors_total": self._frame_errors_total,
+            },
+            "batching": {**self._coalescer.stats(), **memo},
+        }

@@ -93,6 +93,50 @@ class DedupScheduler:
             self._queue.put((int(priority), next(self._seq), key, fn, fut))
         return fut
 
+    def register(self, key: str, fut: Future) -> "tuple[Future, bool]":
+        """Atomically join or claim ``key`` without enqueueing anything.
+
+        Returns ``(future, created)``: when a task with the same key is
+        already in flight its future comes back with ``created=False``
+        (a dedup hit, exactly as :meth:`submit` would share it);
+        otherwise ``fut`` is installed as the key's in-flight entry and
+        returned with ``created=True``.  The caller then owns running
+        the work — typically inside a batched task enqueued via
+        :meth:`enqueue` — and must resolve ``fut`` and call
+        :meth:`release` for the key, in that order of responsibility
+        (release first, then resolve, mirroring the worker loop).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is shut down")
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self._dedup_hits += 1
+                return existing, False
+            self._inflight[key] = fut
+            self._submitted += 1
+            return fut, True
+
+    def release(self, key: str) -> None:
+        """Retire a key claimed via :meth:`register` (see its contract)."""
+        self._finish(key)
+
+    def enqueue(self, fn: Callable[[], Any], priority: int = Priority.NORMAL) -> Future:
+        """Enqueue a carrier task outside the keyed-dedup accounting.
+
+        For batched tasks whose real units of work were individually
+        claimed with :meth:`register` — counting the carrier too would
+        double-book ``submitted``.  The returned future resolves with
+        ``fn``'s own return value (carrier-level bookkeeping only; the
+        per-unit futures are the ones callers wait on).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is shut down")
+            fut: Future = Future()
+            self._queue.put((int(priority), next(self._seq), None, fn, fut))
+        return fut
+
     # -- execution ----------------------------------------------------------
     def _worker_loop(self) -> None:
         while True:

@@ -157,6 +157,13 @@ class OptimizationServer:
         self._submitted_total = 0
         self._completed_total = 0
         self._failed_total = 0
+        # batched-submit accounting (see submit_batch): calls seen, jobs
+        # admitted through them, distinct forms they enqueued, and the
+        # carrier chunks those forms were packed into.
+        self._batch_calls = 0
+        self._batch_jobs = 0
+        self._batch_forms = 0
+        self._batch_chunks = 0
         self._metrics_lock = threading.Lock()
         self.admission = admission
         # the signal tracker mirrors the admission budget (when any) so
@@ -306,6 +313,126 @@ class OptimizationServer:
             self._jobs[job_id] = job
         self._track_completion(entries)
         return job_id
+
+    def submit_batch(
+        self,
+        requests: List[Tuple[ObfuscatedBucket, Optional[Dict[str, str]]]],
+        priority: int = Priority.NORMAL,
+        batch_max: Optional[int] = None,
+    ) -> List[Union[str, EndpointError]]:
+        """Queue several buckets at once, coalescing their backend work.
+
+        ``requests`` is a list of ``(bucket, entry_digests)`` pairs —
+        the same arguments :meth:`submit` takes.  The return list is
+        aligned with it: a job id where the request was admitted, a
+        structured :class:`~repro.api.wire.EndpointError` where it was
+        shed (draining / admission control judge each request
+        individually, so one shed never fails the whole batch).
+
+        The coalescing invariant: across the whole batch, each distinct
+        canonical form is optimized once, and the forms that do need
+        optimizing are packed into *batched* scheduler tasks (one task
+        runs many forms back-to-back on one worker) instead of one task
+        per entry.  ``batch_max`` caps forms per task; chunks are also
+        kept no larger than an even split across the worker pool, so a
+        cold batch still uses every worker.  Results are byte-identical
+        to sequential :meth:`submit` calls — same cache keys, same
+        canonical payloads, same receipts.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        results: List[Union[str, EndpointError]] = []
+        # distinct canonical forms this batch must actually run,
+        # insertion-ordered: key -> (form, future)
+        new_forms: "OrderedDict[str, Tuple[CanonicalForm, Future]]" = OrderedDict()
+        admitted = 0
+        for bucket, entry_digests in requests:
+            if self._draining:
+                results.append(
+                    EndpointError(
+                        ERR_OVERLOADED,
+                        "server is draining for shutdown and not accepting new jobs",
+                        retry_after_s=self._drain_retry_after_s(),
+                    )
+                )
+                continue
+            if self.admission is not None:
+                try:
+                    self.admission.admit(self.signals(), context="submit")
+                except EndpointError as exc:
+                    results.append(exc)
+                    continue
+            job_id = f"job-{uuid.uuid4().hex[:12]}"
+            entries: List[Tuple[str, CanonicalForm, Future]] = []
+            for entry in bucket:
+                digest = entry_digests.get(entry.entry_id) if entry_digests else None
+                form = self._canonical_form(entry.graph, digest)
+                key = self._task_key(form.digest)
+                pending = new_forms.get(key)
+                if pending is not None:
+                    fut = pending[1]  # joins this batch's own pending form
+                else:
+                    fut, created = self._scheduler.register(key, Future())
+                    if created:
+                        new_forms[key] = (form, fut)
+                entries.append((entry.entry_id, form, fut))
+            job = _Job(
+                job_id=job_id,
+                bucket=bucket,
+                entries=entries,
+                submitted_at=time.time(),
+            )
+            with self._jobs_lock:
+                self._jobs[job_id] = job
+            self._track_completion(entries)
+            results.append(job_id)
+            admitted += 1
+        if new_forms:
+            items = list(new_forms.items())
+            # no chunk larger than an even split across the pool: a
+            # batch of cold forms must not serialize onto one worker.
+            per_worker = -(-len(items) // self._scheduler.workers)
+            chunk = max(1, min(batch_max or len(items), per_worker))
+            chunks = 0
+            for i in range(0, len(items), chunk):
+                part = [(key, form, fut) for key, (form, fut) in items[i : i + chunk]]
+                self._scheduler.enqueue(
+                    lambda part=part: self._optimize_chunk(part), priority=priority
+                )
+                chunks += 1
+            with self._metrics_lock:
+                self._batch_calls += 1
+                self._batch_chunks += chunks
+                self._batch_forms += len(items)
+        if admitted:
+            with self._metrics_lock:
+                self._batch_jobs += admitted
+        return results
+
+    def _optimize_chunk(
+        self, part: List[Tuple[str, CanonicalForm, Future]]
+    ) -> int:
+        """Run one batched scheduler task: several claimed forms in a row.
+
+        Mirrors the worker loop's discipline per form — release the
+        in-flight key *before* resolving the future, and never let one
+        form's failure poison its siblings in the same chunk.
+        """
+        done = 0
+        for key, form, fut in part:
+            if not fut.set_running_or_notify_cancel():
+                self._scheduler.release(key)
+                continue
+            try:
+                payload = self._optimize_canonical(form)
+            except BaseException as exc:
+                self._scheduler.release(key)
+                fut.set_exception(exc)
+            else:
+                self._scheduler.release(key)
+                fut.set_result(payload)
+                done += 1
+        return done
 
     def _track_completion(self, entries: List[Tuple[str, CanonicalForm, Future]]) -> None:
         """Bump submitted_total now, completed/failed_total when the last
@@ -458,6 +585,12 @@ class OptimizationServer:
                 "entries_optimized": entries_done,
                 "entry_cache_hits": entry_hits,
             }
+            batching = {
+                "batch_calls": self._batch_calls,
+                "batch_jobs": self._batch_jobs,
+                "batch_forms": self._batch_forms,
+                "batch_chunks": self._batch_chunks,
+            }
         with self._jobs_lock:
             job_ids = list(self._jobs)
         states = []
@@ -499,6 +632,7 @@ class OptimizationServer:
             "draining": self._draining,
             "cache": self.cache.stats().to_dict() if self.cache is not None else None,
             "canonicalization": canon,
+            "batching": batching,
         }
         tiers = self.cache.tier_stats() if self.cache is not None else None
         if tiers is not None:  # flat caches add nothing to the schema

@@ -6,6 +6,7 @@ byte-identical reassembled graphs through every transport
 """
 
 import json
+import time
 from contextlib import contextmanager
 
 import pytest
@@ -33,7 +34,7 @@ from repro.ir.serialization import graph_to_dict
 from repro.models import build_model
 from repro.serving.server import JobState
 
-TRANSPORTS = ["local", "spool", "http"]
+TRANSPORTS = ["local", "spool", "http", "mux"]
 
 
 @pytest.fixture(scope="module")
@@ -62,6 +63,21 @@ def _http_endpoint():
 
 
 @contextmanager
+def _mux_endpoint():
+    from repro.mux.server import MuxServer
+    from repro.serving.http import OptimizationHTTPServer
+
+    app = OptimizationHTTPServer("ortlike", workers=2, port=0)
+    server = MuxServer(app)
+    host, port = server.start()
+    try:
+        with open_endpoint(f"mux://{host}:{port}") as endpoint:
+            yield endpoint
+    finally:
+        server.close()
+
+
+@contextmanager
 def _endpoint(kind, tmp_path):
     if kind == "local":
         with LocalEndpoint("ortlike", workers=2) as endpoint:
@@ -71,6 +87,9 @@ def _endpoint(kind, tmp_path):
             yield endpoint
     elif kind == "http":
         with _http_endpoint() as endpoint:
+            yield endpoint
+    elif kind == "mux":
+        with _mux_endpoint() as endpoint:
             yield endpoint
     else:  # pragma: no cover - test bug
         raise AssertionError(kind)
@@ -141,6 +160,18 @@ class TestEndpointProtocol:
                 with pytest.raises(EndpointError) as exc_info:
                     endpoint.status(job_id)
                 assert exc_info.value.code == ERR_UNKNOWN_JOB
+            elif transport == "mux":
+                # mux is claimed-once too, but the forget rides the
+                # client's async ack — poll until the server processes it
+                deadline = time.monotonic() + 5.0
+                while True:
+                    try:
+                        endpoint.status(job_id)
+                    except EndpointError as exc:
+                        assert exc.code == ERR_UNKNOWN_JOB
+                        break
+                    assert time.monotonic() < deadline, "job never forgotten"
+                    time.sleep(0.05)
             else:
                 assert endpoint.status(job_id).state is JobState.DONE
 

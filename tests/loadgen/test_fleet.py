@@ -374,3 +374,69 @@ class TestFleetResizeAndReap:
         finally:
             fleet.close()
         assert state_workers() == []  # the empty fleet was published
+
+
+class TestBannerParsing:
+    """The one-JSON-line-on-stdout contract, under multi-transport
+    workers: `endpoint` names whichever transport is *primary*, so the
+    fleet must select by `endpoints[<transport>]` rather than trust key
+    order or primacy."""
+
+    def _fleet(self, transport):
+        return ServingFleet(1, transport=transport)
+
+    def test_legacy_http_only_banner(self):
+        fleet = self._fleet("http")
+        url = fleet._banner_url({"endpoint": "http://127.0.0.1:8080"})
+        assert url == "http://127.0.0.1:8080"
+
+    def test_combined_banner_http_primary_mux_fleet(self):
+        """A --http P --mux P2 worker announces http as primary; a mux
+        fleet must still find its transport under `endpoints`."""
+        banner = {
+            "endpoint": "http://127.0.0.1:8080",
+            "endpoints": {
+                "http": "http://127.0.0.1:8080",
+                "mux": "mux://127.0.0.1:9090",
+            },
+            "protocol_version": 1,
+        }
+        assert self._fleet("mux")._banner_url(banner) == "mux://127.0.0.1:9090"
+        assert self._fleet("http")._banner_url(banner) == "http://127.0.0.1:8080"
+
+    def test_combined_banner_mux_primary_http_fleet(self):
+        """...and symmetrically when mux is primary (mux-only ordering)."""
+        banner = {
+            "endpoint": "mux://127.0.0.1:9090",
+            "endpoints": {
+                "mux": "mux://127.0.0.1:9090",
+                "http": "http://127.0.0.1:8080",
+            },
+        }
+        assert self._fleet("http")._banner_url(banner) == "http://127.0.0.1:8080"
+        assert self._fleet("mux")._banner_url(banner) == "mux://127.0.0.1:9090"
+
+    def test_wrong_transport_without_endpoints_map_rejected(self):
+        with pytest.raises(ValueError, match="no mux endpoint"):
+            self._fleet("mux")._banner_url({"endpoint": "http://127.0.0.1:8080"})
+        with pytest.raises(ValueError, match="no http endpoint"):
+            self._fleet("http")._banner_url({"endpoint": "mux://127.0.0.1:9090"})
+
+    def test_degenerate_banners_rejected(self):
+        fleet = self._fleet("http")
+        with pytest.raises(TypeError):
+            fleet._banner_url(["not", "an", "object"])
+        with pytest.raises(KeyError):
+            fleet._banner_url({"protocol_version": 1})
+
+    def test_mux_fleet_workers_announce_mux(self, tmp_path):
+        """End-to-end: a 1-worker mux fleet spawns `repro serve --mux 0`
+        and parses a mux:// URL out of the combined banner."""
+        fleet = ServingFleet(
+            1, cache_dir=str(tmp_path / "cache"), jobs=1, transport="mux"
+        )
+        try:
+            urls = fleet.start()
+            assert len(urls) == 1 and urls[0].startswith("mux://")
+        finally:
+            fleet.close()

@@ -1,0 +1,136 @@
+"""Tests for submit coalescing: the operating-point table and the
+Coalescer's size/age flush discipline."""
+
+import threading
+import time
+
+import pytest
+
+from repro.mux.batch import (
+    OPERATING_POINTS,
+    Coalescer,
+    OperatingPoint,
+    choose_operating_point,
+)
+
+
+class TestOperatingPoints:
+    def test_table_is_sorted_and_ends_open(self):
+        bounds = [b for b, _ in OPERATING_POINTS[:-1]]
+        assert bounds == sorted(bounds)
+        assert OPERATING_POINTS[-1][0] is None
+
+    def test_single_client_never_waits(self):
+        point = choose_operating_point(1)
+        assert point.batch_max == 1
+        assert point.batch_window_ms == 0.0
+
+    @pytest.mark.parametrize("clients", [2, 3, 4])
+    def test_small_fanin_band(self, clients):
+        assert choose_operating_point(clients) == OperatingPoint(4, 2.0)
+
+    def test_default_expectation_is_the_8_client_band(self):
+        assert choose_operating_point() == choose_operating_point(8)
+        assert choose_operating_point(8).batch_max == 8
+
+    def test_tail_band_covers_any_fanin(self):
+        assert choose_operating_point(10_000) == OPERATING_POINTS[-1][1]
+
+
+class _Collector:
+    def __init__(self):
+        self.batches = []
+        self.event = threading.Event()
+
+    def __call__(self, batch):
+        self.batches.append(batch)
+        self.event.set()
+
+    def wait_for(self, n, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while len(self.batches) < n:
+            if time.monotonic() >= deadline:
+                raise AssertionError(
+                    f"only {len(self.batches)} batches after {timeout:g}s"
+                )
+            time.sleep(0.005)
+        return self.batches
+
+
+class TestCoalescer:
+    def test_fills_to_batch_max(self):
+        got = _Collector()
+        co = Coalescer(got, batch_max=4, batch_window_s=60.0)
+        try:
+            for i in range(4):
+                co.add(i)
+            batches = got.wait_for(1)
+            assert batches[0] == [0, 1, 2, 3]
+            stats = co.stats()
+            assert stats["flushes_total"] == 1
+            assert stats["batched_total"] == 4
+            assert stats["batch_size_max"] == 4
+        finally:
+            co.close()
+
+    def test_window_flushes_a_lone_item(self):
+        got = _Collector()
+        co = Coalescer(got, batch_max=64, batch_window_s=0.02)
+        try:
+            co.add("only")
+            batches = got.wait_for(1)
+            assert batches[0] == ["only"]
+            # a solo flush is not counted as "batched"
+            assert co.stats()["batched_total"] == 0
+        finally:
+            co.close()
+
+    def test_overflow_splits_into_ceil_batches(self):
+        got = _Collector()
+        co = Coalescer(got, batch_max=3, batch_window_s=0.01)
+        try:
+            for i in range(7):
+                co.add(i)
+            batches = got.wait_for(3)
+            assert [x for b in batches for x in b] == list(range(7))
+            assert all(len(b) <= 3 for b in batches)
+        finally:
+            co.close()
+
+    def test_close_flushes_pending(self):
+        got = _Collector()
+        co = Coalescer(got, batch_max=64, batch_window_s=60.0)
+        co.add("pending-at-close")
+        co.close()
+        assert got.batches == [["pending-at-close"]]
+        assert co.stats()["pending"] == 0
+
+    def test_add_after_close_raises(self):
+        co = Coalescer(lambda batch: None, batch_max=1, batch_window_s=0.0)
+        co.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            co.add("late")
+
+    def test_close_is_idempotent(self):
+        co = Coalescer(lambda batch: None, batch_max=1, batch_window_s=0.0)
+        co.close()
+        co.close()
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError, match="batch_max"):
+            Coalescer(lambda b: None, batch_max=0, batch_window_s=0.0)
+        with pytest.raises(ValueError, match="batch_window_s"):
+            Coalescer(lambda b: None, batch_max=1, batch_window_s=-1.0)
+
+    def test_zero_window_still_delivers(self):
+        """window=0 (the 1-client operating point) degrades to
+        flush-per-item, never to dropped items."""
+        got = _Collector()
+        co = Coalescer(got, batch_max=1, batch_window_s=0.0)
+        try:
+            for i in range(5):
+                co.add(i)
+            batches = got.wait_for(5)
+            assert [x for b in batches for x in b] == list(range(5))
+        finally:
+            co.close()

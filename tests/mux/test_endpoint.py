@@ -1,0 +1,339 @@
+"""Integration tests for the multiplexed transport.
+
+The load-bearing guarantees, in descending order of importance:
+
+1. receipts through ``mux://`` are byte-identical to ``local:`` —
+   single job, 8-way concurrent, and across a mid-job disconnect;
+2. server-side batching engages under concurrent load and never
+   changes result bytes;
+3. the serialization memos (client submit/verify, server receipt/parse)
+   are *proof-carrying*: a tampered payload replaying a genuine digest
+   is still rejected;
+4. one malformed frame degrades to a typed error, not a dead
+   connection.
+"""
+
+import copy
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+
+import pytest
+
+from repro.api.clients import ModelOwner
+from repro.api.endpoint import LocalEndpoint, open_endpoint
+from repro.api.manifest import BucketManifest
+from repro.api.wire import (
+    ERR_BAD_DIGEST,
+    ERR_MALFORMED,
+    ERR_UNKNOWN_JOB,
+    PROTOCOL_VERSION,
+    EndpointError,
+    receipt_to_wire,
+)
+from repro.core import ProteusConfig
+from repro.models import build_model
+from repro.mux.client import MuxEndpoint
+from repro.mux.frames import FrameDecoder, FrameError, encode_frame
+from repro.mux.server import MuxServer
+from repro.serving import OptimizationCache
+from repro.serving.http import OptimizationHTTPServer
+
+
+@pytest.fixture(scope="module")
+def manifests():
+    """Two distinct sealed manifests (different obfuscation seeds), so
+    concurrent tests interleave genuinely different payloads."""
+    out = []
+    for seed in (0, 7):
+        owner = ModelOwner(ProteusConfig(k=0, target_subgraph_size=8, seed=seed))
+        bucket = owner.obfuscate(build_model("squeezenet")).bucket
+        out.append(BucketManifest.from_bucket(bucket))
+    return out
+
+
+@pytest.fixture(scope="module")
+def local_reference(manifests):
+    """Canonical receipt bytes per manifest, from the local transport."""
+    refs = []
+    with LocalEndpoint("ortlike", workers=2) as endpoint:
+        for manifest in manifests:
+            receipt = endpoint.await_receipt(
+                endpoint.submit(manifest), timeout=120
+            )
+            refs.append(_receipt_bytes(receipt))
+    return refs
+
+
+def _receipt_bytes(receipt) -> bytes:
+    return json.dumps(
+        BucketManifest.from_bucket(receipt.bucket).to_dict(), sort_keys=True
+    ).encode("utf-8")
+
+
+@contextmanager
+def _mux_server(**kwargs):
+    app_kwargs = kwargs.pop("app_kwargs", {})
+    app = OptimizationHTTPServer(
+        "ortlike", cache=OptimizationCache(), workers=2, port=0, **app_kwargs
+    )
+    server = MuxServer(app, **kwargs)
+    host, port = server.start()
+    try:
+        yield server, f"mux://{host}:{port}"
+    finally:
+        server.close()
+
+
+class TestByteIdentity:
+    def test_single_job_matches_local(self, manifests, local_reference):
+        with _mux_server() as (_, url):
+            with open_endpoint(url) as endpoint:
+                assert isinstance(endpoint, MuxEndpoint)
+                receipt = endpoint.await_receipt(
+                    endpoint.submit(manifests[0]), timeout=120
+                )
+        assert _receipt_bytes(receipt) == local_reference[0]
+
+    def test_8way_concurrent_matches_local(self, manifests, local_reference):
+        """8 threads interleave two distinct manifests on ONE connection;
+        every receipt must match its manifest's local reference."""
+        with _mux_server() as (_, url):
+            with open_endpoint(url) as endpoint:
+
+                def one(i):
+                    which = i % len(manifests)
+                    receipt = endpoint.await_receipt(
+                        endpoint.submit(manifests[which]), timeout=120
+                    )
+                    return which, _receipt_bytes(receipt)
+
+                with ThreadPoolExecutor(max_workers=8) as pool:
+                    results = [
+                        f.result()
+                        for f in [pool.submit(one, i) for i in range(16)]
+                    ]
+        for which, got in results:
+            assert got == local_reference[which]
+
+    def test_reconnect_mid_job_is_lossless(self, manifests, local_reference):
+        """Kill the socket between submit and await: the job survives
+        server-side (receipts are claimed-once, forgotten only on ack),
+        the client reconnects and the receipt is still byte-identical."""
+        with _mux_server(app_kwargs={"entry_cost_s": 0.3}) as (_, url):
+            endpoint = open_endpoint(url)
+            try:
+                job_id = endpoint.submit(manifests[0])
+                # simulate a transport failure while the job is running
+                endpoint._sock.close()
+                receipt = endpoint.await_receipt(job_id, timeout=120)
+                assert endpoint._reconnects_total >= 1
+            finally:
+                endpoint.close()
+        assert _receipt_bytes(receipt) == local_reference[0]
+
+
+class TestBatching:
+    def test_synchronized_wave_coalesces(self, manifests, local_reference):
+        """8 submits released through a barrier land inside one
+        collection window and flush as batches — and batching must not
+        change result bytes."""
+        with _mux_server(batch_max=8, batch_window_ms=200.0) as (server, url):
+            with open_endpoint(url) as endpoint:
+                # warm the path once so wave submits are memo-fast
+                endpoint.await_receipt(endpoint.submit(manifests[0]), timeout=120)
+                barrier = threading.Barrier(8)
+
+                def wave():
+                    barrier.wait()
+                    receipt = endpoint.await_receipt(
+                        endpoint.submit(manifests[0]), timeout=120
+                    )
+                    return _receipt_bytes(receipt)
+
+                with ThreadPoolExecutor(max_workers=8) as pool:
+                    results = [
+                        f.result() for f in [pool.submit(wave) for _ in range(8)]
+                    ]
+                stats = server.stats()["batching"]
+        assert all(got == local_reference[0] for got in results)
+        assert stats["batched_total"] >= 2
+        assert stats["batch_size_max"] >= 2
+
+    def test_welcome_announces_operating_point(self):
+        with _mux_server(batch_max=5, batch_window_ms=3.0) as (_, url):
+            with open_endpoint(url) as endpoint:
+                welcome = endpoint.negotiate()
+        assert welcome["batching"] == {"batch_max": 5, "batch_window_ms": 3.0}
+
+    def test_batch_isolates_a_bad_member(self, manifests):
+        """One tampered submit in a coalesced batch fails alone; its
+        batch-mates still get their jobs (per-item error isolation)."""
+        app = OptimizationHTTPServer(
+            "ortlike", cache=OptimizationCache(), workers=2, port=0
+        )
+        good = {
+            "protocol_version": PROTOCOL_VERSION,
+            "manifest": manifests[0].to_dict(),
+        }
+        tampered = copy.deepcopy(good)
+        eid = next(iter(tampered["manifest"]["entry_digests"]))
+        tampered["manifest"]["entry_digests"][eid] = "sha256:" + "0" * 64
+        results = app.handle_submit_batch([good, tampered, copy.deepcopy(good)])
+        assert isinstance(results[0], dict) and "job_id" in results[0]
+        assert isinstance(results[1], EndpointError)
+        assert results[1].code == ERR_BAD_DIGEST
+        assert isinstance(results[2], dict) and "job_id" in results[2]
+
+    def test_parse_memo_requires_deep_equality(self, manifests):
+        """The per-batch parse memo is keyed by declared digest but
+        *proved* by payload equality: a tampered body replaying a
+        batch-mate's genuine digest must not inherit its parse."""
+        app = OptimizationHTTPServer(
+            "ortlike", cache=OptimizationCache(), workers=2, port=0
+        )
+        good = {
+            "protocol_version": PROTOCOL_VERSION,
+            "manifest": manifests[0].to_dict(),
+        }
+        forged = copy.deepcopy(good)
+        eid = next(iter(forged["manifest"]["entry_digests"]))
+        forged["manifest"]["entry_digests"][eid] = "sha256:" + "1" * 64
+        # same declared bucket_digest as `good`, different content
+        assert forged["manifest"]["bucket_digest"] == good["manifest"]["bucket_digest"]
+        results = app.handle_submit_batch([good, forged])
+        assert isinstance(results[0], dict)
+        assert isinstance(results[1], EndpointError)
+        assert results[1].code == ERR_BAD_DIGEST
+
+
+class TestClaimedOnce:
+    def test_job_forgotten_after_acked_receipt(self, manifests):
+        with _mux_server() as (_, url):
+            with open_endpoint(url) as endpoint:
+                job_id = endpoint.submit(manifests[0])
+                endpoint.await_receipt(job_id, timeout=120)
+                # the ack rides the reader thread; poll briefly for the
+                # server to process it and forget the job
+                deadline = time.monotonic() + 5.0
+                while True:
+                    try:
+                        endpoint.status(job_id)
+                    except EndpointError as exc:
+                        assert exc.code == ERR_UNKNOWN_JOB
+                        break
+                    if time.monotonic() >= deadline:
+                        pytest.fail("job was never forgotten after ack")
+                    time.sleep(0.05)
+
+
+class TestVerifyMemoTamperResistance:
+    def test_replayed_digest_does_not_skip_verification(self, manifests):
+        """Warm the client's verified-payload memo with a genuine
+        receipt, then have the server stream a tampered payload carrying
+        the *same* declared bucket_digest.  The memo must not vouch for
+        it (deep equality is the proof), so verification runs and
+        rejects the forgery."""
+        with _mux_server() as (server, url):
+            with open_endpoint(url) as endpoint:
+                endpoint.await_receipt(endpoint.submit(manifests[0]), timeout=120)
+
+                def evil_encoded_receipt(receipt):
+                    payload = receipt_to_wire(receipt)
+                    eid = next(iter(payload["manifest"]["entry_digests"]))
+                    payload["manifest"]["entry_digests"][eid] = (
+                        "sha256:" + "0" * 64
+                    )
+                    return json.dumps(
+                        payload, separators=(",", ":")
+                    ).encode("utf-8")
+
+                server._encoded_receipt = evil_encoded_receipt
+                job_id = endpoint.submit(manifests[0])
+                with pytest.raises(EndpointError) as exc_info:
+                    endpoint.await_receipt(job_id, timeout=120)
+                assert exc_info.value.code == ERR_BAD_DIGEST
+
+
+class TestConnectionRobustness:
+    def _recv_frames(self, sock, decoder, want=1, timeout=10.0):
+        sock.settimeout(timeout)
+        events = []
+        while len(events) < want:
+            data = sock.recv(65536)
+            if not data:
+                raise AssertionError("server closed the connection")
+            events.extend(decoder.feed(data))
+        return events
+
+    def test_malformed_frame_gets_typed_error_not_disconnect(self):
+        """Garbage JSON in a well-framed payload must come back as a
+        `malformed_request` wire error on the SAME connection, which
+        then still speaks the protocol normally."""
+        with _mux_server() as (_, url):
+            host, port = url[len("mux://") :].rsplit(":", 1)
+            with socket.create_connection((host, int(port)), timeout=10) as sock:
+                decoder = FrameDecoder()
+                sock.sendall(b"\x00\x00\x00\x07not{js}")
+                (error,) = self._recv_frames(sock, decoder)
+                assert error["type"] == "error"
+                assert error["error"]["code"] == ERR_MALFORMED
+                # the stream survived: a proper hello still gets welcome
+                sock.sendall(
+                    encode_frame(
+                        {
+                            "type": "hello",
+                            "channel": 0,
+                            "protocol_version": PROTOCOL_VERSION,
+                        }
+                    )
+                )
+                (welcome,) = self._recv_frames(sock, decoder)
+                assert welcome["type"] == "welcome"
+                assert welcome["protocol_version"] == PROTOCOL_VERSION
+
+    def test_unknown_frame_type_is_typed_error(self):
+        with _mux_server() as (_, url):
+            host, port = url[len("mux://") :].rsplit(":", 1)
+            with socket.create_connection((host, int(port)), timeout=10) as sock:
+                decoder = FrameDecoder()
+                sock.sendall(encode_frame({"type": "teleport", "channel": 1}))
+                (error,) = self._recv_frames(sock, decoder)
+                assert error["type"] == "error"
+                assert error["error"]["code"] == ERR_MALFORMED
+                assert error["channel"] == 1
+
+    def test_oversized_submit_is_typed_refusal(self, manifests, monkeypatch):
+        """A manifest too big for the wire must come back as a typed
+        `malformed_request`, not a raw ValueError out of the codec —
+        the CLI maps EndpointError to a friendly exit 4."""
+        with _mux_server() as (_, url):
+            with open_endpoint(url) as endpoint:
+                endpoint.negotiate()  # connect while frames still fit
+                monkeypatch.setattr("repro.mux.frames.MAX_FRAME_BYTES", 1024)
+                with pytest.raises(EndpointError) as excinfo:
+                    endpoint.submit(manifests[0])
+                assert excinfo.value.code == ERR_MALFORMED
+                assert "exceeds" in str(excinfo.value)
+
+
+class TestOpenEndpointGrammar:
+    def test_mux_uri_yields_mux_endpoint_lazily(self):
+        # no server behind this port: construction must not connect
+        endpoint = open_endpoint("mux://127.0.0.1:1")
+        try:
+            assert isinstance(endpoint, MuxEndpoint)
+        finally:
+            endpoint.close()
+
+    def test_mixed_scheme_fleet_uri_parses(self):
+        from repro.loadgen.fleet import FleetEndpoint
+
+        endpoint = open_endpoint("http://127.0.0.1:1,mux://127.0.0.1:2")
+        try:
+            assert isinstance(endpoint, FleetEndpoint)
+        finally:
+            endpoint.close()

@@ -1,0 +1,229 @@
+"""Tests for the length-prefixed JSON frame codec.
+
+The codec contract under test: any chunking of the byte stream decodes
+to the same frame sequence, and a bad *payload* (oversized, garbage,
+non-object) degrades to a :class:`FrameError` event while the stream
+stays framed — the connection must survive a malformed frame.
+"""
+
+import json
+import struct
+
+import pytest
+
+from repro.mux.frames import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+    encode_frame_with_raw,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - test extra not installed
+    HAVE_HYPOTHESIS = False
+
+
+def _frames(events):
+    return [e for e in events if isinstance(e, dict)]
+
+
+def _errors(events):
+    return [e for e in events if isinstance(e, FrameError)]
+
+
+class TestRoundTrip:
+    def test_single_frame(self):
+        frame = {"type": "hello", "channel": 1, "protocol_version": 1}
+        dec = FrameDecoder()
+        assert dec.feed(encode_frame(frame)) == [frame]
+        assert dec.frames_total == 1
+        assert dec.buffered() == 0
+
+    def test_many_frames_one_feed(self):
+        frames = [{"type": "status", "channel": i} for i in range(10)]
+        blob = b"".join(encode_frame(f) for f in frames)
+        assert FrameDecoder().feed(blob) == frames
+
+    def test_byte_at_a_time_matches_one_big_read(self):
+        frames = [
+            {"type": "submit", "channel": 3, "manifest": {"entries": [1, 2]}},
+            {"type": "receipt", "channel": 4, "receipt": {"key": "a" * 64}},
+        ]
+        blob = b"".join(encode_frame(f) for f in frames)
+        dec = FrameDecoder()
+        out = []
+        for i in range(len(blob)):
+            out.extend(dec.feed(blob[i : i + 1]))
+        assert out == frames
+        assert dec.buffered() == 0
+
+    def test_interleaved_channels_preserve_order(self):
+        """Frames for distinct channels share one stream; the decoder
+        hands them back in wire order so the router can demux them."""
+        frames = [
+            {"type": "submitted", "channel": 1, "job_id": "a"},
+            {"type": "status", "channel": 2, "status": {"state": "running"}},
+            {"type": "receipt", "channel": 1, "receipt": {}},
+            {"type": "receipt", "channel": 2, "receipt": {}},
+        ]
+        blob = b"".join(encode_frame(f) for f in frames)
+        # split mid-frame to force buffering across channel boundaries
+        dec = FrameDecoder()
+        out = dec.feed(blob[:7])
+        out += dec.feed(blob[7:31])
+        out += dec.feed(blob[31:])
+        assert out == frames
+        assert [f["channel"] for f in out] == [1, 2, 1, 2]
+
+    def test_unicode_payload(self):
+        frame = {"type": "error", "message": "manifeste tronqué — 壊れた"}
+        dec = FrameDecoder()
+        assert dec.feed(encode_frame(frame)) == [frame]
+
+
+class TestMalformedFrames:
+    def test_garbage_payload_is_an_event_not_a_death(self):
+        good = {"type": "hello", "channel": 9}
+        garbage = struct.pack(">I", 7) + b"not{js}"
+        dec = FrameDecoder()
+        events = dec.feed(garbage + encode_frame(good))
+        assert len(_errors(events)) == 1
+        assert "not valid JSON" in _errors(events)[0].message
+        # the stream survives: the next frame decodes normally
+        assert _frames(events) == [good]
+        assert dec.errors_total == 1
+        assert dec.frames_total == 1
+
+    def test_non_object_payload_rejected(self):
+        blob = json.dumps([1, 2, 3]).encode()
+        dec = FrameDecoder()
+        events = dec.feed(struct.pack(">I", len(blob)) + blob)
+        assert len(_errors(events)) == 1
+        assert "JSON object" in _errors(events)[0].message
+
+    def test_invalid_utf8_payload_rejected(self):
+        dec = FrameDecoder()
+        events = dec.feed(struct.pack(">I", 2) + b"\xff\xfe")
+        assert len(_errors(events)) == 1
+
+    def test_oversized_frame_resynchronizes(self):
+        """An oversized declared length yields one error, then the
+        decoder discards exactly that many payload bytes and picks the
+        next header back up — no gigabyte buffering, no desync."""
+        dec = FrameDecoder(max_frame_bytes=64)
+        big = b"x" * 100
+        good = {"type": "hello"}
+        blob = struct.pack(">I", len(big)) + big + encode_frame(good)
+        events = []
+        # drip-feed so the discard path runs across feed() boundaries
+        for i in range(0, len(blob), 17):
+            events.extend(dec.feed(blob[i : i + 17]))
+        assert len(_errors(events)) == 1
+        assert "exceeds" in _errors(events)[0].message
+        assert _frames(events) == [good]
+
+    def test_encode_refuses_oversized_frame(self, monkeypatch):
+        # shrink the cap rather than allocate a genuinely cap-sized
+        # payload (the real ceiling is hundreds of MB)
+        monkeypatch.setattr("repro.mux.frames.MAX_FRAME_BYTES", 1024)
+        with pytest.raises(ValueError, match="exceeds MAX_FRAME_BYTES"):
+            encode_frame({"pad": "x" * 1025})
+
+    def test_manifest_scale_frames_encode(self):
+        """The cap clears a real obfuscated-manifest payload: sealed
+        manifests for heavily obfuscated models run ~100 MB of compact
+        JSON, and mux must carry whatever http:// carries."""
+        assert MAX_FRAME_BYTES >= 200 * 1024 * 1024
+
+
+class TestEncodeWithRaw:
+    """The spliced-raw fast path must be byte-identical to re-encoding."""
+
+    @pytest.mark.parametrize(
+        "obj, value",
+        [
+            ({"type": "receipt", "channel": 7}, {"key": "k", "entries": {}}),
+            ({}, [1, 2, 3]),
+            ({"a": 1}, "just a string"),
+            ({"type": "submit", "channel": 0, "want_receipt": True}, None),
+        ],
+    )
+    def test_byte_identical_to_encode_frame(self, obj, value):
+        raw = json.dumps(value, separators=(",", ":")).encode("utf-8")
+        spliced = encode_frame_with_raw(obj, "payload", raw)
+        rebuilt = encode_frame({**obj, "payload": value})
+        assert spliced == rebuilt
+        # and it decodes back to the merged object
+        assert FrameDecoder().feed(spliced) == [{**obj, "payload": value}]
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ValueError, match="must not also be present"):
+            encode_frame_with_raw({"manifest": 1}, "manifest", b"{}")
+
+    def test_oversized_spliced_frame_rejected(self, monkeypatch):
+        monkeypatch.setattr("repro.mux.frames.MAX_FRAME_BYTES", 1024)
+        raw = b'"' + b"x" * 1024 + b'"'
+        with pytest.raises(ValueError, match="exceeds MAX_FRAME_BYTES"):
+            encode_frame_with_raw({"type": "receipt"}, "receipt", raw)
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestFuzzRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.text(max_size=8),
+                st.recursive(
+                    st.none()
+                    | st.booleans()
+                    | st.integers(min_value=-(2**53), max_value=2**53)
+                    | st.text(max_size=16),
+                    lambda inner: st.lists(inner, max_size=3)
+                    | st.dictionaries(st.text(max_size=4), inner, max_size=3),
+                    max_leaves=8,
+                ),
+                max_size=4,
+            ),
+            max_size=4,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_any_chunking_round_trips(self, frames, rng):
+        blob = b"".join(encode_frame(f) for f in frames)
+        dec = FrameDecoder()
+        out = []
+        i = 0
+        while i < len(blob):
+            step = rng.randint(1, max(1, len(blob) // 3))
+            out.extend(dec.feed(blob[i : i + step]))
+            i += step
+        assert out == frames
+        assert dec.buffered() == 0
+        assert dec.frames_total == len(frames)
+        assert dec.errors_total == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(max_size=256))
+    def test_arbitrary_bytes_never_crash_the_decoder(self, junk):
+        """Garbage in: FrameError events out, exceptions never."""
+        dec = FrameDecoder(max_frame_bytes=1024)
+        events = dec.feed(junk)
+        for event in events:
+            assert isinstance(event, (dict, FrameError))
+        # whatever state the junk left, a fresh valid frame still works
+        # once the pending declared length is satisfied; at minimum the
+        # decoder object stays usable.
+        dec.feed(encode_frame({"type": "hello"}))
+
+
+def test_header_size_is_four_bytes():
+    # the wire format is frozen: 4-byte big-endian length prefix
+    assert HEADER_BYTES == 4
+    assert encode_frame({})[:4] == struct.pack(">I", 2)
