@@ -68,7 +68,7 @@ def build_leave_one_out(
 
     others = {name: g for name, g in corpus.items() if name != protected_name}
     train_reals: List[Graph] = []
-    for name, g in sorted(others.items()):
+    for _name, g in sorted(others.items()):
         train_reals.extend(subgraphs_of(g, target_size, seed=seed))
 
     if generator is None:

@@ -73,6 +73,7 @@ from .wire import (
     ERR_BAD_DIGEST,
     ERR_JOB_PENDING,
     ERR_OVERLOADED,
+    ERR_TRANSPORT,
     ERR_UNKNOWN_JOB,
     ERR_VERSION_MISMATCH,
     PROTOCOL_VERSION,
@@ -571,12 +572,12 @@ class HttpEndpoint(OptimizerEndpoint):
                 raise EndpointError.from_dict(payload)
             # an intermediary (proxy, load balancer) answered, not our
             # wire protocol: surface it as a structured transport error.
-            raise EndpointError("transport_error", f"HTTP {status} from {url}")
+            raise EndpointError(ERR_TRANSPORT, f"HTTP {status} from {url}")
         if _is_wire_error(payload):
             raise EndpointError.from_dict(payload)
         if not isinstance(payload, dict):
             raise EndpointError(
-                "transport_error", f"non-JSON 200 response from {url}"
+                ERR_TRANSPORT, f"non-JSON 200 response from {url}"
             )
         return payload
 
@@ -591,6 +592,9 @@ class HttpEndpoint(OptimizerEndpoint):
                     f"server at {self.base_url} speaks protocol {version!r}, "
                     f"this client speaks {PROTOCOL_VERSION}",
                 )
+            # staticcheck: ignore[lock-discipline] — idempotent one-shot memo:
+            # a racy double-negotiate refetches the same banner, and close()
+            # only resets it to None; there is no torn state to guard.
             self._protocol_info = info
         return self._protocol_info
 

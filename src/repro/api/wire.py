@@ -34,7 +34,9 @@ __all__ = [
     "ERR_OVERLOADED",
     "ERR_NOT_FOUND",
     "ERR_INTERNAL",
+    "ERR_TRANSPORT",
     "HTTP_STATUS",
+    "MUX_FRAME_EVENT",
     "EndpointError",
     "receipt_to_wire",
     "receipt_from_wire",
@@ -58,6 +60,7 @@ ERR_JOB_FAILED = "job_failed"  #: the optimizer raised while running the job
 ERR_OVERLOADED = "overloaded"  #: admission control shed the submit; retry later
 ERR_NOT_FOUND = "not_found"  #: no such route
 ERR_INTERNAL = "internal_error"  #: unexpected server-side failure
+ERR_TRANSPORT = "transport_error"  #: reply violated the protocol (client-side)
 
 #: HTTP status each error code travels under.  ``job_pending`` is a 202
 #: (the request was fine, the result just isn't ready), ``overloaded``
@@ -74,6 +77,30 @@ HTTP_STATUS: Dict[str, int] = {
     ERR_JOB_FAILED: 500,
     ERR_OVERLOADED: 429,
     ERR_INTERNAL: 500,
+    ERR_TRANSPORT: 502,
+}
+
+#: How each error code travels on the multiplexed frame transport.
+#: ``"error"`` codes surface to the client as a typed ``error`` frame on
+#: the requesting channel; ``"retry"`` codes never cross the wire at all
+#: — the server-side receipt watcher absorbs them and keeps waiting
+#: (``job_pending`` means "not ready yet", which on a *streaming*
+#: transport is silence, not a failure).  Both mappings must be total
+#: over the closed set above — enforced statically by
+#: ``repro check --select wire-totality`` and at runtime by
+#: ``tests/api/test_wire_contract.py``.
+MUX_FRAME_EVENT: Dict[str, str] = {
+    ERR_MALFORMED: "error",
+    ERR_VERSION_MISMATCH: "error",
+    ERR_BAD_DIGEST: "error",
+    ERR_UNKNOWN_BACKEND: "error",
+    ERR_UNKNOWN_JOB: "error",
+    ERR_NOT_FOUND: "error",
+    ERR_JOB_PENDING: "retry",
+    ERR_JOB_FAILED: "error",
+    ERR_OVERLOADED: "error",
+    ERR_INTERNAL: "error",
+    ERR_TRANSPORT: "error",
 }
 
 

@@ -1015,6 +1015,99 @@ def _cmd_bench(args) -> int:
     return exit_code
 
 
+def _cmd_check(args) -> int:
+    """Run the static analyzer suite; gate on new findings.
+
+    Same stdout contract as ``repro bench``: stderr carries the
+    human-readable findings, stdout exactly one machine-parseable JSON
+    line (or, with ``--format json``, the full STATICCHECK.json
+    document).  Exit codes: 0 clean, 1 new findings, 2 usage errors.
+    """
+    from .staticcheck import (
+        DEFAULT_ROOTS,
+        available_rules,
+        baseline_fingerprints,
+        rule_descriptions,
+        run_check,
+        save_baseline,
+        save_report,
+    )
+    from .staticcheck.findings import Finding
+
+    if args.list_rules:
+        descriptions = rule_descriptions()
+        for name in available_rules():
+            print(f"{name:<20s} {descriptions[name]}")
+        return 0
+    rules = available_rules()
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+        unknown = sorted(set(select) - set(rules))
+        if unknown:
+            print(
+                f"unknown rule(s): {', '.join(unknown)} "
+                f"(see 'repro check --list-rules')",
+                file=sys.stderr,
+            )
+            return 2
+    if args.update_baseline and not args.baseline:
+        print("--update-baseline requires --baseline PATH", file=sys.stderr)
+        return 2
+
+    roots = args.roots or list(DEFAULT_ROOTS)
+    missing = [root for root in roots if not os.path.exists(root)]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    baseline = None if args.update_baseline else args.baseline
+    report = run_check(roots, select=select, baseline_path=baseline)
+    findings = [Finding.from_dict(d) for d in report["findings"]]
+    new = [f for f in findings if not f.suppressed and not f.baselined]
+
+    if args.update_baseline:
+        save_baseline(baseline_fingerprints(findings), args.baseline)
+        print(
+            f"baseline updated: {args.baseline} "
+            f"({sum(1 for f in findings if not f.suppressed)} fingerprint(s))",
+            file=sys.stderr,
+        )
+    if args.report:
+        save_report(report, args.report)
+        print(f"wrote {args.report}", file=sys.stderr)
+
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        tag = " [baselined]" if finding.baselined else ""
+        print(
+            f"{finding.location()}: {finding.rule}: {finding.message}{tag}",
+            file=sys.stderr,
+        )
+    counts = report["counts"]
+    print(
+        f"{counts['files']} file(s) scanned, {counts['total']} finding(s): "
+        f"{counts['new']} new, {counts['baselined']} baselined, "
+        f"{counts['suppressed']} suppressed",
+        file=sys.stderr,
+    )
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            json.dumps(
+                {
+                    "tool": report["tool"],
+                    "git_sha": report["git_sha"],
+                    "roots": report["roots"],
+                    "counts": counts,
+                    "new": [f.location() for f in new],
+                }
+            )
+        )
+    return 1 if new and not args.update_baseline else 0
+
+
 def _cmd_components(args) -> int:
     print("optimizers          :", ", ".join(list_optimizers()))
     print("partitioners        :", ", ".join(list_partitioners()))
@@ -1272,6 +1365,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list", action="store_true",
                    help="list the suite's scenarios and exit")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "check",
+        help="run the AST static analyzer (concurrency + wire-protocol rules)",
+    )
+    p.add_argument(
+        "roots",
+        nargs="*",
+        help="files or directories to scan (default: src/repro)",
+    )
+    p.add_argument(
+        "--select",
+        help="comma-separated rule names to run (default: all)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout payload: compact summary line (text) or the full "
+        "STATICCHECK.json document (json)",
+    )
+    p.add_argument(
+        "--baseline",
+        help="fingerprint baseline file; matching findings don't fail the gate",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline with the current findings instead of gating",
+    )
+    p.add_argument(
+        "--report",
+        help="also write the STATICCHECK.json document to this path",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("components", help="list registered backends")
     p.set_defaults(fn=_cmd_components)

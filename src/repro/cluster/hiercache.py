@@ -98,14 +98,14 @@ class HierarchicalCache(OptimizationCache):
         if payload is not None:
             with self._lock:
                 self._disk_hits += 1
-                self._remember(key, payload)  # promote: shard -> memory
+                self._remember_locked(key, payload)  # promote: shard -> memory
             return payload
         payload = self._read_object(self.object_path_in(self.shared_dir, key))
         with self._lock:
             if payload is None:
                 self._misses += 1
                 return None
-            self._remember(key, payload)  # promote: shared -> memory
+            self._remember_locked(key, payload)  # promote: shared -> memory
         with self._tier_lock:
             self._shared_hits += 1
             self._promotions += 1

@@ -152,7 +152,7 @@ class FleetAutoscaler:
             event["cache_memory_hit_rate"] = signals.cache_memory_hit_rate
         self.events.append(event)
 
-    def _in_cooldown(self, now: float) -> bool:
+    def _in_cooldown_locked(self, now: float) -> bool:
         return (
             self._last_resize_at is not None
             and now - self._last_resize_at < self.policy.cooldown_s
@@ -206,7 +206,7 @@ class FleetAutoscaler:
                 self._up_streak = self._down_streak = 0
                 self._down_since = None
 
-            if self._in_cooldown(now):
+            if self._in_cooldown_locked(now):
                 return None
 
             if (
@@ -254,10 +254,6 @@ class FleetAutoscaler:
         thread until :meth:`stop`.  Poll failures are recorded as events
         rather than killing the loop (a worker restarting mid-poll must
         not take the control plane down with it)."""
-        if self._thread is not None:
-            return
-        self._stop.clear()
-
         def loop() -> None:
             while not self._stop.wait(self.policy.poll_interval_s):
                 try:
@@ -267,17 +263,23 @@ class FleetAutoscaler:
                         self.clock(), "error", f"{type(exc).__name__}: {exc}"
                     )
 
-        self._thread = threading.Thread(
-            target=loop, name="fleet-autoscaler", daemon=True
-        )
-        self._thread.start()
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stop.clear()
+            thread = threading.Thread(
+                target=loop, name="fleet-autoscaler", daemon=True
+            )
+            self._thread = thread
+        thread.start()
 
     def stop(self, timeout: float = 5.0) -> None:
-        if self._thread is None:
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is None:
             return
         self._stop.set()
-        self._thread.join(timeout=timeout)
-        self._thread = None
+        thread.join(timeout=timeout)
 
     def __enter__(self) -> "FleetAutoscaler":
         self.start()

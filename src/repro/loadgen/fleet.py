@@ -588,7 +588,7 @@ class ServingFleet:
             self.urls.append(url)
         return url
 
-    def _remove_index(self, index: int) -> str:
+    def _remove_index_locked(self, index: int) -> str:
         """Drop worker ``index`` from the registry (caller holds the
         lock); returns its URL.  Does not touch the process."""
         url = self.urls.pop(index)
@@ -616,18 +616,25 @@ class ServingFleet:
             return len(self._procs)
 
     def start(self) -> List[str]:
-        """Spawn every worker; returns their endpoint URLs."""
-        if self._started:
-            return self.urls
+        """Spawn every worker; returns a snapshot of their endpoint URLs.
+
+        Idempotent and safe to race: the started flag is checked and set
+        in one locked step, so concurrent callers spawn the fleet at
+        most once (losers return the current membership snapshot).
+        """
+        with self._fleet_lock:
+            if self._started:
+                return list(self.urls)
+            self._started = True
         try:
             for _ in range(self.workers):
                 self._spawn_one()
         except Exception:
-            self.close()
+            self.close()  # resets the started flag under the lock
             raise
-        self._started = True
         self._write_state()
-        return self.urls
+        with self._fleet_lock:
+            return list(self.urls)
 
     # -- runtime resizing (the autoscaler's levers) --------------------------
     def add_worker(self) -> str:
@@ -644,7 +651,7 @@ class ServingFleet:
             if len(self._procs) <= 1:
                 return None
             proc = self._procs[-1]
-            url = self._remove_index(len(self._procs) - 1)
+            url = self._remove_index_locked(len(self._procs) - 1)
         self._write_state()
         if proc.poll() is None:
             proc.terminate()
@@ -666,7 +673,7 @@ class ServingFleet:
             for index in range(len(self._procs) - 1, -1, -1):
                 if self._procs[index].poll() is not None:
                     dead.append(self._procs[index])
-                    self._remove_index(index)
+                    self._remove_index_locked(index)
         if dead:
             self._write_state()
             for proc in dead:
@@ -680,8 +687,7 @@ class ServingFleet:
         With a ``state_path`` the client follows membership changes;
         without one it is pinned to the workers alive right now.
         """
-        if not self._started:
-            self.start()
+        self.start()  # idempotent; spawns only when nothing is running yet
         if self.state_path is not None:
             return open_fleet_state_endpoint(
                 self.state_path, timeout=timeout, routing=routing
@@ -704,6 +710,7 @@ class ServingFleet:
             self._procs.clear()
             self._stderr_spools.clear()
             self.urls = []
+            self._started = False
         for proc in procs:
             if proc.poll() is None:
                 proc.terminate()
@@ -722,7 +729,6 @@ class ServingFleet:
                 spool.close()
             except OSError:
                 pass
-        self._started = False
         if self.state_path is not None:
             try:
                 self._write_state()  # publish the empty fleet

@@ -42,6 +42,7 @@ from ..api.wire import (
     ERR_BAD_DIGEST,
     ERR_MALFORMED,
     ERR_OVERLOADED,
+    ERR_TRANSPORT,
     ERR_VERSION_MISMATCH,
     PROTOCOL_VERSION,
     EndpointError,
@@ -405,7 +406,7 @@ class MuxEndpoint(OptimizerEndpoint):
             payload = waiter.payload or {}
             if payload.get("type") != expect:
                 raise EndpointError(
-                    "transport_error",
+                    ERR_TRANSPORT,
                     f"expected a {expect} frame from {self.url}, "
                     f"got {payload.get('type')!r}",
                 )

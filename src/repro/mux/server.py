@@ -56,9 +56,9 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..api.wire import (
     ERR_INTERNAL,
-    ERR_JOB_PENDING,
     ERR_MALFORMED,
     ERR_VERSION_MISMATCH,
+    MUX_FRAME_EVENT,
     PROTOCOL_VERSION,
     EndpointError,
     receipt_to_wire,
@@ -194,6 +194,10 @@ class MuxServer:
             listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
             listener.bind((self.host, self.port))
             listener.listen(128)
+            # staticcheck: ignore[lock-discipline] — bind() and close() are
+            # operator lifecycle calls, never raced against each other; the
+            # accept loop reads the handle once and tolerates a racing
+            # close() (the accept call fails and the loop exits).
             self._listener = listener
             self.port = listener.getsockname()[1]
         return (self.host, self.port)
@@ -472,7 +476,10 @@ class MuxServer:
             try:
                 receipt = self.app._claim_receipt(job_id, wait=_WATCH_CHUNK_S)
             except EndpointError as exc:
-                if exc.code == ERR_JOB_PENDING:
+                # the frame-event mapping decides which codes cross the
+                # wire: "retry" codes (job_pending) are absorbed here —
+                # on a streaming transport "not ready" is silence.
+                if MUX_FRAME_EVENT.get(exc.code) == "retry":
                     continue
                 conn.send(
                     {

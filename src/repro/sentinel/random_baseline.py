@@ -42,7 +42,7 @@ def random_opcode_sentinels(
     """Generate ``k`` random-opcode sentinels from a topology pool."""
     rng = np.random.default_rng(seed)
     out: List[nx.DiGraph] = []
-    for i in range(k):
+    for _ in range(k):
         topo = topologies[int(rng.integers(0, len(topologies)))]
         out.append(random_opcode_graph(topo, rng))
     return out

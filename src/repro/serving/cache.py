@@ -169,7 +169,7 @@ class OptimizationCache:
         with self._lock:
             if payload is not None:
                 self._disk_hits += 1
-                self._remember(key, payload)
+                self._remember_locked(key, payload)
             else:
                 self._misses += 1
         return payload
@@ -178,11 +178,11 @@ class OptimizationCache:
         """Store ``payload`` in both tiers (disk write is atomic)."""
         with self._lock:
             self._puts += 1
-            self._remember(key, payload)
+            self._remember_locked(key, payload)
         if self.cache_dir is not None:
             self._write_disk(key, payload)
 
-    def _remember(self, key: str, payload: Dict[str, Any]) -> None:
+    def _remember_locked(self, key: str, payload: Dict[str, Any]) -> None:
         self._memory[key] = payload
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_memory_entries:

@@ -1,0 +1,76 @@
+"""repro.staticcheck — AST-based concurrency & protocol-invariant analyzer.
+
+The serving stack is multi-threaded and multi-process; its hardest bugs
+(lost wakeups, unguarded counters, lock-order inversions, transports
+inventing error codes) are exactly the ones review misses and tests
+catch late.  This package codifies the repo's concurrency and
+wire-protocol invariants as machine-checked rules over the stdlib
+``ast``, gated in CI by ``repro check``:
+
+========================  ====================================================
+rule                      what it enforces
+========================  ====================================================
+``lock-discipline``       fields written under a lock are never accessed
+                          outside it; no unsynchronized multi-writer fields
+``cond-wait-recheck``     timed Condition waits re-check the shutdown flag
+``lock-order``            the cross-class lock-acquisition graph is acyclic
+``wire-codes``            every constructed/branched error code is in
+                          wire.py's closed ``ERR_*`` set
+``wire-totality``         ``HTTP_STATUS`` and ``MUX_FRAME_EVENT`` are total
+                          over that set
+``no-builtin-hash``       no ``hash()`` in placement/canonical paths
+``no-wallclock``          no wall clock / unseeded RNG in deterministic code
+``atomic-write``          cache/spool/journal writes are temp+rename atomic
+========================  ====================================================
+
+Escape hatches: ``# staticcheck: ignore[rule]`` inline (paired with a
+one-line constraint comment), or a committed fingerprint baseline for
+grandfathered findings.  New rules plug in via
+:func:`register_check` — the same registry idiom as optimizers and
+bench scenarios.
+"""
+
+from .checkers import CHECKS, Check, FileContext, register_check
+from .findings import (
+    SCHEMA_VERSION,
+    Finding,
+    Suppressions,
+    baseline_fingerprints,
+    build_report,
+    load_baseline,
+    load_report,
+    save_baseline,
+    save_report,
+    validate_report,
+)
+from .runner import (
+    DEFAULT_ROOTS,
+    analyze_paths,
+    available_rules,
+    iter_python_files,
+    rule_descriptions,
+    run_check,
+)
+
+__all__ = [
+    "CHECKS",
+    "Check",
+    "DEFAULT_ROOTS",
+    "FileContext",
+    "Finding",
+    "SCHEMA_VERSION",
+    "Suppressions",
+    "analyze_paths",
+    "available_rules",
+    "baseline_fingerprints",
+    "build_report",
+    "iter_python_files",
+    "load_baseline",
+    "load_report",
+    "register_check",
+    "rule_descriptions",
+    "run_check",
+    "save_baseline",
+    "save_report",
+    "validate_report",
+]

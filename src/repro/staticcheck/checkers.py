@@ -1,0 +1,102 @@
+"""The invariant-check registry: ``@register_check`` and the pass base.
+
+The analyzer suite is extensible the same way optimizers, partitioners
+and bench scenarios are: a check registers under a kebab-case rule name
+in a :class:`repro.api.registry.Registry` and every consumer (the
+``repro check --select`` flag, the report's rule table, the README
+docs) resolves through that one table, so a new repo invariant becomes
+a new rule without touching the runner::
+
+    from repro.staticcheck import register_check, Check, Finding
+
+    @register_check
+    class NoSleepInHandlers(Check):
+        name = "no-sleep-in-handlers"
+        description = "request handlers must not call time.sleep()"
+
+        def run(self, ctx):
+            for node in ast.walk(ctx.tree):
+                ...
+                yield self.finding(ctx, node, key=..., message=...)
+
+Checks come in two scopes:
+
+* ``scope = "file"`` — ``run(ctx)`` is called once per parsed file;
+* ``scope = "project"`` — ``run_project(ctxs)`` is called once with
+  every parsed file, for rules that need cross-file state (the
+  lock-acquisition-order graph, wire-contract totality).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, List, Type, TypeVar
+
+from ..api.registry import Registry
+from .findings import Finding
+
+__all__ = ["CHECKS", "register_check", "Check", "FileContext", "parse_file"]
+
+C = TypeVar("C", bound="Check")
+
+#: rule-name-addressable table of every analyzer pass.
+CHECKS = Registry("static check")
+
+
+def register_check(check_cls: Type[C]) -> Type[C]:
+    """Register a :class:`Check` subclass under its ``name`` attribute."""
+    return CHECKS.register(check_cls.name)(check_cls)
+
+
+@dataclass
+class FileContext:
+    """One parsed source file handed to every selected check."""
+
+    path: str  #: absolute filesystem path
+    relpath: str  #: repo-relative posix path (finding identity)
+    tree: ast.AST
+    source: str
+
+    @classmethod
+    def from_source(cls, path: str, relpath: str, source: str) -> "FileContext":
+        return cls(path=path, relpath=relpath, tree=ast.parse(source), source=source)
+
+
+def parse_file(path: str, relpath: str) -> FileContext:
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    return FileContext.from_source(path, relpath, source)
+
+
+class Check:
+    """Base class for one analyzer pass (one rule name)."""
+
+    name: str = ""
+    description: str = ""
+    scope: str = "file"  # "file" | "project"
+    severity: str = "error"
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def run_project(self, ctxs: List[FileContext]) -> Iterable[Finding]:
+        return ()
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        *,
+        key: str,
+        message: str,
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            key=key,
+            severity=self.severity,
+        )

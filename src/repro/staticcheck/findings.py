@@ -1,0 +1,268 @@
+"""Findings, suppressions, baselines, and the ``STATICCHECK.json`` schema.
+
+A finding is one rule violation at one source location, carried as a
+dataclass everywhere in-process and serialized into a single
+schema-versioned JSON document (``STATICCHECK.json``) for CI artifacts
+and trend lines — the same load/validate/save shape as
+``BENCH_<suite>.json`` (:mod:`repro.bench.runner`).
+
+Two escape hatches keep the gate honest without blocking real work:
+
+* **inline suppression** — ``# staticcheck: ignore[rule]`` (or
+  ``ignore[rule-a,rule-b]``) on the flagged line, or on a standalone
+  comment line directly above it, acknowledges a deliberate violation
+  at that site.  The convention in this repo is to pair it with a
+  one-line constraint comment saying *why* the unsynchronized access
+  (or whatever the rule guards) is safe;
+* **committed baseline** — a JSON file of finding *fingerprints*
+  (stable across line-number drift) grandfathers pre-existing findings
+  so the gate only fails on **new** ones.
+
+``exit nonzero on new findings`` is the CLI contract: a finding that is
+neither suppressed nor baselined fails ``repro check``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Finding",
+    "Suppressions",
+    "load_baseline",
+    "save_baseline",
+    "baseline_fingerprints",
+    "build_report",
+    "validate_report",
+    "save_report",
+    "load_report",
+]
+
+#: schema of the STATICCHECK.json document; bump on incompatible change.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``key`` is the finding's *stable identity* within ``(rule, path)`` —
+    e.g. ``"Coalescer._items:stats"`` for a lock-discipline finding —
+    chosen by each check so the fingerprint survives unrelated edits
+    moving the line around.
+    """
+
+    rule: str
+    path: str  #: repo-relative posix path of the flagged file
+    line: int
+    col: int
+    message: str
+    key: str
+    severity: str = "error"
+    suppressed: bool = field(default=False, compare=False)
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used for baseline matching."""
+        blob = f"{self.rule}:{self.path}:{self.key}".encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "key": self.key,
+            "severity": self.severity,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Finding":
+        return cls(
+            rule=str(d["rule"]),
+            path=str(d["path"]),
+            line=int(d["line"]),
+            col=int(d.get("col", 0)),
+            message=str(d["message"]),
+            key=str(d["key"]),
+            severity=str(d.get("severity", "error")),
+            suppressed=bool(d.get("suppressed", False)),
+            baselined=bool(d.get("baselined", False)),
+        )
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+# -- inline suppressions ------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(r"#\s*staticcheck:\s*ignore\[([A-Za-z0-9_\-, *]+)\]")
+
+
+class Suppressions:
+    """Per-file map of ``# staticcheck: ignore[rule]`` comments.
+
+    A suppression applies to findings on its own line, or — when the
+    comment is the only thing on its line — to the first code line below
+    the comment *block* it belongs to (so a multi-line constraint
+    comment carrying the tag anywhere in it covers the statement under
+    it).
+    """
+
+    def __init__(self, source: str) -> None:
+        self._by_line: Dict[int, Set[str]] = {}
+        lines = source.splitlines()
+        for lineno, text in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+            self._by_line.setdefault(lineno, set()).update(rules)
+            if text.lstrip().startswith("#"):
+                # standalone comment: cover every following comment line
+                # of the same block, then the first code line below it.
+                cursor = lineno  # 0-based index of the next line
+                while cursor < len(lines) and lines[cursor].lstrip().startswith("#"):
+                    self._by_line.setdefault(cursor + 1, set()).update(rules)
+                    cursor += 1
+                self._by_line.setdefault(cursor + 1, set()).update(rules)
+
+    def covers(self, line: int, rule: str) -> bool:
+        rules = self._by_line.get(line)
+        return bool(rules) and (rule in rules or "*" in rules)
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+# -- baseline -----------------------------------------------------------------
+
+
+def baseline_fingerprints(findings: Iterable[Finding]) -> Dict[str, Any]:
+    """Baseline document grandfathering ``findings`` (suppressed ones
+    need no baseline entry and are skipped)."""
+    entries = {}
+    for f in findings:
+        if f.suppressed:
+            continue
+        entries[f.fingerprint] = {"rule": f.rule, "path": f.path, "key": f.key}
+    return {"schema_version": SCHEMA_VERSION, "fingerprints": entries}
+
+
+def save_baseline(document: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The set of grandfathered fingerprints in a baseline file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    if not isinstance(document, dict):
+        raise ValueError("staticcheck baseline must be a JSON object")
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported baseline schema_version "
+            f"{document.get('schema_version')!r}; this build reads "
+            f"version {SCHEMA_VERSION}"
+        )
+    fingerprints = document.get("fingerprints")
+    if not isinstance(fingerprints, dict):
+        raise ValueError("staticcheck baseline missing 'fingerprints' object")
+    return set(fingerprints)
+
+
+# -- the STATICCHECK.json document --------------------------------------------
+
+
+def _git_sha() -> str:
+    from ..bench.runner import git_sha
+
+    return git_sha()
+
+
+def build_report(
+    findings: List[Finding],
+    *,
+    roots: List[str],
+    files_scanned: int,
+    selected_rules: List[str],
+    rule_descriptions: Dict[str, str],
+) -> Dict[str, Any]:
+    """Assemble the schema-versioned STATICCHECK.json document."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.key))
+    new = [f for f in ordered if not f.suppressed and not f.baselined]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "repro.staticcheck",
+        "git_sha": _git_sha(),
+        "created_unix": int(time.time()),
+        "roots": [p.replace(os.sep, "/") for p in roots],
+        "selected_rules": sorted(selected_rules),
+        "rules": {name: rule_descriptions.get(name, "") for name in selected_rules},
+        "counts": {
+            "files": files_scanned,
+            "total": len(ordered),
+            "suppressed": sum(1 for f in ordered if f.suppressed),
+            "baselined": sum(1 for f in ordered if f.baselined),
+            "new": len(new),
+        },
+        "findings": [f.to_dict() for f in ordered],
+    }
+
+
+def validate_report(report: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``report`` is a well-formed document."""
+    if not isinstance(report, dict):
+        raise ValueError("staticcheck report must be a JSON object")
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported staticcheck schema_version "
+            f"{report.get('schema_version')!r}; this build reads "
+            f"version {SCHEMA_VERSION}"
+        )
+    for required in ("tool", "git_sha", "roots", "counts", "findings"):
+        if required not in report:
+            raise ValueError(f"staticcheck report missing key {required!r}")
+    counts = report["counts"]
+    if not isinstance(counts, dict):
+        raise ValueError("staticcheck report 'counts' must be an object")
+    for required in ("files", "total", "suppressed", "baselined", "new"):
+        if not isinstance(counts.get(required), int):
+            raise ValueError(f"staticcheck report counts missing {required!r}")
+    if not isinstance(report["findings"], list):
+        raise ValueError("staticcheck report 'findings' must be a list")
+    for entry in report["findings"]:
+        Finding.from_dict(entry)  # raises on malformed entries
+
+
+def save_report(report: Dict[str, Any], path: str) -> None:
+    """Validate and write ``report`` as pretty-printed JSON."""
+    validate_report(report)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read and validate a STATICCHECK.json document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    validate_report(report)
+    return report

@@ -1,0 +1,269 @@
+"""Registry-addressable lint passes for documented-but-unenforced rules.
+
+Each of these rules existed before this module — as a comment, a README
+warning, or a code-review convention born from a real bug.  Comments
+don't gate merges; these passes do:
+
+``no-builtin-hash``
+    Builtin ``hash()`` is seeded per-process (``PYTHONHASHSEED``), so
+    any value derived from it disagrees across workers and restarts.
+    Ring placement, canonical forms, and cache keys must use the
+    repo's sha256 helpers (the PR 7 rule that lived in a
+    ``cluster/ring.py`` comment).  ``__hash__`` implementations are
+    exempt — that is the one place builtin hashing semantics belong.
+
+``no-wallclock``
+    Deterministic and seeded code paths (canonical forms, workload
+    generation, ring placement, sentinel generation, partitioning)
+    must not read the wall clock (``time.time()``,
+    ``datetime.now()``/``utcnow()``/``today()``) or the process-global
+    unseeded ``random`` module: byte-reproducibility is a CI-gated
+    contract (same spec + seed => identical bytes).  Use
+    ``time.monotonic()``/``perf_counter()`` for durations and a seeded
+    ``random.Random(seed)`` instance for randomness.
+
+``atomic-write``
+    Cache stores, spool directories, and journals are read concurrently
+    by other threads and *processes*; a plain ``open(path, "w")`` write
+    exposes torn half-files to every reader.  Writes in those modules
+    must go through the temp-file + ``os.replace`` idiom (the
+    ``atomic_write_json`` helper, or a local mkstemp/replace pair in
+    the same function).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set, Tuple
+
+from .checkers import Check, FileContext, register_check
+from .findings import Finding
+
+__all__ = ["NoBuiltinHash", "NoWallclock", "AtomicWrite"]
+
+#: path fragments of deterministic / seeded code (the no-wallclock scope).
+DETERMINISTIC_PATHS: Tuple[str, ...] = (
+    "serving/canonical.py",
+    "cluster/ring.py",
+    "loadgen/workload.py",
+    "loadgen/histogram.py",
+    "core/partition.py",
+    "sentinel/",
+    "ir/",
+)
+
+#: path fragments of concurrently-read persistent state (atomic-write scope).
+ATOMIC_WRITE_PATHS: Tuple[str, ...] = (
+    "serving/cache.py",
+    "serving/spool.py",
+    "loadgen/journal.py",
+    "cluster/hiercache.py",
+)
+
+#: functions that make a write in ATOMIC_WRITE_PATHS atomic when called
+#: in the same enclosing function as the ``open(..., "w")``.
+_ATOMIC_MARKERS = {"replace", "rename"}
+
+
+def _path_in(relpath: str, fragments: Tuple[str, ...]) -> bool:
+    return any(fragment in relpath for fragment in fragments)
+
+
+def _enclosing_functions(tree: ast.AST) -> "dict[int, ast.AST]":
+    """Map id(node) -> nearest enclosing function node (or the module)."""
+    owner: "dict[int, ast.AST]" = {}
+
+    def assign(scope: ast.AST, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_scope = (
+                child
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else scope
+            )
+            owner[id(child)] = child_scope
+            assign(child_scope, child)
+
+    owner[id(tree)] = tree
+    assign(tree, tree)
+    return owner
+
+
+@register_check
+class NoBuiltinHash(Check):
+    name = "no-builtin-hash"
+    description = (
+        "builtin hash() is PYTHONHASHSEED-randomized and never stable across "
+        "processes; placement/canonical/cache keys must use sha256 helpers "
+        "(__hash__ implementations are exempt)"
+    )
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        owner = _enclosing_functions(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                continue
+            scope = owner.get(id(node))
+            if (
+                isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and scope.name == "__hash__"
+            ):
+                continue
+            scope_name = getattr(scope, "name", "<module>")
+            yield self.finding(
+                ctx,
+                node,
+                key=f"hash:{scope_name}",
+                message=(
+                    f"builtin hash() in {scope_name}() is randomized per "
+                    f"process (PYTHONHASHSEED) — values derived from it "
+                    f"disagree across workers and restarts; use the sha256 "
+                    f"helpers (e.g. cluster.ring's placement hash or "
+                    f"serving.canonical's digests) instead"
+                ),
+            )
+
+
+@register_check
+class NoWallclock(Check):
+    name = "no-wallclock"
+    description = (
+        "deterministic/seeded code paths must not read the wall clock "
+        "(time.time, datetime.now/utcnow/today) or the unseeded global "
+        "random module; use monotonic clocks and seeded random.Random"
+    )
+
+    _WALLCLOCK_CALLS = {
+        ("time", "time"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+    }
+    _SEEDED_RANDOM_OK = {"Random", "SystemRandom"}
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _path_in(ctx.relpath, DETERMINISTIC_PATHS):
+            return
+        owner = _enclosing_functions(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            if not isinstance(base, ast.Name):
+                continue
+            scope_name = getattr(owner.get(id(node)), "name", "<module>")
+            if (base.id, func.attr) in self._WALLCLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    key=f"wallclock:{base.id}.{func.attr}:{scope_name}",
+                    message=(
+                        f"{base.id}.{func.attr}() reads the wall clock inside "
+                        f"a deterministic/seeded path ({scope_name}); use "
+                        f"time.monotonic()/perf_counter() for durations, and "
+                        f"keep timestamps out of reproducible artifacts"
+                    ),
+                )
+            elif base.id == "random" and func.attr not in self._SEEDED_RANDOM_OK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    key=f"unseeded:random.{func.attr}:{scope_name}",
+                    message=(
+                        f"random.{func.attr}() uses the process-global "
+                        f"unseeded RNG inside a deterministic/seeded path "
+                        f"({scope_name}); thread a seeded random.Random(seed) "
+                        f"instance through instead"
+                    ),
+                )
+
+
+@register_check
+class AtomicWrite(Check):
+    name = "atomic-write"
+    description = (
+        "file writes in cache/spool/journal modules must use the temp-file + "
+        "os.replace idiom (atomic_write_json or a local mkstemp/replace pair); "
+        "plain open(path, 'w') exposes torn files to concurrent readers"
+    )
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _path_in(ctx.relpath, ATOMIC_WRITE_PATHS):
+            return
+        owner = _enclosing_functions(ctx.tree)
+        atomic_scopes = self._atomic_scopes(ctx.tree, owner)
+        for node in ast.walk(ctx.tree):
+            mode = self._write_open_mode(node)
+            if mode is None:
+                continue
+            scope = owner.get(id(node))
+            if id(scope) in atomic_scopes:
+                continue
+            scope_name = getattr(scope, "name", "<module>")
+            yield self.finding(
+                ctx,
+                node,
+                key=f"open:{scope_name}:{mode}",
+                message=(
+                    f"non-atomic write (open mode {mode!r}) in "
+                    f"{scope_name}() of a concurrently-read store; write to "
+                    f"a same-directory temp file and os.replace() it into "
+                    f"place (see serving.spool.atomic_write_json)"
+                ),
+            )
+
+    @staticmethod
+    def _write_open_mode(node: ast.AST) -> Optional[str]:
+        """The mode string when ``node`` is a writing open()/os.fdopen()."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        is_open = isinstance(func, ast.Name) and func.id == "open"
+        is_fdopen = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "fdopen"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "os"
+        )
+        if not (is_open or is_fdopen):
+            return None
+        mode_node: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            mode_node = node.args[1]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "mode":
+                    mode_node = kw.value
+        if not (isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str)):
+            return None  # default mode "r", or dynamic (out of scope)
+        mode = mode_node.value
+        return mode if any(flag in mode for flag in ("w", "a", "x", "+")) else None
+
+    @staticmethod
+    def _atomic_scopes(tree: ast.AST, owner: "dict[int, ast.AST]") -> Set[int]:
+        """ids of function nodes that call os.replace/rename or an
+        ``atomic*`` helper somewhere in their body."""
+        scopes: Set[int] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            marker = False
+            if isinstance(func, ast.Attribute):
+                if func.attr in _ATOMIC_MARKERS and isinstance(func.value, ast.Name):
+                    marker = func.value.id == "os"
+                else:
+                    marker = func.attr.startswith("atomic")
+            elif isinstance(func, ast.Name):
+                marker = func.id.startswith("atomic")
+            if marker:
+                scope = owner.get(id(node))
+                if scope is not None:
+                    scopes.add(id(scope))
+        return scopes

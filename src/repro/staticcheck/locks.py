@@ -1,0 +1,662 @@
+"""Lock-discipline analysis: guarded attributes, shutdown waits, lock order.
+
+The serving stack is a pile of little monitors — classes owning one or
+two ``threading.Lock``/``Condition`` objects and a handful of fields
+the lock is supposed to guard.  The discipline is simple to state and
+easy to erode in review: *if a field is ever written under a lock, every
+thread-reachable access must hold that lock* (or carry an explicit
+``# staticcheck: ignore[lock-discipline]`` with the one-line constraint
+that makes the lock-free access safe).  This module infers that
+discipline per class from the AST and flags erosions:
+
+``lock-discipline``
+    * **mixed access** — an instance attribute written under
+      ``with self._lock:`` somewhere but read or written outside it in
+      another thread-reachable method;
+    * **unsynchronized multi-writer** — an attribute written from two
+      or more methods of a lock-owning class with no lock held anywhere
+      (the ``MuxServer.close()``/``start()`` shape from PR 8).
+
+``cond-wait-recheck``
+    A *timed* ``self._cond.wait(t)`` in a class whose ``close()``-style
+    method sets a shutdown flag, where no enclosing ``if``/``while``
+    test consults that flag: ``close()``'s ``notify_all`` can be spent
+    waking the loop *before* it reaches the timed wait, and the thread
+    then sleeps the window out (or forever, on respawned waits) holding
+    pending work — the exact ``Coalescer.close()`` lost-wakeup from
+    PR 8.
+
+``lock-order``
+    A cross-class lock-acquisition-order graph: acquiring ``B`` while
+    holding ``A`` (lexically nested ``with``, or a call into a method
+    that takes ``B`` — including through attributes whose class is
+    inferred from ``self.x = ClassName(...)`` in ``__init__``) adds the
+    edge ``A → B``.  A cycle means two threads can deadlock by
+    acquiring the same locks in opposite orders.
+
+Heuristics and conventions the model relies on:
+
+* ``with self.X:`` on a bare instance attribute is treated as a lock
+  acquisition even when ``X`` was assigned in a base class — inherited
+  locks guard subclasses too;
+* methods named ``*_locked`` run with their caller's lock held (the
+  repo-wide convention); their accesses satisfy any guard;
+* ``__init__``-like methods are single-threaded by construction and
+  never produce findings;
+* mutating calls (``self.items.append(...)``, ``self.memo.pop(...)``)
+  and subscript stores count as writes, not reads;
+* attributes holding internally synchronized objects
+  (``threading.Event``, the ``queue`` classes) carry no discipline —
+  wrapping a blocking ``queue.get()`` in the monitor lock would be a
+  deadlock, not hygiene;
+* nested ``def``/``lambda`` bodies are skipped: they execute on
+  whatever thread calls them later, so the lexical lock context would
+  be a lie in either direction.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .checkers import Check, FileContext, register_check
+from .findings import Finding
+
+__all__ = [
+    "ClassModel",
+    "class_models",
+    "LockDiscipline",
+    "CondWaitRecheck",
+    "LockOrder",
+]
+
+#: threading factories whose result makes an attribute a lock.
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+#: factories whose result is *internally* synchronized: accesses through
+#: these attributes are thread-safe by construction and carry no
+#: lock-discipline obligations (taking a lock around a blocking
+#: ``queue.get()`` would be a deadlock, not hygiene).
+_SYNC_FACTORIES = {"Event", "Queue", "PriorityQueue", "LifoQueue", "SimpleQueue"}
+
+#: method calls on an attribute that mutate the underlying container.
+_MUTATOR_METHODS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "popleft",
+    "put",
+    "remove",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+#: single-threaded-by-construction methods: no findings, no guard inference.
+_EXEMPT_METHODS = {"__init__", "__new__", "__post_init__", "__del__"}
+
+#: a method whose name contains one of these sets shutdown flags.
+_CLOSE_HINTS = ("close", "stop", "shutdown", "drain")
+
+#: sentinel lock name for ``*_locked`` methods (caller holds the lock).
+_CALLER_HELD = "*"
+
+
+@dataclass
+class _Access:
+    attr: str
+    node: ast.AST
+    write: bool
+    locks: FrozenSet[str]
+    method: str
+
+
+@dataclass
+class _Acquire:
+    lock: str
+    node: ast.AST
+    held: FrozenSet[str]
+    method: str
+
+
+@dataclass
+class _Call:
+    receiver: Optional[str]  #: None for ``self.m()``, attr name for ``self.a.m()``
+    method: str
+    locks: FrozenSet[str]
+    node: ast.AST
+    caller: str
+
+
+@dataclass
+class _TimedWait:
+    cond: str
+    node: ast.AST
+    guards: Tuple[ast.AST, ...]
+    method: str
+
+
+@dataclass
+class ClassModel:
+    """Everything the lock checks need to know about one class."""
+
+    name: str
+    node: ast.ClassDef
+    relpath: str
+    declared_locks: Dict[str, str] = field(default_factory=dict)  #: attr -> factory
+    with_locks: Set[str] = field(default_factory=set)  #: attrs used as ``with self.X:``
+    sync_attrs: Set[str] = field(default_factory=set)  #: internally synchronized
+    attr_types: Dict[str, str] = field(default_factory=dict)  #: attr -> class name
+    close_flags: Set[str] = field(default_factory=set)
+    accesses: List[_Access] = field(default_factory=list)
+    acquires: List[_Acquire] = field(default_factory=list)
+    calls: List[_Call] = field(default_factory=list)
+    timed_waits: List[_TimedWait] = field(default_factory=list)
+    method_names: Set[str] = field(default_factory=set)
+
+    @property
+    def lock_attrs(self) -> Set[str]:
+        return set(self.declared_locks) | self.with_locks
+
+    def has_locks(self) -> bool:
+        return bool(self.lock_attrs)
+
+    def locks_acquired_by(self, method: str) -> Set[str]:
+        return {a.lock for a in self.acquires if a.method == method}
+
+
+def _is_self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_lock_factory(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _LOCK_FACTORIES:
+        return isinstance(func.value, ast.Name) and func.value.id == "threading"
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    return False
+
+
+def _is_sync_factory(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _SYNC_FACTORIES:
+        return isinstance(func.value, ast.Name) and func.value.id in (
+            "threading",
+            "queue",
+        )
+    if isinstance(func, ast.Name):
+        return func.id in _SYNC_FACTORIES
+    return False
+
+
+def _subtree_mentions_attr(node: ast.AST, attrs: Set[str]) -> bool:
+    for sub in ast.walk(node):
+        name = _is_self_attr(sub)
+        if name is not None and name in attrs:
+            return True
+    return False
+
+
+class _MethodWalker:
+    """One pass over a method body tracking held locks and guard tests."""
+
+    def __init__(self, model: ClassModel, method: str, caller_held: bool) -> None:
+        self.model = model
+        self.method = method
+        self.base: Tuple[str, ...] = (_CALLER_HELD,) if caller_held else ()
+
+    def walk(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit(stmt, self.base, ())
+
+    def _visit(
+        self, node: ast.AST, locks: Tuple[str, ...], guards: Tuple[ast.AST, ...]
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # runs on another thread, later: lexical locks don't apply
+        if isinstance(node, ast.ClassDef):
+            return  # modelled separately
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = locks
+            for item in node.items:
+                attr = _is_self_attr(item.context_expr)
+                if attr is not None:
+                    self.model.with_locks.add(attr)
+                    self.model.acquires.append(
+                        _Acquire(attr, item.context_expr, frozenset(inner), self.method)
+                    )
+                    inner = inner + (attr,)
+                else:
+                    self._visit(item.context_expr, locks, guards)
+                if item.optional_vars is not None:
+                    self._visit(item.optional_vars, locks, guards)
+            for stmt in node.body:
+                self._visit(stmt, inner, guards)
+            return
+        if isinstance(node, (ast.If, ast.While)):
+            self._visit(node.test, locks, guards)
+            inner_guards = guards + (node.test,)
+            for stmt in node.body:
+                self._visit(stmt, locks, inner_guards)
+            for stmt in node.orelse:
+                self._visit(stmt, locks, inner_guards)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node, locks, guards)
+            return
+        if isinstance(node, ast.Subscript):
+            attr = _is_self_attr(node.value)
+            if attr is not None:
+                write = isinstance(node.ctx, (ast.Store, ast.Del))
+                self._record(attr, node.value, write, locks)
+                self._visit(node.slice, locks, guards)
+                return
+        attr = _is_self_attr(node)
+        if attr is not None:
+            write = isinstance(node.ctx, (ast.Store, ast.Del))
+            self._record(attr, node, write, locks)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, locks, guards)
+
+    def _visit_call(
+        self, node: ast.Call, locks: Tuple[str, ...], guards: Tuple[ast.AST, ...]
+    ) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver_attr = _is_self_attr(func.value)
+            if receiver_attr is not None:
+                # self.X.m(...): a call through an attribute
+                if func.attr == "acquire":
+                    self.model.acquires.append(
+                        _Acquire(receiver_attr, node, frozenset(locks), self.method)
+                    )
+                elif func.attr == "wait" and (
+                    node.args or any(k.arg == "timeout" for k in node.keywords)
+                ):
+                    self.model.timed_waits.append(
+                        _TimedWait(receiver_attr, node, guards, self.method)
+                    )
+                write = func.attr in _MUTATOR_METHODS
+                self._record(receiver_attr, func.value, write, locks)
+                self.model.calls.append(
+                    _Call(receiver_attr, func.attr, frozenset(locks), node, self.method)
+                )
+            elif isinstance(func.value, ast.Name) and func.value.id == "self":
+                # self.m(...): a call to a sibling method
+                self.model.calls.append(
+                    _Call(None, func.attr, frozenset(locks), node, self.method)
+                )
+            else:
+                self._visit(func.value, locks, guards)
+        else:
+            self._visit(func, locks, guards)
+        for arg in node.args:
+            self._visit(arg, locks, guards)
+        for kw in node.keywords:
+            self._visit(kw.value, locks, guards)
+
+    def _record(
+        self, attr: str, node: ast.AST, write: bool, locks: Tuple[str, ...]
+    ) -> None:
+        self.model.accesses.append(
+            _Access(attr, node, write, frozenset(locks), self.method)
+        )
+
+
+def _build_model(cls: ast.ClassDef, relpath: str) -> ClassModel:
+    model = ClassModel(name=cls.name, node=cls, relpath=relpath)
+    methods = [
+        stmt
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    # first pass: declared locks, attribute classes, close flags
+    for method in methods:
+        model.method_names.add(method.name)
+        is_closer = any(hint in method.name for hint in _CLOSE_HINTS)
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            attr = _is_self_attr(target)
+            if attr is None:
+                continue
+            if _is_lock_factory(value):
+                factory = (
+                    value.func.attr
+                    if isinstance(value.func, ast.Attribute)
+                    else value.func.id  # type: ignore[union-attr]
+                )
+                model.declared_locks[attr] = factory
+            elif _is_sync_factory(value):
+                model.sync_attrs.add(attr)
+            elif isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+                model.attr_types[attr] = value.func.id
+            if (
+                is_closer
+                and isinstance(value, ast.Constant)
+                and value.value is True
+            ):
+                model.close_flags.add(attr)
+    # second pass: accesses, acquisitions, calls, waits per method
+    for method in methods:
+        if method.name in _EXEMPT_METHODS:
+            continue  # single-threaded construction phase: nothing to check
+        walker = _MethodWalker(
+            model, method.name, caller_held=method.name.endswith("_locked")
+        )
+        walker.walk(method.body)
+    return model
+
+
+def class_models(ctx: FileContext) -> List[ClassModel]:
+    """Every class model of ``ctx``, built once and cached on the context."""
+    cached = getattr(ctx, "_staticcheck_lock_models", None)
+    if cached is not None:
+        return cached
+    models = [
+        _build_model(node, ctx.relpath)
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, ast.ClassDef)
+    ]
+    ctx._staticcheck_lock_models = models  # type: ignore[attr-defined]
+    return models
+
+
+# -- the checks ---------------------------------------------------------------
+
+
+@register_check
+class LockDiscipline(Check):
+    name = "lock-discipline"
+    description = (
+        "instance attributes written under a lock must not be accessed "
+        "outside it in thread-reachable methods; lock-owning classes must "
+        "not write the same attribute from several methods with no lock"
+    )
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        for model in class_models(ctx):
+            if not model.has_locks():
+                continue
+            yield from self._mixed_access(ctx, model)
+            yield from self._multi_writer(ctx, model)
+
+    def _mixed_access(self, ctx: FileContext, model: ClassModel) -> Iterable[Finding]:
+        lock_attrs = model.lock_attrs
+        by_attr: Dict[str, List[_Access]] = {}
+        for access in model.accesses:
+            if access.attr not in lock_attrs and access.attr not in model.sync_attrs:
+                by_attr.setdefault(access.attr, []).append(access)
+        for attr, accesses in sorted(by_attr.items()):
+            guards = set()
+            for access in accesses:
+                if access.write:
+                    guards.update(access.locks - {_CALLER_HELD})
+            if not guards:
+                continue
+            flagged_methods: Set[str] = set()
+            for access in accesses:
+                if _CALLER_HELD in access.locks or access.locks & guards:
+                    continue
+                if access.method in flagged_methods:
+                    continue
+                flagged_methods.add(access.method)
+                kind = "written" if access.write else "read"
+                yield self.finding(
+                    ctx,
+                    access.node,
+                    key=f"{model.name}.{attr}:{access.method}",
+                    message=(
+                        f"'{model.name}.{attr}' is written under "
+                        f"{self._lock_names(guards)} but {kind} without it in "
+                        f"{access.method}(); hold the lock, or mark a "
+                        f"deliberate lock-free access with "
+                        f"'# staticcheck: ignore[lock-discipline]' and a "
+                        f"one-line constraint comment"
+                    ),
+                )
+
+    def _multi_writer(self, ctx: FileContext, model: ClassModel) -> Iterable[Finding]:
+        lock_attrs = model.lock_attrs
+        writers: Dict[str, Dict[str, _Access]] = {}
+        ever_locked: Set[str] = set()
+        for access in model.accesses:
+            if access.attr in lock_attrs or access.attr in model.sync_attrs:
+                continue
+            if not access.write:
+                continue
+            if access.locks:
+                ever_locked.add(access.attr)
+            else:
+                writers.setdefault(access.attr, {}).setdefault(access.method, access)
+        for attr, by_method in sorted(writers.items()):
+            if attr in ever_locked or len(by_method) < 2:
+                continue
+            first = min(by_method.values(), key=lambda a: getattr(a.node, "lineno", 0))
+            methods = ", ".join(sorted(by_method))
+            yield self.finding(
+                ctx,
+                first.node,
+                key=f"{model.name}.{attr}:multi-writer",
+                message=(
+                    f"'{model.name}.{attr}' is written from several methods "
+                    f"({methods}) with no lock held, in a class that owns "
+                    f"{self._lock_names(model.lock_attrs)} — concurrent "
+                    f"callers race on it (the MuxServer close()/start() "
+                    f"shape); serialize the writes or mark the constraint "
+                    f"with '# staticcheck: ignore[lock-discipline]'"
+                ),
+            )
+
+    @staticmethod
+    def _lock_names(locks: Set[str]) -> str:
+        return " / ".join(f"'self.{name}'" for name in sorted(locks))
+
+
+@register_check
+class CondWaitRecheck(Check):
+    name = "cond-wait-recheck"
+    description = (
+        "a timed Condition.wait() in a class with a shutdown flag must sit "
+        "under an if/while test that re-checks the flag, or close()'s "
+        "notification is spent before the wait and shutdown loses its wakeup"
+    )
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        for model in class_models(ctx):
+            if not model.close_flags:
+                continue
+            conditions = {
+                attr
+                for attr, factory in model.declared_locks.items()
+                if factory == "Condition"
+            } | model.with_locks
+            for wait in model.timed_waits:
+                if wait.cond not in conditions:
+                    continue
+                if any(
+                    _subtree_mentions_attr(guard, model.close_flags)
+                    for guard in wait.guards
+                ):
+                    continue
+                flags = ", ".join(f"self.{f}" for f in sorted(model.close_flags))
+                yield self.finding(
+                    ctx,
+                    wait.node,
+                    key=f"{model.name}.{wait.cond}:timed-wait:{wait.method}",
+                    message=(
+                        f"timed 'self.{wait.cond}.wait(...)' in "
+                        f"{model.name}.{wait.method}() is not guarded by a "
+                        f"test of the shutdown flag ({flags}): a close() "
+                        f"racing this loop spends its notify before the wait "
+                        f"and the thread sleeps through shutdown (the "
+                        f"Coalescer.close() lost-wakeup); re-check the flag "
+                        f"in the enclosing if/while"
+                    ),
+                )
+
+
+@register_check
+class LockOrder(Check):
+    name = "lock-order"
+    description = (
+        "the cross-class lock-acquisition-order graph must be acyclic: "
+        "taking B while holding A and A while holding B deadlocks two "
+        "threads acquiring in opposite orders"
+    )
+    scope = "project"
+
+    def run_project(self, ctxs: List[FileContext]) -> Iterable[Finding]:
+        models: Dict[str, ClassModel] = {}
+        for ctx in ctxs:
+            for model in class_models(ctx):
+                models.setdefault(model.name, model)
+        ctx_by_path = {ctx.relpath: ctx for ctx in ctxs}
+        # edges: (holder node) -> (acquired node), with one witness site
+        edges: Dict[Tuple[str, str], Tuple[str, str, ast.AST, str]] = {}
+
+        def add_edge(src: str, dst: str, relpath: str, node: ast.AST) -> None:
+            if src != dst:
+                edges.setdefault((src, dst), (src, dst, node, relpath))
+
+        for model in models.values():
+            # lexically nested acquisitions
+            for acquire in model.acquires:
+                dst = f"{model.name}.{acquire.lock}"
+                for held in acquire.held:
+                    if held == _CALLER_HELD:
+                        continue
+                    add_edge(
+                        f"{model.name}.{held}", dst, model.relpath, acquire.node
+                    )
+            # calls made while holding a lock, into lock-taking methods
+            for call in model.calls:
+                if not call.locks or call.locks == {_CALLER_HELD}:
+                    continue
+                if call.receiver is None:
+                    target_model: Optional[ClassModel] = models.get(model.name)
+                else:
+                    target_cls = model.attr_types.get(call.receiver)
+                    target_model = models.get(target_cls) if target_cls else None
+                if target_model is None:
+                    continue
+                for lock in target_model.locks_acquired_by(call.method):
+                    dst = f"{target_model.name}.{lock}"
+                    for held in call.locks:
+                        if held == _CALLER_HELD:
+                            continue
+                        add_edge(
+                            f"{model.name}.{held}", dst, model.relpath, call.node
+                        )
+        yield from self._cycles(edges, ctx_by_path)
+
+    def _cycles(
+        self,
+        edges: Dict[Tuple[str, str], Tuple[str, str, ast.AST, str]],
+        ctx_by_path: Dict[str, FileContext],
+    ) -> Iterable[Finding]:
+        graph: Dict[str, Set[str]] = {}
+        for src, dst in edges:
+            graph.setdefault(src, set()).add(dst)
+            graph.setdefault(dst, set())
+        for component in _tarjan_sccs(graph):
+            if len(component) < 2:
+                continue
+            members = sorted(component)
+            witness_edges = [
+                edges[(src, dst)]
+                for (src, dst) in sorted(edges)
+                if src in component and dst in component
+            ]
+            sites = "; ".join(
+                f"{src} -> {dst} at {relpath}:{getattr(node, 'lineno', '?')}"
+                for src, dst, node, relpath in witness_edges
+            )
+            src, dst, node, relpath = witness_edges[0]
+            ctx = ctx_by_path.get(relpath)
+            if ctx is None:  # witness in an unscanned file; anchor at first ctx
+                ctx = next(iter(ctx_by_path.values()))
+            yield self.finding(
+                ctx,
+                node,
+                key="|".join(members),
+                message=(
+                    f"potential lock-order inversion among "
+                    f"{', '.join(members)}: acquisition edges form a cycle "
+                    f"({sites}); pick one global order and acquire in it "
+                    f"everywhere"
+                ),
+            )
+
+
+def _tarjan_sccs(graph: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Strongly connected components, iteratively (no recursion limit)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Set[str]] = []
+    counter = [0]
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: List[Tuple[str, Iterable[str]]] = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs

@@ -1,0 +1,163 @@
+"""Drive the analyzer suite over a source tree: ``repro check``.
+
+The runner walks the requested roots, parses every ``*.py`` once,
+applies the selected checks (file-scope per file, project-scope once
+with every parsed file), then post-processes raw findings through the
+two escape hatches — inline ``# staticcheck: ignore[rule]``
+suppressions and the committed fingerprint baseline — and assembles the
+schema-versioned ``STATICCHECK.json`` document.
+
+A file that does not parse is itself a finding (rule ``parse-error``)
+rather than a crash: the gate must fail loudly on a broken tree, not
+skip it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .checkers import CHECKS, Check, FileContext, parse_file
+from .findings import (
+    Finding,
+    Suppressions,
+    build_report,
+    load_baseline,
+)
+
+# importing the rule modules registers every built-in check
+from . import invariants as _invariants  # noqa: F401
+from . import locks as _locks  # noqa: F401
+from . import wire_contract as _wire_contract  # noqa: F401
+
+__all__ = [
+    "DEFAULT_ROOTS",
+    "available_rules",
+    "rule_descriptions",
+    "iter_python_files",
+    "analyze_paths",
+    "run_check",
+]
+
+#: scanned when the CLI gets no explicit roots.
+DEFAULT_ROOTS = ("src/repro",)
+
+#: directories never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def available_rules() -> List[str]:
+    """Every registered rule name, sorted."""
+    return CHECKS.names()
+
+
+def rule_descriptions() -> Dict[str, str]:
+    return {name: CHECKS.resolve(name).description for name in CHECKS.names()}
+
+
+def iter_python_files(roots: Sequence[str]) -> Iterable[str]:
+    for root in roots:
+        if os.path.isfile(root):
+            if root.endswith(".py"):
+                yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def _relpath(path: str, base: Optional[str]) -> str:
+    if base:
+        try:
+            rel = os.path.relpath(path, base)
+            if not rel.startswith(".."):
+                return rel.replace(os.sep, "/")
+        except ValueError:
+            pass
+    return path.replace(os.sep, "/")
+
+
+def _selected_checks(select: Optional[Sequence[str]]) -> List[Check]:
+    names = list(select) if select else available_rules()
+    return [CHECKS.resolve(name)() for name in names]
+
+
+def analyze_paths(
+    roots: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    base: Optional[str] = None,
+) -> Tuple[List[Finding], int]:
+    """Run the selected checks; returns (raw findings, files scanned).
+
+    ``base`` anchors the repo-relative paths findings carry (defaults
+    to the current working directory), so fingerprints agree between a
+    local run and CI regardless of absolute checkout location.
+    """
+    if base is None:
+        base = os.getcwd()
+    checks = _selected_checks(select)
+    file_checks = [c for c in checks if c.scope == "file"]
+    project_checks = [c for c in checks if c.scope == "project"]
+    ctxs: List[FileContext] = []
+    findings: List[Finding] = []
+    files_scanned = 0
+    for path in iter_python_files(roots):
+        files_scanned += 1
+        relpath = _relpath(path, base)
+        try:
+            ctx = parse_file(path, relpath)
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", None) or 1
+            findings.append(
+                Finding(
+                    rule="parse-error",
+                    path=relpath,
+                    line=int(lineno),
+                    col=0,
+                    message=f"file does not parse: {exc}",
+                    key="parse-error",
+                )
+            )
+            continue
+        ctxs.append(ctx)
+        for check in file_checks:
+            findings.extend(check.run(ctx))
+    for check in project_checks:
+        findings.extend(check.run_project(ctxs))
+    suppressions = {ctx.relpath: Suppressions(ctx.source) for ctx in ctxs}
+    resolved: List[Finding] = []
+    for finding in findings:
+        table = suppressions.get(finding.path)
+        if table is not None and table.covers(finding.line, finding.rule):
+            finding = dataclasses.replace(finding, suppressed=True)
+        resolved.append(finding)
+    return resolved, files_scanned
+
+
+def run_check(
+    roots: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = None,
+    base: Optional[str] = None,
+) -> Dict[str, object]:
+    """Analyze, apply the baseline, and build the report document."""
+    findings, files_scanned = analyze_paths(roots, select=select, base=base)
+    baselined: Set[str] = set()
+    if baseline_path and os.path.exists(baseline_path):
+        baselined = load_baseline(baseline_path)
+    final: List[Finding] = []
+    for finding in findings:
+        if not finding.suppressed and finding.fingerprint in baselined:
+            finding = dataclasses.replace(finding, baselined=True)
+        final.append(finding)
+    selected = list(select) if select else available_rules()
+    return build_report(
+        final,
+        roots=list(roots),
+        files_scanned=files_scanned,
+        selected_rules=selected,
+        rule_descriptions=rule_descriptions(),
+    )

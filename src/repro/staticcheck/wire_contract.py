@@ -1,0 +1,343 @@
+"""Wire-contract checker: the error-code vocabulary stays closed and total.
+
+:mod:`repro.api.wire` is the single source of truth for the endpoint
+protocol's structured error codes: a small closed set of ``ERR_*``
+string constants, plus per-transport mappings (``HTTP_STATUS`` for the
+HTTP transport, ``MUX_FRAME_EVENT`` for the mux frame protocol) that
+must be **total** over that set — a code with no mapping surfaces as an
+unmapped 500/dead channel only under the error condition itself, which
+is exactly when you cannot afford surprises.
+
+This pass enforces the contract statically, from the AST, across every
+transport package (``api/``, ``serving/``, ``mux/``, ``control/``,
+``cluster/``):
+
+``wire-codes``
+    * ``EndpointError("some_literal", ...)`` whose code is not in the
+      closed set — a transport inventing its own vocabulary;
+    * ``EndpointError(ERR_X, ...)`` naming an ``ERR_*`` constant that
+      ``wire.py`` does not define;
+    * comparisons ``exc.code == "literal"`` (or ``in {...}``) against a
+      string no server can ever send;
+    * a module other than ``wire.py`` defining its own ``ERR_*``
+      string constant.
+
+``wire-totality``
+    * an ``ERR_*`` code missing from ``HTTP_STATUS`` or
+      ``MUX_FRAME_EVENT`` (or a mapping key that is not a code);
+    * an HTTP status outside 100–599, or a frame event outside the
+      known dispositions;
+    * two ``ERR_*`` constants sharing one wire value.
+
+The runtime halves of the same contract live in
+``tests/api/test_wire_contract.py`` — the checker proves it about the
+source, the test proves it about the imported module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .checkers import Check, FileContext, register_check
+from .findings import Finding
+
+__all__ = ["WireCodes", "WireTotality", "wire_vocabulary"]
+
+#: packages whose EndpointError constructions the checker audits.
+TRANSPORT_PACKAGES = ("api/", "serving/", "mux/", "control/", "cluster/")
+
+#: the file defining the closed set (relpath suffix).
+WIRE_MODULE_SUFFIX = "api/wire.py"
+
+#: frame dispositions a mux error code may map to (see wire.MUX_FRAME_EVENT).
+FRAME_EVENTS = {"error", "retry"}
+
+
+def _find_wire_ctx(ctxs: List[FileContext]) -> Optional[FileContext]:
+    for ctx in ctxs:
+        if ctx.relpath.endswith(WIRE_MODULE_SUFFIX):
+            return ctx
+    return None
+
+
+def _module_dict_literal(
+    tree: ast.AST, name: str
+) -> Optional[Tuple[ast.AST, Dict[ast.AST, ast.AST]]]:
+    """The ``{key: value}`` literal assigned to module-level ``name``."""
+    for node in ast.walk(tree):
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if (
+            isinstance(target, ast.Name)
+            and target.id == name
+            and isinstance(value, ast.Dict)
+        ):
+            return node, dict(zip(value.keys, value.values))
+    return None
+
+
+def wire_vocabulary(ctx: FileContext) -> Dict[str, str]:
+    """``ERR_*`` constant name -> string value, parsed from wire.py's AST."""
+    codes: Dict[str, str] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id.startswith("ERR_")
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                codes[target.id] = node.value.value
+    return codes
+
+
+def _in_transport_package(relpath: str) -> bool:
+    return any(f"/{pkg}" in relpath or relpath.startswith(pkg) for pkg in TRANSPORT_PACKAGES)
+
+
+@register_check
+class WireTotality(Check):
+    name = "wire-totality"
+    description = (
+        "wire.py's HTTP_STATUS and MUX_FRAME_EVENT mappings must be total "
+        "over the closed ERR_* set, with sane values and no duplicate codes"
+    )
+    scope = "project"
+
+    def run_project(self, ctxs: List[FileContext]) -> Iterable[Finding]:
+        ctx = _find_wire_ctx(ctxs)
+        if ctx is None:
+            return
+        codes = wire_vocabulary(ctx)
+        values: Dict[str, str] = {}
+        for name, value in sorted(codes.items()):
+            if value in values:
+                yield self.finding(
+                    ctx,
+                    ctx.tree,
+                    key=f"duplicate:{value}",
+                    message=(
+                        f"error codes {values[value]} and {name} share the "
+                        f"wire value {value!r}; codes must be distinct so "
+                        f"clients can branch on them"
+                    ),
+                )
+            else:
+                values[value] = name
+        yield from self._mapping_total(
+            ctx, codes, "HTTP_STATUS", self._check_http_value
+        )
+        yield from self._mapping_total(
+            ctx, codes, "MUX_FRAME_EVENT", self._check_event_value
+        )
+
+    def _mapping_total(self, ctx, codes, mapping_name, value_check):
+        found = _module_dict_literal(ctx.tree, mapping_name)
+        if found is None:
+            yield self.finding(
+                ctx,
+                ctx.tree,
+                key=f"{mapping_name}:missing",
+                message=(
+                    f"wire.py defines no module-level {mapping_name} dict "
+                    f"literal mapping every ERR_* code"
+                ),
+            )
+            return
+        node, entries = found
+        seen: Set[str] = set()
+        for key_node, value_node in entries.items():
+            key_name = key_node.id if isinstance(key_node, ast.Name) else None
+            if key_name is None or key_name not in codes:
+                label = key_name or ast.dump(key_node)[:40]
+                yield self.finding(
+                    ctx,
+                    key_node,
+                    key=f"{mapping_name}:foreign:{label}",
+                    message=(
+                        f"{mapping_name} key {label} is not an ERR_* constant "
+                        f"of the closed set"
+                    ),
+                )
+                continue
+            seen.add(key_name)
+            yield from value_check(ctx, mapping_name, key_name, value_node)
+        for missing in sorted(set(codes) - seen):
+            yield self.finding(
+                ctx,
+                node,
+                key=f"{mapping_name}:{missing}",
+                message=(
+                    f"{mapping_name} has no entry for {missing} "
+                    f"({codes[missing]!r}); the mapping must be total over "
+                    f"the closed error-code set"
+                ),
+            )
+
+    def _check_http_value(self, ctx, mapping_name, key_name, value_node):
+        if not (
+            isinstance(value_node, ast.Constant)
+            and isinstance(value_node.value, int)
+            and 100 <= value_node.value <= 599
+        ):
+            yield self.finding(
+                ctx,
+                value_node,
+                key=f"{mapping_name}:value:{key_name}",
+                message=(
+                    f"{mapping_name}[{key_name}] must be an integer HTTP "
+                    f"status in 100..599"
+                ),
+            )
+
+    def _check_event_value(self, ctx, mapping_name, key_name, value_node):
+        if not (
+            isinstance(value_node, ast.Constant)
+            and value_node.value in FRAME_EVENTS
+        ):
+            yield self.finding(
+                ctx,
+                value_node,
+                key=f"{mapping_name}:value:{key_name}",
+                message=(
+                    f"{mapping_name}[{key_name}] must be one of "
+                    f"{sorted(FRAME_EVENTS)}"
+                ),
+            )
+
+
+@register_check
+class WireCodes(Check):
+    name = "wire-codes"
+    description = (
+        "every error code a transport constructs or branches on must be a "
+        "member of wire.py's closed ERR_* set; no transport invents codes"
+    )
+    scope = "project"
+
+    def run_project(self, ctxs: List[FileContext]) -> Iterable[Finding]:
+        wire_ctx = _find_wire_ctx(ctxs)
+        if wire_ctx is None:
+            return
+        codes = wire_vocabulary(wire_ctx)
+        code_values = set(codes.values())
+        for ctx in ctxs:
+            if not _in_transport_package(ctx.relpath):
+                continue
+            is_wire = ctx is wire_ctx
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Call):
+                    yield from self._check_construction(
+                        ctx, node, codes, code_values
+                    )
+                elif isinstance(node, ast.Compare):
+                    yield from self._check_comparison(ctx, node, code_values)
+                elif (
+                    not is_wire
+                    and isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                ):
+                    target = node.targets[0]
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id.startswith("ERR_")
+                        and isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, str)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            key=f"minted:{target.id}",
+                            message=(
+                                f"{target.id} defines an error code outside "
+                                f"wire.py; the wire vocabulary is closed — "
+                                f"add the code to wire.py's ERR_* set (and "
+                                f"its transport mappings) instead"
+                            ),
+                        )
+
+    def _check_construction(self, ctx, node, codes, code_values):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name != "EndpointError" or not node.args:
+            return
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            if first.value not in code_values:
+                yield self.finding(
+                    ctx,
+                    first,
+                    key=f"EndpointError:{first.value}",
+                    message=(
+                        f"EndpointError code {first.value!r} is not in "
+                        f"wire.py's closed set; use an ERR_* constant (adding "
+                        f"it to wire.py and its transport mappings if the "
+                        f"vocabulary genuinely grows)"
+                    ),
+                )
+            else:
+                # in the set, but spelled as a loose literal: the
+                # constant keeps construction sites greppable and safe
+                # against typos the set lookup cannot catch at runtime.
+                constant = next(k for k, v in codes.items() if v == first.value)
+                yield self.finding(
+                    ctx,
+                    first,
+                    key=f"EndpointError:literal:{first.value}",
+                    message=(
+                        f"EndpointError built from the string literal "
+                        f"{first.value!r}; import and use wire.{constant}"
+                    ),
+                )
+        elif isinstance(first, ast.Name) and first.id.startswith("ERR_"):
+            if first.id not in codes:
+                yield self.finding(
+                    ctx,
+                    first,
+                    key=f"EndpointError:{first.id}",
+                    message=(
+                        f"EndpointError code constant {first.id} is not "
+                        f"defined by wire.py; the closed set is: "
+                        f"{', '.join(sorted(codes))}"
+                    ),
+                )
+
+    def _check_comparison(self, ctx, node, code_values):
+        operands = [node.left, *node.comparators]
+        mentions_code_attr = any(
+            isinstance(op, ast.Attribute) and op.attr == "code" for op in operands
+        )
+        if not mentions_code_attr:
+            return
+        literals: List[ast.Constant] = []
+        for op in operands:
+            if isinstance(op, ast.Constant) and isinstance(op.value, str):
+                literals.append(op)
+            elif isinstance(op, (ast.Set, ast.Tuple, ast.List)):
+                literals.extend(
+                    e
+                    for e in op.elts
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                )
+        for literal in literals:
+            if literal.value not in code_values:
+                yield self.finding(
+                    ctx,
+                    literal,
+                    key=f"compare:{literal.value}",
+                    message=(
+                        f"branch compares an error code against "
+                        f"{literal.value!r}, which no transport can send — "
+                        f"the closed set does not contain it"
+                    ),
+                )

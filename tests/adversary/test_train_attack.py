@@ -20,7 +20,7 @@ def separable_dataset(n=30, seed=0):
     """Reals = chains of Conv/Relu; fakes = chains of Softmax/Sigmoid."""
     rng = np.random.default_rng(seed)
     reals, fakes = [], []
-    for i in range(n):
+    for _ in range(n):
         g = nx.DiGraph()
         ops = ["Conv", "Relu"] * 3
         for j, op in enumerate(ops):

@@ -1,0 +1,76 @@
+"""Runtime cross-transport parity of the wire error-code vocabulary.
+
+The static half of this contract is the ``wire-codes``/``wire-totality``
+analyzer rules (``repro check``); this test proves the same properties
+about the *imported* module, so a code added through any path that the
+AST pass might not see still fails CI.
+"""
+
+from repro.api import wire
+from repro.api.wire import (
+    ERR_JOB_PENDING,
+    ERR_OVERLOADED,
+    ERR_TRANSPORT,
+    HTTP_STATUS,
+    MUX_FRAME_EVENT,
+    EndpointError,
+)
+
+CODES = {
+    name: value
+    for name, value in vars(wire).items()
+    if name.startswith("ERR_") and isinstance(value, str)
+}
+
+
+class TestClosedSet:
+    def test_the_set_is_nonempty_and_exported(self):
+        assert len(CODES) >= 10
+        for name in CODES:
+            assert name in wire.__all__, f"{name} missing from wire.__all__"
+
+    def test_code_values_are_distinct(self):
+        values = list(CODES.values())
+        assert len(values) == len(set(values)), "two ERR_* share a wire value"
+
+
+class TestHttpParity:
+    def test_total_over_the_closed_set(self):
+        assert set(HTTP_STATUS) == set(CODES.values())
+
+    def test_statuses_are_sane(self):
+        for code, status in HTTP_STATUS.items():
+            assert isinstance(status, int), code
+            assert 100 <= status <= 599, code
+
+    def test_semantic_anchors(self):
+        assert HTTP_STATUS[ERR_JOB_PENDING] == 202  # not ready, not an error
+        assert HTTP_STATUS[ERR_OVERLOADED] == 429  # back off and retry
+        assert HTTP_STATUS[ERR_TRANSPORT] == 502  # an intermediary answered
+
+
+class TestMuxFrameParity:
+    def test_total_over_the_closed_set(self):
+        assert set(MUX_FRAME_EVENT) == set(CODES.values())
+
+    def test_events_are_known_dispositions(self):
+        assert set(MUX_FRAME_EVENT.values()) <= {"error", "retry"}
+
+    def test_job_pending_never_crosses_the_stream(self):
+        # on the mux transport "not ready" is silence: the server-side
+        # receipt watcher absorbs it and keeps waiting
+        assert MUX_FRAME_EVENT[ERR_JOB_PENDING] == "retry"
+        retried = [c for c, e in MUX_FRAME_EVENT.items() if e == "retry"]
+        assert retried == [ERR_JOB_PENDING]
+
+    def test_both_transports_cover_the_same_codes(self):
+        assert set(HTTP_STATUS) == set(MUX_FRAME_EVENT)
+
+
+class TestEndpointErrorRoundtrip:
+    def test_every_code_survives_serialization(self):
+        for code in CODES.values():
+            err = EndpointError(code, f"probe for {code}")
+            back = EndpointError.from_dict(err.to_dict())
+            assert back.code == code
+            assert back.message == f"probe for {code}"

@@ -196,3 +196,46 @@ class TestEvents:
         with scaler:
             pass  # start + stop must not deadlock or leak
         assert scaler._thread is None
+
+    def test_concurrent_starts_spawn_exactly_one_thread(self):
+        # the start()/stop() thread handoff is serialized under the
+        # scaler lock: hammering start() from many threads must create
+        # one poll loop, never several racing ones
+        import threading
+
+        fleet = FakeFleet(1)
+        scaler = make(fleet, idle, poll_interval_s=0.01)
+        spawned = []
+        original = threading.Thread
+
+        class CountingThread(original):
+            def __init__(self, *args, **kwargs):
+                if kwargs.get("name") == "fleet-autoscaler":
+                    spawned.append(kwargs.get("name"))
+                super().__init__(*args, **kwargs)
+
+        threading.Thread = CountingThread
+        try:
+            callers = [original(target=scaler.start) for _ in range(8)]
+            for t in callers:
+                t.start()
+            for t in callers:
+                t.join()
+        finally:
+            threading.Thread = original
+        try:
+            assert spawned == ["fleet-autoscaler"]
+        finally:
+            scaler.stop()
+        assert scaler._thread is None
+
+    def test_stop_is_idempotent_and_restartable(self):
+        fleet = FakeFleet(1)
+        scaler = make(fleet, idle, poll_interval_s=0.01)
+        scaler.stop()  # before any start: a no-op, not a crash
+        scaler.start()
+        scaler.stop()
+        scaler.stop()
+        scaler.start()  # restart after a clean stop
+        scaler.stop()
+        assert scaler._thread is None

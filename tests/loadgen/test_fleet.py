@@ -376,6 +376,50 @@ class TestFleetResizeAndReap:
         assert state_workers() == []  # the empty fleet was published
 
 
+class TestStartLifecycleRace:
+    """start()'s check-and-set of the started flag is one locked step."""
+
+    def _stub_fleet(self, tmp_path, workers, spawned):
+        fleet = ServingFleet(workers, cache_dir=str(tmp_path / "c"), jobs=1)
+
+        def fake_spawn():
+            spawned.append(1)
+            url = f"http://127.0.0.1:{9000 + len(spawned)}"
+            with fleet._fleet_lock:
+                fleet.urls.append(url)
+            return url
+
+        fleet._spawn_one = fake_spawn
+        return fleet
+
+    def test_concurrent_starts_spawn_the_fleet_once(self, tmp_path):
+        import threading
+
+        spawned = []
+        fleet = self._stub_fleet(tmp_path, workers=3, spawned=spawned)
+        callers = [threading.Thread(target=fleet.start) for _ in range(6)]
+        for t in callers:
+            t.start()
+        for t in callers:
+            t.join()
+        assert len(spawned) == 3  # one fleet, not six
+
+    def test_start_returns_a_snapshot_not_the_live_list(self, tmp_path):
+        fleet = self._stub_fleet(tmp_path, workers=2, spawned=[])
+        urls = fleet.start()
+        urls.append("http://bogus")
+        with fleet._fleet_lock:
+            assert len(fleet.urls) == 2
+
+    def test_close_rearms_start(self, tmp_path):
+        spawned = []
+        fleet = self._stub_fleet(tmp_path, workers=1, spawned=spawned)
+        fleet.start()
+        fleet.close()
+        fleet.start()
+        assert len(spawned) == 2
+
+
 class TestBannerParsing:
     """The one-JSON-line-on-stdout contract, under multi-transport
     workers: `endpoint` names whichever transport is *primary*, so the

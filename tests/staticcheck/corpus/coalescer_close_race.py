@@ -1,0 +1,46 @@
+"""Regression corpus: the pre-fix Coalescer window wait (PR 8).
+
+Minimized from the mux batching layer as it shipped before the fix: the
+window-wait guard re-checks the batch size and age but **not** the
+shutdown flag, so a ``close()`` that lands between the guard and the
+timed ``wait()`` spends its ``notify_all`` early and the worker sleeps
+the full window out holding queued items.  The analyzer must flag the
+timed wait with ``cond-wait-recheck`` — tests/staticcheck/test_corpus.py
+asserts it does.  (The shipped ``repro.mux.batch.Coalescer`` adds
+``not self._closed`` to the guard.)
+"""
+
+import threading
+
+
+class Coalescer:
+    def __init__(self, batch_max, batch_window_s):
+        self.batch_max = batch_max
+        self.batch_window_s = batch_window_s
+        self._cond = threading.Condition()
+        self._items = []
+        self._closed = False
+
+    def submit(self, item):
+        with self._cond:
+            self._items.append(item)
+            self._cond.notify_all()
+
+    def take_batch(self, age):
+        with self._cond:
+            while True:
+                if self._closed and not self._items:
+                    return None
+                if self._items:
+                    # pre-fix guard: never consults self._closed
+                    if len(self._items) < self.batch_max and age < self.batch_window_s:
+                        self._cond.wait(self.batch_window_s - age)
+                        continue
+                    batch, self._items = self._items, []
+                    return batch
+                self._cond.wait()
+
+    def close(self):
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,50 @@
+"""Regression corpus: the pre-fix MuxServer close()/start() race (PR 8).
+
+Minimized lifecycle shape as it shipped before the fix: ``start()``
+re-arms the shutdown flag and ``close()`` sets it, from different
+threads, with no lock held — a ``close()`` racing a ``start()`` can be
+overwritten and the accept loop keeps serving a "closed" server.  The
+analyzer must flag the flag (and the listener handle) as an
+unsynchronized multi-writer — tests/staticcheck/test_corpus.py asserts
+it does.  (The shipped ``repro.mux.server.MuxServer`` serializes
+lifecycle transitions.)
+"""
+
+import socket
+import threading
+
+
+class MuxServer:
+    def __init__(self, host, port):
+        self.host = host
+        self.port = port
+        self._lock = threading.Lock()
+        self._listener = None
+        self._closed = False
+        self._frames_total = 0
+
+    def bind(self):
+        if self._listener is None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.bind((self.host, self.port))
+            listener.listen(16)
+            self._listener = listener
+        return self._listener.getsockname()
+
+    def start(self):
+        address = self.bind()
+        self._closed = False  # pre-fix: unsynchronized re-arm
+        thread = threading.Thread(target=self._serve_loop, daemon=True)
+        thread.start()
+        return address
+
+    def _serve_loop(self):
+        while not self._closed:
+            with self._lock:
+                self._frames_total += 1
+
+    def close(self):
+        self._closed = True  # pre-fix: races the start() re-arm
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            listener.close()

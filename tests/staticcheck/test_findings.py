@@ -1,0 +1,152 @@
+"""Findings, suppressions, baselines and the STATICCHECK.json schema."""
+
+import dataclasses
+
+import pytest
+
+from repro.staticcheck import (
+    SCHEMA_VERSION,
+    Finding,
+    Suppressions,
+    baseline_fingerprints,
+    build_report,
+    load_baseline,
+    load_report,
+    save_baseline,
+    save_report,
+    validate_report,
+)
+
+
+def make_finding(**overrides):
+    base = dict(
+        rule="lock-discipline",
+        path="src/repro/mux/server.py",
+        line=42,
+        col=8,
+        message="field accessed outside lock",
+        key="MuxServer._closed:stats",
+    )
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestFingerprint:
+    def test_stable_across_line_drift(self):
+        a = make_finding(line=42)
+        b = make_finding(line=400, col=0)
+        assert a.fingerprint == b.fingerprint
+
+    def test_distinguishes_rule_path_and_key(self):
+        a = make_finding()
+        assert a.fingerprint != make_finding(rule="atomic-write").fingerprint
+        assert a.fingerprint != make_finding(path="other.py").fingerprint
+        assert a.fingerprint != make_finding(key="Other._x:read").fingerprint
+
+    def test_roundtrips_through_dict(self):
+        a = make_finding(suppressed=True)
+        b = Finding.from_dict(a.to_dict())
+        assert b == a
+        assert b.suppressed and not b.baselined
+        assert a.to_dict()["fingerprint"] == a.fingerprint
+
+
+class TestSuppressions:
+    def test_same_line(self):
+        s = Suppressions("x = 1  # staticcheck: ignore[lock-discipline]\n")
+        assert s.covers(1, "lock-discipline")
+        assert not s.covers(1, "atomic-write")
+        assert not s.covers(2, "lock-discipline")
+
+    def test_standalone_comment_covers_next_code_line(self):
+        s = Suppressions(
+            "# staticcheck: ignore[atomic-write] — spool is single-writer\n"
+            "fh = open(path, 'w')\n"
+        )
+        assert s.covers(2, "atomic-write")
+
+    def test_comment_block_carries_the_tag_to_the_code_below(self):
+        s = Suppressions(
+            "# staticcheck: ignore[lock-discipline] — lifecycle calls are\n"
+            "# never raced; the accept loop tolerates a concurrent close\n"
+            "# (the accept call fails and the loop exits).\n"
+            "self._listener = listener\n"
+        )
+        assert s.covers(4, "lock-discipline")
+
+    def test_multiple_rules_and_wildcard(self):
+        s = Suppressions(
+            "a = 1  # staticcheck: ignore[rule-a, rule-b]\n"
+            "b = 2  # staticcheck: ignore[*]\n"
+        )
+        assert s.covers(1, "rule-a") and s.covers(1, "rule-b")
+        assert not s.covers(1, "rule-c")
+        assert s.covers(2, "anything-at-all")
+
+    def test_plain_comments_do_not_suppress(self):
+        s = Suppressions("# just a note about locks\nx = 1\n")
+        assert not s.covers(1, "lock-discipline")
+        assert not s.covers(2, "lock-discipline")
+
+
+class TestBaseline:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        findings = [make_finding(), make_finding(rule="atomic-write")]
+        save_baseline(baseline_fingerprints(findings), path)
+        assert load_baseline(path) == {f.fingerprint for f in findings}
+
+    def test_suppressed_findings_are_not_grandfathered(self):
+        doc = baseline_fingerprints([make_finding(suppressed=True)])
+        assert doc["fingerprints"] == {}
+
+    def test_rejects_wrong_schema_version(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        save_baseline(
+            {"schema_version": SCHEMA_VERSION, "fingerprints": {}}, path
+        )
+        assert load_baseline(path) == set()
+        save_baseline({"schema_version": 99, "fingerprints": {}}, path)
+        with pytest.raises(ValueError, match="schema_version"):
+            load_baseline(path)
+
+
+class TestReport:
+    def report(self):
+        findings = [
+            make_finding(),
+            dataclasses.replace(make_finding(key="a"), suppressed=True),
+            dataclasses.replace(make_finding(key="b"), baselined=True),
+        ]
+        return build_report(
+            findings,
+            roots=["src/repro"],
+            files_scanned=10,
+            selected_rules=["lock-discipline"],
+            rule_descriptions={"lock-discipline": "locks"},
+        )
+
+    def test_counts(self):
+        counts = self.report()["counts"]
+        assert counts == {
+            "files": 10,
+            "total": 3,
+            "suppressed": 1,
+            "baselined": 1,
+            "new": 1,
+        }
+
+    def test_schema_roundtrip(self, tmp_path):
+        path = str(tmp_path / "STATICCHECK.json")
+        report = self.report()
+        validate_report(report)
+        save_report(report, path)
+        assert load_report(path)["counts"] == report["counts"]
+
+    def test_validate_rejects_bad_documents(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_report({"schema_version": 99})
+        report = self.report()
+        del report["counts"]
+        with pytest.raises(ValueError, match="counts"):
+            validate_report(report)

@@ -1,0 +1,181 @@
+"""Unit tests for the no-builtin-hash, no-wallclock and atomic-write rules."""
+
+from .util import ctx_from, run_rule
+
+
+class TestNoBuiltinHash:
+    def test_hash_call_is_flagged_anywhere(self):
+        found = run_rule(
+            "no-builtin-hash",
+            ctx_from(
+                "def place(key):\n    return hash(key) % 8\n",
+                relpath="src/repro/cluster/snippet.py",
+            ),
+        )
+        assert [f.key for f in found] == ["hash:place"]
+        assert "PYTHONHASHSEED" in found[0].message
+
+    def test_dunder_hash_implementations_are_exempt(self):
+        found = run_rule(
+            "no-builtin-hash",
+            ctx_from(
+                """
+                class Node:
+                    def __hash__(self):
+                        return hash((self.op, self.name))
+                """,
+                relpath="src/repro/ir/snippet.py",
+            ),
+        )
+        assert found == []
+
+    def test_module_level_hash_is_flagged(self):
+        found = run_rule(
+            "no-builtin-hash",
+            ctx_from("SALT = hash('x')\n", relpath="src/repro/core/snippet.py"),
+        )
+        assert [f.key for f in found] == ["hash:<module>"]
+
+
+class TestNoWallclock:
+    def test_wallclock_in_deterministic_path(self):
+        found = run_rule(
+            "no-wallclock",
+            ctx_from(
+                "import time\n\ndef stamp():\n    return time.time()\n",
+                relpath="src/repro/serving/canonical.py",
+            ),
+        )
+        assert [f.key for f in found] == ["wallclock:time.time:stamp"]
+        assert "monotonic" in found[0].message
+
+    def test_unseeded_global_random_in_deterministic_path(self):
+        found = run_rule(
+            "no-wallclock",
+            ctx_from(
+                "import random\n\ndef jitter():\n    return random.random()\n",
+                relpath="src/repro/loadgen/workload.py",
+            ),
+        )
+        assert [f.key for f in found] == ["unseeded:random.random:jitter"]
+
+    def test_seeded_random_instance_is_fine(self):
+        found = run_rule(
+            "no-wallclock",
+            ctx_from(
+                "import random\n\ndef gen(seed):\n    return random.Random(seed)\n",
+                relpath="src/repro/loadgen/workload.py",
+            ),
+        )
+        assert found == []
+
+    def test_wallclock_outside_scoped_paths_is_fine(self):
+        found = run_rule(
+            "no-wallclock",
+            ctx_from(
+                "import time\n\ndef stamp():\n    return time.time()\n",
+                relpath="src/repro/serving/server.py",
+            ),
+        )
+        assert found == []
+
+
+class TestAtomicWrite:
+    def test_plain_write_in_cache_module_is_flagged(self):
+        found = run_rule(
+            "atomic-write",
+            ctx_from(
+                """
+                def store(path, blob):
+                    with open(path, "w") as fh:
+                        fh.write(blob)
+                """,
+                relpath="src/repro/serving/cache.py",
+            ),
+        )
+        assert [f.key for f in found] == ["open:store:w"]
+        assert "os.replace" in found[0].message
+
+    def test_replace_in_same_function_blesses_the_write(self):
+        found = run_rule(
+            "atomic-write",
+            ctx_from(
+                """
+                import os
+
+                def store(path, blob):
+                    tmp = path + ".tmp"
+                    with open(tmp, "w") as fh:
+                        fh.write(blob)
+                    os.replace(tmp, path)
+                """,
+                relpath="src/repro/serving/cache.py",
+            ),
+        )
+        assert found == []
+
+    def test_atomic_helper_call_blesses_the_write(self):
+        found = run_rule(
+            "atomic-write",
+            ctx_from(
+                """
+                def store(path, payload, fd):
+                    import os
+                    with os.fdopen(fd, "w") as fh:
+                        fh.write("x")
+                    atomic_write_json(path, payload)
+                """,
+                relpath="src/repro/loadgen/journal.py",
+            ),
+        )
+        assert found == []
+
+    def test_replace_elsewhere_does_not_bless_this_function(self):
+        found = run_rule(
+            "atomic-write",
+            ctx_from(
+                """
+                import os
+
+                def careful(path, blob):
+                    tmp = path + ".tmp"
+                    with open(tmp, "w") as fh:
+                        fh.write(blob)
+                    os.replace(tmp, path)
+
+                def sloppy(path, blob):
+                    with open(path, "w") as fh:
+                        fh.write(blob)
+                """,
+                relpath="src/repro/cluster/hiercache.py",
+            ),
+        )
+        assert [f.key for f in found] == ["open:sloppy:w"]
+
+    def test_reads_are_fine(self):
+        found = run_rule(
+            "atomic-write",
+            ctx_from(
+                """
+                def load(path):
+                    with open(path, "r") as fh:
+                        return fh.read()
+                """,
+                relpath="src/repro/serving/spool.py",
+            ),
+        )
+        assert found == []
+
+    def test_writes_outside_scoped_modules_are_fine(self):
+        found = run_rule(
+            "atomic-write",
+            ctx_from(
+                """
+                def dump(path, blob):
+                    with open(path, "w") as fh:
+                        fh.write(blob)
+                """,
+                relpath="src/repro/ir/serialization.py",
+            ),
+        )
+        assert found == []

@@ -1,0 +1,445 @@
+"""Unit tests for the lock-discipline, cond-wait-recheck and lock-order rules."""
+
+from .util import ctx_from, run_rule
+
+
+def findings_for(rule, source, relpath="src/repro/mux/snippet.py"):
+    return run_rule(rule, ctx_from(source, relpath))
+
+
+class TestLockDisciplineMixedAccess:
+    def test_read_outside_guard_is_flagged(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def peek(self):
+                    return self._n
+            """,
+        )
+        assert [f.key for f in found] == ["Counter._n:peek"]
+        assert "read without it" in found[0].message
+
+    def test_write_outside_guard_is_flagged(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def reset(self):
+                    self._n = 0
+            """,
+        )
+        assert [f.key for f in found] == ["Counter._n:reset"]
+        assert "written without it" in found[0].message
+
+    def test_all_access_under_lock_is_clean(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def peek(self):
+                    with self._lock:
+                        return self._n
+            """,
+        )
+        assert found == []
+
+    def test_locked_suffix_methods_satisfy_the_guard(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._bump_locked()
+
+                def _bump_locked(self):
+                    self._n += 1
+            """,
+        )
+        assert found == []
+
+    def test_init_writes_never_establish_or_violate_guards(self):
+        # __init__ is single-threaded; its bare writes are not findings
+        # even when another method guards the same attribute.
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+            """,
+        )
+        assert found == []
+
+    def test_mutator_call_counts_as_write(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, item):
+                    with self._lock:
+                        self._items.append(item)
+
+                def drain(self):
+                    self._items.clear()
+            """,
+        )
+        assert [f.key for f in found] == ["Box._items:drain"]
+        assert "written without it" in found[0].message
+
+    def test_internally_synchronized_attrs_are_exempt(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            import queue
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+                    self._stop = threading.Event()
+                    self._closed = False
+
+                def put(self, item):
+                    with self._lock:
+                        if self._closed:
+                            raise RuntimeError("closed")
+                        self._queue.put(item)
+
+                def loop(self):
+                    while not self._stop.wait(0.1):
+                        self._queue.get()
+            """,
+        )
+        assert found == []
+
+    def test_nested_function_bodies_are_skipped(self):
+        # the closure runs on another thread later: its lexical lock
+        # context is meaningless either way, so it yields no findings.
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class Spawner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def launch(self):
+                    def worker():
+                        self._n += 1
+                    return worker
+            """,
+        )
+        assert found == []
+
+    def test_inherited_lock_via_bare_with_is_recognized(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            class Child(Base):
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def peek(self):
+                    return self._n
+            """,
+        )
+        assert [f.key for f in found] == ["Child._n:peek"]
+
+
+class TestLockDisciplineMultiWriter:
+    def test_two_unguarded_writers_in_lock_owning_class(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class Server:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._handle = None
+
+                def open(self):
+                    self._handle = object()
+
+                def close(self):
+                    self._handle = None
+            """,
+        )
+        assert [f.key for f in found] == ["Server._handle:multi-writer"]
+        assert "close, open" in found[0].message
+
+    def test_single_writer_is_clean(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class Server:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._handle = None
+
+                def open(self):
+                    self._handle = object()
+            """,
+        )
+        assert found == []
+
+    def test_class_without_locks_is_out_of_scope(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            class Plain:
+                def open(self):
+                    self._handle = object()
+
+                def close(self):
+                    self._handle = None
+            """,
+        )
+        assert found == []
+
+
+class TestCondWaitRecheck:
+    def test_timed_wait_without_flag_guard_is_flagged(self):
+        found = findings_for(
+            "cond-wait-recheck",
+            """
+            import threading
+
+            class Pump:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._items = []
+                    self._closed = False
+
+                def loop(self):
+                    with self._cond:
+                        while True:
+                            if self._items:
+                                self._cond.wait(0.5)
+
+                def close(self):
+                    with self._cond:
+                        self._closed = True
+                        self._cond.notify_all()
+            """,
+        )
+        assert [f.key for f in found] == ["Pump._cond:timed-wait:loop"]
+        assert "lost-wakeup" in found[0].message
+
+    def test_guard_rechecking_the_flag_is_clean(self):
+        found = findings_for(
+            "cond-wait-recheck",
+            """
+            import threading
+
+            class Pump:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._items = []
+                    self._closed = False
+
+                def loop(self):
+                    with self._cond:
+                        while not self._closed and self._items:
+                            self._cond.wait(0.5)
+
+                def close(self):
+                    with self._cond:
+                        self._closed = True
+                        self._cond.notify_all()
+            """,
+        )
+        assert found == []
+
+    def test_untimed_wait_is_out_of_scope(self):
+        found = findings_for(
+            "cond-wait-recheck",
+            """
+            import threading
+
+            class Pump:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._closed = False
+
+                def loop(self):
+                    with self._cond:
+                        while True:
+                            self._cond.wait()
+
+                def close(self):
+                    with self._cond:
+                        self._closed = True
+                        self._cond.notify_all()
+            """,
+        )
+        assert found == []
+
+    def test_class_without_shutdown_flag_is_out_of_scope(self):
+        found = findings_for(
+            "cond-wait-recheck",
+            """
+            import threading
+
+            class Pump:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def loop(self):
+                    with self._cond:
+                        while True:
+                            self._cond.wait(0.5)
+            """,
+        )
+        assert found == []
+
+
+class TestLockOrder:
+    def test_opposite_nested_acquisitions_form_a_cycle(self):
+        found = findings_for(
+            "lock-order",
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """,
+        )
+        assert len(found) == 1
+        assert found[0].key == "Pair._a|Pair._b"
+        assert "inversion" in found[0].message
+
+    def test_consistent_order_is_clean(self):
+        found = findings_for(
+            "lock-order",
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def also_forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+            """,
+        )
+        assert found == []
+
+    def test_cross_class_cycle_through_attribute_calls(self):
+        found = findings_for(
+            "lock-order",
+            """
+            import threading
+
+            class Alpha:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._peer = Beta()
+
+                def ping(self):
+                    with self._lock:
+                        self._peer.pong_inner()
+
+                def ping_inner(self):
+                    with self._lock:
+                        pass
+
+            class Beta:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._peer = Alpha()
+
+                def pong(self):
+                    with self._lock:
+                        self._peer.ping_inner()
+
+                def pong_inner(self):
+                    with self._lock:
+                        pass
+            """,
+        )
+        # Alpha holds its lock while calling into Beta's lock-taking
+        # method and vice versa: Alpha._lock <-> Beta._lock is a cycle.
+        assert len(found) == 1
+        assert found[0].key == "Alpha._lock|Beta._lock"

@@ -1,0 +1,164 @@
+"""The analyzer runner and the ``repro check`` CLI gate."""
+
+import json
+import os
+import textwrap
+
+from repro.cli import main
+from repro.staticcheck import (
+    analyze_paths,
+    available_rules,
+    iter_python_files,
+    load_report,
+    run_check,
+    validate_report,
+)
+
+RACY = """
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def bump(self):
+        with self._lock:
+            self._n += 1
+
+    def peek(self):
+        return self._n
+"""
+
+CLEAN = """
+def double(x):
+    return 2 * x
+"""
+
+
+def write_tree(tmp_path, files):
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return str(tmp_path)
+
+
+class TestRunner:
+    def test_iter_python_files_skips_caches(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "pkg/a.py": CLEAN,
+                "pkg/__pycache__/a.cpython-311.pyc.py": "x = 1",
+                "pkg/data.txt": "not python",
+            },
+        )
+        files = list(iter_python_files([root]))
+        assert [os.path.basename(f) for f in files] == ["a.py"]
+
+    def test_findings_and_counts(self, tmp_path):
+        root = write_tree(tmp_path, {"mux/racy.py": RACY, "mux/fine.py": CLEAN})
+        findings, scanned = analyze_paths([root], base=str(tmp_path))
+        assert scanned == 2
+        assert [f.rule for f in findings] == ["lock-discipline"]
+        assert findings[0].path == "mux/racy.py"
+
+    def test_unparseable_file_is_a_finding_not_a_crash(self, tmp_path):
+        root = write_tree(tmp_path, {"mux/broken.py": "def broken(:\n"})
+        findings, scanned = analyze_paths([root], base=str(tmp_path))
+        assert scanned == 1
+        assert [f.rule for f in findings] == ["parse-error"]
+
+    def test_inline_suppression_is_applied(self, tmp_path):
+        suppressed = RACY.replace(
+            "        return self._n",
+            "        # staticcheck: ignore[lock-discipline] — stats-only read\n"
+            "        return self._n",
+        )
+        root = write_tree(tmp_path, {"mux/racy.py": suppressed})
+        findings, _ = analyze_paths([root], base=str(tmp_path))
+        assert [f.suppressed for f in findings] == [True]
+
+    def test_run_check_applies_baseline(self, tmp_path):
+        root = write_tree(tmp_path, {"mux/racy.py": RACY})
+        report = run_check([root], base=str(tmp_path))
+        validate_report(report)
+        assert report["counts"]["new"] == 1
+        fingerprint = report["findings"][0]["fingerprint"]
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {"schema_version": 1, "fingerprints": {fingerprint: {}}}
+            ),
+            encoding="utf-8",
+        )
+        report = run_check(
+            [root], baseline_path=str(baseline), base=str(tmp_path)
+        )
+        assert report["counts"]["new"] == 0
+        assert report["counts"]["baselined"] == 1
+
+    def test_select_limits_the_rules(self, tmp_path):
+        root = write_tree(tmp_path, {"mux/racy.py": RACY})
+        findings, _ = analyze_paths(
+            [root], select=["atomic-write"], base=str(tmp_path)
+        )
+        assert findings == []
+
+
+class TestCheckCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"fine.py": CLEAN})
+        assert main(["check", root]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["new"] == 0
+
+    def test_new_finding_exits_one(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"mux/racy.py": RACY})
+        assert main(["check", root]) == 1
+        captured = capsys.readouterr()
+        assert "lock-discipline" in captured.err
+        assert json.loads(captured.out)["counts"]["new"] == 1
+
+    def test_json_format_emits_the_full_document(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"mux/racy.py": RACY})
+        assert main(["check", root, "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        validate_report(report)
+        assert report["counts"]["total"] == 1
+
+    def test_report_flag_writes_the_document(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"fine.py": CLEAN})
+        out = str(tmp_path / "STATICCHECK.json")
+        assert main(["check", root, "--report", out]) == 0
+        assert load_report(out)["counts"]["files"] == 1
+
+    def test_update_baseline_then_gate_passes(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"mux/racy.py": RACY})
+        baseline = str(tmp_path / "baseline.json")
+        assert (
+            main(["check", root, "--baseline", baseline, "--update-baseline"])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["check", root, "--baseline", baseline]) == 0
+        assert json.loads(capsys.readouterr().out)["counts"]["baselined"] == 1
+
+    def test_unknown_rule_is_a_usage_error(self, tmp_path):
+        root = write_tree(tmp_path, {"fine.py": CLEAN})
+        assert main(["check", root, "--select", "no-such-rule"]) == 2
+
+    def test_missing_root_is_a_usage_error(self, tmp_path):
+        assert main(["check", str(tmp_path / "nope")]) == 2
+
+    def test_update_baseline_requires_baseline_path(self, tmp_path):
+        root = write_tree(tmp_path, {"fine.py": CLEAN})
+        assert main(["check", root, "--update-baseline"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in available_rules():
+            assert rule in out

@@ -1,0 +1,164 @@
+"""Unit tests for the wire-codes and wire-totality rules (AST half).
+
+The runtime half of the same contract — the *imported* wire module's
+mappings being total — lives in tests/api/test_wire_contract.py.
+"""
+
+from .util import ctx_from, run_rule
+
+WIRE_OK = """
+ERR_ALPHA = "alpha_failed"
+ERR_BETA = "beta_failed"
+
+HTTP_STATUS = {
+    ERR_ALPHA: 400,
+    ERR_BETA: 500,
+}
+
+MUX_FRAME_EVENT = {
+    ERR_ALPHA: "error",
+    ERR_BETA: "retry",
+}
+"""
+
+
+def wire_ctx(source=WIRE_OK):
+    return ctx_from(source, relpath="src/repro/api/wire.py")
+
+
+def transport_ctx(source, relpath="src/repro/mux/client_snippet.py"):
+    return ctx_from(source, relpath)
+
+
+class TestWireTotality:
+    def test_total_mappings_are_clean(self):
+        assert run_rule("wire-totality", wire_ctx()) == []
+
+    def test_missing_mux_entry(self):
+        source = WIRE_OK.replace('    ERR_BETA: "retry",\n', "")
+        found = run_rule("wire-totality", wire_ctx(source))
+        assert [f.key for f in found] == ["MUX_FRAME_EVENT:ERR_BETA"]
+        assert "total" in found[0].message
+
+    def test_missing_http_entry(self):
+        source = WIRE_OK.replace("    ERR_ALPHA: 400,\n", "")
+        found = run_rule("wire-totality", wire_ctx(source))
+        assert [f.key for f in found] == ["HTTP_STATUS:ERR_ALPHA"]
+
+    def test_missing_mapping_entirely(self):
+        source = WIRE_OK.split("MUX_FRAME_EVENT")[0]
+        found = run_rule("wire-totality", wire_ctx(source))
+        assert [f.key for f in found] == ["MUX_FRAME_EVENT:missing"]
+
+    def test_duplicate_code_values(self):
+        source = WIRE_OK.replace('"beta_failed"', '"alpha_failed"')
+        found = run_rule("wire-totality", wire_ctx(source))
+        assert any(f.key == "duplicate:alpha_failed" for f in found)
+
+    def test_http_status_out_of_range(self):
+        source = WIRE_OK.replace("ERR_ALPHA: 400,", "ERR_ALPHA: 42,")
+        found = run_rule("wire-totality", wire_ctx(source))
+        assert [f.key for f in found] == ["HTTP_STATUS:value:ERR_ALPHA"]
+
+    def test_unknown_frame_event(self):
+        source = WIRE_OK.replace('ERR_ALPHA: "error",', 'ERR_ALPHA: "explode",')
+        found = run_rule("wire-totality", wire_ctx(source))
+        assert [f.key for f in found] == ["MUX_FRAME_EVENT:value:ERR_ALPHA"]
+
+    def test_foreign_mapping_key(self):
+        source = WIRE_OK.replace(
+            "HTTP_STATUS = {", "HTTP_STATUS = {\n    ERR_GAMMA: 400,"
+        )
+        found = run_rule("wire-totality", wire_ctx(source))
+        assert any(f.key == "HTTP_STATUS:foreign:ERR_GAMMA" for f in found)
+
+    def test_no_wire_module_no_findings(self):
+        assert run_rule("wire-totality", transport_ctx("x = 1")) == []
+
+
+class TestWireCodes:
+    def test_invented_literal_code(self):
+        found = run_rule(
+            "wire-codes",
+            wire_ctx(),
+            transport_ctx(
+                'def f():\n    raise EndpointError("made_up", "boom")\n'
+            ),
+        )
+        assert [f.key for f in found] == ["EndpointError:made_up"]
+        assert "closed set" in found[0].message
+
+    def test_literal_spelling_of_a_known_code(self):
+        found = run_rule(
+            "wire-codes",
+            wire_ctx(),
+            transport_ctx(
+                'def f():\n    raise EndpointError("alpha_failed", "boom")\n'
+            ),
+        )
+        assert [f.key for f in found] == ["EndpointError:literal:alpha_failed"]
+        assert "wire.ERR_ALPHA" in found[0].message
+
+    def test_constant_construction_is_clean(self):
+        found = run_rule(
+            "wire-codes",
+            wire_ctx(),
+            transport_ctx(
+                "def f():\n    raise EndpointError(ERR_ALPHA, 'boom')\n"
+            ),
+        )
+        assert found == []
+
+    def test_undefined_err_constant(self):
+        found = run_rule(
+            "wire-codes",
+            wire_ctx(),
+            transport_ctx(
+                "def f():\n    raise EndpointError(ERR_GAMMA, 'boom')\n"
+            ),
+        )
+        assert [f.key for f in found] == ["EndpointError:ERR_GAMMA"]
+
+    def test_comparison_against_unknown_literal(self):
+        found = run_rule(
+            "wire-codes",
+            wire_ctx(),
+            transport_ctx(
+                'def f(exc):\n    return exc.code == "gamma_failed"\n'
+            ),
+        )
+        assert [f.key for f in found] == ["compare:gamma_failed"]
+        assert "no transport can send" in found[0].message
+
+    def test_comparison_against_known_literal_is_clean(self):
+        found = run_rule(
+            "wire-codes",
+            wire_ctx(),
+            transport_ctx(
+                'def f(exc):\n    return exc.code in ("alpha_failed", "beta_failed")\n'
+            ),
+        )
+        assert found == []
+
+    def test_minted_code_outside_wire(self):
+        found = run_rule(
+            "wire-codes",
+            wire_ctx(),
+            transport_ctx('ERR_LOCAL = "local_failure"\n'),
+        )
+        assert [f.key for f in found] == ["minted:ERR_LOCAL"]
+        assert "closed" in found[0].message
+
+    def test_wire_module_may_define_codes(self):
+        assert run_rule("wire-codes", wire_ctx()) == []
+
+    def test_non_transport_packages_are_out_of_scope(self):
+        found = run_rule(
+            "wire-codes",
+            wire_ctx(),
+            ctx_from(
+                'def f():\n    raise EndpointError("made_up", "boom")\n',
+                relpath="src/repro/ir/snippet.py",
+            ),
+        )
+        assert found == []

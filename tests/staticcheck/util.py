@@ -1,0 +1,22 @@
+"""Shared helpers: run one analyzer rule against inline source snippets."""
+
+import textwrap
+
+from repro.staticcheck import CHECKS, FileContext
+
+
+def ctx_from(source, relpath="src/repro/mux/snippet.py"):
+    """A FileContext for dedented inline ``source`` at ``relpath``."""
+    src = textwrap.dedent(source)
+    return FileContext.from_source("/" + relpath, relpath, src)
+
+
+def run_rule(rule, *ctxs):
+    """Findings from one registered rule over the given contexts."""
+    check = CHECKS.resolve(rule)()
+    if check.scope == "project":
+        return list(check.run_project(list(ctxs)))
+    findings = []
+    for ctx in ctxs:
+        findings.extend(check.run(ctx))
+    return findings
