@@ -66,7 +66,7 @@ try:
     __version__ = _dist_version("repro-proteus")
     del _dist_version
 except Exception:  # not installed: plain source checkout
-    __version__ = "1.9.0"
+    __version__ = "1.10.0"
 
 from .ir import Graph, GraphBuilder, Node  # noqa: F401
 from .core import ObfuscatedBucket, Proteus, ProteusConfig, ReassemblyPlan  # noqa: F401

@@ -67,6 +67,7 @@ import weakref
 from typing import Any, Dict, Optional, Union
 
 from ..core.proteus import ObfuscatedBucket
+from ..obs.trace import get_tracer
 from .manifest import BucketManifest, ManifestIntegrityError, load_manifest
 from .types import OptimizationReceipt, receipt_from_buckets
 from .wire import (
@@ -77,6 +78,8 @@ from .wire import (
     ERR_UNKNOWN_JOB,
     ERR_VERSION_MISMATCH,
     PROTOCOL_VERSION,
+    TRACE_FIELD,
+    TRACE_HEADER,
     EndpointError,
     receipt_from_wire,
     status_from_wire,
@@ -269,8 +272,15 @@ class SpoolEndpoint(OptimizerEndpoint):
     def submit(self, manifest: Union[BucketManifest, ObfuscatedBucket]) -> str:
         manifest = _seal(manifest)
         job_id = f"job-{uuid.uuid4().hex[:12]}"
+        envelope = manifest.to_dict()
+        # the optional trace key rides on the spool envelope; manifest
+        # parsing ignores unknown top-level keys, so untraced servers
+        # (and older readers) are unaffected.
+        ctx = get_tracer().current()
+        if ctx is not None and ctx.sampled:
+            envelope[TRACE_FIELD] = ctx.to_wire()
         self._spool.atomic_write_json(
-            self._path(job_id, self._spool.INPUT_SUFFIX), manifest.to_dict()
+            self._path(job_id, self._spool.INPUT_SUFFIX), envelope
         )
         self._buckets[job_id] = manifest.bucket
         return job_id
@@ -516,6 +526,7 @@ class HttpEndpoint(OptimizerEndpoint):
         path: str,
         body: Optional[Dict[str, Any]] = None,
         timeout: Optional[float] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         url = self.base_url + path
         data = None if body is None else json.dumps(body).encode("utf-8")
@@ -523,6 +534,8 @@ class HttpEndpoint(OptimizerEndpoint):
             "Content-Type": "application/json",
             "Connection": "keep-alive" if self.keep_alive else "close",
         }
+        if extra_headers:
+            headers.update(extra_headers)
         request_timeout = self.timeout if timeout is None else timeout
         for attempt in (0, 1):
             conn, reused = self._acquire(request_timeout)
@@ -607,10 +620,20 @@ class HttpEndpoint(OptimizerEndpoint):
         }
         if self.optimizer is not None:
             body["optimizer"] = self.optimizer
+        # propagate the caller's active trace span as the optional wire
+        # header; the serving side's spans become its children.
+        ctx = get_tracer().current()
+        trace_headers = (
+            {TRACE_HEADER: ctx.to_wire()} if ctx is not None and ctx.sampled else None
+        )
         attempts = 0
         while True:
             try:
-                return str(self._request("POST", "/v1/jobs", body)["job_id"])
+                return str(
+                    self._request(
+                        "POST", "/v1/jobs", body, extra_headers=trace_headers
+                    )["job_id"]
+                )
             except EndpointError as exc:
                 if exc.code != ERR_OVERLOADED:
                     raise

@@ -37,6 +37,8 @@ __all__ = [
     "ERR_TRANSPORT",
     "HTTP_STATUS",
     "MUX_FRAME_EVENT",
+    "TRACE_HEADER",
+    "TRACE_FIELD",
     "EndpointError",
     "receipt_to_wire",
     "receipt_from_wire",
@@ -102,6 +104,23 @@ MUX_FRAME_EVENT: Dict[str, str] = {
     ERR_INTERNAL: "error",
     ERR_TRANSPORT: "error",
 }
+
+
+# -- distributed-trace propagation --------------------------------------------
+#
+# The trace context is an OPTIONAL field on every transport — absent
+# means "not traced", never an error, so v1 peers without tracing
+# interoperate unchanged and no protocol-version bump is needed.  The
+# value is the compact string form of
+# :meth:`repro.obs.trace.TraceContext.to_wire`
+# (``<trace_id>-<span_id>-<0|1>``); receivers parse it with
+# ``TraceContext.from_wire``, which degrades malformed input to None.
+
+#: HTTP request header carrying the trace context on submit.
+TRACE_HEADER = "X-Repro-Trace"
+
+#: optional field name on mux submit frames and in spool envelopes.
+TRACE_FIELD = "trace"
 
 
 class EndpointError(Exception):

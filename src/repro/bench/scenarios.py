@@ -357,6 +357,58 @@ def remote_mux_concurrent8_scenario():
     return run
 
 
+# -- obs suite ---------------------------------------------------------------
+#
+# The tracer sits on every hot path (request replay, queue wait, each
+# optimizer pass), so its per-span cost is itself a gated number: the
+# unsampled path must stay close to free, and the sampled path cheap
+# enough that --trace-sample 1.0 does not distort what it measures.
+
+_SPAN_REPEATS = 1000
+
+
+@register_benchmark(
+    "trace_span_overhead",
+    suites=("smoke",),
+    items=2 * _SPAN_REPEATS,
+    description=f"{_SPAN_REPEATS} request+rpc span pairs with sampling "
+    "off — the always-on cost every unsampled request pays",
+)
+def trace_span_overhead_scenario():
+    from ..obs.trace import Tracer
+
+    tracer = Tracer("bench", sample_rate=0.0)
+
+    def run():
+        for _ in range(_SPAN_REPEATS):
+            with tracer.start_trace("request", "client"):
+                with tracer.span("rpc", "transport"):
+                    pass
+
+    return run
+
+
+@register_benchmark(
+    "trace_span_sampled",
+    suites=("smoke",),
+    items=2 * _SPAN_REPEATS,
+    description=f"{_SPAN_REPEATS} request+rpc span pairs with sampling "
+    "at 1.0 into the bounded ring buffer — the fully-sampled cost",
+)
+def trace_span_sampled_scenario():
+    from ..obs.trace import Tracer
+
+    tracer = Tracer("bench", sample_rate=1.0)
+
+    def run():
+        for _ in range(_SPAN_REPEATS):
+            with tracer.start_trace("request", "client"):
+                with tracer.span("rpc", "transport"):
+                    pass
+
+    return run
+
+
 # -- loadgen suite -----------------------------------------------------------
 #
 # The hot paths of repro.loadgen itself: workload synthesis and latency

@@ -250,6 +250,23 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
+def _export_serve_trace(args) -> None:
+    """Export the serve process's sampled spans on shutdown (no-op with
+    tracing off); fleet workers each run this with their own pid."""
+    from .obs.trace import default_trace_path, get_tracer
+
+    tracer = get_tracer()
+    if tracer.sample_rate <= 0:
+        return
+    path = args.trace_file or default_trace_path(f"serve_{os.getpid()}")
+    try:
+        doc = tracer.export(path)
+    except OSError as exc:
+        print(f"cannot write trace file {path!r}: {exc}", file=sys.stderr)
+        return
+    print(f"wrote {path} ({len(doc['spans'])} span(s))", file=sys.stderr)
+
+
 def _serve_http(args, cache, jobs, options) -> int:
     """``repro serve --http PORT [--mux PORT]``: the wire protocol over
     a socket.
@@ -409,6 +426,7 @@ def _serve_http(args, cache, jobs, options) -> int:
         finally:
             if mux_server is not None:
                 mux_server.close()
+            _export_serve_trace(args)
     return 0
 
 
@@ -456,6 +474,11 @@ def _serve_fleet(args, jobs) -> int:
         extra += ["--batch-max", str(args.batch_max)]
     if args.batch_window_ms is not None:
         extra += ["--batch-window-ms", str(args.batch_window_ms)]
+    if args.trace_sample is not None:
+        extra += ["--trace-sample", str(args.trace_sample)]
+    if args.trace_file is not None:
+        print("note: fleet workers export per-pid TRACE_serve_<pid>.json "
+              "files; ignoring --trace-file", file=sys.stderr)
 
     workers = args.workers or 1
     min_workers = args.min_workers if args.min_workers is not None else workers
@@ -644,6 +667,12 @@ def _cmd_serve(args) -> int:
     if args.entry_cost_ms is not None and args.entry_cost_ms < 0:
         print("--entry-cost-ms must be >= 0", file=sys.stderr)
         return 2
+    if args.trace_sample is not None and not 0.0 <= args.trace_sample <= 1.0:
+        print("--trace-sample must be in [0, 1]", file=sys.stderr)
+        return 2
+    from .obs.trace import configure_tracer
+
+    configure_tracer(sample_rate=args.trace_sample, service="serve")
 
     fleet_mode = (
         (args.workers is not None and args.workers > 1)
@@ -732,10 +761,12 @@ def _cmd_serve(args) -> int:
                     print(json.dumps(record), flush=True)
                 if args.once:
                     print(json.dumps(server.metrics()), file=sys.stderr)
+                    _export_serve_trace(args)
                     return 0
                 time.sleep(args.poll_interval)
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         print("interrupted; shutting down", file=sys.stderr)
+        _export_serve_trace(args)
         return 0
 
 
@@ -784,6 +815,12 @@ def _cmd_loadtest(args) -> int:
     if args.update_baseline and not args.baseline:
         print("--update-baseline requires --baseline PATH", file=sys.stderr)
         return 2
+    if args.trace_sample is not None and not 0.0 <= args.trace_sample <= 1.0:
+        print("--trace-sample must be in [0, 1]", file=sys.stderr)
+        return 2
+    from .obs.trace import configure_tracer, default_trace_path, get_tracer
+
+    configure_tracer(sample_rate=args.trace_sample, service="loadgen")
 
     if args.preset is not None:
         try:
@@ -845,6 +882,16 @@ def _cmd_loadtest(args) -> int:
     print(summary_lines(report), file=sys.stderr)
     print(f"wrote {output}", file=sys.stderr)
 
+    trace_output = None
+    tracer = get_tracer()
+    if tracer.sample_rate > 0:
+        trace_output = args.trace_file or default_trace_path(
+            f"{workload.spec.name}_client"
+        )
+        doc = tracer.export(trace_output)
+        print(f"wrote {trace_output} ({len(doc['spans'])} span(s))",
+              file=sys.stderr)
+
     record = {
         "report": output,
         "name": workload.spec.name,
@@ -858,6 +905,7 @@ def _cmd_loadtest(args) -> int:
         "slo_attained": report["slo"]["attained"],
         "shed": report["backpressure"]["shed"],
         "client_stats": report["backpressure"]["client"],
+        "trace_file": trace_output,
         "baseline": args.baseline,
         "regressions": [],
         "improvements": [],
@@ -901,6 +949,105 @@ def _cmd_loadtest(args) -> int:
         exit_code = 1
     print(json.dumps(record))
     return exit_code
+
+
+def _cmd_trace(args) -> int:
+    """Stitch TRACE files into trees and attribute latency by tier.
+
+    Stdout carries exactly one machine-parseable JSON summary document;
+    the human-readable attribution table goes to stderr.  Exit codes:
+    0 ok, 2 unreadable input, 3 missing file.
+    """
+    from .obs.stitch import (
+        build_trace_summary,
+        compare_attributions,
+        merge_trace_files,
+        stitch_spans,
+    )
+
+    try:
+        spans = merge_trace_files(args.files)
+    except FileNotFoundError as exc:
+        print(f"trace file not found: {exc.filename}", file=sys.stderr)
+        return 3
+    except (ValueError, KeyError) as exc:
+        print(f"cannot read trace files: {exc}", file=sys.stderr)
+        return 2
+    trees = stitch_spans(spans)
+    summary = build_trace_summary(trees)
+
+    wall = summary["wall"]
+    print(
+        f"  traces     : {summary['traces']} stitched "
+        f"({summary['complete']} complete, "
+        f"{summary['orphan_spans']} orphan span(s)) across "
+        f"{len(summary['processes'])} process(es)",
+        file=sys.stderr,
+    )
+    if wall["mean_s"] is not None:
+        print(
+            f"  wall       : mean {wall['mean_s'] * 1e3:.1f} ms, "
+            f"max {wall['max_s'] * 1e3:.1f} ms",
+            file=sys.stderr,
+        )
+    for tier, row in summary["tiers"].items():
+        print(
+            f"  tier {tier:<12}: {row['share'] * 100:5.1f}% "
+            f"({row['mean_s'] * 1e3:.2f} ms mean over {row['count']} span(s))",
+            file=sys.stderr,
+        )
+    if summary["critical_path"]:
+        chain = " -> ".join(
+            f"{s['name']}({s['duration_s'] * 1e3:.1f}ms)"
+            for s in summary["critical_path"]
+        )
+        print(f"  critical   : {chain}", file=sys.stderr)
+
+    if args.compare is not None:
+        try:
+            with open(args.compare, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except FileNotFoundError:
+            print(f"baseline summary {args.compare!r} does not exist",
+                  file=sys.stderr)
+            return 3
+        except ValueError as exc:
+            print(f"cannot read baseline summary {args.compare!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        rows = compare_attributions(summary, baseline)
+        summary["compare"] = rows
+        for row in rows:
+            ratio = "-" if row["ratio"] is None else f"{row['ratio']:.2f}x"
+            print(f"  vs baseline {row['tier']:<12}: {ratio}", file=sys.stderr)
+
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    print(json.dumps(summary))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Scrape one metrics() snapshot from an endpoint; print it as JSON."""
+    from .api.endpoint import open_endpoint
+
+    try:
+        endpoint = open_endpoint(args.endpoint)
+    except (ValueError, TypeError) as exc:
+        print(f"cannot open endpoint {args.endpoint!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        metrics = endpoint.metrics()
+    except Exception as exc:
+        print(f"endpoint {args.endpoint!r} unusable: {exc}", file=sys.stderr)
+        return 4
+    finally:
+        endpoint.close()
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_deobfuscate(args) -> int:
@@ -1280,6 +1427,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "workload.json replayable via repro loadtest "
                         "--workload (fleet mode writes one PATH-derived "
                         "journal per worker)")
+    p.add_argument("--trace-sample", type=float, default=None, metavar="R",
+                   help="head-sample fraction R of requests for distributed "
+                        "tracing (0..1; default: the REPRO_TRACE env var, "
+                        "else off); sampled spans export to a TRACE_*.json "
+                        "on shutdown")
+    p.add_argument("--trace-file", default=None, metavar="PATH",
+                   help="where to export this process's sampled spans "
+                        "(default: TRACE_serve_<pid>.json; fleet workers "
+                        "always derive per-pid names)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -1324,9 +1480,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-on-error", action="store_true",
                    help="exit 1 if any request failed (transport or service "
                         "error)")
+    p.add_argument("--trace-sample", type=float, default=None, metavar="R",
+                   help="head-sample fraction R of replayed requests for "
+                        "distributed tracing (0..1; default: the REPRO_TRACE "
+                        "env var, else off); the sampling decision rides the "
+                        "wire, so serving-side spans follow it")
+    p.add_argument("--trace-file", default=None, metavar="PATH",
+                   help="client-side span export path (default: "
+                        "TRACE_<workload>_client.json); stitch it with the "
+                        "workers' TRACE files via repro trace")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print per-request outcomes (stderr)")
     p.set_defaults(fn=_cmd_loadtest)
+
+    p = sub.add_parser(
+        "trace",
+        help="stitch TRACE_*.json files into cross-process trees + "
+             "per-tier latency attribution",
+    )
+    p.add_argument("files", nargs="+", metavar="TRACE_FILE",
+                   help="TRACE_*.json exports to merge (client + workers)")
+    p.add_argument("--compare", default=None, metavar="SUMMARY",
+                   help="a prior repro trace output (JSON) to diff per-tier "
+                        "mean latencies against")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="also write the summary document to FILE")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="scrape an endpoint's unified metrics() snapshot as JSON",
+    )
+    p.add_argument("--endpoint", required=True, metavar="URI",
+                   help="endpoint to scrape: local:[BACKEND], spool:DIR, "
+                        "http(s)://HOST:PORT, mux://HOST:PORT, or a "
+                        "comma-separated worker list")
+    p.set_defaults(fn=_cmd_metrics)
 
     p = sub.add_parser("deobfuscate", help="reassemble the optimized model (owner)")
     p.add_argument("bucket")

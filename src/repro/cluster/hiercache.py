@@ -37,9 +37,9 @@ round-robin on it; CI's ``cluster-smoke`` job asserts exactly that).
 from __future__ import annotations
 
 import os
-import threading
 from typing import Any, Dict, Optional
 
+from ..obs.metrics import MetricsRegistry
 from ..serving.cache import OptimizationCache
 
 __all__ = ["HierarchicalCache"]
@@ -69,21 +69,27 @@ class HierarchicalCache(OptimizationCache):
         shard_dir: str,
         shared_dir: str,
         max_memory_entries: int = 256,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if os.path.abspath(shard_dir) == os.path.abspath(shared_dir):
             raise ValueError(
                 "shard_dir and shared_dir must differ (a shard equal to "
                 "the backing store is just the flat two-tier cache)"
             )
-        super().__init__(cache_dir=shard_dir, max_memory_entries=max_memory_entries)
+        super().__init__(
+            cache_dir=shard_dir,
+            max_memory_entries=max_memory_entries,
+            registry=registry,
+        )
         self.shared_dir = shared_dir
         os.makedirs(os.path.join(shared_dir, "objects"), exist_ok=True)
-        # base-class counters already track memory hits, local (shard)
-        # disk hits, misses, puts and evictions; the shared tier and
-        # promotions are the only new accounting.
-        self._shared_hits = 0
-        self._promotions = 0
-        self._tier_lock = threading.Lock()
+        # shared-tier hits and promotions ride the base class's single
+        # cache_events_total counter as extra events: one instrument,
+        # one lock, so tier_stats() reads all tiers in one atomic
+        # snapshot (the old split — base counters under self._lock,
+        # shared counters under a second tier lock — let a snapshot
+        # observe a lookup's memory-side effect without its tier-side
+        # effect, i.e. hit rates that do not sum to 1).
 
     # -- lookup / store -----------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
@@ -92,23 +98,22 @@ class HierarchicalCache(OptimizationCache):
             payload = self._memory.get(key)
             if payload is not None:
                 self._memory.move_to_end(key)
-                self._memory_hits += 1
+                self._events.inc(event="memory_hit")
                 return payload
         payload = self._read_disk(key)  # local shard
         if payload is not None:
             with self._lock:
-                self._disk_hits += 1
+                self._events.inc(event="disk_hit")
                 self._remember_locked(key, payload)  # promote: shard -> memory
             return payload
         payload = self._read_object(self.object_path_in(self.shared_dir, key))
         with self._lock:
             if payload is None:
-                self._misses += 1
+                self._events.inc(event="miss")
                 return None
             self._remember_locked(key, payload)  # promote: shared -> memory
-        with self._tier_lock:
-            self._shared_hits += 1
-            self._promotions += 1
+        self._events.inc(event="shared_hit")
+        self._events.inc(event="promotion")
         # promote: shared -> local shard, so this worker's next memory
         # eviction of the key refills from its private, uncontended tier.
         self._write_disk(key, payload)
@@ -128,14 +133,14 @@ class HierarchicalCache(OptimizationCache):
         so ``memory_hit_rate`` is directly comparable across routing
         policies (the router's locality scorecard).
         """
+        events = self._events.values(label="event")
         with self._lock:
-            memory_hits = self._memory_hits
-            local_hits = self._disk_hits
-            misses = self._misses
             memory_entries = len(self._memory)
-        with self._tier_lock:
-            shared_hits = self._shared_hits
-            promotions = self._promotions
+        memory_hits = events.get("memory_hit", 0)
+        local_hits = events.get("disk_hit", 0)
+        shared_hits = events.get("shared_hit", 0)
+        misses = events.get("miss", 0)
+        promotions = events.get("promotion", 0)
         lookups = memory_hits + local_hits + shared_hits + misses
         return {
             "memory_hits": memory_hits,
@@ -154,8 +159,7 @@ class HierarchicalCache(OptimizationCache):
         (they are hits — the flat hit-rate must not read a shared hit
         as a miss just because the layout grew a tier)."""
         base = super().stats()
-        with self._tier_lock:
-            shared = self._shared_hits
+        shared = self._events.value(event="shared_hit")
         from ..serving.cache import CacheStats
 
         return CacheStats(

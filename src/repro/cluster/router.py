@@ -50,6 +50,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..api.endpoint import OptimizerEndpoint, _seal
 from ..loadgen.fleet import FleetEndpoint, _Member
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceContext, get_tracer
 from .ring import DEFAULT_VNODES, ConsistentHashRing
 
 __all__ = ["RouterEndpoint"]
@@ -60,13 +62,20 @@ class _RoutedJob:
 
     __slots__ = (
         "key", "job_id", "member", "waiters", "fetching",
-        "done", "receipt", "error", "cond",
+        "done", "receipt", "error", "cond", "trace",
     )
 
-    def __init__(self, key: str, job_id: str, member: _Member) -> None:
+    def __init__(
+        self,
+        key: str,
+        job_id: str,
+        member: _Member,
+        trace: Optional[TraceContext] = None,
+    ) -> None:
         self.key = key
         self.job_id = job_id
         self.member = member
+        self.trace = trace
         self.waiters = 1
         self.fetching = False
         self.done = False
@@ -93,8 +102,13 @@ class RouterEndpoint(FleetEndpoint):
         urls: Optional[Sequence[str]] = None,
         endpoint_factory: Optional[Callable[[str], OptimizerEndpoint]] = None,
         vnodes: int = DEFAULT_VNODES,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(endpoints, urls=urls, endpoint_factory=endpoint_factory)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._routing_events = self.registry.counter(
+            "router_events_total", "routing decisions by event"
+        )
         # ring ids: the worker URL when known, else a positional id
         # (in-process fleets) — stable for the member's lifetime.
         self._ids: Dict[str, _Member] = {}
@@ -106,9 +120,6 @@ class RouterEndpoint(FleetEndpoint):
         self._inflight: Dict[str, _RoutedJob] = {}
         #: job id -> _RoutedJob (receipt sharing among attached waiters).
         self._routed: Dict[str, _RoutedJob] = {}
-        self._dedup_hits = 0
-        self._routed_total = 0
-        self._failover_total = 0
 
     # -- membership ----------------------------------------------------------
     def set_members(self, urls: Sequence[str]) -> None:
@@ -149,14 +160,26 @@ class RouterEndpoint(FleetEndpoint):
     def submit(self, manifest) -> str:
         sealed = _seal(manifest)
         key = sealed.bucket_digest
+        tracer = get_tracer()
+        ctx = tracer.current()
         # attach to an identical in-flight submission, wherever in the
         # fleet it is running: same digest -> same job, one optimization.
         with self._lock:
             entry = self._inflight.get(key)
             if entry is not None:
                 entry.waiters += 1
-                self._dedup_hits += 1
-                return entry.job_id
+                self._routing_events.inc(event="dedup_hit")
+                winner = entry.trace
+                job_id = entry.job_id
+            else:
+                winner = None
+                job_id = None
+        if job_id is not None:
+            # the deduped waiter's trace links to the winning job's
+            # span, so cross-trace joins stay visible after stitching.
+            if ctx is not None and winner is not None and winner.trace_id != ctx.trace_id:
+                tracer.link(ctx, winner)
+            return job_id
         last_exc: Optional[Exception] = None
         for attempt, member in enumerate(self._route(key)):
             try:
@@ -165,11 +188,11 @@ class RouterEndpoint(FleetEndpoint):
                 self.mark_down(member)
                 last_exc = exc
                 continue
-            entry = _RoutedJob(key, job_id, member)
+            entry = _RoutedJob(key, job_id, member, trace=ctx)
             with self._lock:
-                self._routed_total += 1
+                self._routing_events.inc(event="routed")
                 if attempt:
-                    self._failover_total += attempt
+                    self._routing_events.inc(attempt, event="failover")
                 raced = self._inflight.get(key)
                 if raced is None or raced.done:
                     self._inflight[key] = entry
@@ -264,9 +287,9 @@ class RouterEndpoint(FleetEndpoint):
                 "policy": self.routing,
                 "vnodes": self._ring.vnodes,
                 "ring_members": self._ring.members,
-                "routed_total": self._routed_total,
-                "dedup_hits": self._dedup_hits,
-                "failover_total": self._failover_total,
+                "routed_total": self._routing_events.value(event="routed"),
+                "dedup_hits": self._routing_events.value(event="dedup_hit"),
+                "failover_total": self._routing_events.value(event="failover"),
                 "in_flight_table": len(self._inflight),
             }
         return base

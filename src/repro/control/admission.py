@@ -20,11 +20,11 @@ generic failures.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ..api.wire import ERR_OVERLOADED, EndpointError
+from ..obs.metrics import MetricsRegistry
 from .signals import ServiceSignals
 
 __all__ = ["AdmissionPolicy", "AdmissionController"]
@@ -70,13 +70,20 @@ class AdmissionController:
     worker).
     """
 
-    def __init__(self, policy: Optional[AdmissionPolicy] = None, **policy_kwargs) -> None:
+    def __init__(
+        self,
+        policy: Optional[AdmissionPolicy] = None,
+        registry: Optional[MetricsRegistry] = None,
+        **policy_kwargs,
+    ) -> None:
         if policy is not None and policy_kwargs:
             raise ValueError("pass either a policy or policy fields, not both")
         self.policy = policy if policy is not None else AdmissionPolicy(**policy_kwargs)
-        self._lock = threading.Lock()
-        self._admitted_total = 0
-        self._shed_total = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._decisions = self.registry.counter(
+            "admission_decisions_total",
+            "admission outcomes by decision (admitted/shed)",
+        )
 
     # -- the decision -------------------------------------------------------
     def evaluate(self, signals: ServiceSignals) -> Optional[float]:
@@ -103,11 +110,9 @@ class AdmissionController:
         """Count an admit, or raise the structured ``overloaded`` error."""
         retry_after = self.evaluate(signals)
         if retry_after is None:
-            with self._lock:
-                self._admitted_total += 1
+            self._decisions.inc(decision="admitted")
             return
-        with self._lock:
-            self._shed_total += 1
+        self._decisions.inc(decision="shed")
         raise EndpointError(
             ERR_OVERLOADED,
             f"{context} shed by admission control: estimated wait "
@@ -120,9 +125,8 @@ class AdmissionController:
 
     # -- accounting ---------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        with self._lock:
-            return {
-                "slo_budget_s": self.policy.slo_budget_s,
-                "admitted_total": self._admitted_total,
-                "shed_total": self._shed_total,
-            }
+        return {
+            "slo_budget_s": self.policy.slo_budget_s,
+            "admitted_total": self._decisions.value(decision="admitted"),
+            "shed_total": self._decisions.value(decision="shed"),
+        }

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..api.manifest import BucketManifest
 from ..api.wire import EndpointError
+from ..obs.trace import get_tracer
 from .histogram import LatencyHistogram
 from .workload import Workload
 
@@ -266,10 +267,22 @@ def _run(
         submitted = time.perf_counter() - t0
         latency: Optional[float] = None
         error: Optional[str] = None
+        tracer = get_tracer()
         try:
-            with gauge:
-                job_id = endpoint.submit(manifests[(request.model, request.variant)])
-                receipt = endpoint.await_receipt(job_id, timeout=request_timeout)
+            # the root span is the client tier; the rpc child is the
+            # transport tier and covers BOTH submit and await — the wire
+            # carries the rpc context, so every server-side span hangs
+            # under it and per-tier exclusive times sum to ~wall latency.
+            with gauge, tracer.start_trace("request", "client") as root:
+                root.tag("model", request.model)
+                root.tag("variant", request.variant)
+                with tracer.span("rpc", "transport"):
+                    job_id = endpoint.submit(
+                        manifests[(request.model, request.variant)]
+                    )
+                    receipt = endpoint.await_receipt(
+                        job_id, timeout=request_timeout
+                    )
             latency = (time.perf_counter() - t0) - submitted
             if keep_receipts:
                 receipts[request.index] = receipt

@@ -33,6 +33,8 @@ from typing import Any, Dict, Optional
 
 from ..bench.compare import Comparison, ScenarioVerdict, classify_ratio
 from ..bench.runner import env_fingerprint, git_sha
+from ..obs.stitch import stitch_spans, tier_attribution
+from ..obs.trace import get_tracer
 from .driver import LoadTestResult
 from .histogram import LatencyHistogram
 
@@ -47,7 +49,13 @@ __all__ = [
 ]
 
 #: bump on any incompatible change to the report layout below.
-LOADTEST_SCHEMA_VERSION = 1
+#: v2 added the ``trace_attribution`` block (per-tier exclusive time
+#: from sampled traces); v1 documents stay readable — the block is
+#: additive and absent there.
+LOADTEST_SCHEMA_VERSION = 2
+
+#: versions :func:`validate_report` accepts (committed baselines are v1).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: default SLO latency target when the caller does not name one.
 DEFAULT_SLO_MS = 1000.0
@@ -70,6 +78,28 @@ def _quantiles_ms(histogram: LatencyHistogram) -> Dict[str, Optional[float]]:
         "mean": ms(histogram.mean_s),
         "min": ms(histogram.min_s),
         "max": ms(histogram.max_s),
+    }
+
+
+def _trace_attribution_block() -> Optional[Dict[str, Any]]:
+    """Per-tier exclusive-time attribution from this process's sampled
+    spans, or None when nothing was sampled (tracing off).
+
+    Against a ``local:`` endpoint the block covers the full request
+    tree; against remote transports it covers the client and transport
+    tiers (the serving tiers live in the workers' own TRACE exports,
+    stitched by ``repro trace``).
+    """
+    tracer = get_tracer()
+    spans = tracer.spans()
+    if not spans:
+        return None
+    trees = stitch_spans(spans)
+    return {
+        "sample_rate": tracer.sample_rate,
+        "traces": len(trees),
+        "spans": len(spans),
+        "tiers": tier_attribution(trees),
     }
 
 
@@ -147,6 +177,9 @@ def build_report(
             if isinstance(result.final_metrics, dict)
             else None
         ),
+        # v2: where sampled requests spent their time, by tier (None
+        # when tracing was off for this run).
+        "trace_attribution": _trace_attribution_block(),
         "histogram": result.histogram.to_dict(),
     }
 
@@ -158,10 +191,10 @@ def validate_report(report: Dict[str, Any]) -> None:
     if report.get("kind") != "loadtest":
         raise ValueError("not a loadtest document (missing kind='loadtest')")
     version = report.get("schema_version")
-    if version != LOADTEST_SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise ValueError(
             f"unsupported loadtest schema_version {version!r}; "
-            f"this build reads version {LOADTEST_SCHEMA_VERSION}"
+            f"this build reads versions {SUPPORTED_SCHEMA_VERSIONS}"
         )
     for key in (
         "name",

@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import MetricsRegistry
+
 __all__ = ["OperatingPoint", "OPERATING_POINTS", "choose_operating_point", "Coalescer"]
 
 
@@ -83,6 +85,7 @@ class Coalescer:
         batch_max: int,
         batch_window_s: float,
         name: str = "mux-coalescer",
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
@@ -95,11 +98,16 @@ class Coalescer:
         self._oldest_at: Optional[float] = None
         self._cond = threading.Condition()
         self._closed = False
-        # counters (read under the condition's lock)
-        self.items_total = 0
-        self.flushes_total = 0
-        self.batched_total = 0  # items that shared their flush with others
-        self.batch_size_max = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # items=submits accepted, flushes=batches handed off, batched=
+        # items that shared their flush with others; the gauge keeps the
+        # batch-size high-water mark.
+        self._events = self.registry.counter(
+            "coalescer_events_total", "coalescer accounting by event"
+        )
+        self._batch_size_hwm = self.registry.gauge(
+            "coalescer_batch_size_max", "largest batch flushed so far"
+        )
         self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
         self._thread.start()
 
@@ -108,7 +116,7 @@ class Coalescer:
             if self._closed:
                 raise RuntimeError("coalescer is closed")
             self._items.append(item)
-            self.items_total += 1
+            self._events.inc(event="submitted")
             if self._oldest_at is None:
                 self._oldest_at = time.monotonic()
             self._cond.notify()
@@ -117,10 +125,10 @@ class Coalescer:
         batch = self._items[: self.batch_max]
         del self._items[: self.batch_max]
         self._oldest_at = time.monotonic() if self._items else None
-        self.flushes_total += 1
+        self._events.inc(event="flushed")
         if len(batch) > 1:
-            self.batched_total += len(batch)
-        self.batch_size_max = max(self.batch_size_max, len(batch))
+            self._events.inc(len(batch), event="batched")
+        self._batch_size_hwm.set_max(len(batch))
         return batch
 
     def _loop(self) -> None:
@@ -152,15 +160,16 @@ class Coalescer:
 
     def stats(self) -> dict:
         with self._cond:
-            return {
-                "batch_max": self.batch_max,
-                "batch_window_ms": self.batch_window_s * 1000.0,
-                "submits_total": self.items_total,
-                "flushes_total": self.flushes_total,
-                "batched_total": self.batched_total,
-                "batch_size_max": self.batch_size_max,
-                "pending": len(self._items),
-            }
+            pending = len(self._items)
+        return {
+            "batch_max": self.batch_max,
+            "batch_window_ms": self.batch_window_s * 1000.0,
+            "submits_total": self._events.value(event="submitted"),
+            "flushes_total": self._events.value(event="flushed"),
+            "batched_total": self._events.value(event="batched"),
+            "batch_size_max": int(self._batch_size_hwm.value()),
+            "pending": pending,
+        }
 
     def close(self) -> None:
         with self._cond:

@@ -45,11 +45,13 @@ from ..api.wire import (
     ERR_TRANSPORT,
     ERR_VERSION_MISMATCH,
     PROTOCOL_VERSION,
+    TRACE_FIELD,
     EndpointError,
     receipt_from_wire,
     status_from_wire,
 )
 from ..core.proteus import ObfuscatedBucket
+from ..obs.trace import get_tracer
 from .frames import FrameDecoder, FrameError, encode_frame, encode_frame_with_raw
 
 __all__ = ["MuxEndpoint"]
@@ -450,6 +452,11 @@ class MuxEndpoint(OptimizerEndpoint):
         }
         if self.optimizer is not None:
             body["optimizer"] = self.optimizer
+        # the optional per-frame trace field: batched frames keep their
+        # own request's trace across server-side coalescing.
+        ctx = get_tracer().current()
+        if ctx is not None and ctx.sampled:
+            body[TRACE_FIELD] = ctx.to_wire()
         raw = ("manifest", self._manifest_blob(sealed))
         attempts = 0
         while True:

@@ -63,6 +63,7 @@ from ..api.wire import (
     EndpointError,
     receipt_to_wire,
 )
+from ..obs.metrics import MetricsRegistry
 from .batch import Coalescer, choose_operating_point
 from .frames import FrameDecoder, FrameError, encode_frame, encode_frame_with_raw
 
@@ -146,6 +147,7 @@ class MuxServer:
         batch_max: Optional[int] = None,
         batch_window_ms: Optional[float] = None,
         expected_clients: int = 8,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         point = choose_operating_point(expected_clients)
         self.app = app
@@ -157,8 +159,24 @@ class MuxServer:
             if batch_window_ms is not None
             else point.batch_window_ms
         )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # registry counters: updated on the selector thread, read by
+        # stats() from any thread — the instrument's own lock makes both
+        # sides atomic (these used to be bare ints read racily).
+        self._frames_counter = self.registry.counter(
+            "mux_frames_total", "frames by decode result"
+        )
+        self._accepted_counter = self.registry.counter(
+            "mux_connections_accepted_total", "connections accepted"
+        )
+        self._memo_hits_counter = self.registry.counter(
+            "mux_receipt_memo_hits_total", "encoded-receipt memo hits"
+        )
         self._coalescer = Coalescer(
-            self._flush_submits, self.batch_max, self.batch_window_ms / 1000.0
+            self._flush_submits,
+            self.batch_max,
+            self.batch_window_ms / 1000.0,
+            registry=self.registry,
         )
         self._dispatch = ThreadPoolExecutor(
             max_workers=4, thread_name_prefix="mux-dispatch"
@@ -167,19 +185,13 @@ class MuxServer:
         self._thread: Optional[threading.Thread] = None
         self._conns: "set[_MuxConnection]" = set()
         self._lock = threading.Lock()
-        self._accepted_total = 0
         self._closed = False
-        # selector-loop-thread counters; read racily by stats(), which
-        # is fine for monotonically increasing ints.
-        self._frames_total = 0
-        self._frame_errors_total = 0
         # encoded-receipt memo: N coalesced submits of the same bucket
         # dedup to one optimization but N jobs; serializing the
         # (identical) receipt payload once and splicing it into each
         # job's frame is the response-side half of batch amortization.
         self._receipt_memo: "OrderedDict[Any, bytes]" = OrderedDict()
         self._receipt_memo_max = 32
-        self._receipt_memo_hits = 0
         self._receipt_memo_lock = threading.Lock()
 
     @property
@@ -282,10 +294,12 @@ class MuxServer:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
             pass
-        with self._lock:
-            self._accepted_total += 1
-            name = f"mux-conn-{self._accepted_total}"
-        conn = _MuxConnection(sock, addr, name)
+        # only the selector thread accepts, so inc-then-read is a
+        # consistent sequence number for the connection name.
+        self._accepted_counter.inc()
+        conn = _MuxConnection(
+            sock, addr, f"mux-conn-{self._accepted_counter.value()}"
+        )
         with self._lock:
             self._conns.add(conn)
         sel.register(sock, selectors.EVENT_READ, conn)
@@ -313,7 +327,7 @@ class MuxServer:
             if isinstance(event, FrameError):
                 # a bad frame degrades that frame, not the connection:
                 # typed error out, stream stays framed.
-                self._frame_errors_total += 1
+                self._frames_counter.inc(result="error")
                 conn.send(
                     {
                         "type": "error",
@@ -322,7 +336,7 @@ class MuxServer:
                     }
                 )
                 continue
-            self._frames_total += 1
+            self._frames_counter.inc(result="decoded")
             self._dispatch_frame(conn, event)
 
     # -- frame dispatch --------------------------------------------------------
@@ -458,7 +472,7 @@ class MuxServer:
                 blob = self._receipt_memo.get(key)
                 if blob is not None:
                     self._receipt_memo.move_to_end(key)
-                    self._receipt_memo_hits += 1
+                    self._memo_hits_counter.inc()
                     return blob
         blob = json.dumps(
             receipt_to_wire(receipt), separators=(",", ":")
@@ -517,20 +531,21 @@ class MuxServer:
     # -- introspection ---------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         with self._lock:
-            connections = {
-                "active": len(self._conns),
-                "accepted_total": self._accepted_total,
-            }
+            active = len(self._conns)
         with self._receipt_memo_lock:
-            memo = {
-                "receipt_memo_hits": self._receipt_memo_hits,
-                "receipt_memo_entries": len(self._receipt_memo),
-            }
+            memo_entries = len(self._receipt_memo)
         return {
-            "connections": connections,
-            "frames": {
-                "decoded_total": self._frames_total,
-                "errors_total": self._frame_errors_total,
+            "connections": {
+                "active": active,
+                "accepted_total": self._accepted_counter.value(),
             },
-            "batching": {**self._coalescer.stats(), **memo},
+            "frames": {
+                "decoded_total": self._frames_counter.value(result="decoded"),
+                "errors_total": self._frames_counter.value(result="error"),
+            },
+            "batching": {
+                **self._coalescer.stats(),
+                "receipt_memo_hits": self._memo_hits_counter.value(),
+                "receipt_memo_entries": memo_entries,
+            },
         }

@@ -1,0 +1,69 @@
+"""repro.obs: end-to-end tracing and the unified metrics registry.
+
+Two cross-cutting observability primitives every serving-path component
+shares:
+
+* :mod:`repro.obs.trace` — a :class:`TraceContext` propagated through an
+  optional wire-protocol field on all four endpoint flavors (HTTP
+  header, mux frame field, spool envelope key, ``local:`` thread-local),
+  and an in-process :class:`Tracer` with bounded ring-buffer span
+  storage, head-based sampling and atomic export to schema-versioned
+  ``TRACE_<name>.json`` documents;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labeled
+  counters / gauges / fixed-bucket histograms that the server,
+  scheduler, caches, router, admission controller, coalescer and mux
+  server all register into (their legacy ``metrics()`` dicts are
+  compatibility views over registry reads);
+* :mod:`repro.obs.stitch` — merge per-worker trace files into
+  cross-process trees, attribute latency per tier, extract the critical
+  path (``repro trace``).
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    TRACE_ENV_VAR,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    TraceContext,
+    Tracer,
+    configure_tracer,
+    default_trace_path,
+    get_tracer,
+    load_trace,
+    save_trace,
+    validate_trace,
+)
+from .stitch import (
+    TraceTree,
+    build_trace_summary,
+    compare_attributions,
+    critical_path,
+    merge_trace_files,
+    stitch_spans,
+    tier_attribution,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TRACE_ENV_VAR",
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "configure_tracer",
+    "default_trace_path",
+    "get_tracer",
+    "load_trace",
+    "save_trace",
+    "validate_trace",
+    "TraceTree",
+    "build_trace_summary",
+    "compare_attributions",
+    "critical_path",
+    "merge_trace_files",
+    "stitch_spans",
+    "tier_attribution",
+]

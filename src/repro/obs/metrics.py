@@ -1,0 +1,274 @@
+"""The unified metrics registry: counters, gauges, fixed-bucket histograms.
+
+Every serving-path component (server, scheduler, caches, router,
+admission controller, coalescer, mux server) used to keep hand-rolled
+integer fields guarded by whichever lock was nearest — and snapshots
+routinely read several of them under *different* locks, which is how
+torn metrics reads happen.  The registry replaces that plumbing with
+self-synchronizing instruments:
+
+* each instrument owns its own lock, so an increment is atomic no
+  matter which component lock (if any) the caller holds;
+* reads (``value()`` / ``snapshot()``) are point-in-time consistent per
+  instrument by construction — the legacy ``metrics()`` dicts become
+  *views* over registry reads, with the registry as the single source
+  of truth underneath;
+* instruments are labeled: one ``Counter`` can carry per-backend or
+  per-tier series without N ad-hoc fields.
+
+Instruments are cheap (one lock acquisition per update — noise next to
+the canonicalization and optimization work on every serving path) and
+deliberately minimal: no exposition format, no global default registry.
+A component owns a :class:`MetricsRegistry` (or accepts one, so an
+umbrella component like the serving server can hand one registry to its
+scheduler and admission controller) and builds its compatibility view
+from instrument reads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: default fixed bucket upper bounds (seconds) for latency histograms —
+#: 1ms to ~16s in powers of four, plus the overflow bucket.
+DEFAULT_BUCKETS = (0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384)
+
+
+def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+class _Instrument:
+    """Shared shape: name, help text, per-label-set series, own lock."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name:
+            raise ValueError("instrument name must be non-empty")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def _series(self) -> Dict[Tuple[Tuple[str, str], ...], Any]:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically increasing integer (optionally labeled)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[Tuple[Tuple[str, str], ...], int] = {}
+
+    def inc(self, amount: int = 1, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: str) -> int:
+        key = _label_key(labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def total(self) -> int:
+        """Sum across every label set."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def values(self, label: str = "") -> Dict[Any, int]:
+        """One consistent point-in-time copy of every label set.
+
+        All series live behind one lock, so the copy is atomic — the
+        building block for snapshot views that must not tear across
+        related series (e.g. per-tier hit rates that should sum to 1).
+        With ``label`` the keys collapse to that label's value (the
+        common single-label case); without it they are the sorted
+        ``(name, value)`` tuples.
+        """
+        with self._lock:
+            series = dict(self._values)
+        if not label:
+            return series
+        return {dict(key).get(label): count for key, count in series.items()}
+
+    def _series(self) -> Dict[Tuple[Tuple[str, str], ...], int]:
+        with self._lock:
+            return dict(self._values)
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (or tracks a high-water mark)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = value
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def set_max(self, value: float, **labels: str) -> None:
+        """Keep the running maximum (e.g. a batch-size high-water mark)."""
+        key = _label_key(labels)
+        with self._lock:
+            if value > self._values.get(key, float("-inf")):
+                self._values[key] = value
+
+    def value(self, default: float = 0.0, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), default)
+
+    def _series(self) -> Dict[Tuple[Tuple[str, str], ...], float]:
+        with self._lock:
+            return dict(self._values)
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "count", "sum_s", "min_s", "max_s")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # + overflow
+        self.count = 0
+        self.sum_s = 0.0
+        self.min_s: Optional[float] = None
+        self.max_s: Optional[float] = None
+
+
+class Histogram(_Instrument):
+    """Fixed upper-bound buckets plus exact count/sum/min/max."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds or any(b <= 0 for b in bounds):
+            raise ValueError("histogram buckets must be positive upper bounds")
+        self.buckets = bounds
+        self._values: Dict[Tuple[Tuple[str, str], ...], _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._values.get(key)
+            if series is None:
+                series = self._values[key] = _HistogramSeries(len(self.buckets))
+            idx = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    idx = i
+                    break
+            series.counts[idx] += 1
+            series.count += 1
+            series.sum_s += value
+            if series.min_s is None or value < series.min_s:
+                series.min_s = value
+            if series.max_s is None or value > series.max_s:
+                series.max_s = value
+
+    def summary(self, **labels: str) -> Dict[str, Any]:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._values.get(key)
+            if series is None:
+                return {"count": 0, "sum_s": 0.0, "mean_s": None,
+                        "min_s": None, "max_s": None}
+            return {
+                "count": series.count,
+                "sum_s": series.sum_s,
+                "mean_s": series.sum_s / series.count if series.count else None,
+                "min_s": series.min_s,
+                "max_s": series.max_s,
+            }
+
+    def _series(self) -> Dict[Tuple[Tuple[str, str], ...], Dict[str, Any]]:
+        with self._lock:
+            return {
+                key: {
+                    "buckets": list(self.buckets),
+                    "counts": list(series.counts),
+                    "count": series.count,
+                    "sum_s": series.sum_s,
+                    "min_s": series.min_s,
+                    "max_s": series.max_s,
+                }
+                for key, series in self._values.items()
+            }
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create, one consistent snapshot call."""
+
+    def __init__(self, namespace: str = "") -> None:
+        self.namespace = namespace
+        self._instruments: Dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Any:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"instrument {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every instrument's current series, JSON-shaped.
+
+        Labeled series render as ``{"label=value,...": v}``; the
+        unlabeled series renders under the ``""`` key.
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+        out: Dict[str, Any] = {}
+        for instrument in instruments:
+            series = {
+                ",".join(f"{k}={v}" for k, v in key): value
+                for key, value in instrument._series().items()
+            }
+            out[instrument.name] = {"type": instrument.kind, "values": series}
+        return out

@@ -1,0 +1,215 @@
+"""Merge per-worker TRACE files and stitch spans into cross-process trees.
+
+A fleet run leaves one ``TRACE_*.json`` per process: the loadtest
+client's root spans in one file, each serving worker's queue/cache/
+optimize spans in others.  Stitching joins them on ``trace_id`` — the
+wire-protocol trace field guarantees a request keeps one trace id
+across router hops, dedup joins and transports — and rebuilds each
+request's span tree from ``parent_id`` edges, which *do* cross process
+boundaries (the submitting side's span id travels as the serving side's
+parent).
+
+On top of the trees this module answers the question the ISSUE opens
+with ("where did this request's 2.5 s go?"):
+
+* :func:`tier_attribution` — per-tier **exclusive** time (a span's
+  duration minus its children's), so nested spans never double-count
+  and the tiers of one tree sum to ≈ the root's wall latency;
+* :func:`critical_path` — root-to-leaf chain of the longest spans;
+* :func:`compare_attributions` — per-tier delta against a prior trace
+  summary (``repro trace --compare``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .trace import Span, load_trace
+
+__all__ = [
+    "TraceTree",
+    "merge_trace_files",
+    "stitch_spans",
+    "tier_attribution",
+    "critical_path",
+    "build_trace_summary",
+    "compare_attributions",
+]
+
+
+class TraceTree:
+    """One stitched request: every span sharing a trace id, tree-shaped."""
+
+    def __init__(self, trace_id: str, spans: List[Span]) -> None:
+        self.trace_id = trace_id
+        self.spans = spans
+        self._by_id: Dict[str, Span] = {s.span_id: s for s in spans}
+        self._children: Dict[Optional[str], List[Span]] = {}
+        for span in spans:
+            self._children.setdefault(span.parent_id, []).append(span)
+        for siblings in self._children.values():
+            siblings.sort(key=lambda s: s.start_unix)
+
+    @property
+    def root(self) -> Optional[Span]:
+        """The unique parentless span, or None for a rootless fragment."""
+        roots = self._children.get(None, [])
+        return roots[0] if len(roots) == 1 else None
+
+    def children(self, span: Span) -> List[Span]:
+        return self._children.get(span.span_id, [])
+
+    def orphans(self) -> List[Span]:
+        """Spans whose parent id resolves to no span in this tree; with
+        more than one parentless span the tree has no unique root, so
+        every parentless span counts as orphaned too."""
+        out = [
+            s
+            for s in self.spans
+            if s.parent_id is not None and s.parent_id not in self._by_id
+        ]
+        roots = self._children.get(None, [])
+        if len(roots) > 1:
+            out.extend(roots)
+        return out
+
+    def tiers(self) -> List[str]:
+        """Distinct non-link tiers present, sorted."""
+        return sorted({s.tier for s in self.spans if s.tier != "link"})
+
+    def processes(self) -> List[int]:
+        return sorted({s.pid for s in self.spans})
+
+    def exclusive_s(self, span: Span) -> float:
+        """``span``'s duration minus its direct children's durations.
+
+        Children from *other processes* still subtract — their parent
+        edge is exactly the cross-process handoff — so transport spans
+        attribute only the wire/wait overhead, not the serving work
+        nested under them.  Clamped at zero: clock jitter between
+        processes must not produce negative attribution.
+        """
+        child_total = sum(c.duration_s for c in self.children(span))
+        return max(0.0, span.duration_s - child_total)
+
+    def wall_s(self) -> Optional[float]:
+        root = self.root
+        return root.duration_s if root is not None else None
+
+
+def merge_trace_files(paths: Sequence[str]) -> List[Span]:
+    """Load + validate every TRACE file; returns all spans, merged."""
+    spans: List[Span] = []
+    for path in paths:
+        doc = load_trace(path)
+        spans.extend(Span.from_dict(raw) for raw in doc["spans"])
+    return spans
+
+
+def stitch_spans(spans: Iterable[Span]) -> List[TraceTree]:
+    """Group spans by trace id into trees, oldest trace first."""
+    by_trace: Dict[str, List[Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    trees = [TraceTree(trace_id, group) for trace_id, group in by_trace.items()]
+    trees.sort(key=lambda t: min(s.start_unix for s in t.spans))
+    return trees
+
+
+def tier_attribution(trees: Sequence[TraceTree]) -> Dict[str, Dict[str, Any]]:
+    """Per-tier exclusive time across ``trees``.
+
+    Returns ``{tier: {"total_s", "count", "mean_s", "share"}}`` where
+    ``share`` is the tier's fraction of all attributed time — the
+    ranking the compiled-tier roadmap item reads targets from.
+    """
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for tree in trees:
+        for span in tree.spans:
+            if span.tier == "link":
+                continue
+            exclusive = tree.exclusive_s(span)
+            totals[span.tier] = totals.get(span.tier, 0.0) + exclusive
+            counts[span.tier] = counts.get(span.tier, 0) + 1
+    grand_total = sum(totals.values())
+    return {
+        tier: {
+            "total_s": totals[tier],
+            "count": counts[tier],
+            "mean_s": totals[tier] / counts[tier] if counts[tier] else 0.0,
+            "share": totals[tier] / grand_total if grand_total > 0 else 0.0,
+        }
+        for tier in sorted(totals)
+    }
+
+
+def critical_path(tree: TraceTree) -> List[Span]:
+    """Root-to-leaf chain following the longest child at every level."""
+    root = tree.root
+    if root is None:
+        return []
+    path = [root]
+    current = root
+    while True:
+        children = [c for c in tree.children(current) if c.tier != "link"]
+        if not children:
+            return path
+        current = max(children, key=lambda s: s.duration_s)
+        path.append(current)
+
+
+def build_trace_summary(trees: Sequence[TraceTree]) -> Dict[str, Any]:
+    """The machine-readable ``repro trace`` output document."""
+    complete = [t for t in trees if t.root is not None and not t.orphans()]
+    walls = [t.wall_s() for t in complete if t.wall_s() is not None]
+    attribution = tier_attribution(trees)
+    longest = max(complete, key=lambda t: t.wall_s() or 0.0) if complete else None
+    return {
+        "traces": len(trees),
+        "complete": len(complete),
+        "orphan_spans": sum(len(t.orphans()) for t in trees),
+        "spans": sum(len(t.spans) for t in trees),
+        "processes": sorted({pid for t in trees for pid in t.processes()}),
+        "wall": {
+            "mean_s": sum(walls) / len(walls) if walls else None,
+            "max_s": max(walls) if walls else None,
+        },
+        "tiers": attribution,
+        "critical_path": (
+            [
+                {
+                    "name": s.name,
+                    "tier": s.tier,
+                    "duration_s": s.duration_s,
+                    "pid": s.pid,
+                }
+                for s in critical_path(longest)
+            ]
+            if longest is not None
+            else []
+        ),
+    }
+
+
+def compare_attributions(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """Per-tier mean-latency deltas between two trace summaries.
+
+    Input is two :func:`build_trace_summary` documents; output is one
+    row per tier present on either side, with the current/baseline mean
+    and the ratio (None when a side is missing).
+    """
+    cur_tiers = current.get("tiers", {})
+    base_tiers = baseline.get("tiers", {})
+    rows = []
+    for tier in sorted(set(cur_tiers) | set(base_tiers)):
+        cur = cur_tiers.get(tier, {}).get("mean_s")
+        base = base_tiers.get(tier, {}).get("mean_s")
+        ratio = (cur / base) if cur is not None and base else None
+        rows.append(
+            {"tier": tier, "current_mean_s": cur, "baseline_mean_s": base,
+             "ratio": ratio}
+        )
+    return rows

@@ -1,0 +1,515 @@
+"""Distributed trace contexts, the in-process tracer, and TRACE files.
+
+A :class:`TraceContext` is the triple that crosses process boundaries:
+``trace_id`` (one per end-to-end request), ``span_id`` (the sender's
+current span, which becomes the receiver's parent), and the head-based
+sampling decision.  On the wire it is one compact string,
+``<trace_id>-<span_id>-<0|1>`` — carried as the ``X-Repro-Trace`` HTTP
+header, a ``trace`` field on mux submit frames, a ``trace`` key in the
+spool envelope, and a plain thread-local for ``local:`` endpoints (see
+:data:`repro.api.wire.TRACE_HEADER` / :data:`repro.api.wire.TRACE_FIELD`).
+
+The :class:`Tracer` is deliberately cheap when a request is unsampled:
+``span()`` returns a shared no-op context manager without allocating a
+span, so tracing-off overhead on the warm cache-hit path is a branch
+and an attribute read (the ``trace_span_overhead`` bench scenario gates
+exactly this).  Sampled spans land in a bounded ring buffer
+(``collections.deque(maxlen=...)``) — a tracer can never grow without
+bound no matter how long the process serves.
+
+Export follows the ``BENCH_*.json`` discipline: a schema-versioned
+document (:data:`TRACE_SCHEMA_VERSION`), written atomically, validated
+on load.  Per-worker files merge in :mod:`repro.obs.stitch`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TRACE_ENV_VAR",
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "configure_tracer",
+    "build_trace_document",
+    "default_trace_path",
+    "save_trace",
+    "load_trace",
+    "validate_trace",
+]
+
+#: bump on any incompatible change to the TRACE document layout.
+TRACE_SCHEMA_VERSION = 1
+
+#: environment default for the head-sampling rate (``repro serve`` and
+#: ``repro loadtest`` read it when ``--trace-sample`` is not given).
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: span-storage bound; at ~200 bytes a span this caps a tracer at a few MB.
+_DEFAULT_MAX_SPANS = 8192
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What crosses a process (or thread) boundary: ids + the decision."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def to_wire(self) -> str:
+        """The optional wire-protocol field: ``trace_id-span_id-0|1``."""
+        return f"{self.trace_id}-{self.span_id}-{1 if self.sampled else 0}"
+
+    @classmethod
+    def from_wire(cls, value: Any) -> Optional["TraceContext"]:
+        """Parse the wire form; malformed input degrades to ``None``
+        (an unparseable trace field must never fail a request)."""
+        if not isinstance(value, str):
+            return None
+        parts = value.strip().split("-")
+        if len(parts) != 3 or not parts[0] or not parts[1]:
+            return None
+        if parts[2] not in ("0", "1"):
+            return None
+        return cls(parts[0], parts[1], parts[2] == "1")
+
+
+@dataclass
+class Span:
+    """One finished span record (what the ring buffer holds)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    tier: str
+    service: str
+    pid: int
+    start_unix: float
+    duration_s: float
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "tier": self.tier,
+            "service": self.service,
+            "pid": self.pid,
+            "start_unix": round(self.start_unix, 6),
+            "duration_s": round(self.duration_s, 9),
+        }
+        if self.tags:
+            d["tags"] = self.tags
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Span":
+        return cls(
+            trace_id=str(d["trace_id"]),
+            span_id=str(d["span_id"]),
+            parent_id=None if d.get("parent_id") is None else str(d["parent_id"]),
+            name=str(d["name"]),
+            tier=str(d["tier"]),
+            service=str(d.get("service", "repro")),
+            pid=int(d.get("pid", 0)),
+            start_unix=float(d["start_unix"]),
+            duration_s=float(d["duration_s"]),
+            tags=dict(d.get("tags") or {}),
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the unsampled fast path."""
+
+    __slots__ = ()
+
+    context = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def tag(self, key: str, value: Any) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _LiveSpan:
+    """An open span: a context manager that records itself on exit."""
+
+    __slots__ = (
+        "_tracer", "_ctx", "_parent_id", "name", "tier", "tags",
+        "_start_unix", "_t0",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        ctx: TraceContext,
+        parent_id: Optional[str],
+        name: str,
+        tier: str,
+    ) -> None:
+        self._tracer = tracer
+        self._ctx = ctx
+        self._parent_id = parent_id
+        self.name = name
+        self.tier = tier
+        self.tags: Dict[str, Any] = {}
+        self._start_unix = 0.0
+        self._t0 = 0.0
+
+    @property
+    def context(self) -> TraceContext:
+        return self._ctx
+
+    def tag(self, key: str, value: Any) -> None:
+        self.tags[key] = value
+
+    def __enter__(self) -> "_LiveSpan":
+        self._tracer._push(self._ctx)
+        self._start_unix = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._t0
+        self._tracer._pop(self._ctx)
+        if exc_type is not None:
+            self.tags["error"] = exc_type.__name__
+        self._tracer._record(
+            self._ctx, self._parent_id, self.name, self.tier,
+            self._start_unix, duration, self.tags,
+        )
+
+
+class _ActiveContext:
+    """Context manager that binds a remote parent on the current thread."""
+
+    __slots__ = ("_tracer", "_ctx")
+
+    def __init__(self, tracer: "Tracer", ctx: TraceContext) -> None:
+        self._tracer = tracer
+        self._ctx = ctx
+
+    def __enter__(self) -> TraceContext:
+        self._tracer._push(self._ctx)
+        return self._ctx
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._pop(self._ctx)
+
+
+class Tracer:
+    """Head-sampled spans in a bounded ring buffer, thread-local context.
+
+    ``sample_rate`` decides at trace *start* (head-based): an unsampled
+    request carries ``sampled=False`` end-to-end and every ``span()``
+    along the way is the shared no-op.  ``activate(ctx)`` installs a
+    remote (or cross-thread) parent context on the current thread, which
+    is how scheduler worker threads and wire-protocol handlers join the
+    submitting request's trace.
+    """
+
+    def __init__(
+        self,
+        service: str = "repro",
+        sample_rate: float = 0.0,
+        max_spans: int = _DEFAULT_MAX_SPANS,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.service = service
+        self.sample_rate = sample_rate
+        self._rng = rng if rng is not None else random.Random()
+        self._spans: "deque[Span]" = deque(maxlen=max_spans)
+        self._spans_lock = threading.Lock()
+        self._local = threading.local()
+        self._dropped = 0
+        self._started = 0
+        self._sampled_count = 0
+
+    # -- thread-local context stack -----------------------------------------
+    def _stack(self) -> List[TraceContext]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, ctx: TraceContext) -> None:
+        self._stack().append(ctx)
+
+    def _pop(self, ctx: TraceContext) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is ctx:
+            stack.pop()
+
+    def current(self) -> Optional[TraceContext]:
+        """The calling thread's innermost active context, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- span creation -------------------------------------------------------
+    def start_trace(self, name: str, tier: str = "client"):
+        """Open a root span, making the head-based sampling decision."""
+        self._started += 1
+        sampled = self.sample_rate > 0.0 and self._rng.random() < self.sample_rate
+        if not sampled:
+            return _NOOP
+        self._sampled_count += 1
+        ctx = TraceContext(_new_id(), _new_id(), True)
+        return _LiveSpan(self, ctx, None, name, tier)
+
+    def span(self, name: str, tier: str, ctx: Optional[TraceContext] = None):
+        """Open a child span under ``ctx`` (default: the current context).
+
+        Without a sampled active context this is the shared no-op — the
+        tracing-off fast path.
+        """
+        parent = ctx if ctx is not None else self.current()
+        if parent is None or not parent.sampled:
+            return _NOOP
+        child = TraceContext(parent.trace_id, _new_id(), True)
+        return _LiveSpan(self, child, parent.span_id, name, tier)
+
+    def activate(self, ctx: Optional[TraceContext]):
+        """Bind a remote/cross-thread context on this thread for a block."""
+        if ctx is None or not ctx.sampled:
+            return _NOOP
+        return _ActiveContext(self, ctx)
+
+    def record(
+        self,
+        name: str,
+        tier: str,
+        duration_s: float,
+        ctx: Optional[TraceContext] = None,
+        start_unix: Optional[float] = None,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record an already-measured span (e.g. queue wait) under ``ctx``."""
+        parent = ctx if ctx is not None else self.current()
+        if parent is None or not parent.sampled:
+            return
+        start = time.time() - duration_s if start_unix is None else start_unix
+        child = TraceContext(parent.trace_id, _new_id(), True)
+        self._record(child, parent.span_id, name, tier, start, duration_s,
+                     dict(tags) if tags else {})
+
+    def link(
+        self,
+        ctx: Optional[TraceContext],
+        target: Optional[TraceContext],
+        name: str = "dedup_join",
+    ) -> None:
+        """Record a zero-duration span linking ``ctx`` to a winning span.
+
+        This is how a deduplicated waiter's trace points at the job that
+        actually did the work (in-process keyed dedup, batch-form
+        coalescing, and the router's fleet-wide in-flight table all call
+        it) — the waiter's tree stays complete, and the stitcher can
+        hop to the winner.
+        """
+        if ctx is None or not ctx.sampled or target is None:
+            return
+        child = TraceContext(ctx.trace_id, _new_id(), True)
+        self._record(
+            child, ctx.span_id, name, "link", time.time(), 0.0,
+            {"target_trace_id": target.trace_id, "target_span_id": target.span_id},
+        )
+
+    def _record(
+        self,
+        ctx: TraceContext,
+        parent_id: Optional[str],
+        name: str,
+        tier: str,
+        start_unix: float,
+        duration_s: float,
+        tags: Dict[str, Any],
+    ) -> None:
+        span = Span(
+            trace_id=ctx.trace_id,
+            span_id=ctx.span_id,
+            parent_id=parent_id,
+            name=name,
+            tier=tier,
+            service=self.service,
+            pid=os.getpid(),
+            start_unix=start_unix,
+            duration_s=duration_s,
+            tags=tags,
+        )
+        with self._spans_lock:
+            if len(self._spans) == self._spans.maxlen:
+                self._dropped += 1
+            self._spans.append(span)
+
+    # -- introspection / export ---------------------------------------------
+    def spans(self) -> List[Span]:
+        with self._spans_lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._spans_lock:
+            self._spans.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._spans_lock:
+            return {
+                "service": self.service,
+                "sample_rate": self.sample_rate,
+                "traces_started": self._started,
+                "traces_sampled": self._sampled_count,
+                "spans_buffered": len(self._spans),
+                "spans_dropped": self._dropped,
+            }
+
+    def export(self, path: str) -> Dict[str, Any]:
+        """Write the buffered spans as a TRACE document; returns it."""
+        doc = build_trace_document(self)
+        save_trace(doc, path)
+        return doc
+
+
+# -- the TRACE_<name>.json document ------------------------------------------
+
+
+def build_trace_document(tracer: Tracer) -> Dict[str, Any]:
+    """The schema-versioned export document for one tracer's buffer."""
+    stats = tracer.stats()
+    return {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "kind": "trace",
+        "service": tracer.service,
+        "pid": os.getpid(),
+        "created_unix": int(time.time()),
+        "sample_rate": tracer.sample_rate,
+        "traces_started": stats["traces_started"],
+        "traces_sampled": stats["traces_sampled"],
+        "spans_dropped": stats["spans_dropped"],
+        "spans": [span.to_dict() for span in tracer.spans()],
+    }
+
+
+def validate_trace(doc: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed TRACE file."""
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    if doc.get("kind") != "trace":
+        raise ValueError("not a trace document (missing kind='trace')")
+    version = doc.get("schema_version")
+    if version != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema_version {version!r}; "
+            f"this build reads version {TRACE_SCHEMA_VERSION}"
+        )
+    for key in ("service", "pid", "created_unix", "sample_rate", "spans"):
+        if key not in doc:
+            raise ValueError(f"trace document missing key {key!r}")
+    spans = doc["spans"]
+    if not isinstance(spans, list):
+        raise ValueError("trace 'spans' must be a list")
+    for raw in spans:
+        span = Span.from_dict(raw)  # re-parse is the structural check
+        if span.duration_s < 0:
+            raise ValueError(f"span {span.span_id} has negative duration")
+
+
+def default_trace_path(name: str) -> str:
+    return f"TRACE_{name}.json"
+
+
+def save_trace(doc: Dict[str, Any], path: str) -> None:
+    """Validate and atomically write a TRACE document."""
+    validate_trace(doc)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    """Read and validate a TRACE document from ``path``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    validate_trace(doc)
+    return doc
+
+
+# -- the process-wide tracer ---------------------------------------------------
+
+#: every serving-path component records through this one tracer, so one
+#: export call captures the whole process.  Defaults to sampling off.
+_GLOBAL_TRACER = Tracer()
+_GLOBAL_LOCK = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (sampling off until configured)."""
+    return _GLOBAL_TRACER
+
+
+def configure_tracer(
+    sample_rate: Optional[float] = None,
+    service: Optional[str] = None,
+    max_spans: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Tracer:
+    """Replace the process-wide tracer; returns the new one.
+
+    ``sample_rate=None`` falls back to the ``REPRO_TRACE`` environment
+    variable (unset/unparseable means 0.0 — tracing off).
+    """
+    global _GLOBAL_TRACER
+    if sample_rate is None:
+        raw = os.environ.get(TRACE_ENV_VAR, "")
+        try:
+            sample_rate = min(1.0, max(0.0, float(raw))) if raw else 0.0
+        except ValueError:
+            sample_rate = 0.0
+    with _GLOBAL_LOCK:
+        _GLOBAL_TRACER = Tracer(
+            service=service if service is not None else _GLOBAL_TRACER.service,
+            sample_rate=sample_rate,
+            max_spans=max_spans if max_spans is not None else _DEFAULT_MAX_SPANS,
+            rng=rng,
+        )
+        return _GLOBAL_TRACER

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 from ..ir.graph import Graph
 from ..ir.shape_inference import infer_shapes
 from ..ir.validate import validate_graph
+from ..obs.trace import get_tracer
 
 __all__ = ["GraphPass", "PassManager", "PassReport"]
 
@@ -78,12 +79,16 @@ class PassManager:
         ``in_place``).  The result is validated and fully shape-inferred."""
         g = graph if in_place else graph.clone()
         report = PassReport()
+        tracer = get_tracer()
         for round_idx in range(self.max_rounds):
             report.rounds = round_idx + 1
             changed = False
             for p in self.passes:
                 infer_shapes(g)  # memoized: an identity check when unchanged
-                if p.run(g):
+                with tracer.span(f"pass:{p.name}", "optimize") as span:
+                    applied = p.run(g)
+                    span.tag("applied", applied)
+                if applied:
                     # a pass may rewrite node inputs/attrs in place without
                     # touching a graph mutator; drop derived caches so the
                     # next inference sees the rewrite.
@@ -92,7 +97,8 @@ class PassManager:
                     report.record(p.name)
             if not changed:
                 break
-        infer_shapes(g)
+        with tracer.span("shape_inference", "optimize"):
+            infer_shapes(g)
         validate_graph(g)
         g.toposort_inplace()
         self.last_report: Optional[PassReport] = report

@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..ir.graph import Graph
 from ..ir.serialization import graph_from_dict, graph_to_dict
+from ..obs.metrics import MetricsRegistry
 from .canonical import canonicalize, restore_names
 
 __all__ = [
@@ -122,7 +123,10 @@ class OptimizationCache:
     """
 
     def __init__(
-        self, cache_dir: Optional[str] = None, max_memory_entries: int = 256
+        self,
+        cache_dir: Optional[str] = None,
+        max_memory_entries: int = 256,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_memory_entries < 1:
             raise ValueError("max_memory_entries must be >= 1")
@@ -130,11 +134,12 @@ class OptimizationCache:
         self.max_memory_entries = max_memory_entries
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.RLock()
-        self._memory_hits = 0
-        self._disk_hits = 0
-        self._misses = 0
-        self._puts = 0
-        self._evictions = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # one instrument for all cache accounting: a values() snapshot
+        # is atomic across events, so stats() can never tear.
+        self._events = self.registry.counter(
+            "cache_events_total", "cache accounting by event"
+        )
         if cache_dir is not None:
             os.makedirs(os.path.join(cache_dir, "objects"), exist_ok=True)
 
@@ -163,21 +168,21 @@ class OptimizationCache:
             payload = self._memory.get(key)
             if payload is not None:
                 self._memory.move_to_end(key)
-                self._memory_hits += 1
+                self._events.inc(event="memory_hit")
                 return payload
         payload = self._read_disk(key)
         with self._lock:
             if payload is not None:
-                self._disk_hits += 1
+                self._events.inc(event="disk_hit")
                 self._remember_locked(key, payload)
             else:
-                self._misses += 1
+                self._events.inc(event="miss")
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Store ``payload`` in both tiers (disk write is atomic)."""
         with self._lock:
-            self._puts += 1
+            self._events.inc(event="put")
             self._remember_locked(key, payload)
         if self.cache_dir is not None:
             self._write_disk(key, payload)
@@ -187,7 +192,7 @@ class OptimizationCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
-            self._evictions += 1
+            self._events.inc(event="eviction")
 
     def _read_disk(self, key: str) -> Optional[Dict[str, Any]]:
         if self.cache_dir is None:
@@ -234,15 +239,17 @@ class OptimizationCache:
         return None
 
     def stats(self) -> CacheStats:
+        events = self._events.values(label="event")
         with self._lock:
-            return CacheStats(
-                memory_hits=self._memory_hits,
-                disk_hits=self._disk_hits,
-                misses=self._misses,
-                puts=self._puts,
-                evictions=self._evictions,
-                memory_entries=len(self._memory),
-            )
+            memory_entries = len(self._memory)
+        return CacheStats(
+            memory_hits=events.get("memory_hit", 0),
+            disk_hits=events.get("disk_hit", 0),
+            misses=events.get("miss", 0),
+            puts=events.get("put", 0),
+            evictions=events.get("eviction", 0),
+            memory_entries=memory_entries,
+        )
 
     def clear_memory(self) -> None:
         """Drop the hot tier (disk objects, if any, stay)."""

@@ -51,12 +51,15 @@ from ..api.wire import (
     ERR_VERSION_MISMATCH,
     HTTP_STATUS,
     PROTOCOL_VERSION,
+    TRACE_FIELD,
+    TRACE_HEADER,
     EndpointError,
     receipt_to_wire,
     status_to_wire,
 )
 from ..control.admission import AdmissionController
 from ..control.signals import aggregate_signals, ServiceSignals
+from ..obs.trace import TraceContext
 from .cache import OptimizationCache
 from .server import OptimizationServer
 
@@ -268,11 +271,13 @@ class OptimizationHTTPServer:
             "optimizer": optimizer or self.default_backend,
         }
 
-    def handle_submit(self, body: Any) -> Dict[str, Any]:
+    def handle_submit(
+        self, body: Any, trace: Optional[TraceContext] = None
+    ) -> Dict[str, Any]:
         manifest, optimizer = self._parse_submit(body)
         backend = self._backend(optimizer)
         job_id = backend.submit(
-            manifest.bucket, entry_digests=manifest.entry_digests
+            manifest.bucket, entry_digests=manifest.entry_digests, trace=trace
         )
         with self._lock:
             self._jobs[job_id] = backend
@@ -292,9 +297,16 @@ class OptimizationHTTPServer:
         The return list is aligned with ``bodies``: a submit payload
         dict per accepted request, an :class:`EndpointError` per
         rejected one — one bad body never fails its batch-mates.
+
+        Each body may carry its own optional wire trace field — batched
+        frames keep per-request traces, forwarded to the backend so
+        coalesced work links the traces that share it.
         """
         results: List[Union[Dict[str, Any], EndpointError]] = [None] * len(bodies)  # type: ignore[list-item]
-        groups: Dict[str, List[Tuple[int, BucketManifest, Optional[str]]]] = {}
+        groups: Dict[
+            str,
+            List[Tuple[int, BucketManifest, Optional[str], Optional[TraceContext]]],
+        ] = {}
         # coalesced batches routinely carry the same sealed manifest many
         # times (a closed-loop wave re-requesting one bucket); parsing is
         # the dominant per-body cost, so batch-mates share it.
@@ -313,20 +325,28 @@ class OptimizationHTTPServer:
                     ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
                 )
                 continue
-            groups.setdefault(backend.service.name, []).append((i, manifest, optimizer))
+            trace = (
+                TraceContext.from_wire(body.get(TRACE_FIELD))
+                if isinstance(body, dict)
+                else None
+            )
+            groups.setdefault(backend.service.name, []).append(
+                (i, manifest, optimizer, trace)
+            )
         for name, group in groups.items():
             backend = self._backend(name)
             try:
                 outcomes = backend.submit_batch(
-                    [(m.bucket, m.entry_digests) for _, m, _ in group],
+                    [(m.bucket, m.entry_digests) for _, m, _, _ in group],
                     batch_max=batch_max,
+                    traces=[t for _, _, _, t in group],
                 )
             except Exception as exc:
                 err = EndpointError(ERR_INTERNAL, f"{type(exc).__name__}: {exc}")
-                for i, _, _ in group:
+                for i, _, _, _ in group:
                     results[i] = err
                 continue
-            for (i, manifest, optimizer), outcome in zip(group, outcomes):
+            for (i, manifest, optimizer, _), outcome in zip(group, outcomes):
                 if isinstance(outcome, EndpointError):
                     results[i] = outcome
                     continue
@@ -607,7 +627,10 @@ class _EndpointHandler(BaseHTTPRequestHandler):
             elif method == "GET" and parts == ["v1", "metrics"]:
                 payload = self.app.handle_metrics()
             elif method == "POST" and parts == ["v1", "jobs"]:
-                payload = self.app.handle_submit(self._read_json())
+                # the optional trace header joins the submit to the
+                # client's trace; malformed values degrade to None.
+                trace = TraceContext.from_wire(self.headers.get(TRACE_HEADER))
+                payload = self.app.handle_submit(self._read_json(), trace=trace)
             elif method == "GET" and len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
                 payload = self.app.handle_status(parts[2])
             elif (

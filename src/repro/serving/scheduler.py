@@ -27,6 +27,8 @@ from concurrent.futures import Future
 from enum import IntEnum
 from typing import Any, Callable, Dict, Optional
 
+from ..obs.metrics import MetricsRegistry
+
 __all__ = ["Priority", "DedupScheduler"]
 
 
@@ -46,17 +48,26 @@ _DRAIN = 1 << 30
 class DedupScheduler:
     """A thread pool pulling from a priority queue, with keyed dedup."""
 
-    def __init__(self, workers: int = 2, name: str = "opt") -> None:
+    def __init__(
+        self,
+        workers: int = 2,
+        name: str = "opt",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # one labeled counter carries all three task events; each read of
+        # stats() is a per-instrument-consistent view over it.
+        self._tasks = self.registry.counter(
+            "scheduler_tasks_total",
+            "scheduler task events by outcome (submitted/dedup_hit/executed)",
+        )
         self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
         self._inflight: Dict[str, Future] = {}
         self._lock = threading.Lock()
         self._seq = itertools.count()
-        self._submitted = 0
-        self._dedup_hits = 0
-        self._executed = 0
         self._closed = False
         self._threads = [
             threading.Thread(
@@ -84,12 +95,12 @@ class DedupScheduler:
             if key is not None:
                 existing = self._inflight.get(key)
                 if existing is not None:
-                    self._dedup_hits += 1
+                    self._tasks.inc(event="dedup_hit")
                     return existing
             fut: Future = Future()
             if key is not None:
                 self._inflight[key] = fut
-            self._submitted += 1
+            self._tasks.inc(event="submitted")
             self._queue.put((int(priority), next(self._seq), key, fn, fut))
         return fut
 
@@ -111,10 +122,10 @@ class DedupScheduler:
                 raise RuntimeError("scheduler is shut down")
             existing = self._inflight.get(key)
             if existing is not None:
-                self._dedup_hits += 1
+                self._tasks.inc(event="dedup_hit")
                 return existing, False
             self._inflight[key] = fut
-            self._submitted += 1
+            self._tasks.inc(event="submitted")
             return fut, True
 
     def release(self, key: str) -> None:
@@ -167,7 +178,7 @@ class DedupScheduler:
             return
         with self._lock:
             self._inflight.pop(key, None)
-            self._executed += 1
+        self._tasks.inc(event="executed")
 
     # -- introspection ------------------------------------------------------
     def queue_depth(self) -> int:
@@ -179,14 +190,13 @@ class DedupScheduler:
             return len(self._inflight)
 
     def stats(self) -> Dict[str, int]:
-        with self._lock:
-            return {
-                "submitted": self._submitted,
-                "dedup_hits": self._dedup_hits,
-                "executed": self._executed,
-                "queue_depth": self._queue.qsize(),
-                "workers": self.workers,
-            }
+        return {
+            "submitted": self._tasks.value(event="submitted"),
+            "dedup_hits": self._tasks.value(event="dedup_hit"),
+            "executed": self._tasks.value(event="executed"),
+            "queue_depth": self._queue.qsize(),
+            "workers": self.workers,
+        }
 
     # -- lifecycle ----------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:

@@ -40,6 +40,8 @@ from ..control.signals import ServiceSignals, SignalTracker
 from ..core.proteus import ObfuscatedBucket
 from ..ir.graph import Graph
 from ..ir.serialization import graph_from_dict
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceContext, get_tracer
 from .cache import OptimizationCache, build_payload
 from .canonical import CanonicalForm, canonicalize, restore_names
 from .scheduler import DedupScheduler, Priority
@@ -127,6 +129,7 @@ class OptimizationServer:
         workers: int = 2,
         admission: Optional[AdmissionController] = None,
         entry_cost_s: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
         **optimizer_options,
     ) -> None:
         if cache is not None and cache_dir is not None:
@@ -144,27 +147,43 @@ class OptimizationServer:
         # server there is a single backend configuration, so sharing
         # results between identical in-flight entries is always sound.
         self._config_fingerprint = self.service.config_fingerprint
-        self._scheduler = DedupScheduler(workers=workers)
-        self._jobs: Dict[str, _Job] = {}
-        self._jobs_lock = threading.Lock()
-        self._local = threading.local()
-        self._latencies: List[float] = []
-        self._entries_done = 0
-        self._entry_cache_hits = 0
+        # one registry for the whole serving stack: the scheduler shares
+        # it, callers may pre-share it with the admission controller, and
+        # metrics() is a compatibility view over instrument reads.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._scheduler = DedupScheduler(workers=workers, registry=self.registry)
         # monotonic job counters: never reset, never decremented (not
         # even by forget()), so a sampler can compute goodput deltas
         # between two reads without racing queue-depth snapshots.
-        self._submitted_total = 0
-        self._completed_total = 0
-        self._failed_total = 0
+        self._jobs_counter = self.registry.counter(
+            "server_jobs_total", "jobs by lifecycle state (submitted/completed/failed)"
+        )
+        self._entries_counter = self.registry.counter(
+            "server_entries_total", "entries optimized, by cache result (hit/miss)"
+        )
         # batched-submit accounting (see submit_batch): calls seen, jobs
         # admitted through them, distinct forms they enqueued, and the
         # carrier chunks those forms were packed into.
-        self._batch_calls = 0
-        self._batch_jobs = 0
-        self._batch_forms = 0
-        self._batch_chunks = 0
+        self._batch_counter = self.registry.counter(
+            "server_batch_total", "batched-submit accounting by unit"
+        )
+        self._canon_hits_counter = self.registry.counter(
+            "server_canon_memo_hits_total", "canonicalization memo hits"
+        )
+        self._entry_latency = self.registry.histogram(
+            "server_entry_latency_seconds", "per-entry optimization latency"
+        )
+        self._jobs: Dict[str, _Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._local = threading.local()
+        # the exact latency list stays (the histogram's fixed buckets
+        # cannot reproduce metrics()'s exact p50/max), bounded by runs.
+        self._latencies: List[float] = []
         self._metrics_lock = threading.Lock()
+        # in-flight future -> submitting job's trace context, so a
+        # dedup-joined waiter can emit a link span to the winning job.
+        self._task_trace: Dict[Future, Optional[TraceContext]] = {}
+        self._task_trace_lock = threading.Lock()
         self.admission = admission
         # the signal tracker mirrors the admission budget (when any) so
         # slo_attainment in metrics() reflects the budget submits are
@@ -187,7 +206,6 @@ class OptimizationServer:
         # without writing it.
         self._canon_memo: "OrderedDict[str, CanonicalForm]" = OrderedDict()
         self._canon_lock = threading.Lock()
-        self._canon_hits = 0
         self._canon_memo_max = 512
         self._draining = False
         self._closed = False
@@ -214,27 +232,32 @@ class OptimizationServer:
         dedup-joined waiters share; each waiter renames it into its own
         entry's namespace afterwards.
         """
+        tracer = get_tracer()
         started = time.perf_counter()
         key = self._task_key(form.digest)
-        payload = self.cache.get(key) if self._cache_usable else None
-        hit = payload is not None
+        with tracer.span("cache_lookup", "cache") as cache_span:
+            payload = self.cache.get(key) if self._cache_usable else None
+            hit = payload is not None
+            cache_span.tag("hit", hit)
         if payload is None:
-            if self.entry_cost_s > 0:
-                time.sleep(self.entry_cost_s)
-            optimized = self._backend().optimize(form.graph)
-            payload = build_payload(
-                form.digest,
-                self.service.name,
-                self._config_fingerprint or "uncacheable",
-                optimized,
-            )
-            if self._cache_usable:
-                self.cache.put(key, payload)
+            with tracer.span("optimize", "optimize"):
+                if self.entry_cost_s > 0:
+                    time.sleep(self.entry_cost_s)
+                optimized = self._backend().optimize(form.graph)
+            with tracer.span("serialize", "serialize"):
+                payload = build_payload(
+                    form.digest,
+                    self.service.name,
+                    self._config_fingerprint or "uncacheable",
+                    optimized,
+                )
+                if self._cache_usable:
+                    self.cache.put(key, payload)
         elapsed = time.perf_counter() - started
         with self._metrics_lock:
-            self._entries_done += 1
-            self._entry_cache_hits += int(hit)
             self._latencies.append(elapsed)
+        self._entries_counter.inc(result="hit" if hit else "miss")
+        self._entry_latency.observe(elapsed)
         self._signals.observe_entry(elapsed, hit=hit)
         return payload
 
@@ -247,9 +270,11 @@ class OptimizationServer:
                 form = self._canon_memo.get(content_digest)
                 if form is not None:
                     self._canon_memo.move_to_end(content_digest)
-                    self._canon_hits += 1
-                    return form
-        form = canonicalize(graph)
+            if form is not None:
+                self._canon_hits_counter.inc()
+                return form
+        with get_tracer().span("wl_canonicalize", "canonicalize"):
+            form = canonicalize(graph)
         if content_digest is not None:
             with self._canon_lock:
                 self._canon_memo[content_digest] = form
@@ -258,12 +283,64 @@ class OptimizationServer:
                     self._canon_memo.popitem(last=False)
         return form
 
+    def _run_entry(
+        self,
+        form: CanonicalForm,
+        ctx: Optional[TraceContext],
+        enqueued_at: float,
+    ) -> Dict[str, Any]:
+        """One scheduler task: attribute the queue wait, join the
+        submitting request's trace on this worker thread, optimize."""
+        tracer = get_tracer()
+        tracer.record(
+            "queue_wait", "queue", time.perf_counter() - enqueued_at, ctx=ctx
+        )
+        with tracer.activate(ctx):
+            return self._optimize_canonical(form)
+
+    def _note_dedup(
+        self,
+        fut: Future,
+        ctx: Optional[TraceContext],
+        tracer,
+    ) -> None:
+        """Claim ``fut`` for ``ctx``, or link to the job that owns it.
+
+        The first submit to see a future becomes its trace owner; any
+        later submit handed the *same* future by the scheduler was
+        dedup-joined, and its trace gets a link span pointing at the
+        owner's span (cross-trace only — duplicate entries inside one
+        bucket already share a tree).
+        """
+        with self._task_trace_lock:
+            if fut in self._task_trace:
+                winner = self._task_trace[fut]
+                joined = True
+            else:
+                self._task_trace[fut] = ctx
+                winner = None
+                joined = False
+        if not joined:
+            fut.add_done_callback(self._forget_task_trace)
+            return
+        if (
+            ctx is not None
+            and winner is not None
+            and winner.trace_id != ctx.trace_id
+        ):
+            tracer.link(ctx, winner)
+
+    def _forget_task_trace(self, fut: Future) -> None:
+        with self._task_trace_lock:
+            self._task_trace.pop(fut, None)
+
     # -- public API ---------------------------------------------------------
     def submit(
         self,
         bucket: ObfuscatedBucket,
         priority: int = Priority.NORMAL,
         entry_digests: Optional[Dict[str, str]] = None,
+        trace: Optional[TraceContext] = None,
     ) -> str:
         """Queue a bucket for optimization and return its job id.
 
@@ -275,6 +352,14 @@ class OptimizationServer:
         content digest, from a verified manifest) lets repeat submits
         of the same content skip even that pass via the
         canonicalization memo.
+
+        ``trace`` is the submitting request's trace context (parsed off
+        the wire by a transport front-end); when omitted, the calling
+        thread's active context applies, so ``local:`` endpoints
+        propagate without any explicit plumbing.  Queue wait, cache
+        lookup, optimization and serialization each become spans under
+        it, and a dedup-joined submit emits a link span to the job that
+        owns the shared work.
 
         Raises a structured ``overloaded``
         :class:`~repro.api.wire.EndpointError` (with a
@@ -292,17 +377,24 @@ class OptimizationServer:
             )
         if self.admission is not None:
             self.admission.admit(self.signals(), context="submit")
+        tracer = get_tracer()
+        trace_ctx = trace if trace is not None else tracer.current()
         job_id = f"job-{uuid.uuid4().hex[:12]}"
         entries: List[Tuple[str, CanonicalForm, Future]] = []
-        for entry in bucket:
-            digest = entry_digests.get(entry.entry_id) if entry_digests else None
-            form = self._canonical_form(entry.graph, digest)
-            fut = self._scheduler.submit(
-                self._task_key(form.digest),
-                lambda form=form: self._optimize_canonical(form),
-                priority=priority,
-            )
-            entries.append((entry.entry_id, form, fut))
+        with tracer.activate(trace_ctx):
+            for entry in bucket:
+                digest = entry_digests.get(entry.entry_id) if entry_digests else None
+                form = self._canonical_form(entry.graph, digest)
+                enqueued_at = time.perf_counter()
+                fut = self._scheduler.submit(
+                    self._task_key(form.digest),
+                    lambda form=form, ctx=trace_ctx, t0=enqueued_at: self._run_entry(
+                        form, ctx, t0
+                    ),
+                    priority=priority,
+                )
+                self._note_dedup(fut, trace_ctx, tracer)
+                entries.append((entry.entry_id, form, fut))
         job = _Job(
             job_id=job_id,
             bucket=bucket,
@@ -319,6 +411,7 @@ class OptimizationServer:
         requests: List[Tuple[ObfuscatedBucket, Optional[Dict[str, str]]]],
         priority: int = Priority.NORMAL,
         batch_max: Optional[int] = None,
+        traces: Optional[List[Optional[TraceContext]]] = None,
     ) -> List[Union[str, EndpointError]]:
         """Queue several buckets at once, coalescing their backend work.
 
@@ -338,15 +431,24 @@ class OptimizationServer:
         cold batch still uses every worker.  Results are byte-identical
         to sequential :meth:`submit` calls — same cache keys, same
         canonical payloads, same receipts.
+
+        ``traces`` aligns with ``requests``: each request's own trace
+        context (batches cross the wire carrying one optional trace
+        field *per frame*, so two traced requests coalesced into one
+        batch keep distinct traces, linked where they share work).
         """
         if self._closed:
             raise RuntimeError("server is closed")
+        if traces is not None and len(traces) != len(requests):
+            raise ValueError("traces must align one-to-one with requests")
+        tracer = get_tracer()
         results: List[Union[str, EndpointError]] = []
         # distinct canonical forms this batch must actually run,
         # insertion-ordered: key -> (form, future)
         new_forms: "OrderedDict[str, Tuple[CanonicalForm, Future]]" = OrderedDict()
         admitted = 0
-        for bucket, entry_digests in requests:
+        for index, (bucket, entry_digests) in enumerate(requests):
+            trace_ctx = traces[index] if traces is not None else None
             if self._draining:
                 results.append(
                     EndpointError(
@@ -364,18 +466,22 @@ class OptimizationServer:
                     continue
             job_id = f"job-{uuid.uuid4().hex[:12]}"
             entries: List[Tuple[str, CanonicalForm, Future]] = []
-            for entry in bucket:
-                digest = entry_digests.get(entry.entry_id) if entry_digests else None
-                form = self._canonical_form(entry.graph, digest)
-                key = self._task_key(form.digest)
-                pending = new_forms.get(key)
-                if pending is not None:
-                    fut = pending[1]  # joins this batch's own pending form
-                else:
-                    fut, created = self._scheduler.register(key, Future())
-                    if created:
-                        new_forms[key] = (form, fut)
-                entries.append((entry.entry_id, form, fut))
+            with tracer.activate(trace_ctx):
+                for entry in bucket:
+                    digest = (
+                        entry_digests.get(entry.entry_id) if entry_digests else None
+                    )
+                    form = self._canonical_form(entry.graph, digest)
+                    key = self._task_key(form.digest)
+                    pending = new_forms.get(key)
+                    if pending is not None:
+                        fut = pending[1]  # joins this batch's own pending form
+                    else:
+                        fut, created = self._scheduler.register(key, Future())
+                        if created:
+                            new_forms[key] = (form, fut)
+                    self._note_dedup(fut, trace_ctx, tracer)
+                    entries.append((entry.entry_id, form, fut))
             job = _Job(
                 job_id=job_id,
                 bucket=bucket,
@@ -396,35 +502,48 @@ class OptimizationServer:
             chunks = 0
             for i in range(0, len(items), chunk):
                 part = [(key, form, fut) for key, (form, fut) in items[i : i + chunk]]
+                enqueued_at = time.perf_counter()
                 self._scheduler.enqueue(
-                    lambda part=part: self._optimize_chunk(part), priority=priority
+                    lambda part=part, t0=enqueued_at: self._optimize_chunk(part, t0),
+                    priority=priority,
                 )
                 chunks += 1
-            with self._metrics_lock:
-                self._batch_calls += 1
-                self._batch_chunks += chunks
-                self._batch_forms += len(items)
+            self._batch_counter.inc(unit="calls")
+            self._batch_counter.inc(chunks, unit="chunks")
+            self._batch_counter.inc(len(items), unit="forms")
         if admitted:
-            with self._metrics_lock:
-                self._batch_jobs += admitted
+            self._batch_counter.inc(admitted, unit="jobs")
         return results
 
     def _optimize_chunk(
-        self, part: List[Tuple[str, CanonicalForm, Future]]
+        self,
+        part: List[Tuple[str, CanonicalForm, Future]],
+        enqueued_at: Optional[float] = None,
     ) -> int:
         """Run one batched scheduler task: several claimed forms in a row.
 
         Mirrors the worker loop's discipline per form — release the
         in-flight key *before* resolving the future, and never let one
-        form's failure poison its siblings in the same chunk.
+        form's failure poison its siblings in the same chunk.  Each
+        form runs under the trace of the job that claimed it (the batch
+        coalescer keeps per-request traces), with the chunk's queue
+        wait attributed to every form it carried.
         """
+        tracer = get_tracer()
         done = 0
         for key, form, fut in part:
             if not fut.set_running_or_notify_cancel():
                 self._scheduler.release(key)
                 continue
+            with self._task_trace_lock:
+                ctx = self._task_trace.get(fut)
+            if enqueued_at is not None:
+                tracer.record(
+                    "queue_wait", "queue", time.perf_counter() - enqueued_at, ctx=ctx
+                )
             try:
-                payload = self._optimize_canonical(form)
+                with tracer.activate(ctx):
+                    payload = self._optimize_canonical(form)
             except BaseException as exc:
                 self._scheduler.release(key)
                 fut.set_exception(exc)
@@ -438,23 +557,22 @@ class OptimizationServer:
         """Bump submitted_total now, completed/failed_total when the last
         entry future resolves (shared dedup futures accept one callback
         per waiting job, so per-job accounting survives dedup)."""
-        with self._metrics_lock:
-            self._submitted_total += 1
-            if not entries:  # an empty bucket is complete on arrival
-                self._completed_total += 1
-                return
+        self._jobs_counter.inc(state="submitted")
+        if not entries:  # an empty bucket is complete on arrival
+            self._jobs_counter.inc(state="completed")
+            return
         track = {"remaining": len(entries), "failed": False}
+        track_lock = threading.Lock()
 
         def entry_done(fut: Future) -> None:
-            with self._metrics_lock:
+            with track_lock:
                 if fut.cancelled() or fut.exception() is not None:
                     track["failed"] = True
                 track["remaining"] -= 1
-                if track["remaining"] == 0:
-                    if track["failed"]:
-                        self._failed_total += 1
-                    else:
-                        self._completed_total += 1
+                last = track["remaining"] == 0
+                failed = track["failed"]
+            if last:
+                self._jobs_counter.inc(state="failed" if failed else "completed")
 
         for _, _, fut in entries:
             fut.add_done_callback(entry_done)
@@ -573,24 +691,31 @@ class OptimizationServer:
         self._draining = True
 
     def metrics(self) -> Dict[str, Any]:
-        """Operational snapshot: cache, latency, queue and job counters."""
+        """Operational snapshot: cache, latency, queue and job counters.
+
+        Every key predating the metrics registry is preserved — this
+        dict is now a compatibility view assembled from registry
+        instrument reads (each read consistent per instrument, no
+        multi-lock tearing).  The raw instrument series are available
+        via ``self.registry.snapshot()``.
+        """
         with self._metrics_lock:
             latencies = list(self._latencies)
-            entries_done = self._entries_done
-            entry_hits = self._entry_cache_hits
-            counters = {
-                "submitted_total": self._submitted_total,
-                "completed_total": self._completed_total,
-                "failed_total": self._failed_total,
-                "entries_optimized": entries_done,
-                "entry_cache_hits": entry_hits,
-            }
-            batching = {
-                "batch_calls": self._batch_calls,
-                "batch_jobs": self._batch_jobs,
-                "batch_forms": self._batch_forms,
-                "batch_chunks": self._batch_chunks,
-            }
+        entries_done = self._entries_counter.total()
+        entry_hits = self._entries_counter.value(result="hit")
+        counters = {
+            "submitted_total": self._jobs_counter.value(state="submitted"),
+            "completed_total": self._jobs_counter.value(state="completed"),
+            "failed_total": self._jobs_counter.value(state="failed"),
+            "entries_optimized": entries_done,
+            "entry_cache_hits": entry_hits,
+        }
+        batching = {
+            "batch_calls": self._batch_counter.value(unit="calls"),
+            "batch_jobs": self._batch_counter.value(unit="jobs"),
+            "batch_forms": self._batch_counter.value(unit="forms"),
+            "batch_chunks": self._batch_counter.value(unit="chunks"),
+        }
         with self._jobs_lock:
             job_ids = list(self._jobs)
         states = []
@@ -600,10 +725,11 @@ class OptimizationServer:
             except KeyError:  # forgotten between listing and lookup
                 pass
         with self._canon_lock:
-            canon = {
-                "memo_hits": self._canon_hits,
-                "memo_entries": len(self._canon_memo),
-            }
+            memo_entries = len(self._canon_memo)
+        canon = {
+            "memo_hits": self._canon_hits_counter.value(),
+            "memo_entries": memo_entries,
+        }
         lat: Dict[str, float] = {}
         if latencies:
             ordered = sorted(latencies)

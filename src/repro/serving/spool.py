@@ -35,8 +35,10 @@ from ..api.wire import (
     ERR_BAD_DIGEST,
     ERR_JOB_FAILED,
     ERR_MALFORMED,
+    TRACE_FIELD,
     EndpointError,
 )
+from ..obs.trace import TraceContext
 from .server import OptimizationServer
 
 __all__ = [
@@ -264,8 +266,17 @@ class SpoolServer:
                 EndpointError(ERR_MALFORMED, f"cannot load bucket file: {exc}"),
             )
             return None
+        # the optional trace key rides on the envelope next to the
+        # manifest fields (which ignore unknown keys); a malformed or
+        # absent value degrades to None — never a failed job.
+        trace = None
         try:
-            job_id = self.server.submit(manifest.bucket)
+            with open(in_path, "r", encoding="utf-8") as fh:
+                trace = TraceContext.from_wire(json.load(fh).get(TRACE_FIELD))
+        except (OSError, ValueError, AttributeError):
+            trace = None
+        try:
+            job_id = self.server.submit(manifest.bucket, trace=trace)
             receipt = self.server.await_receipt(job_id)
             # seal to a temp path, write the metadata sidecar, THEN
             # publish atomically: a polling SpoolEndpoint unblocks on

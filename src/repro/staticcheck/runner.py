@@ -29,6 +29,7 @@ from .findings import (
 # importing the rule modules registers every built-in check
 from . import invariants as _invariants  # noqa: F401
 from . import locks as _locks  # noqa: F401
+from . import spans as _spans  # noqa: F401
 from . import wire_contract as _wire_contract  # noqa: F401
 
 __all__ = [

@@ -1,0 +1,184 @@
+"""Span-lifecycle analysis: every opened tracing span must be closed.
+
+``span-closed``
+    A span opened via ``tracer.span(...)`` or ``tracer.start_trace(...)``
+    only records itself when it is *exited* — ``_LiveSpan.__exit__`` is
+    where the duration is measured and the span appended to the ring
+    buffer.  A span that is opened and never closed is therefore not a
+    leak so much as a silent lie: the trace tree simply loses the tier,
+    attribution under-reports the hot path, and the ``trace-smoke`` CI
+    gate (every request one *complete* tree) starts flaking in ways no
+    unit test reproduces.  The rule enforces the two shapes that cannot
+    lose the exit:
+
+    * ``with tracer.span(...):`` / ``with tracer.start_trace(...) as s:``
+      — the context manager pairs enter and exit structurally;
+    * bind-then-finally — ``s = tracer.span(...)`` is accepted when some
+      ``finally`` block in the same scope calls ``s.__exit__(...)`` (or
+      ``s.close()``), the manual pattern for spans whose lifetime does
+      not nest lexically.
+
+    Everything else is flagged: a bare ``tracer.span(...)`` expression
+    statement discards the span un-entered, and passing one inline as a
+    call argument hands it to code that has no obligation to close it.
+
+Heuristics, kept deliberately narrow so ``span``/``start_trace`` methods
+on unrelated objects never trip the rule:
+
+* the receiver must *look like a tracer* — the literal chain
+  ``get_tracer().span(...)``, a local name bound from ``get_tracer()``
+  in the same scope, or any name/attribute containing ``tracer``
+  (``tracer``, ``self._tracer``) — the repo-wide convention;
+* ``return tracer.span(...)`` is ownership transfer (a factory helper);
+  the rule applies at the caller's use site, not the factory;
+* nested ``def``/``lambda`` bodies are separate scopes: a closure's
+  spans are checked against the closure's own ``finally`` blocks.
+
+A deliberate violation carries ``# staticcheck: ignore[span-closed]``
+with a one-line note on who closes the span.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from .checkers import Check, FileContext, register_check
+from .findings import Finding
+
+__all__ = ["SpanClosed"]
+
+#: tracer methods whose return value is an open (un-entered) span.
+_OPENERS = {"span", "start_trace"}
+
+#: methods that count as closing a bound span in a ``finally`` block.
+_CLOSERS = {"__exit__", "close"}
+
+
+def _is_get_tracer_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "get_tracer"
+    return isinstance(func, ast.Attribute) and func.attr == "get_tracer"
+
+
+def _receiver_is_tracer(node: ast.AST, tracer_names: Set[str]) -> bool:
+    """Does ``node`` (the ``X`` of ``X.span(...)``) look like a tracer?"""
+    if _is_get_tracer_call(node):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in tracer_names or "tracer" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "tracer" in node.attr.lower()
+    return False
+
+
+def _scope_nodes(body: List[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk one function scope, not descending into nested scopes."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # a separate scope, checked on its own
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _scopes(tree: ast.AST) -> Iterator[Tuple[str, List[ast.stmt]]]:
+    """Every (name, body) scope of a module: the module itself plus
+    each (possibly nested) function.  Class bodies are not scopes of
+    their own here; their methods are."""
+    if isinstance(tree, ast.Module):
+        yield "<module>", tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node.body
+
+
+@register_check
+class SpanClosed(Check):
+    name = "span-closed"
+    description = (
+        "spans from tracer.span()/start_trace() must be opened via "
+        "'with', or bound to a name that a finally block closes — an "
+        "unclosed span never records and silently breaks trace trees"
+    )
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        for scope_name, body in _scopes(ctx.tree):
+            yield from self._check_scope(ctx, scope_name, body)
+
+    def _check_scope(
+        self, ctx: FileContext, scope_name: str, body: List[ast.stmt]
+    ) -> Iterable[Finding]:
+        tracer_names: Set[str] = set()
+        for node in _scope_nodes(body):
+            if isinstance(node, ast.Assign) and _is_get_tracer_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tracer_names.add(target.id)
+
+        with_ctx: Set[int] = set()  # id() of calls used as a with item
+        returned: Set[int] = set()  # id() of calls handed to the caller
+        bound: Dict[int, str] = {}  # id(call) -> bound name
+        closed_names: Set[str] = set()  # names __exit__/close'd in a finally
+        openers: List[ast.Call] = []
+
+        for node in _scope_nodes(body):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_ctx.add(id(item.context_expr))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                returned.add(id(node.value))
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                if isinstance(node.targets[0], ast.Name):
+                    bound[id(node.value)] = node.targets[0].id
+            elif isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        if (
+                            isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr in _CLOSERS
+                            and isinstance(sub.func.value, ast.Name)
+                        ):
+                            closed_names.add(sub.func.value.id)
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _OPENERS
+                and _receiver_is_tracer(node.func.value, tracer_names)
+            ):
+                openers.append(node)
+
+        for ordinal, call in enumerate(
+            sorted(openers, key=lambda c: (c.lineno, c.col_offset))
+        ):
+            if id(call) in with_ctx or id(call) in returned:
+                continue
+            name = bound.get(id(call))
+            if name is not None and name in closed_names:
+                continue
+            opener = call.func.attr  # type: ignore[union-attr]
+            if name is None:
+                how = (
+                    f"the span from '{opener}(...)' is never entered or "
+                    f"closed — it will not record"
+                )
+            else:
+                how = (
+                    f"'{name}' holds an open span from '{opener}(...)' "
+                    f"but no finally block calls '{name}.__exit__(...)'"
+                )
+            yield self.finding(
+                ctx,
+                call,
+                key=f"{scope_name}:{opener}:{ordinal}",
+                message=(
+                    f"{how}; open spans with 'with', or close the bound "
+                    f"name in a finally block (or mark the hand-off with "
+                    f"'# staticcheck: ignore[span-closed]')"
+                ),
+            )

@@ -147,6 +147,58 @@ class TestComparator:
             compare_loadtests(report, report, tolerance=0.5)
 
 
+class TestSchemaV2:
+    def test_committed_v1_baseline_still_validates(self):
+        import os
+
+        baseline_path = os.path.join(
+            os.path.dirname(__file__), "..", "..",
+            "benchmarks", "baselines", "LOADTEST_smoke.json",
+        )
+        baseline = load_report(baseline_path)  # validates on load
+        assert baseline["schema_version"] == 1
+
+    def test_new_reports_are_v2(self, report):
+        assert report["schema_version"] == 2
+
+    def test_trace_attribution_none_when_tracing_off(self, result):
+        from repro.obs.trace import configure_tracer
+
+        configure_tracer(sample_rate=0.0)
+        try:
+            report = build_report(result, slo_ms=5000.0)
+            assert report["trace_attribution"] is None
+            validate_report(report)
+        finally:
+            configure_tracer(sample_rate=0.0)
+
+    def test_trace_attribution_built_from_sampled_spans(self, result):
+        from repro.obs.trace import configure_tracer
+
+        tracer = configure_tracer(sample_rate=1.0, service="report-test")
+        try:
+            with tracer.start_trace("request", "client"):
+                with tracer.span("rpc", "transport"):
+                    pass
+            report = build_report(result, slo_ms=5000.0)
+            block = report["trace_attribution"]
+            assert block is not None
+            assert block["sample_rate"] == 1.0
+            assert block["traces"] == 1
+            assert set(block["tiers"]) == {"client", "transport"}
+            validate_report(report)
+        finally:
+            configure_tracer(sample_rate=0.0)
+
+    def test_comparator_tolerates_the_new_block(self, report):
+        legacy = copy.deepcopy(report)
+        legacy["schema_version"] = 1
+        del legacy["trace_attribution"]
+        validate_report(legacy)  # a v1 doc without the block is fine
+        comparison = compare_loadtests(report, legacy, tolerance=1.5)
+        assert not comparison.has_regressions
+
+
 class TestBackpressure:
     def test_clean_run_reports_zero_shed(self, report):
         assert report["backpressure"]["shed"] == 0

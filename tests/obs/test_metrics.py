@@ -1,0 +1,125 @@
+"""MetricsRegistry unit tests: instruments, labels, atomic snapshots."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_value_total(self):
+        c = Counter("events_total")
+        c.inc()
+        c.inc(2, event="hit")
+        c.inc(event="miss")
+        assert c.value() == 1
+        assert c.value(event="hit") == 2
+        assert c.value(event="unknown") == 0
+        assert c.total() == 4
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="Gauge"):
+            Counter("events_total").inc(-1)
+
+    def test_values_snapshot_collapses_to_one_label(self):
+        c = Counter("cache_events_total")
+        c.inc(3, event="memory_hit")
+        c.inc(1, event="miss")
+        assert c.values(label="event") == {"memory_hit": 3, "miss": 1}
+        assert c.values() == {
+            (("event", "memory_hit"),): 3,
+            (("event", "miss"),): 1,
+        }
+
+    def test_values_is_one_atomic_copy_under_concurrency(self):
+        # related series on ONE counter must never tear: a reader
+        # always sees hit+miss equal to the number of completed rounds.
+        c = Counter("cache_events_total")
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                snap = c.values(label="event")
+                if snap.get("hit", 0) != snap.get("miss", 0) and (
+                    abs(snap.get("hit", 0) - snap.get("miss", 0)) > 1
+                ):
+                    torn.append(snap)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for _ in range(2000):
+            c.inc(event="hit")
+            c.inc(event="miss")
+        stop.set()
+        t.join()
+        assert torn == []
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec()
+        assert g.value() == 6.0
+        assert g.value(worker="w1") == 0.0  # default for absent series
+
+    def test_set_max_keeps_the_high_water_mark(self):
+        g = Gauge("batch_size_max")
+        g.set_max(3)
+        g.set_max(7)
+        g.set_max(5)
+        assert g.value() == 7
+
+
+class TestHistogram:
+    def test_observe_and_summary(self):
+        h = Histogram("latency_s", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["min_s"] == 0.005
+        assert s["max_s"] == 5.0
+        assert s["mean_s"] == pytest.approx(5.555 / 4)
+
+    def test_empty_summary(self):
+        assert Histogram("latency_s").summary()["count"] == 0
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("latency_s", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("latency_s", buckets=(-1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("events_total", "help")
+        b = reg.counter("events_total")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total")
+        with pytest.raises(ValueError, match="counter"):
+            reg.gauge("events_total")
+
+    def test_names_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total").inc(2, event="hit")
+        reg.gauge("depth").set(3.0)
+        reg.histogram("latency_s").observe(0.5)
+        assert reg.names() == ["depth", "events_total", "latency_s"]
+        snap = reg.snapshot()
+        assert snap["events_total"]["type"] == "counter"
+        assert snap["events_total"]["values"] == {"event=hit": 2}
+        assert snap["depth"]["values"] == {"": 3.0}
+        assert snap["latency_s"]["values"][""]["count"] == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")

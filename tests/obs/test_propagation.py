@@ -1,0 +1,186 @@
+"""End-to-end trace propagation: driver -> wire -> serving tiers.
+
+The acceptance shape of the tracing tentpole, in-process: at sampling
+1.0 every replayed request must stitch into ONE complete tree whose
+serving-tier spans hang under the client's rpc span (the wire carried
+the context), and whose per-tier exclusive times sum to ~the
+client-measured wall latency.
+"""
+
+import pytest
+
+from repro.loadgen.driver import run_loadtest
+from repro.loadgen.workload import WorkloadSpec, generate_workload
+from repro.obs.stitch import stitch_spans, tier_attribution
+from repro.obs.trace import configure_tracer
+
+
+@pytest.fixture()
+def tracer():
+    tracer = configure_tracer(sample_rate=1.0, service="propagation-test")
+    yield tracer
+    configure_tracer(sample_rate=0.0)
+
+
+def small_workload(requests=4, clients=2):
+    return generate_workload(
+        WorkloadSpec(
+            name="prop",
+            seed=11,
+            arrival="closed",
+            requests=requests,
+            clients=clients,
+            mix={"squeezenet": 1.0},
+            k=0,
+            variants=requests,  # distinct buckets: no dedup joins here
+        )
+    )
+
+
+def assert_complete_trees(trees, result):
+    assert len(trees) == len(result.outcomes)
+    for tree in trees:
+        assert tree.root is not None, "request trace lost its root"
+        assert tree.orphans() == [], "a span failed to join its parent"
+        assert tree.root.name == "request"
+        links = [s for s in tree.spans if s.tier == "link"]
+        if not links:
+            assert len(tree.tiers()) >= 4, tree.tiers()
+
+
+def assert_attribution_covers_wall(trees, result, tolerance=0.15):
+    """Per-tier exclusive time leaves no tracing gap in the wall latency.
+
+    Only a lower bound: the server pipelines canonicalization against
+    the worker pool and entries queue behind each other, so concurrent
+    sibling spans can legitimately attribute MORE than the wall clock
+    (work time, not a wall decomposition).
+    """
+    walls = sum(t.wall_s() for t in trees)
+    measured = sum(o.latency_s for o in result.outcomes)
+    assert walls == pytest.approx(measured, rel=tolerance)
+    attributed = sum(
+        t["total_s"] for t in tier_attribution(trees).values()
+    )
+    assert attributed >= (1 - tolerance) * walls
+
+
+def assert_attribution_matches_wall(trees, result, tolerance=0.15):
+    """Two-sided: tier exclusive times sum to ~the client wall latency.
+
+    Holds when the transport span dominates its server-side children
+    (remote endpoints): overlap between server spans is absorbed by the
+    rpc span's exclusive remainder instead of inflating the total.
+    """
+    assert_attribution_covers_wall(trees, result, tolerance)
+    walls = sum(t.wall_s() for t in trees)
+    attributed = sum(
+        t["total_s"] for t in tier_attribution(trees).values()
+    )
+    assert attributed == pytest.approx(walls, rel=tolerance)
+
+
+class TestLocalPropagation:
+    def test_every_request_is_one_complete_tree(self, tracer):
+        result = run_loadtest(
+            small_workload(), "local:", sample_interval=0.0
+        )
+        assert result.failed == 0, result.error_codes
+        trees = stitch_spans(tracer.spans())
+        assert_complete_trees(trees, result)
+        # full visibility in-process: client, transport, queue and the
+        # serving tiers all in one tracer
+        tiers = {tier for t in trees for tier in t.tiers()}
+        assert {"client", "transport", "queue", "optimize"} <= tiers
+
+    def test_attribution_covers_wall_latency(self, tracer):
+        result = run_loadtest(
+            small_workload(), "local:", sample_interval=0.0
+        )
+        assert result.failed == 0
+        trees = stitch_spans(tracer.spans())
+        assert_attribution_covers_wall(trees, result)
+
+    def test_dedup_joins_link_to_the_winner(self, tracer):
+        # every request is the same bucket: concurrent duplicates must
+        # join the in-flight job and link to the winning trace
+        workload = generate_workload(
+            WorkloadSpec(
+                name="dup",
+                seed=3,
+                arrival="closed",
+                requests=6,
+                clients=6,
+                mix={"squeezenet": 1.0},
+                k=0,
+                variants=1,
+            )
+        )
+        result = run_loadtest(workload, "local:", sample_interval=0.0)
+        assert result.failed == 0
+        trees = stitch_spans(tracer.spans())
+        assert_complete_trees(trees, result)
+        by_id = {t.trace_id for t in trees}
+        links = [
+            s for t in trees for s in t.spans if s.tier == "link"
+        ]
+        for link in links:
+            assert link.tags["target_trace_id"] in by_id
+
+    def test_unsampled_run_records_nothing(self):
+        tracer = configure_tracer(sample_rate=0.0)
+        result = run_loadtest(
+            small_workload(requests=2, clients=1), "local:",
+            sample_interval=0.0,
+        )
+        assert result.failed == 0
+        assert tracer.spans() == []
+
+
+class TestHttpPropagation:
+    def test_header_carries_the_context_across_the_wire(self, tracer):
+        from repro.serving import OptimizationCache
+        from repro.serving.http import OptimizationHTTPServer
+
+        app = OptimizationHTTPServer(
+            "ortlike", cache=OptimizationCache(), workers=2, port=0
+        )
+        host, port = app.start()
+        try:
+            result = run_loadtest(
+                small_workload(), f"http://{host}:{port}",
+                sample_interval=0.0,
+            )
+            assert result.failed == 0, result.error_codes
+            trees = stitch_spans(tracer.spans())
+            assert_complete_trees(trees, result)
+            assert_attribution_matches_wall(trees, result)
+        finally:
+            app.close()
+
+
+class TestMuxPropagation:
+    def test_frame_field_carries_the_context(self, tracer):
+        from repro.api.endpoint import open_endpoint
+        from repro.mux.server import MuxServer
+        from repro.serving import OptimizationCache
+        from repro.serving.http import OptimizationHTTPServer
+
+        app = OptimizationHTTPServer(
+            "ortlike", cache=OptimizationCache(), workers=2, port=0
+        )
+        server = MuxServer(app)
+        host, port = server.start()
+        endpoint = open_endpoint(f"mux://{host}:{port}")
+        try:
+            result = run_loadtest(
+                small_workload(requests=2, clients=2), endpoint,
+                sample_interval=0.0,
+            )
+            assert result.failed == 0, result.error_codes
+            trees = stitch_spans(tracer.spans())
+            assert_complete_trees(trees, result)
+        finally:
+            endpoint.close()
+            server.close()
+            app.close()

@@ -1,0 +1,175 @@
+"""Stitching unit tests: trees, attribution, critical path, compare."""
+
+import pytest
+
+from repro.obs.stitch import (
+    TraceTree,
+    build_trace_summary,
+    compare_attributions,
+    critical_path,
+    merge_trace_files,
+    stitch_spans,
+    tier_attribution,
+)
+from repro.obs.trace import Span, Tracer, default_trace_path
+
+
+def mk_span(trace, span, parent, name, tier, start, dur, pid=1, **tags):
+    return Span(trace, span, parent, name, tier, "test", pid, start, dur,
+                dict(tags))
+
+
+def one_request_spans(trace="t1", start=100.0):
+    """A realistic two-process request: client root + rpc, serving tiers."""
+    return [
+        mk_span(trace, "root", None, "request", "client", start, 1.0, pid=1),
+        mk_span(trace, "rpc", "root", "rpc", "transport", start + 0.05, 0.9,
+                pid=1),
+        mk_span(trace, "qw", "rpc", "queue_wait", "queue", start + 0.1, 0.2,
+                pid=2),
+        mk_span(trace, "opt", "rpc", "optimize", "optimize", start + 0.3, 0.6,
+                pid=2),
+    ]
+
+
+class TestTraceTree:
+    def test_root_children_tiers_processes(self):
+        tree = TraceTree("t1", one_request_spans())
+        assert tree.root.span_id == "root"
+        assert [c.span_id for c in tree.children(tree.root)] == ["rpc"]
+        assert tree.tiers() == ["client", "optimize", "queue", "transport"]
+        assert tree.processes() == [1, 2]
+        assert tree.orphans() == []
+        assert tree.wall_s() == 1.0
+
+    def test_exclusive_subtracts_direct_children(self):
+        tree = TraceTree("t1", one_request_spans())
+        rpc = tree._by_id["rpc"]
+        # rpc 0.9s minus queue_wait 0.2s and optimize 0.6s
+        assert tree.exclusive_s(rpc) == pytest.approx(0.1)
+        root = tree.root
+        assert tree.exclusive_s(root) == pytest.approx(0.1)
+
+    def test_exclusive_clamps_at_zero(self):
+        spans = [
+            mk_span("t", "a", None, "request", "client", 0.0, 0.1),
+            mk_span("t", "b", "a", "rpc", "transport", 0.0, 0.5),
+        ]
+        tree = TraceTree("t", spans)
+        assert tree.exclusive_s(tree.root) == 0.0
+
+    def test_orphans_missing_parent(self):
+        spans = one_request_spans() + [
+            mk_span("t1", "lost", "no-such-span", "x", "queue", 101.0, 0.1)
+        ]
+        tree = TraceTree("t1", spans)
+        assert [s.span_id for s in tree.orphans()] == ["lost"]
+
+    def test_two_parentless_spans_means_no_root(self):
+        spans = [
+            mk_span("t", "a", None, "request", "client", 0.0, 1.0),
+            mk_span("t", "b", None, "request", "client", 0.5, 1.0),
+        ]
+        tree = TraceTree("t", spans)
+        assert tree.root is None
+        assert len(tree.orphans()) == 2
+        assert tree.wall_s() is None
+
+
+class TestStitching:
+    def test_groups_by_trace_id_oldest_first(self):
+        spans = one_request_spans("t-new", start=200.0) + one_request_spans(
+            "t-old", start=100.0
+        )
+        trees = stitch_spans(spans)
+        assert [t.trace_id for t in trees] == ["t-old", "t-new"]
+        assert all(len(t.spans) == 4 for t in trees)
+
+    def test_merge_trace_files_joins_processes(self, tmp_path):
+        spans = one_request_spans()
+        client, worker = Tracer("client", 1.0), Tracer("worker", 1.0)
+        for span in spans:
+            (client if span.pid == 1 else worker)._spans.append(span)
+        p1 = str(tmp_path / default_trace_path("client"))
+        p2 = str(tmp_path / default_trace_path("worker"))
+        client.export(p1)
+        worker.export(p2)
+        merged = merge_trace_files([p1, p2])
+        assert len(merged) == 4
+        (tree,) = stitch_spans(merged)
+        assert tree.orphans() == []
+        assert tree.processes() == [1, 2]
+
+
+class TestAttribution:
+    def test_shares_sum_to_one_and_links_excluded(self):
+        spans = one_request_spans() + [
+            mk_span("t1", "lnk", "rpc", "dedup_join", "link", 100.5, 0.0,
+                    target_trace_id="w")
+        ]
+        attribution = tier_attribution(stitch_spans(spans))
+        assert "link" not in attribution
+        assert sum(t["share"] for t in attribution.values()) == pytest.approx(1.0)
+        # exclusive totals: client 0.1, transport 0.1, queue 0.2, optimize 0.6
+        assert attribution["optimize"]["total_s"] == pytest.approx(0.6)
+        assert attribution["queue"]["total_s"] == pytest.approx(0.2)
+        assert attribution["transport"]["total_s"] == pytest.approx(0.1)
+
+    def test_tiers_sum_to_root_wall(self):
+        trees = stitch_spans(one_request_spans())
+        attribution = tier_attribution(trees)
+        total = sum(t["total_s"] for t in attribution.values())
+        assert total == pytest.approx(trees[0].wall_s())
+
+    def test_critical_path_follows_longest_child(self):
+        (tree,) = stitch_spans(one_request_spans())
+        path = [s.span_id for s in critical_path(tree)]
+        assert path == ["root", "rpc", "opt"]
+
+    def test_critical_path_empty_without_root(self):
+        tree = TraceTree("t", [
+            mk_span("t", "a", "gone", "x", "queue", 0.0, 0.1)
+        ])
+        assert critical_path(tree) == []
+
+
+class TestSummaryAndCompare:
+    def test_summary_counts(self):
+        spans = one_request_spans("t1") + one_request_spans("t2", start=200.0)
+        spans.append(
+            mk_span("t3", "frag", "missing", "x", "queue", 300.0, 0.1, pid=3)
+        )
+        summary = build_trace_summary(stitch_spans(spans))
+        assert summary["traces"] == 3
+        assert summary["complete"] == 2
+        assert summary["orphan_spans"] == 1
+        assert summary["spans"] == 9
+        assert summary["processes"] == [1, 2, 3]
+        assert summary["wall"]["mean_s"] == pytest.approx(1.0)
+        assert summary["critical_path"][0]["name"] == "request"
+
+    def test_empty_summary(self):
+        summary = build_trace_summary([])
+        assert summary["traces"] == 0
+        assert summary["wall"]["mean_s"] is None
+        assert summary["critical_path"] == []
+
+    def test_compare_attributions_rows(self):
+        current = build_trace_summary(stitch_spans(one_request_spans()))
+        slower = {
+            "tiers": {
+                tier: {**stats, "mean_s": stats["mean_s"] / 2}
+                for tier, stats in current["tiers"].items()
+            }
+        }
+        rows = compare_attributions(current, slower)
+        by_tier = {r["tier"]: r for r in rows}
+        assert by_tier["optimize"]["ratio"] == pytest.approx(2.0)
+
+    def test_compare_handles_missing_sides(self):
+        current = {"tiers": {"queue": {"mean_s": 0.2}}}
+        baseline = {"tiers": {"optimize": {"mean_s": 0.5}}}
+        rows = compare_attributions(current, baseline)
+        by_tier = {r["tier"]: r for r in rows}
+        assert by_tier["queue"]["ratio"] is None
+        assert by_tier["optimize"]["current_mean_s"] is None

@@ -1,0 +1,240 @@
+"""Tracer unit tests: context wire form, sampling, spans, export."""
+
+import json
+import random
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    Span,
+    TraceContext,
+    Tracer,
+    build_trace_document,
+    configure_tracer,
+    default_trace_path,
+    get_tracer,
+    load_trace,
+    save_trace,
+    validate_trace,
+)
+
+
+def sampled_tracer(**kwargs):
+    kwargs.setdefault("sample_rate", 1.0)
+    return Tracer("test", **kwargs)
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = TraceContext("abc123", "def456", True)
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+        off = TraceContext("abc123", "def456", False)
+        assert TraceContext.from_wire(off.to_wire()) == off
+
+    @pytest.mark.parametrize(
+        "bad",
+        [None, 7, "", "justone", "a-b", "a-b-2", "-b-1", "a--1", "a-b-1-c"],
+    )
+    def test_malformed_wire_degrades_to_none(self, bad):
+        assert TraceContext.from_wire(bad) is None
+
+
+class TestSampling:
+    def test_rate_zero_returns_the_noop(self):
+        tracer = Tracer("test", sample_rate=0.0)
+        root = tracer.start_trace("request")
+        with root as span:
+            span.tag("k", "v")  # the noop accepts the full span surface
+            with tracer.span("child", "queue"):
+                pass
+        assert tracer.spans() == []
+        assert tracer.stats()["traces_started"] == 1
+        assert tracer.stats()["traces_sampled"] == 0
+
+    def test_rate_one_records_every_trace(self):
+        tracer = sampled_tracer()
+        for _ in range(3):
+            with tracer.start_trace("request"):
+                pass
+        assert len(tracer.spans()) == 3
+        assert tracer.stats()["traces_sampled"] == 3
+
+    def test_head_decision_is_deterministic_under_seeded_rng(self):
+        tracer = Tracer("test", sample_rate=0.5, rng=random.Random(7))
+        noop_type = type(tracer.span("x", "t"))
+        decisions = [
+            not isinstance(tracer.start_trace("r"), noop_type)
+            for _ in range(20)
+        ]
+        reference = random.Random(7)
+        want = [reference.random() < 0.5 for _ in range(20)]
+        assert decisions == want
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer("test", sample_rate=1.5)
+
+    def test_span_without_active_context_is_noop(self):
+        tracer = sampled_tracer()
+        with tracer.span("orphanless", "queue"):
+            pass
+        assert tracer.spans() == []
+
+
+class TestSpanTree:
+    def test_children_nest_under_the_root(self):
+        tracer = sampled_tracer()
+        with tracer.start_trace("request", "client") as root:
+            with tracer.span("rpc", "transport"):
+                with tracer.span("optimize", "optimize"):
+                    pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["request"].parent_id is None
+        assert spans["rpc"].parent_id == spans["request"].span_id
+        assert spans["optimize"].parent_id == spans["rpc"].span_id
+        assert len({s.trace_id for s in spans.values()}) == 1
+        assert root.context.trace_id == spans["request"].trace_id
+
+    def test_exception_tags_the_span_and_still_records(self):
+        tracer = sampled_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.start_trace("request"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans()
+        assert span.tags["error"] == "RuntimeError"
+
+    def test_activate_joins_a_remote_context(self):
+        tracer = sampled_tracer()
+        remote = TraceContext("remotetrace", "remotespan", True)
+        with tracer.activate(remote):
+            with tracer.span("queue_wait", "queue"):
+                pass
+        (span,) = tracer.spans()
+        assert span.trace_id == "remotetrace"
+        assert span.parent_id == "remotespan"
+
+    def test_activate_unsampled_context_is_noop(self):
+        tracer = sampled_tracer()
+        remote = TraceContext("t", "s", False)
+        with tracer.activate(remote):
+            with tracer.span("queue_wait", "queue"):
+                pass
+        assert tracer.spans() == []
+
+    def test_record_attaches_a_measured_span(self):
+        tracer = sampled_tracer()
+        remote = TraceContext("t1", "s1", True)
+        tracer.record("queue_wait", "queue", 0.25, ctx=remote, tags={"n": 3})
+        (span,) = tracer.spans()
+        assert span.duration_s == 0.25
+        assert span.parent_id == "s1"
+        assert span.tags == {"n": 3}
+
+    def test_link_records_the_winners_identity(self):
+        tracer = sampled_tracer()
+        waiter = TraceContext("loser", "ls", True)
+        winner = TraceContext("winner", "ws", True)
+        tracer.link(waiter, winner)
+        (span,) = tracer.spans()
+        assert span.tier == "link"
+        assert span.duration_s == 0.0
+        assert span.tags["target_trace_id"] == "winner"
+        assert span.tags["target_span_id"] == "ws"
+
+    def test_context_is_thread_local(self):
+        tracer = sampled_tracer()
+        seen = {}
+
+        def other_thread():
+            seen["ctx"] = tracer.current()
+
+        with tracer.start_trace("request"):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+            assert tracer.current() is not None
+        assert seen["ctx"] is None
+
+
+class TestRingBuffer:
+    def test_bounded_with_dropped_accounting(self):
+        tracer = sampled_tracer(max_spans=4)
+        for _ in range(10):
+            with tracer.start_trace("request"):
+                pass
+        assert len(tracer.spans()) == 4
+        assert tracer.stats()["spans_dropped"] == 6
+
+    def test_clear_empties_the_buffer(self):
+        tracer = sampled_tracer()
+        with tracer.start_trace("request"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+
+
+class TestExport:
+    def test_export_load_round_trip(self, tmp_path):
+        tracer = sampled_tracer()
+        with tracer.start_trace("request", "client"):
+            with tracer.span("rpc", "transport"):
+                pass
+        path = str(tmp_path / default_trace_path("unit"))
+        doc = tracer.export(path)
+        assert doc["schema_version"] == TRACE_SCHEMA_VERSION
+        assert load_trace(path) == doc
+        assert len(doc["spans"]) == 2
+
+    def test_validate_rejects_malformation(self, tmp_path):
+        tracer = sampled_tracer()
+        with tracer.start_trace("request"):
+            pass
+        doc = build_trace_document(tracer)
+        for corrupt, match in [
+            (lambda d: d.update(schema_version=99), "schema_version"),
+            (lambda d: d.update(kind="bench"), "trace"),
+            (lambda d: d.pop("service"), "service"),
+            (lambda d: d.update(spans={}), "list"),
+        ]:
+            bad = json.loads(json.dumps(doc))
+            corrupt(bad)
+            with pytest.raises(ValueError, match=match):
+                validate_trace(bad)
+
+    def test_negative_duration_rejected(self, tmp_path):
+        tracer = sampled_tracer()
+        with tracer.start_trace("request"):
+            pass
+        doc = build_trace_document(tracer)
+        doc["spans"][0]["duration_s"] = -1.0
+        with pytest.raises(ValueError, match="negative"):
+            save_trace(doc, str(tmp_path / "bad.json"))
+
+    def test_span_dict_round_trip(self):
+        span = Span("t", "s", "p", "n", "queue", "svc", 42, 1.5, 0.25, {"k": 1})
+        assert Span.from_dict(span.to_dict()) == span
+
+
+class TestGlobalTracer:
+    def test_configure_replaces_and_get_returns_it(self):
+        before = get_tracer()
+        try:
+            tracer = configure_tracer(sample_rate=1.0, service="cfg-test")
+            assert get_tracer() is tracer
+            assert tracer.sample_rate == 1.0
+            assert tracer.service == "cfg-test"
+        finally:
+            configure_tracer(sample_rate=0.0, service=before.service)
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0.25")
+        try:
+            assert configure_tracer().sample_rate == 0.25
+            monkeypatch.setenv("REPRO_TRACE", "not-a-number")
+            assert configure_tracer().sample_rate == 0.0
+            monkeypatch.delenv("REPRO_TRACE")
+            assert configure_tracer().sample_rate == 0.0
+        finally:
+            configure_tracer(sample_rate=0.0)

@@ -1,0 +1,61 @@
+"""Regression corpus: the pre-fix HierarchicalCache torn snapshot (PR 10).
+
+Minimized from the cluster cache tier as it shipped before the metrics
+registry conversion: the base cache counters lived under ``self._lock``
+while the shared-tier counters grew a second ``self._tier_lock``, and
+``tier_stats()`` read the shared counter **lock-free** between the two —
+a snapshot could observe a lookup's memory-side effect without its
+tier-side effect, so the per-tier hit rates did not sum to 1.  The
+analyzer must flag the lock-free read with ``lock-discipline`` —
+tests/staticcheck/test_corpus.py asserts it does.  (The shipped
+``repro.cluster.hiercache.HierarchicalCache`` moves every tier event
+onto one labeled counter instrument: one lock, one atomic snapshot.)
+"""
+
+import threading
+
+
+class HierarchicalCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._tier_lock = threading.Lock()
+        self._memory = {}
+        self._memory_hits = 0
+        self._misses = 0
+        self._shared_hits = 0
+
+    def get(self, key):
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory_hits += 1
+                return payload
+        payload = self._read_shared(key)
+        if payload is None:
+            with self._lock:
+                self._misses += 1
+            return None
+        with self._tier_lock:
+            self._shared_hits += 1
+        with self._lock:
+            self._memory[key] = payload
+        return payload
+
+    def tier_stats(self):
+        with self._lock:
+            memory_hits = self._memory_hits
+            misses = self._misses
+        # pre-fix: the shared counter is read outside self._tier_lock,
+        # torn against the two writes a concurrent get() is making
+        shared_hits = self._shared_hits
+        lookups = memory_hits + shared_hits + misses
+        return {
+            "memory_hits": memory_hits,
+            "shared_hits": shared_hits,
+            "misses": misses,
+            "memory_hit_rate": memory_hits / lookups if lookups else 0.0,
+            "shared_hit_rate": shared_hits / lookups if lookups else 0.0,
+        }
+
+    def _read_shared(self, key):
+        return None

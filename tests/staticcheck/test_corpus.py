@@ -51,6 +51,25 @@ class TestMuxServerLifecycleRace:
         assert "MuxServer._listener:multi-writer" in keys
 
 
+class TestHierCacheTornStats:
+    """The PR 10 HierarchicalCache torn tier_stats() snapshot, pre-fix."""
+
+    def test_lock_free_shared_counter_read_is_flagged(self):
+        found = corpus_findings("hiercache_torn_stats.py")
+        keys = {f.key for f in found if f.rule == "lock-discipline"}
+        assert "HierarchicalCache._shared_hits:tier_stats" in keys
+
+    def test_the_locked_counters_are_not_the_problem(self):
+        found = corpus_findings("hiercache_torn_stats.py")
+        attrs = {
+            f.key.split(":")[0]
+            for f in found
+            if f.rule == "lock-discipline"
+        }
+        assert "HierarchicalCache._memory_hits" not in attrs
+        assert "HierarchicalCache._misses" not in attrs
+
+
 class TestTreeIsClean:
     def test_src_repro_has_no_new_findings(self):
         report = run_check(

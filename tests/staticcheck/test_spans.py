@@ -1,0 +1,162 @@
+"""span-closed: opened spans must be with-managed or finally-closed."""
+
+from .util import ctx_from, run_rule
+
+
+def keys(findings):
+    return {f.key for f in findings}
+
+
+class TestCleanShapes:
+    def test_with_span_is_clean(self):
+        ctx = ctx_from(
+            """
+            from repro.obs.trace import get_tracer
+
+            def handle(job):
+                tracer = get_tracer()
+                with tracer.span("optimize", "optimize"):
+                    return run(job)
+            """
+        )
+        assert run_rule("span-closed", ctx) == []
+
+    def test_with_start_trace_chain_is_clean(self):
+        ctx = ctx_from(
+            """
+            from repro.obs.trace import get_tracer
+
+            def replay(request):
+                with get_tracer().start_trace("request", "client") as root:
+                    root.tag("model", request.model)
+            """
+        )
+        assert run_rule("span-closed", ctx) == []
+
+    def test_bound_then_finally_exit_is_clean(self):
+        ctx = ctx_from(
+            """
+            def submit(self, manifest):
+                span = self._tracer.span("rpc", "transport")
+                span.__enter__()
+                try:
+                    return self._send(manifest)
+                finally:
+                    span.__exit__(None, None, None)
+            """
+        )
+        assert run_rule("span-closed", ctx) == []
+
+    def test_bound_then_finally_close_is_clean(self):
+        ctx = ctx_from(
+            """
+            def submit(self, manifest):
+                span = self._tracer.span("rpc", "transport")
+                try:
+                    return self._send(manifest)
+                finally:
+                    span.close()
+            """
+        )
+        assert run_rule("span-closed", ctx) == []
+
+    def test_returned_span_is_ownership_transfer(self):
+        ctx = ctx_from(
+            """
+            def open_rpc_span(tracer):
+                return tracer.span("rpc", "transport")
+            """
+        )
+        assert run_rule("span-closed", ctx) == []
+
+    def test_non_tracer_receiver_is_ignored(self):
+        ctx = ctx_from(
+            """
+            def layout(self):
+                self.column.span("two-wide", "header")
+                cell = grid.span(2, 3)
+                return cell
+            """
+        )
+        assert run_rule("span-closed", ctx) == []
+
+
+class TestFlaggedShapes:
+    def test_discarded_span_expression_is_flagged(self):
+        ctx = ctx_from(
+            """
+            def handle(tracer, job):
+                tracer.span("optimize", "optimize")
+                return run(job)
+            """
+        )
+        found = run_rule("span-closed", ctx)
+        assert keys(found) == {"handle:span:0"}
+        assert "never entered" in found[0].message
+
+    def test_bound_but_never_closed_is_flagged(self):
+        ctx = ctx_from(
+            """
+            def handle(self, job):
+                span = self._tracer.start_trace("request", "client")
+                span.tag("model", job.model)
+                return run(job)
+            """
+        )
+        found = run_rule("span-closed", ctx)
+        assert keys(found) == {"handle:start_trace:0"}
+        assert "'span'" in found[0].message
+
+    def test_name_bound_from_get_tracer_is_recognized(self):
+        ctx = ctx_from(
+            """
+            from repro.obs.trace import get_tracer
+
+            def handle(job):
+                t = get_tracer()
+                t.span("optimize", "optimize")
+            """
+        )
+        found = run_rule("span-closed", ctx)
+        assert keys(found) == {"handle:span:0"}
+
+    def test_inline_argument_span_is_flagged(self):
+        ctx = ctx_from(
+            """
+            def handle(tracer, job):
+                schedule(tracer.span("queue_wait", "queue"), job)
+            """
+        )
+        found = run_rule("span-closed", ctx)
+        assert keys(found) == {"handle:span:0"}
+
+    def test_closure_spans_check_their_own_scope(self):
+        # the closure's span is not saved by the outer finally: the
+        # closure runs on another thread, after the outer frame is gone
+        ctx = ctx_from(
+            """
+            def handle(tracer, job):
+                outer = tracer.span("outer", "queue")
+                def worker():
+                    tracer.span("inner", "optimize")
+                try:
+                    spawn(worker)
+                finally:
+                    outer.__exit__(None, None, None)
+            """
+        )
+        found = run_rule("span-closed", ctx)
+        assert keys(found) == {"worker:span:0"}
+
+
+class TestSuppression:
+    def test_module_scope_is_checked_too(self):
+        ctx = ctx_from(
+            """
+            from repro.obs.trace import get_tracer
+
+            get_tracer().span("import-time", "client")
+            """
+        )
+        found = run_rule("span-closed", ctx)
+        assert keys(found) == {"<module>:span:0"}
